@@ -1,0 +1,22 @@
+//! Criterion wrapper for the fault-box blast-radius ablation.
+
+use bench::faultbox_ab;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_faultbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faultbox");
+    group.sample_size(10);
+    for &apps in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("recover_one_of", apps), &apps, |b, &k| {
+            b.iter(|| {
+                let row = faultbox_ab::run_cell(k);
+                assert_eq!(row.disturbed_flacos, 1);
+                row
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faultbox);
+criterion_main!(benches);

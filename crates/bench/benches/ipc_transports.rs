@@ -1,0 +1,43 @@
+//! Criterion wrapper for the IPC-vs-netstack echo sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::FlacChannel;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::{Rack, RackConfig};
+
+fn bench_ipc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipc_transports");
+    for &size in &[64usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("flacos_echo", size), &size, |b, &size| {
+            let rack = Rack::new(RackConfig::two_node_hccs());
+            let alloc = GlobalAllocator::new(rack.global().clone());
+            let (mut a, mut bp) =
+                FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+            let payload = vec![1u8; size];
+            b.iter(|| {
+                a.send(&payload).unwrap();
+                let echo = bp.try_recv().unwrap();
+                bp.send(&echo).unwrap();
+                a.try_recv().unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tcp_echo", size), &size, |b, &size| {
+            let rack = Rack::new(RackConfig::two_node_hccs());
+            let (mut a, mut bp) =
+                NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+            let payload = vec![1u8; size];
+            b.iter(|| {
+                a.send(&payload).unwrap();
+                let echo = bp.try_recv().unwrap();
+                bp.send(&echo).unwrap();
+                a.try_recv().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipc);
+criterion_main!(benches);

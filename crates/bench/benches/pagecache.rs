@@ -1,0 +1,22 @@
+//! Criterion wrapper for the shared-page-cache ablation.
+
+use bench::pagecache_ab;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pagecache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagecache");
+    group.sample_size(10);
+    for &nodes in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("shared_fileset", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let row = pagecache_ab::run_cell(n, 2, 16);
+                assert!(row.capacity_gain() > 1.0);
+                row
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagecache);
+criterion_main!(benches);

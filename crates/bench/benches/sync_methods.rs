@@ -1,0 +1,18 @@
+//! Criterion wrapper for the synchronization-methods ablation.
+
+use bench::sync_ab;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_methods");
+    group.sample_size(10);
+    for method in sync_ab::METHODS {
+        group.bench_with_input(BenchmarkId::new("mixed_50r", method), &method, |b, &m| {
+            b.iter(|| sync_ab::run_cell(m, 2, 50, 100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerate the paper's figures/tables and the ablations.
+//!
+//! ```text
+//! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|all]
+//! ```
+
+use bench::{dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut ran = false;
+
+    if matches!(arg.as_str(), "fig4" | "all") {
+        println!("{}\n", fig4::report(&fig4::run(1000)));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "startup" | "all") {
+        println!("{}\n", startup::report(&startup::run()));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "sync" | "all") {
+        println!("{}\n", sync_ab::report(&sync_ab::run(400)));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "pagecache" | "all") {
+        println!("{}\n", pagecache_ab::report(&pagecache_ab::run()));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "ipc" | "all") {
+        println!("{}\n", ipc_ab::report(&ipc_ab::run(200)));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "faultbox" | "all") {
+        println!("{}\n", faultbox_ab::report(&faultbox_ab::run()));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "dedup" | "all") {
+        println!("{}\n", dedup_ab::report(&dedup_ab::run()));
+        ran = true;
+    }
+    if matches!(arg.as_str(), "fabric" | "all") {
+        println!("{}\n", fabric_ab::report(&fabric_ab::run(300)));
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!("usage: figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|all]");
+        std::process::exit(2);
+    }
+}

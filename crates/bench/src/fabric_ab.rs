@@ -1,0 +1,136 @@
+//! Ablation A6 — sensitivity to the interconnect generation.
+//!
+//! The paper's testbed uses HCCS; deployments will see CXL switches
+//! with higher latencies. This ablation reruns the Figure 4 SET path on
+//! three fabric models — HCCS-like, CXL-2.0-switched, and a hypothetical
+//! fully-coherent uniform machine — against the *same* TCP baseline, to
+//! show where the shared-memory advantage erodes and what an ideal
+//! coherent fabric would buy.
+
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::FlacChannel;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::{LatencyModel, Rack, RackConfig};
+use redis_mini::client::{request_stepped, RedisClient};
+use redis_mini::resp::Command;
+use redis_mini::server::RedisServer;
+
+/// A named latency-model constructor.
+pub type FabricModel = (&'static str, fn() -> LatencyModel);
+
+/// Fabrics under comparison.
+pub const FABRICS: [FabricModel; 3] = [
+    ("hccs", LatencyModel::hccs),
+    ("cxl-switched", LatencyModel::cxl_switched),
+    ("uniform-coherent", LatencyModel::uniform_coherent),
+];
+
+/// One measured fabric point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRow {
+    /// Fabric label.
+    pub fabric: &'static str,
+    /// Request value size.
+    pub size: usize,
+    /// Redis SET latency over FlacOS IPC on this fabric (simulated ns).
+    pub flacos_ns: u64,
+    /// Redis SET latency over TCP (fabric-independent baseline).
+    pub networking_ns: u64,
+}
+
+impl FabricRow {
+    /// Latency reduction over networking.
+    pub fn speedup(&self) -> f64 {
+        self.networking_ns as f64 / self.flacos_ns.max(1) as f64
+    }
+}
+
+fn measure_set(rack: &Rack, over_ipc: bool, size: usize, requests: usize) -> u64 {
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let cmd = Command::Set { key: b"k".to_vec(), value: vec![1u8; size] };
+    let mut total = 0u64;
+    if over_ipc {
+        let (sep, cep) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).expect("chan");
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+        for _ in 0..requests {
+            total += request_stepped(&mut client, &mut server, &cmd).expect("req").1;
+        }
+    } else {
+        let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+        for _ in 0..requests {
+            total += request_stepped(&mut client, &mut server, &cmd).expect("req").1;
+        }
+    }
+    total / requests as u64
+}
+
+/// Run the fabric sweep with `requests` SETs per cell.
+pub fn run(requests: usize) -> Vec<FabricRow> {
+    let mut rows = Vec::new();
+    for &size in &[16usize, 4096] {
+        for (fabric, model) in FABRICS {
+            let rack =
+                Rack::new(RackConfig::two_node_hccs().with_latency(model()));
+            let flacos_ns = measure_set(&rack, true, size, requests);
+            let rack =
+                Rack::new(RackConfig::two_node_hccs().with_latency(model()));
+            let networking_ns = measure_set(&rack, false, size, requests);
+            rows.push(FabricRow { fabric, size, flacos_ns, networking_ns });
+        }
+    }
+    rows
+}
+
+/// Render the sweep.
+pub fn report(rows: &[FabricRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fabric.to_string(),
+                crate::table::fmt_bytes(r.size as u64),
+                crate::table::fmt_ns(r.flacos_ns),
+                crate::table::fmt_ns(r.networking_ns),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablation A6: Redis SET latency by interconnect generation\n\n{}",
+        crate::table::render(
+            &["fabric", "size", "FlacOS", "networking", "reduction"],
+            &table_rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_fabrics_help_flacos_not_tcp() {
+        let rows = run(30);
+        let at = |f: &str, size: usize| {
+            rows.iter().find(|r| r.fabric == f && r.size == size).unwrap().clone()
+        };
+        // Coherent-uniform < HCCS < CXL-switched on the FlacOS side.
+        assert!(at("uniform-coherent", 16).flacos_ns < at("hccs", 16).flacos_ns);
+        assert!(at("hccs", 16).flacos_ns < at("cxl-switched", 16).flacos_ns);
+        // FlacOS still wins even on the slowest fabric.
+        assert!(at("cxl-switched", 16).speedup() > 1.0);
+        assert!(at("cxl-switched", 4096).speedup() > 1.0);
+    }
+
+    #[test]
+    fn report_lists_all_fabrics() {
+        let text = report(&run(5));
+        for (f, _) in FABRICS {
+            assert!(text.contains(f));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation A4 — transport latency across message sizes.
+//!
+//! Echo round-trips over FlacOS IPC and the TCP/IP baseline, 64 B to
+//! 1 MiB, isolating the transports from the Redis protocol layer. The
+//! crossover behaviour explains Figure 4: the networking side pays
+//! per-segment stack costs that grow with size, while FlacOS pays
+//! near-constant control costs plus bandwidth.
+
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::FlacChannel;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::{Rack, RackConfig};
+
+/// Message sizes swept.
+pub const SIZES: [usize; 6] = [64, 256, 1024, 4096, 65536, 1 << 20];
+
+/// One measured size point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpcRow {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Mean echo RTT over FlacOS IPC (simulated ns).
+    pub flacos_rtt_ns: u64,
+    /// Mean echo RTT over TCP/IP (simulated ns).
+    pub tcp_rtt_ns: u64,
+}
+
+/// Run the sweep with `iters` round-trips per point.
+pub fn run(iters: usize) -> Vec<IpcRow> {
+    SIZES
+        .iter()
+        .map(|&size| {
+            // FlacOS IPC.
+            let rack = Rack::new(RackConfig::two_node_hccs());
+            let alloc = GlobalAllocator::new(rack.global().clone());
+            let (mut a, mut b) =
+                FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1))
+                    .expect("channel");
+            let payload = vec![0x5Au8; size];
+            let t0 = a.node().clock().now();
+            for _ in 0..iters {
+                a.send(&payload).expect("send");
+                b.node().clock().advance_to(a.node().clock().now());
+                let echo = b.try_recv().expect("recv");
+                b.send(&echo).expect("echo");
+                a.node().clock().advance_to(b.node().clock().now());
+                a.try_recv().expect("reply");
+            }
+            let flacos_rtt_ns = (a.node().clock().now() - t0) / iters as u64;
+
+            // TCP/IP.
+            let rack = Rack::new(RackConfig::two_node_hccs());
+            let (mut a, mut b) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+            let t0 = a.node().clock().now();
+            for _ in 0..iters {
+                a.send(&payload).expect("send");
+                b.node().clock().advance_to(a.node().clock().now());
+                let echo = b.try_recv().expect("recv");
+                b.send(&echo).expect("echo");
+                a.node().clock().advance_to(b.node().clock().now());
+                a.try_recv().expect("reply");
+            }
+            let tcp_rtt_ns = (a.node().clock().now() - t0) / iters as u64;
+
+            IpcRow { size, flacos_rtt_ns, tcp_rtt_ns }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn report(rows: &[IpcRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                crate::table::fmt_bytes(r.size as u64),
+                crate::table::fmt_ns(r.flacos_rtt_ns),
+                crate::table::fmt_ns(r.tcp_rtt_ns),
+                format!("{:.2}x", r.tcp_rtt_ns as f64 / r.flacos_rtt_ns.max(1) as f64),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablation A4: echo RTT by message size\n\n{}",
+        crate::table::render(&["size", "FlacOS IPC", "TCP/IP", "reduction"], &table_rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flacos_wins_across_all_sizes() {
+        for row in run(10) {
+            assert!(
+                row.flacos_rtt_ns < row.tcp_rtt_ns,
+                "{}B: FlacOS {} vs TCP {}",
+                row.size,
+                row.flacos_rtt_ns,
+                row.tcp_rtt_ns
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_grows_with_size() {
+        let rows = run(5);
+        assert!(rows.last().unwrap().flacos_rtt_ns > rows[0].flacos_rtt_ns);
+        assert!(rows.last().unwrap().tcp_rtt_ns > rows[0].tcp_rtt_ns);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment implementations for every table and figure of the paper,
+//! plus the ablations DESIGN.md commits to.
+//!
+//! Each experiment module returns structured rows; the `figures` binary
+//! prints them as the paper-style tables, and the Criterion benches in
+//! `benches/` wrap the same entry points so `cargo bench` exercises the
+//! identical code paths.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig4`] | Figure 4 — Redis SET/GET latency, FlacOS IPC vs TCP/IP |
+//! | [`startup`] | §4.2 container startup: cold / FlacOS / hot |
+//! | [`sync_ab`] | Ablation A1 — the three lock-free families vs locking |
+//! | [`pagecache_ab`] | Ablation A2 — shared vs per-node page caches |
+//! | [`faultbox_ab`] | Ablation A3 — fault-box blast radius & recovery |
+//! | [`ipc_ab`] | Ablation A4 — transport latency across message sizes |
+//! | [`dedup_ab`] | Ablation A5 — page dedup effectiveness |
+//! | [`fabric_ab`] | Ablation A6 — sensitivity to the interconnect generation |
+
+pub mod dedup_ab;
+pub mod fabric_ab;
+pub mod faultbox_ab;
+pub mod fig4;
+pub mod ipc_ab;
+pub mod pagecache_ab;
+pub mod startup;
+pub mod sync_ab;
+pub mod table;

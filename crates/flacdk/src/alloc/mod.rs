@@ -1,0 +1,21 @@
+//! FlacDK memory management (paper §3.2 "Memory management").
+//!
+//! Three pieces, mirroring the paper's list:
+//!
+//! 1. [`object::GlobalAllocator`] — an object-granularity allocator over
+//!    the global pool with size-class free lists, designed to be fed by
+//!    the RCU reclamation path ([`crate::sync::reclaim`]) rather than by
+//!    immediate frees.
+//! 2. [`hotness::HotnessTracker`] — per-object access-frequency tracking
+//!    with exponential decay, driving layout packing decisions.
+//! 3. [`relocate::Relocator`] — runtime object movement between global
+//!    and local tiers with a forwarding table, used for defragmentation,
+//!    locality, and memory tiering.
+
+pub mod hotness;
+pub mod object;
+pub mod relocate;
+
+pub use hotness::HotnessTracker;
+pub use object::GlobalAllocator;
+pub use relocate::{Relocator, Tier};

@@ -1,0 +1,254 @@
+//! Runtime object movement, relocation, and tiering (paper §3.2 "Memory
+//! management", item 3: *"Runtime object movement and relocation
+//! mechanisms that reduce fragmentation, improve locality, and utilize
+//! memory tiering"*).
+//!
+//! The [`Relocator`] copies an object's bytes to a new location (in the
+//! global tier or a node's local tier) and records a forwarding entry so
+//! holders of the old object id still resolve to the data. Combined with
+//! [`crate::alloc::hotness::HotnessTracker::tier_split`], it implements
+//! promote-hot / demote-cold tiering.
+
+use crate::alloc::object::GlobalAllocator;
+use parking_lot::RwLock;
+use rack_sim::{GAddr, LAddr, NodeCtx, SimError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where an object currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Rack-shared global memory.
+    Global(GAddr),
+    /// A node's local memory (locality tier); only that node may access it.
+    Local(LAddr),
+}
+
+/// Location + size entry in the forwarding table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Current tier and address.
+    pub tier: Tier,
+    /// Object size in bytes.
+    pub len: usize,
+}
+
+/// Moves objects between placements and resolves ids through a
+/// forwarding table. Clone-cheap; clones share the table.
+#[derive(Debug, Clone, Default)]
+pub struct Relocator {
+    table: Arc<RwLock<HashMap<u64, Placement>>>,
+}
+
+impl Relocator {
+    /// An empty relocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the initial placement of object `id`.
+    pub fn place(&self, id: u64, placement: Placement) {
+        self.table.write().insert(id, placement);
+    }
+
+    /// Current placement of `id`.
+    pub fn resolve(&self, id: u64) -> Option<Placement> {
+        self.table.read().get(&id).copied()
+    }
+
+    /// Remove `id` from the table (object freed).
+    pub fn remove(&self, id: u64) -> Option<Placement> {
+        self.table.write().remove(&id)
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.read().is_empty()
+    }
+
+    fn read_object(&self, ctx: &NodeCtx, p: Placement, buf: &mut [u8]) -> Result<(), SimError> {
+        match p.tier {
+            Tier::Global(addr) => {
+                ctx.invalidate(addr, buf.len());
+                ctx.read(addr, buf)
+            }
+            Tier::Local(addr) => ctx.local_read(addr, buf),
+        }
+    }
+
+    fn write_object(&self, ctx: &NodeCtx, tier: Tier, buf: &[u8]) -> Result<(), SimError> {
+        match tier {
+            Tier::Global(addr) => {
+                ctx.write(addr, buf)?;
+                ctx.writeback(addr, buf.len());
+                Ok(())
+            }
+            Tier::Local(addr) => ctx.local_write(addr, buf),
+        }
+    }
+
+    /// Move object `id` into the global tier (demotion / sharing).
+    /// Frees nothing at the source; the previous global block (if any)
+    /// is returned for the caller to retire through reclamation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if `id` is unknown; allocation and memory
+    /// errors are propagated.
+    pub fn demote_to_global(
+        &self,
+        ctx: &NodeCtx,
+        alloc: &GlobalAllocator,
+        id: u64,
+    ) -> Result<Option<GAddr>, SimError> {
+        let p = self
+            .resolve(id)
+            .ok_or_else(|| SimError::Protocol(format!("relocate: unknown object {id}")))?;
+        if let Tier::Global(addr) = p.tier {
+            return Ok(Some(addr)); // already global
+        }
+        let mut buf = vec![0u8; p.len];
+        self.read_object(ctx, p, &mut buf)?;
+        let dst = alloc.alloc(ctx, p.len)?;
+        self.write_object(ctx, Tier::Global(dst), &buf)?;
+        self.table.write().insert(id, Placement { tier: Tier::Global(dst), len: p.len });
+        Ok(None)
+    }
+
+    /// Move object `id` into this node's local tier (promotion for
+    /// locality). Returns the vacated global address (for retire) if the
+    /// object was global.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if `id` is unknown; allocation and memory
+    /// errors are propagated.
+    pub fn promote_to_local(&self, ctx: &NodeCtx, id: u64) -> Result<Option<GAddr>, SimError> {
+        let p = self
+            .resolve(id)
+            .ok_or_else(|| SimError::Protocol(format!("relocate: unknown object {id}")))?;
+        let old_global = match p.tier {
+            Tier::Local(_) => return Ok(None), // already local
+            Tier::Global(addr) => addr,
+        };
+        let mut buf = vec![0u8; p.len];
+        self.read_object(ctx, p, &mut buf)?;
+        let dst = ctx.local_alloc(p.len)?;
+        ctx.local_write(dst, &buf)?;
+        self.table.write().insert(id, Placement { tier: Tier::Local(dst), len: p.len });
+        Ok(Some(old_global))
+    }
+
+    /// Compact: move object `id` to a fresh global block (defragmentation
+    /// into allocator-preferred placement). Returns the vacated address.
+    ///
+    /// # Errors
+    ///
+    /// As [`Relocator::demote_to_global`].
+    pub fn compact(
+        &self,
+        ctx: &NodeCtx,
+        alloc: &GlobalAllocator,
+        id: u64,
+    ) -> Result<GAddr, SimError> {
+        let p = self
+            .resolve(id)
+            .ok_or_else(|| SimError::Protocol(format!("relocate: unknown object {id}")))?;
+        let Tier::Global(old) = p.tier else {
+            return Err(SimError::Protocol("compact: object is not in the global tier".into()));
+        };
+        let mut buf = vec![0u8; p.len];
+        self.read_object(ctx, p, &mut buf)?;
+        let dst = alloc.alloc(ctx, p.len)?;
+        self.write_object(ctx, Tier::Global(dst), &buf)?;
+        self.table.write().insert(id, Placement { tier: Tier::Global(dst), len: p.len });
+        Ok(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, GlobalAllocator, Relocator) {
+        let rack = Rack::new(RackConfig::small_test());
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        (rack, alloc, Relocator::new())
+    }
+
+    #[test]
+    fn promote_then_demote_preserves_bytes() {
+        let (rack, alloc, rel) = setup();
+        let n0 = rack.node(0);
+        let g = alloc.alloc(&n0, 32).unwrap();
+        n0.write(g, &[7u8; 32]).unwrap();
+        n0.writeback(g, 32);
+        rel.place(1, Placement { tier: Tier::Global(g), len: 32 });
+
+        let vacated = rel.promote_to_local(&n0, 1).unwrap();
+        assert_eq!(vacated, Some(g));
+        assert!(matches!(rel.resolve(1).unwrap().tier, Tier::Local(_)));
+
+        rel.demote_to_global(&n0, &alloc, 1).unwrap();
+        let Placement { tier: Tier::Global(g2), len } = rel.resolve(1).unwrap() else {
+            panic!("should be global")
+        };
+        assert_eq!(len, 32);
+        let mut buf = [0u8; 32];
+        n0.invalidate(g2, 32);
+        n0.read(g2, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 32]);
+    }
+
+    #[test]
+    fn idempotent_moves() {
+        let (rack, alloc, rel) = setup();
+        let n0 = rack.node(0);
+        let g = alloc.alloc(&n0, 16).unwrap();
+        rel.place(1, Placement { tier: Tier::Global(g), len: 16 });
+        assert_eq!(rel.demote_to_global(&n0, &alloc, 1).unwrap(), Some(g), "already global");
+        rel.promote_to_local(&n0, 1).unwrap();
+        assert_eq!(rel.promote_to_local(&n0, 1).unwrap(), None, "already local");
+    }
+
+    #[test]
+    fn compact_moves_to_fresh_block() {
+        let (rack, alloc, rel) = setup();
+        let n0 = rack.node(0);
+        let g = alloc.alloc(&n0, 16).unwrap();
+        n0.write(g, &[3u8; 16]).unwrap();
+        n0.writeback(g, 16);
+        rel.place(5, Placement { tier: Tier::Global(g), len: 16 });
+        let old = rel.compact(&n0, &alloc, 5).unwrap();
+        assert_eq!(old, g);
+        let Placement { tier: Tier::Global(now), .. } = rel.resolve(5).unwrap() else {
+            panic!("global")
+        };
+        assert_ne!(now, g);
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let (rack, alloc, rel) = setup();
+        let n0 = rack.node(0);
+        assert!(rel.promote_to_local(&n0, 99).is_err());
+        assert!(rel.demote_to_global(&n0, &alloc, 99).is_err());
+        assert!(rel.compact(&n0, &alloc, 99).is_err());
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let (_, _, rel) = setup();
+        rel.place(2, Placement { tier: Tier::Local(LAddr(0)), len: 8 });
+        assert_eq!(rel.len(), 1);
+        assert!(rel.remove(2).is_some());
+        assert!(rel.resolve(2).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! RCU copy-on-write radix tree in global memory.
+//!
+//! Maps `u64` keys to `u64` values with 6-bit fanout (64 children per
+//! node). Interior and leaf nodes are immutable once published: an
+//! update copies the root-to-leaf path, links the new leaf, and CAS-es
+//! the root pointer; displaced nodes are retired into an RCU
+//! [`RetireList`]. Readers traverse under an [`RcuReadGuard`],
+//! invalidating each node line before reading — since published nodes
+//! never change, a fresh read of a fresh address is always consistent.
+//!
+//! This is the index structure behind the FlacOS shared page cache
+//! (§3.4) and the shared page table (§3.3).
+
+use crate::alloc::object::GlobalAllocator;
+use crate::hw::GlobalCell;
+use crate::sync::rcu::{EpochManager, RcuReadGuard};
+use crate::sync::reclaim::RetireList;
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
+
+/// Children per node (6 bits of key per level).
+pub const FANOUT: usize = 64;
+const NODE_BYTES: usize = FANOUT * 8;
+/// Values are stored biased by +1 so 0 can mean "absent".
+const ABSENT: u64 = 0;
+
+/// A COW radix tree of `u64 -> u64` in global memory.
+#[derive(Debug, Clone, Copy)]
+pub struct RadixTree {
+    root: GlobalCell,
+    levels: u32,
+}
+
+impl RadixTree {
+    /// Allocate an empty tree able to index keys below
+    /// `FANOUT.pow(levels)`. Four levels cover 16M keys — enough for the
+    /// page indices of multi-gigabyte files.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero or exceeds 10 (u64 key space).
+    pub fn alloc(global: &GlobalMemory, levels: u32) -> Result<Self, SimError> {
+        assert!((1..=10).contains(&levels), "levels must be in 1..=10");
+        Ok(RadixTree { root: GlobalCell::alloc(global, 0)?, levels })
+    }
+
+    /// Largest key this tree can hold, plus one.
+    pub fn key_capacity(&self) -> u64 {
+        (FANOUT as u64).saturating_pow(self.levels)
+    }
+
+    fn check_key(&self, key: u64) -> Result<(), SimError> {
+        if key >= self.key_capacity() {
+            return Err(SimError::Protocol(format!(
+                "key {key} exceeds radix capacity {}",
+                self.key_capacity()
+            )));
+        }
+        Ok(())
+    }
+
+    fn slot_of(&self, key: u64, level: u32) -> usize {
+        // level 0 is the root; deeper levels consume lower bits.
+        let shift = 6 * (self.levels - 1 - level);
+        ((key >> shift) & (FANOUT as u64 - 1)) as usize
+    }
+
+    fn read_word(ctx: &NodeCtx, node: GAddr, slot: usize) -> Result<u64, SimError> {
+        let addr = node.offset((slot * 8) as u64);
+        ctx.invalidate(addr, 8);
+        ctx.read_u64(addr)
+    }
+
+    fn read_node(ctx: &NodeCtx, node: GAddr) -> Result<Vec<u8>, SimError> {
+        ctx.invalidate(node, NODE_BYTES);
+        let mut buf = vec![0u8; NODE_BYTES];
+        ctx.read(node, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn write_node(ctx: &NodeCtx, alloc: &GlobalAllocator, bytes: &[u8]) -> Result<GAddr, SimError> {
+        let addr = alloc.alloc(ctx, NODE_BYTES)?;
+        ctx.write(addr, bytes)?;
+        ctx.writeback(addr, NODE_BYTES);
+        Ok(addr)
+    }
+
+    /// Look up `key` under an RCU read guard.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for out-of-range keys; memory errors are
+    /// propagated.
+    pub fn get(
+        &self,
+        ctx: &NodeCtx,
+        _guard: &RcuReadGuard,
+        key: u64,
+    ) -> Result<Option<u64>, SimError> {
+        self.check_key(key)?;
+        let mut cur = self.root.load(ctx)?;
+        for level in 0..self.levels {
+            if cur == 0 {
+                return Ok(None);
+            }
+            cur = Self::read_word(ctx, GAddr(cur), self.slot_of(key, level))?;
+        }
+        Ok(if cur == ABSENT { None } else { Some(cur - 1) })
+    }
+
+    /// Insert or overwrite `key -> value` with a copy-on-write path.
+    /// Returns the previous value, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for out-of-range keys; allocation and
+    /// memory errors are propagated.
+    pub fn insert(
+        &self,
+        ctx: &NodeCtx,
+        alloc: &GlobalAllocator,
+        mgr: &EpochManager,
+        retired: &RetireList,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, SimError> {
+        self.check_key(key)?;
+        self.update(ctx, alloc, mgr, retired, key, value + 1)
+    }
+
+    /// Remove `key`, returning the previous value if present.
+    ///
+    /// # Errors
+    ///
+    /// As [`RadixTree::insert`].
+    pub fn remove(
+        &self,
+        ctx: &NodeCtx,
+        alloc: &GlobalAllocator,
+        mgr: &EpochManager,
+        retired: &RetireList,
+        key: u64,
+    ) -> Result<Option<u64>, SimError> {
+        self.check_key(key)?;
+        self.update(ctx, alloc, mgr, retired, key, ABSENT)
+    }
+
+    fn update(
+        &self,
+        ctx: &NodeCtx,
+        alloc: &GlobalAllocator,
+        mgr: &EpochManager,
+        retired: &RetireList,
+        key: u64,
+        stored: u64,
+    ) -> Result<Option<u64>, SimError> {
+        loop {
+            let old_root = self.root.load(ctx)?;
+            // Walk down, keeping each level's node image.
+            let mut path: Vec<(GAddr, Vec<u8>)> = Vec::with_capacity(self.levels as usize);
+            let mut cur = old_root;
+            for level in 0..self.levels {
+                if cur == 0 {
+                    break;
+                }
+                let node = GAddr(cur);
+                let img = Self::read_node(ctx, node)?;
+                let slot = self.slot_of(key, level);
+                let next = u64::from_le_bytes(img[slot * 8..slot * 8 + 8].try_into().expect("8"));
+                path.push((node, img));
+                cur = next;
+            }
+            let prev_stored = if path.len() == self.levels as usize { cur } else { ABSENT };
+            if prev_stored == stored {
+                // Idempotent update (includes removing an absent key).
+                return Ok(if prev_stored == ABSENT { None } else { Some(prev_stored - 1) });
+            }
+
+            // Build the new path bottom-up.
+            let mut child = stored;
+            let mut new_nodes: Vec<GAddr> = Vec::new();
+            for level in (0..self.levels).rev() {
+                let slot = self.slot_of(key, level);
+                let mut img = match path.get(level as usize) {
+                    Some((_, img)) => img.clone(),
+                    None => vec![0u8; NODE_BYTES],
+                };
+                img[slot * 8..slot * 8 + 8].copy_from_slice(&child.to_le_bytes());
+                let addr = Self::write_node(ctx, alloc, &img)?;
+                new_nodes.push(addr);
+                child = addr.0;
+            }
+            let new_root = child;
+
+            if self.root.compare_exchange(ctx, old_root, new_root)? == old_root {
+                // Retire displaced path nodes at the pre-advance epoch
+                // (readers entered at it may still be traversing them).
+                let epoch = mgr.current(ctx)?;
+                mgr.advance(ctx)?;
+                for (addr, _) in path {
+                    retired.retire(addr, NODE_BYTES, epoch);
+                }
+                return Ok(if prev_stored == ABSENT { None } else { Some(prev_stored - 1) });
+            }
+            // Lost the race: free our unpublished nodes and retry.
+            for addr in new_nodes {
+                alloc.free(ctx, addr, NODE_BYTES);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+    use std::sync::Arc;
+
+    fn setup() -> (Rack, GlobalAllocator, Arc<EpochManager>, RetireList, RadixTree) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(16 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let mgr = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let retired = RetireList::new();
+        let tree = RadixTree::alloc(rack.global(), 3).unwrap();
+        (rack, alloc, mgr, retired, tree)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        let h = mgr.handle(n0.clone());
+        assert_eq!(tree.insert(&n0, &alloc, &mgr, &retired, 42, 4200).unwrap(), None);
+        {
+            let g = h.read_lock().unwrap();
+            assert_eq!(tree.get(&n0, &g, 42).unwrap(), Some(4200));
+            assert_eq!(tree.get(&n0, &g, 43).unwrap(), None);
+        }
+        assert_eq!(tree.insert(&n0, &alloc, &mgr, &retired, 42, 99).unwrap(), Some(4200));
+        assert_eq!(tree.remove(&n0, &alloc, &mgr, &retired, 42).unwrap(), Some(99));
+        let g = h.read_lock().unwrap();
+        assert_eq!(tree.get(&n0, &g, 42).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_values_are_representable() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        tree.insert(&n0, &alloc, &mgr, &retired, 7, 0).unwrap();
+        let g = mgr.handle(n0.clone()).read_lock().unwrap();
+        assert_eq!(tree.get(&n0, &g, 7).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn cross_node_visibility_without_manual_flushes() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        for k in 0..50u64 {
+            tree.insert(&n0, &alloc, &mgr, &retired, k * 1000 % 4096, k).unwrap();
+        }
+        let h1 = mgr.handle(n1.clone());
+        let g = h1.read_lock().unwrap();
+        for k in 0..50u64 {
+            assert_eq!(tree.get(&n1, &g, k * 1000 % 4096).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn updates_retire_displaced_path_nodes() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        tree.insert(&n0, &alloc, &mgr, &retired, 1, 1).unwrap();
+        let before = retired.pending();
+        tree.insert(&n0, &alloc, &mgr, &retired, 1, 2).unwrap();
+        assert_eq!(retired.pending() - before, 3, "3-level path displaced");
+        // With no readers, reclamation frees them all.
+        assert!(retired.reclaim(&n0, &mgr, &alloc).unwrap() >= 3);
+    }
+
+    #[test]
+    fn removing_absent_key_is_noop() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        let before = retired.pending();
+        assert_eq!(tree.remove(&n0, &alloc, &mgr, &retired, 5).unwrap(), None);
+        assert_eq!(retired.pending(), before, "no path copied for a no-op");
+    }
+
+    #[test]
+    fn out_of_range_key_rejected() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        let big = tree.key_capacity();
+        assert!(tree.insert(&n0, &alloc, &mgr, &retired, big, 1).is_err());
+        let g = mgr.handle(n0.clone()).read_lock().unwrap();
+        assert!(tree.get(&n0, &g, big).is_err());
+    }
+
+    #[test]
+    fn dense_population_then_full_scan() {
+        let (rack, alloc, mgr, retired, tree) = setup();
+        let n0 = rack.node(0);
+        for k in 0..200u64 {
+            tree.insert(&n0, &alloc, &mgr, &retired, k, k * 2).unwrap();
+            // Reclaim as we go so the small pool suffices.
+            retired.reclaim(&n0, &mgr, &alloc).unwrap();
+        }
+        let g = mgr.handle(n0.clone()).read_lock().unwrap();
+        for k in 0..200u64 {
+            assert_eq!(tree.get(&n0, &g, k).unwrap(), Some(k * 2));
+        }
+    }
+}

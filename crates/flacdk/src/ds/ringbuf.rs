@@ -1,0 +1,230 @@
+//! Single-producer single-consumer ring buffer over global memory.
+//!
+//! The transport primitive beneath FlacOS zero-copy IPC (§3.5): payload
+//! slots live in the shared pool; head and tail indices are fabric-atomic
+//! cells. The producer publishes a slot with an explicit write-back
+//! *before* advancing the tail; the consumer invalidates the slot range
+//! *after* observing the tail — the publish/consume discipline that makes
+//! streaming data safe on a non-coherent fabric. The paper notes exactly
+//! this: streaming buffers "can be easily synchronized across nodes via
+//! cache invalidation".
+
+use crate::hw::GlobalCell;
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError, LINE_SIZE};
+
+/// A bounded SPSC ring of byte messages in global memory.
+///
+/// Copyable handle; clones denote the same ring. One node must act as the
+/// sole producer and one as the sole consumer.
+#[derive(Debug, Clone, Copy)]
+pub struct SpscRing {
+    head: GlobalCell, // consumer cursor
+    tail: GlobalCell, // producer cursor
+    slots: GAddr,
+    capacity: u64,
+    slot_size: u64,
+}
+
+impl SpscRing {
+    /// Payload bytes a slot of `slot_size` can carry (16 bytes of each
+    /// slot hold the length and the publish timestamp).
+    pub fn payload_capacity(slot_size: usize) -> usize {
+        slot_size.saturating_sub(16)
+    }
+
+    /// Allocate a ring of `capacity` slots of `slot_size` bytes
+    /// (8 of which hold the per-message length).
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity or a slot size below 16 / not 8-aligned.
+    pub fn alloc(global: &GlobalMemory, capacity: usize, slot_size: usize) -> Result<Self, SimError> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(slot_size >= 24 && slot_size.is_multiple_of(8), "slot size must be >=24 and 8-aligned");
+        let head = GlobalCell::alloc(global, 0)?;
+        let tail = GlobalCell::alloc(global, 0)?;
+        let slots = global.alloc(capacity * slot_size, LINE_SIZE)?;
+        Ok(SpscRing { head, tail, slots, capacity: capacity as u64, slot_size: slot_size as u64 })
+    }
+
+    fn slot_addr(&self, idx: u64) -> GAddr {
+        self.slots.offset((idx % self.capacity) * self.slot_size)
+    }
+
+    /// Messages currently queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn len(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        Ok(self.tail.load(ctx)? - self.head.load(ctx)?)
+    }
+
+    /// Whether the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn is_empty(&self, ctx: &NodeCtx) -> Result<bool, SimError> {
+        Ok(self.len(ctx)? == 0)
+    }
+
+    /// Produce one message.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::WouldBlock`] if the ring is full.
+    /// * [`SimError::Protocol`] if `payload` exceeds the slot capacity.
+    /// * Memory errors are propagated.
+    pub fn push(&self, ctx: &NodeCtx, payload: &[u8]) -> Result<(), SimError> {
+        if payload.len() > Self::payload_capacity(self.slot_size as usize) {
+            return Err(SimError::Protocol(format!(
+                "message of {} bytes exceeds slot payload capacity {}",
+                payload.len(),
+                Self::payload_capacity(self.slot_size as usize)
+            )));
+        }
+        let tail = self.tail.load(ctx)?;
+        let head = self.head.load(ctx)?;
+        if tail - head >= self.capacity {
+            return Err(SimError::WouldBlock);
+        }
+        let slot = self.slot_addr(tail);
+        ctx.write_u64(slot, payload.len() as u64)?;
+        ctx.write(slot.offset(16), payload)?;
+        // Publish the payload, then stamp the publish time (when the
+        // data became globally visible) and publish the header line.
+        ctx.writeback(slot, 16 + payload.len());
+        ctx.write_u64(slot.offset(8), ctx.clock().now())?;
+        ctx.writeback(slot.offset(8), 8);
+        self.tail.store(ctx, tail + 1)?;
+        Ok(())
+    }
+
+    /// Consume one message.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] if the ring is empty; memory errors are
+    /// propagated.
+    pub fn pop(&self, ctx: &NodeCtx) -> Result<Vec<u8>, SimError> {
+        let head = self.head.load(ctx)?;
+        let tail = self.tail.load(ctx)?;
+        if head == tail {
+            return Err(SimError::WouldBlock);
+        }
+        let slot = self.slot_addr(head);
+        // Consume: invalidate before reading (slot lines may be cached
+        // from a previous lap of the ring).
+        ctx.invalidate(slot, self.slot_size as usize);
+        let len = ctx.read_u64(slot)? as usize;
+        if len > Self::payload_capacity(self.slot_size as usize) {
+            return Err(SimError::Protocol(format!("corrupt slot length {len}")));
+        }
+        // Causality: the consumer cannot observe the message before the
+        // producer published it (polling sees it no earlier than that).
+        let publish_ts = ctx.read_u64(slot.offset(8))?;
+        ctx.clock().advance_to(publish_ts);
+        let mut buf = vec![0u8; len];
+        ctx.read(slot.offset(16), &mut buf)?;
+        self.head.store(ctx, head + 1)?;
+        Ok(buf)
+    }
+
+    /// Peek the length of the next message without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] if empty; memory errors are propagated.
+    pub fn peek_len(&self, ctx: &NodeCtx) -> Result<usize, SimError> {
+        let head = self.head.load(ctx)?;
+        let tail = self.tail.load(ctx)?;
+        if head == tail {
+            return Err(SimError::WouldBlock);
+        }
+        let slot = self.slot_addr(head);
+        ctx.invalidate(slot, 8);
+        Ok(ctx.read_u64(slot)? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn ring(rack: &Rack, cap: usize, slot: usize) -> SpscRing {
+        SpscRing::alloc(rack.global(), cap, slot).unwrap()
+    }
+
+    #[test]
+    fn cross_node_fifo_roundtrip() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (p, c) = (rack.node(0), rack.node(1));
+        let r = ring(&rack, 8, 64);
+        r.push(&p, b"first").unwrap();
+        r.push(&p, b"second").unwrap();
+        assert_eq!(r.len(&c).unwrap(), 2);
+        assert_eq!(r.pop(&c).unwrap(), b"first");
+        assert_eq!(r.pop(&c).unwrap(), b"second");
+        assert!(matches!(r.pop(&c), Err(SimError::WouldBlock)));
+    }
+
+    #[test]
+    fn full_ring_blocks_producer() {
+        let rack = Rack::new(RackConfig::small_test());
+        let p = rack.node(0);
+        let r = ring(&rack, 2, 64);
+        r.push(&p, b"a").unwrap();
+        r.push(&p, b"b").unwrap();
+        assert!(matches!(r.push(&p, b"c"), Err(SimError::WouldBlock)));
+        r.pop(&rack.node(1)).unwrap();
+        r.push(&p, b"c").unwrap();
+    }
+
+    #[test]
+    fn ring_laps_reuse_slots_correctly() {
+        // Consumer caches slot lines on lap 1; lap 2 must not serve them stale.
+        let rack = Rack::new(RackConfig::small_test());
+        let (p, c) = (rack.node(0), rack.node(1));
+        let r = ring(&rack, 2, 64);
+        for round in 0..6u8 {
+            r.push(&p, &[round; 16]).unwrap();
+            assert_eq!(r.pop(&c).unwrap(), vec![round; 16]);
+        }
+    }
+
+    #[test]
+    fn oversize_message_rejected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let r = ring(&rack, 2, 32);
+        assert!(matches!(
+            r.push(&rack.node(0), &[0; 32]),
+            Err(SimError::Protocol(_))
+        ));
+        assert!(r.push(&rack.node(0), &[0; 16]).is_ok());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (p, c) = (rack.node(0), rack.node(1));
+        let r = ring(&rack, 4, 64);
+        r.push(&p, b"xyz").unwrap();
+        assert_eq!(r.peek_len(&c).unwrap(), 3);
+        assert_eq!(r.len(&c).unwrap(), 1);
+        assert_eq!(r.pop(&c).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        let rack = Rack::new(RackConfig::small_test());
+        let r = ring(&rack, 2, 24);
+        r.push(&rack.node(0), b"").unwrap();
+        assert_eq!(r.pop(&rack.node(1)).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,182 @@
+//! Replication-based shared vector.
+//!
+//! A growable sequence of `u64` elements kept consistent across nodes by
+//! replaying a shared operation log. Reads are node-local after a sync;
+//! mutations cost one log append. Suits read-mostly sequences such as
+//! registries and tables of descriptors.
+
+use crate::sync::replicated::{Replica, ReplicatedHandle, ReplicatedLog};
+use crate::wire::{Decoder, Encoder};
+use rack_sim::{GlobalMemory, NodeCtx, SimError};
+use std::sync::Arc;
+
+const OP_PUSH: u8 = 0;
+const OP_SET: u8 = 1;
+const OP_POP: u8 = 2;
+
+/// The per-node replica state of a [`SharedVec`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VecReplica {
+    items: Vec<u64>,
+}
+
+impl Replica for VecReplica {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        match d.u8() {
+            Ok(OP_PUSH) => {
+                if let Ok(v) = d.u64() {
+                    self.items.push(v);
+                }
+            }
+            Ok(OP_SET) => {
+                if let (Ok(idx), Ok(v)) = (d.u64(), d.u64()) {
+                    if let Some(slot) = self.items.get_mut(idx as usize) {
+                        *slot = v;
+                    }
+                }
+            }
+            Ok(OP_POP) => {
+                self.items.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A node's handle on a replicated shared vector of `u64`.
+#[derive(Debug)]
+pub struct SharedVec {
+    handle: ReplicatedHandle<VecReplica>,
+}
+
+impl SharedVec {
+    /// Allocate the shared log for a vector used by `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc_shared(
+        global: &GlobalMemory,
+        nodes: usize,
+        log_capacity: usize,
+    ) -> Result<Arc<ReplicatedLog>, SimError> {
+        ReplicatedLog::alloc(global, nodes, log_capacity, 64)
+    }
+
+    /// This node's handle.
+    pub fn new(shared: Arc<ReplicatedLog>, node: Arc<NodeCtx>) -> Self {
+        SharedVec { handle: ReplicatedHandle::new(shared, node, VecReplica::default()) }
+    }
+
+    /// Append `value`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-full and memory errors.
+    pub fn push(&mut self, value: u64) -> Result<(), SimError> {
+        let mut e = Encoder::new();
+        e.put_u8(OP_PUSH).put_u64(value);
+        self.handle.execute(&e.into_vec())
+    }
+
+    /// Overwrite index `idx` (no-op if out of range at apply time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-full and memory errors.
+    pub fn set(&mut self, idx: u64, value: u64) -> Result<(), SimError> {
+        let mut e = Encoder::new();
+        e.put_u8(OP_SET).put_u64(idx).put_u64(value);
+        self.handle.execute(&e.into_vec())
+    }
+
+    /// Remove the last element (no-op if empty at apply time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-full and memory errors.
+    pub fn pop(&mut self) -> Result<(), SimError> {
+        self.handle.execute(&[OP_POP])
+    }
+
+    /// Element at `idx` after syncing with the log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn get(&mut self, idx: u64) -> Result<Option<u64>, SimError> {
+        self.handle.read(|r| r.items.get(idx as usize).copied())
+    }
+
+    /// Length after syncing with the log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn len(&mut self) -> Result<usize, SimError> {
+        self.handle.read(|r| r.items.len())
+    }
+
+    /// Whether the vector is empty after syncing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn is_empty(&mut self) -> Result<bool, SimError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Snapshot of the full contents after syncing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn to_vec(&mut self) -> Result<Vec<u64>, SimError> {
+        self.handle.read(|r| r.items.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn push_set_pop_converge_across_nodes() {
+        let rack = Rack::new(RackConfig::small_test());
+        let shared = SharedVec::alloc_shared(rack.global(), 2, 128).unwrap();
+        let mut v0 = SharedVec::new(shared.clone(), rack.node(0));
+        let mut v1 = SharedVec::new(shared, rack.node(1));
+
+        v0.push(10).unwrap();
+        v1.push(20).unwrap();
+        v0.set(0, 11).unwrap();
+        v1.push(30).unwrap();
+        v0.pop().unwrap();
+
+        assert_eq!(v0.to_vec().unwrap(), vec![11, 20]);
+        assert_eq!(v1.to_vec().unwrap(), vec![11, 20]);
+        assert_eq!(v1.get(1).unwrap(), Some(20));
+        assert_eq!(v1.get(9).unwrap(), None);
+        assert!(!v0.is_empty().unwrap());
+    }
+
+    #[test]
+    fn out_of_range_set_is_noop() {
+        let rack = Rack::new(RackConfig::small_test());
+        let shared = SharedVec::alloc_shared(rack.global(), 1, 32).unwrap();
+        let mut v = SharedVec::new(shared, rack.node(0));
+        v.set(5, 1).unwrap();
+        assert_eq!(v.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn pop_on_empty_is_noop() {
+        let rack = Rack::new(RackConfig::small_test());
+        let shared = SharedVec::alloc_shared(rack.global(), 1, 32).unwrap();
+        let mut v = SharedVec::new(shared, rack.node(0));
+        v.pop().unwrap();
+        assert!(v.is_empty().unwrap());
+    }
+}

@@ -1,0 +1,192 @@
+//! Level-1 FlacDK library: hardware-specific operations on global memory.
+//!
+//! Paper §3.2: *"The lowest level library contains hardware specific
+//! operations that directly manipulate the global memory. These operations
+//! include atomic instructions, memory barriers, and CPU cache related
+//! instructions, such as cache flush, invalidation, and write back."*
+//!
+//! [`GlobalCell`] is the workhorse: one 64-bit word in global memory with
+//! fabric-atomic operations, addressable from every node. Cells are what
+//! log tails, epoch counters, lock words, ring indices, and pointers are
+//! made of.
+
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
+
+/// A 64-bit word in global memory accessed exclusively with fabric
+/// atomics (never through node caches), so it is always coherent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalCell {
+    addr: GAddr,
+}
+
+impl GlobalCell {
+    /// Allocate a new cell initialized to `init`.
+    ///
+    /// The cell is placed on its own cache line to avoid false sharing
+    /// with neighbouring data.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(global: &GlobalMemory, init: u64) -> Result<Self, SimError> {
+        let addr = global.alloc(rack_sim::LINE_SIZE, rack_sim::LINE_SIZE)?;
+        global.store_u64(addr, init)?;
+        Ok(GlobalCell { addr })
+    }
+
+    /// Wrap an existing aligned global word (e.g. inside a larger header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn at(addr: GAddr) -> Self {
+        assert!(addr.is_aligned(8), "GlobalCell requires 8-byte alignment");
+        GlobalCell { addr }
+    }
+
+    /// The cell's global address.
+    pub fn addr(&self) -> GAddr {
+        self.addr
+    }
+
+    /// Atomic (uncached) load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-down / poison errors.
+    pub fn load(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        ctx.load_uncached_u64(self.addr)
+    }
+
+    /// Atomic (uncached) store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-down / poison errors.
+    pub fn store(&self, ctx: &NodeCtx, value: u64) -> Result<(), SimError> {
+        ctx.store_uncached_u64(self.addr, value)
+    }
+
+    /// Fabric compare-exchange; returns previous value (success iff it
+    /// equals `current`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-down / poison errors.
+    pub fn compare_exchange(&self, ctx: &NodeCtx, current: u64, new: u64) -> Result<u64, SimError> {
+        ctx.compare_exchange_u64(self.addr, current, new)
+    }
+
+    /// Fabric fetch-add; returns previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-down / poison errors.
+    pub fn fetch_add(&self, ctx: &NodeCtx, delta: u64) -> Result<u64, SimError> {
+        ctx.fetch_add_u64(self.addr, delta)
+    }
+}
+
+/// Memory barrier kinds. On the simulator, barriers only charge a small
+/// fixed cost (the simulated fabric is sequentially consistent for
+/// atomics), but call sites document their ordering requirements by
+/// issuing them, exactly as real FlacDK code would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Barrier {
+    /// Order prior loads before subsequent loads.
+    LoadLoad,
+    /// Order prior stores before subsequent stores.
+    StoreStore,
+    /// Full fence.
+    Full,
+}
+
+/// Issue a memory barrier on `ctx`.
+pub fn barrier(ctx: &NodeCtx, kind: Barrier) {
+    // Cost model: a fence stalls roughly one local access.
+    let ns = match kind {
+        Barrier::LoadLoad | Barrier::StoreStore => 8,
+        Barrier::Full => 20,
+    };
+    ctx.charge(ns);
+}
+
+/// Write `buf` to global memory at `addr` and immediately write it back,
+/// making it visible to other nodes (store + clean).
+///
+/// # Errors
+///
+/// Propagates bounds / poison / node-down errors.
+pub fn publish_bytes(ctx: &NodeCtx, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
+    ctx.write(addr, buf)?;
+    ctx.writeback(addr, buf.len());
+    Ok(())
+}
+
+/// Invalidate `[addr, addr+len)` then read it fresh from global memory —
+/// the receive side of the publish/consume discipline.
+///
+/// # Errors
+///
+/// Propagates bounds / poison / node-down errors.
+pub fn consume_bytes(ctx: &NodeCtx, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
+    ctx.invalidate(addr, buf.len());
+    ctx.read(addr, buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn cell_is_coherent_across_nodes() {
+        let rack = Rack::new(RackConfig::small_test());
+        let cell = GlobalCell::alloc(rack.global(), 10).unwrap();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        assert_eq!(cell.load(&n1).unwrap(), 10);
+        cell.fetch_add(&n0, 5).unwrap();
+        assert_eq!(cell.load(&n1).unwrap(), 15);
+        assert_eq!(cell.compare_exchange(&n1, 15, 20).unwrap(), 15);
+        assert_eq!(cell.load(&n0).unwrap(), 20);
+    }
+
+    #[test]
+    fn cells_do_not_false_share() {
+        let rack = Rack::new(RackConfig::small_test());
+        let a = GlobalCell::alloc(rack.global(), 0).unwrap();
+        let b = GlobalCell::alloc(rack.global(), 0).unwrap();
+        assert!(b.addr().0 - a.addr().0 >= rack_sim::LINE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment")]
+    fn misaligned_cell_panics() {
+        GlobalCell::at(GAddr(3));
+    }
+
+    #[test]
+    fn publish_consume_roundtrip() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let addr = rack.global().alloc(256, 64).unwrap();
+        // n1 caches the stale region first.
+        let mut stale = [0u8; 256];
+        n1.read(addr, &mut stale).unwrap();
+        publish_bytes(&n0, addr, &[42; 256]).unwrap();
+        let mut fresh = [0u8; 256];
+        consume_bytes(&n1, addr, &mut fresh).unwrap();
+        assert_eq!(fresh, [42; 256], "consume must see published data despite stale cache");
+    }
+
+    #[test]
+    fn barriers_charge_time() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let t0 = n0.clock().now();
+        barrier(&n0, Barrier::Full);
+        barrier(&n0, Barrier::LoadLoad);
+        barrier(&n0, Barrier::StoreStore);
+        assert!(n0.clock().now() > t0);
+    }
+}

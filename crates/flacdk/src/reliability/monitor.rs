@@ -1,0 +1,136 @@
+//! System monitoring: heartbeat table in global memory.
+//!
+//! Every node periodically publishes its simulated timestamp into its own
+//! heartbeat cell with a fabric-atomic store. Any node can scan the table
+//! and suspect peers whose heartbeat has gone stale — the first stage of
+//! the paper's fault-handling pipeline, and the input signal for fault-box
+//! migration decisions.
+
+use crate::hw::GlobalCell;
+use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// Health classification of a node as seen by an observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Heartbeat within the timeout window.
+    Healthy,
+    /// Heartbeat stale — node suspected failed.
+    Suspected,
+    /// Node has never heartbeaten.
+    Unknown,
+}
+
+/// A shared heartbeat table.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    beats: Vec<GlobalCell>,
+    timeout_ns: u64,
+}
+
+impl HealthMonitor {
+    /// Allocate a table for `nodes` nodes; peers are suspected after
+    /// `timeout_ns` of silence.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(global: &GlobalMemory, nodes: usize, timeout_ns: u64) -> Result<Arc<Self>, SimError> {
+        let beats = (0..nodes)
+            .map(|_| GlobalCell::alloc(global, 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(HealthMonitor { beats, timeout_ns }))
+    }
+
+    /// Publish a heartbeat for the calling node (timestamp + 1 so that a
+    /// heartbeat at t=0 is distinguishable from "never").
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors (a crashed node cannot beat).
+    pub fn beat(&self, ctx: &NodeCtx) -> Result<(), SimError> {
+        self.beats[ctx.id().0].store(ctx, ctx.clock().now() + 1)
+    }
+
+    /// Classify `target` from the observer `ctx`'s current time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn health_of(&self, ctx: &NodeCtx, target: NodeId) -> Result<NodeHealth, SimError> {
+        let beat = self.beats[target.0].load(ctx)?;
+        if beat == 0 {
+            return Ok(NodeHealth::Unknown);
+        }
+        let now = ctx.clock().now();
+        Ok(if now.saturating_sub(beat - 1) > self.timeout_ns {
+            NodeHealth::Suspected
+        } else {
+            NodeHealth::Healthy
+        })
+    }
+
+    /// All currently suspected nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn suspects(&self, ctx: &NodeCtx) -> Result<Vec<NodeId>, SimError> {
+        let mut out = Vec::new();
+        for (i, _) in self.beats.iter().enumerate() {
+            if self.health_of(ctx, NodeId(i))? == NodeHealth::Suspected {
+                out.push(NodeId(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The configured suspicion timeout.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn fresh_beat_is_healthy_stale_is_suspected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let mon = HealthMonitor::alloc(rack.global(), 2, 10_000).unwrap();
+
+        assert_eq!(mon.health_of(&n0, n1.id()).unwrap(), NodeHealth::Unknown);
+        mon.beat(&n1).unwrap();
+        assert_eq!(mon.health_of(&n0, n1.id()).unwrap(), NodeHealth::Healthy);
+
+        // Observer time advances past the timeout with no new beat.
+        n0.charge(50_000);
+        assert_eq!(mon.health_of(&n0, n1.id()).unwrap(), NodeHealth::Suspected);
+        assert_eq!(mon.suspects(&n0).unwrap(), vec![n1.id()]);
+    }
+
+    #[test]
+    fn crashed_node_cannot_beat_and_gets_suspected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let mon = HealthMonitor::alloc(rack.global(), 2, 1_000).unwrap();
+        mon.beat(&n1).unwrap();
+        rack.faults().crash_node(n1.id(), 0);
+        assert!(mon.beat(&n1).is_err());
+        n0.charge(10_000);
+        assert_eq!(mon.health_of(&n0, n1.id()).unwrap(), NodeHealth::Suspected);
+    }
+
+    #[test]
+    fn beat_at_time_zero_counts() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mon = HealthMonitor::alloc(rack.global(), 2, 1_000).unwrap();
+        // n0's clock is ~0 before any operations.
+        mon.beat(&n0).unwrap();
+        assert_ne!(mon.health_of(&n0, n0.id()).unwrap(), NodeHealth::Unknown);
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure prediction from correctable-error rates.
+//!
+//! Memory devices usually degrade before they fail hard: correctable ECC
+//! error rates climb (the paper cites field studies of exactly this).
+//! The predictor keeps an exponentially-weighted rate of correctable
+//! errors per region and flags regions whose rate crosses a threshold,
+//! so adaptive redundancy can raise protection or the relocator can
+//! migrate the data *before* an uncorrectable fault.
+
+use std::collections::HashMap;
+
+/// Per-region degradation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionState {
+    ewma_errors_per_sec: f64,
+    last_event_ns: u64,
+    total_errors: u64,
+}
+
+/// Exponentially-weighted correctable-error rate predictor.
+#[derive(Debug, Clone)]
+pub struct FailurePredictor {
+    half_life_ns: f64,
+    threshold_errors_per_sec: f64,
+    regions: HashMap<u64, RegionState>,
+}
+
+impl FailurePredictor {
+    /// A predictor whose rate estimate halves every `half_life_ns` of
+    /// simulated quiet time, flagging regions above
+    /// `threshold_errors_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    pub fn new(half_life_ns: u64, threshold_errors_per_sec: f64) -> Self {
+        assert!(half_life_ns > 0, "half life must be positive");
+        assert!(threshold_errors_per_sec > 0.0, "threshold must be positive");
+        FailurePredictor {
+            half_life_ns: half_life_ns as f64,
+            threshold_errors_per_sec,
+            regions: HashMap::new(),
+        }
+    }
+
+    fn decayed(&self, s: RegionState, now_ns: u64) -> f64 {
+        let dt = now_ns.saturating_sub(s.last_event_ns) as f64;
+        s.ewma_errors_per_sec * 0.5f64.powf(dt / self.half_life_ns)
+    }
+
+    /// Record one correctable error in `region` at simulated `now_ns`.
+    pub fn record_correctable(&mut self, region: u64, now_ns: u64) {
+        let entry = self.regions.entry(region).or_default();
+        let decayed = {
+            let dt = now_ns.saturating_sub(entry.last_event_ns) as f64;
+            entry.ewma_errors_per_sec * 0.5f64.powf(dt / self.half_life_ns)
+        };
+        // Each event adds a rate quantum of one error per half-life.
+        entry.ewma_errors_per_sec = decayed + 1e9 / self.half_life_ns;
+        entry.last_event_ns = now_ns;
+        entry.total_errors += 1;
+    }
+
+    /// Current decayed error rate of `region` (errors/sec).
+    pub fn rate(&self, region: u64, now_ns: u64) -> f64 {
+        self.regions.get(&region).map(|s| self.decayed(*s, now_ns)).unwrap_or(0.0)
+    }
+
+    /// Whether `region` is predicted to fail soon.
+    pub fn predicts_failure(&self, region: u64, now_ns: u64) -> bool {
+        self.rate(region, now_ns) > self.threshold_errors_per_sec
+    }
+
+    /// All regions currently predicted to fail, most degraded first.
+    pub fn at_risk(&self, now_ns: u64) -> Vec<u64> {
+        let mut v: Vec<(u64, f64)> = self
+            .regions
+            .iter()
+            .map(|(r, s)| (*r, self.decayed(*s, now_ns)))
+            .filter(|(_, rate)| *rate > self.threshold_errors_per_sec)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Lifetime correctable-error count for `region`.
+    pub fn total_errors(&self, region: u64) -> u64 {
+        self.regions.get(&region).map(|s| s.total_errors).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn burst_of_errors_predicts_failure() {
+        let mut p = FailurePredictor::new(SEC, 5.0);
+        for i in 0..10 {
+            p.record_correctable(1, i * 1_000_000);
+        }
+        assert!(p.predicts_failure(1, 10_000_000));
+        assert!(!p.predicts_failure(2, 10_000_000), "quiet region untouched");
+        assert_eq!(p.total_errors(1), 10);
+    }
+
+    #[test]
+    fn rate_decays_over_quiet_time() {
+        let mut p = FailurePredictor::new(SEC, 5.0);
+        for i in 0..10 {
+            p.record_correctable(1, i * 1_000_000);
+        }
+        assert!(p.predicts_failure(1, 10_000_000));
+        // Several half-lives of silence.
+        assert!(!p.predicts_failure(1, 10 * SEC));
+        assert!(p.rate(1, 10 * SEC) < p.rate(1, 10_000_000));
+    }
+
+    #[test]
+    fn at_risk_sorted_most_degraded_first() {
+        let mut p = FailurePredictor::new(SEC, 1.0);
+        for i in 0..3 {
+            p.record_correctable(7, i);
+        }
+        for i in 0..9 {
+            p.record_correctable(8, i);
+        }
+        assert_eq!(p.at_risk(10), vec![8, 7]);
+    }
+
+    #[test]
+    fn single_error_below_threshold() {
+        let mut p = FailurePredictor::new(SEC, 5.0);
+        p.record_correctable(1, 0);
+        assert!(!p.predicts_failure(1, 1));
+    }
+}

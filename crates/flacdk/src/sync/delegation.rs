@@ -1,0 +1,287 @@
+//! Delegation-based synchronization (ffwd / flat-combining style).
+//!
+//! Paper §3.2: *"This approach partitions data access between nodes, and
+//! each node exclusively manipulates a partition. When a node accesses
+//! other partitions, it sends requests to the owner node which performs
+//! the operation on behalf of the requesting node."*
+//!
+//! Because only the owner ever touches a partition's memory, the
+//! partition needs **no cross-node cache management at all** — requests
+//! and responses ride the interconnect message fabric. The owner runs a
+//! [`DelegationServer`] that drains its request port; remote nodes use a
+//! [`DelegationClient`]. Operations execute in the owner's local memory
+//! at local speed.
+
+use crate::wire::{Decoder, Encoder};
+use rack_sim::{NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// A service whose state is owned by exactly one node.
+pub trait Service {
+    /// Execute one request against the owned state, producing a response.
+    fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Service for F
+where
+    F: FnMut(&[u8]) -> Vec<u8>,
+{
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+/// The owning side of a delegated partition.
+#[derive(Debug)]
+pub struct DelegationServer<S: Service> {
+    node: Arc<NodeCtx>,
+    port: u16,
+    service: S,
+    served: u64,
+}
+
+impl<S: Service> DelegationServer<S> {
+    /// Serve `service` on `node`'s `port`.
+    pub fn new(node: Arc<NodeCtx>, port: u16, service: S) -> Self {
+        DelegationServer { node, port, service, served: 0 }
+    }
+
+    /// Drain and execute all pending requests, replying to each client.
+    /// Returns the number of requests served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors (a dead client's reply failure is
+    /// swallowed: the client crashed, not us).
+    pub fn poll(&mut self) -> Result<usize, SimError> {
+        let mut served = 0;
+        loop {
+            let msg = match self.node.try_recv(self.port) {
+                Ok(m) => m,
+                Err(SimError::WouldBlock) => break,
+                Err(e) => return Err(e),
+            };
+            let mut d = Decoder::new(&msg.payload);
+            let (client, reply_port, req) = match (d.u64(), d.u64(), d.bytes()) {
+                (Ok(c), Ok(p), Ok(r)) => (NodeId(c as usize), p as u16, r),
+                _ => continue, // malformed request: drop
+            };
+            // The owner executes on local state at local-memory speed.
+            self.node.charge(self.node.latency().local_read_ns);
+            let resp = self.service.handle(req);
+            self.node.charge(self.node.latency().local_write_ns);
+            served += 1;
+            self.served += 1;
+            match self.node.send(client, reply_port, resp) {
+                Ok(_) => {}
+                Err(SimError::NodeDown { .. }) | Err(SimError::LinkDown { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(served)
+    }
+
+    /// Total requests served over the server's lifetime.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Execute a request directly against the local state (the owner's
+    /// own fast path — no messaging).
+    pub fn execute_local(&mut self, request: &[u8]) -> Vec<u8> {
+        self.node.charge(self.node.latency().local_read_ns);
+        let resp = self.service.handle(request);
+        self.node.charge(self.node.latency().local_write_ns);
+        self.served += 1;
+        resp
+    }
+
+    /// The node that owns this partition.
+    pub fn node(&self) -> &Arc<NodeCtx> {
+        &self.node
+    }
+
+    /// Access the owned service state (e.g. for checkpointing).
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Mutable access to the owned service state (e.g. for recovery).
+    pub fn service_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+}
+
+/// A remote node's handle for invoking a delegated partition.
+#[derive(Debug, Clone)]
+pub struct DelegationClient {
+    node: Arc<NodeCtx>,
+    server: NodeId,
+    server_port: u16,
+    reply_port: u16,
+}
+
+impl DelegationClient {
+    /// Client on `node` targeting `server`'s `server_port`; replies arrive
+    /// on this node's `reply_port`.
+    pub fn new(node: Arc<NodeCtx>, server: NodeId, server_port: u16, reply_port: u16) -> Self {
+        DelegationClient { node, server, server_port, reply_port }
+    }
+
+    /// Ship a request to the owner. Returns the simulated arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the owner is down or the link is severed.
+    pub fn send(&self, request: &[u8]) -> Result<u64, SimError> {
+        let mut e = Encoder::new();
+        e.put_u64(self.node.id().0 as u64).put_u64(u64::from(self.reply_port)).put_bytes(request);
+        self.node.send(self.server, self.server_port, e.into_vec())
+    }
+
+    /// Non-blocking receive of the next response.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] when no response has arrived.
+    pub fn try_recv(&self) -> Result<Vec<u8>, SimError> {
+        Ok(self.node.try_recv(self.reply_port)?.payload)
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> &Arc<NodeCtx> {
+        &self.node
+    }
+
+    /// The owner node this client delegates to.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+}
+
+/// Convenience for cooperative (single-threaded) simulations and tests:
+/// send `request`, step the server once, and collect the response.
+///
+/// # Errors
+///
+/// Propagates fabric errors; [`SimError::WouldBlock`] if the server
+/// produced no response.
+pub fn call_stepped<S: Service>(
+    client: &DelegationClient,
+    server: &mut DelegationServer<S>,
+    request: &[u8],
+) -> Result<Vec<u8>, SimError> {
+    client.send(request)?;
+    server.poll()?;
+    client.try_recv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    /// A delegated map fragment: u64 -> u64.
+    #[derive(Debug, Default)]
+    struct KvPartition {
+        map: std::collections::HashMap<u64, u64>,
+    }
+
+    impl Service for KvPartition {
+        fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+            let mut d = Decoder::new(request);
+            let op = d.u8().unwrap();
+            let k = d.u64().unwrap();
+            match op {
+                0 => {
+                    let v = d.u64().unwrap();
+                    self.map.insert(k, v);
+                    vec![1]
+                }
+                _ => {
+                    let mut e = Encoder::new();
+                    match self.map.get(&k) {
+                        Some(v) => e.put_u8(1).put_u64(*v),
+                        None => e.put_u8(0),
+                    };
+                    e.into_vec()
+                }
+            }
+        }
+    }
+
+    fn put(k: u64, v: u64) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(0).put_u64(k).put_u64(v);
+        e.into_vec()
+    }
+
+    fn get(k: u64) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(1).put_u64(k);
+        e.into_vec()
+    }
+
+    #[test]
+    fn remote_ops_execute_on_owner() {
+        let rack = Rack::new(RackConfig::small_test());
+        let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
+        let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
+
+        assert_eq!(call_stepped(&client, &mut server, &put(5, 50)).unwrap(), vec![1]);
+        let resp = call_stepped(&client, &mut server, &get(5)).unwrap();
+        let mut d = Decoder::new(&resp);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.u64().unwrap(), 50);
+        assert_eq!(server.served(), 2);
+    }
+
+    #[test]
+    fn owner_fast_path_bypasses_fabric() {
+        let rack = Rack::new(RackConfig::small_test());
+        let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
+        let msgs_before = rack.node(0).stats().snapshot().messages_sent;
+        server.execute_local(&put(1, 2));
+        let resp = server.execute_local(&get(1));
+        assert_eq!(Decoder::new(&resp).u8().unwrap(), 1);
+        assert_eq!(rack.node(0).stats().snapshot().messages_sent, msgs_before);
+    }
+
+    #[test]
+    fn missing_key_reports_absent() {
+        let rack = Rack::new(RackConfig::small_test());
+        let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
+        let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
+        let resp = call_stepped(&client, &mut server, &get(42)).unwrap();
+        assert_eq!(Decoder::new(&resp).u8().unwrap(), 0);
+    }
+
+    #[test]
+    fn malformed_request_is_dropped_not_fatal() {
+        let rack = Rack::new(RackConfig::small_test());
+        let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
+        rack.node(1).send(NodeId(0), 10, vec![1, 2, 3]).unwrap();
+        assert_eq!(server.poll().unwrap(), 0);
+    }
+
+    #[test]
+    fn dead_owner_fails_fast() {
+        let rack = Rack::new(RackConfig::small_test());
+        let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
+        rack.faults().crash_node(NodeId(0), 0);
+        assert!(matches!(client.send(&get(1)), Err(SimError::NodeDown { .. })));
+    }
+
+    #[test]
+    fn closures_are_services() {
+        let rack = Rack::new(RackConfig::small_test());
+        let mut count = 0u64;
+        let mut server = DelegationServer::new(rack.node(0), 10, move |_req: &[u8]| {
+            count += 1;
+            count.to_le_bytes().to_vec()
+        });
+        let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
+        assert_eq!(call_stepped(&client, &mut server, b"x").unwrap(), 1u64.to_le_bytes());
+        assert_eq!(call_stepped(&client, &mut server, b"x").unwrap(), 2u64.to_le_bytes());
+    }
+}

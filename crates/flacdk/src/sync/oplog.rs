@@ -1,0 +1,267 @@
+//! Shared operation log in global memory.
+//!
+//! The operation log is the backbone of replication-based synchronization
+//! (§3.2), the file-system journal (§3.4), and log-replay recovery
+//! (§3.2 "Reliability"): appenders claim a slot with a fabric CAS on the
+//! tail, publish the payload with an explicit write-back, and then commit
+//! the slot with an atomic flag store. Readers poll the tail, invalidate,
+//! and read committed slots — no locks, no reliance on coherence.
+//!
+//! The log is a bounded ring: slots are reused after the head is advanced
+//! by garbage collection (only once every consumer is known to have
+//! applied past them).
+
+use crate::hw::GlobalCell;
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError, LINE_SIZE};
+
+/// Slot states.
+const EMPTY: u64 = 0;
+const COMMITTED: u64 = 1;
+
+/// A bounded, multi-producer shared operation log.
+///
+/// Copyable handle; all clones denote the same log region.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedOpLog {
+    tail: GlobalCell,
+    head: GlobalCell,
+    entries: GAddr,
+    capacity: u64,
+    entry_size: u64,
+}
+
+impl SharedOpLog {
+    /// Bytes of payload a slot of `entry_size` can hold.
+    pub fn payload_capacity(entry_size: usize) -> usize {
+        entry_size.saturating_sub(16)
+    }
+
+    /// Allocate a log of `capacity` slots of `entry_size` bytes each
+    /// (16 bytes of which are per-slot metadata).
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `entry_size < 24` or `entry_size`
+    /// is not 8-byte aligned.
+    pub fn alloc(global: &GlobalMemory, capacity: usize, entry_size: usize) -> Result<Self, SimError> {
+        assert!(capacity > 0, "log capacity must be positive");
+        assert!(entry_size >= 24, "entry size must hold metadata plus payload");
+        assert_eq!(entry_size % 8, 0, "entry size must be 8-byte aligned");
+        let tail = GlobalCell::alloc(global, 0)?;
+        let head = GlobalCell::alloc(global, 0)?;
+        let entries = global.alloc(capacity * entry_size, LINE_SIZE)?;
+        Ok(SharedOpLog { tail, head, entries, capacity: capacity as u64, entry_size: entry_size as u64 })
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn slot_addr(&self, idx: u64) -> GAddr {
+        self.entries.offset((idx % self.capacity) * self.entry_size)
+    }
+
+    /// Current tail (index one past the newest claimed entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn tail(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        self.tail.load(ctx)
+    }
+
+    /// Current head (oldest retained entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn head(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        self.head.load(ctx)
+    }
+
+    /// Append `payload`, returning the entry's index.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Protocol`] if `payload` exceeds the slot payload size
+    ///   or the ring is full (GC has not caught up).
+    /// * Memory errors are propagated.
+    pub fn append(&self, ctx: &NodeCtx, payload: &[u8]) -> Result<u64, SimError> {
+        if payload.len() > Self::payload_capacity(self.entry_size as usize) {
+            return Err(SimError::Protocol(format!(
+                "op of {} bytes exceeds slot payload capacity {}",
+                payload.len(),
+                Self::payload_capacity(self.entry_size as usize)
+            )));
+        }
+        // Claim a slot with CAS so we never claim past a full ring.
+        let idx = loop {
+            let tail = self.tail.load(ctx)?;
+            let head = self.head.load(ctx)?;
+            if tail - head >= self.capacity {
+                return Err(SimError::Protocol("operation log full; GC lagging".into()));
+            }
+            if self.tail.compare_exchange(ctx, tail, tail + 1)? == tail {
+                break tail;
+            }
+        };
+        let slot = self.slot_addr(idx);
+        // Publish payload then length, write back, then commit flag last.
+        ctx.write_u64(slot.offset(8), payload.len() as u64)?;
+        ctx.write(slot.offset(16), payload)?;
+        ctx.writeback(slot, 16 + payload.len());
+        ctx.store_uncached_u64(slot, COMMITTED)?;
+        Ok(idx)
+    }
+
+    /// Read entry `idx` if committed.
+    ///
+    /// Returns `Ok(None)` when the slot is claimed but not yet committed
+    /// (or was never claimed).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Protocol`] when `idx` has been garbage-collected or
+    ///   is past the tail.
+    /// * Memory errors are propagated.
+    pub fn read(&self, ctx: &NodeCtx, idx: u64) -> Result<Option<Vec<u8>>, SimError> {
+        let head = self.head.load(ctx)?;
+        let tail = self.tail.load(ctx)?;
+        if idx < head {
+            return Err(SimError::Protocol(format!("entry {idx} already collected (head {head})")));
+        }
+        if idx >= tail {
+            return Err(SimError::Protocol(format!("entry {idx} past tail {tail}")));
+        }
+        let slot = self.slot_addr(idx);
+        if ctx.load_uncached_u64(slot)? != COMMITTED {
+            return Ok(None);
+        }
+        ctx.invalidate(slot, self.entry_size as usize);
+        let len = ctx.read_u64(slot.offset(8))? as usize;
+        if len > Self::payload_capacity(self.entry_size as usize) {
+            return Err(SimError::Protocol(format!("corrupt length {len} in entry {idx}")));
+        }
+        let mut buf = vec![0u8; len];
+        ctx.read(slot.offset(16), &mut buf)?;
+        Ok(Some(buf))
+    }
+
+    /// Advance the head to `new_head`, releasing slots `[head, new_head)`
+    /// for reuse. The caller must guarantee every consumer has applied
+    /// entries below `new_head`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if `new_head` is behind the current head or
+    /// past the tail; memory errors are propagated.
+    pub fn advance_head(&self, ctx: &NodeCtx, new_head: u64) -> Result<(), SimError> {
+        let head = self.head.load(ctx)?;
+        let tail = self.tail.load(ctx)?;
+        if new_head < head || new_head > tail {
+            return Err(SimError::Protocol(format!(
+                "invalid head advance {head} -> {new_head} (tail {tail})"
+            )));
+        }
+        for idx in head..new_head {
+            ctx.store_uncached_u64(self.slot_addr(idx), EMPTY)?;
+        }
+        self.head.store(ctx, new_head)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn log(rack: &Rack, cap: usize) -> SharedOpLog {
+        SharedOpLog::alloc(rack.global(), cap, 64).unwrap()
+    }
+
+    #[test]
+    fn append_then_read_cross_node() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let l = log(&rack, 8);
+        let idx = l.append(&n0, b"hello-log").unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(l.read(&n1, idx).unwrap().unwrap(), b"hello-log");
+    }
+
+    #[test]
+    fn interleaved_appends_get_distinct_slots() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let l = log(&rack, 8);
+        let a = l.append(&n0, b"a").unwrap();
+        let b = l.append(&n1, b"b").unwrap();
+        let c = l.append(&n0, b"c").unwrap();
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(l.read(&n1, 0).unwrap().unwrap(), b"a");
+        assert_eq!(l.read(&n0, 1).unwrap().unwrap(), b"b");
+        assert_eq!(l.read(&n1, 2).unwrap().unwrap(), b"c");
+    }
+
+    #[test]
+    fn ring_fills_then_reuses_after_gc() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let l = log(&rack, 4);
+        for i in 0..4 {
+            l.append(&n0, &[i]).unwrap();
+        }
+        assert!(matches!(l.append(&n0, b"x"), Err(SimError::Protocol(_))), "ring full");
+        l.advance_head(&n0, 2).unwrap();
+        let idx = l.append(&n0, b"y").unwrap();
+        assert_eq!(idx, 4);
+        assert_eq!(l.read(&n0, 4).unwrap().unwrap(), b"y");
+        // Collected entries are gone.
+        assert!(l.read(&n0, 0).is_err());
+        // Uncollected survivors still readable.
+        assert_eq!(l.read(&n0, 2).unwrap().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let l = log(&rack, 4);
+        assert!(l.append(&n0, &[0u8; 64]).is_err());
+        assert!(l.append(&n0, &[0u8; 48]).is_ok(), "exactly payload capacity fits");
+    }
+
+    #[test]
+    fn read_past_tail_is_error_not_none() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let l = log(&rack, 4);
+        assert!(l.read(&n0, 0).is_err());
+    }
+
+    #[test]
+    fn invalid_head_advances_rejected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let l = log(&rack, 4);
+        l.append(&n0, b"a").unwrap();
+        l.advance_head(&n0, 1).unwrap();
+        assert!(l.advance_head(&n0, 0).is_err(), "backwards");
+        assert!(l.advance_head(&n0, 5).is_err(), "past tail");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let l = log(&rack, 4);
+        let idx = l.append(&n0, b"").unwrap();
+        assert_eq!(l.read(&n0, idx).unwrap().unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,189 @@
+//! Tiny binary encoding helpers shared by the operation log, delegation
+//! requests, RPC, and the redis-mini protocol glue.
+//!
+//! The format is deliberately trivial: little-endian fixed-width integers
+//! and length-prefixed byte strings. It exists so that every layer that
+//! ships bytes across the interconnect encodes them the same way and is
+//! testable in isolation.
+
+/// Incremental encoder producing a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Finish, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decoding error: the buffer was shorter than the requested field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// Bytes the failed read needed.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated buffer at offset {} (needed {} bytes)", self.at, self.needed)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor-style decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError { at: self.pos, needed: n });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("len 8")))
+    }
+
+    /// Read a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// FNV-1a 64-bit hash, used for keys and content hashes across the stack.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7).put_u32(123).put_u64(u64::MAX).put_bytes(b"abc").put_str("xyz");
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 123);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.bytes().unwrap(), b"abc");
+        assert_eq!(d.bytes().unwrap(), b"xyz");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_decode_fails_cleanly() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"hello");
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v[..6]);
+        let err = d.bytes().unwrap_err();
+        assert_eq!(err.at, 4);
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn empty_bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"");
+        assert!(!e.is_empty());
+        let v = e.into_vec();
+        assert_eq!(Decoder::new(&v).bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn fnv_distinguishes_and_is_stable() {
+        assert_eq!(fnv1a(b"flacos"), fnv1a(b"flacos"));
+        assert_ne!(fnv1a(b"flacos"), fnv1a(b"flacos!"));
+        assert_ne!(fnv1a(b""), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # flacos-fault — system-wide reliability (paper §3.6)
+//!
+//! The paper's thesis on reliability: hardening individual components is
+//! not enough; the system must manage *an application's entire state
+//! set* as one unit. Two mechanisms deliver that:
+//!
+//! * **Fault box** ([`fault_box`]) — a *vertical* consolidation of one
+//!   application's memory and status along its execution flow: page
+//!   table, execution context, communication buffers, stack, and heap.
+//!   The whole set can be checkpointed, recovered, or migrated at once,
+//!   so a memory fault in one application never propagates to others
+//!   and recovery touches exactly one box.
+//! * **Adaptive redundancy** ([`redundancy`]) — protection level chosen
+//!   per task criticality: periodic checkpointing, partial replication,
+//!   or n-modular execution.
+//!
+//! [`recovery`] orchestrates detection → isolation → recovery across a
+//! population of fault boxes and measures the blast radius, which the
+//! `figures -- faultbox` experiment reports.
+
+pub mod fault_box;
+pub mod recovery;
+pub mod redundancy;
+
+pub use fault_box::{FaultBox, FaultBoxBuilder};
+pub use recovery::{BlastReport, RecoveryOrchestrator};
+pub use redundancy::{Criticality, RedundancyPolicy};

@@ -1,0 +1,316 @@
+//! Adaptive redundancy: protection proportional to criticality.
+//!
+//! Paper §3.6: *"Based on user configuration and task criticality,
+//! FlacOS adaptively employs different degree of reliability methods,
+//! such as periodic check-pointing, partial replication, and n-modular
+//! execution."*
+
+use crate::fault_box::FaultBox;
+use flacdk::reliability::checkpoint::{Checkpoint, CheckpointManager};
+use rack_sim::{NodeCtx, SimError};
+use std::sync::Arc;
+
+/// How important a task is — drives the redundancy policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Criticality {
+    /// Best-effort: cheap periodic checkpoints.
+    Low,
+    /// Important: keep a live partial replica of hot state.
+    Medium,
+    /// Mission-critical: execute n-modular and vote.
+    High,
+}
+
+/// A concrete protection scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedundancyPolicy {
+    /// Checkpoint the fault box every `period_ns` of simulated time.
+    PeriodicCheckpoint {
+        /// Interval between checkpoints.
+        period_ns: u64,
+    },
+    /// Maintain `replicas` standby copies of the box's state.
+    PartialReplication {
+        /// Number of standby copies.
+        replicas: u32,
+    },
+    /// Execute `n` times and take the majority result.
+    NModular {
+        /// Number of executions (odd).
+        n: u32,
+    },
+}
+
+impl RedundancyPolicy {
+    /// The default policy for a criticality level.
+    pub fn for_criticality(c: Criticality) -> Self {
+        match c {
+            Criticality::Low => RedundancyPolicy::PeriodicCheckpoint { period_ns: 10_000_000 },
+            Criticality::Medium => RedundancyPolicy::PartialReplication { replicas: 1 },
+            Criticality::High => RedundancyPolicy::NModular { n: 3 },
+        }
+    }
+}
+
+/// Runtime protection state for one fault box.
+#[derive(Debug)]
+pub struct Protection {
+    policy: RedundancyPolicy,
+    checkpoints: CheckpointManager,
+    latest: Option<Checkpoint>,
+    replicas: Vec<Checkpoint>,
+    last_checkpoint_ns: u64,
+}
+
+impl Protection {
+    /// Protect a box under `policy`, using `checkpoints` for snapshot
+    /// storage.
+    pub fn new(policy: RedundancyPolicy, checkpoints: CheckpointManager) -> Self {
+        Protection { policy, checkpoints, latest: None, replicas: Vec::new(), last_checkpoint_ns: 0 }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RedundancyPolicy {
+        self.policy
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.latest.as_ref()
+    }
+
+    /// Standby replicas (partial replication).
+    pub fn replicas(&self) -> &[Checkpoint] {
+        &self.replicas
+    }
+
+    /// Run the policy's periodic work. For checkpoint policies this
+    /// captures when the period elapsed; for replication it refreshes
+    /// every standby copy. Returns whether state was captured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors.
+    pub fn tick(&mut self, ctx: &Arc<NodeCtx>, fbox: &FaultBox) -> Result<bool, SimError> {
+        match self.policy {
+            RedundancyPolicy::PeriodicCheckpoint { period_ns } => {
+                let now = ctx.clock().now();
+                if self.latest.is_some() && now - self.last_checkpoint_ns < period_ns {
+                    return Ok(false);
+                }
+                self.capture_checkpoint(ctx, fbox)?;
+                Ok(true)
+            }
+            RedundancyPolicy::PartialReplication { replicas } => {
+                for old in self.replicas.drain(..) {
+                    self.checkpoints.discard(ctx, old);
+                }
+                for _ in 0..replicas {
+                    self.replicas.push(self.checkpoints.capture(ctx, &fbox.memory_objects())?);
+                }
+                // The first replica doubles as the restore source.
+                self.latest = self.replicas.first().cloned();
+                Ok(true)
+            }
+            RedundancyPolicy::NModular { .. } => Ok(false), // protection is execution-time
+        }
+    }
+
+    fn capture_checkpoint(&mut self, ctx: &Arc<NodeCtx>, fbox: &FaultBox) -> Result<(), SimError> {
+        let ckpt = self.checkpoints.capture(ctx, &fbox.memory_objects())?;
+        if let Some(old) = self.latest.replace(ckpt) {
+            self.checkpoints.discard(ctx, old);
+        }
+        self.last_checkpoint_ns = ctx.clock().now();
+        Ok(())
+    }
+
+    /// Capture protection state *now*, regardless of the periodic
+    /// schedule — used at explicit consistency points (after an
+    /// application commits important state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors.
+    pub fn force_capture(&mut self, ctx: &Arc<NodeCtx>, fbox: &FaultBox) -> Result<(), SimError> {
+        match self.policy {
+            RedundancyPolicy::PeriodicCheckpoint { .. } => self.capture_checkpoint(ctx, fbox),
+            RedundancyPolicy::PartialReplication { .. } => self.tick(ctx, fbox).map(|_| ()),
+            RedundancyPolicy::NModular { .. } => Ok(()),
+        }
+    }
+
+    /// Restore every object of `fbox` from the latest capture.
+    /// Returns restored byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when no capture exists; restore errors are
+    /// propagated.
+    pub fn restore_all(&self, ctx: &Arc<NodeCtx>, fbox: &FaultBox) -> Result<usize, SimError> {
+        let ckpt = self
+            .latest
+            .as_ref()
+            .ok_or_else(|| SimError::Protocol("no checkpoint to restore from".into()))?;
+        let mut total = 0;
+        for (id, _, _) in fbox.memory_objects() {
+            total += self.checkpoints.restore(ctx, ckpt, id)?;
+        }
+        Ok(total)
+    }
+
+    /// The checkpoint manager backing this protection.
+    pub fn checkpoints(&self) -> &CheckpointManager {
+        &self.checkpoints
+    }
+}
+
+/// Execute `f` `n` times and return the majority output (n-modular
+/// redundancy). `f` receives the execution index; a correct
+/// deterministic task ignores it, a faulty one may corrupt some runs.
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] when no output reaches a strict majority.
+pub fn nmr_execute(
+    n: u32,
+    mut f: impl FnMut(u32) -> Result<Vec<u8>, SimError>,
+) -> Result<Vec<u8>, SimError> {
+    let mut outputs: Vec<(Vec<u8>, u32)> = Vec::new();
+    for i in 0..n {
+        // A crashed replica (Err) simply casts no vote.
+        if let Ok(out) = f(i) {
+            if let Some(entry) = outputs.iter_mut().find(|(o, _)| *o == out) {
+                entry.1 += 1;
+            } else {
+                outputs.push((out, 1));
+            }
+        }
+    }
+    outputs
+        .into_iter()
+        .find(|(_, votes)| *votes * 2 > n)
+        .map(|(out, _)| out)
+        .ok_or_else(|| SimError::Protocol("n-modular execution: no majority".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_box::FaultBoxBuilder;
+    use flacdk::alloc::GlobalAllocator;
+    use flacdk::sync::rcu::EpochManager;
+    use flacos_mem::fault::FrameAllocator;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, FaultBox, CheckpointManager) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(64 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let frames = FrameAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let fbox = FaultBoxBuilder::new(1)
+            .stack_pages(1)
+            .heap_pages(1)
+            .build(&rack.node(0), rack.global(), alloc.clone(), &frames, epochs.clone())
+            .unwrap();
+        (rack, fbox, CheckpointManager::new(alloc, epochs))
+    }
+
+    #[test]
+    fn criticality_maps_to_policies() {
+        assert!(matches!(
+            RedundancyPolicy::for_criticality(Criticality::Low),
+            RedundancyPolicy::PeriodicCheckpoint { .. }
+        ));
+        assert!(matches!(
+            RedundancyPolicy::for_criticality(Criticality::Medium),
+            RedundancyPolicy::PartialReplication { replicas: 1 }
+        ));
+        assert!(matches!(
+            RedundancyPolicy::for_criticality(Criticality::High),
+            RedundancyPolicy::NModular { n: 3 }
+        ));
+        assert!(Criticality::Low < Criticality::High);
+    }
+
+    #[test]
+    fn periodic_checkpoint_respects_period() {
+        let (rack, fbox, cm) = setup();
+        let n0 = rack.node(0);
+        let mut p =
+            Protection::new(RedundancyPolicy::PeriodicCheckpoint { period_ns: 1_000_000 }, cm);
+        assert!(p.tick(&n0, &fbox).unwrap(), "first tick always captures");
+        assert!(!p.tick(&n0, &fbox).unwrap(), "inside the period");
+        n0.charge(2_000_000);
+        assert!(p.tick(&n0, &fbox).unwrap(), "period elapsed");
+        assert!(p.latest().is_some());
+    }
+
+    #[test]
+    fn checkpoint_then_restore_repairs_poisoned_heap() {
+        let (rack, fbox, cm) = setup();
+        let n0 = rack.node(0);
+        fbox.space().write(&n0, fbox.heap_va(0), b"precious").unwrap();
+        fbox.save_context(&n0, b"ctx").unwrap();
+        let mut p = Protection::new(RedundancyPolicy::PeriodicCheckpoint { period_ns: 1 }, cm);
+        p.tick(&n0, &fbox).unwrap();
+
+        // Poison the heap frame.
+        let (_, heap_addr, _) = fbox.memory_objects()[2];
+        rack.faults().poison_memory(rack.global(), heap_addr, 64, 0);
+
+        let restored = p.restore_all(&n0, &fbox).unwrap();
+        assert_eq!(restored, fbox.state_bytes());
+        let mut buf = [0u8; 8];
+        fbox.space().read(&n0, fbox.heap_va(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"precious");
+    }
+
+    #[test]
+    fn partial_replication_keeps_standbys() {
+        let (rack, fbox, cm) = setup();
+        let n0 = rack.node(0);
+        let mut p = Protection::new(RedundancyPolicy::PartialReplication { replicas: 2 }, cm);
+        p.tick(&n0, &fbox).unwrap();
+        assert_eq!(p.replicas().len(), 2);
+        // Refresh replaces, not accumulates.
+        p.tick(&n0, &fbox).unwrap();
+        assert_eq!(p.replicas().len(), 2);
+        assert!(p.latest().is_some());
+    }
+
+    #[test]
+    fn restore_without_capture_fails() {
+        let (rack, fbox, cm) = setup();
+        let p = Protection::new(RedundancyPolicy::NModular { n: 3 }, cm);
+        assert!(p.restore_all(&rack.node(0), &fbox).is_err());
+    }
+
+    #[test]
+    fn nmr_votes_out_a_corrupt_run() {
+        let out = nmr_execute(3, |i| {
+            Ok(if i == 1 { b"corrupt".to_vec() } else { b"correct".to_vec() })
+        })
+        .unwrap();
+        assert_eq!(out, b"correct");
+    }
+
+    #[test]
+    fn nmr_survives_a_crashed_run() {
+        let out = nmr_execute(3, |i| {
+            if i == 0 {
+                Err(SimError::Protocol("replica crashed".into()))
+            } else {
+                Ok(b"ok".to_vec())
+            }
+        })
+        .unwrap();
+        assert_eq!(out, b"ok");
+    }
+
+    #[test]
+    fn nmr_without_majority_fails() {
+        let result = nmr_execute(3, |i| Ok(vec![i as u8]));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! The rack-shared page cache.
+//!
+//! Paper §3.4: *"FlacOS places page cache into the global memory which
+//! enables all nodes to share a single page cache copy"* — cutting the
+//! rack-wide memory spent on duplicate file pages and turning the saved
+//! memory into extra cache capacity.
+//!
+//! Structure: an RCU radix tree (in global memory) maps a page key
+//! (`ino * PAGES_PER_FILE + page_index`) to the global frame holding the
+//! page. Updates are **multi-version**: a write publishes a brand-new
+//! frame and retires the old one, so concurrent readers on other nodes
+//! either see the complete old version or the complete new one — never a
+//! torn page — without any cross-node cache coherence. Dirty pages are
+//! tracked for the asynchronous [`crate::writeback::WritebackDaemon`].
+
+use flacdk::alloc::GlobalAllocator;
+use flacdk::sync::rcu::EpochManager;
+use flacdk::sync::reclaim::RetireList;
+use flacos_mem::PAGE_SIZE;
+use parking_lot::Mutex;
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Pages addressable per file (64 MiB files with 4 KiB pages).
+pub const PAGES_PER_FILE: u64 = 1 << 14;
+
+/// Cache behaviour counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Page lookups that found a cached frame.
+    pub hits: u64,
+    /// Page lookups that missed.
+    pub misses: u64,
+    /// Page versions published (writes + fills).
+    pub inserts: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+}
+
+/// The single, rack-shared page cache.
+#[derive(Debug)]
+pub struct SharedPageCache {
+    index: flacdk::ds::radix::RadixTree,
+    alloc: GlobalAllocator,
+    epochs: Arc<EpochManager>,
+    retired: RetireList,
+    dirty: Mutex<BTreeSet<u64>>,
+    resident: Mutex<BTreeSet<u64>>,
+    stats: Mutex<PageCacheStats>,
+}
+
+impl SharedPageCache {
+    /// Allocate the shared cache structures in `global`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(
+        global: &GlobalMemory,
+        alloc: GlobalAllocator,
+        epochs: Arc<EpochManager>,
+        retired: RetireList,
+    ) -> Result<Arc<Self>, SimError> {
+        Ok(Arc::new(SharedPageCache {
+            index: flacdk::ds::radix::RadixTree::alloc(global, 4)?,
+            alloc,
+            epochs,
+            retired,
+            dirty: Mutex::new(BTreeSet::new()),
+            resident: Mutex::new(BTreeSet::new()),
+            stats: Mutex::new(PageCacheStats::default()),
+        }))
+    }
+
+    /// The cache key for page `page_idx` of file `ino`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_idx` exceeds [`PAGES_PER_FILE`].
+    pub fn key(ino: u64, page_idx: u64) -> u64 {
+        assert!(page_idx < PAGES_PER_FILE, "page index {page_idx} exceeds per-file limit");
+        ino * PAGES_PER_FILE + page_idx
+    }
+
+    /// Look up the frame currently caching `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn lookup(&self, ctx: &Arc<NodeCtx>, key: u64) -> Result<Option<GAddr>, SimError> {
+        let guard = self.epochs.handle(ctx.clone()).read_lock()?;
+        let hit = self.index.get(ctx, &guard, key)?;
+        let mut stats = self.stats.lock();
+        if hit.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+        Ok(hit.map(GAddr))
+    }
+
+    /// Read the cached page `key` into `buf` (one full page).
+    /// Returns `false` on a cache miss (buf untouched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one page.
+    pub fn read_page(&self, ctx: &Arc<NodeCtx>, key: u64, buf: &mut [u8]) -> Result<bool, SimError> {
+        assert_eq!(buf.len(), PAGE_SIZE, "page cache reads whole pages");
+        let Some(frame) = self.lookup(ctx, key)? else {
+            return Ok(false);
+        };
+        ctx.invalidate(frame, PAGE_SIZE);
+        ctx.read(frame, buf)?;
+        Ok(true)
+    }
+
+    /// Publish `content` as the new version of page `key`, retiring any
+    /// previous version. Marks the page dirty unless `clean_fill` (a fill
+    /// from backing storage, already durable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is not exactly one page.
+    pub fn insert_page(
+        &self,
+        ctx: &Arc<NodeCtx>,
+        key: u64,
+        content: &[u8],
+        clean_fill: bool,
+    ) -> Result<GAddr, SimError> {
+        assert_eq!(content.len(), PAGE_SIZE, "page cache stores whole pages");
+        let frame = self.alloc.alloc(ctx, PAGE_SIZE)?;
+        ctx.write(frame, content)?;
+        ctx.writeback(frame, PAGE_SIZE);
+        let old = self.index.insert(ctx, &self.alloc, &self.epochs, &self.retired, key, frame.0)?;
+        if let Some(old_frame) = old {
+            let epoch = self.epochs.current(ctx)?;
+            self.retired.retire(GAddr(old_frame), PAGE_SIZE, epoch);
+        }
+        self.resident.lock().insert(key);
+        if !clean_fill {
+            self.dirty.lock().insert(key);
+        }
+        self.stats.lock().inserts += 1;
+        Ok(frame)
+    }
+
+    /// Read-modify-write `len = data.len()` bytes at `offset` within page
+    /// `key`, publishing a new version (multi-version update).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if the write exceeds the page; memory
+    /// errors are propagated.
+    pub fn write_in_page(
+        &self,
+        ctx: &Arc<NodeCtx>,
+        key: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), SimError> {
+        if offset + data.len() > PAGE_SIZE {
+            return Err(SimError::Protocol(format!(
+                "write of {} bytes at offset {offset} exceeds page",
+                data.len()
+            )));
+        }
+        let mut content = vec![0u8; PAGE_SIZE];
+        self.read_page(ctx, key, &mut content)?; // miss leaves zeros (sparse)
+        content[offset..offset + data.len()].copy_from_slice(data);
+        self.insert_page(ctx, key, &content, false)?;
+        Ok(())
+    }
+
+    /// Evict a **clean** page, freeing its frame (via retire, so readers
+    /// mid-access stay safe).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if the page is dirty or absent.
+    pub fn evict(&self, ctx: &Arc<NodeCtx>, key: u64) -> Result<(), SimError> {
+        if self.dirty.lock().contains(&key) {
+            return Err(SimError::Protocol(format!("cannot evict dirty page {key}")));
+        }
+        let old = self.index.remove(ctx, &self.alloc, &self.epochs, &self.retired, key)?;
+        let Some(frame) = old else {
+            return Err(SimError::Protocol(format!("evict of non-resident page {key}")));
+        };
+        let epoch = self.epochs.current(ctx)?;
+        self.retired.retire(GAddr(frame), PAGE_SIZE, epoch);
+        self.resident.lock().remove(&key);
+        self.stats.lock().evictions += 1;
+        Ok(())
+    }
+
+    /// Take up to `max` dirty keys for writeback (they are marked clean;
+    /// the caller must persist them or re-mark them dirty).
+    pub fn take_dirty(&self, max: usize) -> Vec<u64> {
+        let mut dirty = self.dirty.lock();
+        let keys: Vec<u64> = dirty.iter().take(max).copied().collect();
+        for k in &keys {
+            dirty.remove(k);
+        }
+        keys
+    }
+
+    /// Re-mark a page dirty (writeback failed).
+    pub fn mark_dirty(&self, key: u64) {
+        self.dirty.lock().insert(key);
+    }
+
+    /// Number of dirty pages awaiting writeback.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.lock().len()
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.lock().len()
+    }
+
+    /// Bytes of global memory holding page content.
+    pub fn memory_bytes(&self) -> usize {
+        self.resident_pages() * PAGE_SIZE
+    }
+
+    /// Reclaim retired page versions and index nodes past the grace
+    /// period, returning their storage to the allocator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn reclaim(&self, ctx: &NodeCtx) -> Result<usize, SimError> {
+        self.retired.reclaim(ctx, &self.epochs, &self.alloc)
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> PageCacheStats {
+        *self.stats.lock()
+    }
+
+    /// The epoch manager readers synchronize on.
+    pub fn epochs(&self) -> &Arc<EpochManager> {
+        &self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, Arc<SharedPageCache>) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(64 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let cache =
+            SharedPageCache::alloc(rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        (rack, cache)
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PAGE_SIZE]
+    }
+
+    #[test]
+    fn single_copy_shared_across_nodes() {
+        let (rack, cache) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let key = SharedPageCache::key(2, 0);
+        let frame0 = cache.insert_page(&n0, key, &page(7), true).unwrap();
+        // Node 1 reads the very same frame — one copy rack-wide.
+        assert_eq!(cache.lookup(&n1, key).unwrap(), Some(frame0));
+        let mut buf = page(0);
+        assert!(cache.read_page(&n1, key, &mut buf).unwrap());
+        assert_eq!(buf, page(7));
+        assert_eq!(cache.resident_pages(), 1);
+        assert_eq!(cache.memory_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn multi_version_write_is_never_torn() {
+        let (rack, cache) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let key = SharedPageCache::key(1, 3);
+        cache.insert_page(&n0, key, &page(1), true).unwrap();
+        // Reader on n1 caches the old version's frame address.
+        let old = cache.lookup(&n1, key).unwrap().unwrap();
+        // Writer publishes a new version.
+        cache.write_in_page(&n0, key, 0, &page(2)).unwrap();
+        let new = cache.lookup(&n1, key).unwrap().unwrap();
+        assert_ne!(old, new, "new version lives in a fresh frame");
+        let mut buf = page(0);
+        cache.read_page(&n1, key, &mut buf).unwrap();
+        assert_eq!(buf, page(2));
+    }
+
+    #[test]
+    fn partial_write_overlays_existing_content() {
+        let (rack, cache) = setup();
+        let n0 = rack.node(0);
+        let key = SharedPageCache::key(1, 0);
+        cache.insert_page(&n0, key, &page(5), true).unwrap();
+        cache.write_in_page(&n0, key, 100, b"hello").unwrap();
+        let mut buf = page(0);
+        cache.read_page(&n0, key, &mut buf).unwrap();
+        assert_eq!(&buf[100..105], b"hello");
+        assert_eq!(buf[99], 5);
+        assert_eq!(buf[105], 5);
+    }
+
+    #[test]
+    fn sparse_write_fills_zeros() {
+        let (rack, cache) = setup();
+        let n0 = rack.node(0);
+        let key = SharedPageCache::key(3, 1);
+        cache.write_in_page(&n0, key, 10, b"x").unwrap();
+        let mut buf = page(9);
+        cache.read_page(&n0, key, &mut buf).unwrap();
+        assert_eq!(buf[9], 0);
+        assert_eq!(buf[10], b'x');
+    }
+
+    #[test]
+    fn dirty_tracking_and_eviction_rules() {
+        let (rack, cache) = setup();
+        let n0 = rack.node(0);
+        let clean = SharedPageCache::key(1, 0);
+        let dirty = SharedPageCache::key(1, 1);
+        cache.insert_page(&n0, clean, &page(1), true).unwrap();
+        cache.insert_page(&n0, dirty, &page(2), false).unwrap();
+        assert_eq!(cache.dirty_pages(), 1);
+        assert!(cache.evict(&n0, dirty).is_err(), "dirty pages cannot be evicted");
+        cache.evict(&n0, clean).unwrap();
+        assert_eq!(cache.resident_pages(), 1);
+        assert!(cache.evict(&n0, clean).is_err(), "double evict");
+        // Reclaim returns the evicted frame to the allocator.
+        assert!(cache.reclaim(&n0).unwrap() >= 1);
+    }
+
+    #[test]
+    fn take_dirty_drains_in_batches() {
+        let (rack, cache) = setup();
+        let n0 = rack.node(0);
+        for i in 0..5 {
+            cache.insert_page(&n0, SharedPageCache::key(1, i), &page(i as u8), false).unwrap();
+        }
+        let first = cache.take_dirty(3);
+        assert_eq!(first.len(), 3);
+        let rest = cache.take_dirty(10);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(cache.dirty_pages(), 0);
+        cache.mark_dirty(first[0]);
+        assert_eq!(cache.dirty_pages(), 1);
+    }
+
+    #[test]
+    fn out_of_page_write_rejected() {
+        let (rack, cache) = setup();
+        let n0 = rack.node(0);
+        let key = SharedPageCache::key(1, 0);
+        assert!(cache.write_in_page(&n0, key, PAGE_SIZE - 2, b"abc").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-file limit")]
+    fn oversized_page_index_panics() {
+        SharedPageCache::key(1, PAGES_PER_FILE);
+    }
+}

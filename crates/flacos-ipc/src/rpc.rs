@@ -1,0 +1,209 @@
+//! Migration-based RPC over shared code contexts.
+//!
+//! Paper §3.5: *"FlacOS optimizes RPC through thread migration model,
+//! where the client invokes the server code by switching address space
+//! without switching the thread. To enhance efficiency and flexibility,
+//! FlacOS places the invoked service code context within shared memory
+//! for the efficient sharing of RPC services among nodes."*
+//!
+//! In this simulation the [`RpcRegistry`] is the shared code context
+//! table: any node can resolve a service id and execute the service *on
+//! its own thread*, paying an address-space-switch cost instead of a
+//! thread switch or a network round-trip. Service state must live in
+//! global memory (services receive the caller's [`NodeCtx`]), which is
+//! what makes the context valid from every node — and what enables fast
+//! scale-out and snapshot-based thread creation ([`RpcRegistry::snapshot`]).
+
+use parking_lot::RwLock;
+use rack_sim::{NodeCtx, SimError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A service whose code context is shared rack-wide. State it touches
+/// must live in global memory (accessed through the caller's `ctx`).
+pub trait RpcService: Send + Sync {
+    /// Execute one call on the *caller's* thread.
+    fn invoke(&self, ctx: &NodeCtx, args: &[u8]) -> Result<Vec<u8>, SimError>;
+}
+
+impl<F> RpcService for F
+where
+    F: Fn(&NodeCtx, &[u8]) -> Result<Vec<u8>, SimError> + Send + Sync,
+{
+    fn invoke(&self, ctx: &NodeCtx, args: &[u8]) -> Result<Vec<u8>, SimError> {
+        self(ctx, args)
+    }
+}
+
+/// Cost of switching into/out of a service address space (page-table
+/// base swap + TLB tax), charged on each side of a call.
+pub const AS_SWITCH_NS: u64 = 180;
+
+/// The shared code-context table.
+#[derive(Debug, Default)]
+pub struct RpcRegistry {
+    services: RwLock<HashMap<u64, Arc<dyn RpcService>>>,
+    calls: AtomicU64,
+}
+
+impl std::fmt::Debug for dyn RpcService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RpcService")
+    }
+}
+
+impl RpcRegistry {
+    /// An empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Publish a service context under `id` (replaces any previous one).
+    pub fn register(&self, id: u64, service: Arc<dyn RpcService>) {
+        self.services.write().insert(id, service);
+    }
+
+    /// Remove a service context.
+    pub fn unregister(&self, id: u64) {
+        self.services.write().remove(&id);
+    }
+
+    /// Number of registered contexts.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Whether no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+
+    /// Total calls served through this registry.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Migration-based call: switch into the service context on the
+    /// caller's thread, run it, switch back. No messaging, no thread
+    /// hand-off.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for unknown service ids; service errors
+    /// are propagated.
+    pub fn call(&self, ctx: &NodeCtx, id: u64, args: &[u8]) -> Result<Vec<u8>, SimError> {
+        let service = self
+            .services
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SimError::Protocol(format!("unknown RPC service {id}")))?;
+        ctx.charge(AS_SWITCH_NS);
+        let result = service.invoke(ctx, args);
+        ctx.charge(AS_SWITCH_NS);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Snapshot a service context for fast replica creation (the §3.5
+    /// "thread runtime snapshot"): the shared context is reference-
+    /// counted, so a snapshot is O(1) and the clone can be registered
+    /// under a new id for scale-out.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] for unknown service ids.
+    pub fn snapshot(&self, id: u64) -> Result<Arc<dyn RpcService>, SimError> {
+        self.services
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SimError::Protocol(format!("unknown RPC service {id}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flacdk::hw::GlobalCell;
+    use rack_sim::{Rack, RackConfig};
+
+    /// A counter service whose state lives in global memory, making the
+    /// context valid from any node.
+    struct CounterService {
+        cell: GlobalCell,
+    }
+
+    impl RpcService for CounterService {
+        fn invoke(&self, ctx: &NodeCtx, args: &[u8]) -> Result<Vec<u8>, SimError> {
+            let delta = u64::from_le_bytes(args.try_into().map_err(|_| {
+                SimError::Protocol("counter service wants 8-byte delta".into())
+            })?);
+            let prev = self.cell.fetch_add(ctx, delta)?;
+            Ok((prev + delta).to_le_bytes().to_vec())
+        }
+    }
+
+    #[test]
+    fn call_from_any_node_shares_state() {
+        let rack = Rack::new(RackConfig::small_test());
+        let reg = RpcRegistry::new();
+        let cell = GlobalCell::alloc(rack.global(), 0).unwrap();
+        reg.register(1, Arc::new(CounterService { cell }));
+
+        let r0 = reg.call(&rack.node(0), 1, &5u64.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(r0.try_into().unwrap()), 5);
+        // Same context, invoked from the other node, sees the state.
+        let r1 = reg.call(&rack.node(1), 1, &3u64.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(r1.try_into().unwrap()), 8);
+        assert_eq!(reg.calls(), 2);
+    }
+
+    #[test]
+    fn call_charges_as_switch_not_network() {
+        let rack = Rack::new(RackConfig::small_test());
+        let reg = RpcRegistry::new();
+        reg.register(2, Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![1])));
+        let n0 = rack.node(0);
+        let msgs_before = n0.stats().snapshot().messages_sent;
+        let t0 = n0.clock().now();
+        reg.call(&n0, 2, b"").unwrap();
+        assert_eq!(n0.stats().snapshot().messages_sent, msgs_before, "no messaging");
+        assert!(n0.clock().now() - t0 >= 2 * AS_SWITCH_NS);
+    }
+
+    #[test]
+    fn unknown_service_fails() {
+        let rack = Rack::new(RackConfig::small_test());
+        let reg = RpcRegistry::new();
+        assert!(reg.call(&rack.node(0), 99, b"").is_err());
+        assert!(reg.snapshot(99).is_err());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn snapshot_scaleout_shares_context() {
+        let rack = Rack::new(RackConfig::small_test());
+        let reg = RpcRegistry::new();
+        let cell = GlobalCell::alloc(rack.global(), 0).unwrap();
+        reg.register(1, Arc::new(CounterService { cell }));
+        // Scale out: snapshot and register a second instance id.
+        let snap = reg.snapshot(1).unwrap();
+        reg.register(2, snap);
+        assert_eq!(reg.len(), 2);
+        reg.call(&rack.node(0), 1, &1u64.to_le_bytes()).unwrap();
+        let via_clone = reg.call(&rack.node(1), 2, &1u64.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(via_clone.try_into().unwrap()), 2, "same backing state");
+    }
+
+    #[test]
+    fn unregister_removes_context() {
+        let rack = Rack::new(RackConfig::small_test());
+        let reg = RpcRegistry::new();
+        reg.register(5, Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![])));
+        assert_eq!(reg.len(), 1);
+        reg.unregister(5);
+        assert!(reg.call(&rack.node(0), 5, b"").is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Replicated socket metadata for naming and destination addressing.
+//!
+//! Paper §3.5 "Local data structures": *"Socket structures that maintain
+//! communication metadata are stored in the local memory. FlacOS employs
+//! the replication-based method to synchronize metadata across nodes to
+//! achieve fast and reliable connection establishment and destination
+//! addressing."*
+//!
+//! Each node holds a local replica of the name → endpoint table; binds
+//! and unbinds go through the shared op log. Lookups are node-local
+//! after a sync — connection establishment never round-trips a directory
+//! server, and the table survives any single node's failure (every node
+//! has a full replica plus the log is in global memory).
+
+use flacdk::ds::hashmap::ReplicatedKv;
+use flacdk::sync::replicated::ReplicatedLog;
+use flacdk::wire::{fnv1a, Decoder, Encoder};
+use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// Where a named service is reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketAddr {
+    /// Node hosting the listener.
+    pub node: NodeId,
+    /// Channel/listener identifier on that node.
+    pub channel: u64,
+}
+
+impl SocketAddr {
+    fn encode(self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.node.0 as u64).put_u64(self.channel);
+        e.into_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SimError> {
+        let mut d = Decoder::new(bytes);
+        let node = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
+        let channel = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
+        Ok(SocketAddr { node: NodeId(node as usize), channel })
+    }
+}
+
+/// A node's view of the rack-wide socket name table.
+#[derive(Debug)]
+pub struct SocketRegistry {
+    kv: ReplicatedKv,
+}
+
+impl SocketRegistry {
+    /// Allocate the shared log backing the registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc_shared(global: &GlobalMemory, nodes: usize) -> Result<Arc<ReplicatedLog>, SimError> {
+        ReplicatedKv::alloc_shared(global, nodes, 1024, 128)
+    }
+
+    /// This node's registry view.
+    pub fn new(shared: Arc<ReplicatedLog>, node: Arc<NodeCtx>) -> Self {
+        SocketRegistry { kv: ReplicatedKv::new(shared, node) }
+    }
+
+    /// Bind `name` to `addr` rack-wide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log errors.
+    pub fn bind(&mut self, name: &str, addr: SocketAddr) -> Result<(), SimError> {
+        self.kv.put(fnv1a(name.as_bytes()), &addr.encode())
+    }
+
+    /// Remove the binding for `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log errors.
+    pub fn unbind(&mut self, name: &str) -> Result<(), SimError> {
+        self.kv.del(fnv1a(name.as_bytes()))
+    }
+
+    /// Resolve `name` to its current address (node-local after sync).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log errors.
+    pub fn lookup(&mut self, name: &str) -> Result<Option<SocketAddr>, SimError> {
+        match self.kv.get(fnv1a(name.as_bytes()))? {
+            Some(bytes) => Ok(Some(SocketAddr::decode(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of live bindings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log errors.
+    pub fn len(&mut self) -> Result<usize, SimError> {
+        self.kv.len()
+    }
+
+    /// Whether no names are bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log errors.
+    pub fn is_empty(&mut self) -> Result<bool, SimError> {
+        self.kv.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, SocketRegistry, SocketRegistry) {
+        let rack = Rack::new(RackConfig::small_test());
+        let shared = SocketRegistry::alloc_shared(rack.global(), rack.node_count()).unwrap();
+        let r0 = SocketRegistry::new(shared.clone(), rack.node(0));
+        let r1 = SocketRegistry::new(shared, rack.node(1));
+        (rack, r0, r1)
+    }
+
+    #[test]
+    fn bind_on_one_node_resolve_on_another() {
+        let (_rack, mut r0, mut r1) = setup();
+        let addr = SocketAddr { node: NodeId(0), channel: 42 };
+        r0.bind("redis-server", addr).unwrap();
+        assert_eq!(r1.lookup("redis-server").unwrap(), Some(addr));
+        assert_eq!(r1.lookup("unknown").unwrap(), None);
+    }
+
+    #[test]
+    fn rebind_moves_the_service() {
+        let (_rack, mut r0, mut r1) = setup();
+        r0.bind("svc", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        // Service migrates to node 1.
+        r1.bind("svc", SocketAddr { node: NodeId(1), channel: 9 }).unwrap();
+        assert_eq!(
+            r0.lookup("svc").unwrap(),
+            Some(SocketAddr { node: NodeId(1), channel: 9 })
+        );
+        assert_eq!(r0.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn unbind_removes_everywhere() {
+        let (_rack, mut r0, mut r1) = setup();
+        r0.bind("tmp", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        r1.unbind("tmp").unwrap();
+        assert_eq!(r0.lookup("tmp").unwrap(), None);
+        assert!(r0.is_empty().unwrap());
+    }
+
+    #[test]
+    fn lookups_after_sync_are_local() {
+        let (_rack, mut r0, mut r1) = setup();
+        r0.bind("a", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        r1.lookup("a").unwrap(); // syncs
+        let before = r1.kv.shared().log().tail(&_rack.node(1)).unwrap();
+        // Further lookups only check the tail (no entry reads).
+        r1.lookup("a").unwrap();
+        let after = r1.kv.shared().log().tail(&_rack.node(1)).unwrap();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,325 @@
+//! A rack-shared address space over the heterogeneous page table.
+//!
+//! An [`AddressSpace`] couples an ASID with a [`PageTable`] stored in
+//! global memory, and provides byte-granular `read`/`write` that
+//! translate through the table — the software model of what the adapted
+//! MMUs of §3.3 do in hardware. Frames may live in the global pool
+//! (accessible from every node) or in one node's local memory (directly
+//! accessible only there; remote access is a protocol error surfaced to
+//! the caller, which is exactly the property fault boxes exploit to keep
+//! an application's state vertically consolidated).
+
+use crate::addr::{PhysFrame, VirtAddr, PAGE_SIZE};
+use crate::page_table::{PageTable, Pte};
+use flacdk::alloc::GlobalAllocator;
+use flacdk::sync::rcu::EpochManager;
+use flacdk::sync::reclaim::RetireList;
+use rack_sim::{GlobalMemory, NodeCtx, SimError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared address space: ASID + page table + accounting.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: u64,
+    table: PageTable,
+    mapped_pages: Arc<AtomicU64>,
+}
+
+impl AddressSpace {
+    /// Allocate an empty address space with identifier `asid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(
+        asid: u64,
+        global: &GlobalMemory,
+        alloc: GlobalAllocator,
+        epochs: Arc<EpochManager>,
+        retired: RetireList,
+    ) -> Result<Self, SimError> {
+        Ok(AddressSpace {
+            asid,
+            table: PageTable::alloc(global, alloc, epochs, retired)?,
+            mapped_pages: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// This space's ASID.
+    pub fn asid(&self) -> u64 {
+        self.asid
+    }
+
+    /// The shared page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages.load(Ordering::Relaxed)
+    }
+
+    /// Map `vpn` to `pte`, maintaining the mapped-page count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-table errors.
+    pub fn map(&self, ctx: &Arc<NodeCtx>, vpn: u64, pte: Pte) -> Result<Option<Pte>, SimError> {
+        let prev = self.table.map(ctx, vpn, pte)?;
+        if prev.is_none() {
+            self.mapped_pages.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(prev)
+    }
+
+    /// Unmap `vpn`, maintaining the mapped-page count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-table errors.
+    pub fn unmap(&self, ctx: &Arc<NodeCtx>, vpn: u64) -> Result<Option<Pte>, SimError> {
+        let prev = self.table.unmap(ctx, vpn)?;
+        if prev.is_some() {
+            self.mapped_pages.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(prev)
+    }
+
+    /// Translate a virtual address to its frame and mapping, if mapped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn translate(&self, ctx: &Arc<NodeCtx>, va: VirtAddr) -> Result<Option<Pte>, SimError> {
+        let guard = self.table.epochs().handle(ctx.clone()).read_lock()?;
+        self.table.walk(ctx, &guard, va.vpn())
+    }
+
+    /// Read bytes from a frame at a page offset (coherently: global
+    /// frames are invalidated before the read).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when reading another node's local frame.
+    pub fn read_frame(&self, ctx: &NodeCtx, frame: PhysFrame, buf: &mut [u8]) -> Result<(), SimError> {
+        match frame {
+            PhysFrame::Global(addr) => {
+                ctx.invalidate(addr, buf.len());
+                ctx.read(addr, buf)
+            }
+            PhysFrame::Local(node, addr) => {
+                if node != ctx.id() {
+                    return Err(SimError::Protocol(format!(
+                        "node {} cannot directly read {node}'s local frame",
+                        ctx.id()
+                    )));
+                }
+                ctx.local_read(addr, buf)
+            }
+        }
+    }
+
+    /// Write bytes into a frame (coherently: global frames are written
+    /// back so other nodes observe the update).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when writing another node's local frame.
+    pub fn write_frame(&self, ctx: &NodeCtx, frame: PhysFrame, buf: &[u8]) -> Result<(), SimError> {
+        match frame {
+            PhysFrame::Global(addr) => {
+                ctx.write(addr, buf)?;
+                ctx.writeback(addr, buf.len());
+                Ok(())
+            }
+            PhysFrame::Local(node, addr) => {
+                if node != ctx.id() {
+                    return Err(SimError::Protocol(format!(
+                        "node {} cannot directly write {node}'s local frame",
+                        ctx.id()
+                    )));
+                }
+                ctx.local_write(addr, buf)
+            }
+        }
+    }
+
+    fn for_each_page(
+        &self,
+        ctx: &Arc<NodeCtx>,
+        va: VirtAddr,
+        len: usize,
+        mut f: impl FnMut(&NodeCtx, PhysFrame, usize, usize, usize) -> Result<(), SimError>,
+    ) -> Result<(), SimError> {
+        let mut done = 0usize;
+        while done < len {
+            let cur = va.offset(done as u64);
+            let in_page = cur.page_offset();
+            let take = (PAGE_SIZE - in_page).min(len - done);
+            let pte = self.translate(ctx, cur)?.ok_or_else(|| {
+                SimError::Protocol(format!("unmapped address {cur} in asid {}", self.asid))
+            })?;
+            f(ctx, pte.frame, in_page, done, take)?;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes starting at virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on unmapped pages or foreign local frames.
+    pub fn read(&self, ctx: &Arc<NodeCtx>, va: VirtAddr, buf: &mut [u8]) -> Result<(), SimError> {
+        let mut out = vec![0u8; buf.len()];
+        self.for_each_page(ctx, va, buf.len(), |ctx, frame, in_page, done, take| {
+            let mut chunk = vec![0u8; take];
+            let frame_at = match frame {
+                PhysFrame::Global(a) => PhysFrame::Global(a.offset(in_page as u64)),
+                PhysFrame::Local(n, a) => PhysFrame::Local(n, rack_sim::LAddr(a.0 + in_page)),
+            };
+            self.read_frame(ctx, frame_at, &mut chunk)?;
+            out[done..done + take].copy_from_slice(&chunk);
+            Ok(())
+        })?;
+        buf.copy_from_slice(&out);
+        Ok(())
+    }
+
+    /// Write `buf` starting at virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on unmapped or read-only pages, or foreign
+    /// local frames.
+    pub fn write(&self, ctx: &Arc<NodeCtx>, va: VirtAddr, buf: &[u8]) -> Result<(), SimError> {
+        self.check_writable(ctx, va, buf.len())?;
+        self.for_each_page(ctx, va, buf.len(), |ctx, frame, in_page, done, take| {
+            let frame_at = match frame {
+                PhysFrame::Global(a) => PhysFrame::Global(a.offset(in_page as u64)),
+                PhysFrame::Local(n, a) => PhysFrame::Local(n, rack_sim::LAddr(a.0 + in_page)),
+            };
+            self.write_frame(ctx, frame_at, &buf[done..done + take])
+        })
+    }
+
+    fn check_writable(&self, ctx: &Arc<NodeCtx>, va: VirtAddr, len: usize) -> Result<(), SimError> {
+        let mut done = 0usize;
+        while done < len {
+            let cur = va.offset(done as u64);
+            let take = (PAGE_SIZE - cur.page_offset()).min(len - done);
+            if let Some(pte) = self.translate(ctx, cur)? {
+                if !pte.writable {
+                    return Err(SimError::Protocol(format!("write to read-only page at {cur}")));
+                }
+            }
+            done += take;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{GAddr, Rack, RackConfig};
+
+    fn setup() -> (Rack, AddressSpace) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(7, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        (rack, space)
+    }
+
+    fn map_global_page(rack: &Rack, space: &AddressSpace, vpn: u64, writable: bool) -> GAddr {
+        let frame = rack.global().alloc(PAGE_SIZE, PAGE_SIZE).unwrap();
+        space
+            .map(&rack.node(0), vpn, Pte { frame: PhysFrame::Global(frame), writable })
+            .unwrap();
+        frame
+    }
+
+    #[test]
+    fn cross_page_rw_roundtrip() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        map_global_page(&rack, &space, 0, true);
+        map_global_page(&rack, &space, 1, true);
+        assert_eq!(space.mapped_pages(), 2);
+
+        let data: Vec<u8> = (0..200).map(|i| (i % 251) as u8).collect();
+        let va = VirtAddr(PAGE_SIZE as u64 - 100); // straddles the page boundary
+        space.write(&n0, va, &data).unwrap();
+        let mut out = vec![0u8; 200];
+        space.read(&n0, va, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn other_node_sees_writes_through_shared_space() {
+        let (rack, space) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        map_global_page(&rack, &space, 4, true);
+        space.write(&n0, VirtAddr::from_vpn(4), b"shared-address-space").unwrap();
+        let mut out = vec![0u8; 20];
+        space.read(&n1, VirtAddr::from_vpn(4), &mut out).unwrap();
+        assert_eq!(&out, b"shared-address-space");
+    }
+
+    #[test]
+    fn unmapped_access_is_protocol_error() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        let mut buf = [0u8; 4];
+        assert!(space.read(&n0, VirtAddr(0), &mut buf).is_err());
+        assert!(space.write(&n0, VirtAddr(0), &buf).is_err());
+    }
+
+    #[test]
+    fn read_only_page_rejects_writes() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        map_global_page(&rack, &space, 2, false);
+        let mut buf = [0u8; 4];
+        assert!(space.read(&n0, VirtAddr::from_vpn(2), &mut buf).is_ok());
+        assert!(space.write(&n0, VirtAddr::from_vpn(2), &buf).is_err());
+    }
+
+    #[test]
+    fn foreign_local_frame_rejected() {
+        let (rack, space) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let local = rack_sim::LAddr(0);
+        space
+            .map(&n0, 3, Pte { frame: PhysFrame::Local(n0.id(), local), writable: true })
+            .unwrap();
+        let mut buf = [0u8; 4];
+        assert!(space.read(&n1, VirtAddr::from_vpn(3), &mut buf).is_err());
+    }
+
+    #[test]
+    fn unmap_accounts() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        map_global_page(&rack, &space, 9, true);
+        assert_eq!(space.mapped_pages(), 1);
+        assert!(space.unmap(&n0, 9).unwrap().is_some());
+        assert_eq!(space.mapped_pages(), 0);
+        assert!(space.unmap(&n0, 9).unwrap().is_none());
+        assert_eq!(space.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn translate_reports_mapping() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        let frame = map_global_page(&rack, &space, 5, true);
+        let pte = space.translate(&n0, VirtAddr::from_vpn(5).offset(123)).unwrap().unwrap();
+        assert_eq!(pte.frame, PhysFrame::Global(frame));
+        assert!(space.translate(&n0, VirtAddr::from_vpn(6)).unwrap().is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # flacos-mem — the FlacOS memory system (paper §3.3)
+//!
+//! Managing physical and virtual memory is the foundation FlacOS builds
+//! on to exploit rack-wide shared memory. The paper's partitioning rule:
+//!
+//! * **Shared heterogeneous page table** — page tables live in *global*
+//!   memory ([`page_table`], an RCU copy-on-write radix tree), so an
+//!   address space is visible to every node: processes can span nodes
+//!   and threads can migrate without page-table shipping. PTEs index
+//!   *both* local and global frames ([`addr::PhysFrame`]), unifying the
+//!   two into a single-level address space.
+//! * **Local control structures** — VMAs and the reverse map stay in
+//!   node-local memory ([`vma`]), synchronized in bulk, because they are
+//!   touched rarely and would be expensive to share.
+//!
+//! Supporting machinery: demand paging ([`fault`]), per-node TLBs with a
+//! rack-wide shootdown protocol ([`tlb`]), and content-based page
+//! deduplication ([`dedup`]) that underlies the shared page cache's
+//! single-copy property.
+
+pub mod addr;
+pub mod address_space;
+pub mod dedup;
+pub mod fault;
+pub mod page_table;
+pub mod tlb;
+pub mod vma;
+
+pub use addr::{PhysFrame, VirtAddr, PAGE_SIZE};
+pub use address_space::AddressSpace;
+pub use dedup::PageDeduper;
+pub use fault::{PageFaultHandler, PagePlacement};
+pub use page_table::{PageTable, Pte};
+pub use tlb::{Tlb, TlbStats};
+pub use vma::{Vma, VmaSet};

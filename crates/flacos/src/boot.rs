@@ -1,0 +1,122 @@
+//! Rack bootstrapping: the hardware description table in shared memory.
+//!
+//! Paper §5 "System Bootstrapping": *"data structures holding hardware
+//! description, such as memory topology and bus hierarchy, can be stored
+//! in shared memory to advertise available hardware resources to FlacOS
+//! via FDT or ACPI."* The [`BootTable`] is that FDT-analogue: the first
+//! node to boot publishes the rack's shape at a well-known location;
+//! every other node discovers the hardware by reading it — no per-node
+//! firmware configuration.
+
+use flacdk::hw;
+use rack_sim::{GAddr, NodeCtx, RackConfig, SimError};
+
+/// Magic tag identifying a valid boot table.
+const BOOT_MAGIC: u64 = 0xF1AC_05B0_07AB_1E00;
+/// Serialized size of the table.
+pub const BOOT_TABLE_BYTES: usize = 64;
+
+/// The rack's hardware self-description, as published in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootTable {
+    /// Number of nodes in the rack.
+    pub nodes: u64,
+    /// Cores per node.
+    pub cores_per_node: u64,
+    /// Global memory pool size in bytes.
+    pub global_mem_bytes: u64,
+    /// Per-node local memory in bytes.
+    pub local_mem_bytes: u64,
+    /// Interconnect load latency (identifies the fabric generation).
+    pub fabric_read_ns: u64,
+}
+
+impl BootTable {
+    /// Build the table describing `config`.
+    pub fn describe(config: &RackConfig) -> Self {
+        BootTable {
+            nodes: config.topology.nodes() as u64,
+            cores_per_node: config.topology.cores_per_node() as u64,
+            global_mem_bytes: config.global_mem_bytes as u64,
+            local_mem_bytes: config.local_mem_bytes as u64,
+            fabric_read_ns: config.latency.global_read_ns,
+        }
+    }
+
+    /// Publish the table at `addr` (the booting node's job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn publish(&self, ctx: &NodeCtx, addr: GAddr) -> Result<(), SimError> {
+        let mut bytes = [0u8; BOOT_TABLE_BYTES];
+        for (i, v) in [
+            BOOT_MAGIC,
+            self.nodes,
+            self.cores_per_node,
+            self.global_mem_bytes,
+            self.local_mem_bytes,
+            self.fabric_read_ns,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        hw::publish_bytes(ctx, addr, &bytes)
+    }
+
+    /// Discover the rack by reading the table at `addr` (every other
+    /// node's boot path).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] if no valid table is present.
+    pub fn discover(ctx: &NodeCtx, addr: GAddr) -> Result<Self, SimError> {
+        let mut bytes = [0u8; BOOT_TABLE_BYTES];
+        hw::consume_bytes(ctx, addr, &mut bytes)?;
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8"));
+        if word(0) != BOOT_MAGIC {
+            return Err(SimError::Protocol("no boot table at this address".into()));
+        }
+        Ok(BootTable {
+            nodes: word(1),
+            cores_per_node: word(2),
+            global_mem_bytes: word(3),
+            local_mem_bytes: word(4),
+            fabric_read_ns: word(5),
+        })
+    }
+
+    /// Total cores the table advertises.
+    pub fn total_cores(&self) -> u64 {
+        self.nodes * self.cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::Rack;
+
+    #[test]
+    fn publish_then_discover_cross_node() {
+        let config = RackConfig::two_node_hccs();
+        let rack = Rack::new(config.clone());
+        let addr = rack.global().alloc(BOOT_TABLE_BYTES, 64).unwrap();
+        let table = BootTable::describe(&config);
+        table.publish(&rack.node(0), addr).unwrap();
+
+        let found = BootTable::discover(&rack.node(1), addr).unwrap();
+        assert_eq!(found, table);
+        assert_eq!(found.total_cores(), 640);
+        assert_eq!(found.fabric_read_ns, config.latency.global_read_ns);
+    }
+
+    #[test]
+    fn missing_table_is_detected() {
+        let rack = Rack::new(RackConfig::small_test());
+        let addr = rack.global().alloc(BOOT_TABLE_BYTES, 64).unwrap();
+        assert!(BootTable::discover(&rack.node(0), addr).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Rack-wide interrupts — the software form of the paper's §5 open
+//! challenge.
+//!
+//! §5 names three interrupt capabilities today's memory interconnects
+//! lack: cross-node **IPI**, **mwait**-style wake-on-memory-write, and
+//! rack-wide **interrupt routing** (`irq_balance` across nodes). Until
+//! hardware provides them, FlacOS implements all three over what the
+//! fabric *does* offer — messaging and polled global memory — which is
+//! exactly the workaround the paper anticipates:
+//!
+//! * [`RackIpi::send`] / [`RackIpi::poll`] — doorbell IPIs over the
+//!   interconnect message fabric.
+//! * [`mwait`] — wait for a [`GlobalCell`] to change value, with an
+//!   explicit polling cost model (each poll is one fabric read).
+//! * [`RackIpi::route_external`] — deliver an external device interrupt
+//!   to the least-loaded live node via the shared scheduler state.
+
+use crate::scheduler::RackScheduler;
+use flacdk::hw::GlobalCell;
+use rack_sim::{NodeCtx, NodeId, SimError};
+
+/// Fabric port reserved for inter-processor interrupts.
+pub const IPI_PORT: u16 = 9100;
+
+/// A delivered inter-processor interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipi {
+    /// Sending node.
+    pub from: NodeId,
+    /// Interrupt vector.
+    pub vector: u32,
+}
+
+/// Rack-wide IPI facility. Stateless; all state is in the fabric queues.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RackIpi;
+
+impl RackIpi {
+    /// A new facility handle.
+    pub fn new() -> Self {
+        RackIpi
+    }
+
+    /// Send interrupt `vector` to `target`. Returns the simulated
+    /// arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either endpoint is down or the link is severed.
+    pub fn send(&self, ctx: &NodeCtx, target: NodeId, vector: u32) -> Result<u64, SimError> {
+        ctx.send(target, IPI_PORT, vector.to_le_bytes().to_vec())
+    }
+
+    /// Poll for the next pending IPI on this node.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] when none is pending.
+    pub fn poll(&self, ctx: &NodeCtx) -> Result<Ipi, SimError> {
+        let msg = ctx.try_recv(IPI_PORT)?;
+        let vector = msg
+            .payload
+            .get(..4)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| SimError::Protocol("malformed IPI".into()))?;
+        Ok(Ipi { from: msg.from, vector })
+    }
+
+    /// Pending IPIs on this node.
+    pub fn pending(&self, ctx: &NodeCtx) -> usize {
+        ctx.pending(IPI_PORT)
+    }
+
+    /// Route an external (device) interrupt to the least-loaded live
+    /// node — rack-wide `irq_balance`. Returns the chosen node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement and fabric errors.
+    pub fn route_external(
+        &self,
+        ctx: &NodeCtx,
+        scheduler: &RackScheduler,
+        alive: impl Fn(NodeId) -> bool,
+        vector: u32,
+    ) -> Result<NodeId, SimError> {
+        let target = scheduler.place(ctx, alive)?;
+        if target == ctx.id() {
+            // Local delivery: enqueue to ourselves (zero-hop doorbell).
+            ctx.send(target, IPI_PORT, vector.to_le_bytes().to_vec())?;
+        } else {
+            self.send(ctx, target, vector)?;
+        }
+        Ok(target)
+    }
+}
+
+/// Wait for `cell` to change away from `old` — the software analogue of
+/// `monitor`/`mwait` on global memory. Each poll costs one fabric read
+/// plus `poll_interval_ns` of idle time; gives up after `max_polls`.
+///
+/// Returns the observed new value.
+///
+/// # Errors
+///
+/// [`SimError::WouldBlock`] if the value never changed within the poll
+/// budget; memory errors are propagated.
+pub fn mwait(
+    ctx: &NodeCtx,
+    cell: &GlobalCell,
+    old: u64,
+    poll_interval_ns: u64,
+    max_polls: u64,
+) -> Result<u64, SimError> {
+    for _ in 0..max_polls {
+        let v = cell.load(ctx)?;
+        if v != old {
+            return Ok(v);
+        }
+        ctx.charge(poll_interval_ns);
+    }
+    Err(SimError::WouldBlock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn ipi_roundtrip_between_nodes() {
+        let rack = Rack::new(RackConfig::small_test());
+        let ipi = RackIpi::new();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        ipi.send(&n0, n1.id(), 0x42).unwrap();
+        assert_eq!(ipi.pending(&n1), 1);
+        let got = ipi.poll(&n1).unwrap();
+        assert_eq!(got, Ipi { from: n0.id(), vector: 0x42 });
+        assert!(matches!(ipi.poll(&n1), Err(SimError::WouldBlock)));
+    }
+
+    #[test]
+    fn ipi_to_dead_node_fails() {
+        let rack = Rack::new(RackConfig::small_test());
+        let ipi = RackIpi::new();
+        rack.faults().crash_node(NodeId(1), 0);
+        assert!(matches!(
+            ipi.send(&rack.node(0), NodeId(1), 1),
+            Err(SimError::NodeDown { .. })
+        ));
+    }
+
+    #[test]
+    fn mwait_wakes_on_remote_store() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let cell = GlobalCell::alloc(rack.global(), 0).unwrap();
+
+        // No change: poll budget exhausts, charging idle time.
+        let t0 = n0.clock().now();
+        assert!(matches!(mwait(&n0, &cell, 0, 100, 5), Err(SimError::WouldBlock)));
+        assert!(n0.clock().now() - t0 >= 500);
+
+        // Another node stores: waiter observes the new value.
+        cell.store(&n1, 7).unwrap();
+        assert_eq!(mwait(&n0, &cell, 0, 100, 5).unwrap(), 7);
+    }
+
+    #[test]
+    fn external_interrupts_balance_across_nodes() {
+        let rack = Rack::new(RackConfig::n_node(3));
+        let sched = crate::scheduler::RackScheduler::alloc(rack.global(), 3).unwrap();
+        let ipi = RackIpi::new();
+        let n0 = rack.node(0);
+        // Load node 0 and node 1; the IRQ must land on node 2.
+        sched.task_started(&n0, NodeId(0)).unwrap();
+        sched.task_started(&n0, NodeId(1)).unwrap();
+        let target = ipi.route_external(&n0, &sched, |_| true, 9).unwrap();
+        assert_eq!(target, NodeId(2));
+        assert_eq!(ipi.poll(&rack.node(2)).unwrap().vector, 9);
+    }
+
+    #[test]
+    fn routing_skips_dead_nodes() {
+        let rack = Rack::new(RackConfig::n_node(2));
+        let sched = crate::scheduler::RackScheduler::alloc(rack.global(), 2).unwrap();
+        let ipi = RackIpi::new();
+        rack.faults().crash_node(NodeId(0), 0);
+        let n1 = rack.node(1);
+        let target = ipi
+            .route_external(&n1, &sched, |id| rack.is_alive(id), 3)
+            .unwrap();
+        assert_eq!(target, NodeId(1), "only live node");
+        assert_eq!(ipi.poll(&n1).unwrap().vector, 3);
+    }
+}

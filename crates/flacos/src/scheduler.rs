@@ -1,0 +1,166 @@
+//! Rack-wide scheduling over shared load state.
+//!
+//! Per-node run-queue lengths live in global memory cells, so any node
+//! can make a placement decision for the whole rack — the scheduling
+//! substrate the serverless control plane (paper §4.1) builds on. Load
+//! changes are fabric atomics; placement reads every cell (N nodes, N
+//! atomic loads — cheap at rack scale).
+
+use flacdk::hw::GlobalCell;
+use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// Shared run-queue lengths, one cell per node.
+#[derive(Debug)]
+pub struct RackScheduler {
+    load: Vec<GlobalCell>,
+}
+
+impl RackScheduler {
+    /// Allocate scheduler state for `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(global: &GlobalMemory, nodes: usize) -> Result<Arc<Self>, SimError> {
+        let load = (0..nodes)
+            .map(|_| GlobalCell::alloc(global, 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Arc::new(RackScheduler { load }))
+    }
+
+    /// Number of nodes under management.
+    pub fn nodes(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Record one more runnable task on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn task_started(&self, ctx: &NodeCtx, node: NodeId) -> Result<(), SimError> {
+        self.load[node.0].fetch_add(ctx, 1)?;
+        Ok(())
+    }
+
+    /// Record one task leaving `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn task_finished(&self, ctx: &NodeCtx, node: NodeId) -> Result<(), SimError> {
+        // Saturating decrement via CAS (fetch_sub could wrap below zero).
+        loop {
+            let cur = self.load[node.0].load(ctx)?;
+            if cur == 0 {
+                return Ok(());
+            }
+            if self.load[node.0].compare_exchange(ctx, cur, cur - 1)? == cur {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Current load of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn load_of(&self, ctx: &NodeCtx, node: NodeId) -> Result<u64, SimError> {
+        self.load[node.0].load(ctx)
+    }
+
+    /// Pick the least-loaded *live* node (ties break to the lowest id).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when every node is down.
+    pub fn place(&self, ctx: &NodeCtx, alive: impl Fn(NodeId) -> bool) -> Result<NodeId, SimError> {
+        let mut best: Option<(u64, NodeId)> = None;
+        for (i, cell) in self.load.iter().enumerate() {
+            let id = NodeId(i);
+            if !alive(id) {
+                continue;
+            }
+            let load = cell.load(ctx)?;
+            if best.map(|(b, _)| load < b).unwrap_or(true) {
+                best = Some((load, id));
+            }
+        }
+        best.map(|(_, id)| id).ok_or_else(|| SimError::Protocol("no live node to place on".into()))
+    }
+
+    /// Imbalance = max load − min load across live nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn imbalance(&self, ctx: &NodeCtx, alive: impl Fn(NodeId) -> bool) -> Result<u64, SimError> {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (i, cell) in self.load.iter().enumerate() {
+            if !alive(NodeId(i)) {
+                continue;
+            }
+            let l = cell.load(ctx)?;
+            min = min.min(l);
+            max = max.max(l);
+        }
+        Ok(if min == u64::MAX { 0 } else { max - min })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup(n: usize) -> (Rack, Arc<RackScheduler>) {
+        let rack = Rack::new(RackConfig::n_node(n));
+        let sched = RackScheduler::alloc(rack.global(), n).unwrap();
+        (rack, sched)
+    }
+
+    #[test]
+    fn placement_follows_load() {
+        let (rack, sched) = setup(3);
+        let n0 = rack.node(0);
+        sched.task_started(&n0, NodeId(0)).unwrap();
+        sched.task_started(&n0, NodeId(0)).unwrap();
+        sched.task_started(&n0, NodeId(1)).unwrap();
+        assert_eq!(sched.place(&n0, |_| true).unwrap(), NodeId(2));
+        sched.task_started(&n0, NodeId(2)).unwrap();
+        sched.task_started(&n0, NodeId(2)).unwrap();
+        assert_eq!(sched.place(&n0, |_| true).unwrap(), NodeId(1));
+        assert_eq!(sched.imbalance(&n0, |_| true).unwrap(), 1);
+    }
+
+    #[test]
+    fn finished_tasks_reduce_load_saturating() {
+        let (rack, sched) = setup(2);
+        let n0 = rack.node(0);
+        sched.task_started(&n0, NodeId(1)).unwrap();
+        sched.task_finished(&n0, NodeId(1)).unwrap();
+        sched.task_finished(&n0, NodeId(1)).unwrap(); // extra is harmless
+        assert_eq!(sched.load_of(&n0, NodeId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let (rack, sched) = setup(3);
+        let n1 = rack.node(1);
+        // Node 0 is empty but dead; placement must avoid it.
+        assert_eq!(sched.place(&n1, |id| id != NodeId(0)).unwrap(), NodeId(1));
+        assert!(sched.place(&n1, |_| false).is_err(), "nothing alive");
+    }
+
+    #[test]
+    fn decisions_visible_from_any_node() {
+        let (rack, sched) = setup(2);
+        sched.task_started(&rack.node(0), NodeId(0)).unwrap();
+        // Node 1 sees node 0's load without any synchronization work.
+        assert_eq!(sched.load_of(&rack.node(1), NodeId(0)).unwrap(), 1);
+        assert_eq!(sched.nodes(), 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! Per-node software cache over global memory — the *non-coherence* model.
+//!
+//! The memory interconnects the paper targets (§2.1) do not guarantee
+//! hardware cache coherence across nodes: a node's cached view of global
+//! memory goes stale when another node writes, and a node's own cached
+//! writes stay invisible to the rack until explicitly written back. This
+//! module models exactly that contract:
+//!
+//! * [`NodeCache::read`] serves cached lines **without revalidation** —
+//!   stale data is returned until the node invalidates.
+//! * [`NodeCache::write`] dirties cached lines locally; global memory is
+//!   only updated on [`NodeCache::writeback`]/[`NodeCache::flush`] or
+//!   capacity eviction.
+//! * Atomics (in [`crate::NodeCtx`]) bypass the cache entirely, matching
+//!   fabric-level atomics (CXL/libfam-atomic style).
+//!
+//! Cost accounting: every method returns the simulated nanoseconds the
+//! operation cost; the owning [`crate::NodeCtx`] charges its clock.
+
+use crate::error::SimError;
+use crate::latency::LatencyModel;
+use crate::memory::{GAddr, GlobalMemory};
+use std::collections::{HashMap, VecDeque};
+
+/// Cache line size in bytes, matching common ARM/x86 line sizes.
+pub const LINE_SIZE: usize = 64;
+
+/// Configuration of a node's cache over global memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of resident lines before LRU eviction.
+    pub max_lines: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 8 MiB of cached global memory per node by default.
+        CacheConfig { max_lines: 8 * 1024 * 1024 / LINE_SIZE }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    data: [u8; LINE_SIZE],
+    dirty: bool,
+    lru_tick: u64,
+}
+
+/// Counters describing cache behaviour, used by experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Line accesses served from the cache.
+    pub hits: u64,
+    /// Line accesses that had to fetch from global memory.
+    pub misses: u64,
+    /// Dirty lines written back (explicitly or by eviction).
+    pub writebacks: u64,
+    /// Lines dropped by invalidation.
+    pub invalidations: u64,
+    /// Lines evicted for capacity.
+    pub evictions: u64,
+}
+
+/// A single node's software-managed, non-coherent cache of global memory.
+#[derive(Debug)]
+pub struct NodeCache {
+    lines: HashMap<u64, Line>,
+    config: CacheConfig,
+    tick: u64,
+    stats: CacheStats,
+    /// Approximate-LRU eviction queue: (line id, tick at enqueue).
+    /// Entries are lazily revalidated at pop time, giving amortized
+    /// O(1) eviction.
+    lru_queue: VecDeque<(u64, u64)>,
+}
+
+impl NodeCache {
+    /// An empty cache with the given capacity configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        NodeCache {
+            lines: HashMap::new(),
+            config,
+            tick: 0,
+            stats: CacheStats::default(),
+            lru_queue: VecDeque::new(),
+        }
+    }
+
+    /// Snapshot of the cache's behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn touch(&mut self, line_id: u64) {
+        self.tick += 1;
+        if let Some(l) = self.lines.get_mut(&line_id) {
+            l.lru_tick = self.tick;
+            self.lru_queue.push_back((line_id, self.tick));
+        }
+        // Bound the lazy queue: compact when it far outgrows the cache.
+        if self.lru_queue.len() > self.lines.len() * 4 + 64 {
+            let lines = &self.lines;
+            self.lru_queue.retain(|(id, t)| lines.get(id).map(|l| l.lru_tick == *t).unwrap_or(false));
+        }
+    }
+
+    /// Evict approximately-LRU lines until under capacity; dirty victims
+    /// are written back. Amortized O(1) per eviction via the lazy queue.
+    fn enforce_capacity(&mut self, global: &GlobalMemory, lat: &LatencyModel) -> u64 {
+        let mut cost = 0;
+        while self.lines.len() > self.config.max_lines {
+            let victim = loop {
+                match self.lru_queue.pop_front() {
+                    Some((id, t)) => {
+                        // Skip stale queue entries (line touched since, or gone).
+                        if self.lines.get(&id).map(|l| l.lru_tick == t).unwrap_or(false) {
+                            break Some(id);
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            // Fallback (queue exhausted): evict an arbitrary resident line.
+            let victim = match victim.or_else(|| self.lines.keys().next().copied()) {
+                Some(v) => v,
+                None => break,
+            };
+            let line = self.lines.remove(&victim).expect("present");
+            self.stats.evictions += 1;
+            if line.dirty {
+                // Best-effort eviction writeback; poisoned lines are dropped,
+                // mirroring hardware discarding a line it cannot store.
+                if global.write_bytes(GAddr(victim * LINE_SIZE as u64), &line.data).is_ok() {
+                    self.stats.writebacks += 1;
+                }
+                cost += lat.writeback_line_ns;
+            }
+        }
+        cost
+    }
+
+    /// Fetch one line. `first_miss` distinguishes the initial fabric
+    /// round-trip of a burst (full latency) from pipelined continuation
+    /// lines (bandwidth-limited only), modelling sequential-burst reads.
+    fn fetch_line(
+        &mut self,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+        line_id: u64,
+        first_miss: bool,
+    ) -> Result<u64, SimError> {
+        let mut data = [0u8; LINE_SIZE];
+        global.read_bytes(GAddr(line_id * LINE_SIZE as u64), &mut data)?;
+        self.tick += 1;
+        self.lines.insert(line_id, Line { data, dirty: false, lru_tick: self.tick });
+        self.lru_queue.push_back((line_id, self.tick));
+        self.stats.misses += 1;
+        let mut cost =
+            if first_miss { lat.global_read_ns } else { lat.transfer_ns(LINE_SIZE).max(1) };
+        cost += self.enforce_capacity(global, lat);
+        Ok(cost)
+    }
+
+    /// Read `buf.len()` bytes at `addr` through the cache.
+    ///
+    /// Cached lines are served as-is — **possibly stale** relative to
+    /// global memory. Returns the simulated cost in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-bounds/poison errors from line fills.
+    pub fn read(
+        &mut self,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+        addr: GAddr,
+        buf: &mut [u8],
+    ) -> Result<u64, SimError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut cost = 0u64;
+        let mut pos = 0usize;
+        let mut a = addr.0;
+        let mut missed = false;
+        while pos < buf.len() {
+            let line_id = a / LINE_SIZE as u64;
+            let in_line = (a % LINE_SIZE as u64) as usize;
+            let take = (LINE_SIZE - in_line).min(buf.len() - pos);
+            if self.lines.contains_key(&line_id) {
+                self.stats.hits += 1;
+                cost += lat.cache_hit_ns;
+                self.touch(line_id);
+            } else {
+                cost += self.fetch_line(global, lat, line_id, !missed)?;
+                missed = true;
+            }
+            let line = self.lines.get(&line_id).expect("just ensured");
+            buf[pos..pos + take].copy_from_slice(&line.data[in_line..in_line + take]);
+            pos += take;
+            a += take as u64;
+        }
+        Ok(cost)
+    }
+
+    /// Write `buf` at `addr` into the cache (write-allocate, write-back).
+    ///
+    /// The update is **not visible** to other nodes until written back.
+    /// Returns the simulated cost in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-bounds/poison errors from line fills.
+    pub fn write(
+        &mut self,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+        addr: GAddr,
+        buf: &[u8],
+    ) -> Result<u64, SimError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut cost = 0u64;
+        let mut pos = 0usize;
+        let mut a = addr.0;
+        let mut missed = false;
+        while pos < buf.len() {
+            let line_id = a / LINE_SIZE as u64;
+            let in_line = (a % LINE_SIZE as u64) as usize;
+            let take = (LINE_SIZE - in_line).min(buf.len() - pos);
+            if self.lines.contains_key(&line_id) {
+                self.stats.hits += 1;
+                cost += lat.cache_hit_ns;
+                self.touch(line_id);
+            } else if take == LINE_SIZE {
+                // Full-line write: allocate without fetching.
+                self.tick += 1;
+                self.lines.insert(
+                    line_id,
+                    Line { data: [0u8; LINE_SIZE], dirty: false, lru_tick: self.tick },
+                );
+                self.lru_queue.push_back((line_id, self.tick));
+                cost += lat.cache_hit_ns;
+                cost += self.enforce_capacity(global, lat);
+            } else {
+                cost += self.fetch_line(global, lat, line_id, !missed)?;
+                missed = true;
+            }
+            let line = self.lines.get_mut(&line_id).expect("just ensured");
+            line.data[in_line..in_line + take].copy_from_slice(&buf[pos..pos + take]);
+            line.dirty = true;
+            pos += take;
+            a += take as u64;
+        }
+        Ok(cost)
+    }
+
+    fn line_range(addr: GAddr, len: usize) -> std::ops::RangeInclusive<u64> {
+        let first = addr.0 / LINE_SIZE as u64;
+        let last = (addr.0 + len.max(1) as u64 - 1) / LINE_SIZE as u64;
+        first..=last
+    }
+
+    /// Write back (but keep cached) any dirty lines covering `[addr, addr+len)`.
+    /// Returns the simulated cost.
+    pub fn writeback(
+        &mut self,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+        addr: GAddr,
+        len: usize,
+    ) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut cost = 0;
+        let mut first = true;
+        for line_id in Self::line_range(addr, len) {
+            if let Some(line) = self.lines.get_mut(&line_id) {
+                if line.dirty {
+                    if global.write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data).is_ok() {
+                        line.dirty = false;
+                        self.stats.writebacks += 1;
+                    }
+                    // Burst model: full latency for the first line of the
+                    // range, bandwidth-limited for the rest.
+                    cost += if first { lat.writeback_line_ns } else { lat.transfer_ns(LINE_SIZE).max(1) };
+                    first = false;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Drop cached lines covering `[addr, addr+len)`. Dirty data that was
+    /// not written back first is **discarded**, as with a hardware
+    /// invalidate instruction. Returns the simulated cost.
+    pub fn invalidate(&mut self, lat: &LatencyModel, addr: GAddr, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut cost = 0;
+        let mut first = true;
+        for line_id in Self::line_range(addr, len) {
+            if self.lines.remove(&line_id).is_some() {
+                self.stats.invalidations += 1;
+                // Invalidation is local bookkeeping: one instruction's
+                // latency up front, then ~2 ns per additional line.
+                cost += if first { lat.invalidate_line_ns } else { 2 };
+                first = false;
+            }
+        }
+        cost
+    }
+
+    /// Write back then invalidate `[addr, addr+len)` (clean+invalidate).
+    pub fn flush(
+        &mut self,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+        addr: GAddr,
+        len: usize,
+    ) -> u64 {
+        self.writeback(global, lat, addr, len) + self.invalidate(lat, addr, len)
+    }
+
+    /// Write back every dirty line and drop the whole cache.
+    pub fn flush_all(&mut self, global: &GlobalMemory, lat: &LatencyModel) -> u64 {
+        let mut cost = 0;
+        let ids: Vec<u64> = self.lines.keys().copied().collect();
+        for line_id in ids {
+            let line = self.lines.remove(&line_id).expect("present");
+            if line.dirty {
+                if global.write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data).is_ok() {
+                    self.stats.writebacks += 1;
+                }
+                cost += lat.writeback_line_ns;
+            }
+            self.stats.invalidations += 1;
+            cost += lat.invalidate_line_ns;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GlobalMemory, NodeCache, NodeCache, LatencyModel) {
+        let g = GlobalMemory::new(4096);
+        let lat = LatencyModel::hccs();
+        (g, NodeCache::new(CacheConfig::default()), NodeCache::new(CacheConfig::default()), lat)
+    }
+
+    #[test]
+    fn cached_write_invisible_until_writeback() {
+        let (g, mut c0, mut c1, lat) = setup();
+        let a = g.alloc(8, 8).unwrap();
+        c0.write(&g, &lat, a, &[1; 8]).unwrap();
+        // Node 1 reads directly: still zero.
+        let mut buf = [9u8; 8];
+        c1.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "write must be invisible before writeback");
+        c0.writeback(&g, &lat, a, 8);
+        // Node 1 has the line cached and stale; invalidate then read.
+        c1.invalidate(&lat, a, 8);
+        c1.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8]);
+    }
+
+    #[test]
+    fn stale_reads_until_invalidate() {
+        let (g, mut c0, mut c1, lat) = setup();
+        let a = g.alloc(8, 8).unwrap();
+        let mut buf = [0u8; 8];
+        c1.read(&g, &lat, a, &mut buf).unwrap(); // c1 caches the zero line
+        c0.write(&g, &lat, a, &[7; 8]).unwrap();
+        c0.flush(&g, &lat, a, 8);
+        c1.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "stale cached value served before invalidate");
+        c1.invalidate(&lat, a, 8);
+        c1.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(buf, [7; 8]);
+    }
+
+    #[test]
+    fn own_writes_read_back() {
+        let (g, mut c0, _, lat) = setup();
+        let a = g.alloc(128, 64).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        c0.write(&g, &lat, a, &data).unwrap();
+        let mut out = vec![0u8; 100];
+        c0.read(&g, &lat, a, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_data() {
+        let (g, mut c0, _, lat) = setup();
+        let a = g.alloc(8, 8).unwrap();
+        c0.write(&g, &lat, a, &[5; 8]).unwrap();
+        c0.invalidate(&lat, a, 8);
+        let mut buf = [0u8; 8];
+        c0.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "dirty data dropped by invalidate");
+    }
+
+    #[test]
+    fn costs_distinguish_hit_and_miss() {
+        let (g, mut c0, _, lat) = setup();
+        let a = g.alloc(8, 8).unwrap();
+        let mut buf = [0u8; 8];
+        let miss = c0.read(&g, &lat, a, &mut buf).unwrap();
+        let hit = c0.read(&g, &lat, a, &mut buf).unwrap();
+        assert_eq!(miss, lat.global_read_ns);
+        assert_eq!(hit, lat.cache_hit_ns);
+        assert_eq!(c0.stats().misses, 1);
+        assert_eq!(c0.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back_dirty_victims() {
+        let g = GlobalMemory::new(LINE_SIZE * 16);
+        let lat = LatencyModel::hccs();
+        let mut c = NodeCache::new(CacheConfig { max_lines: 2 });
+        // Dirty three distinct lines; first should be evicted + written back.
+        for i in 0..3u64 {
+            c.write(&g, &lat, GAddr(i * LINE_SIZE as u64), &[i as u8 + 1; LINE_SIZE]).unwrap();
+        }
+        assert_eq!(c.resident_lines(), 2);
+        assert!(c.stats().evictions >= 1);
+        let mut buf = [0u8; 1];
+        g.read_bytes(GAddr(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "evicted dirty line landed in global memory");
+    }
+
+    #[test]
+    fn flush_all_empties_cache() {
+        let (g, mut c0, _, lat) = setup();
+        c0.write(&g, &lat, GAddr(0), &[1; 256]).unwrap();
+        assert!(c0.resident_lines() > 0);
+        c0.flush_all(&g, &lat);
+        assert_eq!(c0.resident_lines(), 0);
+        let mut buf = [0u8; 256];
+        g.read_bytes(GAddr(0), &mut buf).unwrap();
+        assert_eq!(buf, [1; 256]);
+    }
+
+    #[test]
+    fn full_line_write_skips_fetch() {
+        let (g, mut c0, _, lat) = setup();
+        let before = c0.stats().misses;
+        c0.write(&g, &lat, GAddr(0), &[2; LINE_SIZE]).unwrap();
+        assert_eq!(c0.stats().misses, before, "aligned full-line write allocates without fill");
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-node simulated clocks.
+//!
+//! The simulator uses *virtual time*: instead of measuring wall-clock
+//! duration of the (host) code, every modeled hardware operation advances
+//! the acting node's clock by its modeled cost. Cross-node interactions
+//! synchronize clocks through message timestamps (see
+//! [`crate::interconnect`]), giving deterministic, reproducible latencies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing simulated clock, in nanoseconds.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A new clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock by `delta_ns` and return the new time.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
+    }
+
+    /// Advance the clock to at least `ts_ns` (used when a message arrives
+    /// that departed at a later simulated time than this node has reached).
+    /// Returns the resulting time.
+    pub fn advance_to(&self, ts_ns: u64) -> u64 {
+        let mut cur = self.ns.load(Ordering::Relaxed);
+        while cur < ts_ns {
+            match self.ns.compare_exchange_weak(cur, ts_ns, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return ts_ns,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+
+    /// Reset the clock to zero. Intended for experiment harnesses between
+    /// repetitions; concurrent use with `advance` is a logic error.
+    pub fn reset(&self) {
+        self.ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A span measured on a [`SimClock`], for timing whole operations.
+#[derive(Debug)]
+pub struct SimSpan {
+    clock: SimClock,
+    start_ns: u64,
+}
+
+impl SimSpan {
+    /// Begin measuring from the clock's current time.
+    pub fn begin(clock: &SimClock) -> Self {
+        SimSpan { clock: clock.clone(), start_ns: clock.now() }
+    }
+
+    /// Simulated nanoseconds elapsed since `begin`.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.clock.now().saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 100, "never goes backwards");
+        assert_eq!(c.advance_to(200), 200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(7);
+        assert_eq!(b.now(), 7);
+    }
+
+    #[test]
+    fn span_measures_elapsed() {
+        let c = SimClock::new();
+        c.advance(3);
+        let span = SimSpan::begin(&c);
+        c.advance(39);
+        assert_eq!(span.elapsed_ns(), 39);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = SimClock::new();
+        c.advance(123);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by all simulator operations.
+
+use crate::memory::GAddr;
+use crate::topology::NodeId;
+use std::fmt;
+
+/// Errors produced by the rack simulator.
+///
+/// Every fallible simulator operation returns `Result<_, SimError>`. The
+/// variants distinguish programming errors (out-of-bounds, misalignment)
+/// from *injected* hardware conditions (poisoned memory, dead node, severed
+/// link) that fault-tolerant layers are expected to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Access outside the allocated global memory region.
+    OutOfBounds { addr: GAddr, len: usize, capacity: usize },
+    /// Address not aligned as required by the operation.
+    Misaligned { addr: GAddr, required: usize },
+    /// The global memory allocator is exhausted.
+    OutOfMemory { requested: usize, remaining: usize },
+    /// The accessed word was poisoned by fault injection (akin to an MCE).
+    PoisonedMemory { addr: GAddr },
+    /// The target node has been crashed by fault injection.
+    NodeDown { node: NodeId },
+    /// The interconnect link between two nodes is severed.
+    LinkDown { from: NodeId, to: NodeId },
+    /// No message available (non-blocking receive on empty queue).
+    WouldBlock,
+    /// A named invariant of a higher layer was violated.
+    Protocol(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { addr, len, capacity } => {
+                write!(f, "global access at {addr:?}+{len} exceeds capacity {capacity}")
+            }
+            SimError::Misaligned { addr, required } => {
+                write!(f, "address {addr:?} is not {required}-byte aligned")
+            }
+            SimError::OutOfMemory { requested, remaining } => {
+                write!(f, "global allocator exhausted: requested {requested}, remaining {remaining}")
+            }
+            SimError::PoisonedMemory { addr } => {
+                write!(f, "poisoned global memory word at {addr:?}")
+            }
+            SimError::NodeDown { node } => write!(f, "node {node:?} is down"),
+            SimError::LinkDown { from, to } => {
+                write!(f, "interconnect link {from:?} -> {to:?} is down")
+            }
+            SimError::WouldBlock => write!(f, "operation would block"),
+            SimError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            SimError::OutOfBounds { addr: GAddr(8), len: 16, capacity: 4 },
+            SimError::Misaligned { addr: GAddr(3), required: 8 },
+            SimError::OutOfMemory { requested: 100, remaining: 10 },
+            SimError::PoisonedMemory { addr: GAddr(0) },
+            SimError::NodeDown { node: NodeId(1) },
+            SimError::LinkDown { from: NodeId(0), to: NodeId(1) },
+            SimError::WouldBlock,
+            SimError::Protocol("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Latency cost model for the simulated rack.
+//!
+//! Every simulator operation charges one of these cost classes to the
+//! acting node's [`crate::SimClock`]. Absolute values are calibrated to
+//! published figures for DDR DRAM, CXL 2.0 switched fabrics, and HCCS, but
+//! the experiments in this repository depend only on their *ratios*:
+//! local ≪ interconnect load/store ≪ interconnect atomic.
+
+/// Simulated nanosecond costs for each class of hardware operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Load from node-local DRAM.
+    pub local_read_ns: u64,
+    /// Store to node-local DRAM.
+    pub local_write_ns: u64,
+    /// Load/store served by the node's cache over global memory.
+    pub cache_hit_ns: u64,
+    /// Load from global memory across the interconnect (cache miss fill).
+    pub global_read_ns: u64,
+    /// Store to global memory across the interconnect (write-back).
+    pub global_write_ns: u64,
+    /// Atomic RMW on global memory (bypasses caches; includes fabric
+    /// round-trip and serialization at the home device).
+    pub global_atomic_ns: u64,
+    /// Writing one dirty cache line back to global memory.
+    pub writeback_line_ns: u64,
+    /// Dropping one cache line (invalidation is node-local bookkeeping).
+    pub invalidate_line_ns: u64,
+    /// Fixed cost of one interconnect message (doorbell/descriptor), per hop.
+    pub hop_ns: u64,
+    /// Transfer cost per byte moved across the interconnect, in picoseconds
+    /// (1000 ps/B == 1 GB/s; 50 ps/B == 20 GB/s).
+    pub transfer_ps_per_byte: u64,
+}
+
+impl LatencyModel {
+    /// HCCS-like model used for the paper's physical testbed experiments.
+    ///
+    /// HCCS is a low-latency coherent-capable fabric; cross-node loads land
+    /// in the few-hundred-nanosecond range, atomics somewhat higher.
+    pub fn hccs() -> Self {
+        LatencyModel {
+            local_read_ns: 90,
+            local_write_ns: 85,
+            cache_hit_ns: 18,
+            global_read_ns: 480,
+            global_write_ns: 420,
+            global_atomic_ns: 700,
+            writeback_line_ns: 240,
+            invalidate_line_ns: 30,
+            hop_ns: 350,
+            transfer_ps_per_byte: 50, // ~20 GB/s per link
+        }
+    }
+
+    /// CXL-2.0-switch-like model (one switch adds ~100-200 ns per hop).
+    pub fn cxl_switched() -> Self {
+        LatencyModel {
+            local_read_ns: 90,
+            local_write_ns: 85,
+            cache_hit_ns: 18,
+            global_read_ns: 750,
+            global_write_ns: 650,
+            global_atomic_ns: 1100,
+            writeback_line_ns: 380,
+            invalidate_line_ns: 30,
+            hop_ns: 500,
+            transfer_ps_per_byte: 80, // ~12.5 GB/s
+        }
+    }
+
+    /// A hypothetical fully-coherent uniform machine: every access costs
+    /// the same as local DRAM. Used as an upper-bound baseline in
+    /// ablations ("what if the rack were a real SMP?").
+    pub fn uniform_coherent() -> Self {
+        LatencyModel {
+            local_read_ns: 90,
+            local_write_ns: 85,
+            cache_hit_ns: 18,
+            global_read_ns: 90,
+            global_write_ns: 85,
+            global_atomic_ns: 120,
+            writeback_line_ns: 0,
+            invalidate_line_ns: 0,
+            hop_ns: 90,
+            transfer_ps_per_byte: 25,
+        }
+    }
+
+    /// Cost in ns of transferring `bytes` across the interconnect,
+    /// excluding per-hop fixed costs.
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.transfer_ps_per_byte) / 1000
+    }
+
+    /// Fixed + per-byte cost of moving `bytes` over `hops` hops.
+    pub fn message_ns(&self, hops: u32, bytes: usize) -> u64 {
+        u64::from(hops) * self.hop_ns + self.transfer_ns(bytes)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::hccs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hccs_ordering_holds() {
+        let m = LatencyModel::hccs();
+        assert!(m.cache_hit_ns < m.local_read_ns);
+        assert!(m.local_read_ns < m.global_read_ns);
+        assert!(m.global_read_ns < m.global_atomic_ns);
+    }
+
+    #[test]
+    fn cxl_slower_than_hccs() {
+        let h = LatencyModel::hccs();
+        let c = LatencyModel::cxl_switched();
+        assert!(c.global_read_ns > h.global_read_ns);
+        assert!(c.global_atomic_ns > h.global_atomic_ns);
+    }
+
+    #[test]
+    fn transfer_cost_scales_linearly() {
+        let m = LatencyModel::hccs();
+        assert_eq!(m.transfer_ns(0), 0);
+        assert_eq!(m.transfer_ns(1000), m.transfer_ps_per_byte);
+        assert_eq!(m.transfer_ns(2000), 2 * m.transfer_ps_per_byte);
+    }
+
+    #[test]
+    fn message_cost_includes_hops() {
+        let m = LatencyModel::hccs();
+        assert_eq!(m.message_ns(2, 0), 2 * m.hop_ns);
+        assert!(m.message_ns(2, 4096) > m.message_ns(2, 0));
+    }
+
+    #[test]
+    fn default_is_hccs() {
+        assert_eq!(LatencyModel::default(), LatencyModel::hccs());
+    }
+}

@@ -1,0 +1,537 @@
+//! Global (rack-shared) and node-local memory.
+//!
+//! Global memory is the load/store-accessible pool the memory interconnect
+//! exposes to every node. It is word-addressable through atomics so that it
+//! can be safely shared between host threads, models *poisoned* words for
+//! fault injection, and provides a simple bump allocator on which higher
+//! layers (the FlacDK object allocator) build real allocation policies.
+//!
+//! Byte-granular accesses are implemented as read-modify-write of the
+//! containing 64-bit words. Two host threads concurrently writing
+//! *different bytes of the same word* outside of the cache layer can race;
+//! all layers above either use word-aligned fields or partition buffers at
+//! word granularity, mirroring how real fabrics serialize at the home node.
+
+use crate::error::SimError;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Byte address in the rack's global memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GAddr(pub u64);
+
+impl GAddr {
+    /// Address `bytes` past this one.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> GAddr {
+        GAddr(self.0 + bytes)
+    }
+
+    /// Round up to the next multiple of `align` (which must be a power of two).
+    #[must_use]
+    pub fn align_up(self, align: u64) -> GAddr {
+        debug_assert!(align.is_power_of_two());
+        GAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Whether this address is a multiple of `align`.
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.0.is_multiple_of(align)
+    }
+
+    /// Index of the 64-bit word containing this address.
+    pub(crate) fn word_index(self) -> usize {
+        (self.0 / 8) as usize
+    }
+}
+
+impl fmt::Display for GAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g:{:#x}", self.0)
+    }
+}
+
+/// The rack-wide shared memory pool.
+///
+/// All state is interiorly mutable and `Sync`: the pool is shared by every
+/// node (and by every host thread in multi-threaded tests).
+pub struct GlobalMemory {
+    words: Vec<AtomicU64>,
+    capacity: usize,
+    next: AtomicUsize,
+    any_poison: AtomicBool,
+    poisoned_words: RwLock<HashSet<usize>>,
+}
+
+impl fmt::Debug for GlobalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalMemory")
+            .field("capacity", &self.capacity)
+            .field("allocated", &self.allocated())
+            .field("poisoned", &self.poisoned_words.read().len())
+            .finish()
+    }
+}
+
+impl GlobalMemory {
+    /// Create a pool of `capacity` bytes (rounded up to a whole word),
+    /// zero-initialized.
+    pub fn new(capacity: usize) -> Self {
+        let words = capacity.div_ceil(8);
+        GlobalMemory {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            capacity: words * 8,
+            next: AtomicUsize::new(0),
+            any_poison: AtomicBool::new(false),
+            poisoned_words: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes handed out by [`GlobalMemory::alloc`] so far.
+    pub fn allocated(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Bump-allocate `len` bytes aligned to `align`.
+    ///
+    /// This is the *hardware carve-out* primitive; rich allocation policy
+    /// (reuse, reclamation) lives in FlacDK's object allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when the pool is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&self, len: usize, align: usize) -> Result<GAddr, SimError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let base = (cur + align - 1) & !(align - 1);
+            let end = base.checked_add(len).ok_or(SimError::OutOfMemory {
+                requested: len,
+                remaining: self.capacity - cur,
+            })?;
+            if end > self.capacity {
+                return Err(SimError::OutOfMemory { requested: len, remaining: self.capacity - cur });
+            }
+            match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Ok(GAddr(base as u64)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn check_range(&self, addr: GAddr, len: usize) -> Result<(), SimError> {
+        let end = addr.0 as usize + len;
+        if end > self.capacity {
+            return Err(SimError::OutOfBounds { addr, len, capacity: self.capacity });
+        }
+        Ok(())
+    }
+
+    fn check_poison(&self, first_word: usize, last_word: usize) -> Result<(), SimError> {
+        if !self.any_poison.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let set = self.poisoned_words.read();
+        for w in first_word..=last_word {
+            if set.contains(&w) {
+                return Err(SimError::PoisonedMemory { addr: GAddr((w * 8) as u64) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the aligned 64-bit word at `addr` directly from the pool
+    /// (no cache, no latency charge — the [`crate::NodeCtx`] layer charges).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds, misaligned, or poisoned accesses fail.
+    pub fn load_u64(&self, addr: GAddr) -> Result<u64, SimError> {
+        if !addr.is_aligned(8) {
+            return Err(SimError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        self.check_poison(addr.word_index(), addr.word_index())?;
+        Ok(self.words[addr.word_index()].load(Ordering::SeqCst))
+    }
+
+    /// Store the aligned 64-bit word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds, misaligned, or poisoned accesses fail.
+    pub fn store_u64(&self, addr: GAddr, value: u64) -> Result<(), SimError> {
+        if !addr.is_aligned(8) {
+            return Err(SimError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        self.check_poison(addr.word_index(), addr.word_index())?;
+        self.words[addr.word_index()].store(value, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Atomic compare-exchange on the word at `addr`. Returns the previous
+    /// value; the exchange succeeded iff the returned value equals `current`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds, misaligned, or poisoned accesses fail.
+    pub fn compare_exchange_u64(
+        &self,
+        addr: GAddr,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, SimError> {
+        if !addr.is_aligned(8) {
+            return Err(SimError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        self.check_poison(addr.word_index(), addr.word_index())?;
+        Ok(match self.words[addr.word_index()].compare_exchange(
+            current,
+            new,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        })
+    }
+
+    /// Atomic fetch-add on the word at `addr`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds, misaligned, or poisoned accesses fail.
+    pub fn fetch_add_u64(&self, addr: GAddr, delta: u64) -> Result<u64, SimError> {
+        if !addr.is_aligned(8) {
+            return Err(SimError::Misaligned { addr, required: 8 });
+        }
+        self.check_range(addr, 8)?;
+        self.check_poison(addr.word_index(), addr.word_index())?;
+        Ok(self.words[addr.word_index()].fetch_add(delta, Ordering::SeqCst))
+    }
+
+    /// Copy `buf.len()` bytes starting at `addr` into `buf`, bypassing caches.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds or poisoned accesses fail.
+    pub fn read_bytes(&self, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
+        self.check_range(addr, buf.len())?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let first = addr.word_index();
+        let last = GAddr(addr.0 + buf.len() as u64 - 1).word_index();
+        self.check_poison(first, last)?;
+        let mut pos = 0usize;
+        let mut a = addr.0 as usize;
+        while pos < buf.len() {
+            let widx = a / 8;
+            let in_word = a % 8;
+            let take = (8 - in_word).min(buf.len() - pos);
+            let word = self.words[widx].load(Ordering::SeqCst).to_le_bytes();
+            buf[pos..pos + take].copy_from_slice(&word[in_word..in_word + take]);
+            pos += take;
+            a += take;
+        }
+        Ok(())
+    }
+
+    /// Copy `buf` into global memory starting at `addr`, bypassing caches.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds or poisoned accesses fail.
+    pub fn write_bytes(&self, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
+        self.check_range(addr, buf.len())?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let first = addr.word_index();
+        let last = GAddr(addr.0 + buf.len() as u64 - 1).word_index();
+        self.check_poison(first, last)?;
+        let mut pos = 0usize;
+        let mut a = addr.0 as usize;
+        while pos < buf.len() {
+            let widx = a / 8;
+            let in_word = a % 8;
+            let take = (8 - in_word).min(buf.len() - pos);
+            if take == 8 {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&buf[pos..pos + 8]);
+                self.words[widx].store(u64::from_le_bytes(w), Ordering::SeqCst);
+            } else {
+                // Read-modify-write of the partial word.
+                let mut w = self.words[widx].load(Ordering::SeqCst).to_le_bytes();
+                w[in_word..in_word + take].copy_from_slice(&buf[pos..pos + take]);
+                self.words[widx].store(u64::from_le_bytes(w), Ordering::SeqCst);
+            }
+            pos += take;
+            a += take;
+        }
+        Ok(())
+    }
+
+    /// Poison the words covering `[addr, addr+len)`, simulating an
+    /// uncorrectable memory error. Subsequent accesses fail with
+    /// [`SimError::PoisonedMemory`].
+    pub fn poison(&self, addr: GAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.word_index();
+        let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        let mut set = self.poisoned_words.write();
+        for w in first..=last {
+            set.insert(w);
+        }
+        self.any_poison.store(true, Ordering::Relaxed);
+    }
+
+    /// Repair poisoned words in `[addr, addr+len)` (e.g. after a scrubber
+    /// rewrote them from redundancy), zeroing their contents.
+    pub fn scrub(&self, addr: GAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.word_index();
+        let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        let mut set = self.poisoned_words.write();
+        for w in first..=last {
+            if set.remove(&w) {
+                self.words[w].store(0, Ordering::SeqCst);
+            }
+        }
+        if set.is_empty() {
+            self.any_poison.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any word in `[addr, addr+len)` is currently poisoned.
+    pub fn is_poisoned(&self, addr: GAddr, len: usize) -> bool {
+        if len == 0 || !self.any_poison.load(Ordering::Relaxed) {
+            return false;
+        }
+        let first = addr.word_index();
+        let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        let set = self.poisoned_words.read();
+        (first..=last).any(|w| set.contains(&w))
+    }
+}
+
+/// Byte address in a node's local memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LAddr(pub usize);
+
+/// A node's private local memory arena.
+///
+/// Local memory is always coherent from the owning node's perspective
+/// (it is only accessible from that node), so it is a plain byte arena
+/// with a bump allocator. The [`crate::NodeCtx`] charges local DRAM
+/// latency when accessing it.
+#[derive(Debug)]
+pub struct LocalMemory {
+    bytes: RwLock<Vec<u8>>,
+    capacity: usize,
+    next: AtomicUsize,
+}
+
+impl LocalMemory {
+    /// A zeroed local arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        LocalMemory {
+            bytes: RwLock::new(vec![0; capacity]),
+            capacity,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Bump-allocate `len` bytes, 8-byte aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when the arena is exhausted.
+    pub fn alloc(&self, len: usize) -> Result<LAddr, SimError> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let base = (cur + 7) & !7;
+            let end = base + len;
+            if end > self.capacity {
+                return Err(SimError::OutOfMemory { requested: len, remaining: self.capacity - cur });
+            }
+            match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Ok(LAddr(base)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Read `buf.len()` bytes at `addr` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range exceeds the arena.
+    pub fn read(&self, addr: LAddr, buf: &mut [u8]) -> Result<(), SimError> {
+        let end = addr.0 + buf.len();
+        if end > self.capacity {
+            return Err(SimError::OutOfBounds {
+                addr: GAddr(addr.0 as u64),
+                len: buf.len(),
+                capacity: self.capacity,
+            });
+        }
+        buf.copy_from_slice(&self.bytes.read()[addr.0..end]);
+        Ok(())
+    }
+
+    /// Write `buf` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the range exceeds the arena.
+    pub fn write(&self, addr: LAddr, buf: &[u8]) -> Result<(), SimError> {
+        let end = addr.0 + buf.len();
+        if end > self.capacity {
+            return Err(SimError::OutOfBounds {
+                addr: GAddr(addr.0 as u64),
+                len: buf.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.bytes.write()[addr.0..end].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_capacity() {
+        let m = GlobalMemory::new(128);
+        let a = m.alloc(10, 8).unwrap();
+        assert!(a.is_aligned(8));
+        let b = m.alloc(8, 64).unwrap();
+        assert!(b.is_aligned(64));
+        assert!(b.0 >= a.0 + 10);
+        assert!(m.alloc(1024, 8).is_err());
+    }
+
+    #[test]
+    fn word_load_store_roundtrip() {
+        let m = GlobalMemory::new(64);
+        let a = m.alloc(8, 8).unwrap();
+        m.store_u64(a, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.load_u64(a).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn misaligned_word_access_fails() {
+        let m = GlobalMemory::new(64);
+        assert!(matches!(m.load_u64(GAddr(3)), Err(SimError::Misaligned { .. })));
+        assert!(matches!(m.store_u64(GAddr(4), 1), Err(SimError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_fails() {
+        let m = GlobalMemory::new(16);
+        assert!(matches!(m.load_u64(GAddr(16)), Err(SimError::OutOfBounds { .. })));
+        let mut buf = [0u8; 4];
+        assert!(m.read_bytes(GAddr(14), &mut buf).is_err());
+    }
+
+    #[test]
+    fn byte_rw_roundtrip_unaligned() {
+        let m = GlobalMemory::new(64);
+        let data: Vec<u8> = (0..23).collect();
+        m.write_bytes(GAddr(3), &data).unwrap();
+        let mut out = vec![0u8; 23];
+        m.read_bytes(GAddr(3), &mut out).unwrap();
+        assert_eq!(out, data);
+        // Neighbouring bytes untouched.
+        let mut edge = [0u8; 3];
+        m.read_bytes(GAddr(0), &mut edge).unwrap();
+        assert_eq!(edge, [0, 0, 0]);
+    }
+
+    #[test]
+    fn cas_and_fetch_add() {
+        let m = GlobalMemory::new(64);
+        let a = m.alloc(8, 8).unwrap();
+        m.store_u64(a, 5).unwrap();
+        assert_eq!(m.compare_exchange_u64(a, 5, 9).unwrap(), 5);
+        assert_eq!(m.load_u64(a).unwrap(), 9);
+        assert_eq!(m.compare_exchange_u64(a, 5, 11).unwrap(), 9, "failed CAS returns actual");
+        assert_eq!(m.load_u64(a).unwrap(), 9);
+        assert_eq!(m.fetch_add_u64(a, 3).unwrap(), 9);
+        assert_eq!(m.load_u64(a).unwrap(), 12);
+    }
+
+    #[test]
+    fn poison_blocks_access_until_scrubbed() {
+        let m = GlobalMemory::new(128);
+        let a = m.alloc(32, 8).unwrap();
+        m.store_u64(a, 7).unwrap();
+        m.poison(a, 16);
+        assert!(m.is_poisoned(a, 1));
+        assert!(matches!(m.load_u64(a), Err(SimError::PoisonedMemory { .. })));
+        assert!(matches!(m.store_u64(a, 1), Err(SimError::PoisonedMemory { .. })));
+        let mut buf = [0u8; 8];
+        assert!(m.read_bytes(a, &mut buf).is_err());
+        // The word after the poisoned range still works.
+        assert_eq!(m.load_u64(a.offset(16)).unwrap(), 0);
+        m.scrub(a, 16);
+        assert!(!m.is_poisoned(a, 16));
+        assert_eq!(m.load_u64(a).unwrap(), 0, "scrub zeroes repaired words");
+    }
+
+    #[test]
+    fn local_memory_roundtrip() {
+        let lm = LocalMemory::new(64);
+        let a = lm.alloc(16).unwrap();
+        lm.write(a, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        lm.read(a, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert!(lm.alloc(128).is_err());
+    }
+
+    #[test]
+    fn global_memory_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<GlobalMemory>();
+        assert_sync::<LocalMemory>();
+    }
+
+    #[test]
+    fn gaddr_helpers() {
+        assert_eq!(GAddr(5).align_up(8), GAddr(8));
+        assert_eq!(GAddr(8).align_up(8), GAddr(8));
+        assert_eq!(GAddr(10).offset(6), GAddr(16));
+        assert_eq!(GAddr(64).to_string(), "g:0x40");
+    }
+}

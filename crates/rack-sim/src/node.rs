@@ -1,0 +1,414 @@
+//! Per-node execution context.
+//!
+//! A [`NodeCtx`] is the handle through which code "running on" a node
+//! touches the simulated hardware: cached loads/stores to global memory,
+//! fabric atomics, cache maintenance, local memory, and messaging. Every
+//! operation charges the node's [`SimClock`] and updates its
+//! [`NodeStats`]; operations fail once the node has been crashed by the
+//! fault injector.
+
+use crate::cache::{CacheConfig, NodeCache};
+use crate::clock::SimClock;
+use crate::error::SimError;
+use crate::fault::NodeLiveness;
+use crate::interconnect::{Interconnect, Message};
+use crate::latency::LatencyModel;
+use crate::memory::{GAddr, GlobalMemory, LAddr, LocalMemory};
+use crate::stats::NodeStats;
+use crate::topology::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The execution context of one rack node.
+///
+/// Cheap to share: wrap it in [`Arc`] (as [`crate::Rack`] does) and hand
+/// clones of the `Arc` to the components running on the node.
+#[derive(Debug)]
+pub struct NodeCtx {
+    id: NodeId,
+    global: Arc<GlobalMemory>,
+    local: LocalMemory,
+    cache: Mutex<NodeCache>,
+    clock: SimClock,
+    latency: Arc<LatencyModel>,
+    stats: NodeStats,
+    interconnect: Arc<Interconnect>,
+    liveness: Arc<NodeLiveness>,
+}
+
+impl NodeCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: NodeId,
+        global: Arc<GlobalMemory>,
+        local_capacity: usize,
+        cache_config: CacheConfig,
+        latency: Arc<LatencyModel>,
+        interconnect: Arc<Interconnect>,
+        liveness: Arc<NodeLiveness>,
+    ) -> Self {
+        NodeCtx {
+            id,
+            global,
+            local: LocalMemory::new(local_capacity),
+            cache: Mutex::new(NodeCache::new(cache_config)),
+            clock: SimClock::new(),
+            latency,
+            stats: NodeStats::new(),
+            interconnect,
+            liveness,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The rack's global memory pool.
+    pub fn global(&self) -> &Arc<GlobalMemory> {
+        &self.global
+    }
+
+    /// This node's simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// This node's operation counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Whether this node is currently alive.
+    pub fn is_alive(&self) -> bool {
+        self.liveness.is_alive(self.id)
+    }
+
+    fn ensure_alive(&self) -> Result<(), SimError> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(SimError::NodeDown { node: self.id })
+        }
+    }
+
+    /// Charge `ns` of simulated compute time (CPU work, not memory).
+    pub fn charge(&self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    // ----- cached global memory access ------------------------------------
+
+    /// Read `buf.len()` bytes at `addr` through this node's cache.
+    ///
+    /// May return **stale** data cached before another node's writeback;
+    /// call [`NodeCtx::invalidate`] first to force a refetch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, out-of-bounds, or poisoned memory.
+    pub fn read(&self, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
+        self.ensure_alive()?;
+        let cost = self.cache.lock().read(&self.global, &self.latency, addr, buf)?;
+        self.clock.advance(cost);
+        self.stats.count_global_read(buf.len());
+        Ok(())
+    }
+
+    /// Write `buf` at `addr` through this node's cache (write-back).
+    ///
+    /// Invisible to other nodes until [`NodeCtx::writeback`] /
+    /// [`NodeCtx::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, out-of-bounds, or poisoned memory.
+    pub fn write(&self, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
+        self.ensure_alive()?;
+        let cost = self.cache.lock().write(&self.global, &self.latency, addr, buf)?;
+        self.clock.advance(cost);
+        self.stats.count_global_write(buf.len());
+        Ok(())
+    }
+
+    /// Convenience: cached read of an aligned u64.
+    ///
+    /// # Errors
+    ///
+    /// As [`NodeCtx::read`].
+    pub fn read_u64(&self, addr: GAddr) -> Result<u64, SimError> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Convenience: cached write of an aligned u64.
+    ///
+    /// # Errors
+    ///
+    /// As [`NodeCtx::write`].
+    pub fn write_u64(&self, addr: GAddr, value: u64) -> Result<(), SimError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    // ----- cache maintenance ----------------------------------------------
+
+    /// Write dirty cached lines covering `[addr, addr+len)` back to global
+    /// memory, keeping them cached.
+    pub fn writeback(&self, addr: GAddr, len: usize) {
+        let cost = self.cache.lock().writeback(&self.global, &self.latency, addr, len);
+        self.clock.advance(cost);
+    }
+
+    /// Drop cached lines covering `[addr, addr+len)` (un-written dirty data
+    /// is discarded, as on hardware).
+    pub fn invalidate(&self, addr: GAddr, len: usize) {
+        let cost = self.cache.lock().invalidate(&self.latency, addr, len);
+        self.clock.advance(cost);
+    }
+
+    /// Write back then invalidate `[addr, addr+len)`.
+    pub fn flush(&self, addr: GAddr, len: usize) {
+        let cost = self.cache.lock().flush(&self.global, &self.latency, addr, len);
+        self.clock.advance(cost);
+    }
+
+    /// Flush this node's entire cache.
+    pub fn flush_all(&self) {
+        let cost = self.cache.lock().flush_all(&self.global, &self.latency);
+        self.clock.advance(cost);
+    }
+
+    /// Cache behaviour counters for this node.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().stats()
+    }
+
+    // ----- uncached + atomic global access ---------------------------------
+
+    /// Uncached load of an aligned u64 straight from global memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, bounds, alignment, or poison.
+    pub fn load_uncached_u64(&self, addr: GAddr) -> Result<u64, SimError> {
+        self.ensure_alive()?;
+        let v = self.global.load_u64(addr)?;
+        self.clock.advance(self.latency.global_read_ns);
+        self.stats.count_global_read(8);
+        Ok(v)
+    }
+
+    /// Uncached store of an aligned u64 straight to global memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, bounds, alignment, or poison.
+    pub fn store_uncached_u64(&self, addr: GAddr, value: u64) -> Result<(), SimError> {
+        self.ensure_alive()?;
+        self.global.store_u64(addr, value)?;
+        self.clock.advance(self.latency.global_write_ns);
+        self.stats.count_global_write(8);
+        Ok(())
+    }
+
+    /// Fabric atomic compare-exchange (bypasses all caches). Returns the
+    /// previous value; success iff it equals `current`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, bounds, alignment, or poison.
+    pub fn compare_exchange_u64(
+        &self,
+        addr: GAddr,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, SimError> {
+        self.ensure_alive()?;
+        let prev = self.global.compare_exchange_u64(addr, current, new)?;
+        self.clock.advance(self.latency.global_atomic_ns);
+        self.stats.count_atomic();
+        Ok(prev)
+    }
+
+    /// Fabric atomic fetch-add (bypasses all caches); returns the previous
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash, bounds, alignment, or poison.
+    pub fn fetch_add_u64(&self, addr: GAddr, delta: u64) -> Result<u64, SimError> {
+        self.ensure_alive()?;
+        let prev = self.global.fetch_add_u64(addr, delta)?;
+        self.clock.advance(self.latency.global_atomic_ns);
+        self.stats.count_atomic();
+        Ok(prev)
+    }
+
+    // ----- local memory -----------------------------------------------------
+
+    /// This node's local memory arena.
+    pub fn local(&self) -> &LocalMemory {
+        &self.local
+    }
+
+    /// Allocate `len` bytes of local memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the local arena is exhausted.
+    pub fn local_alloc(&self, len: usize) -> Result<LAddr, SimError> {
+        self.ensure_alive()?;
+        self.local.alloc(len)
+    }
+
+    /// Read from local memory, charging local DRAM latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash or out-of-bounds.
+    pub fn local_read(&self, addr: LAddr, buf: &mut [u8]) -> Result<(), SimError> {
+        self.ensure_alive()?;
+        self.local.read(addr, buf)?;
+        self.clock.advance(self.latency.local_read_ns);
+        self.stats.count_local(buf.len());
+        Ok(())
+    }
+
+    /// Write to local memory, charging local DRAM latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails on node crash or out-of-bounds.
+    pub fn local_write(&self, addr: LAddr, buf: &[u8]) -> Result<(), SimError> {
+        self.ensure_alive()?;
+        self.local.write(addr, buf)?;
+        self.clock.advance(self.latency.local_write_ns);
+        self.stats.count_local(buf.len());
+        Ok(())
+    }
+
+    // ----- messaging ----------------------------------------------------------
+
+    /// Send `payload` to `to`'s `port`, departing at this node's current
+    /// simulated time. Returns the simulated arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either endpoint is down or the link is severed.
+    pub fn send(&self, to: NodeId, port: u16, payload: Vec<u8>) -> Result<u64, SimError> {
+        self.ensure_alive()?;
+        let len = payload.len();
+        let arrive = self.interconnect.send(self.id, to, port, payload, self.clock.now())?;
+        self.stats.count_message(len);
+        Ok(arrive)
+    }
+
+    /// Non-blocking receive on `port`. On success the node's clock advances
+    /// to at least the message's arrival time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] when no message is queued.
+    pub fn try_recv(&self, port: u16) -> Result<Message, SimError> {
+        self.ensure_alive()?;
+        let msg = self.interconnect.try_recv(self.id, port)?;
+        self.clock.advance_to(msg.arrive_ns);
+        Ok(msg)
+    }
+
+    /// Number of messages queued on `port`.
+    pub fn pending(&self, port: u16) -> usize {
+        self.interconnect.pending(self.id, port)
+    }
+
+    /// The interconnect fabric (for topology queries).
+    pub fn interconnect(&self) -> &Arc<Interconnect> {
+        &self.interconnect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rack::{Rack, RackConfig};
+    use crate::SimError;
+
+    #[test]
+    fn cached_rw_charges_clock() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let a = rack.global().alloc(64, 8).unwrap();
+        let before = n0.clock().now();
+        n0.write_u64(a, 3).unwrap();
+        assert!(n0.clock().now() > before);
+        assert_eq!(n0.read_u64(a).unwrap(), 3);
+    }
+
+    #[test]
+    fn incoherence_visible_through_node_api() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let a = rack.global().alloc(8, 8).unwrap();
+        n0.write_u64(a, 77).unwrap();
+        assert_eq!(n1.read_u64(a).unwrap(), 0, "no writeback yet");
+        n0.writeback(a, 8);
+        assert_eq!(n1.read_u64(a).unwrap(), 0, "n1 still caches stale line");
+        n1.invalidate(a, 8);
+        assert_eq!(n1.read_u64(a).unwrap(), 77);
+    }
+
+    #[test]
+    fn atomics_bypass_caches() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let a = rack.global().alloc(8, 8).unwrap();
+        n0.fetch_add_u64(a, 5).unwrap();
+        // Visible immediately to another node's atomic/uncached access.
+        assert_eq!(n1.load_uncached_u64(a).unwrap(), 5);
+        assert_eq!(n1.compare_exchange_u64(a, 5, 9).unwrap(), 5);
+        assert_eq!(n0.load_uncached_u64(a).unwrap(), 9);
+    }
+
+    #[test]
+    fn crashed_node_operations_fail() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let a = rack.global().alloc(8, 8).unwrap();
+        rack.faults().crash_node(n0.id(), 0);
+        assert!(!n0.is_alive());
+        assert!(matches!(n0.read_u64(a), Err(SimError::NodeDown { .. })));
+        assert!(matches!(n0.fetch_add_u64(a, 1), Err(SimError::NodeDown { .. })));
+        rack.faults().restart_node(n0.id());
+        assert!(n0.read_u64(a).is_ok());
+    }
+
+    #[test]
+    fn messaging_advances_receiver_clock() {
+        let rack = Rack::new(RackConfig::small_test());
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        n0.charge(10_000);
+        let arrive = n0.send(n1.id(), 4, vec![1, 2, 3]).unwrap();
+        assert!(arrive > 10_000);
+        let msg = n1.try_recv(4).unwrap();
+        assert_eq!(msg.payload, vec![1, 2, 3]);
+        assert!(n1.clock().now() >= arrive);
+    }
+
+    #[test]
+    fn local_memory_rw() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let a = n0.local_alloc(32).unwrap();
+        n0.local_write(a, &[4; 32]).unwrap();
+        let mut out = [0u8; 32];
+        n0.local_read(a, &mut out).unwrap();
+        assert_eq!(out, [4; 32]);
+        assert_eq!(n0.stats().snapshot().local_accesses, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-node operation counters.
+//!
+//! Experiments use these to explain *why* a configuration is fast or slow
+//! (e.g. Figure 4's gap decomposes into copies and stack processing on the
+//! networking side versus a handful of interconnect accesses for FlacOS).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe counters for one node. Cloning shares the counters.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    global_reads: AtomicU64,
+    global_writes: AtomicU64,
+    global_atomics: AtomicU64,
+    local_accesses: AtomicU64,
+    bytes_copied: AtomicU64,
+    messages_sent: AtomicU64,
+    message_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of a node's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Cached or uncached loads from global memory.
+    pub global_reads: u64,
+    /// Cached or uncached stores to global memory.
+    pub global_writes: u64,
+    /// Fabric atomics issued.
+    pub global_atomics: u64,
+    /// Local-memory reads + writes.
+    pub local_accesses: u64,
+    /// Payload bytes memcpy'd by simulator operations.
+    pub bytes_copied: u64,
+    /// Interconnect messages sent.
+    pub messages_sent: u64,
+    /// Interconnect payload bytes sent.
+    pub message_bytes: u64,
+}
+
+impl NodeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_global_read(&self, bytes: usize) {
+        self.inner.global_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_global_write(&self, bytes: usize) {
+        self.inner.global_writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_atomic(&self) {
+        self.inner.global_atomics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_local(&self, bytes: usize) {
+        self.inner.local_accesses.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_message(&self, bytes: usize) {
+        self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.message_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            global_reads: self.inner.global_reads.load(Ordering::Relaxed),
+            global_writes: self.inner.global_writes.load(Ordering::Relaxed),
+            global_atomics: self.inner.global_atomics.load(Ordering::Relaxed),
+            local_accesses: self.inner.local_accesses.load(Ordering::Relaxed),
+            bytes_copied: self.inner.bytes_copied.load(Ordering::Relaxed),
+            messages_sent: self.inner.messages_sent.load(Ordering::Relaxed),
+            message_bytes: self.inner.message_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let s = NodeStats::new();
+        let s2 = s.clone();
+        s.count_global_read(8);
+        s.count_global_write(16);
+        s.count_atomic();
+        s.count_local(4);
+        s.count_message(100);
+        let snap = s2.snapshot();
+        assert_eq!(snap.global_reads, 1);
+        assert_eq!(snap.global_writes, 1);
+        assert_eq!(snap.global_atomics, 1);
+        assert_eq!(snap.local_accesses, 1);
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(snap.message_bytes, 100);
+        assert_eq!(snap.bytes_copied, 8 + 16 + 4);
+    }
+}

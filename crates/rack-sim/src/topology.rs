@@ -1,0 +1,129 @@
+//! Rack topology: nodes, cores, and interconnect hop distances.
+
+use std::fmt;
+
+/// Identifier of a node (a general-purpose server) in the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Static description of the rack's compute topology.
+///
+/// Mirrors the paper's testbed shape: the physical platform is two Kunpeng
+/// 920 nodes of 4×80 cores each (640 cores total), joined by an HCCS
+/// memory interconnect through a switch. The `hops` matrix captures the
+/// number of interconnect hops between any two nodes — a single switch
+/// gives every distinct pair 2 hops (node→switch→node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackTopology {
+    nodes: usize,
+    cores_per_node: usize,
+    /// `hops[i][j]` = interconnect hops from node i to node j.
+    hops: Vec<Vec<u32>>,
+}
+
+impl RackTopology {
+    /// A rack of `nodes` nodes joined by one interconnect switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `cores_per_node == 0`.
+    pub fn switched(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes > 0, "rack must contain at least one node");
+        assert!(cores_per_node > 0, "nodes must have at least one core");
+        let hops = (0..nodes)
+            .map(|i| (0..nodes).map(|j| if i == j { 0 } else { 2 }).collect())
+            .collect();
+        RackTopology { nodes, cores_per_node, hops }
+    }
+
+    /// The paper's physical testbed: 2 nodes × 320 cores = 640 cores.
+    pub fn kunpeng_two_node() -> Self {
+        Self::switched(2, 320)
+    }
+
+    /// Number of nodes in the rack.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores on each node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Total cores across the rack.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Interconnect hops between two nodes (0 for a node to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        self.hops[from.0][to.0]
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes).map(NodeId)
+    }
+}
+
+impl Default for RackTopology {
+    fn default() -> Self {
+        Self::kunpeng_two_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kunpeng_shape_matches_paper() {
+        let t = RackTopology::kunpeng_two_node();
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.total_cores(), 640);
+    }
+
+    #[test]
+    fn switched_hops_symmetric() {
+        let t = RackTopology::switched(4, 8);
+        for i in t.node_ids() {
+            for j in t.node_ids() {
+                assert_eq!(t.hops(i, j), t.hops(j, i));
+                if i == j {
+                    assert_eq!(t.hops(i, j), 0);
+                } else {
+                    assert_eq!(t.hops(i, j), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        RackTopology::switched(0, 1);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId::from(7), NodeId(7));
+    }
+}

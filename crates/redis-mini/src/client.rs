@@ -1,0 +1,164 @@
+//! The redis-mini client, with latency measurement hooks.
+
+use crate::resp::{Command, Reply, RespError};
+use crate::server::RedisServer;
+use crate::transport::Transport;
+use rack_sim::{NodeCtx, SimError};
+use std::sync::Arc;
+
+/// A blocking-style client over any [`Transport`].
+#[derive(Debug)]
+pub struct RedisClient<T: Transport> {
+    node: Arc<NodeCtx>,
+    transport: T,
+}
+
+impl<T: Transport> RedisClient<T> {
+    /// A client on `node` over `transport`.
+    pub fn new(node: Arc<NodeCtx>, transport: T) -> Self {
+        RedisClient { node, transport }
+    }
+
+    /// The node running the client.
+    pub fn node(&self) -> &Arc<NodeCtx> {
+        &self.node
+    }
+
+    /// Raw transport access (tests).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Encode and send one command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send_command(&mut self, cmd: &Command) -> Result<(), SimError> {
+        self.transport.send(&cmd.encode())
+    }
+
+    /// Receive and parse one reply (non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] if nothing arrived; parse failures are
+    /// protocol errors.
+    pub fn recv_reply(&mut self) -> Result<Reply, SimError> {
+        let bytes = self.transport.try_recv()?;
+        let (reply, _) = Reply::parse(&bytes).map_err(|e: RespError| {
+            SimError::Protocol(format!("bad reply from server: {e}"))
+        })?;
+        Ok(reply)
+    }
+}
+
+/// One measured request in a cooperative simulation: send the command,
+/// step the server, collect the reply. Returns the reply and the
+/// client-observed latency in simulated nanoseconds — the quantity
+/// Figure 4 plots.
+///
+/// # Errors
+///
+/// Propagates transport/server errors; [`SimError::WouldBlock`] if the
+/// server produced no reply.
+pub fn request_stepped<T: Transport>(
+    client: &mut RedisClient<T>,
+    server: &mut RedisServer<T>,
+    cmd: &Command,
+) -> Result<(Reply, u64), SimError> {
+    let start = client.node().clock().now();
+    client.send_command(cmd)?;
+    // The server cannot start before the request is visible to it.
+    server.node().clock().advance_to(client.node().clock().now());
+    server.poll()?;
+    let reply = client.recv_reply()?;
+    // Symmetrically, the reply is not visible before the server sent it
+    // (ring/netstack timestamps enforce most of this; advance_to covers
+    // the cooperative scheduling gap).
+    client.node().clock().advance_to(server.node().clock().now());
+    let latency = client.node().clock().now() - start;
+    Ok((reply, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flacdk::alloc::GlobalAllocator;
+    use flacos_ipc::channel::FlacChannel;
+    use flacos_ipc::netstack::{NetConfig, NetPair};
+    use rack_sim::{Rack, RackConfig};
+
+    fn rack() -> Rack {
+        Rack::new(RackConfig::small_test().with_global_mem(32 << 20))
+    }
+
+    #[test]
+    fn set_get_roundtrip_over_ipc() {
+        let rack = rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (sep, cep) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+
+        let (reply, lat_set) = request_stepped(
+            &mut client,
+            &mut server,
+            &Command::Set { key: b"city".to_vec(), value: b"boston".to_vec() },
+        )
+        .unwrap();
+        assert_eq!(reply, Reply::Simple("OK".into()));
+        assert!(lat_set > 0);
+
+        let (reply, lat_get) =
+            request_stepped(&mut client, &mut server, &Command::Get { key: b"city".to_vec() })
+                .unwrap();
+        assert_eq!(reply, Reply::Bulk(b"boston".to_vec()));
+        assert!(lat_get > 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_over_netstack() {
+        let rack = rack();
+        let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+        let (reply, _) = request_stepped(
+            &mut client,
+            &mut server,
+            &Command::Set { key: b"k".to_vec(), value: vec![9u8; 4096] },
+        )
+        .unwrap();
+        assert_eq!(reply, Reply::Simple("OK".into()));
+        let (reply, _) =
+            request_stepped(&mut client, &mut server, &Command::Get { key: b"k".to_vec() })
+                .unwrap();
+        assert_eq!(reply, Reply::Bulk(vec![9u8; 4096]));
+    }
+
+    #[test]
+    fn ipc_beats_netstack_on_latency() {
+        // The headline comparison, in miniature: the same SET over both
+        // transports; FlacOS IPC must be faster.
+        let rack = rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (sep, cep) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        let mut ipc_server = RedisServer::new(rack.node(0), sep);
+        let mut ipc_client = RedisClient::new(rack.node(1), cep);
+
+        let rack2 = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let (nsep, ncep) = NetPair::connect(rack2.node(0), rack2.node(1), NetConfig::ten_gbe(), 0);
+        let mut net_server = RedisServer::new(rack2.node(0), nsep);
+        let mut net_client = RedisClient::new(rack2.node(1), ncep);
+
+        let cmd = Command::Set { key: b"x".to_vec(), value: vec![1u8; 64] };
+        let (_, ipc_lat) = request_stepped(&mut ipc_client, &mut ipc_server, &cmd).unwrap();
+        let (_, net_lat) = request_stepped(&mut net_client, &mut net_server, &cmd).unwrap();
+        assert!(
+            ipc_lat < net_lat,
+            "FlacOS IPC ({ipc_lat} ns) must beat TCP/IP ({net_lat} ns)"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The redis-mini server loop.
+
+use crate::resp::{Command, Reply};
+use crate::store::KeyspaceStore;
+use crate::transport::Transport;
+use rack_sim::{NodeCtx, SimError};
+use std::sync::Arc;
+
+/// A single-threaded redis-mini server bound to one transport endpoint.
+#[derive(Debug)]
+pub struct RedisServer<T: Transport> {
+    node: Arc<NodeCtx>,
+    transport: T,
+    store: KeyspaceStore,
+    served: u64,
+}
+
+impl<T: Transport> RedisServer<T> {
+    /// Serve on `transport` from `node`.
+    pub fn new(node: Arc<NodeCtx>, transport: T) -> Self {
+        RedisServer { node, transport, store: KeyspaceStore::new(), served: 0 }
+    }
+
+    /// Drain pending requests: parse, execute, reply. Returns the number
+    /// of requests served this poll.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures are propagated; malformed requests are
+    /// answered with a RESP error instead of failing the server.
+    pub fn poll(&mut self) -> Result<usize, SimError> {
+        let mut served = 0;
+        loop {
+            let request = match self.transport.try_recv() {
+                Ok(r) => r,
+                Err(SimError::WouldBlock) => break,
+                Err(e) => return Err(e),
+            };
+            let reply = match Command::parse(&request) {
+                Ok((cmd, _)) => self.store.execute(&self.node, cmd),
+                Err(e) => Reply::Error(format!("ERR {e}")),
+            };
+            self.transport.send(&reply.encode())?;
+            served += 1;
+            self.served += 1;
+        }
+        Ok(served)
+    }
+
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The backing keyspace (inspection).
+    pub fn store(&self) -> &KeyspaceStore {
+        &self.store
+    }
+
+    /// The node running the server.
+    pub fn node(&self) -> &Arc<NodeCtx> {
+        &self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RedisClient;
+    use flacdk::alloc::GlobalAllocator;
+    use flacos_ipc::channel::FlacChannel;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn serves_requests_and_reports_errors() {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (server_ep, client_ep) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        let mut server = RedisServer::new(rack.node(0), server_ep);
+        let mut client = RedisClient::new(rack.node(1), client_ep);
+
+        client.send_command(&Command::Set { key: b"k".to_vec(), value: b"v".to_vec() }).unwrap();
+        client.transport_mut().send(b"garbage request").unwrap();
+        assert_eq!(server.poll().unwrap(), 2);
+        assert_eq!(client.recv_reply().unwrap(), Reply::Simple("OK".into()));
+        assert!(matches!(client.recv_reply().unwrap(), Reply::Error(_)));
+        assert_eq!(server.served(), 2);
+        assert_eq!(server.store().len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The server's in-memory keyspace.
+//!
+//! A plain node-local hash map (the Redis server of the paper's
+//! experiment is an unmodified single-node process; the *transport* is
+//! what varies). Operations charge local-DRAM access costs plus a small
+//! per-command processing cost calibrated to Redis's command dispatch.
+
+use crate::resp::{Command, Reply};
+use rack_sim::NodeCtx;
+use std::collections::HashMap;
+
+/// Per-command processing cost (dispatch, hashing, bookkeeping) in
+/// simulated nanoseconds — Redis spends roughly 1 µs of CPU per simple
+/// command.
+const COMMAND_CPU_NS: u64 = 1_000;
+
+/// Keyspace statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// SET commands executed.
+    pub sets: u64,
+    /// GET commands executed.
+    pub gets: u64,
+    /// GETs that found the key.
+    pub hits: u64,
+}
+
+/// An in-memory key-value keyspace.
+#[derive(Debug, Default)]
+pub struct KeyspaceStore {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    stats: StoreStats,
+}
+
+impl KeyspaceStore {
+    /// An empty keyspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute one command, charging simulated CPU + memory costs.
+    pub fn execute(&mut self, ctx: &NodeCtx, cmd: Command) -> Reply {
+        ctx.charge(COMMAND_CPU_NS);
+        match cmd {
+            Command::Set { key, value } => {
+                ctx.charge(ctx.latency().local_write_ns);
+                self.map.insert(key, value);
+                self.stats.sets += 1;
+                Reply::Simple("OK".into())
+            }
+            Command::Get { key } => {
+                ctx.charge(ctx.latency().local_read_ns);
+                self.stats.gets += 1;
+                match self.map.get(&key) {
+                    Some(v) => {
+                        self.stats.hits += 1;
+                        Reply::Bulk(v.clone())
+                    }
+                    None => Reply::Null,
+                }
+            }
+            Command::Del { key } => {
+                ctx.charge(ctx.latency().local_write_ns);
+                Reply::Integer(i64::from(self.map.remove(&key).is_some()))
+            }
+            Command::Incr { key } => {
+                ctx.charge(ctx.latency().local_write_ns);
+                let cur = match self.map.get(&key) {
+                    None => 0,
+                    Some(v) => match std::str::from_utf8(v).ok().and_then(|s| s.parse::<i64>().ok()) {
+                        Some(n) => n,
+                        None => {
+                            return Reply::Error(
+                                "ERR value is not an integer or out of range".into(),
+                            )
+                        }
+                    },
+                };
+                let next = cur + 1;
+                self.map.insert(key, next.to_string().into_bytes());
+                Reply::Integer(next)
+            }
+            Command::Exists { key } => {
+                ctx.charge(ctx.latency().local_read_ns);
+                Reply::Integer(i64::from(self.map.contains_key(&key)))
+            }
+            Command::Append { key, value } => {
+                ctx.charge(ctx.latency().local_write_ns);
+                let entry = self.map.entry(key).or_default();
+                entry.extend_from_slice(&value);
+                Reply::Integer(entry.len() as i64)
+            }
+            Command::Ping => Reply::Simple("PONG".into()),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the keyspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Command counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn set_get_del_semantics() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mut s = KeyspaceStore::new();
+        assert_eq!(
+            s.execute(&n0, Command::Set { key: b"a".to_vec(), value: b"1".to_vec() }),
+            Reply::Simple("OK".into())
+        );
+        assert_eq!(s.execute(&n0, Command::Get { key: b"a".to_vec() }), Reply::Bulk(b"1".to_vec()));
+        assert_eq!(s.execute(&n0, Command::Get { key: b"b".to_vec() }), Reply::Null);
+        assert_eq!(s.execute(&n0, Command::Del { key: b"a".to_vec() }), Reply::Integer(1));
+        assert_eq!(s.execute(&n0, Command::Del { key: b"a".to_vec() }), Reply::Integer(0));
+        assert_eq!(s.execute(&n0, Command::Ping), Reply::Simple("PONG".into()));
+        assert!(s.is_empty());
+        let stats = s.stats();
+        assert_eq!((stats.sets, stats.gets, stats.hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn incr_semantics_match_redis() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mut s = KeyspaceStore::new();
+        assert_eq!(s.execute(&n0, Command::Incr { key: b"c".to_vec() }), Reply::Integer(1));
+        assert_eq!(s.execute(&n0, Command::Incr { key: b"c".to_vec() }), Reply::Integer(2));
+        // Stored as a decimal string, GET-compatible.
+        assert_eq!(s.execute(&n0, Command::Get { key: b"c".to_vec() }), Reply::Bulk(b"2".to_vec()));
+        // Non-numeric values refuse to increment.
+        s.execute(&n0, Command::Set { key: b"s".to_vec(), value: b"abc".to_vec() });
+        assert!(matches!(s.execute(&n0, Command::Incr { key: b"s".to_vec() }), Reply::Error(_)));
+    }
+
+    #[test]
+    fn exists_and_append_semantics() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mut s = KeyspaceStore::new();
+        assert_eq!(s.execute(&n0, Command::Exists { key: b"k".to_vec() }), Reply::Integer(0));
+        assert_eq!(
+            s.execute(&n0, Command::Append { key: b"k".to_vec(), value: b"ab".to_vec() }),
+            Reply::Integer(2),
+            "append creates missing keys"
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Append { key: b"k".to_vec(), value: b"cd".to_vec() }),
+            Reply::Integer(4)
+        );
+        assert_eq!(s.execute(&n0, Command::Exists { key: b"k".to_vec() }), Reply::Integer(1));
+        assert_eq!(s.execute(&n0, Command::Get { key: b"k".to_vec() }), Reply::Bulk(b"abcd".to_vec()));
+    }
+
+    #[test]
+    fn commands_charge_simulated_time() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mut s = KeyspaceStore::new();
+        let t0 = n0.clock().now();
+        s.execute(&n0, Command::Ping);
+        assert!(n0.clock().now() > t0);
+    }
+}

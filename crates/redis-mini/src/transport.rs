@@ -1,0 +1,88 @@
+//! Transport abstraction: the axis Figure 4 varies.
+//!
+//! The same server and client run over either implementation:
+//!
+//! * [`flacos_ipc::channel::FlacEndpoint`] — FlacOS zero-copy IPC over
+//!   shared memory.
+//! * [`flacos_ipc::netstack::NetEndpoint`] — the TCP/IP-over-Ethernet
+//!   baseline with its buffer allocations, copies, and stack processing.
+
+use rack_sim::SimError;
+
+/// A connected, message-oriented, bidirectional transport.
+pub trait Transport {
+    /// Send one message.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific failures (backpressure, dead peer).
+    fn send(&mut self, payload: &[u8]) -> Result<(), SimError>;
+
+    /// Receive one message if available.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] when nothing has arrived.
+    fn try_recv(&mut self) -> Result<Vec<u8>, SimError>;
+
+    /// Short label for reports ("flacos-ipc", "tcp/ip").
+    fn label(&self) -> &'static str;
+}
+
+impl Transport for flacos_ipc::channel::FlacEndpoint {
+    fn send(&mut self, payload: &[u8]) -> Result<(), SimError> {
+        flacos_ipc::channel::FlacEndpoint::send(self, payload)
+    }
+
+    fn try_recv(&mut self) -> Result<Vec<u8>, SimError> {
+        flacos_ipc::channel::FlacEndpoint::try_recv(self)
+    }
+
+    fn label(&self) -> &'static str {
+        "flacos-ipc"
+    }
+}
+
+impl Transport for flacos_ipc::netstack::NetEndpoint {
+    fn send(&mut self, payload: &[u8]) -> Result<(), SimError> {
+        flacos_ipc::netstack::NetEndpoint::send(self, payload)
+    }
+
+    fn try_recv(&mut self) -> Result<Vec<u8>, SimError> {
+        flacos_ipc::netstack::NetEndpoint::try_recv(self)
+    }
+
+    fn label(&self) -> &'static str {
+        "tcp/ip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flacdk::alloc::GlobalAllocator;
+    use flacos_ipc::channel::FlacChannel;
+    use flacos_ipc::netstack::{NetConfig, NetPair};
+    use rack_sim::{Rack, RackConfig};
+
+    fn roundtrip<T: Transport>(a: &mut T, b: &mut T) {
+        a.send(b"hello").unwrap();
+        assert_eq!(b.try_recv().unwrap(), b"hello");
+        b.send(b"world").unwrap();
+        assert_eq!(a.try_recv().unwrap(), b"world");
+    }
+
+    #[test]
+    fn both_transports_satisfy_the_contract() {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (mut fa, mut fb) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        roundtrip(&mut fa, &mut fb);
+        assert_eq!(Transport::label(&fa), "flacos-ipc");
+
+        let (mut na, mut nb) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+        roundtrip(&mut na, &mut nb);
+        assert_eq!(Transport::label(&na), "tcp/ip");
+    }
+}

@@ -1,0 +1,192 @@
+//! Function chains over FlacOS IPC.
+//!
+//! The paper's third serverless pain point (§4.1): *"communication cost
+//! between services (chains)"*. A [`FunctionChain`] wires N function
+//! stages across rack nodes; each hop is either a FlacOS zero-copy
+//! channel or a TCP connection, and invoking the chain measures the
+//! end-to-end latency — the `figures -- ipc` ablation sweeps this.
+
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::{FlacChannel, FlacEndpoint};
+use flacos_ipc::netstack::{NetConfig, NetEndpoint, NetPair};
+use rack_sim::{NodeCtx, Rack, SimError};
+use std::sync::Arc;
+
+/// Per-stage compute cost (function body execution), simulated ns.
+pub const STAGE_COMPUTE_NS: u64 = 5_000;
+
+/// The transport a chain's hops use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainTransport {
+    /// FlacOS shared-memory IPC.
+    FlacIpc,
+    /// TCP/IP over Ethernet.
+    Tcp,
+}
+
+enum Hop {
+    Flac { tx: FlacEndpoint, rx: FlacEndpoint },
+    Tcp { tx: NetEndpoint, rx: NetEndpoint },
+}
+
+impl std::fmt::Debug for Hop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Hop::Flac { .. } => write!(f, "Hop::Flac"),
+            Hop::Tcp { .. } => write!(f, "Hop::Tcp"),
+        }
+    }
+}
+
+/// A linear chain of function stages spread round-robin across nodes.
+#[derive(Debug)]
+pub struct FunctionChain {
+    stages: Vec<Arc<NodeCtx>>,
+    hops: Vec<Hop>,
+    transport: ChainTransport,
+}
+
+impl FunctionChain {
+    /// Build a chain of `stages` functions over `transport`, placing
+    /// stage `i` on node `i % rack.node_count()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages < 2`.
+    pub fn build(
+        rack: &Rack,
+        alloc: &GlobalAllocator,
+        stages: usize,
+        transport: ChainTransport,
+    ) -> Result<Self, SimError> {
+        assert!(stages >= 2, "a chain needs at least two stages");
+        let nodes: Vec<Arc<NodeCtx>> =
+            (0..stages).map(|i| rack.node(i % rack.node_count())).collect();
+        let mut hops = Vec::with_capacity(stages - 1);
+        for i in 0..stages - 1 {
+            let (a, b) = (nodes[i].clone(), nodes[i + 1].clone());
+            let hop = match transport {
+                ChainTransport::FlacIpc => {
+                    let (tx, rx) = FlacChannel::create(rack.global(), alloc.clone(), a, b)?;
+                    Hop::Flac { tx, rx }
+                }
+                ChainTransport::Tcp => {
+                    let (tx, rx) = NetPair::connect(a, b, NetConfig::ten_gbe(), i as u16 + 100);
+                    Hop::Tcp { tx, rx }
+                }
+            };
+            hops.push(hop);
+        }
+        Ok(FunctionChain { stages: nodes, hops, transport })
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain is trivial (never true; chains have ≥2 stages).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The transport in use.
+    pub fn transport(&self) -> ChainTransport {
+        self.transport
+    }
+
+    /// Invoke the chain with `payload`: each stage computes, transforms
+    /// the payload (a real byte-level transform, so data actually flows),
+    /// and forwards it. Returns the final payload and the end-to-end
+    /// latency in simulated nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn invoke(&mut self, payload: &[u8]) -> Result<(Vec<u8>, u64), SimError> {
+        let start = self.stages[0].clock().now();
+        let mut data = payload.to_vec();
+        for (i, hop) in self.hops.iter_mut().enumerate() {
+            // Stage i computes, then forwards.
+            self.stages[i].charge(STAGE_COMPUTE_NS);
+            for b in &mut data {
+                *b = b.wrapping_add(1);
+            }
+            match hop {
+                Hop::Flac { tx, rx } => {
+                    tx.send(&data)?;
+                    self.stages[i + 1].clock().advance_to(self.stages[i].clock().now());
+                    data = rx.try_recv()?;
+                }
+                Hop::Tcp { tx, rx } => {
+                    tx.send(&data)?;
+                    self.stages[i + 1].clock().advance_to(self.stages[i].clock().now());
+                    data = rx.try_recv()?;
+                }
+            }
+        }
+        // Final stage computes.
+        let last = self.stages.len() - 1;
+        self.stages[last].charge(STAGE_COMPUTE_NS);
+        let end = self.stages[last].clock().now();
+        Ok((data, end - start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::RackConfig;
+
+    fn setup() -> (Rack, GlobalAllocator) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(64 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        (rack, alloc)
+    }
+
+    #[test]
+    fn chain_transforms_payload_once_per_non_final_stage() {
+        let (rack, alloc) = setup();
+        let mut chain = FunctionChain::build(&rack, &alloc, 4, ChainTransport::FlacIpc).unwrap();
+        let (out, latency) = chain.invoke(&[0u8; 8]).unwrap();
+        assert_eq!(out, vec![3u8; 8], "3 forwarding stages each add 1");
+        assert!(latency >= 4 * STAGE_COMPUTE_NS);
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn ipc_chain_beats_tcp_chain() {
+        let (rack, alloc) = setup();
+        let mut ipc = FunctionChain::build(&rack, &alloc, 3, ChainTransport::FlacIpc).unwrap();
+        let (_, ipc_lat) = ipc.invoke(&[0u8; 256]).unwrap();
+
+        let (rack2, alloc2) = setup();
+        let mut tcp = FunctionChain::build(&rack2, &alloc2, 3, ChainTransport::Tcp).unwrap();
+        let (_, tcp_lat) = tcp.invoke(&[0u8; 256]).unwrap();
+        assert!(ipc_lat < tcp_lat, "IPC chain {ipc_lat} ns vs TCP chain {tcp_lat} ns");
+        assert_eq!(tcp.transport(), ChainTransport::Tcp);
+    }
+
+    #[test]
+    fn longer_chains_cost_more() {
+        let (rack, alloc) = setup();
+        let mut short = FunctionChain::build(&rack, &alloc, 2, ChainTransport::FlacIpc).unwrap();
+        let (_, lat2) = short.invoke(&[0u8; 64]).unwrap();
+        let (rack2, alloc2) = setup();
+        let mut long = FunctionChain::build(&rack2, &alloc2, 6, ChainTransport::FlacIpc).unwrap();
+        let (_, lat6) = long.invoke(&[0u8; 64]).unwrap();
+        assert!(lat6 > lat2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two stages")]
+    fn single_stage_chain_panics() {
+        let (rack, alloc) = setup();
+        let _ = FunctionChain::build(&rack, &alloc, 1, ChainTransport::FlacIpc);
+    }
+}

@@ -1,0 +1,125 @@
+//! Synthetic layered container images.
+//!
+//! Stands in for the paper's 4 GB PyTorch image (which we cannot ship):
+//! images are layered, page-granular, and *deterministically generated*,
+//! so any node regenerates identical bytes — and identical pages across
+//! images (shared base layers) dedup in the shared page cache exactly
+//! like identical registry blobs do in production.
+
+use flacdk::wire::fnv1a;
+use flacos_mem::PAGE_SIZE;
+
+/// One image layer: a deterministic blob of `pages` pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer identifier (content-address-like).
+    pub id: u64,
+    /// Size in pages.
+    pub pages: u64,
+}
+
+impl Layer {
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE as u64
+    }
+
+    /// Deterministic content of page `idx` of this layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn page_content(&self, idx: u64) -> Vec<u8> {
+        assert!(idx < self.pages, "page {idx} beyond layer of {} pages", self.pages);
+        let mut page = vec![0u8; PAGE_SIZE];
+        let mut state = fnv1a(&[self.id.to_le_bytes(), idx.to_le_bytes()].concat()) | 1;
+        for chunk in page.chunks_mut(8) {
+            // xorshift64* — fast deterministic filler.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bytes = state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        page
+    }
+}
+
+/// A named, layered container image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerImage {
+    /// Image name ("pytorch:2.1").
+    pub name: String,
+    /// Ordered layers.
+    pub layers: Vec<Layer>,
+}
+
+impl ContainerImage {
+    /// Build an image of `total_pages` split over `layer_count` layers.
+    /// `base_id` seeds layer ids; images built with the same `base_id`
+    /// share base layers (and thus dedup in the page cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_count` is zero or exceeds `total_pages`.
+    pub fn synthetic(name: &str, total_pages: u64, layer_count: usize, base_id: u64) -> Self {
+        assert!(layer_count > 0, "image needs at least one layer");
+        assert!(layer_count as u64 <= total_pages, "more layers than pages");
+        let per = total_pages / layer_count as u64;
+        let mut layers: Vec<Layer> = (0..layer_count as u64)
+            .map(|i| Layer { id: base_id + i, pages: per })
+            .collect();
+        // Remainder pages go to the last layer.
+        layers.last_mut().expect("non-empty").pages += total_pages - per * layer_count as u64;
+        ContainerImage { name: name.to_string(), layers }
+    }
+
+    /// Total size in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.layers.iter().map(|l| l.pages).sum()
+    }
+
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_image_partitions_pages() {
+        let img = ContainerImage::synthetic("pytorch", 100, 3, 7);
+        assert_eq!(img.layers.len(), 3);
+        assert_eq!(img.total_pages(), 100);
+        assert_eq!(img.total_bytes(), 100 * PAGE_SIZE as u64);
+        assert_eq!(img.layers[0].pages, 33);
+        assert_eq!(img.layers[2].pages, 34, "remainder on last layer");
+    }
+
+    #[test]
+    fn page_content_is_deterministic_and_distinct() {
+        let layer = Layer { id: 5, pages: 10 };
+        assert_eq!(layer.page_content(3), layer.page_content(3));
+        assert_ne!(layer.page_content(3), layer.page_content(4));
+        let other = Layer { id: 6, pages: 10 };
+        assert_ne!(layer.page_content(3), other.page_content(3));
+        assert_eq!(layer.page_content(0).len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn shared_base_id_shares_layer_content() {
+        let a = ContainerImage::synthetic("a", 50, 2, 100);
+        let b = ContainerImage::synthetic("b", 50, 2, 100);
+        assert_eq!(a.layers[0].page_content(0), b.layers[0].page_content(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond layer")]
+    fn out_of_range_page_panics() {
+        Layer { id: 1, pages: 2 }.page_content(2);
+    }
+}

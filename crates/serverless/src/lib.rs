@@ -1,0 +1,32 @@
+//! # serverless — the rack-level serverless case study (paper §4)
+//!
+//! The paper motivates FlacOS with three serverless pain points: cold
+//! start latency, interference under density, and service-chain
+//! communication cost. This crate builds the §4.1 architecture on the
+//! FlacOS substrate:
+//!
+//! * [`image`] / [`registry`] — synthetic layered container images and a
+//!   remote registry with realistic manifest + bandwidth costs.
+//! * [`runtime`] — the container runtime with the three startup paths
+//!   of §4.2: **cold** (download from the registry), **FlacOS**
+//!   (image pages already in the rack's shared page cache, placed there
+//!   by whichever node started the image first), and **hot** (runtime
+//!   state already resident on this node).
+//! * [`chain`] — function chains whose hops run over FlacOS IPC instead
+//!   of the network.
+//! * [`scheduler`] — density-aware placement with an interference model.
+//!
+//! The container-startup experiment (`figures -- startup`) reproduces
+//! the paper's 21.067 s → 5.526 s → 3.02 s progression in shape.
+
+pub mod chain;
+pub mod image;
+pub mod registry;
+pub mod runtime;
+pub mod scheduler;
+
+pub use chain::FunctionChain;
+pub use image::ContainerImage;
+pub use registry::ImageRegistry;
+pub use runtime::{ContainerRuntime, StartupPath, StartupReport};
+pub use scheduler::DensityScheduler;

@@ -1,0 +1,88 @@
+//! The paper's Redis experiment, as an application: a redis-mini server
+//! on node 0, a client on node 1, first over FlacOS zero-copy IPC and
+//! then over the TCP/IP baseline — printing the latency gap (Figure 4).
+//!
+//! ```text
+//! cargo run -p flacos --example redis_rack
+//! ```
+
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::FlacChannel;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::{Rack, RackConfig, SimError};
+use redis_mini::client::{request_stepped, RedisClient};
+use redis_mini::resp::{Command, Reply};
+use redis_mini::server::RedisServer;
+use redis_mini::transport::Transport;
+
+fn drive<T: Transport>(
+    client: &mut RedisClient<T>,
+    server: &mut RedisServer<T>,
+    value_size: usize,
+    requests: usize,
+) -> Result<(u64, u64), SimError> {
+    let mut set_total = 0;
+    let mut get_total = 0;
+    for i in 0..requests {
+        let key = format!("user:{i}").into_bytes();
+        let (reply, set_ns) = request_stepped(
+            client,
+            server,
+            &Command::Set { key: key.clone(), value: vec![b'v'; value_size] },
+        )?;
+        assert_eq!(reply, Reply::Simple("OK".into()));
+        let (reply, get_ns) = request_stepped(client, server, &Command::Get { key })?;
+        assert!(matches!(reply, Reply::Bulk(_)));
+        set_total += set_ns;
+        get_total += get_ns;
+    }
+    Ok((set_total / requests as u64, get_total / requests as u64))
+}
+
+fn main() -> Result<(), SimError> {
+    const REQUESTS: usize = 500;
+    println!("redis-mini on a 2-node rack, {REQUESTS} SET+GET pairs per config\n");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14}",
+        "transport", "size", "SET latency", "GET latency"
+    );
+
+    let mut results = Vec::new();
+    for &size in &[16usize, 4096] {
+        // FlacOS IPC.
+        let rack = Rack::new(RackConfig::two_node_hccs());
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (sep, cep) = FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1))?;
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+        let (set_ipc, get_ipc) = drive(&mut client, &mut server, size, REQUESTS)?;
+        println!(
+            "{:<10} {:>6} B {:>11.2} us {:>11.2} us",
+            "flacos",
+            size,
+            set_ipc as f64 / 1e3,
+            get_ipc as f64 / 1e3
+        );
+
+        // TCP/IP baseline.
+        let rack = Rack::new(RackConfig::two_node_hccs());
+        let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+        let mut server = RedisServer::new(rack.node(0), sep);
+        let mut client = RedisClient::new(rack.node(1), cep);
+        let (set_net, get_net) = drive(&mut client, &mut server, size, REQUESTS)?;
+        println!(
+            "{:<10} {:>6} B {:>11.2} us {:>11.2} us",
+            "tcp/ip",
+            size,
+            set_net as f64 / 1e3,
+            get_net as f64 / 1e3
+        );
+        results.push((size, set_net as f64 / set_ipc as f64, get_net as f64 / get_ipc as f64));
+    }
+
+    println!("\nlatency reduction (networking / FlacOS):");
+    for (size, set_x, get_x) in results {
+        println!("  {size:>5} B: SET {set_x:.2}x, GET {get_x:.2}x   (paper: 1.75x-2.4x)");
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Fault-injection integration tests: memory poison, node crashes, and
+//! link failures driven through the full stack, verifying the system
+//! degrades and recovers the way §3.6 promises.
+
+use flacos::prelude::*;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::NodeId;
+
+fn booted() -> FlacRack {
+    FlacRack::boot(RackConfig::small_test().with_global_mem(128 << 20)).expect("boot")
+}
+
+#[test]
+fn node_crash_fails_operations_until_restart() {
+    let rack = booted();
+    let mut os1 = rack.node_os(1);
+    os1.fs_mut().write_file("/x", b"1").unwrap();
+
+    rack.sim().faults().crash_node(os1.id(), 0);
+    assert!(os1.fs_mut().read_file("/x").is_err(), "dead node cannot do fs ops");
+    assert!(os1.heartbeat().is_err());
+
+    rack.sim().faults().restart_node(os1.id());
+    assert_eq!(os1.fs_mut().read_file("/x").unwrap(), b"1", "state survives in global memory");
+}
+
+#[test]
+fn surviving_node_reads_data_written_by_crashed_node() {
+    // The point of the shared OS: one node's death does not take its
+    // file data with it.
+    let rack = booted();
+    let mut os0 = rack.node_os(0);
+    let mut os1 = rack.node_os(1);
+    os1.fs_mut().write_file("/will-survive", &vec![5u8; 10_000]).unwrap();
+    rack.sim().faults().crash_node(os1.id(), 0);
+
+    let data = os0.fs_mut().read_file("/will-survive").unwrap();
+    assert_eq!(data, vec![5u8; 10_000]);
+}
+
+#[test]
+fn link_failure_breaks_messaging_but_not_shared_memory() {
+    let rack = booted();
+    let (mut a, _b) = rack.channel(0, 1).unwrap();
+    let n0 = rack.sim().node(0);
+    let n1 = rack.sim().node(1);
+
+    rack.sim().faults().fail_link(n0.id(), n1.id(), 0);
+    // Message fabric path fails...
+    assert!(matches!(
+        n0.send(n1.id(), 42, vec![1]),
+        Err(SimError::LinkDown { .. })
+    ));
+    // ...but load/store shared memory (a different fabric path in this
+    // model) still works: the ring-based channel keeps flowing.
+    a.send(b"still works").unwrap();
+
+    rack.sim().faults().restore_link(n0.id(), n1.id());
+    assert!(n0.send(n1.id(), 42, vec![1]).is_ok());
+}
+
+#[test]
+fn poison_is_contained_to_one_process() {
+    let rack = booted();
+    let mut os0 = rack.node_os(0);
+    let mut victim = os0.spawn(1, Criticality::Low).unwrap();
+    let mut bystander = os0.spawn(1, Criticality::Low).unwrap();
+    for (p, tag) in [(&mut victim, b"victim----"), (&mut bystander, b"bystander-")] {
+        p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), tag)).unwrap();
+        p.protect_now(os0.node()).unwrap();
+    }
+
+    // Poison the victim's heap.
+    let (_, heap, _) = victim
+        .fault_box()
+        .memory_objects()
+        .into_iter()
+        .find(|(id, _, _)| *id >= 2_000)
+        .unwrap();
+    rack.sim().faults().poison_memory(rack.sim().global(), heap, 64, 0);
+
+    // The bystander keeps running untouched.
+    bystander
+        .run(os0.node(), |ctx, fbox| {
+            let mut buf = [0u8; 10];
+            fbox.space().read(ctx, fbox.heap_va(0), &mut buf)?;
+            assert_eq!(&buf, b"bystander-");
+            Ok(())
+        })
+        .unwrap();
+
+    // The victim recovers from its checkpoint.
+    victim.recover(os0.node()).unwrap();
+    victim
+        .run(os0.node(), |ctx, fbox| {
+            let mut buf = [0u8; 10];
+            fbox.space().read(ctx, fbox.heap_va(0), &mut buf)?;
+            assert_eq!(&buf, b"victim----");
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn evacuation_before_node_death() {
+    let rack = booted();
+    let mut os0 = rack.node_os(0);
+    let mut os1 = rack.node_os(1);
+    let mut p = os0.spawn(1, Criticality::Medium).unwrap();
+    p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), b"moving out"))
+        .unwrap();
+
+    // Health monitoring says node 0 is failing: migrate, then crash it.
+    os1.adopt(&mut p, os0.node()).unwrap();
+    rack.sim().faults().crash_node(os0.id(), 0);
+
+    p.run(os1.node(), |ctx, fbox| {
+        let mut buf = [0u8; 10];
+        fbox.space().read(ctx, fbox.heap_va(0), &mut buf)?;
+        assert_eq!(&buf, b"moving out");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn netstack_fails_cleanly_when_peer_dies() {
+    let rack = booted();
+    let (mut a, _b) = NetPair::connect(
+        rack.sim().node(0),
+        rack.sim().node(1),
+        NetConfig::ten_gbe(),
+        0,
+    );
+    rack.sim().faults().crash_node(NodeId(1), 0);
+    assert!(matches!(a.send(b"hello?"), Err(SimError::NodeDown { .. })));
+}
+
+#[test]
+fn deterministic_fault_schedules_replay() {
+    // Same seed => same random poison address => identical outcome.
+    let addr_of = |seed: u64| {
+        let rack = rack_sim::Rack::new(RackConfig::small_test().with_seed(seed));
+        rack.faults().poison_random_word(rack.global(), rack_sim::GAddr(0), 65536, 0)
+    };
+    assert_eq!(addr_of(11), addr_of(11));
+    assert_ne!(addr_of(11), addr_of(12));
+}

@@ -1,0 +1,320 @@
+//! Property-based tests on core data-structure invariants, checked
+//! against reference models under arbitrary operation sequences.
+
+use flacdk::alloc::GlobalAllocator;
+use flacdk::ds::hashmap::ReplicatedKv;
+use flacdk::ds::radix::RadixTree;
+use flacdk::ds::ringbuf::SpscRing;
+use flacdk::sync::rcu::EpochManager;
+use flacdk::sync::reclaim::RetireList;
+use flacdk::sync::oplog::SharedOpLog;
+use flacdk::wire::{Decoder, Encoder};
+use flacos_mem::dedup::PageDeduper;
+use flacos_mem::fault::FrameAllocator;
+use flacos_mem::PAGE_SIZE;
+use flacos_mem::vma::{Vma, VmaSet};
+use flacos_mem::VirtAddr;
+use proptest::prelude::*;
+use rack_sim::{GAddr, Rack, RackConfig, SimError};
+use redis_mini::resp::{Command, Reply};
+use std::collections::{HashMap, VecDeque};
+
+fn small_rack() -> Rack {
+    Rack::new(RackConfig::small_test().with_global_mem(32 << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn global_memory_byte_rw_roundtrip(
+        offset in 0usize..1000,
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let rack = small_rack();
+        let g = rack.global();
+        g.write_bytes(GAddr(offset as u64), &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        g.read_bytes(GAddr(offset as u64), &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn ring_matches_fifo_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..40).prop_map(Some), // push
+                Just(None),                                                  // pop
+            ],
+            1..60
+        )
+    ) {
+        let rack = small_rack();
+        let ring = SpscRing::alloc(rack.global(), 16, 64).unwrap();
+        let (producer, consumer) = (rack.node(0), rack.node(1));
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                Some(payload) => match ring.push(&producer, &payload) {
+                    Ok(()) => model.push_back(payload),
+                    Err(SimError::WouldBlock) => prop_assert_eq!(model.len(), 16),
+                    Err(e) => return Err(TestCaseError::fail(format!("push: {e}"))),
+                },
+                None => match ring.pop(&consumer) {
+                    Ok(got) => prop_assert_eq!(Some(got), model.pop_front()),
+                    Err(SimError::WouldBlock) => prop_assert!(model.is_empty()),
+                    Err(e) => return Err(TestCaseError::fail(format!("pop: {e}"))),
+                },
+            }
+        }
+        prop_assert_eq!(ring.len(&producer).unwrap() as usize, model.len());
+    }
+
+    #[test]
+    fn replicated_kv_converges_and_matches_model(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..16, proptest::collection::vec(any::<u8>(), 0..24)),
+            1..50
+        )
+    ) {
+        let rack = small_rack();
+        let shared = ReplicatedKv::alloc_shared(rack.global(), 2, 4096, 128).unwrap();
+        let mut kv0 = ReplicatedKv::new(shared.clone(), rack.node(0));
+        let mut kv1 = ReplicatedKv::new(shared, rack.node(1));
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for (i, (is_put, key, value)) in ops.iter().enumerate() {
+            let kv = if i % 2 == 0 { &mut kv0 } else { &mut kv1 };
+            if *is_put {
+                kv.put(*key, value).unwrap();
+                model.insert(*key, value.clone());
+            } else {
+                kv.del(*key).unwrap();
+                model.remove(key);
+            }
+        }
+        for key in 0..16u64 {
+            prop_assert_eq!(kv0.get(key).unwrap(), model.get(&key).cloned());
+            prop_assert_eq!(kv1.get(key).unwrap(), model.get(&key).cloned());
+        }
+        prop_assert_eq!(kv0.len().unwrap(), model.len());
+    }
+
+    #[test]
+    fn radix_matches_map_model(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..512, any::<u64>()),
+            1..60
+        )
+    ) {
+        let rack = small_rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), 2).unwrap();
+        let retired = RetireList::new();
+        let tree = RadixTree::alloc(rack.global(), 2).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let n0 = rack.node(0);
+
+        for (insert, key, value) in ops {
+            if insert {
+                let prev = tree.insert(&n0, &alloc, &epochs, &retired, key, value).unwrap();
+                prop_assert_eq!(prev, model.insert(key, value));
+            } else {
+                let prev = tree.remove(&n0, &alloc, &epochs, &retired, key).unwrap();
+                prop_assert_eq!(prev, model.remove(&key));
+            }
+            retired.reclaim(&n0, &epochs, &alloc).unwrap();
+        }
+        let guard = epochs.handle(rack.node(1)).read_lock().unwrap();
+        for key in 0..512u64 {
+            prop_assert_eq!(
+                tree.get(&rack.node(1), &guard, key).unwrap(),
+                model.get(&key).copied()
+            );
+        }
+    }
+
+    #[test]
+    fn resp_command_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        value in proptest::collection::vec(any::<u8>(), 0..256),
+        which in 0u8..7,
+    ) {
+        let cmd = match which {
+            0 => Command::Set { key, value },
+            1 => Command::Get { key },
+            2 => Command::Del { key },
+            3 => Command::Incr { key },
+            4 => Command::Exists { key },
+            5 => Command::Append { key, value },
+            _ => Command::Ping,
+        };
+        let wire = cmd.encode();
+        let (parsed, consumed) = Command::parse(&wire).unwrap();
+        prop_assert_eq!(parsed, cmd);
+        prop_assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn resp_reply_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        for reply in [Reply::Bulk(data.clone()), Reply::Null, Reply::Integer(data.len() as i64)] {
+            let wire = reply.encode();
+            let (parsed, consumed) = Reply::parse(&wire).unwrap();
+            prop_assert_eq!(parsed, reply);
+            prop_assert_eq!(consumed, wire.len());
+        }
+    }
+
+    #[test]
+    fn resp_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Command::parse(&bytes);
+        let _ = Reply::parse(&bytes);
+    }
+
+    #[test]
+    fn wire_codec_roundtrip(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        s in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut e = Encoder::new();
+        e.put_u64(a).put_u32(b).put_bytes(&s);
+        let buf = e.into_vec();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.u64().unwrap(), a);
+        prop_assert_eq!(d.u32().unwrap(), b);
+        prop_assert_eq!(d.bytes().unwrap(), &s[..]);
+        prop_assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn vma_set_never_holds_overlaps(
+        areas in proptest::collection::vec((0u64..100, 1u64..20), 1..20)
+    ) {
+        let mut set = VmaSet::new();
+        for (start, len) in areas {
+            let vma = Vma {
+                start: VirtAddr(start * 0x1000),
+                end: VirtAddr((start + len) * 0x1000),
+                writable: true,
+                tag: start,
+            };
+            let _ = set.insert(vma); // overlaps are rejected, that's fine
+        }
+        // Invariant: whatever was accepted is pairwise disjoint.
+        let all: Vec<&Vma> = set.iter().collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                prop_assert!(a.end.0 <= b.start.0 || b.end.0 <= a.start.0);
+            }
+        }
+        // And find() agrees with contains().
+        for vma in &all {
+            prop_assert_eq!(set.find(vma.start).map(|v| v.tag), Some(vma.tag));
+        }
+    }
+
+
+    #[test]
+    fn oplog_preserves_append_order_and_content(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..40
+        )
+    ) {
+        let rack = small_rack();
+        let log = SharedOpLog::alloc(rack.global(), 64, 64).unwrap();
+        let (a, b) = (rack.node(0), rack.node(1));
+        for (i, payload) in payloads.iter().enumerate() {
+            // Alternate appenders across nodes.
+            let node = if i % 2 == 0 { &a } else { &b };
+            let idx = log.append(node, payload).unwrap();
+            prop_assert_eq!(idx, i as u64, "indices are dense and ordered");
+        }
+        for (i, payload) in payloads.iter().enumerate() {
+            let got = log.read(&b, i as u64).unwrap().expect("committed");
+            prop_assert_eq!(&got, payload);
+        }
+        prop_assert_eq!(log.tail(&a).unwrap(), payloads.len() as u64);
+    }
+
+    #[test]
+    fn allocator_live_objects_never_overlap(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..500), 1..80)
+    ) {
+        let rack = small_rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let node = rack.node(0);
+        let mut live: Vec<(u64, usize)> = Vec::new(); // (addr, class size)
+
+        for (do_alloc, len) in ops {
+            if do_alloc || live.is_empty() {
+                let addr = alloc.alloc(&node, len).unwrap();
+                let class = GlobalAllocator::size_class(len);
+                // Must not overlap any live object.
+                for (base, sz) in &live {
+                    let disjoint = addr.0 + class as u64 <= *base || base + *sz as u64 <= addr.0;
+                    prop_assert!(disjoint, "{addr:?}+{class} overlaps {base:#x}+{sz}");
+                }
+                live.push((addr.0, class));
+            } else {
+                let (base, sz) = live.swap_remove(len % live.len());
+                alloc.free(&node, GAddr(base), sz);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_refcounts_match_a_reference_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..4), 1..40)
+    ) {
+        let rack = small_rack();
+        let dedup = PageDeduper::new(FrameAllocator::new(rack.global().clone()));
+        let node = rack.node(0);
+        // content id -> (frame, model refcount)
+        let mut model: HashMap<u8, (GAddr, u64)> = HashMap::new();
+
+        for (intern, content_id) in ops {
+            if intern {
+                let frame = dedup.intern(&node, &vec![content_id; PAGE_SIZE]).unwrap();
+                let entry = model.entry(content_id).or_insert((frame, 0));
+                prop_assert_eq!(entry.0, frame, "same content, same frame");
+                entry.1 += 1;
+            } else if let Some((frame, count)) = model.get_mut(&content_id) {
+                dedup.release(&node, *frame).unwrap();
+                *count -= 1;
+                if *count == 0 {
+                    let id = content_id;
+                    model.remove(&id);
+                }
+            }
+            for (frame, count) in model.values() {
+                prop_assert_eq!(dedup.refcount(*frame), *count);
+            }
+        }
+        prop_assert_eq!(dedup.stats().unique_frames as usize, model.len());
+    }
+
+    #[test]
+    fn versioned_cell_reads_see_complete_versions(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..50), 1..12)
+    ) {
+        use flacdk::sync::rcu::VersionedCell;
+        let rack = small_rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), 2).unwrap();
+        let retired = RetireList::new();
+        let cell = VersionedCell::alloc(rack.global()).unwrap();
+        let (writer, reader) = (rack.node(0), rack.node(1));
+
+        for content in &writes {
+            cell.write(&writer, &alloc, &epochs, &retired, content).unwrap();
+            // Reader on the other node always sees the exact latest bytes.
+            let guard = epochs.handle(reader.clone()).read_lock().unwrap();
+            let observed = cell.read(&reader, &guard).unwrap();
+            prop_assert_eq!(observed.as_deref(), Some(&content[..]));
+            drop(guard);
+            retired.reclaim(&writer, &epochs, &alloc).unwrap();
+        }
+    }
+}
