@@ -1,15 +1,16 @@
-//! Criterion wrapper for the fault-box blast-radius ablation.
+//! Bench target for the fault-box blast-radius ablation.
 
 use bench::faultbox_ab;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 
-fn bench_faultbox(c: &mut Criterion) {
-    let mut group = c.benchmark_group("faultbox");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("faultbox");
     group.sample_size(10);
     for &apps in &[4usize, 8] {
-        group.bench_with_input(BenchmarkId::new("recover_one_of", apps), &apps, |b, &k| {
+        group.bench(&format!("recover_one_of/{apps}"), |b| {
             b.iter(|| {
-                let row = faultbox_ab::run_cell(k);
+                let row = faultbox_ab::run_cell(apps);
                 assert_eq!(row.disturbed_flacos, 1);
                 row
             });
@@ -17,6 +18,3 @@ fn bench_faultbox(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_faultbox);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion wrapper for the Figure 4 experiment: one Redis request
+//! Bench target for the Figure 4 experiment: one Redis request
 //! (SET × size × transport) per iteration, exercising exactly the code
 //! path `figures -- fig4` reports on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use flacdk::alloc::GlobalAllocator;
 use flacos_ipc::channel::FlacChannel;
 use flacos_ipc::netstack::{NetConfig, NetPair};
@@ -11,30 +11,34 @@ use redis_mini::client::{request_stepped, RedisClient};
 use redis_mini::resp::Command;
 use redis_mini::server::RedisServer;
 
-fn bench_redis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("redis_latency");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("redis_latency");
     for &size in &[16usize, 4096] {
-        group.bench_with_input(BenchmarkId::new("flacos_ipc_set", size), &size, |b, &size| {
+        group.bench(&format!("flacos_ipc_set/{size}"), |b| {
             let rack = Rack::new(RackConfig::two_node_hccs());
             let alloc = GlobalAllocator::new(rack.global().clone());
             let (sep, cep) =
                 FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
             let mut server = RedisServer::new(rack.node(0), sep);
             let mut client = RedisClient::new(rack.node(1), cep);
-            let cmd = Command::Set { key: b"k".to_vec(), value: vec![7u8; size] };
+            let cmd = Command::Set {
+                key: b"k".to_vec(),
+                value: vec![7u8; size],
+            };
             b.iter(|| request_stepped(&mut client, &mut server, &cmd).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("tcp_set", size), &size, |b, &size| {
+        group.bench(&format!("tcp_set/{size}"), |b| {
             let rack = Rack::new(RackConfig::two_node_hccs());
             let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
             let mut server = RedisServer::new(rack.node(0), sep);
             let mut client = RedisClient::new(rack.node(1), cep);
-            let cmd = Command::Set { key: b"k".to_vec(), value: vec![7u8; size] };
+            let cmd = Command::Set {
+                key: b"k".to_vec(),
+                value: vec![7u8; size],
+            };
             b.iter(|| request_stepped(&mut client, &mut server, &cmd).unwrap());
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_redis);
-criterion_main!(benches);

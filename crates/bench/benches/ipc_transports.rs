@@ -1,16 +1,17 @@
-//! Criterion wrapper for the IPC-vs-netstack echo sweep.
+//! Bench target for the IPC-vs-netstack echo sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use flacdk::alloc::GlobalAllocator;
 use flacos_ipc::channel::FlacChannel;
 use flacos_ipc::netstack::{NetConfig, NetPair};
 use rack_sim::{Rack, RackConfig};
 
-fn bench_ipc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ipc_transports");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("ipc_transports");
     for &size in &[64usize, 4096, 65536] {
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("flacos_echo", size), &size, |b, &size| {
+        group.throughput_bytes(size as u64);
+        group.bench(&format!("flacos_echo/{size}"), |b| {
             let rack = Rack::new(RackConfig::two_node_hccs());
             let alloc = GlobalAllocator::new(rack.global().clone());
             let (mut a, mut bp) =
@@ -23,7 +24,7 @@ fn bench_ipc(c: &mut Criterion) {
                 a.try_recv().unwrap()
             });
         });
-        group.bench_with_input(BenchmarkId::new("tcp_echo", size), &size, |b, &size| {
+        group.bench(&format!("tcp_echo/{size}"), |b| {
             let rack = Rack::new(RackConfig::two_node_hccs());
             let (mut a, mut bp) =
                 NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
@@ -38,6 +39,3 @@ fn bench_ipc(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ipc);
-criterion_main!(benches);

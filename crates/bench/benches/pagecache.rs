@@ -1,15 +1,16 @@
-//! Criterion wrapper for the shared-page-cache ablation.
+//! Bench target for the shared-page-cache ablation.
 
+use bench::harness::Harness;
 use bench::pagecache_ab;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_pagecache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pagecache");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("pagecache");
     group.sample_size(10);
     for &nodes in &[2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("shared_fileset", nodes), &nodes, |b, &n| {
+        group.bench(&format!("shared_fileset/{nodes}"), |b| {
             b.iter(|| {
-                let row = pagecache_ab::run_cell(n, 2, 16);
+                let row = pagecache_ab::run_cell(nodes, 2, 16);
                 assert!(row.capacity_gain() > 1.0);
                 row
             });
@@ -17,6 +18,3 @@ fn bench_pagecache(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_pagecache);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion wrapper for the container-startup experiment (small image
-//! so each iteration stays fast; the figure harness runs the full-size
+//! Bench target for the container-startup experiment (small image so
+//! each iteration stays fast; the figure harness runs the full-size
 //! version).
 
+use bench::harness::Harness;
 use bench::startup;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_startup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("container_startup");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("container_startup");
     group.sample_size(10);
-    group.bench_function("cold_shared_hot_progression", |b| {
+    group.bench("cold_shared_hot_progression", |b| {
         b.iter(|| {
             let rows = startup::run_with_pages(256, 4096);
             assert!(rows.hot.total_ns < rows.cold.total_ns);
@@ -17,6 +18,3 @@ fn bench_startup(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_startup);
-criterion_main!(benches);

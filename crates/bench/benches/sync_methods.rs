@@ -1,18 +1,16 @@
-//! Criterion wrapper for the synchronization-methods ablation.
+//! Bench target for the synchronization-methods ablation.
 
+use bench::harness::Harness;
 use bench::sync_ab;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_sync(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_methods");
+fn main() {
+    let mut h = Harness::new();
+    let mut group = h.group("sync_methods");
     group.sample_size(10);
     for method in sync_ab::METHODS {
-        group.bench_with_input(BenchmarkId::new("mixed_50r", method), &method, |b, &m| {
-            b.iter(|| sync_ab::run_cell(m, 2, 50, 100));
+        group.bench(&format!("mixed_50r/{method}"), |b| {
+            b.iter(|| sync_ab::run_cell(method, 2, 50, 100));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sync);
-criterion_main!(benches);

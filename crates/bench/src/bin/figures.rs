@@ -3,8 +3,18 @@
 //! ```text
 //! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|all]
 //! ```
+//!
+//! Every figure is followed by the rack-wide metrics decomposition of a
+//! representative cell — operation counts, per-cost-class latency
+//! histograms, and per-subsystem counters — so the headline numbers can
+//! be traced back to the simulated operations that produced them.
 
 use bench::{dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab};
+use rack_sim::RackReport;
+
+fn print_metrics(what: &str, report: &RackReport) {
+    println!("metrics — {what}:\n{report}\n");
+}
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -12,34 +22,63 @@ fn main() {
 
     if matches!(arg.as_str(), "fig4" | "all") {
         println!("{}\n", fig4::report(&fig4::run(1000)));
+        print_metrics(
+            "Figure 4 representative cell (FlacOS SET, 4 KiB)",
+            &fig4::metrics(200),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "startup" | "all") {
         println!("{}\n", startup::report(&startup::run()));
+        print_metrics("container startup (small image)", &startup::metrics());
         ran = true;
     }
     if matches!(arg.as_str(), "sync" | "all") {
         println!("{}\n", sync_ab::report(&sync_ab::run(400)));
+        print_metrics(
+            "A1 representative cell (rcu, 2 nodes, 50% reads)",
+            &sync_ab::metrics(400),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "pagecache" | "all") {
         println!("{}\n", pagecache_ab::report(&pagecache_ab::run()));
+        print_metrics(
+            "A2 representative cell (2 nodes, shared file set)",
+            &pagecache_ab::metrics(),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "ipc" | "all") {
         println!("{}\n", ipc_ab::report(&ipc_ab::run(200)));
+        print_metrics(
+            "A4 representative point (FlacOS echo, 4 KiB)",
+            &ipc_ab::metrics(200),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "faultbox" | "all") {
         println!("{}\n", faultbox_ab::report(&faultbox_ab::run()));
+        print_metrics(
+            "A3 representative cell (8 apps, fault-box path)",
+            &faultbox_ab::metrics(),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "dedup" | "all") {
         println!("{}\n", dedup_ab::report(&dedup_ab::run()));
+        print_metrics(
+            "A5 representative cell (4 images, shared layers)",
+            &dedup_ab::metrics(),
+        );
         ran = true;
     }
     if matches!(arg.as_str(), "fabric" | "all") {
         println!("{}\n", fabric_ab::report(&fabric_ab::run(300)));
+        print_metrics(
+            "A6 representative cell (HCCS, FlacOS SET, 4 KiB)",
+            &fabric_ab::metrics(300),
+        );
         ran = true;
     }
 

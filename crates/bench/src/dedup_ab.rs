@@ -36,7 +36,15 @@ impl DedupRow {
 /// Intern `images` images of `pages_each` pages; all images share their
 /// first `shared_layers` (of 4) layers.
 pub fn run_cell(images: usize, pages_each: u64, shared_layers: usize) -> DedupRow {
-    let rack = Rack::new(RackConfig::small_test().with_global_mem(256 << 20));
+    run_cell_on(
+        &Rack::new(RackConfig::small_test().with_global_mem(256 << 20)),
+        images,
+        pages_each,
+        shared_layers,
+    )
+}
+
+fn run_cell_on(rack: &Rack, images: usize, pages_each: u64, shared_layers: usize) -> DedupRow {
     let dedup = PageDeduper::new(FrameAllocator::new(rack.global().clone()));
     let n0 = rack.node(0);
 
@@ -48,10 +56,15 @@ pub fn run_cell(images: usize, pages_each: u64, shared_layers: usize) -> DedupRo
             let effective = if layer_idx < shared_layers {
                 layer.clone() // shared id space: identical content
             } else {
-                serverless::image::Layer { id: 10_000 + (img_idx * 10 + layer_idx) as u64, ..layer.clone() }
+                serverless::image::Layer {
+                    id: 10_000 + (img_idx * 10 + layer_idx) as u64,
+                    ..layer.clone()
+                }
             };
             for p in 0..effective.pages {
-                dedup.intern(&n0, &effective.page_content(p)).expect("intern");
+                dedup
+                    .intern(&n0, &effective.page_content(p))
+                    .expect("intern");
             }
         }
     }
@@ -69,6 +82,15 @@ pub fn run_cell(images: usize, pages_each: u64, shared_layers: usize) -> DedupRo
 /// Run the sweep over sharing degrees.
 pub fn run() -> Vec<DedupRow> {
     [0usize, 2, 4].iter().map(|&s| run_cell(4, 64, s)).collect()
+}
+
+/// Rack-wide metrics behind one representative cell (4 images, fully
+/// shared layers): operation counts and latency histograms.
+pub fn metrics() -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::small_test().with_global_mem(256 << 20));
+    rack.enable_tracing();
+    run_cell_on(&rack, 4, 64, 4);
+    rack.metrics_report()
 }
 
 /// Render the sweep.
@@ -90,7 +112,14 @@ pub fn report(rows: &[DedupRow]) -> String {
         "Ablation A5: page dedup on container images ({} B pages)\n\n{}",
         PAGE_SIZE,
         crate::table::render(
-            &["images", "shared layers", "pages", "unique frames", "saved", "ratio"],
+            &[
+                "images",
+                "shared layers",
+                "pages",
+                "unique frames",
+                "saved",
+                "ratio"
+            ],
             &table_rows
         )
     )

@@ -47,7 +47,10 @@ impl FabricRow {
 
 fn measure_set(rack: &Rack, over_ipc: bool, size: usize, requests: usize) -> u64 {
     let alloc = GlobalAllocator::new(rack.global().clone());
-    let cmd = Command::Set { key: b"k".to_vec(), value: vec![1u8; size] };
+    let cmd = Command::Set {
+        key: b"k".to_vec(),
+        value: vec![1u8; size],
+    };
     let mut total = 0u64;
     if over_ipc {
         let (sep, cep) =
@@ -55,14 +58,18 @@ fn measure_set(rack: &Rack, over_ipc: bool, size: usize, requests: usize) -> u64
         let mut server = RedisServer::new(rack.node(0), sep);
         let mut client = RedisClient::new(rack.node(1), cep);
         for _ in 0..requests {
-            total += request_stepped(&mut client, &mut server, &cmd).expect("req").1;
+            total += request_stepped(&mut client, &mut server, &cmd)
+                .expect("req")
+                .1;
         }
     } else {
         let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
         let mut server = RedisServer::new(rack.node(0), sep);
         let mut client = RedisClient::new(rack.node(1), cep);
         for _ in 0..requests {
-            total += request_stepped(&mut client, &mut server, &cmd).expect("req").1;
+            total += request_stepped(&mut client, &mut server, &cmd)
+                .expect("req")
+                .1;
         }
     }
     total / requests as u64
@@ -73,16 +80,28 @@ pub fn run(requests: usize) -> Vec<FabricRow> {
     let mut rows = Vec::new();
     for &size in &[16usize, 4096] {
         for (fabric, model) in FABRICS {
-            let rack =
-                Rack::new(RackConfig::two_node_hccs().with_latency(model()));
+            let rack = Rack::new(RackConfig::two_node_hccs().with_latency(model()));
             let flacos_ns = measure_set(&rack, true, size, requests);
-            let rack =
-                Rack::new(RackConfig::two_node_hccs().with_latency(model()));
+            let rack = Rack::new(RackConfig::two_node_hccs().with_latency(model()));
             let networking_ns = measure_set(&rack, false, size, requests);
-            rows.push(FabricRow { fabric, size, flacos_ns, networking_ns });
+            rows.push(FabricRow {
+                fabric,
+                size,
+                flacos_ns,
+                networking_ns,
+            });
         }
     }
     rows
+}
+
+/// Rack-wide metrics behind one representative cell (HCCS fabric,
+/// FlacOS IPC, 4 KiB SETs): operation counts and latency histograms.
+pub fn metrics(requests: usize) -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::two_node_hccs());
+    rack.enable_tracing();
+    measure_set(&rack, true, 4096, requests);
+    rack.metrics_report()
 }
 
 /// Render the sweep.
@@ -116,7 +135,10 @@ mod tests {
     fn better_fabrics_help_flacos_not_tcp() {
         let rows = run(30);
         let at = |f: &str, size: usize| {
-            rows.iter().find(|r| r.fabric == f && r.size == size).unwrap().clone()
+            rows.iter()
+                .find(|r| r.fabric == f && r.size == size)
+                .unwrap()
+                .clone()
         };
         // Coherent-uniform < HCCS < CXL-switched on the FlacOS side.
         assert!(at("uniform-coherent", 16).flacos_ns < at("hccs", 16).flacos_ns);

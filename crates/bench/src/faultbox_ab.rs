@@ -67,9 +67,14 @@ pub fn run_cell(apps: usize) -> FaultBoxRow {
     let rack = Rack::new(RackConfig::small_test().with_global_mem(192 << 20));
     let mut orch = build_orchestrator(&rack, apps, 2);
     let n0 = rack.node(0);
-    orch.poison_app_heap(&n0, rack.faults(), (apps / 2) as u64, 64).expect("inject");
+    orch.poison_app_heap(&n0, rack.faults(), (apps / 2) as u64, 64)
+        .expect("inject");
     let report = orch.sweep(&n0).expect("sweep");
-    assert_eq!(report.boxes_recovered.len(), 1, "fault box bounds the radius");
+    assert_eq!(
+        report.boxes_recovered.len(),
+        1,
+        "fault box bounds the radius"
+    );
     let recovery_flacos_ns = report.sweep_ns;
 
     // Baseline path: the same single fault, but horizontally aggregated
@@ -81,7 +86,8 @@ pub fn run_cell(apps: usize) -> FaultBoxRow {
     let n0 = rack.node(0);
     let t0 = n0.clock().now();
     for app in 0..apps as u64 {
-        orch.poison_app_heap(&n0, rack.faults(), app, 64).expect("inject all");
+        orch.poison_app_heap(&n0, rack.faults(), app, 64)
+            .expect("inject all");
     }
     orch.sweep(&n0).expect("sweep all");
     let recovery_baseline_ns = n0.clock().now() - t0;
@@ -98,6 +104,21 @@ pub fn run_cell(apps: usize) -> FaultBoxRow {
 /// Run the app-count sweep.
 pub fn run() -> Vec<FaultBoxRow> {
     [4usize, 8, 16].iter().map(|&k| run_cell(k)).collect()
+}
+
+/// Rack-wide metrics behind one representative cell (8 apps, fault-box
+/// path): operation counts, latency histograms, and the `fault_box`
+/// build/recovery counters.
+pub fn metrics() -> rack_sim::RackReport {
+    let apps = 8;
+    let rack = Rack::new(RackConfig::small_test().with_global_mem(192 << 20));
+    rack.enable_tracing();
+    let mut orch = build_orchestrator(&rack, apps, 2);
+    let n0 = rack.node(0);
+    orch.poison_app_heap(&n0, rack.faults(), (apps / 2) as u64, 64)
+        .expect("inject");
+    orch.sweep(&n0).expect("sweep");
+    rack.metrics_report()
 }
 
 /// Render the sweep.
@@ -118,7 +139,14 @@ pub fn report(rows: &[FaultBoxRow]) -> String {
     format!(
         "Ablation A3: fault-box blast radius and recovery time\n\n{}",
         crate::table::render(
-            &["apps", "disturbed (fault box)", "disturbed (node restart)", "recovery (fault box)", "recovery (node restart)", "speedup"],
+            &[
+                "apps",
+                "disturbed (fault box)",
+                "disturbed (node restart)",
+                "recovery (fault box)",
+                "recovery (node restart)",
+                "speedup"
+            ],
             &table_rows
         )
     )
@@ -145,6 +173,9 @@ mod tests {
     fn speedup_grows_with_density() {
         let small = run_cell(4);
         let big = run_cell(16);
-        assert!(big.speedup() > small.speedup(), "more co-located apps, bigger win");
+        assert!(
+            big.speedup() > small.speedup(),
+            "more co-located apps, bigger win"
+        );
     }
 }

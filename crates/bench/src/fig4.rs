@@ -51,13 +51,19 @@ fn measure<T: Transport>(
     let (_, _) = request_stepped(
         client,
         server,
-        &Command::Set { key: key.clone(), value: vec![0xAB; size] },
+        &Command::Set {
+            key: key.clone(),
+            value: vec![0xAB; size],
+        },
     )
     .expect("warmup set");
     let mut total = 0u64;
     for i in 0..requests {
         let cmd = match op {
-            "SET" => Command::Set { key: key.clone(), value: vec![(i % 251) as u8; size] },
+            "SET" => Command::Set {
+                key: key.clone(),
+                value: vec![(i % 251) as u8; size],
+            },
             _ => Command::Get { key: key.clone() },
         };
         let (_, latency) = request_stepped(client, server, &cmd).expect("request");
@@ -86,10 +92,30 @@ pub fn run(requests: usize) -> Vec<Fig4Row> {
             let mut nclient = RedisClient::new(rack.node(1), cep);
             let networking_ns = measure(&mut nclient, &mut nserver, op, size, requests);
 
-            rows.push(Fig4Row { op, size, flacos_ns, networking_ns });
+            rows.push(Fig4Row {
+                op,
+                size,
+                flacos_ns,
+                networking_ns,
+            });
         }
     }
     rows
+}
+
+/// Rack-wide metrics behind one representative Figure 4 cell (FlacOS
+/// IPC, SET, 4 KiB values): operation counts, latency histograms, and
+/// the `ipc` message counters.
+pub fn metrics(requests: usize) -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::two_node_hccs());
+    rack.enable_tracing();
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let (sep, cep) =
+        FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).expect("channel");
+    let mut server = RedisServer::new(rack.node(0), sep);
+    let mut client = RedisClient::new(rack.node(1), cep);
+    measure(&mut client, &mut server, "SET", 4096, requests);
+    rack.metrics_report()
 }
 
 /// Render the figure as a table, with the networking-side overhead
@@ -125,15 +151,30 @@ pub fn report(rows: &[Fig4Row]) -> String {
 pub fn breakdown_report() -> String {
     let cfg = NetConfig::ten_gbe();
     let rows = vec![
-        vec!["syscalls (tx + rx)".to_string(), crate::table::fmt_ns(2 * cfg.syscall_ns)],
-        vec!["buffer allocation".to_string(), crate::table::fmt_ns(cfg.buf_alloc_ns)],
-        vec!["TCP processing (tx + rx)".to_string(), crate::table::fmt_ns(2 * cfg.tcp_ns)],
+        vec![
+            "syscalls (tx + rx)".to_string(),
+            crate::table::fmt_ns(2 * cfg.syscall_ns),
+        ],
+        vec![
+            "buffer allocation".to_string(),
+            crate::table::fmt_ns(cfg.buf_alloc_ns),
+        ],
+        vec![
+            "TCP processing (tx + rx)".to_string(),
+            crate::table::fmt_ns(2 * cfg.tcp_ns),
+        ],
         vec![
             "IP + driver (tx + rx)".to_string(),
             crate::table::fmt_ns(2 * (cfg.ip_ns + cfg.driver_ns)),
         ],
-        vec!["interrupt/softirq".to_string(), crate::table::fmt_ns(cfg.irq_ns)],
-        vec!["wire (propagation + switch)".to_string(), crate::table::fmt_ns(cfg.wire_ns)],
+        vec![
+            "interrupt/softirq".to_string(),
+            crate::table::fmt_ns(cfg.irq_ns),
+        ],
+        vec![
+            "wire (propagation + switch)".to_string(),
+            crate::table::fmt_ns(cfg.wire_ns),
+        ],
     ];
     format!(
         "networking one-way software overhead, one small segment (paper: \"buffer\nallocations, data copies, and stack processing\" dominate):\n\n{}",

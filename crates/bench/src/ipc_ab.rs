@@ -50,7 +50,8 @@ pub fn run(iters: usize) -> Vec<IpcRow> {
 
             // TCP/IP.
             let rack = Rack::new(RackConfig::two_node_hccs());
-            let (mut a, mut b) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+            let (mut a, mut b) =
+                NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
             let t0 = a.node().clock().now();
             for _ in 0..iters {
                 a.send(&payload).expect("send");
@@ -62,9 +63,34 @@ pub fn run(iters: usize) -> Vec<IpcRow> {
             }
             let tcp_rtt_ns = (a.node().clock().now() - t0) / iters as u64;
 
-            IpcRow { size, flacos_rtt_ns, tcp_rtt_ns }
+            IpcRow {
+                size,
+                flacos_rtt_ns,
+                tcp_rtt_ns,
+            }
         })
         .collect()
+}
+
+/// Rack-wide metrics behind one representative sweep point (FlacOS IPC
+/// echo, 4 KiB messages): operation counts, latency histograms, and the
+/// `ipc` message counters.
+pub fn metrics(iters: usize) -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::two_node_hccs());
+    rack.enable_tracing();
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let (mut a, mut b) =
+        FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).expect("channel");
+    let payload = vec![0x5Au8; 4096];
+    for _ in 0..iters {
+        a.send(&payload).expect("send");
+        b.node().clock().advance_to(a.node().clock().now());
+        let echo = b.try_recv().expect("recv");
+        b.send(&echo).expect("echo");
+        a.node().clock().advance_to(b.node().clock().now());
+        a.try_recv().expect("reply");
+    }
+    rack.metrics_report()
 }
 
 /// Render the sweep.
@@ -76,7 +102,10 @@ pub fn report(rows: &[IpcRow]) -> String {
                 crate::table::fmt_bytes(r.size as u64),
                 crate::table::fmt_ns(r.flacos_rtt_ns),
                 crate::table::fmt_ns(r.tcp_rtt_ns),
-                format!("{:.2}x", r.tcp_rtt_ns as f64 / r.flacos_rtt_ns.max(1) as f64),
+                format!(
+                    "{:.2}x",
+                    r.tcp_rtt_ns as f64 / r.flacos_rtt_ns.max(1) as f64
+                ),
             ]
         })
         .collect();

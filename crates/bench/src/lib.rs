@@ -2,9 +2,10 @@
 //! plus the ablations DESIGN.md commits to.
 //!
 //! Each experiment module returns structured rows; the `figures` binary
-//! prints them as the paper-style tables, and the Criterion benches in
-//! `benches/` wrap the same entry points so `cargo bench` exercises the
-//! identical code paths.
+//! prints them as the paper-style tables, and the bench targets in
+//! `benches/` (built with `--features criterion`, running on the vendored
+//! [`harness`] module) wrap the same entry points so `cargo bench`
+//! exercises the identical code paths.
 //!
 //! | Module | Paper artifact |
 //! |---|---|
@@ -21,6 +22,7 @@ pub mod dedup_ab;
 pub mod fabric_ab;
 pub mod faultbox_ab;
 pub mod fig4;
+pub mod harness;
 pub mod ipc_ab;
 pub mod pagecache_ab;
 pub mod startup;

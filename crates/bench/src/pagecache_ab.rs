@@ -46,7 +46,15 @@ impl PageCacheRow {
 /// Run with `nodes` nodes reading `files` files of `pages_per_file`
 /// pages each.
 pub fn run_cell(nodes: usize, files: usize, pages_per_file: u64) -> PageCacheRow {
-    let rack = Rack::new(RackConfig::n_node(nodes).with_global_mem(256 << 20));
+    run_cell_on(
+        &Rack::new(RackConfig::n_node(nodes).with_global_mem(256 << 20)),
+        nodes,
+        files,
+        pages_per_file,
+    )
+}
+
+fn run_cell_on(rack: &Rack, nodes: usize, files: usize, pages_per_file: u64) -> PageCacheRow {
     let alloc = GlobalAllocator::new(rack.global().clone());
     let epochs = EpochManager::alloc(rack.global(), nodes).expect("epochs");
     let fs = FsShared::alloc(
@@ -63,7 +71,8 @@ pub fn run_cell(nodes: usize, files: usize, pages_per_file: u64) -> PageCacheRow
     let mut fs0 = MemFs::mount(fs.clone(), rack.node(0));
     let content = vec![0xC3u8; (pages_per_file as usize) * PAGE_SIZE];
     for f in 0..files {
-        fs0.write_file(&format!("/shared-{f}"), &content).expect("write");
+        fs0.write_file(&format!("/shared-{f}"), &content)
+            .expect("write");
     }
 
     // Every node reads every file; pages are served from the single
@@ -97,6 +106,16 @@ pub fn run() -> Vec<PageCacheRow> {
     [2usize, 4, 8].iter().map(|&n| run_cell(n, 4, 64)).collect()
 }
 
+/// Rack-wide metrics behind one representative cell (2 nodes × 2 files):
+/// operation counts, latency histograms, and the `page_cache` hit/miss
+/// counters that explain the capacity gain.
+pub fn metrics() -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::n_node(2).with_global_mem(256 << 20));
+    rack.enable_tracing();
+    run_cell_on(&rack, 2, 2, 16);
+    rack.metrics_report()
+}
+
 /// Render the sweep.
 pub fn report(rows: &[PageCacheRow]) -> String {
     let table_rows: Vec<Vec<String>> = rows
@@ -115,7 +134,14 @@ pub fn report(rows: &[PageCacheRow]) -> String {
     format!(
         "Ablation A2: shared page cache vs per-node caches\n\n{}",
         crate::table::render(
-            &["nodes", "file set", "shared cache", "per-node caches", "capacity gain", "page read"],
+            &[
+                "nodes",
+                "file set",
+                "shared cache",
+                "per-node caches",
+                "capacity gain",
+                "page read"
+            ],
             &table_rows
         )
     )
@@ -140,6 +166,10 @@ mod tests {
         let row = run_cell(2, 1, 16);
         // A warm shared-cache page read is a lookup + burst fill, well
         // under 100 µs.
-        assert!(row.shared_read_ns < 100_000, "page read {} ns", row.shared_read_ns);
+        assert!(
+            row.shared_read_ns < 100_000,
+            "page read {} ns",
+            row.shared_read_ns
+        );
     }
 }

@@ -49,7 +49,10 @@ pub fn run() -> StartupRows {
 
 /// Run with an explicit image size and bandwidth scale.
 pub fn run_with_pages(image_pages: u64, scale: u64) -> StartupRows {
-    let rack = Rack::new(RackConfig::two_node_hccs());
+    run_on_rack(&Rack::new(RackConfig::two_node_hccs()), image_pages, scale)
+}
+
+fn run_on_rack(rack: &Rack, image_pages: u64, scale: u64) -> StartupRows {
     let alloc = GlobalAllocator::new(rack.global().clone());
     let epochs = EpochManager::alloc(rack.global(), rack.node_count()).expect("epochs");
     let fs = FsShared::alloc(
@@ -74,13 +77,22 @@ pub fn run_with_pages(image_pages: u64, scale: u64) -> StartupRows {
         MemFs::mount(fs.clone(), rack.node(0)),
         registry.clone(),
     );
-    let mut rt1 =
-        ContainerRuntime::new(rack.node(1), MemFs::mount(fs, rack.node(1)), registry);
+    let mut rt1 = ContainerRuntime::new(rack.node(1), MemFs::mount(fs, rack.node(1)), registry);
 
     let (_, cold) = rt0.start_container("pytorch").expect("cold start");
     let (_, shared) = rt1.start_container("pytorch").expect("shared start");
     let (_, hot) = rt1.start_container("pytorch").expect("hot start");
     StartupRows { cold, shared, hot }
+}
+
+/// Rack-wide metrics behind a small-image run of the cold/shared/hot
+/// progression: operation counts, latency histograms, and the
+/// `page_cache` counters that explain the shared-start win.
+pub fn metrics() -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::two_node_hccs());
+    rack.enable_tracing();
+    run_on_rack(&rack, 256, 4096);
+    rack.metrics_report()
 }
 
 /// Render the experiment as a table.

@@ -59,7 +59,22 @@ fn is_read(i: usize, read_pct: u32) -> bool {
 /// measurable: locks serialize *work*, the lock-free families serialize
 /// only one atomic.
 pub fn run_cell(method: &'static str, nodes: usize, read_pct: u32, ops: usize) -> SyncRow {
-    let rack = Rack::new(RackConfig::n_node(nodes));
+    run_cell_on(
+        &Rack::new(RackConfig::n_node(nodes)),
+        method,
+        nodes,
+        read_pct,
+        ops,
+    )
+}
+
+fn run_cell_on(
+    rack: &Rack,
+    method: &'static str,
+    nodes: usize,
+    read_pct: u32,
+    ops: usize,
+) -> SyncRow {
     let mut total_ns = 0u64;
     // Virtual-time point at which the method's serial section frees up.
     let mut serial_free_at = 0u64;
@@ -90,10 +105,11 @@ pub fn run_cell(method: &'static str, nodes: usize, read_pct: u32, ops: usize) -
             }
         }
         "replication" => {
-            let shared =
-                ReplicatedLog::alloc(rack.global(), nodes, 4096, 64).expect("log");
+            let shared = ReplicatedLog::alloc(rack.global(), nodes, 4096, 64).expect("log");
             let mut handles: Vec<ReplicatedHandle<CounterReplica>> = (0..nodes)
-                .map(|i| ReplicatedHandle::new(shared.clone(), rack.node(i), CounterReplica::default()))
+                .map(|i| {
+                    ReplicatedHandle::new(shared.clone(), rack.node(i), CounterReplica::default())
+                })
                 .collect();
             for i in 0..ops {
                 let h = &mut handles[i % nodes];
@@ -188,7 +204,21 @@ pub fn run_cell(method: &'static str, nodes: usize, read_pct: u32, ops: usize) -
         other => panic!("unknown method {other}"),
     }
 
-    SyncRow { method, nodes, read_pct, mean_op_ns: total_ns / ops as u64 }
+    SyncRow {
+        method,
+        nodes,
+        read_pct,
+        mean_op_ns: total_ns / ops as u64,
+    }
+}
+
+/// Rack-wide metrics behind one representative cell (RCU, 2 nodes,
+/// 50% reads): operation counts, latency histograms, subsystem counters.
+pub fn metrics(ops: usize) -> rack_sim::RackReport {
+    let rack = Rack::new(RackConfig::n_node(2));
+    rack.enable_tracing();
+    run_cell_on(&rack, "rcu", 2, 50, ops);
+    rack.metrics_report()
 }
 
 /// Run the full sweep: every method × node counts × read ratios.
@@ -256,8 +286,7 @@ mod tests {
 
     #[test]
     fn report_covers_methods() {
-        let rows: Vec<SyncRow> =
-            METHODS.iter().map(|m| run_cell(m, 2, 50, 40)).collect();
+        let rows: Vec<SyncRow> = METHODS.iter().map(|m| run_cell(m, 2, 50, 40)).collect();
         let text = report(&rows);
         for m in METHODS {
             assert!(text.contains(m));

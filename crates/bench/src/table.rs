@@ -64,7 +64,10 @@ mod tests {
     fn table_aligns_columns() {
         let s = render(
             &["op", "latency"],
-            &[vec!["SET".into(), "12 us".into()], vec!["GETLONG".into(), "9 us".into()]],
+            &[
+                vec!["SET".into(), "12 us".into()],
+                vec!["GETLONG".into(), "9 us".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].starts_with("op"));

@@ -83,9 +83,12 @@ impl HotnessTracker {
     /// Objects ordered hottest-first — the packing order for relocation
     /// or allocation placement.
     pub fn pack_order(&self) -> Vec<ObjectId> {
-        let mut v: Vec<(ObjectId, f64)> =
-            self.scores.iter().map(|(id, s)| (*id, *s)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut v: Vec<(ObjectId, f64)> = self.scores.iter().map(|(id, s)| (*id, *s)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v.into_iter().map(|(id, _)| id).collect()
     }
 

@@ -12,7 +12,7 @@
 //! the paper's point about incorporating allocation with shared-object
 //! synchronization and reclamation.
 
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError, LINE_SIZE};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,7 +48,10 @@ struct Inner {
 impl GlobalAllocator {
     /// An allocator over `global`.
     pub fn new(global: Arc<GlobalMemory>) -> Self {
-        GlobalAllocator { global, inner: Arc::new(Mutex::new(Inner::default())) }
+        GlobalAllocator {
+            global,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
     }
 
     /// The size class (rounded allocation size) used for a request of

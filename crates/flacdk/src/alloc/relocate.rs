@@ -10,7 +10,7 @@
 //! promote-hot / demote-cold tiering.
 
 use crate::alloc::object::GlobalAllocator;
-use parking_lot::RwLock;
+use rack_sim::sync::RwLock;
 use rack_sim::{GAddr, LAddr, NodeCtx, SimError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -116,7 +116,13 @@ impl Relocator {
         self.read_object(ctx, p, &mut buf)?;
         let dst = alloc.alloc(ctx, p.len)?;
         self.write_object(ctx, Tier::Global(dst), &buf)?;
-        self.table.write().insert(id, Placement { tier: Tier::Global(dst), len: p.len });
+        self.table.write().insert(
+            id,
+            Placement {
+                tier: Tier::Global(dst),
+                len: p.len,
+            },
+        );
         Ok(None)
     }
 
@@ -140,7 +146,13 @@ impl Relocator {
         self.read_object(ctx, p, &mut buf)?;
         let dst = ctx.local_alloc(p.len)?;
         ctx.local_write(dst, &buf)?;
-        self.table.write().insert(id, Placement { tier: Tier::Local(dst), len: p.len });
+        self.table.write().insert(
+            id,
+            Placement {
+                tier: Tier::Local(dst),
+                len: p.len,
+            },
+        );
         Ok(Some(old_global))
     }
 
@@ -160,13 +172,21 @@ impl Relocator {
             .resolve(id)
             .ok_or_else(|| SimError::Protocol(format!("relocate: unknown object {id}")))?;
         let Tier::Global(old) = p.tier else {
-            return Err(SimError::Protocol("compact: object is not in the global tier".into()));
+            return Err(SimError::Protocol(
+                "compact: object is not in the global tier".into(),
+            ));
         };
         let mut buf = vec![0u8; p.len];
         self.read_object(ctx, p, &mut buf)?;
         let dst = alloc.alloc(ctx, p.len)?;
         self.write_object(ctx, Tier::Global(dst), &buf)?;
-        self.table.write().insert(id, Placement { tier: Tier::Global(dst), len: p.len });
+        self.table.write().insert(
+            id,
+            Placement {
+                tier: Tier::Global(dst),
+                len: p.len,
+            },
+        );
         Ok(old)
     }
 }
@@ -189,14 +209,24 @@ mod tests {
         let g = alloc.alloc(&n0, 32).unwrap();
         n0.write(g, &[7u8; 32]).unwrap();
         n0.writeback(g, 32);
-        rel.place(1, Placement { tier: Tier::Global(g), len: 32 });
+        rel.place(
+            1,
+            Placement {
+                tier: Tier::Global(g),
+                len: 32,
+            },
+        );
 
         let vacated = rel.promote_to_local(&n0, 1).unwrap();
         assert_eq!(vacated, Some(g));
         assert!(matches!(rel.resolve(1).unwrap().tier, Tier::Local(_)));
 
         rel.demote_to_global(&n0, &alloc, 1).unwrap();
-        let Placement { tier: Tier::Global(g2), len } = rel.resolve(1).unwrap() else {
+        let Placement {
+            tier: Tier::Global(g2),
+            len,
+        } = rel.resolve(1).unwrap()
+        else {
             panic!("should be global")
         };
         assert_eq!(len, 32);
@@ -211,8 +241,18 @@ mod tests {
         let (rack, alloc, rel) = setup();
         let n0 = rack.node(0);
         let g = alloc.alloc(&n0, 16).unwrap();
-        rel.place(1, Placement { tier: Tier::Global(g), len: 16 });
-        assert_eq!(rel.demote_to_global(&n0, &alloc, 1).unwrap(), Some(g), "already global");
+        rel.place(
+            1,
+            Placement {
+                tier: Tier::Global(g),
+                len: 16,
+            },
+        );
+        assert_eq!(
+            rel.demote_to_global(&n0, &alloc, 1).unwrap(),
+            Some(g),
+            "already global"
+        );
         rel.promote_to_local(&n0, 1).unwrap();
         assert_eq!(rel.promote_to_local(&n0, 1).unwrap(), None, "already local");
     }
@@ -224,10 +264,20 @@ mod tests {
         let g = alloc.alloc(&n0, 16).unwrap();
         n0.write(g, &[3u8; 16]).unwrap();
         n0.writeback(g, 16);
-        rel.place(5, Placement { tier: Tier::Global(g), len: 16 });
+        rel.place(
+            5,
+            Placement {
+                tier: Tier::Global(g),
+                len: 16,
+            },
+        );
         let old = rel.compact(&n0, &alloc, 5).unwrap();
         assert_eq!(old, g);
-        let Placement { tier: Tier::Global(now), .. } = rel.resolve(5).unwrap() else {
+        let Placement {
+            tier: Tier::Global(now),
+            ..
+        } = rel.resolve(5).unwrap()
+        else {
             panic!("global")
         };
         assert_ne!(now, g);
@@ -246,7 +296,13 @@ mod tests {
     #[test]
     fn remove_clears_entry() {
         let (_, _, rel) = setup();
-        rel.place(2, Placement { tier: Tier::Local(LAddr(0)), len: 8 });
+        rel.place(
+            2,
+            Placement {
+                tier: Tier::Local(LAddr(0)),
+                len: 8,
+            },
+        );
         assert_eq!(rel.len(), 1);
         assert!(rel.remove(2).is_some());
         assert!(rel.resolve(2).is_none());

@@ -79,7 +79,9 @@ impl ReplicatedKv {
 
     /// This node's handle.
     pub fn new(shared: Arc<ReplicatedLog>, node: Arc<NodeCtx>) -> Self {
-        ReplicatedKv { handle: ReplicatedHandle::new(shared, node, KvReplica::default()) }
+        ReplicatedKv {
+            handle: ReplicatedHandle::new(shared, node, KvReplica::default()),
+        }
     }
 
     /// Insert or overwrite `key`.
@@ -223,7 +225,13 @@ impl DelegatedKvSim {
     pub fn deploy(rack: &Rack) -> Self {
         let n = rack.node_count();
         let servers = (0..n)
-            .map(|i| DelegationServer::new(rack.node(i), Self::BASE_PORT + i as u16, KvService::default()))
+            .map(|i| {
+                DelegationServer::new(
+                    rack.node(i),
+                    Self::BASE_PORT + i as u16,
+                    KvService::default(),
+                )
+            })
             .collect();
         let clients = (0..n)
             .map(|from| {
@@ -257,7 +265,9 @@ impl DelegatedKvSim {
         if from == part {
             return Ok(self.servers[part].execute_local(&req));
         }
-        let client = self.clients[from][part].as_ref().expect("off-diagonal client");
+        let client = self.clients[from][part]
+            .as_ref()
+            .expect("off-diagonal client");
         client.send(&req)?;
         self.servers[part].poll()?;
         client.try_recv()
@@ -290,7 +300,11 @@ impl DelegatedKvSim {
         let resp = self.request(from, key, e.into_vec())?;
         let mut d = Decoder::new(&resp);
         match d.u8() {
-            Ok(1) => Ok(Some(d.bytes().map_err(|e| SimError::Protocol(e.to_string()))?.to_vec())),
+            Ok(1) => Ok(Some(
+                d.bytes()
+                    .map_err(|e| SimError::Protocol(e.to_string()))?
+                    .to_vec(),
+            )),
             _ => Ok(None),
         }
     }
@@ -373,8 +387,7 @@ mod tests {
             kv.put(0, k, &[k as u8]).unwrap();
         }
         assert_eq!(kv.total_len(), 32);
-        let per_part: Vec<usize> =
-            kv.servers.iter().map(|s| s.service().len()).collect();
+        let per_part: Vec<usize> = kv.servers.iter().map(|s| s.service().len()).collect();
         assert_eq!(per_part, vec![8, 8, 8, 8]);
     }
 

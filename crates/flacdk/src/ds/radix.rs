@@ -44,7 +44,10 @@ impl RadixTree {
     /// Panics if `levels` is zero or exceeds 10 (u64 key space).
     pub fn alloc(global: &GlobalMemory, levels: u32) -> Result<Self, SimError> {
         assert!((1..=10).contains(&levels), "levels must be in 1..=10");
-        Ok(RadixTree { root: GlobalCell::alloc(global, 0)?, levels })
+        Ok(RadixTree {
+            root: GlobalCell::alloc(global, 0)?,
+            levels,
+        })
     }
 
     /// Largest key this tree can hold, plus one.
@@ -173,10 +176,18 @@ impl RadixTree {
                 path.push((node, img));
                 cur = next;
             }
-            let prev_stored = if path.len() == self.levels as usize { cur } else { ABSENT };
+            let prev_stored = if path.len() == self.levels as usize {
+                cur
+            } else {
+                ABSENT
+            };
             if prev_stored == stored {
                 // Idempotent update (includes removing an absent key).
-                return Ok(if prev_stored == ABSENT { None } else { Some(prev_stored - 1) });
+                return Ok(if prev_stored == ABSENT {
+                    None
+                } else {
+                    Some(prev_stored - 1)
+                });
             }
 
             // Build the new path bottom-up.
@@ -203,7 +214,11 @@ impl RadixTree {
                 for (addr, _) in path {
                     retired.retire(addr, NODE_BYTES, epoch);
                 }
-                return Ok(if prev_stored == ABSENT { None } else { Some(prev_stored - 1) });
+                return Ok(if prev_stored == ABSENT {
+                    None
+                } else {
+                    Some(prev_stored - 1)
+                });
             }
             // Lost the race: free our unpublished nodes and retry.
             for addr in new_nodes {
@@ -219,7 +234,13 @@ mod tests {
     use rack_sim::{Rack, RackConfig};
     use std::sync::Arc;
 
-    fn setup() -> (Rack, GlobalAllocator, Arc<EpochManager>, RetireList, RadixTree) {
+    fn setup() -> (
+        Rack,
+        GlobalAllocator,
+        Arc<EpochManager>,
+        RetireList,
+        RadixTree,
+    ) {
         let rack = Rack::new(RackConfig::small_test().with_global_mem(16 << 20));
         let alloc = GlobalAllocator::new(rack.global().clone());
         let mgr = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
@@ -233,14 +254,23 @@ mod tests {
         let (rack, alloc, mgr, retired, tree) = setup();
         let n0 = rack.node(0);
         let h = mgr.handle(n0.clone());
-        assert_eq!(tree.insert(&n0, &alloc, &mgr, &retired, 42, 4200).unwrap(), None);
+        assert_eq!(
+            tree.insert(&n0, &alloc, &mgr, &retired, 42, 4200).unwrap(),
+            None
+        );
         {
             let g = h.read_lock().unwrap();
             assert_eq!(tree.get(&n0, &g, 42).unwrap(), Some(4200));
             assert_eq!(tree.get(&n0, &g, 43).unwrap(), None);
         }
-        assert_eq!(tree.insert(&n0, &alloc, &mgr, &retired, 42, 99).unwrap(), Some(4200));
-        assert_eq!(tree.remove(&n0, &alloc, &mgr, &retired, 42).unwrap(), Some(99));
+        assert_eq!(
+            tree.insert(&n0, &alloc, &mgr, &retired, 42, 99).unwrap(),
+            Some(4200)
+        );
+        assert_eq!(
+            tree.remove(&n0, &alloc, &mgr, &retired, 42).unwrap(),
+            Some(99)
+        );
         let g = h.read_lock().unwrap();
         assert_eq!(tree.get(&n0, &g, 42).unwrap(), None);
     }
@@ -259,7 +289,8 @@ mod tests {
         let (rack, alloc, mgr, retired, tree) = setup();
         let (n0, n1) = (rack.node(0), rack.node(1));
         for k in 0..50u64 {
-            tree.insert(&n0, &alloc, &mgr, &retired, k * 1000 % 4096, k).unwrap();
+            tree.insert(&n0, &alloc, &mgr, &retired, k * 1000 % 4096, k)
+                .unwrap();
         }
         let h1 = mgr.handle(n1.clone());
         let g = h1.read_lock().unwrap();

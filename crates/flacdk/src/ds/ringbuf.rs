@@ -42,13 +42,26 @@ impl SpscRing {
     /// # Panics
     ///
     /// Panics on zero capacity or a slot size below 16 / not 8-aligned.
-    pub fn alloc(global: &GlobalMemory, capacity: usize, slot_size: usize) -> Result<Self, SimError> {
+    pub fn alloc(
+        global: &GlobalMemory,
+        capacity: usize,
+        slot_size: usize,
+    ) -> Result<Self, SimError> {
         assert!(capacity > 0, "ring capacity must be positive");
-        assert!(slot_size >= 24 && slot_size.is_multiple_of(8), "slot size must be >=24 and 8-aligned");
+        assert!(
+            slot_size >= 24 && slot_size.is_multiple_of(8),
+            "slot size must be >=24 and 8-aligned"
+        );
         let head = GlobalCell::alloc(global, 0)?;
         let tail = GlobalCell::alloc(global, 0)?;
         let slots = global.alloc(capacity * slot_size, LINE_SIZE)?;
-        Ok(SpscRing { head, tail, slots, capacity: capacity as u64, slot_size: slot_size as u64 })
+        Ok(SpscRing {
+            head,
+            tail,
+            slots,
+            capacity: capacity as u64,
+            slot_size: slot_size as u64,
+        })
     }
 
     fn slot_addr(&self, idx: u64) -> GAddr {

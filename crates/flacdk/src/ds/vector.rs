@@ -66,7 +66,9 @@ impl SharedVec {
 
     /// This node's handle.
     pub fn new(shared: Arc<ReplicatedLog>, node: Arc<NodeCtx>) -> Self {
-        SharedVec { handle: ReplicatedHandle::new(shared, node, VecReplica::default()) }
+        SharedVec {
+            handle: ReplicatedHandle::new(shared, node, VecReplica::default()),
+        }
     }
 
     /// Append `value`.

@@ -176,7 +176,10 @@ mod tests {
         publish_bytes(&n0, addr, &[42; 256]).unwrap();
         let mut fresh = [0u8; 256];
         consume_bytes(&n1, addr, &mut fresh).unwrap();
-        assert_eq!(fresh, [42; 256], "consume must see published data despite stale cache");
+        assert_eq!(
+            fresh, [42; 256],
+            "consume must see published data despite stale cache"
+        );
     }
 
     #[test]

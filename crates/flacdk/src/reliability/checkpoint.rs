@@ -99,7 +99,11 @@ impl CheckpointManager {
         let result = self.capture_inner(ctx, objects);
         self.epochs.unpin(pin);
         let entries = result?;
-        Ok(Checkpoint { entries, epoch, at_ns: ctx.clock().now() })
+        Ok(Checkpoint {
+            entries,
+            epoch,
+            at_ns: ctx.clock().now(),
+        })
     }
 
     fn capture_inner(
@@ -115,7 +119,16 @@ impl CheckpointManager {
             let copy = self.alloc.alloc(ctx, len)?;
             ctx.write(copy, &buf)?;
             ctx.writeback(copy, len);
-            entries.insert(id, CheckpointEntry { id, src, copy, len, sum: fnv1a(&buf) });
+            entries.insert(
+                id,
+                CheckpointEntry {
+                    id,
+                    src,
+                    copy,
+                    len,
+                    sum: fnv1a(&buf),
+                },
+            );
         }
         Ok(entries)
     }
@@ -165,7 +178,9 @@ impl CheckpointManager {
         let mut buf = vec![0u8; e.len];
         ctx.read(e.copy, &mut buf)?;
         if fnv1a(&buf) != e.sum {
-            return Err(SimError::Protocol(format!("checkpoint copy of object {id} corrupt")));
+            return Err(SimError::Protocol(format!(
+                "checkpoint copy of object {id} corrupt"
+            )));
         }
         // Scrub any poison at the destination, then rewrite and publish.
         ctx.global().scrub(e.src, e.len);
@@ -271,7 +286,10 @@ mod tests {
         // Corrupt the snapshot copy itself.
         let copy = ckpt.entry(1).unwrap().copy;
         rack.node(1).store_uncached_u64(copy, 0xdead).unwrap();
-        assert!(matches!(cm.restore(&n0, &ckpt, 1), Err(SimError::Protocol(_))));
+        assert!(matches!(
+            cm.restore(&n0, &ckpt, 1),
+            Err(SimError::Protocol(_))
+        ));
     }
 
     #[test]

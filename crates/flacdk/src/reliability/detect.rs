@@ -66,9 +66,22 @@ impl FaultDetector {
     /// # Errors
     ///
     /// Propagates memory errors (cannot baseline a faulty region).
-    pub fn protect(&mut self, ctx: &NodeCtx, region: u64, addr: GAddr, len: usize) -> Result<(), SimError> {
+    pub fn protect(
+        &mut self,
+        ctx: &NodeCtx,
+        region: u64,
+        addr: GAddr,
+        len: usize,
+    ) -> Result<(), SimError> {
         let buf = Self::read_region(ctx, addr, len)?;
-        self.regions.insert(region, Guarded { addr, len, sum: fnv1a(&buf) });
+        self.regions.insert(
+            region,
+            Guarded {
+                addr,
+                len,
+                sum: fnv1a(&buf),
+            },
+        );
         Ok(())
     }
 
@@ -110,7 +123,10 @@ impl FaultDetector {
                 if actual == g.sum {
                     Ok(Detection::Clean)
                 } else {
-                    Ok(Detection::Corrupted { expected: g.sum, actual })
+                    Ok(Detection::Corrupted {
+                        expected: g.sum,
+                        actual,
+                    })
                 }
             }
         }
@@ -177,7 +193,8 @@ mod tests {
         let n0 = rack.node(0);
         let a = rack.global().alloc(128, 8).unwrap();
         det.protect(&n0, 1, a, 128).unwrap();
-        rack.faults().poison_memory(rack.global(), a.offset(64), 8, 0);
+        rack.faults()
+            .poison_memory(rack.global(), a.offset(64), 8, 0);
         match det.check(&n0, 1).unwrap() {
             Detection::Poisoned { addr } => assert_eq!(addr, a.offset(64)),
             other => panic!("expected poison, got {other:?}"),
@@ -192,7 +209,10 @@ mod tests {
         det.protect(&n0, 2, a, 64).unwrap();
         // Bit flip without poison: another writer scribbles directly.
         n1.store_uncached_u64(a, 0xbad).unwrap();
-        assert!(matches!(det.check(&n0, 2).unwrap(), Detection::Corrupted { .. }));
+        assert!(matches!(
+            det.check(&n0, 2).unwrap(),
+            Detection::Corrupted { .. }
+        ));
         // Legitimate update + refresh re-baselines.
         det.refresh(&n0, 2).unwrap();
         assert_eq!(det.check(&n0, 2).unwrap(), Detection::Clean);

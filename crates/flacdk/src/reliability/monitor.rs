@@ -35,7 +35,11 @@ impl HealthMonitor {
     /// # Errors
     ///
     /// Fails when global memory is exhausted.
-    pub fn alloc(global: &GlobalMemory, nodes: usize, timeout_ns: u64) -> Result<Arc<Self>, SimError> {
+    pub fn alloc(
+        global: &GlobalMemory,
+        nodes: usize,
+        timeout_ns: u64,
+    ) -> Result<Arc<Self>, SimError> {
         let beats = (0..nodes)
             .map(|_| GlobalCell::alloc(global, 0))
             .collect::<Result<Vec<_>, _>>()?;

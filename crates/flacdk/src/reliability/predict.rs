@@ -63,7 +63,10 @@ impl FailurePredictor {
 
     /// Current decayed error rate of `region` (errors/sec).
     pub fn rate(&self, region: u64, now_ns: u64) -> f64 {
-        self.regions.get(&region).map(|s| self.decayed(*s, now_ns)).unwrap_or(0.0)
+        self.regions
+            .get(&region)
+            .map(|s| self.decayed(*s, now_ns))
+            .unwrap_or(0.0)
     }
 
     /// Whether `region` is predicted to fail soon.
@@ -85,7 +88,10 @@ impl FailurePredictor {
 
     /// Lifetime correctable-error count for `region`.
     pub fn total_errors(&self, region: u64) -> u64 {
-        self.regions.get(&region).map(|s| s.total_errors).unwrap_or(0)
+        self.regions
+            .get(&region)
+            .map(|s| s.total_errors)
+            .unwrap_or(0)
     }
 }
 

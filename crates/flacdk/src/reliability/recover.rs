@@ -148,7 +148,11 @@ mod tests {
         assert_eq!(report.replayed_ops, 3);
         assert!(report.recovery_ns > 0);
         n0.invalidate(obj, 8);
-        assert_eq!(n0.read_u64(obj).unwrap(), 16, "10 checkpointed + 1+2+3 replayed");
+        assert_eq!(
+            n0.read_u64(obj).unwrap(),
+            16,
+            "10 checkpointed + 1+2+3 replayed"
+        );
     }
 
     #[test]
@@ -160,7 +164,9 @@ mod tests {
         let ckpt = rm.checkpoints().capture(&n0, &[(1, obj, 8)]).unwrap();
         n0.write_u64(obj, 999).unwrap();
         n0.writeback(obj, 8);
-        let report = rm.recover_object(&n0, &ckpt, 1, None, |_, _| Ok(())).unwrap();
+        let report = rm
+            .recover_object(&n0, &ckpt, 1, None, |_, _| Ok(()))
+            .unwrap();
         assert_eq!(report.replayed_ops, 0);
         n0.invalidate(obj, 8);
         assert_eq!(n0.read_u64(obj).unwrap(), 5);
@@ -179,8 +185,9 @@ mod tests {
         // Entries 0..2 collected: replay must start at head even though
         // the caller asked for 0.
         log.advance_head(&n0, 2).unwrap();
-        let report =
-            rm.recover_object(&n0, &ckpt, 1, Some((&log, 0)), apply_add(obj)).unwrap();
+        let report = rm
+            .recover_object(&n0, &ckpt, 1, Some((&log, 0)), apply_add(obj))
+            .unwrap();
         assert_eq!(report.replayed_ops, 2);
         n0.invalidate(obj, 8);
         assert_eq!(n0.read_u64(obj).unwrap(), 3 + 4);

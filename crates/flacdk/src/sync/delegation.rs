@@ -43,7 +43,12 @@ pub struct DelegationServer<S: Service> {
 impl<S: Service> DelegationServer<S> {
     /// Serve `service` on `node`'s `port`.
     pub fn new(node: Arc<NodeCtx>, port: u16, service: S) -> Self {
-        DelegationServer { node, port, service, served: 0 }
+        DelegationServer {
+            node,
+            port,
+            service,
+            served: 0,
+        }
     }
 
     /// Drain and execute all pending requests, replying to each client.
@@ -125,7 +130,12 @@ impl DelegationClient {
     /// Client on `node` targeting `server`'s `server_port`; replies arrive
     /// on this node's `reply_port`.
     pub fn new(node: Arc<NodeCtx>, server: NodeId, server_port: u16, reply_port: u16) -> Self {
-        DelegationClient { node, server, server_port, reply_port }
+        DelegationClient {
+            node,
+            server,
+            server_port,
+            reply_port,
+        }
     }
 
     /// Ship a request to the owner. Returns the simulated arrival time.
@@ -135,7 +145,9 @@ impl DelegationClient {
     /// Fails if the owner is down or the link is severed.
     pub fn send(&self, request: &[u8]) -> Result<u64, SimError> {
         let mut e = Encoder::new();
-        e.put_u64(self.node.id().0 as u64).put_u64(u64::from(self.reply_port)).put_bytes(request);
+        e.put_u64(self.node.id().0 as u64)
+            .put_u64(u64::from(self.reply_port))
+            .put_bytes(request);
         self.node.send(self.server, self.server_port, e.into_vec())
     }
 
@@ -228,7 +240,10 @@ mod tests {
         let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
         let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
 
-        assert_eq!(call_stepped(&client, &mut server, &put(5, 50)).unwrap(), vec![1]);
+        assert_eq!(
+            call_stepped(&client, &mut server, &put(5, 50)).unwrap(),
+            vec![1]
+        );
         let resp = call_stepped(&client, &mut server, &get(5)).unwrap();
         let mut d = Decoder::new(&resp);
         assert_eq!(d.u8().unwrap(), 1);
@@ -269,7 +284,10 @@ mod tests {
         let rack = Rack::new(RackConfig::small_test());
         let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
         rack.faults().crash_node(NodeId(0), 0);
-        assert!(matches!(client.send(&get(1)), Err(SimError::NodeDown { .. })));
+        assert!(matches!(
+            client.send(&get(1)),
+            Err(SimError::NodeDown { .. })
+        ));
     }
 
     #[test]
@@ -281,7 +299,13 @@ mod tests {
             count.to_le_bytes().to_vec()
         });
         let client = DelegationClient::new(rack.node(1), NodeId(0), 10, 11);
-        assert_eq!(call_stepped(&client, &mut server, b"x").unwrap(), 1u64.to_le_bytes());
-        assert_eq!(call_stepped(&client, &mut server, b"x").unwrap(), 2u64.to_le_bytes());
+        assert_eq!(
+            call_stepped(&client, &mut server, b"x").unwrap(),
+            1u64.to_le_bytes()
+        );
+        assert_eq!(
+            call_stepped(&client, &mut server, b"x").unwrap(),
+            2u64.to_le_bytes()
+        );
     }
 }

@@ -47,14 +47,27 @@ impl SharedOpLog {
     ///
     /// Panics if `capacity == 0` or `entry_size < 24` or `entry_size`
     /// is not 8-byte aligned.
-    pub fn alloc(global: &GlobalMemory, capacity: usize, entry_size: usize) -> Result<Self, SimError> {
+    pub fn alloc(
+        global: &GlobalMemory,
+        capacity: usize,
+        entry_size: usize,
+    ) -> Result<Self, SimError> {
         assert!(capacity > 0, "log capacity must be positive");
-        assert!(entry_size >= 24, "entry size must hold metadata plus payload");
+        assert!(
+            entry_size >= 24,
+            "entry size must hold metadata plus payload"
+        );
         assert_eq!(entry_size % 8, 0, "entry size must be 8-byte aligned");
         let tail = GlobalCell::alloc(global, 0)?;
         let head = GlobalCell::alloc(global, 0)?;
         let entries = global.alloc(capacity * entry_size, LINE_SIZE)?;
-        Ok(SharedOpLog { tail, head, entries, capacity: capacity as u64, entry_size: entry_size as u64 })
+        Ok(SharedOpLog {
+            tail,
+            head,
+            entries,
+            capacity: capacity as u64,
+            entry_size: entry_size as u64,
+        })
     }
 
     /// Number of slots.
@@ -133,7 +146,9 @@ impl SharedOpLog {
         let head = self.head.load(ctx)?;
         let tail = self.tail.load(ctx)?;
         if idx < head {
-            return Err(SimError::Protocol(format!("entry {idx} already collected (head {head})")));
+            return Err(SimError::Protocol(format!(
+                "entry {idx} already collected (head {head})"
+            )));
         }
         if idx >= tail {
             return Err(SimError::Protocol(format!("entry {idx} past tail {tail}")));
@@ -145,7 +160,9 @@ impl SharedOpLog {
         ctx.invalidate(slot, self.entry_size as usize);
         let len = ctx.read_u64(slot.offset(8))? as usize;
         if len > Self::payload_capacity(self.entry_size as usize) {
-            return Err(SimError::Protocol(format!("corrupt length {len} in entry {idx}")));
+            return Err(SimError::Protocol(format!(
+                "corrupt length {len} in entry {idx}"
+            )));
         }
         let mut buf = vec![0u8; len];
         ctx.read(slot.offset(16), &mut buf)?;
@@ -217,7 +234,10 @@ mod tests {
         for i in 0..4 {
             l.append(&n0, &[i]).unwrap();
         }
-        assert!(matches!(l.append(&n0, b"x"), Err(SimError::Protocol(_))), "ring full");
+        assert!(
+            matches!(l.append(&n0, b"x"), Err(SimError::Protocol(_))),
+            "ring full"
+        );
         l.advance_head(&n0, 2).unwrap();
         let idx = l.append(&n0, b"y").unwrap();
         assert_eq!(idx, 4);
@@ -234,7 +254,10 @@ mod tests {
         let n0 = rack.node(0);
         let l = log(&rack, 4);
         assert!(l.append(&n0, &[0u8; 64]).is_err());
-        assert!(l.append(&n0, &[0u8; 48]).is_ok(), "exactly payload capacity fits");
+        assert!(
+            l.append(&n0, &[0u8; 48]).is_ok(),
+            "exactly payload capacity fits"
+        );
     }
 
     #[test]

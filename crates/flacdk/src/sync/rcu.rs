@@ -17,7 +17,7 @@
 use crate::alloc::object::GlobalAllocator;
 use crate::hw::GlobalCell;
 use crate::sync::reclaim::RetireList;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GlobalMemory, NodeCtx, SimError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,7 +47,12 @@ impl EpochManager {
         let slots = (0..nodes)
             .map(|_| GlobalCell::alloc(global, QUIESCENT))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Arc::new(EpochManager { epoch, slots, pins: Mutex::new(HashMap::new()), next_pin: Mutex::new(1) }))
+        Ok(Arc::new(EpochManager {
+            epoch,
+            slots,
+            pins: Mutex::new(HashMap::new()),
+            next_pin: Mutex::new(1),
+        }))
     }
 
     /// Current global epoch.
@@ -116,8 +121,15 @@ impl EpochManager {
     ///
     /// Panics if the manager was sized for fewer nodes.
     pub fn handle(self: &Arc<Self>, node: Arc<NodeCtx>) -> RcuHandle {
-        assert!(node.id().0 < self.slots.len(), "epoch manager sized for {} nodes", self.slots.len());
-        RcuHandle { mgr: self.clone(), node }
+        assert!(
+            node.id().0 < self.slots.len(),
+            "epoch manager sized for {} nodes",
+            self.slots.len()
+        );
+        RcuHandle {
+            mgr: self.clone(),
+            node,
+        }
     }
 }
 
@@ -137,7 +149,11 @@ impl RcuHandle {
     pub fn read_lock(&self) -> Result<RcuReadGuard, SimError> {
         let epoch = self.mgr.current(&self.node)?;
         self.mgr.slots[self.node.id().0].store(&self.node, epoch)?;
-        Ok(RcuReadGuard { mgr: self.mgr.clone(), node: self.node.clone(), epoch })
+        Ok(RcuReadGuard {
+            mgr: self.mgr.clone(),
+            node: self.node.clone(),
+            epoch,
+        })
     }
 
     /// The shared epoch manager.
@@ -188,7 +204,9 @@ impl VersionedCell {
     ///
     /// Fails when global memory is exhausted.
     pub fn alloc(global: &GlobalMemory) -> Result<Self, SimError> {
-        Ok(VersionedCell { ptr: GlobalCell::alloc(global, 0)? })
+        Ok(VersionedCell {
+            ptr: GlobalCell::alloc(global, 0)?,
+        })
     }
 
     /// Publish a new version containing `bytes`; the previous version is
@@ -290,7 +308,8 @@ mod tests {
         assert_eq!(cell.read(&n1, &g).unwrap().unwrap(), b"v1");
         drop(g);
 
-        cell.write(&n0, &alloc, &mgr, &retired, b"version-two").unwrap();
+        cell.write(&n0, &alloc, &mgr, &retired, b"version-two")
+            .unwrap();
         let g = h1.read_lock().unwrap();
         assert_eq!(cell.read(&n1, &g).unwrap().unwrap(), b"version-two");
     }
@@ -331,7 +350,11 @@ mod tests {
 
         let pin = mgr.pin(&n0).unwrap();
         cell.write(&n0, &alloc, &mgr, &retired, b"b").unwrap();
-        assert_eq!(retired.reclaim(&n0, &mgr, &alloc).unwrap(), 0, "pin protects old version");
+        assert_eq!(
+            retired.reclaim(&n0, &mgr, &alloc).unwrap(),
+            0,
+            "pin protects old version"
+        );
         mgr.unpin(pin);
         assert_eq!(retired.reclaim(&n0, &mgr, &alloc).unwrap(), 1);
     }

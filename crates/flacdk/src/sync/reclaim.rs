@@ -10,7 +10,7 @@
 
 use crate::alloc::object::GlobalAllocator;
 use crate::sync::rcu::EpochManager;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, NodeCtx, SimError};
 use std::sync::Arc;
 

@@ -112,7 +112,12 @@ impl<R: Replica> ReplicatedHandle<R> {
             shared.applied.len(),
             node.id().0
         );
-        ReplicatedHandle { shared, node, replica, last_applied: 0 }
+        ReplicatedHandle {
+            shared,
+            node,
+            replica,
+            last_applied: 0,
+        }
     }
 
     fn applied_cell(&self) -> &GlobalCell {
@@ -260,7 +265,10 @@ mod tests {
         // A synced read with no new log entries touches the tail cell only.
         h0.read(|c| c.value).unwrap();
         let reads_after = h0.node().stats().snapshot().global_reads;
-        assert!(reads_after - reads_before <= 2, "read path must stay (almost) local");
+        assert!(
+            reads_after - reads_before <= 2,
+            "read path must stay (almost) local"
+        );
     }
 
     #[test]
@@ -289,7 +297,11 @@ mod tests {
         let _h1 = ReplicatedHandle::new(shared.clone(), rack.node(1), Counter::default());
         h0.execute(&add(1)).unwrap();
         h0.execute(&add(2)).unwrap();
-        assert_eq!(shared.min_applied(&rack.node(0)).unwrap(), 0, "node1 never synced");
+        assert_eq!(
+            shared.min_applied(&rack.node(0)).unwrap(),
+            0,
+            "node1 never synced"
+        );
     }
 
     #[test]

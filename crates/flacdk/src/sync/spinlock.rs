@@ -26,7 +26,9 @@ impl GlobalSpinLock {
     ///
     /// Fails when global memory is exhausted.
     pub fn alloc(global: &GlobalMemory) -> Result<Self, SimError> {
-        Ok(GlobalSpinLock { word: GlobalCell::alloc(global, 0)? })
+        Ok(GlobalSpinLock {
+            word: GlobalCell::alloc(global, 0)?,
+        })
     }
 
     /// Address of the lock word (for diagnostics and fault injection).
@@ -50,7 +52,11 @@ impl GlobalSpinLock {
         loop {
             let prev = self.word.compare_exchange(ctx, 0, me)?;
             if prev == 0 {
-                return Ok(LockGuard { lock: *self, ctx, released: false });
+                return Ok(LockGuard {
+                    lock: *self,
+                    ctx,
+                    released: false,
+                });
             }
             spins += 1;
             // Exponential-ish backoff, capped; charged as compute time.
@@ -71,7 +77,11 @@ impl GlobalSpinLock {
         let me = ctx.id().0 as u64 + 1;
         let prev = self.word.compare_exchange(ctx, 0, me)?;
         if prev == 0 {
-            Ok(LockGuard { lock: *self, ctx, released: false })
+            Ok(LockGuard {
+                lock: *self,
+                ctx,
+                released: false,
+            })
         } else {
             Err(SimError::WouldBlock)
         }
@@ -177,7 +187,11 @@ mod tests {
 
         // n1 takes the lock and reads WITHOUT invalidate: stale zero.
         let g1 = lock.lock(&n1).unwrap();
-        assert_eq!(n1.read_u64(data).unwrap(), 0, "locks alone cannot fix incoherence");
+        assert_eq!(
+            n1.read_u64(data).unwrap(),
+            0,
+            "locks alone cannot fix incoherence"
+        );
         drop(g1);
     }
 

@@ -75,7 +75,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "truncated buffer at offset {} (needed {} bytes)", self.at, self.needed)
+        write!(
+            f,
+            "truncated buffer at offset {} (needed {} bytes)",
+            self.at, self.needed
+        )
     }
 }
 
@@ -96,7 +100,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
-            return Err(DecodeError { at: self.pos, needed: n });
+            return Err(DecodeError {
+                at: self.pos,
+                needed: n,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -149,7 +156,11 @@ mod tests {
     #[test]
     fn roundtrip_all_field_types() {
         let mut e = Encoder::new();
-        e.put_u8(7).put_u32(123).put_u64(u64::MAX).put_bytes(b"abc").put_str("xyz");
+        e.put_u8(7)
+            .put_u32(123)
+            .put_u64(u64::MAX)
+            .put_bytes(b"abc")
+            .put_str("xyz");
         let v = e.into_vec();
         let mut d = Decoder::new(&v);
         assert_eq!(d.u8().unwrap(), 7);

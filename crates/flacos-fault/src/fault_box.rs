@@ -46,7 +46,11 @@ pub struct FaultBoxBuilder {
 impl FaultBoxBuilder {
     /// Start building a box for application `app_id`.
     pub fn new(app_id: u64) -> Self {
-        FaultBoxBuilder { app_id, stack_pages: 2, heap_pages: 4 }
+        FaultBoxBuilder {
+            app_id,
+            stack_pages: 2,
+            heap_pages: 4,
+        }
     }
 
     /// Stack size in pages (default 2).
@@ -77,14 +81,23 @@ impl FaultBoxBuilder {
         frames: &FrameAllocator,
         epochs: Arc<EpochManager>,
     ) -> Result<FaultBox, SimError> {
-        let space = AddressSpace::alloc(self.app_id, global, alloc.clone(), epochs, RetireList::new())?;
+        let space = AddressSpace::alloc(
+            self.app_id,
+            global,
+            alloc.clone(),
+            epochs,
+            RetireList::new(),
+        )?;
         let mut stack_frames = Vec::with_capacity(self.stack_pages);
         for i in 0..self.stack_pages {
             let f = frames.alloc(home)?;
             space.map(
                 home,
                 STACK_BASE.vpn() + i as u64,
-                Pte { frame: PhysFrame::Global(f), writable: true },
+                Pte {
+                    frame: PhysFrame::Global(f),
+                    writable: true,
+                },
             )?;
             stack_frames.push(f);
         }
@@ -94,11 +107,20 @@ impl FaultBoxBuilder {
             space.map(
                 home,
                 HEAP_BASE.vpn() + i as u64,
-                Pte { frame: PhysFrame::Global(f), writable: true },
+                Pte {
+                    frame: PhysFrame::Global(f),
+                    writable: true,
+                },
             )?;
             heap_frames.push(f);
         }
         let context = global.alloc(CONTEXT_BYTES, 64)?;
+        home.stats().registry().add("fault_box", "built", 1);
+        home.stats().registry().add(
+            "fault_box",
+            "pages_mapped",
+            (self.stack_pages + self.heap_pages) as u64,
+        );
         Ok(FaultBox {
             app_id: self.app_id,
             home: home.id(),
@@ -221,6 +243,7 @@ impl FaultBox {
         from.writeback(self.context, CONTEXT_BYTES);
         from.charge(from.latency().global_atomic_ns);
         to.charge(to.latency().global_read_ns);
+        to.stats().registry().add("fault_box", "migrations", 1);
         self.home = to.id();
         Ok(())
     }
@@ -274,11 +297,15 @@ mod tests {
         let rack = rack();
         let fbox = build_box(&rack, 1, 0);
         let n0 = rack.node(0);
-        fbox.space().write(&n0, fbox.heap_va(100), b"application data").unwrap();
+        fbox.space()
+            .write(&n0, fbox.heap_va(100), b"application data")
+            .unwrap();
         let mut buf = [0u8; 16];
         fbox.space().read(&n0, fbox.heap_va(100), &mut buf).unwrap();
         assert_eq!(&buf, b"application data");
-        fbox.space().write(&n0, fbox.stack_va(0), &[1, 2, 3]).unwrap();
+        fbox.space()
+            .write(&n0, fbox.stack_va(0), &[1, 2, 3])
+            .unwrap();
     }
 
     #[test]
@@ -298,7 +325,9 @@ mod tests {
         let rack = rack();
         let mut fbox = build_box(&rack, 1, 0);
         let (n0, n1) = (rack.node(0), rack.node(1));
-        fbox.space().write(&n0, fbox.heap_va(0), b"survives-migration").unwrap();
+        fbox.space()
+            .write(&n0, fbox.heap_va(0), b"survives-migration")
+            .unwrap();
         fbox.save_context(&n0, b"pc=main+42").unwrap();
         let copied_before = n1.stats().snapshot().bytes_copied;
 
@@ -306,7 +335,10 @@ mod tests {
         assert_eq!(fbox.home(), n1.id());
         // Migration itself moved ~no bytes on the target.
         let copied_by_migrate = n1.stats().snapshot().bytes_copied - copied_before;
-        assert!(copied_by_migrate < 64, "migration is ownership transfer, not a copy");
+        assert!(
+            copied_by_migrate < 64,
+            "migration is ownership transfer, not a copy"
+        );
 
         // Target continues with the same heap + context, in place.
         let mut buf = [0u8; 18];

@@ -52,7 +52,10 @@ pub struct RecoveryOrchestrator {
 impl RecoveryOrchestrator {
     /// An orchestrator with no registered applications.
     pub fn new() -> Self {
-        RecoveryOrchestrator { detector: FaultDetector::new(), boxes: HashMap::new() }
+        RecoveryOrchestrator {
+            detector: FaultDetector::new(),
+            boxes: HashMap::new(),
+        }
     }
 
     /// Register an application: guard every object of its box and attach
@@ -68,7 +71,8 @@ impl RecoveryOrchestrator {
         mut protection: Protection,
     ) -> Result<(), SimError> {
         for (obj_id, addr, len) in fbox.memory_objects() {
-            self.detector.protect(ctx, Self::region_id(fbox.app_id(), obj_id), addr, len)?;
+            self.detector
+                .protect(ctx, Self::region_id(fbox.app_id(), obj_id), addr, len)?;
         }
         protection.tick(ctx, &fbox)?; // initial capture
         self.boxes.insert(fbox.app_id(), (fbox, protection));
@@ -91,7 +95,8 @@ impl RecoveryOrchestrator {
             .get_mut(&app_id)
             .ok_or_else(|| SimError::Protocol(format!("unknown app {app_id}")))?;
         for (obj_id, _, _) in fbox.memory_objects() {
-            self.detector.refresh(ctx, Self::region_id(app_id, obj_id))?;
+            self.detector
+                .refresh(ctx, Self::region_id(app_id, obj_id))?;
         }
         protection.tick(ctx, fbox)?;
         Ok(())
@@ -144,9 +149,19 @@ impl RecoveryOrchestrator {
             let (fbox, _) = self.boxes.get(&app_id).expect("victim registered");
             let objs = fbox.memory_objects();
             for (obj_id, _, _) in objs {
-                self.detector.refresh(ctx, Self::region_id(app_id, obj_id))?;
+                self.detector
+                    .refresh(ctx, Self::region_id(app_id, obj_id))?;
             }
         }
+        ctx.stats()
+            .registry()
+            .add("fault_box", "faults_detected", bad.len() as u64);
+        ctx.stats()
+            .registry()
+            .add("fault_box", "boxes_recovered", victims.len() as u64);
+        ctx.stats()
+            .registry()
+            .add("fault_box", "restored_bytes", restored_bytes as u64);
         Ok(BlastReport {
             faults_detected: bad.len(),
             boxes_untouched: self.boxes.len() - victims.len(),
@@ -214,7 +229,9 @@ mod tests {
                 .heap_pages(1)
                 .build(&n0, rack.global(), alloc.clone(), &frames, epochs.clone())
                 .unwrap();
-            fbox.space().write(&n0, fbox.heap_va(0), format!("app-{app}").as_bytes()).unwrap();
+            fbox.space()
+                .write(&n0, fbox.heap_va(0), format!("app-{app}").as_bytes())
+                .unwrap();
             let protection = Protection::new(
                 RedundancyPolicy::PeriodicCheckpoint { period_ns: 1 },
                 CheckpointManager::new(alloc.clone(), epochs.clone()),
@@ -286,7 +303,9 @@ mod tests {
         let n0 = rack.node(0);
         {
             let fbox = orch.fault_box(0).unwrap();
-            fbox.space().write(&n0, fbox.heap_va(10), b"legit update").unwrap();
+            fbox.space()
+                .write(&n0, fbox.heap_va(10), b"legit update")
+                .unwrap();
         }
         orch.refresh(&n0, 0).unwrap();
         let report = orch.sweep(&n0).unwrap();

@@ -45,7 +45,9 @@ impl RedundancyPolicy {
     /// The default policy for a criticality level.
     pub fn for_criticality(c: Criticality) -> Self {
         match c {
-            Criticality::Low => RedundancyPolicy::PeriodicCheckpoint { period_ns: 10_000_000 },
+            Criticality::Low => RedundancyPolicy::PeriodicCheckpoint {
+                period_ns: 10_000_000,
+            },
             Criticality::Medium => RedundancyPolicy::PartialReplication { replicas: 1 },
             Criticality::High => RedundancyPolicy::NModular { n: 3 },
         }
@@ -66,7 +68,13 @@ impl Protection {
     /// Protect a box under `policy`, using `checkpoints` for snapshot
     /// storage.
     pub fn new(policy: RedundancyPolicy, checkpoints: CheckpointManager) -> Self {
-        Protection { policy, checkpoints, latest: None, replicas: Vec::new(), last_checkpoint_ns: 0 }
+        Protection {
+            policy,
+            checkpoints,
+            latest: None,
+            replicas: Vec::new(),
+            last_checkpoint_ns: 0,
+        }
     }
 
     /// The policy in force.
@@ -106,7 +114,8 @@ impl Protection {
                     self.checkpoints.discard(ctx, old);
                 }
                 for _ in 0..replicas {
-                    self.replicas.push(self.checkpoints.capture(ctx, &fbox.memory_objects())?);
+                    self.replicas
+                        .push(self.checkpoints.capture(ctx, &fbox.memory_objects())?);
                 }
                 // The first replica doubles as the restore source.
                 self.latest = self.replicas.first().cloned();
@@ -211,7 +220,13 @@ mod tests {
         let fbox = FaultBoxBuilder::new(1)
             .stack_pages(1)
             .heap_pages(1)
-            .build(&rack.node(0), rack.global(), alloc.clone(), &frames, epochs.clone())
+            .build(
+                &rack.node(0),
+                rack.global(),
+                alloc.clone(),
+                &frames,
+                epochs.clone(),
+            )
             .unwrap();
         (rack, fbox, CheckpointManager::new(alloc, epochs))
     }
@@ -237,8 +252,12 @@ mod tests {
     fn periodic_checkpoint_respects_period() {
         let (rack, fbox, cm) = setup();
         let n0 = rack.node(0);
-        let mut p =
-            Protection::new(RedundancyPolicy::PeriodicCheckpoint { period_ns: 1_000_000 }, cm);
+        let mut p = Protection::new(
+            RedundancyPolicy::PeriodicCheckpoint {
+                period_ns: 1_000_000,
+            },
+            cm,
+        );
         assert!(p.tick(&n0, &fbox).unwrap(), "first tick always captures");
         assert!(!p.tick(&n0, &fbox).unwrap(), "inside the period");
         n0.charge(2_000_000);
@@ -250,7 +269,9 @@ mod tests {
     fn checkpoint_then_restore_repairs_poisoned_heap() {
         let (rack, fbox, cm) = setup();
         let n0 = rack.node(0);
-        fbox.space().write(&n0, fbox.heap_va(0), b"precious").unwrap();
+        fbox.space()
+            .write(&n0, fbox.heap_va(0), b"precious")
+            .unwrap();
         fbox.save_context(&n0, b"ctx").unwrap();
         let mut p = Protection::new(RedundancyPolicy::PeriodicCheckpoint { period_ns: 1 }, cm);
         p.tick(&n0, &fbox).unwrap();
@@ -289,7 +310,11 @@ mod tests {
     #[test]
     fn nmr_votes_out_a_corrupt_run() {
         let out = nmr_execute(3, |i| {
-            Ok(if i == 1 { b"corrupt".to_vec() } else { b"correct".to_vec() })
+            Ok(if i == 1 {
+                b"corrupt".to_vec()
+            } else {
+                b"correct".to_vec()
+            })
         })
         .unwrap();
         assert_eq!(out, b"correct");

@@ -8,7 +8,7 @@
 //! to amortize.
 
 use flacos_mem::PAGE_SIZE;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::NodeCtx;
 use std::collections::HashMap;
 
@@ -106,7 +106,13 @@ mod tests {
         assert_eq!(dev.read_page(&n0, 5).unwrap(), vec![7u8; PAGE_SIZE]);
         assert_eq!(n0.clock().now() - t1, 100);
         assert!(dev.read_page(&n0, 6).is_none());
-        assert_eq!(dev.stats(), BlockStats { reads: 2, writes: 1 });
+        assert_eq!(
+            dev.stats(),
+            BlockStats {
+                reads: 2,
+                writes: 1
+            }
+        );
         assert_eq!(dev.page_count(), 1);
     }
 

@@ -21,7 +21,10 @@ impl FileHandle {
         let attr = fs
             .stat(path)?
             .ok_or_else(|| SimError::Protocol(format!("open of missing {path:?}")))?;
-        Ok(FileHandle { ino: attr.ino, pos: 0 })
+        Ok(FileHandle {
+            ino: attr.ino,
+            pos: 0,
+        })
     }
 
     /// Open, creating the file if absent.

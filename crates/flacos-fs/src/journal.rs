@@ -34,7 +34,11 @@ pub fn journal_info(ctx: &NodeCtx, shared: &FsShared) -> Result<JournalInfo, Sim
     let log = shared.meta_log().log();
     let head = log.head(ctx)?;
     let tail = log.tail(ctx)?;
-    Ok(JournalInfo { head, tail, depth: tail - head })
+    Ok(JournalInfo {
+        head,
+        tail,
+        depth: tail - head,
+    })
 }
 
 /// Rebuild file-system metadata by replaying the journal from its head.
@@ -112,7 +116,10 @@ mod tests {
         assert_eq!(recovered.resolve("/srv/app.conf"), None);
         let data_ino = recovered.resolve("/srv/data.bin").unwrap();
         assert_eq!(recovered.attr(data_ino).unwrap().size, 5000);
-        assert_eq!(recovered.readdir(recovered.resolve("/srv").unwrap()), vec!["data.bin"]);
+        assert_eq!(
+            recovered.readdir(recovered.resolve("/srv").unwrap()),
+            vec!["data.bin"]
+        );
     }
 
     #[test]
@@ -122,9 +129,17 @@ mod tests {
         for i in 0..20 {
             fs.write_file(&format!("/f{i}"), &[i as u8]).unwrap();
         }
-        let live = fs.with_meta(|m| (m.inode_count(), m.readdir(crate::meta::ROOT_INO))).unwrap();
+        let live = fs
+            .with_meta(|m| (m.inode_count(), m.readdir(crate::meta::ROOT_INO)))
+            .unwrap();
         let (recovered, _) = recover_meta(&rack.node(1), &shared).unwrap();
-        assert_eq!((recovered.inode_count(), recovered.readdir(crate::meta::ROOT_INO)), live);
+        assert_eq!(
+            (
+                recovered.inode_count(),
+                recovered.readdir(crate::meta::ROOT_INO)
+            ),
+            live
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl FsShared {
         // and experiments between journal truncations.
         let meta_log = ReplicatedLog::alloc(global, nodes, 4096, 256)?;
         let cache = SharedPageCache::alloc(global, alloc, epochs, retired)?;
-        Ok(Arc::new(FsShared { meta_log, cache, device }))
+        Ok(Arc::new(FsShared {
+            meta_log,
+            cache,
+            device,
+        }))
     }
 
     /// The metadata operation log (also the journal).
@@ -73,7 +77,11 @@ pub struct MemFs {
 impl MemFs {
     /// Mount `shared` on `node`.
     pub fn mount(shared: Arc<FsShared>, node: Arc<NodeCtx>) -> Self {
-        let meta = ReplicatedHandle::new(shared.meta_log.clone(), node.clone(), MetaReplica::default());
+        let meta = ReplicatedHandle::new(
+            shared.meta_log.clone(),
+            node.clone(),
+            MetaReplica::default(),
+        );
         MemFs { shared, meta, node }
     }
 
@@ -94,7 +102,9 @@ impl MemFs {
             .ok_or_else(|| SimError::Protocol(format!("path {path:?} is not absolute")))?;
         let name = &path[idx + 1..];
         if name.is_empty() {
-            return Err(SimError::Protocol(format!("path {path:?} has no final component")));
+            return Err(SimError::Protocol(format!(
+                "path {path:?} has no final component"
+            )));
         }
         Ok((&path[..idx], name))
     }
@@ -104,7 +114,13 @@ impl MemFs {
         self.meta.sync()?;
         let parent = self
             .meta
-            .read_dirty(|m| m.resolve(if parent_path.is_empty() { "/" } else { parent_path }))
+            .read_dirty(|m| {
+                m.resolve(if parent_path.is_empty() {
+                    "/"
+                } else {
+                    parent_path
+                })
+            })
             .ok_or_else(|| SimError::Protocol(format!("parent of {path:?} not found")))?;
         self.meta.execute(&op_create(parent, name, kind))?;
         self.meta
@@ -140,7 +156,13 @@ impl MemFs {
         self.meta.sync()?;
         let parent = self
             .meta
-            .read_dirty(|m| m.resolve(if parent_path.is_empty() { "/" } else { parent_path }))
+            .read_dirty(|m| {
+                m.resolve(if parent_path.is_empty() {
+                    "/"
+                } else {
+                    parent_path
+                })
+            })
             .ok_or_else(|| SimError::Protocol(format!("parent of {path:?} not found")))?;
         self.meta.execute(&op_unlink(parent, name))
     }
@@ -164,10 +186,15 @@ impl MemFs {
             .meta
             .read_dirty(|m| resolve(m, dst_parent_path))
             .ok_or_else(|| SimError::Protocol(format!("parent of {dst:?} not found")))?;
-        if self.meta.read_dirty(|m| m.lookup(src_parent, src_name)).is_none() {
+        if self
+            .meta
+            .read_dirty(|m| m.lookup(src_parent, src_name))
+            .is_none()
+        {
             return Err(SimError::Protocol(format!("rename of missing {src:?}")));
         }
-        self.meta.execute(&op_rename(src_parent, src_name, dst_parent, dst_name))
+        self.meta
+            .execute(&op_rename(src_parent, src_name, dst_parent, dst_name))
     }
 
     /// Resolve `path` to an inode number.
@@ -187,7 +214,9 @@ impl MemFs {
     /// Propagates sync errors.
     pub fn stat(&mut self, path: &str) -> Result<Option<InodeAttr>, SimError> {
         self.meta.sync()?;
-        Ok(self.meta.read_dirty(|m| m.resolve(path).and_then(|ino| m.attr(ino))))
+        Ok(self
+            .meta
+            .read_dirty(|m| m.resolve(path).and_then(|ino| m.attr(ino))))
     }
 
     /// Sorted directory listing at `path`.
@@ -227,9 +256,10 @@ impl MemFs {
         cache.reclaim(&self.node)?;
         // Grow the file size if we extended it.
         self.meta.sync()?;
-        let cur = self.meta.read_dirty(|m| m.attr(ino).map(|a| a.size)).ok_or_else(|| {
-            SimError::Protocol(format!("write to unknown inode {ino}"))
-        })?;
+        let cur = self
+            .meta
+            .read_dirty(|m| m.attr(ino).map(|a| a.size))
+            .ok_or_else(|| SimError::Protocol(format!("write to unknown inode {ino}")))?;
         let end = offset + data.len() as u64;
         if end > cur {
             self.meta.execute(&op_set_size(ino, end))?;
@@ -419,12 +449,18 @@ mod tests {
     fn cold_read_falls_back_to_device() {
         let (rack, shared) = setup();
         let mut fs = MemFs::mount(shared.clone(), rack.node(0));
-        let ino = fs.write_file("/cold.bin", &vec![7u8; PAGE_SIZE * 2]).unwrap();
+        let ino = fs
+            .write_file("/cold.bin", &vec![7u8; PAGE_SIZE * 2])
+            .unwrap();
         // Persist and drop from cache.
-        let wb = crate::writeback::WritebackDaemon::new(shared.cache().clone(), shared.device().clone());
+        let wb =
+            crate::writeback::WritebackDaemon::new(shared.cache().clone(), shared.device().clone());
         wb.flush_all(&rack.node(0)).unwrap();
         for i in 0..2 {
-            shared.cache().evict(&rack.node(0), SharedPageCache::key(ino, i)).unwrap();
+            shared
+                .cache()
+                .evict(&rack.node(0), SharedPageCache::key(ino, i))
+                .unwrap();
         }
         assert_eq!(shared.cache().resident_pages(), 0);
 
@@ -443,7 +479,10 @@ mod tests {
         let mut buf = vec![9u8; 8];
         assert_eq!(fs.read_at(ino, 0, &mut buf).unwrap(), 8);
         assert_eq!(buf, vec![0u8; 8]);
-        assert_eq!(fs.stat("/sparse").unwrap().unwrap().size, PAGE_SIZE as u64 * 3 + 4);
+        assert_eq!(
+            fs.stat("/sparse").unwrap().unwrap().size,
+            PAGE_SIZE as u64 * 3 + 4
+        );
     }
 
     #[test]
@@ -468,7 +507,10 @@ mod tests {
         assert_eq!(fs0.readdir("/").unwrap(), vec!["from0", "from1"]);
         assert_eq!(fs1.readdir("/").unwrap(), vec!["from0", "from1"]);
         // Both resolve the same inode numbers (deterministic replay).
-        assert_eq!(fs0.resolve("/from1").unwrap(), fs1.resolve("/from1").unwrap());
+        assert_eq!(
+            fs0.resolve("/from1").unwrap(),
+            fs1.resolve("/from1").unwrap()
+        );
     }
 
     #[test]
@@ -494,9 +536,14 @@ mod tests {
 
         let alloc = GlobalAllocator::new(rack.global().clone());
         let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
-        let space0 =
-            AddressSpace::alloc(1, rack.global(), alloc.clone(), epochs.clone(), RetireList::new())
-                .unwrap();
+        let space0 = AddressSpace::alloc(
+            1,
+            rack.global(),
+            alloc.clone(),
+            epochs.clone(),
+            RetireList::new(),
+        )
+        .unwrap();
         let space1 =
             AddressSpace::alloc(2, rack.global(), alloc, epochs, RetireList::new()).unwrap();
 
@@ -507,17 +554,37 @@ mod tests {
 
         // Both spaces on both nodes read the file content through memory.
         let mut buf = vec![0u8; 300];
-        space0.read(&rack.node(0), VirtAddr::from_vpn(100).offset(4000), &mut buf).unwrap();
+        space0
+            .read(
+                &rack.node(0),
+                VirtAddr::from_vpn(100).offset(4000),
+                &mut buf,
+            )
+            .unwrap();
         assert_eq!(buf, content[4000..4300]);
-        space1.read(&rack.node(1), VirtAddr::from_vpn(200).offset(4000), &mut buf).unwrap();
+        space1
+            .read(
+                &rack.node(1),
+                VirtAddr::from_vpn(200).offset(4000),
+                &mut buf,
+            )
+            .unwrap();
         assert_eq!(buf, content[4000..4300]);
 
         // And they map the very same frames — one copy rack-wide.
-        let pte0 = space0.translate(&rack.node(0), VirtAddr::from_vpn(101)).unwrap().unwrap();
-        let pte1 = space1.translate(&rack.node(1), VirtAddr::from_vpn(201)).unwrap().unwrap();
+        let pte0 = space0
+            .translate(&rack.node(0), VirtAddr::from_vpn(101))
+            .unwrap()
+            .unwrap();
+        let pte1 = space1
+            .translate(&rack.node(1), VirtAddr::from_vpn(201))
+            .unwrap()
+            .unwrap();
         assert_eq!(pte0.frame, pte1.frame);
         assert!(!pte0.writable, "mappings are read-only");
-        assert!(space0.write(&rack.node(0), VirtAddr::from_vpn(100), b"x").is_err());
+        assert!(space0
+            .write(&rack.node(0), VirtAddr::from_vpn(100), b"x")
+            .is_err());
     }
 
     #[test]

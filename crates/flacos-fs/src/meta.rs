@@ -75,9 +75,18 @@ pub(crate) fn op_set_size(ino: u64, size: u64) -> Vec<u8> {
 }
 
 /// Encode a rename op.
-pub(crate) fn op_rename(src_parent: u64, src_name: &str, dst_parent: u64, dst_name: &str) -> Vec<u8> {
+pub(crate) fn op_rename(
+    src_parent: u64,
+    src_name: &str,
+    dst_parent: u64,
+    dst_name: &str,
+) -> Vec<u8> {
     let mut e = Encoder::new();
-    e.put_u8(OP_RENAME).put_u64(src_parent).put_str(src_name).put_u64(dst_parent).put_str(dst_name);
+    e.put_u8(OP_RENAME)
+        .put_u64(src_parent)
+        .put_str(src_name)
+        .put_u64(dst_parent)
+        .put_str(dst_name);
     e.into_vec()
 }
 
@@ -100,9 +109,19 @@ impl Default for MetaReplica {
         let mut inodes = HashMap::new();
         inodes.insert(
             ROOT_INO,
-            InodeAttr { ino: ROOT_INO, kind: FileKind::Dir, size: 0, nlink: 1 },
+            InodeAttr {
+                ino: ROOT_INO,
+                kind: FileKind::Dir,
+                size: 0,
+                nlink: 1,
+            },
         );
-        MetaReplica { inodes, dentries: HashMap::new(), children: HashMap::new(), next_ino: ROOT_INO + 1 }
+        MetaReplica {
+            inodes,
+            dentries: HashMap::new(),
+            children: HashMap::new(),
+            next_ino: ROOT_INO + 1,
+        }
     }
 }
 
@@ -139,7 +158,10 @@ impl MetaReplica {
     }
 
     fn apply_create(&mut self, parent: u64, name: &str, kind: FileKind) {
-        if !matches!(self.inodes.get(&parent).map(|a| a.kind), Some(FileKind::Dir)) {
+        if !matches!(
+            self.inodes.get(&parent).map(|a| a.kind),
+            Some(FileKind::Dir)
+        ) {
             return; // parent missing or not a directory: no-op
         }
         if self.dentries.contains_key(&(parent, name.to_string())) {
@@ -147,9 +169,20 @@ impl MetaReplica {
         }
         let ino = self.next_ino;
         self.next_ino += 1;
-        self.inodes.insert(ino, InodeAttr { ino, kind, size: 0, nlink: 1 });
+        self.inodes.insert(
+            ino,
+            InodeAttr {
+                ino,
+                kind,
+                size: 0,
+                nlink: 1,
+            },
+        );
         self.dentries.insert((parent, name.to_string()), ino);
-        self.children.entry(parent).or_default().push(name.to_string());
+        self.children
+            .entry(parent)
+            .or_default()
+            .push(name.to_string());
     }
 
     fn apply_unlink(&mut self, parent: u64, name: &str) {
@@ -169,7 +202,10 @@ impl MetaReplica {
 
     fn apply_rename(&mut self, src_parent: u64, src_name: &str, dst_parent: u64, dst_name: &str) {
         // Destination parent must be an existing directory.
-        if !matches!(self.inodes.get(&dst_parent).map(|a| a.kind), Some(FileKind::Dir)) {
+        if !matches!(
+            self.inodes.get(&dst_parent).map(|a| a.kind),
+            Some(FileKind::Dir)
+        ) {
             return;
         }
         let Some(ino) = self.dentries.remove(&(src_parent, src_name.to_string())) else {
@@ -185,8 +221,12 @@ impl MetaReplica {
                 kids.retain(|n| n != dst_name);
             }
         }
-        self.dentries.insert((dst_parent, dst_name.to_string()), ino);
-        self.children.entry(dst_parent).or_default().push(dst_name.to_string());
+        self.dentries
+            .insert((dst_parent, dst_name.to_string()), ino);
+        self.children
+            .entry(dst_parent)
+            .or_default()
+            .push(dst_name.to_string());
     }
 }
 
@@ -198,12 +238,20 @@ impl Replica for MetaReplica {
                 let (Ok(parent), Ok(name), Ok(kind)) = (d.u64(), d.bytes(), d.u8()) else {
                     return;
                 };
-                let Ok(name) = std::str::from_utf8(name) else { return };
-                let kind = if kind == 1 { FileKind::Dir } else { FileKind::File };
+                let Ok(name) = std::str::from_utf8(name) else {
+                    return;
+                };
+                let kind = if kind == 1 {
+                    FileKind::Dir
+                } else {
+                    FileKind::File
+                };
                 self.apply_create(parent, name, kind);
             }
             Ok(OP_UNLINK) => {
-                let (Ok(parent), Ok(name)) = (d.u64(), d.bytes()) else { return };
+                let (Ok(parent), Ok(name)) = (d.u64(), d.bytes()) else {
+                    return;
+                };
                 if let Ok(name) = std::str::from_utf8(name) {
                     self.apply_unlink(parent, name);
                 }

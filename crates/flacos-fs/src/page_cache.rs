@@ -17,7 +17,7 @@ use flacdk::alloc::GlobalAllocator;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
 use flacos_mem::PAGE_SIZE;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -79,7 +79,10 @@ impl SharedPageCache {
     ///
     /// Panics if `page_idx` exceeds [`PAGES_PER_FILE`].
     pub fn key(ino: u64, page_idx: u64) -> u64 {
-        assert!(page_idx < PAGES_PER_FILE, "page index {page_idx} exceeds per-file limit");
+        assert!(
+            page_idx < PAGES_PER_FILE,
+            "page index {page_idx} exceeds per-file limit"
+        );
         ino * PAGES_PER_FILE + page_idx
     }
 
@@ -94,8 +97,10 @@ impl SharedPageCache {
         let mut stats = self.stats.lock();
         if hit.is_some() {
             stats.hits += 1;
+            ctx.stats().registry().add("page_cache", "hit", 1);
         } else {
             stats.misses += 1;
+            ctx.stats().registry().add("page_cache", "miss", 1);
         }
         Ok(hit.map(GAddr))
     }
@@ -110,7 +115,12 @@ impl SharedPageCache {
     /// # Panics
     ///
     /// Panics if `buf` is not exactly one page.
-    pub fn read_page(&self, ctx: &Arc<NodeCtx>, key: u64, buf: &mut [u8]) -> Result<bool, SimError> {
+    pub fn read_page(
+        &self,
+        ctx: &Arc<NodeCtx>,
+        key: u64,
+        buf: &mut [u8],
+    ) -> Result<bool, SimError> {
         assert_eq!(buf.len(), PAGE_SIZE, "page cache reads whole pages");
         let Some(frame) = self.lookup(ctx, key)? else {
             return Ok(false);
@@ -142,7 +152,9 @@ impl SharedPageCache {
         let frame = self.alloc.alloc(ctx, PAGE_SIZE)?;
         ctx.write(frame, content)?;
         ctx.writeback(frame, PAGE_SIZE);
-        let old = self.index.insert(ctx, &self.alloc, &self.epochs, &self.retired, key, frame.0)?;
+        let old = self
+            .index
+            .insert(ctx, &self.alloc, &self.epochs, &self.retired, key, frame.0)?;
         if let Some(old_frame) = old {
             let epoch = self.epochs.current(ctx)?;
             self.retired.retire(GAddr(old_frame), PAGE_SIZE, epoch);
@@ -152,6 +164,7 @@ impl SharedPageCache {
             self.dirty.lock().insert(key);
         }
         self.stats.lock().inserts += 1;
+        ctx.stats().registry().add("page_cache", "insert", 1);
         Ok(frame)
     }
 
@@ -192,14 +205,19 @@ impl SharedPageCache {
         if self.dirty.lock().contains(&key) {
             return Err(SimError::Protocol(format!("cannot evict dirty page {key}")));
         }
-        let old = self.index.remove(ctx, &self.alloc, &self.epochs, &self.retired, key)?;
+        let old = self
+            .index
+            .remove(ctx, &self.alloc, &self.epochs, &self.retired, key)?;
         let Some(frame) = old else {
-            return Err(SimError::Protocol(format!("evict of non-resident page {key}")));
+            return Err(SimError::Protocol(format!(
+                "evict of non-resident page {key}"
+            )));
         };
         let epoch = self.epochs.current(ctx)?;
         self.retired.retire(GAddr(frame), PAGE_SIZE, epoch);
         self.resident.lock().remove(&key);
         self.stats.lock().evictions += 1;
+        ctx.stats().registry().add("page_cache", "evict", 1);
         Ok(())
     }
 
@@ -340,7 +358,10 @@ mod tests {
         cache.insert_page(&n0, clean, &page(1), true).unwrap();
         cache.insert_page(&n0, dirty, &page(2), false).unwrap();
         assert_eq!(cache.dirty_pages(), 1);
-        assert!(cache.evict(&n0, dirty).is_err(), "dirty pages cannot be evicted");
+        assert!(
+            cache.evict(&n0, dirty).is_err(),
+            "dirty pages cannot be evicted"
+        );
         cache.evict(&n0, clean).unwrap();
         assert_eq!(cache.resident_pages(), 1);
         assert!(cache.evict(&n0, clean).is_err(), "double evict");
@@ -353,7 +374,9 @@ mod tests {
         let (rack, cache) = setup();
         let n0 = rack.node(0);
         for i in 0..5 {
-            cache.insert_page(&n0, SharedPageCache::key(1, i), &page(i as u8), false).unwrap();
+            cache
+                .insert_page(&n0, SharedPageCache::key(1, i), &page(i as u8), false)
+                .unwrap();
         }
         let first = cache.take_dirty(3);
         assert_eq!(first.len(), 3);
@@ -369,7 +392,9 @@ mod tests {
         let (rack, cache) = setup();
         let n0 = rack.node(0);
         let key = SharedPageCache::key(1, 0);
-        assert!(cache.write_in_page(&n0, key, PAGE_SIZE - 2, b"abc").is_err());
+        assert!(cache
+            .write_in_page(&n0, key, PAGE_SIZE - 2, b"abc")
+            .is_err());
     }
 
     #[test]

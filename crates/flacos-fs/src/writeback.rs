@@ -27,13 +27,17 @@ pub struct WritebackStats {
 pub struct WritebackDaemon {
     cache: Arc<SharedPageCache>,
     device: Arc<BlockDevice>,
-    stats: parking_lot::Mutex<WritebackStats>,
+    stats: rack_sim::sync::Mutex<WritebackStats>,
 }
 
 impl WritebackDaemon {
     /// A daemon flushing `cache` to `device`.
     pub fn new(cache: Arc<SharedPageCache>, device: Arc<BlockDevice>) -> Self {
-        WritebackDaemon { cache, device, stats: parking_lot::Mutex::new(WritebackStats::default()) }
+        WritebackDaemon {
+            cache,
+            device,
+            stats: rack_sim::sync::Mutex::new(WritebackStats::default()),
+        }
     }
 
     /// Flush up to `max_pages` dirty pages. Returns how many were
@@ -133,7 +137,9 @@ mod tests {
         let (rack, cache, daemon) = setup();
         let n0 = rack.node(0);
         for i in 0..10 {
-            cache.write_in_page(&n0, SharedPageCache::key(1, i), 0, &[i as u8]).unwrap();
+            cache
+                .write_in_page(&n0, SharedPageCache::key(1, i), 0, &[i as u8])
+                .unwrap();
         }
         assert_eq!(daemon.run_once(&n0, 4).unwrap(), 4);
         assert_eq!(cache.dirty_pages(), 6);
@@ -152,6 +158,10 @@ mod tests {
         daemon.flush_all(&n0).unwrap();
         let stored = daemon.device().read_page(&n0, key).unwrap();
         assert_eq!(&stored[..2], b"v2");
-        assert_eq!(daemon.device().stats().writes, 1, "coalesced into one device write");
+        assert_eq!(
+            daemon.device().stats().writes,
+            1,
+            "coalesced into one device write"
+        );
     }
 }

@@ -115,6 +115,11 @@ impl FlacEndpoint {
         }
         self.stats.sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
+        self.node.stats().registry().add("ipc", "msgs_sent", 1);
+        self.node
+            .stats()
+            .registry()
+            .add("ipc", "bytes_sent", payload.len() as u64);
         Ok(())
     }
 
@@ -139,6 +144,7 @@ impl FlacEndpoint {
             t => return Err(SimError::Protocol(format!("unknown channel tag {t}"))),
         };
         self.stats.received += 1;
+        self.node.stats().registry().add("ipc", "msgs_recv", 1);
         Ok(payload)
     }
 
@@ -165,8 +171,7 @@ mod tests {
     fn pair() -> (Rack, FlacEndpoint, FlacEndpoint) {
         let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
         let alloc = GlobalAllocator::new(rack.global().clone());
-        let (a, b) =
-            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        let (a, b) = FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
         (rack, a, b)
     }
 

@@ -160,10 +160,14 @@ impl NetEndpoint {
         // below the TCP layer).
         node.charge(cfg.syscall_ns + cfg.tcp_ns);
         let segs = cfg.segments(payload.len());
-        for (i, chunk) in payload.chunks(cfg.mtu.max(1)).chain(
-            // Ensure at least one (possibly empty) segment for 0-byte sends.
-            std::iter::repeat_n(&payload[0..0], usize::from(payload.is_empty())),
-        ).enumerate() {
+        for (i, chunk) in payload
+            .chunks(cfg.mtu.max(1))
+            .chain(
+                // Ensure at least one (possibly empty) segment for 0-byte sends.
+                std::iter::repeat_n(&payload[0..0], usize::from(payload.is_empty())),
+            )
+            .enumerate()
+        {
             // Per-segment: buffer allocation + user->skb copy (real),
             // IP/netfilter, driver queueing, wire serialization.
             node.charge(cfg.buf_alloc_ns);
@@ -195,9 +199,11 @@ impl NetEndpoint {
         let cfg = self.config.clone();
         loop {
             // Already have a complete message buffered?
-            if let Some(total) = self.rx_partial.first().map(|s| {
-                u32::from_le_bytes(s[4..8].try_into().expect("4")) as usize
-            }) {
+            if let Some(total) = self
+                .rx_partial
+                .first()
+                .map(|s| u32::from_le_bytes(s[4..8].try_into().expect("4")) as usize)
+            {
                 if self.rx_partial.len() >= total {
                     let node = self.node.clone();
                     // Per-message receive costs: syscall + one interrupt
@@ -278,7 +284,10 @@ mod tests {
         let t1 = a.node().clock().now();
         a.send(&[0u8; 6000]).unwrap();
         let large = a.node().clock().now() - t1;
-        assert!(large > 2 * small, "4 segments cost well over 2x one segment: {large} vs {small}");
+        assert!(
+            large > 2 * small,
+            "4 segments cost well over 2x one segment: {large} vs {small}"
+        );
     }
 
     #[test]
@@ -302,8 +311,10 @@ mod tests {
     #[test]
     fn concurrent_connections_are_isolated() {
         let rack = Rack::new(RackConfig::small_test());
-        let (mut a1, mut b1) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 1);
-        let (mut a2, mut b2) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 2);
+        let (mut a1, mut b1) =
+            NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 1);
+        let (mut a2, mut b2) =
+            NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 2);
         a1.send(b"one").unwrap();
         a2.send(b"two").unwrap();
         assert_eq!(b2.try_recv().unwrap(), b"two");

@@ -14,7 +14,7 @@
 //! what makes the context valid from every node — and what enables fast
 //! scale-out and snapshot-based thread creation ([`RpcRegistry::snapshot`]).
 
-use parking_lot::RwLock;
+use rack_sim::sync::RwLock;
 use rack_sim::{NodeCtx, SimError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,9 +137,10 @@ mod tests {
 
     impl RpcService for CounterService {
         fn invoke(&self, ctx: &NodeCtx, args: &[u8]) -> Result<Vec<u8>, SimError> {
-            let delta = u64::from_le_bytes(args.try_into().map_err(|_| {
-                SimError::Protocol("counter service wants 8-byte delta".into())
-            })?);
+            let delta =
+                u64::from_le_bytes(args.try_into().map_err(|_| {
+                    SimError::Protocol("counter service wants 8-byte delta".into())
+                })?);
             let prev = self.cell.fetch_add(ctx, delta)?;
             Ok((prev + delta).to_le_bytes().to_vec())
         }
@@ -169,7 +170,11 @@ mod tests {
         let msgs_before = n0.stats().snapshot().messages_sent;
         let t0 = n0.clock().now();
         reg.call(&n0, 2, b"").unwrap();
-        assert_eq!(n0.stats().snapshot().messages_sent, msgs_before, "no messaging");
+        assert_eq!(
+            n0.stats().snapshot().messages_sent,
+            msgs_before,
+            "no messaging"
+        );
         assert!(n0.clock().now() - t0 >= 2 * AS_SWITCH_NS);
     }
 
@@ -194,7 +199,11 @@ mod tests {
         assert_eq!(reg.len(), 2);
         reg.call(&rack.node(0), 1, &1u64.to_le_bytes()).unwrap();
         let via_clone = reg.call(&rack.node(1), 2, &1u64.to_le_bytes()).unwrap();
-        assert_eq!(u64::from_le_bytes(via_clone.try_into().unwrap()), 2, "same backing state");
+        assert_eq!(
+            u64::from_le_bytes(via_clone.try_into().unwrap()),
+            2,
+            "same backing state"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! serialization, no intermediate kernel copies.
 
 use flacdk::alloc::GlobalAllocator;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, NodeCtx, SimError};
 use std::sync::Arc;
 
@@ -37,7 +37,10 @@ impl ShmDescriptor {
     /// [`SimError::Protocol`] on short input.
     pub fn decode(bytes: &[u8]) -> Result<Self, SimError> {
         if bytes.len() < 12 {
-            return Err(SimError::Protocol(format!("short descriptor ({} bytes)", bytes.len())));
+            return Err(SimError::Protocol(format!(
+                "short descriptor ({} bytes)",
+                bytes.len()
+            )));
         }
         Ok(ShmDescriptor {
             addr: GAddr(u64::from_le_bytes(bytes[..8].try_into().expect("8"))),
@@ -56,7 +59,10 @@ pub struct ShmBufferPool {
 impl ShmBufferPool {
     /// A pool drawing segments from `alloc`.
     pub fn new(alloc: GlobalAllocator) -> Self {
-        ShmBufferPool { alloc, outstanding: Arc::new(Mutex::new(0)) }
+        ShmBufferPool {
+            alloc,
+            outstanding: Arc::new(Mutex::new(0)),
+        }
     }
 
     /// Publish `payload` into a fresh segment, returning its descriptor.
@@ -70,7 +76,10 @@ impl ShmBufferPool {
         ctx.write(addr, payload)?;
         ctx.writeback(addr, payload.len());
         *self.outstanding.lock() += 1;
-        Ok(ShmDescriptor { addr, len: payload.len() as u32 })
+        Ok(ShmDescriptor {
+            addr,
+            len: payload.len() as u32,
+        })
     }
 
     /// Consume a published payload in place (invalidate + read).
@@ -122,7 +131,10 @@ mod tests {
 
     #[test]
     fn descriptor_wire_roundtrip() {
-        let d = ShmDescriptor { addr: GAddr(0xabcd00), len: 512 };
+        let d = ShmDescriptor {
+            addr: GAddr(0xabcd00),
+            len: 512,
+        };
         assert_eq!(ShmDescriptor::decode(&d.encode()).unwrap(), d);
         assert!(ShmDescriptor::decode(&[0u8; 4]).is_err());
     }

@@ -38,7 +38,10 @@ impl SocketAddr {
         let mut d = Decoder::new(bytes);
         let node = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
         let channel = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
-        Ok(SocketAddr { node: NodeId(node as usize), channel })
+        Ok(SocketAddr {
+            node: NodeId(node as usize),
+            channel,
+        })
     }
 }
 
@@ -54,13 +57,18 @@ impl SocketRegistry {
     /// # Errors
     ///
     /// Fails when global memory is exhausted.
-    pub fn alloc_shared(global: &GlobalMemory, nodes: usize) -> Result<Arc<ReplicatedLog>, SimError> {
+    pub fn alloc_shared(
+        global: &GlobalMemory,
+        nodes: usize,
+    ) -> Result<Arc<ReplicatedLog>, SimError> {
         ReplicatedKv::alloc_shared(global, nodes, 1024, 128)
     }
 
     /// This node's registry view.
     pub fn new(shared: Arc<ReplicatedLog>, node: Arc<NodeCtx>) -> Self {
-        SocketRegistry { kv: ReplicatedKv::new(shared, node) }
+        SocketRegistry {
+            kv: ReplicatedKv::new(shared, node),
+        }
     }
 
     /// Bind `name` to `addr` rack-wide.
@@ -128,7 +136,10 @@ mod tests {
     #[test]
     fn bind_on_one_node_resolve_on_another() {
         let (_rack, mut r0, mut r1) = setup();
-        let addr = SocketAddr { node: NodeId(0), channel: 42 };
+        let addr = SocketAddr {
+            node: NodeId(0),
+            channel: 42,
+        };
         r0.bind("redis-server", addr).unwrap();
         assert_eq!(r1.lookup("redis-server").unwrap(), Some(addr));
         assert_eq!(r1.lookup("unknown").unwrap(), None);
@@ -137,12 +148,29 @@ mod tests {
     #[test]
     fn rebind_moves_the_service() {
         let (_rack, mut r0, mut r1) = setup();
-        r0.bind("svc", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        r0.bind(
+            "svc",
+            SocketAddr {
+                node: NodeId(0),
+                channel: 1,
+            },
+        )
+        .unwrap();
         // Service migrates to node 1.
-        r1.bind("svc", SocketAddr { node: NodeId(1), channel: 9 }).unwrap();
+        r1.bind(
+            "svc",
+            SocketAddr {
+                node: NodeId(1),
+                channel: 9,
+            },
+        )
+        .unwrap();
         assert_eq!(
             r0.lookup("svc").unwrap(),
-            Some(SocketAddr { node: NodeId(1), channel: 9 })
+            Some(SocketAddr {
+                node: NodeId(1),
+                channel: 9
+            })
         );
         assert_eq!(r0.len().unwrap(), 1);
     }
@@ -150,7 +178,14 @@ mod tests {
     #[test]
     fn unbind_removes_everywhere() {
         let (_rack, mut r0, mut r1) = setup();
-        r0.bind("tmp", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        r0.bind(
+            "tmp",
+            SocketAddr {
+                node: NodeId(0),
+                channel: 1,
+            },
+        )
+        .unwrap();
         r1.unbind("tmp").unwrap();
         assert_eq!(r0.lookup("tmp").unwrap(), None);
         assert!(r0.is_empty().unwrap());
@@ -159,7 +194,14 @@ mod tests {
     #[test]
     fn lookups_after_sync_are_local() {
         let (_rack, mut r0, mut r1) = setup();
-        r0.bind("a", SocketAddr { node: NodeId(0), channel: 1 }).unwrap();
+        r0.bind(
+            "a",
+            SocketAddr {
+                node: NodeId(0),
+                channel: 1,
+            },
+        )
+        .unwrap();
         r1.lookup("a").unwrap(); // syncs
         let before = r1.kv.shared().log().tail(&_rack.node(1)).unwrap();
         // Further lookups only check the tail (no entry reads).

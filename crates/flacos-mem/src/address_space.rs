@@ -103,7 +103,12 @@ impl AddressSpace {
     /// # Errors
     ///
     /// [`SimError::Protocol`] when reading another node's local frame.
-    pub fn read_frame(&self, ctx: &NodeCtx, frame: PhysFrame, buf: &mut [u8]) -> Result<(), SimError> {
+    pub fn read_frame(
+        &self,
+        ctx: &NodeCtx,
+        frame: PhysFrame,
+        buf: &mut [u8],
+    ) -> Result<(), SimError> {
         match frame {
             PhysFrame::Global(addr) => {
                 ctx.invalidate(addr, buf.len());
@@ -212,7 +217,9 @@ impl AddressSpace {
             let take = (PAGE_SIZE - cur.page_offset()).min(len - done);
             if let Some(pte) = self.translate(ctx, cur)? {
                 if !pte.writable {
-                    return Err(SimError::Protocol(format!("write to read-only page at {cur}")));
+                    return Err(SimError::Protocol(format!(
+                        "write to read-only page at {cur}"
+                    )));
                 }
             }
             done += take;
@@ -238,7 +245,14 @@ mod tests {
     fn map_global_page(rack: &Rack, space: &AddressSpace, vpn: u64, writable: bool) -> GAddr {
         let frame = rack.global().alloc(PAGE_SIZE, PAGE_SIZE).unwrap();
         space
-            .map(&rack.node(0), vpn, Pte { frame: PhysFrame::Global(frame), writable })
+            .map(
+                &rack.node(0),
+                vpn,
+                Pte {
+                    frame: PhysFrame::Global(frame),
+                    writable,
+                },
+            )
             .unwrap();
         frame
     }
@@ -264,7 +278,9 @@ mod tests {
         let (rack, space) = setup();
         let (n0, n1) = (rack.node(0), rack.node(1));
         map_global_page(&rack, &space, 4, true);
-        space.write(&n0, VirtAddr::from_vpn(4), b"shared-address-space").unwrap();
+        space
+            .write(&n0, VirtAddr::from_vpn(4), b"shared-address-space")
+            .unwrap();
         let mut out = vec![0u8; 20];
         space.read(&n1, VirtAddr::from_vpn(4), &mut out).unwrap();
         assert_eq!(&out, b"shared-address-space");
@@ -295,7 +311,14 @@ mod tests {
         let (n0, n1) = (rack.node(0), rack.node(1));
         let local = rack_sim::LAddr(0);
         space
-            .map(&n0, 3, Pte { frame: PhysFrame::Local(n0.id(), local), writable: true })
+            .map(
+                &n0,
+                3,
+                Pte {
+                    frame: PhysFrame::Local(n0.id(), local),
+                    writable: true,
+                },
+            )
             .unwrap();
         let mut buf = [0u8; 4];
         assert!(space.read(&n1, VirtAddr::from_vpn(3), &mut buf).is_err());
@@ -318,8 +341,14 @@ mod tests {
         let (rack, space) = setup();
         let n0 = rack.node(0);
         let frame = map_global_page(&rack, &space, 5, true);
-        let pte = space.translate(&n0, VirtAddr::from_vpn(5).offset(123)).unwrap().unwrap();
+        let pte = space
+            .translate(&n0, VirtAddr::from_vpn(5).offset(123))
+            .unwrap()
+            .unwrap();
         assert_eq!(pte.frame, PhysFrame::Global(frame));
-        assert!(space.translate(&n0, VirtAddr::from_vpn(6)).unwrap().is_none());
+        assert!(space
+            .translate(&n0, VirtAddr::from_vpn(6))
+            .unwrap()
+            .is_none());
     }
 }

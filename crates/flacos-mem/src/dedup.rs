@@ -9,7 +9,7 @@
 use crate::addr::PAGE_SIZE;
 use crate::fault::FrameAllocator;
 use flacdk::wire::fnv1a;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, NodeCtx, SimError};
 use std::collections::HashMap;
 
@@ -44,7 +44,10 @@ pub struct PageDeduper {
 impl PageDeduper {
     /// A deduper drawing frames from `frames`.
     pub fn new(frames: FrameAllocator) -> Self {
-        PageDeduper { frames, inner: Mutex::new(Inner::default()) }
+        PageDeduper {
+            frames,
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// Intern one page of content. Returns the (possibly shared) frame

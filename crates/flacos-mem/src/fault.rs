@@ -10,7 +10,7 @@
 use crate::addr::{PhysFrame, PAGE_SIZE};
 use crate::address_space::AddressSpace;
 use crate::page_table::Pte;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, GlobalMemory, LAddr, NodeCtx, SimError};
 use std::sync::Arc;
 
@@ -25,7 +25,10 @@ pub struct FrameAllocator {
 impl FrameAllocator {
     /// A frame allocator over `global`.
     pub fn new(global: Arc<GlobalMemory>) -> Self {
-        FrameAllocator { global, free: Arc::new(Mutex::new(Vec::new())) }
+        FrameAllocator {
+            global,
+            free: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Allocate one page-aligned global frame.
@@ -97,7 +100,11 @@ impl PageFaultHandler {
     /// A handler drawing global frames from `frames` and placing new
     /// pages per `placement`.
     pub fn new(frames: FrameAllocator, placement: PagePlacement) -> Self {
-        PageFaultHandler { frames, placement, stats: Mutex::new(FaultStats::default()) }
+        PageFaultHandler {
+            frames,
+            placement,
+            stats: Mutex::new(FaultStats::default()),
+        }
     }
 
     /// Allocate a page-aligned frame in `ctx`'s local memory.
@@ -133,7 +140,14 @@ impl PageFaultHandler {
                 let mut content = vec![0u8; PAGE_SIZE];
                 space.read_frame(ctx, pte.frame, &mut content)?;
                 space.write_frame(ctx, new_frame, &content)?;
-                space.map(ctx, vpn, Pte { frame: new_frame, writable: true })?;
+                space.map(
+                    ctx,
+                    vpn,
+                    Pte {
+                        frame: new_frame,
+                        writable: true,
+                    },
+                )?;
                 self.stats.lock().cow += 1;
                 Ok(FaultResolution::CopyOnWrite)
             }
@@ -141,7 +155,14 @@ impl PageFaultHandler {
                 // Demand-zero fill.
                 let frame = self.place_frame(ctx)?;
                 space.write_frame(ctx, frame, &[0u8; PAGE_SIZE])?;
-                space.map(ctx, vpn, Pte { frame, writable: true })?;
+                space.map(
+                    ctx,
+                    vpn,
+                    Pte {
+                        frame,
+                        writable: true,
+                    },
+                )?;
                 self.stats.lock().major += 1;
                 Ok(FaultResolution::MajorZeroFill)
             }
@@ -189,9 +210,18 @@ mod tests {
     fn zero_fill_then_minor() {
         let (rack, space, handler) = setup(PagePlacement::Global);
         let n0 = rack.node(0);
-        assert_eq!(handler.handle(&n0, &space, 5, true).unwrap(), FaultResolution::MajorZeroFill);
-        assert_eq!(handler.handle(&n0, &space, 5, false).unwrap(), FaultResolution::Minor);
-        assert_eq!(handler.handle(&n0, &space, 5, true).unwrap(), FaultResolution::Minor);
+        assert_eq!(
+            handler.handle(&n0, &space, 5, true).unwrap(),
+            FaultResolution::MajorZeroFill
+        );
+        assert_eq!(
+            handler.handle(&n0, &space, 5, false).unwrap(),
+            FaultResolution::Minor
+        );
+        assert_eq!(
+            handler.handle(&n0, &space, 5, true).unwrap(),
+            FaultResolution::Minor
+        );
         let s = handler.stats();
         assert_eq!((s.major, s.minor, s.cow), (1, 2, 0));
     }
@@ -202,7 +232,9 @@ mod tests {
         let (n0, n1) = (rack.node(0), rack.node(1));
         handler.handle(&n0, &space, 3, false).unwrap();
         let mut buf = [7u8; 64];
-        space.read(&n1, crate::addr::VirtAddr::from_vpn(3), &mut buf).unwrap();
+        space
+            .read(&n1, crate::addr::VirtAddr::from_vpn(3), &mut buf)
+            .unwrap();
         assert_eq!(buf, [0u8; 64]);
     }
 
@@ -213,14 +245,32 @@ mod tests {
         // Map a read-only page with known content.
         let frame = PhysFrame::Global(handler.frames().alloc(&n0).unwrap());
         space.write_frame(&n0, frame, &[9u8; PAGE_SIZE]).unwrap();
-        space.table().map(&n0, 2, Pte { frame, writable: false }).unwrap();
+        space
+            .table()
+            .map(
+                &n0,
+                2,
+                Pte {
+                    frame,
+                    writable: false,
+                },
+            )
+            .unwrap();
 
-        assert_eq!(handler.handle(&n0, &space, 2, true).unwrap(), FaultResolution::CopyOnWrite);
-        let pte = space.translate(&n0, crate::addr::VirtAddr::from_vpn(2)).unwrap().unwrap();
+        assert_eq!(
+            handler.handle(&n0, &space, 2, true).unwrap(),
+            FaultResolution::CopyOnWrite
+        );
+        let pte = space
+            .translate(&n0, crate::addr::VirtAddr::from_vpn(2))
+            .unwrap()
+            .unwrap();
         assert!(pte.writable);
         assert_ne!(pte.frame, frame, "fresh frame");
         let mut buf = [0u8; 16];
-        space.read(&n0, crate::addr::VirtAddr::from_vpn(2), &mut buf).unwrap();
+        space
+            .read(&n0, crate::addr::VirtAddr::from_vpn(2), &mut buf)
+            .unwrap();
         assert_eq!(buf, [9u8; 16]);
     }
 
@@ -229,7 +279,10 @@ mod tests {
         let (rack, space, handler) = setup(PagePlacement::Local);
         let n0 = rack.node(0);
         handler.handle(&n0, &space, 1, true).unwrap();
-        let pte = space.translate(&n0, crate::addr::VirtAddr::from_vpn(1)).unwrap().unwrap();
+        let pte = space
+            .translate(&n0, crate::addr::VirtAddr::from_vpn(1))
+            .unwrap()
+            .unwrap();
         assert_eq!(pte.frame.home_node(), Some(n0.id()));
     }
 

@@ -94,7 +94,12 @@ impl PageTable {
         epochs: Arc<EpochManager>,
         retired: RetireList,
     ) -> Result<Self, SimError> {
-        Ok(PageTable { tree: RadixTree::alloc(global, 4)?, alloc, epochs, retired })
+        Ok(PageTable {
+            tree: RadixTree::alloc(global, 4)?,
+            alloc,
+            epochs,
+            retired,
+        })
     }
 
     /// Map virtual page `vpn` to `pte`, returning any previous mapping.
@@ -105,7 +110,14 @@ impl PageTable {
     pub fn map(&self, ctx: &NodeCtx, vpn: u64, pte: Pte) -> Result<Option<Pte>, SimError> {
         Ok(self
             .tree
-            .insert(ctx, &self.alloc, &self.epochs, &self.retired, vpn, pte.encode())?
+            .insert(
+                ctx,
+                &self.alloc,
+                &self.epochs,
+                &self.retired,
+                vpn,
+                pte.encode(),
+            )?
             .map(Pte::decode))
     }
 
@@ -168,10 +180,22 @@ mod tests {
     #[test]
     fn pte_roundtrip_global_and_local() {
         let cases = [
-            Pte { frame: PhysFrame::Global(GAddr(0x3000)), writable: true },
-            Pte { frame: PhysFrame::Global(GAddr(0)), writable: false },
-            Pte { frame: PhysFrame::Local(NodeId(3), LAddr(0x7000)), writable: true },
-            Pte { frame: PhysFrame::Local(NodeId(511), LAddr(0x1000)), writable: false },
+            Pte {
+                frame: PhysFrame::Global(GAddr(0x3000)),
+                writable: true,
+            },
+            Pte {
+                frame: PhysFrame::Global(GAddr(0)),
+                writable: false,
+            },
+            Pte {
+                frame: PhysFrame::Local(NodeId(3), LAddr(0x7000)),
+                writable: true,
+            },
+            Pte {
+                frame: PhysFrame::Local(NodeId(511), LAddr(0x1000)),
+                writable: false,
+            },
         ];
         for pte in cases {
             assert_eq!(Pte::decode(pte.encode()), pte);
@@ -181,14 +205,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "page-aligned")]
     fn misaligned_frame_panics() {
-        Pte { frame: PhysFrame::Global(GAddr(0x3001)), writable: false }.encode();
+        Pte {
+            frame: PhysFrame::Global(GAddr(0x3001)),
+            writable: false,
+        }
+        .encode();
     }
 
     #[test]
     fn map_walk_unmap_visible_rack_wide() {
         let (rack, pt) = setup();
         let (n0, n1) = (rack.node(0), rack.node(1));
-        let pte = Pte { frame: PhysFrame::Global(GAddr(0x5000)), writable: true };
+        let pte = Pte {
+            frame: PhysFrame::Global(GAddr(0x5000)),
+            writable: true,
+        };
         assert_eq!(pt.map(&n0, 7, pte).unwrap(), None);
 
         // Node 1 walks the same table without any explicit flushing.
@@ -207,8 +238,14 @@ mod tests {
     fn remap_returns_previous() {
         let (rack, pt) = setup();
         let n0 = rack.node(0);
-        let a = Pte { frame: PhysFrame::Global(GAddr(0x1000)), writable: false };
-        let b = Pte { frame: PhysFrame::Local(NodeId(1), LAddr(0x2000)), writable: true };
+        let a = Pte {
+            frame: PhysFrame::Global(GAddr(0x1000)),
+            writable: false,
+        };
+        let b = Pte {
+            frame: PhysFrame::Local(NodeId(1), LAddr(0x2000)),
+            writable: true,
+        };
         pt.map(&n0, 1, a).unwrap();
         assert_eq!(pt.map(&n0, 1, b).unwrap(), Some(a));
         pt.reclaim(&n0).unwrap();

@@ -49,7 +49,13 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(node: Arc<NodeCtx>, capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        Tlb { node, entries: HashMap::new(), order: VecDeque::new(), capacity, stats: TlbStats::default() }
+        Tlb {
+            node,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: TlbStats::default(),
+        }
     }
 
     /// The node that owns this TLB.
@@ -123,7 +129,12 @@ impl Tlb {
     ///
     /// Fabric errors to *live* peers are propagated; dead peers are
     /// skipped (they have no stale TLB to shoot down).
-    pub fn begin_shootdown(&mut self, peers: &[NodeId], asid: u64, vpn: u64) -> Result<usize, SimError> {
+    pub fn begin_shootdown(
+        &mut self,
+        peers: &[NodeId],
+        asid: u64,
+        vpn: u64,
+    ) -> Result<usize, SimError> {
         self.invalidate_local(asid, vpn);
         let mut expected = 0;
         for &peer in peers {
@@ -131,7 +142,9 @@ impl Tlb {
                 continue;
             }
             let mut e = Encoder::new();
-            e.put_u64(self.node.id().0 as u64).put_u64(asid).put_u64(vpn);
+            e.put_u64(self.node.id().0 as u64)
+                .put_u64(asid)
+                .put_u64(vpn);
             match self.node.send(peer, TLB_SHOOTDOWN_PORT, e.into_vec()) {
                 Ok(_) => expected += 1,
                 Err(SimError::NodeDown { .. }) => {}
@@ -163,7 +176,10 @@ impl Tlb {
             self.invalidate_local(asid, vpn);
             self.stats.shootdowns_serviced += 1;
             serviced += 1;
-            match self.node.send(NodeId(initiator as usize), TLB_ACK_PORT, vec![1]) {
+            match self
+                .node
+                .send(NodeId(initiator as usize), TLB_ACK_PORT, vec![1])
+            {
                 Ok(_) | Err(SimError::NodeDown { .. }) | Err(SimError::LinkDown { .. }) => {}
                 Err(e) => return Err(e),
             }
@@ -209,7 +225,9 @@ pub fn shootdown_stepped(
     }
     let got = tlbs[initiator].collect_acks(expected);
     if got < expected {
-        return Err(SimError::Protocol(format!("shootdown acks: {got}/{expected}")));
+        return Err(SimError::Protocol(format!(
+            "shootdown acks: {got}/{expected}"
+        )));
     }
     Ok(())
 }
@@ -221,7 +239,10 @@ mod tests {
     use rack_sim::{GAddr, Rack, RackConfig};
 
     fn pte(addr: u64) -> Pte {
-        Pte { frame: PhysFrame::Global(GAddr(addr)), writable: true }
+        Pte {
+            frame: PhysFrame::Global(GAddr(addr)),
+            writable: true,
+        }
     }
 
     #[test]

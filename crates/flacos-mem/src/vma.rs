@@ -91,7 +91,11 @@ impl VmaSet {
 
     /// Find the area containing `va`.
     pub fn find(&self, va: VirtAddr) -> Option<&Vma> {
-        self.areas.range(..=va.0).next_back().map(|(_, v)| v).filter(|v| v.contains(va))
+        self.areas
+            .range(..=va.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(va))
     }
 
     /// Number of areas.
@@ -118,7 +122,10 @@ impl VmaSet {
         let mut e = Encoder::new();
         e.put_u64(self.areas.len() as u64);
         for v in self.areas.values() {
-            e.put_u64(v.start.0).put_u64(v.end.0).put_u8(u8::from(v.writable)).put_u64(v.tag);
+            e.put_u64(v.start.0)
+                .put_u64(v.end.0)
+                .put_u8(u8::from(v.writable))
+                .put_u64(v.tag);
         }
         e.into_vec()
     }
@@ -132,7 +139,12 @@ impl VmaSet {
             let end = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
             let writable = d.u8().map_err(|e| SimError::Protocol(e.to_string()))? != 0;
             let tag = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
-            set.insert(Vma { start: VirtAddr(start), end: VirtAddr(end), writable, tag })?;
+            set.insert(Vma {
+                start: VirtAddr(start),
+                end: VirtAddr(end),
+                writable,
+                tag,
+            })?;
         }
         Ok(set)
     }
@@ -225,7 +237,12 @@ mod tests {
     use rack_sim::{Rack, RackConfig};
 
     fn vma(start: u64, end: u64, tag: u64) -> Vma {
-        Vma { start: VirtAddr(start), end: VirtAddr(end), writable: true, tag }
+        Vma {
+            start: VirtAddr(start),
+            end: VirtAddr(end),
+            writable: true,
+            tag,
+        }
     }
 
     #[test]

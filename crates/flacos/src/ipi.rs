@@ -64,7 +64,10 @@ impl RackIpi {
             .and_then(|b| b.try_into().ok())
             .map(u32::from_le_bytes)
             .ok_or_else(|| SimError::Protocol("malformed IPI".into()))?;
-        Ok(Ipi { from: msg.from, vector })
+        Ok(Ipi {
+            from: msg.from,
+            vector,
+        })
     }
 
     /// Pending IPIs on this node.
@@ -136,7 +139,13 @@ mod tests {
         ipi.send(&n0, n1.id(), 0x42).unwrap();
         assert_eq!(ipi.pending(&n1), 1);
         let got = ipi.poll(&n1).unwrap();
-        assert_eq!(got, Ipi { from: n0.id(), vector: 0x42 });
+        assert_eq!(
+            got,
+            Ipi {
+                from: n0.id(),
+                vector: 0x42
+            }
+        );
         assert!(matches!(ipi.poll(&n1), Err(SimError::WouldBlock)));
     }
 
@@ -159,7 +168,10 @@ mod tests {
 
         // No change: poll budget exhausts, charging idle time.
         let t0 = n0.clock().now();
-        assert!(matches!(mwait(&n0, &cell, 0, 100, 5), Err(SimError::WouldBlock)));
+        assert!(matches!(
+            mwait(&n0, &cell, 0, 100, 5),
+            Err(SimError::WouldBlock)
+        ));
         assert!(n0.clock().now() - t0 >= 500);
 
         // Another node stores: waiter observes the new value.

@@ -43,7 +43,15 @@ impl NodeOs {
         let tlb = Tlb::new(node.clone(), TLB_ENTRIES);
         let fault_handler = PageFaultHandler::new(rack.frames().clone(), PagePlacement::Global);
         let next_pid = AtomicU64::new((node.id().0 as u64) << 32 | 1);
-        NodeOs { rack, node, fs, sockets, tlb, fault_handler, next_pid }
+        NodeOs {
+            rack,
+            node,
+            fs,
+            sockets,
+            tlb,
+            fault_handler,
+            next_pid,
+        }
     }
 
     /// The node this instance runs on.
@@ -107,15 +115,13 @@ impl NodeOs {
         criticality: Criticality,
     ) -> Result<Process, SimError> {
         let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
-        let fbox = FaultBoxBuilder::new(pid)
-            .heap_pages(heap_pages)
-            .build(
-                &self.node,
-                self.node.global(),
-                self.rack.alloc().clone(),
-                self.rack.frames(),
-                self.rack.epochs().clone(),
-            )?;
+        let fbox = FaultBoxBuilder::new(pid).heap_pages(heap_pages).build(
+            &self.node,
+            self.node.global(),
+            self.rack.alloc().clone(),
+            self.rack.frames(),
+            self.rack.epochs().clone(),
+        )?;
         let protection = Protection::new(
             RedundancyPolicy::for_criticality(criticality),
             CheckpointManager::new(self.rack.alloc().clone(), self.rack.epochs().clone()),
@@ -132,7 +138,9 @@ impl NodeOs {
     ///
     /// Propagates memory errors.
     pub fn reap(&mut self, process: &mut Process) -> Result<(), SimError> {
-        self.rack.scheduler().task_finished(&self.node, process.home())?;
+        self.rack
+            .scheduler()
+            .task_finished(&self.node, process.home())?;
         process.exit();
         Ok(())
     }
@@ -189,7 +197,10 @@ mod tests {
         let rack = booted();
         let mut os0 = rack.node_os(0);
         let mut p = os0.spawn(1, Criticality::Medium).unwrap();
-        p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), b"good")).unwrap();
+        p.run(os0.node(), |ctx, fbox| {
+            fbox.space().write(ctx, fbox.heap_va(0), b"good")
+        })
+        .unwrap();
         p.protect_now(os0.node()).unwrap();
 
         let err = p.run(os0.node(), |_, _| -> Result<(), SimError> {
@@ -216,8 +227,10 @@ mod tests {
         let mut os0 = rack.node_os(0);
         let mut os1 = rack.node_os(1);
         let mut p = os0.spawn(1, Criticality::Low).unwrap();
-        p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), b"movable"))
-            .unwrap();
+        p.run(os0.node(), |ctx, fbox| {
+            fbox.space().write(ctx, fbox.heap_va(0), b"movable")
+        })
+        .unwrap();
 
         os1.adopt(&mut p, os0.node()).unwrap();
         assert_eq!(p.home(), os1.id());

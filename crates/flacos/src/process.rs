@@ -36,7 +36,12 @@ pub struct Process {
 impl Process {
     /// Wrap a built fault box and its protection into a process.
     pub fn new(pid: u64, fbox: FaultBox, protection: Protection) -> Self {
-        Process { pid, fbox, protection, state: ProcessState::Ready }
+        Process {
+            pid,
+            fbox,
+            protection,
+            state: ProcessState::Ready,
+        }
     }
 
     /// Process identifier.

@@ -163,7 +163,11 @@ impl FlacRack {
     /// # Errors
     ///
     /// Fails when global memory is exhausted.
-    pub fn channel(&self, a_idx: usize, b_idx: usize) -> Result<(FlacEndpoint, FlacEndpoint), SimError> {
+    pub fn channel(
+        &self,
+        a_idx: usize,
+        b_idx: usize,
+    ) -> Result<(FlacEndpoint, FlacEndpoint), SimError> {
         FlacChannel::create(
             self.sim.global(),
             self.alloc.clone(),
@@ -189,9 +193,13 @@ mod tests {
     fn shared_structures_are_rack_wide() {
         let rack = FlacRack::boot(RackConfig::small_test().with_global_mem(64 << 20)).unwrap();
         // Scheduler state written by node 0 visible on node 1.
-        rack.scheduler().task_started(&rack.sim().node(0), rack_sim::NodeId(1)).unwrap();
+        rack.scheduler()
+            .task_started(&rack.sim().node(0), rack_sim::NodeId(1))
+            .unwrap();
         assert_eq!(
-            rack.scheduler().load_of(&rack.sim().node(1), rack_sim::NodeId(1)).unwrap(),
+            rack.scheduler()
+                .load_of(&rack.sim().node(1), rack_sim::NodeId(1))
+                .unwrap(),
             1
         );
     }

@@ -88,7 +88,8 @@ impl RackScheduler {
                 best = Some((load, id));
             }
         }
-        best.map(|(_, id)| id).ok_or_else(|| SimError::Protocol("no live node to place on".into()))
+        best.map(|(_, id)| id)
+            .ok_or_else(|| SimError::Protocol("no live node to place on".into()))
     }
 
     /// Imbalance = max load − min load across live nodes.
@@ -96,7 +97,11 @@ impl RackScheduler {
     /// # Errors
     ///
     /// Propagates memory errors.
-    pub fn imbalance(&self, ctx: &NodeCtx, alive: impl Fn(NodeId) -> bool) -> Result<u64, SimError> {
+    pub fn imbalance(
+        &self,
+        ctx: &NodeCtx,
+        alive: impl Fn(NodeId) -> bool,
+    ) -> Result<u64, SimError> {
         let mut min = u64::MAX;
         let mut max = 0u64;
         for (i, cell) in self.load.iter().enumerate() {

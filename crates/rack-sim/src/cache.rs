@@ -35,7 +35,9 @@ pub struct CacheConfig {
 impl Default for CacheConfig {
     fn default() -> Self {
         // 8 MiB of cached global memory per node by default.
-        CacheConfig { max_lines: 8 * 1024 * 1024 / LINE_SIZE }
+        CacheConfig {
+            max_lines: 8 * 1024 * 1024 / LINE_SIZE,
+        }
     }
 }
 
@@ -105,7 +107,8 @@ impl NodeCache {
         // Bound the lazy queue: compact when it far outgrows the cache.
         if self.lru_queue.len() > self.lines.len() * 4 + 64 {
             let lines = &self.lines;
-            self.lru_queue.retain(|(id, t)| lines.get(id).map(|l| l.lru_tick == *t).unwrap_or(false));
+            self.lru_queue
+                .retain(|(id, t)| lines.get(id).map(|l| l.lru_tick == *t).unwrap_or(false));
         }
     }
 
@@ -118,7 +121,12 @@ impl NodeCache {
                 match self.lru_queue.pop_front() {
                     Some((id, t)) => {
                         // Skip stale queue entries (line touched since, or gone).
-                        if self.lines.get(&id).map(|l| l.lru_tick == t).unwrap_or(false) {
+                        if self
+                            .lines
+                            .get(&id)
+                            .map(|l| l.lru_tick == t)
+                            .unwrap_or(false)
+                        {
                             break Some(id);
                         }
                     }
@@ -135,7 +143,10 @@ impl NodeCache {
             if line.dirty {
                 // Best-effort eviction writeback; poisoned lines are dropped,
                 // mirroring hardware discarding a line it cannot store.
-                if global.write_bytes(GAddr(victim * LINE_SIZE as u64), &line.data).is_ok() {
+                if global
+                    .write_bytes(GAddr(victim * LINE_SIZE as u64), &line.data)
+                    .is_ok()
+                {
                     self.stats.writebacks += 1;
                 }
                 cost += lat.writeback_line_ns;
@@ -157,11 +168,21 @@ impl NodeCache {
         let mut data = [0u8; LINE_SIZE];
         global.read_bytes(GAddr(line_id * LINE_SIZE as u64), &mut data)?;
         self.tick += 1;
-        self.lines.insert(line_id, Line { data, dirty: false, lru_tick: self.tick });
+        self.lines.insert(
+            line_id,
+            Line {
+                data,
+                dirty: false,
+                lru_tick: self.tick,
+            },
+        );
         self.lru_queue.push_back((line_id, self.tick));
         self.stats.misses += 1;
-        let mut cost =
-            if first_miss { lat.global_read_ns } else { lat.transfer_ns(LINE_SIZE).max(1) };
+        let mut cost = if first_miss {
+            lat.global_read_ns
+        } else {
+            lat.transfer_ns(LINE_SIZE).max(1)
+        };
         cost += self.enforce_capacity(global, lat);
         Ok(cost)
     }
@@ -243,7 +264,11 @@ impl NodeCache {
                 self.tick += 1;
                 self.lines.insert(
                     line_id,
-                    Line { data: [0u8; LINE_SIZE], dirty: false, lru_tick: self.tick },
+                    Line {
+                        data: [0u8; LINE_SIZE],
+                        dirty: false,
+                        lru_tick: self.tick,
+                    },
                 );
                 self.lru_queue.push_back((line_id, self.tick));
                 cost += lat.cache_hit_ns;
@@ -284,13 +309,20 @@ impl NodeCache {
         for line_id in Self::line_range(addr, len) {
             if let Some(line) = self.lines.get_mut(&line_id) {
                 if line.dirty {
-                    if global.write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data).is_ok() {
+                    if global
+                        .write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data)
+                        .is_ok()
+                    {
                         line.dirty = false;
                         self.stats.writebacks += 1;
                     }
                     // Burst model: full latency for the first line of the
                     // range, bandwidth-limited for the rest.
-                    cost += if first { lat.writeback_line_ns } else { lat.transfer_ns(LINE_SIZE).max(1) };
+                    cost += if first {
+                        lat.writeback_line_ns
+                    } else {
+                        lat.transfer_ns(LINE_SIZE).max(1)
+                    };
                     first = false;
                 }
             }
@@ -337,7 +369,10 @@ impl NodeCache {
         for line_id in ids {
             let line = self.lines.remove(&line_id).expect("present");
             if line.dirty {
-                if global.write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data).is_ok() {
+                if global
+                    .write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data)
+                    .is_ok()
+                {
                     self.stats.writebacks += 1;
                 }
                 cost += lat.writeback_line_ns;
@@ -356,7 +391,12 @@ mod tests {
     fn setup() -> (GlobalMemory, NodeCache, NodeCache, LatencyModel) {
         let g = GlobalMemory::new(4096);
         let lat = LatencyModel::hccs();
-        (g, NodeCache::new(CacheConfig::default()), NodeCache::new(CacheConfig::default()), lat)
+        (
+            g,
+            NodeCache::new(CacheConfig::default()),
+            NodeCache::new(CacheConfig::default()),
+            lat,
+        )
     }
 
     #[test]
@@ -432,7 +472,13 @@ mod tests {
         let mut c = NodeCache::new(CacheConfig { max_lines: 2 });
         // Dirty three distinct lines; first should be evicted + written back.
         for i in 0..3u64 {
-            c.write(&g, &lat, GAddr(i * LINE_SIZE as u64), &[i as u8 + 1; LINE_SIZE]).unwrap();
+            c.write(
+                &g,
+                &lat,
+                GAddr(i * LINE_SIZE as u64),
+                &[i as u8 + 1; LINE_SIZE],
+            )
+            .unwrap();
         }
         assert_eq!(c.resident_lines(), 2);
         assert!(c.stats().evictions >= 1);
@@ -458,6 +504,10 @@ mod tests {
         let (g, mut c0, _, lat) = setup();
         let before = c0.stats().misses;
         c0.write(&g, &lat, GAddr(0), &[2; LINE_SIZE]).unwrap();
-        assert_eq!(c0.stats().misses, before, "aligned full-line write allocates without fill");
+        assert_eq!(
+            c0.stats().misses,
+            before,
+            "aligned full-line write allocates without fill"
+        );
     }
 }

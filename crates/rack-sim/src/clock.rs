@@ -39,7 +39,10 @@ impl SimClock {
     pub fn advance_to(&self, ts_ns: u64) -> u64 {
         let mut cur = self.ns.load(Ordering::Relaxed);
         while cur < ts_ns {
-            match self.ns.compare_exchange_weak(cur, ts_ns, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .ns
+                .compare_exchange_weak(cur, ts_ns, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return ts_ns,
                 Err(actual) => cur = actual,
             }
@@ -64,7 +67,10 @@ pub struct SimSpan {
 impl SimSpan {
     /// Begin measuring from the clock's current time.
     pub fn begin(clock: &SimClock) -> Self {
-        SimSpan { clock: clock.clone(), start_ns: clock.now() }
+        SimSpan {
+            clock: clock.clone(),
+            start_ns: clock.now(),
+        }
     }
 
     /// Simulated nanoseconds elapsed since `begin`.

@@ -13,7 +13,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Access outside the allocated global memory region.
-    OutOfBounds { addr: GAddr, len: usize, capacity: usize },
+    OutOfBounds {
+        addr: GAddr,
+        len: usize,
+        capacity: usize,
+    },
     /// Address not aligned as required by the operation.
     Misaligned { addr: GAddr, required: usize },
     /// The global memory allocator is exhausted.
@@ -33,14 +37,27 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfBounds { addr, len, capacity } => {
-                write!(f, "global access at {addr:?}+{len} exceeds capacity {capacity}")
+            SimError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "global access at {addr:?}+{len} exceeds capacity {capacity}"
+                )
             }
             SimError::Misaligned { addr, required } => {
                 write!(f, "address {addr:?} is not {required}-byte aligned")
             }
-            SimError::OutOfMemory { requested, remaining } => {
-                write!(f, "global allocator exhausted: requested {requested}, remaining {remaining}")
+            SimError::OutOfMemory {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "global allocator exhausted: requested {requested}, remaining {remaining}"
+                )
             }
             SimError::PoisonedMemory { addr } => {
                 write!(f, "poisoned global memory word at {addr:?}")
@@ -64,12 +81,25 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         let errs = [
-            SimError::OutOfBounds { addr: GAddr(8), len: 16, capacity: 4 },
-            SimError::Misaligned { addr: GAddr(3), required: 8 },
-            SimError::OutOfMemory { requested: 100, remaining: 10 },
+            SimError::OutOfBounds {
+                addr: GAddr(8),
+                len: 16,
+                capacity: 4,
+            },
+            SimError::Misaligned {
+                addr: GAddr(3),
+                required: 8,
+            },
+            SimError::OutOfMemory {
+                requested: 100,
+                remaining: 10,
+            },
             SimError::PoisonedMemory { addr: GAddr(0) },
             SimError::NodeDown { node: NodeId(1) },
-            SimError::LinkDown { from: NodeId(0), to: NodeId(1) },
+            SimError::LinkDown {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
             SimError::WouldBlock,
             SimError::Protocol("x".into()),
         ];

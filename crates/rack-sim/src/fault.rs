@@ -8,10 +8,9 @@
 //! to detect, isolate, and recover from.
 
 use crate::memory::{GAddr, GlobalMemory};
+use crate::rng::SplitMix64;
+use crate::sync::{Mutex, RwLock};
 use crate::topology::NodeId;
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,12 +43,17 @@ pub struct NodeLiveness {
 
 impl NodeLiveness {
     pub(crate) fn new(nodes: usize) -> Arc<Self> {
-        Arc::new(NodeLiveness { alive: (0..nodes).map(|_| AtomicBool::new(true)).collect() })
+        Arc::new(NodeLiveness {
+            alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
+        })
     }
 
     /// Whether the node is currently executing.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive.get(node.0).map(|a| a.load(Ordering::SeqCst)).unwrap_or(false)
+        self.alive
+            .get(node.0)
+            .map(|a| a.load(Ordering::SeqCst))
+            .unwrap_or(false)
     }
 
     fn set(&self, node: NodeId, alive: bool) {
@@ -65,7 +69,8 @@ impl NodeLiveness {
 /// the exact same fault schedule.
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: Mutex<StdRng>,
+    seed: u64,
+    rng: Mutex<SplitMix64>,
     liveness: Arc<NodeLiveness>,
     down_links: RwLock<HashSet<(NodeId, NodeId)>>,
     log: Mutex<Vec<FaultEvent>>,
@@ -74,17 +79,33 @@ pub struct FaultInjector {
 impl FaultInjector {
     pub(crate) fn new(seed: u64, liveness: Arc<NodeLiveness>) -> Self {
         FaultInjector {
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            seed,
+            rng: Mutex::new(SplitMix64::new(seed)),
             liveness,
             down_links: RwLock::new(HashSet::new()),
             log: Mutex::new(Vec::new()),
         }
     }
 
+    /// The explicit seed this injector was built with. Every randomized
+    /// choice derives from it, so replaying a run only needs this value.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Restart the randomized schedule from an explicit seed (between
+    /// experiment repetitions). The fault log is kept.
+    pub fn reseed(&self, seed: u64) {
+        *self.rng.lock() = SplitMix64::new(seed);
+    }
+
     /// Poison `len` bytes of global memory at `addr` at simulated time `at_ns`.
     pub fn poison_memory(&self, global: &GlobalMemory, addr: GAddr, len: usize, at_ns: u64) {
         global.poison(addr, len);
-        self.log.lock().push(FaultEvent { kind: FaultKind::MemoryPoison { addr, len }, at_ns });
+        self.log.lock().push(FaultEvent {
+            kind: FaultKind::MemoryPoison { addr, len },
+            at_ns,
+        });
     }
 
     /// Poison a uniformly random word inside `[base, base+len)`.
@@ -97,7 +118,7 @@ impl FaultInjector {
         at_ns: u64,
     ) -> GAddr {
         let words = (len / 8).max(1);
-        let pick = self.rng.lock().gen_range(0..words);
+        let pick = self.rng.lock().gen_index(words);
         let addr = GAddr((base.0 & !7) + (pick as u64) * 8);
         self.poison_memory(global, addr, 8, at_ns);
         addr
@@ -107,7 +128,10 @@ impl FaultInjector {
     /// [`crate::SimError::NodeDown`] until [`FaultInjector::restart_node`].
     pub fn crash_node(&self, node: NodeId, at_ns: u64) {
         self.liveness.set(node, false);
-        self.log.lock().push(FaultEvent { kind: FaultKind::NodeCrash { node }, at_ns });
+        self.log.lock().push(FaultEvent {
+            kind: FaultKind::NodeCrash { node },
+            at_ns,
+        });
     }
 
     /// Bring a crashed node back.
@@ -118,7 +142,10 @@ impl FaultInjector {
     /// Sever the directed link `from -> to`.
     pub fn fail_link(&self, from: NodeId, to: NodeId, at_ns: u64) {
         self.down_links.write().insert((from, to));
-        self.log.lock().push(FaultEvent { kind: FaultKind::LinkFailure { from, to }, at_ns });
+        self.log.lock().push(FaultEvent {
+            kind: FaultKind::LinkFailure { from, to },
+            at_ns,
+        });
     }
 
     /// Restore the directed link `from -> to`.
@@ -174,10 +201,10 @@ mod tests {
     fn poison_random_word_is_deterministic_per_seed() {
         let g1 = GlobalMemory::new(4096);
         let g2 = GlobalMemory::new(4096);
-        let a1 = FaultInjector::new(42, NodeLiveness::new(1))
-            .poison_random_word(&g1, GAddr(0), 4096, 0);
-        let a2 = FaultInjector::new(42, NodeLiveness::new(1))
-            .poison_random_word(&g2, GAddr(0), 4096, 0);
+        let a1 =
+            FaultInjector::new(42, NodeLiveness::new(1)).poison_random_word(&g1, GAddr(0), 4096, 0);
+        let a2 =
+            FaultInjector::new(42, NodeLiveness::new(1)).poison_random_word(&g2, GAddr(0), 4096, 0);
         assert_eq!(a1, a2);
         assert!(g1.is_poisoned(a1, 8));
     }

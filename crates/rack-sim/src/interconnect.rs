@@ -14,8 +14,8 @@
 use crate::error::SimError;
 use crate::fault::{FaultInjector, NodeLiveness};
 use crate::latency::LatencyModel;
+use crate::sync::Mutex;
 use crate::topology::{NodeId, RackTopology};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -54,8 +54,16 @@ impl Interconnect {
         liveness: Arc<NodeLiveness>,
         faults: Arc<FaultInjector>,
     ) -> Self {
-        let queues = (0..topology.nodes()).map(|_| Mutex::new(HashMap::new())).collect();
-        Interconnect { topology, latency, liveness, faults, queues }
+        let queues = (0..topology.nodes())
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        Interconnect {
+            topology,
+            latency,
+            liveness,
+            faults,
+            queues,
+        }
     }
 
     /// Send `payload` from `from` to `to`'s `port`, departing at `now_ns`.
@@ -81,10 +89,20 @@ impl Interconnect {
         if self.faults.link_down(from, to) {
             return Err(SimError::LinkDown { from, to });
         }
-        let queue = self.queues.get(to.0).ok_or(SimError::NodeDown { node: to })?;
+        let queue = self
+            .queues
+            .get(to.0)
+            .ok_or(SimError::NodeDown { node: to })?;
         let hops = self.topology.hops(from, to);
         let arrive_ns = now_ns + self.latency.message_ns(hops, payload.len());
-        let msg = Message { from, to, port, depart_ns: now_ns, arrive_ns, payload };
+        let msg = Message {
+            from,
+            to,
+            port,
+            depart_ns: now_ns,
+            arrive_ns,
+            payload,
+        };
         queue.lock().entry(port).or_default().push_back(msg);
         Ok(arrive_ns)
     }
@@ -136,14 +154,19 @@ mod tests {
         let topo = RackTopology::switched(nodes, 4);
         let liveness = NodeLiveness::new(nodes);
         let faults = Arc::new(FaultInjector::new(7, liveness.clone()));
-        (Interconnect::new(topo, LatencyModel::hccs(), liveness, faults.clone()), faults)
+        (
+            Interconnect::new(topo, LatencyModel::hccs(), liveness, faults.clone()),
+            faults,
+        )
     }
 
     #[test]
     fn message_arrival_time_includes_fabric_latency() {
         let (ic, _) = fabric(2);
         let lat = LatencyModel::hccs();
-        let arrive = ic.send(NodeId(0), NodeId(1), 0, vec![0u8; 1000], 100).unwrap();
+        let arrive = ic
+            .send(NodeId(0), NodeId(1), 0, vec![0u8; 1000], 100)
+            .unwrap();
         assert_eq!(arrive, 100 + lat.message_ns(2, 1000));
         let msg = ic.try_recv(NodeId(1), 0).unwrap();
         assert_eq!(msg.arrive_ns, arrive);
@@ -155,7 +178,10 @@ mod tests {
         let (ic, _) = fabric(2);
         ic.send(NodeId(0), NodeId(1), 1, vec![1], 0).unwrap();
         ic.send(NodeId(0), NodeId(1), 2, vec![2], 0).unwrap();
-        assert!(matches!(ic.try_recv(NodeId(1), 3), Err(SimError::WouldBlock)));
+        assert!(matches!(
+            ic.try_recv(NodeId(1), 3),
+            Err(SimError::WouldBlock)
+        ));
         assert_eq!(ic.try_recv(NodeId(1), 2).unwrap().payload, vec![2]);
         assert_eq!(ic.try_recv(NodeId(1), 1).unwrap().payload, vec![1]);
     }
@@ -179,7 +205,10 @@ mod tests {
             ic.send(NodeId(0), NodeId(2), 0, vec![], 0),
             Err(SimError::NodeDown { .. })
         ));
-        assert!(matches!(ic.try_recv(NodeId(2), 0), Err(SimError::NodeDown { .. })));
+        assert!(matches!(
+            ic.try_recv(NodeId(2), 0),
+            Err(SimError::NodeDown { .. })
+        ));
         faults.fail_link(NodeId(0), NodeId(1), 0);
         assert!(matches!(
             ic.send(NodeId(0), NodeId(1), 0, vec![], 0),

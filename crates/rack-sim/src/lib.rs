@@ -45,9 +45,12 @@ pub mod fault;
 pub mod interconnect;
 pub mod latency;
 pub mod memory;
+pub mod metrics;
 pub mod node;
 pub mod rack;
+pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod topology;
 
 pub use cache::{CacheConfig, LINE_SIZE};
@@ -57,7 +60,12 @@ pub use fault::{FaultEvent, FaultInjector, FaultKind};
 pub use interconnect::{Interconnect, Message};
 pub use latency::LatencyModel;
 pub use memory::{GAddr, GlobalMemory, LAddr, LocalMemory};
+pub use metrics::{
+    AddrClass, CostClass, CounterRegistry, HistogramSnapshot, LatencyHistogram, OpKind, TraceEvent,
+    TraceRing,
+};
 pub use node::NodeCtx;
-pub use rack::{Rack, RackConfig};
-pub use stats::NodeStats;
+pub use rack::{Rack, RackConfig, RackReport};
+pub use rng::SplitMix64;
+pub use stats::{NodeStats, StatsSnapshot};
 pub use topology::{NodeId, RackTopology};

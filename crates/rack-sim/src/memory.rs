@@ -13,7 +13,7 @@
 //! word granularity, mirroring how real fabrics serialize at the home node.
 
 use crate::error::SimError;
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -121,9 +121,15 @@ impl GlobalMemory {
                 remaining: self.capacity - cur,
             })?;
             if end > self.capacity {
-                return Err(SimError::OutOfMemory { requested: len, remaining: self.capacity - cur });
+                return Err(SimError::OutOfMemory {
+                    requested: len,
+                    remaining: self.capacity - cur,
+                });
             }
-            match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return Ok(GAddr(base as u64)),
                 Err(actual) => cur = actual,
             }
@@ -133,7 +139,11 @@ impl GlobalMemory {
     fn check_range(&self, addr: GAddr, len: usize) -> Result<(), SimError> {
         let end = addr.0 as usize + len;
         if end > self.capacity {
-            return Err(SimError::OutOfBounds { addr, len, capacity: self.capacity });
+            return Err(SimError::OutOfBounds {
+                addr,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -145,7 +155,9 @@ impl GlobalMemory {
         let set = self.poisoned_words.read();
         for w in first_word..=last_word {
             if set.contains(&w) {
-                return Err(SimError::PoisonedMemory { addr: GAddr((w * 8) as u64) });
+                return Err(SimError::PoisonedMemory {
+                    addr: GAddr((w * 8) as u64),
+                });
             }
         }
         Ok(())
@@ -198,15 +210,17 @@ impl GlobalMemory {
         }
         self.check_range(addr, 8)?;
         self.check_poison(addr.word_index(), addr.word_index())?;
-        Ok(match self.words[addr.word_index()].compare_exchange(
-            current,
-            new,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(prev) => prev,
-            Err(prev) => prev,
-        })
+        Ok(
+            match self.words[addr.word_index()].compare_exchange(
+                current,
+                new,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(prev) => prev,
+                Err(prev) => prev,
+            },
+        )
     }
 
     /// Atomic fetch-add on the word at `addr`; returns the previous value.
@@ -380,9 +394,15 @@ impl LocalMemory {
             let base = (cur + 7) & !7;
             let end = base + len;
             if end > self.capacity {
-                return Err(SimError::OutOfMemory { requested: len, remaining: self.capacity - cur });
+                return Err(SimError::OutOfMemory {
+                    requested: len,
+                    remaining: self.capacity - cur,
+                });
             }
-            match self.next.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return Ok(LAddr(base)),
                 Err(actual) => cur = actual,
             }
@@ -452,14 +472,23 @@ mod tests {
     #[test]
     fn misaligned_word_access_fails() {
         let m = GlobalMemory::new(64);
-        assert!(matches!(m.load_u64(GAddr(3)), Err(SimError::Misaligned { .. })));
-        assert!(matches!(m.store_u64(GAddr(4), 1), Err(SimError::Misaligned { .. })));
+        assert!(matches!(
+            m.load_u64(GAddr(3)),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.store_u64(GAddr(4), 1),
+            Err(SimError::Misaligned { .. })
+        ));
     }
 
     #[test]
     fn out_of_bounds_fails() {
         let m = GlobalMemory::new(16);
-        assert!(matches!(m.load_u64(GAddr(16)), Err(SimError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.load_u64(GAddr(16)),
+            Err(SimError::OutOfBounds { .. })
+        ));
         let mut buf = [0u8; 4];
         assert!(m.read_bytes(GAddr(14), &mut buf).is_err());
     }
@@ -485,7 +514,11 @@ mod tests {
         m.store_u64(a, 5).unwrap();
         assert_eq!(m.compare_exchange_u64(a, 5, 9).unwrap(), 5);
         assert_eq!(m.load_u64(a).unwrap(), 9);
-        assert_eq!(m.compare_exchange_u64(a, 5, 11).unwrap(), 9, "failed CAS returns actual");
+        assert_eq!(
+            m.compare_exchange_u64(a, 5, 11).unwrap(),
+            9,
+            "failed CAS returns actual"
+        );
         assert_eq!(m.load_u64(a).unwrap(), 9);
         assert_eq!(m.fetch_add_u64(a, 3).unwrap(), 9);
         assert_eq!(m.load_u64(a).unwrap(), 12);
@@ -498,8 +531,14 @@ mod tests {
         m.store_u64(a, 7).unwrap();
         m.poison(a, 16);
         assert!(m.is_poisoned(a, 1));
-        assert!(matches!(m.load_u64(a), Err(SimError::PoisonedMemory { .. })));
-        assert!(matches!(m.store_u64(a, 1), Err(SimError::PoisonedMemory { .. })));
+        assert!(matches!(
+            m.load_u64(a),
+            Err(SimError::PoisonedMemory { .. })
+        ));
+        assert!(matches!(
+            m.store_u64(a, 1),
+            Err(SimError::PoisonedMemory { .. })
+        ));
         let mut buf = [0u8; 8];
         assert!(m.read_bytes(a, &mut buf).is_err());
         // The word after the poisoned range still works.

@@ -14,9 +14,10 @@ use crate::fault::NodeLiveness;
 use crate::interconnect::{Interconnect, Message};
 use crate::latency::LatencyModel;
 use crate::memory::{GAddr, GlobalMemory, LAddr, LocalMemory};
+use crate::metrics::{AddrClass, CostClass, OpKind};
 use crate::stats::NodeStats;
+use crate::sync::Mutex;
 use crate::topology::NodeId;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The execution context of one rack node.
@@ -100,7 +101,16 @@ impl NodeCtx {
 
     /// Charge `ns` of simulated compute time (CPU work, not memory).
     pub fn charge(&self, ns: u64) {
-        self.clock.advance(ns);
+        let at = self.clock.advance(ns);
+        self.stats
+            .record_op(CostClass::Compute, OpKind::Compute, AddrClass::None, at, ns);
+    }
+
+    /// Advance the clock by `cost` and record the charge in this node's
+    /// metrics (histogram by cost class + optional trace event).
+    fn charge_op(&self, class: CostClass, kind: OpKind, addr_class: AddrClass, cost: u64) {
+        let at = self.clock.advance(cost);
+        self.stats.record_op(class, kind, addr_class, at, cost);
     }
 
     // ----- cached global memory access ------------------------------------
@@ -115,8 +125,15 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn read(&self, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let cost = self.cache.lock().read(&self.global, &self.latency, addr, buf)?;
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (
+                cache.read(&self.global, &self.latency, addr, buf)?,
+                cache.stats(),
+            )
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(CostClass::GlobalRead, OpKind::Read, AddrClass::Global, cost);
         self.stats.count_global_read(buf.len());
         Ok(())
     }
@@ -131,8 +148,20 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn write(&self, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let cost = self.cache.lock().write(&self.global, &self.latency, addr, buf)?;
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (
+                cache.write(&self.global, &self.latency, addr, buf)?,
+                cache.stats(),
+            )
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(
+            CostClass::GlobalWrite,
+            OpKind::Write,
+            AddrClass::Global,
+            cost,
+        );
         self.stats.count_global_write(buf.len());
         Ok(())
     }
@@ -162,27 +191,69 @@ impl NodeCtx {
     /// Write dirty cached lines covering `[addr, addr+len)` back to global
     /// memory, keeping them cached.
     pub fn writeback(&self, addr: GAddr, len: usize) {
-        let cost = self.cache.lock().writeback(&self.global, &self.latency, addr, len);
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (
+                cache.writeback(&self.global, &self.latency, addr, len),
+                cache.stats(),
+            )
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(
+            CostClass::CacheMaint,
+            OpKind::Writeback,
+            AddrClass::Global,
+            cost,
+        );
     }
 
     /// Drop cached lines covering `[addr, addr+len)` (un-written dirty data
     /// is discarded, as on hardware).
     pub fn invalidate(&self, addr: GAddr, len: usize) {
-        let cost = self.cache.lock().invalidate(&self.latency, addr, len);
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (cache.invalidate(&self.latency, addr, len), cache.stats())
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(
+            CostClass::CacheMaint,
+            OpKind::Invalidate,
+            AddrClass::Global,
+            cost,
+        );
     }
 
     /// Write back then invalidate `[addr, addr+len)`.
     pub fn flush(&self, addr: GAddr, len: usize) {
-        let cost = self.cache.lock().flush(&self.global, &self.latency, addr, len);
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (
+                cache.flush(&self.global, &self.latency, addr, len),
+                cache.stats(),
+            )
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(
+            CostClass::CacheMaint,
+            OpKind::Flush,
+            AddrClass::Global,
+            cost,
+        );
     }
 
     /// Flush this node's entire cache.
     pub fn flush_all(&self) {
-        let cost = self.cache.lock().flush_all(&self.global, &self.latency);
-        self.clock.advance(cost);
+        let (cost, cache_stats) = {
+            let mut cache = self.cache.lock();
+            (cache.flush_all(&self.global, &self.latency), cache.stats())
+        };
+        self.stats.publish_cache(cache_stats);
+        self.charge_op(
+            CostClass::CacheMaint,
+            OpKind::Flush,
+            AddrClass::Global,
+            cost,
+        );
     }
 
     /// Cache behaviour counters for this node.
@@ -200,7 +271,12 @@ impl NodeCtx {
     pub fn load_uncached_u64(&self, addr: GAddr) -> Result<u64, SimError> {
         self.ensure_alive()?;
         let v = self.global.load_u64(addr)?;
-        self.clock.advance(self.latency.global_read_ns);
+        self.charge_op(
+            CostClass::Uncached,
+            OpKind::Read,
+            AddrClass::GlobalUncached,
+            self.latency.global_read_ns,
+        );
         self.stats.count_global_read(8);
         Ok(v)
     }
@@ -213,7 +289,12 @@ impl NodeCtx {
     pub fn store_uncached_u64(&self, addr: GAddr, value: u64) -> Result<(), SimError> {
         self.ensure_alive()?;
         self.global.store_u64(addr, value)?;
-        self.clock.advance(self.latency.global_write_ns);
+        self.charge_op(
+            CostClass::Uncached,
+            OpKind::Write,
+            AddrClass::GlobalUncached,
+            self.latency.global_write_ns,
+        );
         self.stats.count_global_write(8);
         Ok(())
     }
@@ -232,7 +313,12 @@ impl NodeCtx {
     ) -> Result<u64, SimError> {
         self.ensure_alive()?;
         let prev = self.global.compare_exchange_u64(addr, current, new)?;
-        self.clock.advance(self.latency.global_atomic_ns);
+        self.charge_op(
+            CostClass::Atomic,
+            OpKind::Atomic,
+            AddrClass::GlobalUncached,
+            self.latency.global_atomic_ns,
+        );
         self.stats.count_atomic();
         Ok(prev)
     }
@@ -246,7 +332,12 @@ impl NodeCtx {
     pub fn fetch_add_u64(&self, addr: GAddr, delta: u64) -> Result<u64, SimError> {
         self.ensure_alive()?;
         let prev = self.global.fetch_add_u64(addr, delta)?;
-        self.clock.advance(self.latency.global_atomic_ns);
+        self.charge_op(
+            CostClass::Atomic,
+            OpKind::Atomic,
+            AddrClass::GlobalUncached,
+            self.latency.global_atomic_ns,
+        );
         self.stats.count_atomic();
         Ok(prev)
     }
@@ -276,7 +367,12 @@ impl NodeCtx {
     pub fn local_read(&self, addr: LAddr, buf: &mut [u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
         self.local.read(addr, buf)?;
-        self.clock.advance(self.latency.local_read_ns);
+        self.charge_op(
+            CostClass::Local,
+            OpKind::Read,
+            AddrClass::Local,
+            self.latency.local_read_ns,
+        );
         self.stats.count_local(buf.len());
         Ok(())
     }
@@ -289,7 +385,12 @@ impl NodeCtx {
     pub fn local_write(&self, addr: LAddr, buf: &[u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
         self.local.write(addr, buf)?;
-        self.clock.advance(self.latency.local_write_ns);
+        self.charge_op(
+            CostClass::Local,
+            OpKind::Write,
+            AddrClass::Local,
+            self.latency.local_write_ns,
+        );
         self.stats.count_local(buf.len());
         Ok(())
     }
@@ -305,7 +406,17 @@ impl NodeCtx {
     pub fn send(&self, to: NodeId, port: u16, payload: Vec<u8>) -> Result<u64, SimError> {
         self.ensure_alive()?;
         let len = payload.len();
-        let arrive = self.interconnect.send(self.id, to, port, payload, self.clock.now())?;
+        let depart = self.clock.now();
+        let arrive = self.interconnect.send(self.id, to, port, payload, depart)?;
+        // The sender is not stalled by the flight time; record the fabric
+        // cost of the message without advancing the sender's clock.
+        self.stats.record_op(
+            CostClass::Message,
+            OpKind::Send,
+            AddrClass::Fabric,
+            depart,
+            arrive - depart,
+        );
         self.stats.count_message(len);
         Ok(arrive)
     }
@@ -319,7 +430,16 @@ impl NodeCtx {
     pub fn try_recv(&self, port: u16) -> Result<Message, SimError> {
         self.ensure_alive()?;
         let msg = self.interconnect.try_recv(self.id, port)?;
-        self.clock.advance_to(msg.arrive_ns);
+        let before = self.clock.now();
+        let at = self.clock.advance_to(msg.arrive_ns);
+        // Cost attributed to the receiver: how long it (logically) waited.
+        self.stats.record_op(
+            CostClass::Message,
+            OpKind::Recv,
+            AddrClass::Fabric,
+            at,
+            at.saturating_sub(before),
+        );
         Ok(msg)
     }
 
@@ -383,7 +503,10 @@ mod tests {
         rack.faults().crash_node(n0.id(), 0);
         assert!(!n0.is_alive());
         assert!(matches!(n0.read_u64(a), Err(SimError::NodeDown { .. })));
-        assert!(matches!(n0.fetch_add_u64(a, 1), Err(SimError::NodeDown { .. })));
+        assert!(matches!(
+            n0.fetch_add_u64(a, 1),
+            Err(SimError::NodeDown { .. })
+        ));
         rack.faults().restart_node(n0.id());
         assert!(n0.read_u64(a).is_ok());
     }

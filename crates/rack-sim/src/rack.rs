@@ -5,8 +5,11 @@ use crate::fault::{FaultInjector, NodeLiveness};
 use crate::interconnect::Interconnect;
 use crate::latency::LatencyModel;
 use crate::memory::GlobalMemory;
+use crate::metrics::CostClass;
 use crate::node::NodeCtx;
+use crate::stats::StatsSnapshot;
 use crate::topology::{NodeId, RackTopology};
+use std::fmt;
 use std::sync::Arc;
 
 /// Configuration for building a [`Rack`].
@@ -133,7 +136,14 @@ impl Rack {
                 ))
             })
             .collect();
-        Rack { config, global, nodes, interconnect, faults, liveness }
+        Rack {
+            config,
+            global,
+            nodes,
+            interconnect,
+            faults,
+            liveness,
+        }
     }
 
     /// The configuration this rack was built from.
@@ -188,7 +198,11 @@ impl Rack {
     /// Maximum simulated time across all node clocks — the rack-wide
     /// "makespan" of an experiment.
     pub fn max_time_ns(&self) -> u64 {
-        self.nodes.iter().map(|n| n.clock().now()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.clock().now())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Reset every node clock to zero (between experiment repetitions).
@@ -196,6 +210,93 @@ impl Rack {
         for n in &self.nodes {
             n.clock().reset();
         }
+    }
+
+    /// Enable event tracing on every node.
+    pub fn enable_tracing(&self) {
+        for n in &self.nodes {
+            n.stats().trace().enable();
+        }
+    }
+
+    /// Disable event tracing on every node (captured events are kept).
+    pub fn disable_tracing(&self) {
+        for n in &self.nodes {
+            n.stats().trace().disable();
+        }
+    }
+
+    /// Collect every node's metrics and merge them into a rack-wide
+    /// report: operation counts, cache behaviour, per-cost-class latency
+    /// histograms, and subsystem counters.
+    pub fn metrics_report(&self) -> RackReport {
+        let per_node: Vec<StatsSnapshot> =
+            self.nodes.iter().map(|n| n.stats().snapshot()).collect();
+        let mut merged = StatsSnapshot::default();
+        for snap in &per_node {
+            merged.merge(snap);
+        }
+        RackReport {
+            per_node,
+            merged,
+            makespan_ns: self.max_time_ns(),
+        }
+    }
+}
+
+/// Merged metrics for a whole rack, plus the per-node snapshots they came
+/// from. `Display` renders the operation-count decomposition the
+/// experiment tables use to explain their numbers.
+#[derive(Debug, Clone)]
+pub struct RackReport {
+    /// One snapshot per node, indexed by node id.
+    pub per_node: Vec<StatsSnapshot>,
+    /// All nodes merged (counts summed, histograms bucket-wise summed).
+    pub merged: StatsSnapshot,
+    /// Maximum simulated time across all node clocks at capture.
+    pub makespan_ns: u64,
+}
+
+impl fmt::Display for RackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.merged;
+        writeln!(
+            f,
+            "  ops: {} global reads, {} global writes, {} atomics, {} local, {} msgs ({} B), {} B copied",
+            m.global_reads,
+            m.global_writes,
+            m.global_atomics,
+            m.local_accesses,
+            m.messages_sent,
+            m.message_bytes,
+            m.bytes_copied,
+        )?;
+        writeln!(
+            f,
+            "  cache: {} hits, {} misses, {} writebacks, {} invalidations, {} evictions",
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_writebacks,
+            m.cache_invalidations,
+            m.cache_evictions,
+        )?;
+        for class in CostClass::ALL {
+            let h = m.histogram(class);
+            if h.count > 0 {
+                writeln!(f, "  lat[{:>12}]: {}", class.label(), h.summary())?;
+            }
+        }
+        if !m.subsystems.is_empty() {
+            for c in &m.subsystems {
+                writeln!(f, "  ctr[{}/{}]: {}", c.subsystem, c.name, c.value)?;
+            }
+        }
+        write!(
+            f,
+            "  makespan: {} ns over {} node(s)",
+            self.makespan_ns,
+            self.per_node.len()
+        )
     }
 }
 

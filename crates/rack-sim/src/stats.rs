@@ -1,16 +1,35 @@
-//! Per-node operation counters.
+//! Per-node operation counters, latency histograms, and event traces.
 //!
 //! Experiments use these to explain *why* a configuration is fast or slow
 //! (e.g. Figure 4's gap decomposes into copies and stack processing on the
 //! networking side versus a handful of interconnect accesses for FlacOS).
+//! Counts alone don't close the argument — the same op count at different
+//! cost classes gives very different simulated time — so every operation
+//! also lands in a per-[`CostClass`] [`LatencyHistogram`], and (when
+//! enabled) in the node's bounded [`TraceRing`]. Layers above the
+//! simulator register their own counters in the [`CounterRegistry`]
+//! (page-cache hits, fault-box entries, IPC messages, …).
 
+use crate::metrics::{
+    AddrClass, CostClass, Counter, CounterRegistry, HistogramSnapshot, LatencyHistogram, OpKind,
+    SubsystemCounter, TraceEvent, TraceRing,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared, thread-safe counters for one node. Cloning shares the counters.
+/// Shared, thread-safe metrics for one node. Cloning shares the state.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStats {
-    inner: Arc<Counters>,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Counters,
+    cache: CacheCounters,
+    histograms: [LatencyHistogram; CostClass::ALL.len()],
+    trace: TraceRing,
+    registry: CounterRegistry,
 }
 
 #[derive(Debug, Default)]
@@ -24,8 +43,21 @@ struct Counters {
     message_bytes: AtomicU64,
 }
 
-/// A point-in-time copy of a node's counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Mirror of the node cache's behaviour counters, published here so a
+/// single [`NodeStats::snapshot`] carries the whole decomposition. The
+/// owning `NodeCtx` refreshes these after each cache operation.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of a node's counters, cache behaviour,
+/// per-cost-class latency histograms, and subsystem counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Cached or uncached loads from global memory.
     pub global_reads: u64,
@@ -41,6 +73,78 @@ pub struct StatsSnapshot {
     pub messages_sent: u64,
     /// Interconnect payload bytes sent.
     pub message_bytes: u64,
+    /// Cache line accesses served from the node cache.
+    pub cache_hits: u64,
+    /// Cache line accesses that fetched from global memory.
+    pub cache_misses: u64,
+    /// Dirty lines written back (explicitly or by eviction).
+    pub cache_writebacks: u64,
+    /// Lines dropped by invalidation.
+    pub cache_invalidations: u64,
+    /// Lines evicted for capacity.
+    pub cache_evictions: u64,
+    /// Per-cost-class latency histograms, indexed by [`CostClass::index`].
+    pub histograms: [HistogramSnapshot; CostClass::ALL.len()],
+    /// Subsystem counters registered by layers above the simulator.
+    pub subsystems: Vec<SubsystemCounter>,
+}
+
+impl Default for StatsSnapshot {
+    fn default() -> Self {
+        StatsSnapshot {
+            global_reads: 0,
+            global_writes: 0,
+            global_atomics: 0,
+            local_accesses: 0,
+            bytes_copied: 0,
+            messages_sent: 0,
+            message_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_writebacks: 0,
+            cache_invalidations: 0,
+            cache_evictions: 0,
+            histograms: [HistogramSnapshot::default(); CostClass::ALL.len()],
+            subsystems: Vec::new(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The histogram for one cost class.
+    pub fn histogram(&self, class: CostClass) -> &HistogramSnapshot {
+        &self.histograms[class.index()]
+    }
+
+    /// Total simulated nanoseconds across every cost class — the node's
+    /// charged time decomposed by this snapshot.
+    pub fn total_charged_ns(&self) -> u64 {
+        self.histograms.iter().map(|h| h.total_ns).sum()
+    }
+
+    /// Fold another node's snapshot into this one (rack-wide merging).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.global_atomics += other.global_atomics;
+        self.local_accesses += other.local_accesses;
+        self.bytes_copied += other.bytes_copied;
+        self.messages_sent += other.messages_sent;
+        self.message_bytes += other.message_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_writebacks += other.cache_writebacks;
+        self.cache_invalidations += other.cache_invalidations;
+        self.cache_evictions += other.cache_evictions;
+        for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
+            a.merge(b);
+        }
+        let merged = crate::metrics::merge_counters(&[
+            std::mem::take(&mut self.subsystems),
+            other.subsystems.clone(),
+        ]);
+        self.subsystems = merged;
+    }
 }
 
 impl NodeStats {
@@ -50,39 +154,149 @@ impl NodeStats {
     }
 
     pub(crate) fn count_global_read(&self, bytes: usize) {
-        self.inner.global_reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .global_reads
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_copied
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn count_global_write(&self, bytes: usize) {
-        self.inner.global_writes.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .global_writes
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_copied
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn count_atomic(&self) {
-        self.inner.global_atomics.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .global_atomics
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_local(&self, bytes: usize) {
-        self.inner.local_accesses.fetch_add(1, Ordering::Relaxed);
-        self.inner.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .local_accesses
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_copied
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn count_message(&self, bytes: usize) {
-        self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.inner.message_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .message_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    /// Take a consistent-enough snapshot of all counters.
+    /// Record one charged operation: histogram by cost class, plus a trace
+    /// event when tracing is enabled.
+    pub(crate) fn record_op(
+        &self,
+        class: CostClass,
+        kind: OpKind,
+        addr_class: AddrClass,
+        at_ns: u64,
+        cost_ns: u64,
+    ) {
+        self.inner.histograms[class.index()].record(cost_ns);
+        self.inner.trace.record(TraceEvent {
+            kind,
+            addr_class,
+            at_ns,
+            cost_ns,
+        });
+    }
+
+    /// Publish the cache's absolute behaviour counters (called by the
+    /// owning `NodeCtx` after cache operations).
+    pub(crate) fn publish_cache(&self, stats: crate::cache::CacheStats) {
+        self.inner.cache.hits.store(stats.hits, Ordering::Relaxed);
+        self.inner
+            .cache
+            .misses
+            .store(stats.misses, Ordering::Relaxed);
+        self.inner
+            .cache
+            .writebacks
+            .store(stats.writebacks, Ordering::Relaxed);
+        self.inner
+            .cache
+            .invalidations
+            .store(stats.invalidations, Ordering::Relaxed);
+        self.inner
+            .cache
+            .evictions
+            .store(stats.evictions, Ordering::Relaxed);
+    }
+
+    /// This node's event-trace ring (disabled by default).
+    pub fn trace(&self) -> &TraceRing {
+        &self.inner.trace
+    }
+
+    /// The subsystem counter registry for layers above the simulator.
+    pub fn registry(&self) -> &CounterRegistry {
+        &self.inner.registry
+    }
+
+    /// Convenience: get (registering on first use) a subsystem counter.
+    pub fn counter(&self, subsystem: &'static str, name: &'static str) -> Counter {
+        self.inner.registry.counter(subsystem, name)
+    }
+
+    /// A live histogram snapshot for one cost class.
+    pub fn histogram(&self, class: CostClass) -> HistogramSnapshot {
+        self.inner.histograms[class.index()].snapshot()
+    }
+
+    /// Zero every histogram (counters and traces are left untouched).
+    /// Intended for experiment harnesses between repetitions.
+    pub fn reset_histograms(&self) {
+        for h in &self.inner.histograms {
+            h.reset();
+        }
+    }
+
+    /// Take a consistent-enough snapshot of all counters, cache counters,
+    /// histograms, and subsystem counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.inner.counters;
+        let k = &self.inner.cache;
+        let mut histograms = [HistogramSnapshot::default(); CostClass::ALL.len()];
+        for (out, h) in histograms.iter_mut().zip(&self.inner.histograms) {
+            *out = h.snapshot();
+        }
         StatsSnapshot {
-            global_reads: self.inner.global_reads.load(Ordering::Relaxed),
-            global_writes: self.inner.global_writes.load(Ordering::Relaxed),
-            global_atomics: self.inner.global_atomics.load(Ordering::Relaxed),
-            local_accesses: self.inner.local_accesses.load(Ordering::Relaxed),
-            bytes_copied: self.inner.bytes_copied.load(Ordering::Relaxed),
-            messages_sent: self.inner.messages_sent.load(Ordering::Relaxed),
-            message_bytes: self.inner.message_bytes.load(Ordering::Relaxed),
+            global_reads: c.global_reads.load(Ordering::Relaxed),
+            global_writes: c.global_writes.load(Ordering::Relaxed),
+            global_atomics: c.global_atomics.load(Ordering::Relaxed),
+            local_accesses: c.local_accesses.load(Ordering::Relaxed),
+            bytes_copied: c.bytes_copied.load(Ordering::Relaxed),
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            message_bytes: c.message_bytes.load(Ordering::Relaxed),
+            cache_hits: k.hits.load(Ordering::Relaxed),
+            cache_misses: k.misses.load(Ordering::Relaxed),
+            cache_writebacks: k.writebacks.load(Ordering::Relaxed),
+            cache_invalidations: k.invalidations.load(Ordering::Relaxed),
+            cache_evictions: k.evictions.load(Ordering::Relaxed),
+            histograms,
+            subsystems: self.inner.registry.snapshot(),
         }
     }
 }
@@ -108,5 +322,80 @@ mod tests {
         assert_eq!(snap.messages_sent, 1);
         assert_eq!(snap.message_bytes, 100);
         assert_eq!(snap.bytes_copied, 8 + 16 + 4);
+    }
+
+    #[test]
+    fn record_op_feeds_class_histogram_and_trace() {
+        let s = NodeStats::new();
+        s.trace().enable();
+        s.record_op(
+            CostClass::Atomic,
+            OpKind::Atomic,
+            AddrClass::GlobalUncached,
+            700,
+            700,
+        );
+        s.record_op(
+            CostClass::GlobalRead,
+            OpKind::Read,
+            AddrClass::Global,
+            1180,
+            480,
+        );
+        let snap = s.snapshot();
+        assert_eq!(snap.histogram(CostClass::Atomic).count, 1);
+        assert_eq!(snap.histogram(CostClass::Atomic).total_ns, 700);
+        assert_eq!(snap.histogram(CostClass::GlobalRead).count, 1);
+        assert_eq!(snap.total_charged_ns(), 1180);
+        let trace = s.trace().events();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, OpKind::Atomic);
+        assert_eq!(trace[1].at_ns, 1180);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let (a, b) = (NodeStats::new(), NodeStats::new());
+        a.count_global_read(8);
+        a.record_op(
+            CostClass::GlobalRead,
+            OpKind::Read,
+            AddrClass::Global,
+            480,
+            480,
+        );
+        a.registry().add("ipc", "messages", 2);
+        b.count_global_read(8);
+        b.record_op(
+            CostClass::GlobalRead,
+            OpKind::Read,
+            AddrClass::Global,
+            480,
+            480,
+        );
+        b.registry().add("ipc", "messages", 3);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.global_reads, 2);
+        assert_eq!(merged.histogram(CostClass::GlobalRead).count, 2);
+        assert_eq!(merged.subsystems.len(), 1);
+        assert_eq!(merged.subsystems[0].value, 5);
+    }
+
+    #[test]
+    fn reset_histograms_keeps_counters() {
+        let s = NodeStats::new();
+        s.count_atomic();
+        s.record_op(
+            CostClass::Atomic,
+            OpKind::Atomic,
+            AddrClass::GlobalUncached,
+            700,
+            700,
+        );
+        s.reset_histograms();
+        let snap = s.snapshot();
+        assert_eq!(snap.global_atomics, 1);
+        assert_eq!(snap.histogram(CostClass::Atomic).count, 0);
     }
 }

@@ -45,7 +45,11 @@ impl RackTopology {
         let hops = (0..nodes)
             .map(|i| (0..nodes).map(|j| if i == j { 0 } else { 2 }).collect())
             .collect();
-        RackTopology { nodes, cores_per_node, hops }
+        RackTopology {
+            nodes,
+            cores_per_node,
+            hops,
+        }
     }
 
     /// The paper's physical testbed: 2 nodes × 320 cores = 640 cores.

@@ -46,9 +46,8 @@ impl<T: Transport> RedisClient<T> {
     /// protocol errors.
     pub fn recv_reply(&mut self) -> Result<Reply, SimError> {
         let bytes = self.transport.try_recv()?;
-        let (reply, _) = Reply::parse(&bytes).map_err(|e: RespError| {
-            SimError::Protocol(format!("bad reply from server: {e}"))
-        })?;
+        let (reply, _) = Reply::parse(&bytes)
+            .map_err(|e: RespError| SimError::Protocol(format!("bad reply from server: {e}")))?;
         Ok(reply)
     }
 }
@@ -70,13 +69,19 @@ pub fn request_stepped<T: Transport>(
     let start = client.node().clock().now();
     client.send_command(cmd)?;
     // The server cannot start before the request is visible to it.
-    server.node().clock().advance_to(client.node().clock().now());
+    server
+        .node()
+        .clock()
+        .advance_to(client.node().clock().now());
     server.poll()?;
     let reply = client.recv_reply()?;
     // Symmetrically, the reply is not visible before the server sent it
     // (ring/netstack timestamps enforce most of this; advance_to covers
     // the cooperative scheduling gap).
-    client.node().clock().advance_to(server.node().clock().now());
+    client
+        .node()
+        .clock()
+        .advance_to(server.node().clock().now());
     let latency = client.node().clock().now() - start;
     Ok((reply, latency))
 }
@@ -105,15 +110,23 @@ mod tests {
         let (reply, lat_set) = request_stepped(
             &mut client,
             &mut server,
-            &Command::Set { key: b"city".to_vec(), value: b"boston".to_vec() },
+            &Command::Set {
+                key: b"city".to_vec(),
+                value: b"boston".to_vec(),
+            },
         )
         .unwrap();
         assert_eq!(reply, Reply::Simple("OK".into()));
         assert!(lat_set > 0);
 
-        let (reply, lat_get) =
-            request_stepped(&mut client, &mut server, &Command::Get { key: b"city".to_vec() })
-                .unwrap();
+        let (reply, lat_get) = request_stepped(
+            &mut client,
+            &mut server,
+            &Command::Get {
+                key: b"city".to_vec(),
+            },
+        )
+        .unwrap();
         assert_eq!(reply, Reply::Bulk(b"boston".to_vec()));
         assert!(lat_get > 0);
     }
@@ -127,13 +140,19 @@ mod tests {
         let (reply, _) = request_stepped(
             &mut client,
             &mut server,
-            &Command::Set { key: b"k".to_vec(), value: vec![9u8; 4096] },
+            &Command::Set {
+                key: b"k".to_vec(),
+                value: vec![9u8; 4096],
+            },
         )
         .unwrap();
         assert_eq!(reply, Reply::Simple("OK".into()));
-        let (reply, _) =
-            request_stepped(&mut client, &mut server, &Command::Get { key: b"k".to_vec() })
-                .unwrap();
+        let (reply, _) = request_stepped(
+            &mut client,
+            &mut server,
+            &Command::Get { key: b"k".to_vec() },
+        )
+        .unwrap();
         assert_eq!(reply, Reply::Bulk(vec![9u8; 4096]));
     }
 
@@ -153,7 +172,10 @@ mod tests {
         let mut net_server = RedisServer::new(rack2.node(0), nsep);
         let mut net_client = RedisClient::new(rack2.node(1), ncep);
 
-        let cmd = Command::Set { key: b"x".to_vec(), value: vec![1u8; 64] };
+        let cmd = Command::Set {
+            key: b"x".to_vec(),
+            value: vec![1u8; 64],
+        };
         let (_, ipc_lat) = request_stepped(&mut ipc_client, &mut ipc_server, &cmd).unwrap();
         let (_, net_lat) = request_stepped(&mut net_client, &mut net_server, &cmd).unwrap();
         assert!(

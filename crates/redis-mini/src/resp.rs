@@ -121,12 +121,26 @@ impl Command {
         }
         let name = args[0].to_ascii_uppercase();
         let cmd = match (name.as_slice(), args.len()) {
-            (b"SET", 3) => Command::Set { key: args[1].clone(), value: args[2].clone() },
-            (b"GET", 2) => Command::Get { key: args[1].clone() },
-            (b"DEL", 2) => Command::Del { key: args[1].clone() },
-            (b"INCR", 2) => Command::Incr { key: args[1].clone() },
-            (b"EXISTS", 2) => Command::Exists { key: args[1].clone() },
-            (b"APPEND", 3) => Command::Append { key: args[1].clone(), value: args[2].clone() },
+            (b"SET", 3) => Command::Set {
+                key: args[1].clone(),
+                value: args[2].clone(),
+            },
+            (b"GET", 2) => Command::Get {
+                key: args[1].clone(),
+            },
+            (b"DEL", 2) => Command::Del {
+                key: args[1].clone(),
+            },
+            (b"INCR", 2) => Command::Incr {
+                key: args[1].clone(),
+            },
+            (b"EXISTS", 2) => Command::Exists {
+                key: args[1].clone(),
+            },
+            (b"APPEND", 3) => Command::Append {
+                key: args[1].clone(),
+                value: args[2].clone(),
+            },
             (b"PING", 1) => Command::Ping,
             _ => {
                 return Err(RespError(format!(
@@ -168,7 +182,11 @@ impl Reply {
             b'+' | b'-' => {
                 let end = find_crlf(buf, 1)?;
                 let s = String::from_utf8_lossy(&buf[1..end]).into_owned();
-                let reply = if first == b'+' { Reply::Simple(s) } else { Reply::Error(s) };
+                let reply = if first == b'+' {
+                    Reply::Simple(s)
+                } else {
+                    Reply::Error(s)
+                };
                 Ok((reply, end + 2))
             }
             b':' => {
@@ -193,7 +211,10 @@ impl Reply {
                 if buf.len() < data_start + len + 2 {
                     return Err(RespError("truncated bulk reply".into()));
                 }
-                Ok((Reply::Bulk(buf[data_start..data_start + len].to_vec()), data_start + len + 2))
+                Ok((
+                    Reply::Bulk(buf[data_start..data_start + len].to_vec()),
+                    data_start + len + 2,
+                ))
             }
             c => Err(RespError(format!("unknown reply type byte {c:#x}"))),
         }
@@ -203,7 +224,10 @@ impl Reply {
 /// Read `<marker><number>\r\n` at `pos`; returns (number, index past \r\n).
 fn read_prefixed(buf: &[u8], pos: usize, marker: u8) -> Result<(i64, usize), RespError> {
     if buf.get(pos) != Some(&marker) {
-        return Err(RespError(format!("expected {:?} at offset {pos}", marker as char)));
+        return Err(RespError(format!(
+            "expected {:?} at offset {pos}",
+            marker as char
+        )));
     }
     let end = find_crlf(buf, pos + 1)?;
     let n: i64 = std::str::from_utf8(&buf[pos + 1..end])
@@ -227,21 +251,41 @@ mod tests {
 
     #[test]
     fn command_wire_format_matches_redis() {
-        let cmd = Command::Set { key: b"k".to_vec(), value: b"v1".to_vec() };
+        let cmd = Command::Set {
+            key: b"k".to_vec(),
+            value: b"v1".to_vec(),
+        };
         assert_eq!(cmd.encode(), b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nv1\r\n");
-        assert_eq!(Command::Get { key: b"k".to_vec() }.encode(), b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+        assert_eq!(
+            Command::Get { key: b"k".to_vec() }.encode(),
+            b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"
+        );
         assert_eq!(Command::Ping.encode(), b"*1\r\n$4\r\nPING\r\n");
     }
 
     #[test]
     fn command_roundtrip_all_variants() {
         let cmds = [
-            Command::Set { key: b"key".to_vec(), value: vec![0u8; 4096] },
-            Command::Get { key: b"key".to_vec() },
-            Command::Del { key: b"key".to_vec() },
-            Command::Incr { key: b"counter".to_vec() },
-            Command::Exists { key: b"key".to_vec() },
-            Command::Append { key: b"log".to_vec(), value: b"entry".to_vec() },
+            Command::Set {
+                key: b"key".to_vec(),
+                value: vec![0u8; 4096],
+            },
+            Command::Get {
+                key: b"key".to_vec(),
+            },
+            Command::Del {
+                key: b"key".to_vec(),
+            },
+            Command::Incr {
+                key: b"counter".to_vec(),
+            },
+            Command::Exists {
+                key: b"key".to_vec(),
+            },
+            Command::Append {
+                key: b"log".to_vec(),
+                value: b"entry".to_vec(),
+            },
             Command::Ping,
         ];
         for cmd in cmds {
@@ -280,8 +324,14 @@ mod tests {
     fn malformed_input_rejected() {
         assert!(Command::parse(b"").is_err());
         assert!(Command::parse(b"*1\r\n$4\r\nPI").is_err(), "truncated");
-        assert!(Command::parse(b"*2\r\n$4\r\nQUUX\r\n$1\r\nx\r\n").is_err(), "unsupported");
-        assert!(Command::parse(b"*1\r\n$4\r\nPINGxx").is_err(), "bad terminator");
+        assert!(
+            Command::parse(b"*2\r\n$4\r\nQUUX\r\n$1\r\nx\r\n").is_err(),
+            "unsupported"
+        );
+        assert!(
+            Command::parse(b"*1\r\n$4\r\nPINGxx").is_err(),
+            "bad terminator"
+        );
         assert!(Reply::parse(b"").is_err());
         assert!(Reply::parse(b"?what\r\n").is_err());
         assert!(Reply::parse(b"$5\r\nab").is_err(), "truncated bulk");
@@ -290,9 +340,14 @@ mod tests {
     #[test]
     fn binary_safe_values() {
         let value: Vec<u8> = (0..=255).collect();
-        let cmd = Command::Set { key: b"bin".to_vec(), value: value.clone() };
+        let cmd = Command::Set {
+            key: b"bin".to_vec(),
+            value: value.clone(),
+        };
         let (parsed, _) = Command::parse(&cmd.encode()).unwrap();
-        let Command::Set { value: got, .. } = parsed else { panic!("set") };
+        let Command::Set { value: got, .. } = parsed else {
+            panic!("set")
+        };
         assert_eq!(got, value);
     }
 }

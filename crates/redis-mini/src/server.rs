@@ -18,7 +18,12 @@ pub struct RedisServer<T: Transport> {
 impl<T: Transport> RedisServer<T> {
     /// Serve on `transport` from `node`.
     pub fn new(node: Arc<NodeCtx>, transport: T) -> Self {
-        RedisServer { node, transport, store: KeyspaceStore::new(), served: 0 }
+        RedisServer {
+            node,
+            transport,
+            store: KeyspaceStore::new(),
+            served: 0,
+        }
     }
 
     /// Drain pending requests: parse, execute, reply. Returns the number
@@ -80,7 +85,12 @@ mod tests {
         let mut server = RedisServer::new(rack.node(0), server_ep);
         let mut client = RedisClient::new(rack.node(1), client_ep);
 
-        client.send_command(&Command::Set { key: b"k".to_vec(), value: b"v".to_vec() }).unwrap();
+        client
+            .send_command(&Command::Set {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            })
+            .unwrap();
         client.transport_mut().send(b"garbage request").unwrap();
         assert_eq!(server.poll().unwrap(), 2);
         assert_eq!(client.recv_reply().unwrap(), Reply::Simple("OK".into()));

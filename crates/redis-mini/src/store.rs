@@ -67,7 +67,10 @@ impl KeyspaceStore {
                 ctx.charge(ctx.latency().local_write_ns);
                 let cur = match self.map.get(&key) {
                     None => 0,
-                    Some(v) => match std::str::from_utf8(v).ok().and_then(|s| s.parse::<i64>().ok()) {
+                    Some(v) => match std::str::from_utf8(v)
+                        .ok()
+                        .and_then(|s| s.parse::<i64>().ok())
+                    {
                         Some(n) => n,
                         None => {
                             return Reply::Error(
@@ -121,13 +124,31 @@ mod tests {
         let n0 = rack.node(0);
         let mut s = KeyspaceStore::new();
         assert_eq!(
-            s.execute(&n0, Command::Set { key: b"a".to_vec(), value: b"1".to_vec() }),
+            s.execute(
+                &n0,
+                Command::Set {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec()
+                }
+            ),
             Reply::Simple("OK".into())
         );
-        assert_eq!(s.execute(&n0, Command::Get { key: b"a".to_vec() }), Reply::Bulk(b"1".to_vec()));
-        assert_eq!(s.execute(&n0, Command::Get { key: b"b".to_vec() }), Reply::Null);
-        assert_eq!(s.execute(&n0, Command::Del { key: b"a".to_vec() }), Reply::Integer(1));
-        assert_eq!(s.execute(&n0, Command::Del { key: b"a".to_vec() }), Reply::Integer(0));
+        assert_eq!(
+            s.execute(&n0, Command::Get { key: b"a".to_vec() }),
+            Reply::Bulk(b"1".to_vec())
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Get { key: b"b".to_vec() }),
+            Reply::Null
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Del { key: b"a".to_vec() }),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Del { key: b"a".to_vec() }),
+            Reply::Integer(0)
+        );
         assert_eq!(s.execute(&n0, Command::Ping), Reply::Simple("PONG".into()));
         assert!(s.is_empty());
         let stats = s.stats();
@@ -139,13 +160,31 @@ mod tests {
         let rack = Rack::new(RackConfig::small_test());
         let n0 = rack.node(0);
         let mut s = KeyspaceStore::new();
-        assert_eq!(s.execute(&n0, Command::Incr { key: b"c".to_vec() }), Reply::Integer(1));
-        assert_eq!(s.execute(&n0, Command::Incr { key: b"c".to_vec() }), Reply::Integer(2));
+        assert_eq!(
+            s.execute(&n0, Command::Incr { key: b"c".to_vec() }),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Incr { key: b"c".to_vec() }),
+            Reply::Integer(2)
+        );
         // Stored as a decimal string, GET-compatible.
-        assert_eq!(s.execute(&n0, Command::Get { key: b"c".to_vec() }), Reply::Bulk(b"2".to_vec()));
+        assert_eq!(
+            s.execute(&n0, Command::Get { key: b"c".to_vec() }),
+            Reply::Bulk(b"2".to_vec())
+        );
         // Non-numeric values refuse to increment.
-        s.execute(&n0, Command::Set { key: b"s".to_vec(), value: b"abc".to_vec() });
-        assert!(matches!(s.execute(&n0, Command::Incr { key: b"s".to_vec() }), Reply::Error(_)));
+        s.execute(
+            &n0,
+            Command::Set {
+                key: b"s".to_vec(),
+                value: b"abc".to_vec(),
+            },
+        );
+        assert!(matches!(
+            s.execute(&n0, Command::Incr { key: b"s".to_vec() }),
+            Reply::Error(_)
+        ));
     }
 
     #[test]
@@ -153,18 +192,39 @@ mod tests {
         let rack = Rack::new(RackConfig::small_test());
         let n0 = rack.node(0);
         let mut s = KeyspaceStore::new();
-        assert_eq!(s.execute(&n0, Command::Exists { key: b"k".to_vec() }), Reply::Integer(0));
         assert_eq!(
-            s.execute(&n0, Command::Append { key: b"k".to_vec(), value: b"ab".to_vec() }),
+            s.execute(&n0, Command::Exists { key: b"k".to_vec() }),
+            Reply::Integer(0)
+        );
+        assert_eq!(
+            s.execute(
+                &n0,
+                Command::Append {
+                    key: b"k".to_vec(),
+                    value: b"ab".to_vec()
+                }
+            ),
             Reply::Integer(2),
             "append creates missing keys"
         );
         assert_eq!(
-            s.execute(&n0, Command::Append { key: b"k".to_vec(), value: b"cd".to_vec() }),
+            s.execute(
+                &n0,
+                Command::Append {
+                    key: b"k".to_vec(),
+                    value: b"cd".to_vec()
+                }
+            ),
             Reply::Integer(4)
         );
-        assert_eq!(s.execute(&n0, Command::Exists { key: b"k".to_vec() }), Reply::Integer(1));
-        assert_eq!(s.execute(&n0, Command::Get { key: b"k".to_vec() }), Reply::Bulk(b"abcd".to_vec()));
+        assert_eq!(
+            s.execute(&n0, Command::Exists { key: b"k".to_vec() }),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            s.execute(&n0, Command::Get { key: b"k".to_vec() }),
+            Reply::Bulk(b"abcd".to_vec())
+        );
     }
 
     #[test]

@@ -81,7 +81,8 @@ mod tests {
         roundtrip(&mut fa, &mut fb);
         assert_eq!(Transport::label(&fa), "flacos-ipc");
 
-        let (mut na, mut nb) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+        let (mut na, mut nb) =
+            NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
         roundtrip(&mut na, &mut nb);
         assert_eq!(Transport::label(&na), "tcp/ip");
     }

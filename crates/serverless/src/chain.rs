@@ -64,8 +64,9 @@ impl FunctionChain {
         transport: ChainTransport,
     ) -> Result<Self, SimError> {
         assert!(stages >= 2, "a chain needs at least two stages");
-        let nodes: Vec<Arc<NodeCtx>> =
-            (0..stages).map(|i| rack.node(i % rack.node_count())).collect();
+        let nodes: Vec<Arc<NodeCtx>> = (0..stages)
+            .map(|i| rack.node(i % rack.node_count()))
+            .collect();
         let mut hops = Vec::with_capacity(stages - 1);
         for i in 0..stages - 1 {
             let (a, b) = (nodes[i].clone(), nodes[i + 1].clone());
@@ -81,7 +82,11 @@ impl FunctionChain {
             };
             hops.push(hop);
         }
-        Ok(FunctionChain { stages: nodes, hops, transport })
+        Ok(FunctionChain {
+            stages: nodes,
+            hops,
+            transport,
+        })
     }
 
     /// Number of stages.
@@ -119,12 +124,16 @@ impl FunctionChain {
             match hop {
                 Hop::Flac { tx, rx } => {
                     tx.send(&data)?;
-                    self.stages[i + 1].clock().advance_to(self.stages[i].clock().now());
+                    self.stages[i + 1]
+                        .clock()
+                        .advance_to(self.stages[i].clock().now());
                     data = rx.try_recv()?;
                 }
                 Hop::Tcp { tx, rx } => {
                     tx.send(&data)?;
-                    self.stages[i + 1].clock().advance_to(self.stages[i].clock().now());
+                    self.stages[i + 1]
+                        .clock()
+                        .advance_to(self.stages[i].clock().now());
                     data = rx.try_recv()?;
                 }
             }
@@ -168,7 +177,10 @@ mod tests {
         let (rack2, alloc2) = setup();
         let mut tcp = FunctionChain::build(&rack2, &alloc2, 3, ChainTransport::Tcp).unwrap();
         let (_, tcp_lat) = tcp.invoke(&[0u8; 256]).unwrap();
-        assert!(ipc_lat < tcp_lat, "IPC chain {ipc_lat} ns vs TCP chain {tcp_lat} ns");
+        assert!(
+            ipc_lat < tcp_lat,
+            "IPC chain {ipc_lat} ns vs TCP chain {tcp_lat} ns"
+        );
         assert_eq!(tcp.transport(), ChainTransport::Tcp);
     }
 

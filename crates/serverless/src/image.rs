@@ -30,7 +30,11 @@ impl Layer {
     ///
     /// Panics if `idx` is out of range.
     pub fn page_content(&self, idx: u64) -> Vec<u8> {
-        assert!(idx < self.pages, "page {idx} beyond layer of {} pages", self.pages);
+        assert!(
+            idx < self.pages,
+            "page {idx} beyond layer of {} pages",
+            self.pages
+        );
         let mut page = vec![0u8; PAGE_SIZE];
         let mut state = fnv1a(&[self.id.to_le_bytes(), idx.to_le_bytes()].concat()) | 1;
         for chunk in page.chunks_mut(8) {
@@ -68,11 +72,17 @@ impl ContainerImage {
         assert!(layer_count as u64 <= total_pages, "more layers than pages");
         let per = total_pages / layer_count as u64;
         let mut layers: Vec<Layer> = (0..layer_count as u64)
-            .map(|i| Layer { id: base_id + i, pages: per })
+            .map(|i| Layer {
+                id: base_id + i,
+                pages: per,
+            })
             .collect();
         // Remainder pages go to the last layer.
         layers.last_mut().expect("non-empty").pages += total_pages - per * layer_count as u64;
-        ContainerImage { name: name.to_string(), layers }
+        ContainerImage {
+            name: name.to_string(),
+            layers,
+        }
     }
 
     /// Total size in pages.

@@ -8,7 +8,7 @@
 //! downloads still produce real page content.
 
 use crate::image::ContainerImage;
-use parking_lot::Mutex;
+use rack_sim::sync::Mutex;
 use rack_sim::{NodeCtx, SimError};
 use std::collections::HashMap;
 
@@ -65,7 +65,11 @@ pub struct ImageRegistry {
 impl ImageRegistry {
     /// An empty registry with `config` costs.
     pub fn new(config: RegistryConfig) -> Self {
-        ImageRegistry { config, images: Mutex::new(HashMap::new()), stats: Mutex::new(RegistryStats::default()) }
+        ImageRegistry {
+            config,
+            images: Mutex::new(HashMap::new()),
+            stats: Mutex::new(RegistryStats::default()),
+        }
     }
 
     /// Publish an image.
@@ -148,8 +152,15 @@ mod tests {
         let page = reg.download_page(&n0, &img, 0, 0);
         assert_eq!(page.len(), PAGE_SIZE);
         let dl = n0.clock().now() - t1;
-        assert!(dl >= reg.config().per_layer_ns, "first page pays the request overhead");
-        assert_eq!(page, img.layers[0].page_content(0), "registry ships the real bytes");
+        assert!(
+            dl >= reg.config().per_layer_ns,
+            "first page pays the request overhead"
+        );
+        assert_eq!(
+            page,
+            img.layers[0].page_content(0),
+            "registry ships the real bytes"
+        );
     }
 
     #[test]

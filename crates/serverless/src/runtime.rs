@@ -77,7 +77,13 @@ pub struct ContainerRuntime {
 impl ContainerRuntime {
     /// A runtime on `node`, mounting `fs` and pulling from `registry`.
     pub fn new(node: Arc<NodeCtx>, fs: MemFs, registry: Arc<ImageRegistry>) -> Self {
-        ContainerRuntime { node, fs, registry, local_started: HashSet::new(), next_id: 1 }
+        ContainerRuntime {
+            node,
+            fs,
+            registry,
+            local_started: HashSet::new(),
+            next_id: 1,
+        }
     }
 
     /// The node this runtime serves.
@@ -121,7 +127,11 @@ impl ContainerRuntime {
         let ino = self.fs.create(&path)?;
         let mut blob = Vec::with_capacity((layer.pages as usize) * PAGE_SIZE);
         for p in 0..layer.pages {
-            blob.extend_from_slice(&self.registry.download_page(&self.node, manifest, layer_idx, p));
+            blob.extend_from_slice(
+                &self
+                    .registry
+                    .download_page(&self.node, manifest, layer_idx, p),
+            );
         }
         self.fs.write_at(ino, 0, &blob)?;
         Ok((layer.pages, 0))
@@ -133,7 +143,10 @@ impl ContainerRuntime {
     /// # Errors
     ///
     /// Propagates registry and file-system errors.
-    pub fn start_container(&mut self, image_name: &str) -> Result<(Container, StartupReport), SimError> {
+    pub fn start_container(
+        &mut self,
+        image_name: &str,
+    ) -> Result<(Container, StartupReport), SimError> {
         let start = self.node.clock().now();
 
         // Hot path: runtime state for this image is already resident.
@@ -183,7 +196,11 @@ impl ContainerRuntime {
         Ok((
             container,
             StartupReport {
-                path: if downloaded > 0 { StartupPath::Cold } else { StartupPath::SharedPageCache },
+                path: if downloaded > 0 {
+                    StartupPath::Cold
+                } else {
+                    StartupPath::SharedPageCache
+                },
                 manifest_ns,
                 fetch_ns,
                 init_ns,
@@ -200,8 +217,14 @@ impl ContainerRuntime {
         let rootfs = format!("/containers/{}-{}", self.node.id().0, id);
         self.fs.mkdir("/containers").ok();
         self.fs.mkdir(&rootfs)?;
-        self.fs.write_file(&format!("{rootfs}/config.json"), image_name.as_bytes())?;
-        Ok(Container { id, image: image_name.to_string(), node: self.node.id(), rootfs })
+        self.fs
+            .write_file(&format!("{rootfs}/config.json"), image_name.as_bytes())?;
+        Ok(Container {
+            id,
+            image: image_name.to_string(),
+            node: self.node.id(),
+            rootfs,
+        })
     }
 }
 
@@ -279,8 +302,11 @@ mod tests {
             MemFs::mount(fs.clone(), rack.node(0)),
             registry.clone(),
         );
-        let mut rt1 =
-            ContainerRuntime::new(rack.node(1), MemFs::mount(fs.clone(), rack.node(1)), registry);
+        let mut rt1 = ContainerRuntime::new(
+            rack.node(1),
+            MemFs::mount(fs.clone(), rack.node(1)),
+            registry,
+        );
         rt0.start_container("pytorch").unwrap();
         let resident_after_first = fs.cache().resident_pages();
         rt1.start_container("pytorch").unwrap();
@@ -301,17 +327,16 @@ mod tests {
         assert_ne!(c1.rootfs, c2.rootfs);
         assert_eq!(c1.image, "pytorch");
         let mut fs_check = rt.fs;
-        assert!(fs_check.stat(&format!("{}/config.json", c2.rootfs)).unwrap().is_some());
+        assert!(fs_check
+            .stat(&format!("{}/config.json", c2.rootfs))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn unknown_image_fails_cleanly() {
         let (rack, fs, registry) = setup(8);
-        let mut rt = ContainerRuntime::new(
-            rack.node(0),
-            MemFs::mount(fs, rack.node(0)),
-            registry,
-        );
+        let mut rt = ContainerRuntime::new(rack.node(0), MemFs::mount(fs, rack.node(0)), registry);
         assert!(rt.start_container("ghost").is_err());
     }
 }

@@ -137,7 +137,11 @@ mod tests {
     fn interference_grows_with_density() {
         let mut s = DensityScheduler::new(1, 10);
         s.place(1).unwrap();
-        assert_eq!(s.interference_factor(NodeId(0)), 1.0, "alone: no interference");
+        assert_eq!(
+            s.interference_factor(NodeId(0)),
+            1.0,
+            "alone: no interference"
+        );
         for i in 2..=5 {
             s.place(i).unwrap();
         }

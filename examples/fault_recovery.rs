@@ -27,10 +27,18 @@ fn main() -> Result<(), SimError> {
     // checkpointing.
     let mut orch = RecoveryOrchestrator::new();
     for app in 0..6u64 {
-        let fbox = FaultBoxBuilder::new(app)
-            .heap_pages(2)
-            .build(&n0, rack.global(), alloc.clone(), &frames, epochs.clone())?;
-        fbox.space().write(&n0, fbox.heap_va(0), format!("app-{app} working set").as_bytes())?;
+        let fbox = FaultBoxBuilder::new(app).heap_pages(2).build(
+            &n0,
+            rack.global(),
+            alloc.clone(),
+            &frames,
+            epochs.clone(),
+        )?;
+        fbox.space().write(
+            &n0,
+            fbox.heap_va(0),
+            format!("app-{app} working set").as_bytes(),
+        )?;
         let protection = Protection::new(
             RedundancyPolicy::PeriodicCheckpoint { period_ns: 1 },
             CheckpointManager::new(alloc.clone(), epochs.clone()),
@@ -59,21 +67,35 @@ fn main() -> Result<(), SimError> {
     let fbox = orch.fault_box(3).expect("registered");
     let mut buf = [0u8; 17];
     fbox.space().read(&n0, fbox.heap_va(0), &mut buf)?;
-    println!("app 3 heap after recovery: {:?}", String::from_utf8_lossy(&buf));
+    println!(
+        "app 3 heap after recovery: {:?}",
+        String::from_utf8_lossy(&buf)
+    );
 
     // Mission-critical work survives a corrupt replica via n-modular
     // execution.
     let out = nmr_execute(3, |i| {
-        Ok(if i == 1 { b"corrupted!".to_vec() } else { b"result=42".to_vec() })
+        Ok(if i == 1 {
+            b"corrupted!".to_vec()
+        } else {
+            b"result=42".to_vec()
+        })
     })?;
-    println!("n-modular execution voted: {:?}", String::from_utf8_lossy(&out));
+    println!(
+        "n-modular execution voted: {:?}",
+        String::from_utf8_lossy(&out)
+    );
 
     // Node 0 is about to fail: migrate an application to node 1 —
     // ownership transfer, not a data copy, since all state is global.
     let n1 = rack.node(1);
-    let mut fbox = FaultBoxBuilder::new(100)
-        .heap_pages(1)
-        .build(&n0, rack.global(), alloc.clone(), &frames, epochs)?;
+    let mut fbox = FaultBoxBuilder::new(100).heap_pages(1).build(
+        &n0,
+        rack.global(),
+        alloc.clone(),
+        &frames,
+        epochs,
+    )?;
     fbox.space().write(&n0, fbox.heap_va(0), b"evacuating")?;
     fbox.migrate(&n0, &n1)?;
     rack.faults().crash_node(n0.id(), rack.max_time_ns());

@@ -24,9 +24,13 @@ fn main() -> Result<(), SimError> {
 
     // --- One file system, one page cache copy, rack-wide -----------------
     os0.fs_mut().mkdir("/etc")?;
-    os0.fs_mut().write_file("/etc/motd", b"the rack is the computer")?;
+    os0.fs_mut()
+        .write_file("/etc/motd", b"the rack is the computer")?;
     let motd = os1.fs_mut().read_file("/etc/motd")?;
-    println!("node1 reads /etc/motd written by node0: {:?}", String::from_utf8_lossy(&motd));
+    println!(
+        "node1 reads /etc/motd written by node0: {:?}",
+        String::from_utf8_lossy(&motd)
+    );
     println!(
         "shared page cache: {} resident pages ({} bytes), zero duplicate copies",
         rack.fs_shared().cache().resident_pages(),
@@ -36,12 +40,16 @@ fn main() -> Result<(), SimError> {
     // --- Zero-copy IPC between nodes --------------------------------------
     let (mut a, mut b) = rack.channel(0, 1)?;
     a.send(b"hello over shared memory")?;
-    println!("node1 received: {:?}", String::from_utf8_lossy(&b.try_recv()?));
+    println!(
+        "node1 received: {:?}",
+        String::from_utf8_lossy(&b.try_recv()?)
+    );
 
     // --- Processes in fault boxes, migratable across the rack ------------
     let mut process = os0.spawn(2, Criticality::Medium)?;
     process.run(os0.node(), |ctx, fbox| {
-        fbox.space().write(ctx, fbox.heap_va(0), b"state in global memory")
+        fbox.space()
+            .write(ctx, fbox.heap_va(0), b"state in global memory")
     })?;
     println!("process {} running on {}", process.pid(), process.home());
 

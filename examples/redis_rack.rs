@@ -28,7 +28,10 @@ fn drive<T: Transport>(
         let (reply, set_ns) = request_stepped(
             client,
             server,
-            &Command::Set { key: key.clone(), value: vec![b'v'; value_size] },
+            &Command::Set {
+                key: key.clone(),
+                value: vec![b'v'; value_size],
+            },
         )?;
         assert_eq!(reply, Reply::Simple("OK".into()));
         let (reply, get_ns) = request_stepped(client, server, &Command::Get { key })?;
@@ -77,7 +80,11 @@ fn main() -> Result<(), SimError> {
             set_net as f64 / 1e3,
             get_net as f64 / 1e3
         );
-        results.push((size, set_net as f64 / set_ipc as f64, get_net as f64 / get_ipc as f64));
+        results.push((
+            size,
+            set_net as f64 / set_ipc as f64,
+            get_net as f64 / get_ipc as f64,
+        ));
     }
 
     println!("\nlatency reduction (networking / FlacOS):");

@@ -46,8 +46,11 @@ fn main() -> Result<(), SimError> {
         MemFs::mount(fs.clone(), rack.node(0)),
         registry.clone(),
     );
-    let mut rt1 =
-        ContainerRuntime::new(rack.node(1), MemFs::mount(fs.clone(), rack.node(1)), registry);
+    let mut rt1 = ContainerRuntime::new(
+        rack.node(1),
+        MemFs::mount(fs.clone(), rack.node(1)),
+        registry,
+    );
 
     println!("container startup (paper §4.2):");
     for (who, report) in [
@@ -79,7 +82,10 @@ fn main() -> Result<(), SimError> {
     println!("4-stage function chain, 1 KiB payload:");
     println!("  FlacOS IPC: {:.2} us end-to-end", ipc_ns as f64 / 1e3);
     println!("  TCP/IP:     {:.2} us end-to-end", tcp_ns as f64 / 1e3);
-    println!("  chain communication reduction: {:.2}x\n", tcp_ns as f64 / ipc_ns as f64);
+    println!(
+        "  chain communication reduction: {:.2}x\n",
+        tcp_ns as f64 / ipc_ns as f64
+    );
 
     // Density placement.
     let mut sched = DensityScheduler::new(2, 8);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. The workspace is hermetic (zero external
+# crates), so everything runs with --offline: any accidental dependency
+# on the registry fails the gate instead of silently downloading.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== bench targets compile (offline, feature-gated) =="
+cargo build --offline -p bench --benches --features criterion
+
+echo "verify: OK"

@@ -7,7 +7,6 @@
 //! claims — fabric atomics, the operation log, the SPSC ring, the
 //! allocator, and the COW radix tree all hammered in parallel.
 
-use crossbeam::thread;
 use flacdk::alloc::GlobalAllocator;
 use flacdk::ds::radix::RadixTree;
 use flacdk::ds::ringbuf::SpscRing;
@@ -17,6 +16,7 @@ use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
 use rack_sim::{Rack, RackConfig, SimError};
 use std::collections::HashSet;
+use std::thread;
 
 fn rack() -> Rack {
     Rack::new(RackConfig::small_test().with_global_mem(64 << 20))
@@ -32,14 +32,13 @@ fn fabric_atomics_are_linearizable_across_threads() {
     thread::scope(|s| {
         for t in 0..THREADS {
             let node = rack.node(t % rack.node_count());
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..PER_THREAD {
                     cell.fetch_add(&node, 1).unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(
         cell.load(&rack.node(0)).unwrap(),
         THREADS as u64 * PER_THREAD,
@@ -56,7 +55,7 @@ fn spsc_ring_is_fifo_under_real_threads() {
     thread::scope(|s| {
         let producer = rack.node(0);
         let consumer = rack.node(1);
-        s.spawn(move |_| {
+        s.spawn(move || {
             for i in 0..COUNT {
                 loop {
                     match ring.push(&producer, &i.to_le_bytes()) {
@@ -67,7 +66,7 @@ fn spsc_ring_is_fifo_under_real_threads() {
                 }
             }
         });
-        s.spawn(move |_| {
+        s.spawn(move || {
             for expected in 0..COUNT {
                 let got = loop {
                     match ring.pop(&consumer) {
@@ -79,8 +78,7 @@ fn spsc_ring_is_fifo_under_real_threads() {
                 assert_eq!(u32::from_le_bytes(got.try_into().unwrap()), expected);
             }
         });
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -93,15 +91,14 @@ fn oplog_appends_from_threads_claim_distinct_committed_slots() {
     thread::scope(|s| {
         for t in 0..THREADS {
             let node = rack.node(t % rack.node_count());
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..PER_THREAD {
                     let payload = ((t * PER_THREAD + i) as u64).to_le_bytes();
                     log.append(&node, &payload).unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     // Every entry committed, all payloads present exactly once.
     let reader = rack.node(0);
@@ -128,16 +125,18 @@ fn allocator_hands_out_disjoint_objects_under_threads() {
             .map(|t| {
                 let alloc = alloc.clone();
                 let node = rack.node(t % rack.node_count());
-                s.spawn(move |_| {
+                s.spawn(move || {
                     (0..PER_THREAD)
                         .map(|_| alloc.alloc(&node, 128).unwrap().0)
                         .collect::<Vec<u64>>()
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
 
     all.sort_unstable();
     for pair in all.windows(2) {
@@ -162,15 +161,15 @@ fn radix_concurrent_inserts_of_disjoint_keys_all_land() {
             let epochs = epochs.clone();
             let retired = retired.clone();
             let tree = &tree;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..PER_THREAD {
                     let key = t * PER_THREAD + i;
-                    tree.insert(&node, &alloc, &epochs, &retired, key, key * 7).unwrap();
+                    tree.insert(&node, &alloc, &epochs, &retired, key, key * 7)
+                        .unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let node = rack.node(0);
     let guard = epochs.handle(node.clone()).read_lock().unwrap();
@@ -197,7 +196,7 @@ fn cache_incoherence_is_thread_safe_even_if_stale() {
 
     thread::scope(|s| {
         let writer = rack.node(0);
-        s.spawn(move |_| {
+        s.spawn(move || {
             for i in 0..ROUNDS {
                 // Writes a recognizable pattern, both halves identical.
                 let v = i << 32 | i;
@@ -206,13 +205,12 @@ fn cache_incoherence_is_thread_safe_even_if_stale() {
             }
         });
         let reader = rack.node(1);
-        s.spawn(move |_| {
+        s.spawn(move || {
             for _ in 0..ROUNDS {
                 reader.invalidate(addr, 8);
                 let v = reader.read_u64(addr).unwrap();
                 assert_eq!(v >> 32, v & 0xffff_ffff, "torn word observed: {v:#x}");
             }
         });
-    })
-    .unwrap();
+    });
 }

@@ -49,7 +49,9 @@ fn fs_journal_recovers_metadata_on_a_fresh_node() {
     let mut os0 = rack.node_os(0);
     os0.fs_mut().mkdir("/data").unwrap();
     for i in 0..10 {
-        os0.fs_mut().write_file(&format!("/data/f{i}"), &[i as u8; 100]).unwrap();
+        os0.fs_mut()
+            .write_file(&format!("/data/f{i}"), &[i as u8; 100])
+            .unwrap();
     }
     os0.fs_mut().unlink("/data/f3").unwrap();
 
@@ -95,14 +97,20 @@ fn redis_over_the_booted_rack_channel() {
         let (reply, _) = request_stepped(
             &mut client,
             &mut server,
-            &Command::Set { key: key.clone(), value: vec![i as u8; 128] },
+            &Command::Set {
+                key: key.clone(),
+                value: vec![i as u8; 128],
+            },
         )
         .unwrap();
         assert_eq!(reply, Reply::Simple("OK".into()));
         let (reply, latency) =
             request_stepped(&mut client, &mut server, &Command::Get { key }).unwrap();
         assert_eq!(reply, Reply::Bulk(vec![i as u8; 128]));
-        assert!(latency > 0 && latency < 1_000_000, "sane simulated latency: {latency}");
+        assert!(
+            latency > 0 && latency < 1_000_000,
+            "sane simulated latency: {latency}"
+        );
     }
     assert_eq!(server.store().len(), 20);
 }
@@ -123,7 +131,9 @@ fn fault_box_covers_an_ipc_buffer() {
     p.protect_now(os0.node()).unwrap();
 
     // The buffer gets poisoned; recovery brings it back with the app.
-    rack.sim().faults().poison_memory(rack.sim().global(), buf_region, 64, 0);
+    rack.sim()
+        .faults()
+        .poison_memory(rack.sim().global(), buf_region, 64, 0);
     p.recover(os0.node()).unwrap();
     let mut buf = [0u8; 256];
     os0.node().invalidate(buf_region, 256);
@@ -141,30 +151,47 @@ fn tlb_shootdown_after_shared_mapping_change() {
     let rack = booted();
     let alloc = GlobalAllocator::new(rack.sim().global().clone());
     let epochs = EpochManager::alloc(rack.sim().global(), rack.sim().node_count()).unwrap();
-    let space = flacos_mem::AddressSpace::alloc(
-        1,
-        rack.sim().global(),
-        alloc,
-        epochs,
-        RetireList::new(),
-    )
-    .unwrap();
+    let space =
+        flacos_mem::AddressSpace::alloc(1, rack.sim().global(), alloc, epochs, RetireList::new())
+            .unwrap();
     let frames = FrameAllocator::new(rack.sim().global().clone());
     let n0 = rack.sim().node(0);
 
     let f1 = frames.alloc(&n0).unwrap();
-    space.map(&n0, 7, Pte { frame: PhysFrame::Global(f1), writable: true }).unwrap();
-    let pte = space.translate(&n0, flacos_mem::VirtAddr::from_vpn(7)).unwrap().unwrap();
+    space
+        .map(
+            &n0,
+            7,
+            Pte {
+                frame: PhysFrame::Global(f1),
+                writable: true,
+            },
+        )
+        .unwrap();
+    let pte = space
+        .translate(&n0, flacos_mem::VirtAddr::from_vpn(7))
+        .unwrap()
+        .unwrap();
 
-    let mut tlbs: Vec<Tlb> =
-        (0..rack.sim().node_count()).map(|i| Tlb::new(rack.sim().node(i), 64)).collect();
+    let mut tlbs: Vec<Tlb> = (0..rack.sim().node_count())
+        .map(|i| Tlb::new(rack.sim().node(i), 64))
+        .collect();
     for t in tlbs.iter_mut() {
         t.fill(1, 7, pte);
     }
 
     // Remap, then shoot down the stale translations everywhere.
     let f2 = frames.alloc(&n0).unwrap();
-    space.map(&n0, 7, Pte { frame: PhysFrame::Global(f2), writable: true }).unwrap();
+    space
+        .map(
+            &n0,
+            7,
+            Pte {
+                frame: PhysFrame::Global(f2),
+                writable: true,
+            },
+        )
+        .unwrap();
     shootdown_stepped(&mut tlbs, 0, 1, 7).unwrap();
     for t in tlbs.iter_mut() {
         assert_eq!(t.lookup(1, 7), None, "no stale translation survives");
@@ -189,7 +216,13 @@ fn predicted_failure_triggers_preemptive_relocation() {
     let old_addr = alloc.alloc(&n0, 64).unwrap();
     n0.write(old_addr, &[0xAA; 64]).unwrap();
     n0.writeback(old_addr, 64);
-    relocator.place(1, Placement { tier: Tier::Global(old_addr), len: 64 });
+    relocator.place(
+        1,
+        Placement {
+            tier: Tier::Global(old_addr),
+            len: 64,
+        },
+    );
 
     // ECC reports a burst of correctable errors against that region.
     for i in 0..10 {
@@ -205,8 +238,14 @@ fn predicted_failure_triggers_preemptive_relocation() {
 
     // Now the predicted uncorrectable fault actually lands — on memory
     // nothing references anymore.
-    rack.sim().faults().poison_memory(rack.sim().global(), old_addr, 64, 0);
-    let Placement { tier: Tier::Global(new_addr), .. } = relocator.resolve(1).unwrap() else {
+    rack.sim()
+        .faults()
+        .poison_memory(rack.sim().global(), old_addr, 64, 0);
+    let Placement {
+        tier: Tier::Global(new_addr),
+        ..
+    } = relocator.resolve(1).unwrap()
+    else {
         panic!("object stayed global")
     };
     assert_ne!(new_addr, old_addr);
@@ -233,7 +272,13 @@ fn hotness_driven_tiering_promotes_the_working_set() {
         let addr = alloc.alloc(&n0, 128).unwrap();
         n0.write(addr, &[id as u8; 128]).unwrap();
         n0.writeback(addr, 128);
-        relocator.place(id, Placement { tier: Tier::Global(addr), len: 128 });
+        relocator.place(
+            id,
+            Placement {
+                tier: Tier::Global(addr),
+                len: 128,
+            },
+        );
         tracker.register(id, 128);
     }
     // Objects 0 and 1 are hot.
@@ -247,13 +292,23 @@ fn hotness_driven_tiering_promotes_the_working_set() {
     assert_eq!(hot.len(), 2);
     for id in &hot {
         relocator.promote_to_local(&n0, *id).unwrap();
-        assert!(matches!(relocator.resolve(*id).unwrap().tier, Tier::Local(_)));
+        assert!(matches!(
+            relocator.resolve(*id).unwrap().tier,
+            Tier::Local(_)
+        ));
     }
     for id in &cold {
-        assert!(matches!(relocator.resolve(*id).unwrap().tier, Tier::Global(_)));
+        assert!(matches!(
+            relocator.resolve(*id).unwrap().tier,
+            Tier::Global(_)
+        ));
     }
     // Promoted data is intact and now reads at local speed.
-    let Placement { tier: Tier::Local(laddr), .. } = relocator.resolve(0).unwrap() else {
+    let Placement {
+        tier: Tier::Local(laddr),
+        ..
+    } = relocator.resolve(0).unwrap()
+    else {
         panic!("promoted")
     };
     let mut buf = [0u8; 128];

@@ -17,11 +17,18 @@ fn node_crash_fails_operations_until_restart() {
     os1.fs_mut().write_file("/x", b"1").unwrap();
 
     rack.sim().faults().crash_node(os1.id(), 0);
-    assert!(os1.fs_mut().read_file("/x").is_err(), "dead node cannot do fs ops");
+    assert!(
+        os1.fs_mut().read_file("/x").is_err(),
+        "dead node cannot do fs ops"
+    );
     assert!(os1.heartbeat().is_err());
 
     rack.sim().faults().restart_node(os1.id());
-    assert_eq!(os1.fs_mut().read_file("/x").unwrap(), b"1", "state survives in global memory");
+    assert_eq!(
+        os1.fs_mut().read_file("/x").unwrap(),
+        b"1",
+        "state survives in global memory"
+    );
 }
 
 #[test]
@@ -31,7 +38,9 @@ fn surviving_node_reads_data_written_by_crashed_node() {
     let rack = booted();
     let mut os0 = rack.node_os(0);
     let mut os1 = rack.node_os(1);
-    os1.fs_mut().write_file("/will-survive", &vec![5u8; 10_000]).unwrap();
+    os1.fs_mut()
+        .write_file("/will-survive", &vec![5u8; 10_000])
+        .unwrap();
     rack.sim().faults().crash_node(os1.id(), 0);
 
     let data = os0.fs_mut().read_file("/will-survive").unwrap();
@@ -65,8 +74,14 @@ fn poison_is_contained_to_one_process() {
     let mut os0 = rack.node_os(0);
     let mut victim = os0.spawn(1, Criticality::Low).unwrap();
     let mut bystander = os0.spawn(1, Criticality::Low).unwrap();
-    for (p, tag) in [(&mut victim, b"victim----"), (&mut bystander, b"bystander-")] {
-        p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), tag)).unwrap();
+    for (p, tag) in [
+        (&mut victim, b"victim----"),
+        (&mut bystander, b"bystander-"),
+    ] {
+        p.run(os0.node(), |ctx, fbox| {
+            fbox.space().write(ctx, fbox.heap_va(0), tag)
+        })
+        .unwrap();
         p.protect_now(os0.node()).unwrap();
     }
 
@@ -77,7 +92,9 @@ fn poison_is_contained_to_one_process() {
         .into_iter()
         .find(|(id, _, _)| *id >= 2_000)
         .unwrap();
-    rack.sim().faults().poison_memory(rack.sim().global(), heap, 64, 0);
+    rack.sim()
+        .faults()
+        .poison_memory(rack.sim().global(), heap, 64, 0);
 
     // The bystander keeps running untouched.
     bystander
@@ -107,8 +124,10 @@ fn evacuation_before_node_death() {
     let mut os0 = rack.node_os(0);
     let mut os1 = rack.node_os(1);
     let mut p = os0.spawn(1, Criticality::Medium).unwrap();
-    p.run(os0.node(), |ctx, fbox| fbox.space().write(ctx, fbox.heap_va(0), b"moving out"))
-        .unwrap();
+    p.run(os0.node(), |ctx, fbox| {
+        fbox.space().write(ctx, fbox.heap_va(0), b"moving out")
+    })
+    .unwrap();
 
     // Health monitoring says node 0 is failing: migrate, then crash it.
     os1.adopt(&mut p, os0.node()).unwrap();
@@ -141,7 +160,8 @@ fn deterministic_fault_schedules_replay() {
     // Same seed => same random poison address => identical outcome.
     let addr_of = |seed: u64| {
         let rack = rack_sim::Rack::new(RackConfig::small_test().with_seed(seed));
-        rack.faults().poison_random_word(rack.global(), rack_sim::GAddr(0), 65536, 0)
+        rack.faults()
+            .poison_random_word(rack.global(), rack_sim::GAddr(0), 65536, 0)
     };
     assert_eq!(addr_of(11), addr_of(11));
     assert_ne!(addr_of(11), addr_of(12));

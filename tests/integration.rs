@@ -25,17 +25,30 @@ fn shared_fs_namespace_is_single_system_image() {
     let mut os1 = rack.node_os(1);
 
     os0.fs_mut().mkdir("/srv").unwrap();
-    os0.fs_mut().write_file("/srv/a.txt", b"from node 0").unwrap();
-    os1.fs_mut().write_file("/srv/b.txt", b"from node 1").unwrap();
+    os0.fs_mut()
+        .write_file("/srv/a.txt", b"from node 0")
+        .unwrap();
+    os1.fs_mut()
+        .write_file("/srv/b.txt", b"from node 1")
+        .unwrap();
 
     // Both nodes see the union, with identical inode numbers.
-    assert_eq!(os0.fs_mut().readdir("/srv").unwrap(), vec!["a.txt", "b.txt"]);
-    assert_eq!(os1.fs_mut().readdir("/srv").unwrap(), vec!["a.txt", "b.txt"]);
+    assert_eq!(
+        os0.fs_mut().readdir("/srv").unwrap(),
+        vec!["a.txt", "b.txt"]
+    );
+    assert_eq!(
+        os1.fs_mut().readdir("/srv").unwrap(),
+        vec!["a.txt", "b.txt"]
+    );
     assert_eq!(
         os0.fs_mut().resolve("/srv/b.txt").unwrap(),
         os1.fs_mut().resolve("/srv/b.txt").unwrap()
     );
-    assert_eq!(os1.fs_mut().read_file("/srv/a.txt").unwrap(), b"from node 0");
+    assert_eq!(
+        os1.fs_mut().read_file("/srv/a.txt").unwrap(),
+        b"from node 0"
+    );
 }
 
 #[test]
@@ -72,9 +85,19 @@ fn socket_registry_names_services_rack_wide() {
     let mut os1 = rack.node_os(1);
     let here = os0.id();
     os0.sockets_mut()
-        .bind("kv-store", flacos_ipc::socket_meta::SocketAddr { node: here, channel: 5 })
+        .bind(
+            "kv-store",
+            flacos_ipc::socket_meta::SocketAddr {
+                node: here,
+                channel: 5,
+            },
+        )
         .unwrap();
-    let addr = os1.sockets_mut().lookup("kv-store").unwrap().expect("bound");
+    let addr = os1
+        .sockets_mut()
+        .lookup("kv-store")
+        .unwrap()
+        .expect("bound");
     assert_eq!(addr.node, os0.id());
     assert_eq!(addr.channel, 5);
 }
@@ -107,7 +130,10 @@ fn scheduler_balances_spawns_across_node_os_instances() {
     for _ in 0..6 {
         // An external placer would consult the shared scheduler; spawn
         // where it says.
-        let target = rack.scheduler().place(&placer, |id| rack.sim().is_alive(id)).unwrap();
+        let target = rack
+            .scheduler()
+            .place(&placer, |id| rack.sim().is_alive(id))
+            .unwrap();
         let p = if target == os0.id() {
             os0.spawn(1, Criticality::Low).unwrap()
         } else {
@@ -149,7 +175,9 @@ fn process_lifecycle_with_recovery_after_poison() {
     // Poison the process's first heap page.
     let objs = p.fault_box().memory_objects();
     let (_, heap, _) = objs.iter().find(|(id, _, _)| *id >= 2_000).unwrap();
-    rack.sim().faults().poison_memory(rack.sim().global(), *heap, 64, 0);
+    rack.sim()
+        .faults()
+        .poison_memory(rack.sim().global(), *heap, 64, 0);
 
     let restored = p.recover(os0.node()).unwrap();
     assert!(restored > 0);

@@ -1,0 +1,174 @@
+//! End-to-end tests on the metrics layer: known operation mixes must
+//! produce *exact* counter, histogram, and trace totals under the
+//! default (HCCS) latency model, including after rack-wide merging and
+//! through the subsystem counters the OS layers publish.
+
+use flacdk::alloc::GlobalAllocator;
+use flacdk::sync::rcu::EpochManager;
+use flacdk::sync::reclaim::RetireList;
+use flacos_fs::page_cache::SharedPageCache;
+use flacos_ipc::channel::FlacChannel;
+use rack_sim::metrics::bucket_index;
+use rack_sim::{CostClass, OpKind, Rack, RackConfig};
+
+fn small_rack() -> Rack {
+    Rack::new(RackConfig::small_test().with_global_mem(32 << 20))
+}
+
+#[test]
+fn known_op_mix_yields_exact_totals() {
+    const READS: u64 = 10;
+    const ATOMICS: u64 = 7;
+
+    let rack = small_rack();
+    let n0 = rack.node(0);
+    let lat = n0.latency().clone();
+    let a = rack.global().alloc(8, 8).unwrap();
+
+    for _ in 0..READS {
+        n0.load_uncached_u64(a).unwrap();
+    }
+    for _ in 0..ATOMICS {
+        n0.fetch_add_u64(a, 1).unwrap();
+    }
+
+    let snap = n0.stats().snapshot();
+    // Counters: uncached loads count as global reads (8 bytes each).
+    assert_eq!(snap.global_reads, READS);
+    assert_eq!(snap.global_atomics, ATOMICS);
+    assert_eq!(snap.global_writes, 0);
+
+    // Histograms decompose the same ops by cost class, exactly.
+    let uncached = snap.histogram(CostClass::Uncached);
+    assert_eq!(uncached.count, READS);
+    assert_eq!(uncached.total_ns, READS * lat.global_read_ns);
+    assert_eq!(uncached.max_ns, lat.global_read_ns);
+    assert_eq!(uncached.buckets[bucket_index(lat.global_read_ns)], READS);
+
+    let atomic = snap.histogram(CostClass::Atomic);
+    assert_eq!(atomic.count, ATOMICS);
+    assert_eq!(atomic.total_ns, ATOMICS * lat.global_atomic_ns);
+    assert_eq!(atomic.buckets[bucket_index(lat.global_atomic_ns)], ATOMICS);
+
+    // Every charged nanosecond is accounted for: histogram totals equal
+    // the node's clock.
+    assert_eq!(snap.total_charged_ns(), n0.clock().now());
+    assert_eq!(
+        n0.clock().now(),
+        READS * lat.global_read_ns + ATOMICS * lat.global_atomic_ns
+    );
+}
+
+#[test]
+fn rack_report_merges_nodes_exactly() {
+    let rack = small_rack();
+    let (n0, n1) = (rack.node(0), rack.node(1));
+    let lat = n0.latency().clone();
+    let a = rack.global().alloc(8, 8).unwrap();
+
+    n0.load_uncached_u64(a).unwrap();
+    n0.load_uncached_u64(a).unwrap();
+    n1.fetch_add_u64(a, 1).unwrap();
+
+    let report = rack.metrics_report();
+    assert_eq!(report.per_node.len(), 2);
+    assert_eq!(report.merged.global_reads, 2);
+    assert_eq!(report.merged.global_atomics, 1);
+    assert_eq!(report.merged.histogram(CostClass::Uncached).count, 2);
+    assert_eq!(report.merged.histogram(CostClass::Atomic).count, 1);
+    assert_eq!(
+        report.merged.total_charged_ns(),
+        2 * lat.global_read_ns + lat.global_atomic_ns
+    );
+    // Makespan is the slower node's clock, not the sum.
+    assert_eq!(report.makespan_ns, 2 * lat.global_read_ns);
+
+    // The report renders the decomposition used by `figures`.
+    let text = report.to_string();
+    assert!(text.contains("2 global reads"), "got: {text}");
+    assert!(text.contains("lat[    uncached]"), "got: {text}");
+    assert!(text.contains("makespan"), "got: {text}");
+}
+
+#[test]
+fn tracing_captures_op_kinds_in_order() {
+    let rack = small_rack();
+    let n0 = rack.node(0);
+    let a = rack.global().alloc(8, 8).unwrap();
+
+    rack.enable_tracing();
+    n0.load_uncached_u64(a).unwrap();
+    n0.fetch_add_u64(a, 1).unwrap();
+    n0.store_uncached_u64(a, 9).unwrap();
+    rack.disable_tracing();
+    n0.load_uncached_u64(a).unwrap(); // not traced
+
+    let events = n0.stats().trace().events();
+    assert_eq!(events.len(), 3);
+    assert_eq!(events[0].kind, OpKind::Read);
+    assert_eq!(events[1].kind, OpKind::Atomic);
+    assert_eq!(events[2].kind, OpKind::Write);
+    // Simulated timestamps are monotone within a node.
+    assert!(events[0].at_ns < events[1].at_ns);
+    assert!(events[1].at_ns < events[2].at_ns);
+}
+
+#[test]
+fn page_cache_publishes_subsystem_counters() {
+    let rack = small_rack();
+    let n0 = rack.node(0);
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+    let cache = SharedPageCache::alloc(rack.global(), alloc, epochs, RetireList::new()).unwrap();
+
+    let key = SharedPageCache::key(1, 0);
+    assert!(cache.lookup(&n0, key).unwrap().is_none()); // miss
+    cache
+        .insert_page(&n0, key, &vec![7u8; flacos_mem::PAGE_SIZE], true)
+        .unwrap();
+    assert!(cache.lookup(&n0, key).unwrap().is_some()); // hit
+    assert!(cache.lookup(&n0, key).unwrap().is_some()); // hit
+
+    let snap = n0.stats().snapshot();
+    let get = |name: &str| {
+        snap.subsystems
+            .iter()
+            .find(|c| c.subsystem == "page_cache" && c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("miss"), 1);
+    assert_eq!(get("hit"), 2);
+    assert_eq!(get("insert"), 1);
+}
+
+#[test]
+fn ipc_channel_publishes_message_counters() {
+    let rack = small_rack();
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let (mut a, mut b) =
+        FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+
+    a.send(b"ping").unwrap();
+    a.send(&vec![3u8; 4096]).unwrap();
+    b.try_recv().unwrap();
+    b.try_recv().unwrap();
+
+    let sender = rack.node(0).stats().snapshot();
+    let receiver = rack.node(1).stats().snapshot();
+    let get = |snap: &rack_sim::StatsSnapshot, name: &str| {
+        snap.subsystems
+            .iter()
+            .find(|c| c.subsystem == "ipc" && c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    assert_eq!(get(&sender, "msgs_sent"), 2);
+    assert_eq!(get(&sender, "bytes_sent"), 4 + 4096);
+    assert_eq!(get(&receiver, "msgs_recv"), 2);
+
+    // Rack-wide merge sums the per-node registries.
+    let merged = rack.metrics_report().merged;
+    assert_eq!(get(&merged, "msgs_sent"), 2);
+    assert_eq!(get(&merged, "msgs_recv"), 2);
+}

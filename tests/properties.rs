@@ -1,113 +1,133 @@
-//! Property-based tests on core data-structure invariants, checked
-//! against reference models under arbitrary operation sequences.
+//! Property-style tests on core data-structure invariants, checked
+//! against reference models under pseudo-random operation sequences.
+//!
+//! Previously these ran under `proptest`; the hermetic (offline,
+//! std-only) build replaces it with a hand-rolled deterministic case
+//! generator seeded from [`rack_sim::SplitMix64`]. Every case derives
+//! from a fixed seed plus the case index, so failures reproduce exactly
+//! and print the `(seed, case)` pair that triggered them.
 
 use flacdk::alloc::GlobalAllocator;
 use flacdk::ds::hashmap::ReplicatedKv;
 use flacdk::ds::radix::RadixTree;
 use flacdk::ds::ringbuf::SpscRing;
+use flacdk::sync::oplog::SharedOpLog;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
-use flacdk::sync::oplog::SharedOpLog;
 use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::dedup::PageDeduper;
 use flacos_mem::fault::FrameAllocator;
-use flacos_mem::PAGE_SIZE;
 use flacos_mem::vma::{Vma, VmaSet};
 use flacos_mem::VirtAddr;
-use proptest::prelude::*;
-use rack_sim::{GAddr, Rack, RackConfig, SimError};
+use flacos_mem::PAGE_SIZE;
+use rack_sim::{GAddr, Rack, RackConfig, SimError, SplitMix64};
 use redis_mini::resp::{Command, Reply};
 use std::collections::{HashMap, VecDeque};
+
+/// Base seed for every generator in this file. Bump to explore a fresh
+/// schedule; keep fixed for run-to-run reproducibility.
+const SEED: u64 = 0xF1AC_0001;
+
+/// Number of generated cases per property (proptest ran 64).
+const CASES: u64 = 64;
+
+/// Run `body` once per case with an independently seeded generator,
+/// labelling panics with the reproducing `(seed, case)` pair.
+fn check<F: Fn(&mut SplitMix64)>(property: &str, body: F) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SEED ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("property `{property}` failed at seed={SEED:#x} case={case}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
 fn small_rack() -> Rack {
     Rack::new(RackConfig::small_test().with_global_mem(32 << 20))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn global_memory_byte_rw_roundtrip(
-        offset in 0usize..1000,
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+#[test]
+fn global_memory_byte_rw_roundtrip() {
+    check("global_memory_byte_rw_roundtrip", |rng| {
+        let offset = rng.gen_index(1000);
+        let len = rng.gen_index(300);
+        let data = rng.gen_bytes(len);
         let rack = small_rack();
         let g = rack.global();
         g.write_bytes(GAddr(offset as u64), &data).unwrap();
         let mut out = vec![0u8; data.len()];
         g.read_bytes(GAddr(offset as u64), &mut out).unwrap();
-        prop_assert_eq!(out, data);
-    }
+        assert_eq!(out, data);
+    });
+}
 
-    #[test]
-    fn ring_matches_fifo_model(
-        ops in proptest::collection::vec(
-            prop_oneof![
-                proptest::collection::vec(any::<u8>(), 0..40).prop_map(Some), // push
-                Just(None),                                                  // pop
-            ],
-            1..60
-        )
-    ) {
+#[test]
+fn ring_matches_fifo_model() {
+    check("ring_matches_fifo_model", |rng| {
         let rack = small_rack();
         let ring = SpscRing::alloc(rack.global(), 16, 64).unwrap();
         let (producer, consumer) = (rack.node(0), rack.node(1));
         let mut model: VecDeque<Vec<u8>> = VecDeque::new();
 
-        for op in ops {
-            match op {
-                Some(payload) => match ring.push(&producer, &payload) {
+        let ops = 1 + rng.gen_index(59);
+        for _ in 0..ops {
+            if rng.gen_bool() {
+                let len = rng.gen_index(40);
+                let payload = rng.gen_bytes(len);
+                match ring.push(&producer, &payload) {
                     Ok(()) => model.push_back(payload),
-                    Err(SimError::WouldBlock) => prop_assert_eq!(model.len(), 16),
-                    Err(e) => return Err(TestCaseError::fail(format!("push: {e}"))),
-                },
-                None => match ring.pop(&consumer) {
-                    Ok(got) => prop_assert_eq!(Some(got), model.pop_front()),
-                    Err(SimError::WouldBlock) => prop_assert!(model.is_empty()),
-                    Err(e) => return Err(TestCaseError::fail(format!("pop: {e}"))),
-                },
+                    Err(SimError::WouldBlock) => assert_eq!(model.len(), 16),
+                    Err(e) => panic!("push: {e}"),
+                }
+            } else {
+                match ring.pop(&consumer) {
+                    Ok(got) => assert_eq!(Some(got), model.pop_front()),
+                    Err(SimError::WouldBlock) => assert!(model.is_empty()),
+                    Err(e) => panic!("pop: {e}"),
+                }
             }
         }
-        prop_assert_eq!(ring.len(&producer).unwrap() as usize, model.len());
-    }
+        assert_eq!(ring.len(&producer).unwrap() as usize, model.len());
+    });
+}
 
-    #[test]
-    fn replicated_kv_converges_and_matches_model(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..16, proptest::collection::vec(any::<u8>(), 0..24)),
-            1..50
-        )
-    ) {
+#[test]
+fn replicated_kv_converges_and_matches_model() {
+    check("replicated_kv_converges_and_matches_model", |rng| {
         let rack = small_rack();
         let shared = ReplicatedKv::alloc_shared(rack.global(), 2, 4096, 128).unwrap();
         let mut kv0 = ReplicatedKv::new(shared.clone(), rack.node(0));
         let mut kv1 = ReplicatedKv::new(shared, rack.node(1));
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
 
-        for (i, (is_put, key, value)) in ops.iter().enumerate() {
+        let ops = 1 + rng.gen_index(49);
+        for i in 0..ops {
+            let is_put = rng.gen_bool();
+            let key = rng.gen_range(0..16);
+            let vlen = rng.gen_index(24);
+            let value = rng.gen_bytes(vlen);
             let kv = if i % 2 == 0 { &mut kv0 } else { &mut kv1 };
-            if *is_put {
-                kv.put(*key, value).unwrap();
-                model.insert(*key, value.clone());
+            if is_put {
+                kv.put(key, &value).unwrap();
+                model.insert(key, value);
             } else {
-                kv.del(*key).unwrap();
-                model.remove(key);
+                kv.del(key).unwrap();
+                model.remove(&key);
             }
         }
         for key in 0..16u64 {
-            prop_assert_eq!(kv0.get(key).unwrap(), model.get(&key).cloned());
-            prop_assert_eq!(kv1.get(key).unwrap(), model.get(&key).cloned());
+            assert_eq!(kv0.get(key).unwrap(), model.get(&key).cloned());
+            assert_eq!(kv1.get(key).unwrap(), model.get(&key).cloned());
         }
-        prop_assert_eq!(kv0.len().unwrap(), model.len());
-    }
+        assert_eq!(kv0.len().unwrap(), model.len());
+    });
+}
 
-    #[test]
-    fn radix_matches_map_model(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..512, any::<u64>()),
-            1..60
-        )
-    ) {
+#[test]
+fn radix_matches_map_model() {
+    check("radix_matches_map_model", |rng| {
         let rack = small_rack();
         let alloc = GlobalAllocator::new(rack.global().clone());
         let epochs = EpochManager::alloc(rack.global(), 2).unwrap();
@@ -116,32 +136,40 @@ proptest! {
         let mut model: HashMap<u64, u64> = HashMap::new();
         let n0 = rack.node(0);
 
-        for (insert, key, value) in ops {
+        let ops = 1 + rng.gen_index(59);
+        for _ in 0..ops {
+            let insert = rng.gen_bool();
+            let key = rng.gen_range(0..512);
+            let value = rng.next_u64();
             if insert {
-                let prev = tree.insert(&n0, &alloc, &epochs, &retired, key, value).unwrap();
-                prop_assert_eq!(prev, model.insert(key, value));
+                let prev = tree
+                    .insert(&n0, &alloc, &epochs, &retired, key, value)
+                    .unwrap();
+                assert_eq!(prev, model.insert(key, value));
             } else {
                 let prev = tree.remove(&n0, &alloc, &epochs, &retired, key).unwrap();
-                prop_assert_eq!(prev, model.remove(&key));
+                assert_eq!(prev, model.remove(&key));
             }
             retired.reclaim(&n0, &epochs, &alloc).unwrap();
         }
         let guard = epochs.handle(rack.node(1)).read_lock().unwrap();
         for key in 0..512u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 tree.get(&rack.node(1), &guard, key).unwrap(),
                 model.get(&key).copied()
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn resp_command_roundtrip(
-        key in proptest::collection::vec(any::<u8>(), 1..32),
-        value in proptest::collection::vec(any::<u8>(), 0..256),
-        which in 0u8..7,
-    ) {
-        let cmd = match which {
+#[test]
+fn resp_command_roundtrip() {
+    check("resp_command_roundtrip", |rng| {
+        let klen = 1 + rng.gen_index(31);
+        let key = rng.gen_bytes(klen);
+        let vlen = rng.gen_index(256);
+        let value = rng.gen_bytes(vlen);
+        let cmd = match rng.gen_index(7) {
             0 => Command::Set { key, value },
             1 => Command::Get { key },
             2 => Command::Del { key },
@@ -152,48 +180,65 @@ proptest! {
         };
         let wire = cmd.encode();
         let (parsed, consumed) = Command::parse(&wire).unwrap();
-        prop_assert_eq!(parsed, cmd);
-        prop_assert_eq!(consumed, wire.len());
-    }
+        assert_eq!(parsed, cmd);
+        assert_eq!(consumed, wire.len());
+    });
+}
 
-    #[test]
-    fn resp_reply_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        for reply in [Reply::Bulk(data.clone()), Reply::Null, Reply::Integer(data.len() as i64)] {
+#[test]
+fn resp_reply_roundtrip() {
+    check("resp_reply_roundtrip", |rng| {
+        let dlen = rng.gen_index(256);
+        let data = rng.gen_bytes(dlen);
+        for reply in [
+            Reply::Bulk(data.clone()),
+            Reply::Null,
+            Reply::Integer(data.len() as i64),
+        ] {
             let wire = reply.encode();
             let (parsed, consumed) = Reply::parse(&wire).unwrap();
-            prop_assert_eq!(parsed, reply);
-            prop_assert_eq!(consumed, wire.len());
+            assert_eq!(parsed, reply);
+            assert_eq!(consumed, wire.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn resp_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn resp_parser_never_panics_on_garbage() {
+    check("resp_parser_never_panics_on_garbage", |rng| {
+        let blen = rng.gen_index(64);
+        let bytes = rng.gen_bytes(blen);
         let _ = Command::parse(&bytes);
         let _ = Reply::parse(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn wire_codec_roundtrip(
-        a in any::<u64>(),
-        b in any::<u32>(),
-        s in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn wire_codec_roundtrip() {
+    check("wire_codec_roundtrip", |rng| {
+        let a = rng.next_u64();
+        let b = rng.next_u32();
+        let slen = rng.gen_index(64);
+        let s = rng.gen_bytes(slen);
         let mut e = Encoder::new();
         e.put_u64(a).put_u32(b).put_bytes(&s);
         let buf = e.into_vec();
         let mut d = Decoder::new(&buf);
-        prop_assert_eq!(d.u64().unwrap(), a);
-        prop_assert_eq!(d.u32().unwrap(), b);
-        prop_assert_eq!(d.bytes().unwrap(), &s[..]);
-        prop_assert_eq!(d.remaining(), 0);
-    }
+        assert_eq!(d.u64().unwrap(), a);
+        assert_eq!(d.u32().unwrap(), b);
+        assert_eq!(d.bytes().unwrap(), &s[..]);
+        assert_eq!(d.remaining(), 0);
+    });
+}
 
-    #[test]
-    fn vma_set_never_holds_overlaps(
-        areas in proptest::collection::vec((0u64..100, 1u64..20), 1..20)
-    ) {
+#[test]
+fn vma_set_never_holds_overlaps() {
+    check("vma_set_never_holds_overlaps", |rng| {
         let mut set = VmaSet::new();
-        for (start, len) in areas {
+        let areas = 1 + rng.gen_index(19);
+        for _ in 0..areas {
+            let start = rng.gen_range(0..100);
+            let len = rng.gen_range(1..20);
             let vma = Vma {
                 start: VirtAddr(start * 0x1000),
                 end: VirtAddr((start + len) * 0x1000),
@@ -206,55 +251,62 @@ proptest! {
         let all: Vec<&Vma> = set.iter().collect();
         for (i, a) in all.iter().enumerate() {
             for b in all.iter().skip(i + 1) {
-                prop_assert!(a.end.0 <= b.start.0 || b.end.0 <= a.start.0);
+                assert!(a.end.0 <= b.start.0 || b.end.0 <= a.start.0);
             }
         }
         // And find() agrees with contains().
         for vma in &all {
-            prop_assert_eq!(set.find(vma.start).map(|v| v.tag), Some(vma.tag));
+            assert_eq!(set.find(vma.start).map(|v| v.tag), Some(vma.tag));
         }
-    }
+    });
+}
 
-
-    #[test]
-    fn oplog_preserves_append_order_and_content(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..40), 1..40
-        )
-    ) {
+#[test]
+fn oplog_preserves_append_order_and_content() {
+    check("oplog_preserves_append_order_and_content", |rng| {
         let rack = small_rack();
         let log = SharedOpLog::alloc(rack.global(), 64, 64).unwrap();
         let (a, b) = (rack.node(0), rack.node(1));
+        let count = 1 + rng.gen_index(39);
+        let payloads: Vec<Vec<u8>> = (0..count)
+            .map(|_| {
+                let len = rng.gen_index(40);
+                rng.gen_bytes(len)
+            })
+            .collect();
         for (i, payload) in payloads.iter().enumerate() {
             // Alternate appenders across nodes.
             let node = if i % 2 == 0 { &a } else { &b };
             let idx = log.append(node, payload).unwrap();
-            prop_assert_eq!(idx, i as u64, "indices are dense and ordered");
+            assert_eq!(idx, i as u64, "indices are dense and ordered");
         }
         for (i, payload) in payloads.iter().enumerate() {
             let got = log.read(&b, i as u64).unwrap().expect("committed");
-            prop_assert_eq!(&got, payload);
+            assert_eq!(&got, payload);
         }
-        prop_assert_eq!(log.tail(&a).unwrap(), payloads.len() as u64);
-    }
+        assert_eq!(log.tail(&a).unwrap(), payloads.len() as u64);
+    });
+}
 
-    #[test]
-    fn allocator_live_objects_never_overlap(
-        ops in proptest::collection::vec((any::<bool>(), 1usize..500), 1..80)
-    ) {
+#[test]
+fn allocator_live_objects_never_overlap() {
+    check("allocator_live_objects_never_overlap", |rng| {
         let rack = small_rack();
         let alloc = GlobalAllocator::new(rack.global().clone());
         let node = rack.node(0);
         let mut live: Vec<(u64, usize)> = Vec::new(); // (addr, class size)
 
-        for (do_alloc, len) in ops {
+        let ops = 1 + rng.gen_index(79);
+        for _ in 0..ops {
+            let do_alloc = rng.gen_bool();
+            let len = 1 + rng.gen_index(499);
             if do_alloc || live.is_empty() {
                 let addr = alloc.alloc(&node, len).unwrap();
                 let class = GlobalAllocator::size_class(len);
                 // Must not overlap any live object.
                 for (base, sz) in &live {
                     let disjoint = addr.0 + class as u64 <= *base || base + *sz as u64 <= addr.0;
-                    prop_assert!(disjoint, "{addr:?}+{class} overlaps {base:#x}+{sz}");
+                    assert!(disjoint, "{addr:?}+{class} overlaps {base:#x}+{sz}");
                 }
                 live.push((addr.0, class));
             } else {
@@ -262,23 +314,26 @@ proptest! {
                 alloc.free(&node, GAddr(base), sz);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dedup_refcounts_match_a_reference_model(
-        ops in proptest::collection::vec((any::<bool>(), 0u8..4), 1..40)
-    ) {
+#[test]
+fn dedup_refcounts_match_a_reference_model() {
+    check("dedup_refcounts_match_a_reference_model", |rng| {
         let rack = small_rack();
         let dedup = PageDeduper::new(FrameAllocator::new(rack.global().clone()));
         let node = rack.node(0);
         // content id -> (frame, model refcount)
         let mut model: HashMap<u8, (GAddr, u64)> = HashMap::new();
 
-        for (intern, content_id) in ops {
+        let ops = 1 + rng.gen_index(39);
+        for _ in 0..ops {
+            let intern = rng.gen_bool();
+            let content_id = rng.gen_index(4) as u8;
             if intern {
                 let frame = dedup.intern(&node, &vec![content_id; PAGE_SIZE]).unwrap();
                 let entry = model.entry(content_id).or_insert((frame, 0));
-                prop_assert_eq!(entry.0, frame, "same content, same frame");
+                assert_eq!(entry.0, frame, "same content, same frame");
                 entry.1 += 1;
             } else if let Some((frame, count)) = model.get_mut(&content_id) {
                 dedup.release(&node, *frame).unwrap();
@@ -289,16 +344,16 @@ proptest! {
                 }
             }
             for (frame, count) in model.values() {
-                prop_assert_eq!(dedup.refcount(*frame), *count);
+                assert_eq!(dedup.refcount(*frame), *count);
             }
         }
-        prop_assert_eq!(dedup.stats().unique_frames as usize, model.len());
-    }
+        assert_eq!(dedup.stats().unique_frames as usize, model.len());
+    });
+}
 
-    #[test]
-    fn versioned_cell_reads_see_complete_versions(
-        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..50), 1..12)
-    ) {
+#[test]
+fn versioned_cell_reads_see_complete_versions() {
+    check("versioned_cell_reads_see_complete_versions", |rng| {
         use flacdk::sync::rcu::VersionedCell;
         let rack = small_rack();
         let alloc = GlobalAllocator::new(rack.global().clone());
@@ -307,14 +362,18 @@ proptest! {
         let cell = VersionedCell::alloc(rack.global()).unwrap();
         let (writer, reader) = (rack.node(0), rack.node(1));
 
-        for content in &writes {
-            cell.write(&writer, &alloc, &epochs, &retired, content).unwrap();
+        let writes = 1 + rng.gen_index(11);
+        for _ in 0..writes {
+            let len = 1 + rng.gen_index(49);
+            let content = rng.gen_bytes(len);
+            cell.write(&writer, &alloc, &epochs, &retired, &content)
+                .unwrap();
             // Reader on the other node always sees the exact latest bytes.
             let guard = epochs.handle(reader.clone()).read_lock().unwrap();
             let observed = cell.read(&reader, &guard).unwrap();
-            prop_assert_eq!(observed.as_deref(), Some(&content[..]));
+            assert_eq!(observed.as_deref(), Some(&content[..]));
             drop(guard);
             retired.reclaim(&writer, &epochs, &alloc).unwrap();
         }
-    }
+    });
 }
