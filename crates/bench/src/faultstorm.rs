@@ -1,0 +1,561 @@
+//! The `flac-faultstorm` campaign harness: seeded rack-wide fault
+//! storms driven against a fully booted FlacOS stack, with
+//! cross-subsystem invariant checking.
+//!
+//! Each campaign boots a 4-node [`FlacRack`], spreads real work across
+//! the subsystems (journaled file writes, message-fabric RPCs with
+//! retry, fault-boxed applications, dirty cache lines awaiting
+//! writeback), and lets a [`StormCampaign`] crash nodes, sever links,
+//! and poison memory underneath it. The reaction layer exercises the
+//! recovery paths this PR hardens — RPC retry-with-backoff, fault-box
+//! re-election, journal replay on restart — and after the storm heals,
+//! [`run_campaign`] checks the invariants the paper's reliability story
+//! rests on:
+//!
+//! 1. **No lost committed writes** — every file write acknowledged to
+//!    the workload is readable with its exact content, and every dirty
+//!    scratch line that was explicitly written back survives in global
+//!    memory.
+//! 2. **No double-delivery** — the RPC server executed every
+//!    acknowledged call exactly once (duplicate suppression absorbs
+//!    retries; executions never exceed issued call ids).
+//! 3. **Liveness after recovery** — once healed, every node can write
+//!    and read the shared file system, the RPC path answers, and every
+//!    fault-boxed application's state is intact on its (possibly
+//!    re-elected) home.
+//!
+//! Everything derives from the campaign seed, so the storm's event log
+//! is byte-identical across runs — the replay property asserted in this
+//! module's tests and checked by `flac-faultstorm --verify`.
+
+use flacdk::reliability::checkpoint::CheckpointManager;
+use flacos::FlacRack;
+use flacos_fault::fault_box::FaultBoxBuilder;
+use flacos_fault::recovery::RecoveryOrchestrator;
+use flacos_fault::redundancy::{Protection, RedundancyPolicy};
+use flacos_fs::memfs::MemFs;
+use flacos_ipc::{MsgRpcClient, MsgRpcServer, RetryPolicy};
+use rack_sim::storm::{StormCampaign, StormConfig, StormCounts, StormOp};
+use rack_sim::{GAddr, NodeId, RackConfig};
+
+/// Nodes in every campaign rack.
+const NODES: usize = 4;
+/// The node hosting the message-fabric RPC server.
+const SERVER_NODE: usize = 1;
+/// RPC request port / base reply port.
+const RPC_PORT: u16 = 40;
+const REPLY_PORT_BASE: u16 = 50;
+/// Scrub-region geometry (the storm's poison target).
+const SCRUB_WORDS: usize = 64;
+/// Known-good pattern word `i` of the scrub region holds.
+const SCRUB_PATTERN: u64 = 0xC0DE_F1AC_0000_0000;
+/// Fault-boxed applications and their initial homes.
+const APP_HOMES: [usize; 2] = [2, 3];
+
+/// Outcome of one campaign: per-subsystem survival counters, the
+/// deterministic event log, and any invariant violations.
+#[derive(Debug, Clone)]
+pub struct SurvivalReport {
+    /// The seed the campaign ran from.
+    pub seed: u64,
+    /// Per-class storm operation counts.
+    pub counts: StormCounts,
+    /// Total executed steps (heal steps included).
+    pub events: usize,
+    /// File writes acknowledged (journaled + page cache) / attempts that
+    /// degraded gracefully.
+    pub fs_commits: u64,
+    /// File-system operations that failed under faults (not violations:
+    /// they were never acknowledged).
+    pub fs_degraded: u64,
+    /// Journal replays performed on node restart.
+    pub fs_replays: u64,
+    /// Journal entries replayed across all restarts.
+    pub fs_entries_replayed: u64,
+    /// RPC calls acknowledged to the client.
+    pub rpc_acked: u64,
+    /// RPC calls abandoned after retry exhaustion or a down server.
+    pub rpc_degraded: u64,
+    /// Distinct calls the server handler actually executed.
+    pub rpc_executed: u64,
+    /// Retried requests answered from the server's reply cache.
+    pub rpc_dup_suppressed: u64,
+    /// Call ids issued by clients.
+    pub rpc_issued: u64,
+    /// Dirty scratch lines explicitly written back (committed).
+    pub scratch_flushed: u64,
+    /// Dirty scratch lines lost to a crash before writeback (expected
+    /// crash semantics, not violations).
+    pub scratch_lost: u64,
+    /// Poisoned words scrubbed and repaired.
+    pub scrubs: u64,
+    /// Fault boxes re-elected onto a surviving node.
+    pub reelections: u64,
+    /// Invariant violations (empty on a surviving campaign).
+    pub violations: Vec<String>,
+    /// The byte-identical replay artifact.
+    pub log_text: String,
+    /// The merged rack metrics after the campaign.
+    pub metrics: rack_sim::RackReport,
+}
+
+impl SurvivalReport {
+    /// Whether every invariant held.
+    pub fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One summary row for the survival table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:#018x} | {:>5} | {:>2}/{:<2} | {:>4}/{:<4} | {:>4}/{:<4} | {:>3} | {:>3} | {:>3} | {}",
+            self.seed,
+            self.events,
+            self.counts.crashes,
+            self.counts.restarts,
+            self.fs_commits,
+            self.fs_degraded,
+            self.rpc_acked,
+            self.rpc_degraded,
+            self.fs_replays,
+            self.reelections,
+            self.scrubs,
+            if self.survived() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+
+    /// Header matching [`SurvivalReport::row`].
+    pub fn header() -> &'static str {
+        "seed               | steps | cr/rs | fs ok/deg | rpc ok/deg | rpl | re# | scr | verdict"
+    }
+}
+
+/// The storm shape used by every campaign (poison region filled in per
+/// rack at run time).
+fn storm_config(steps: u32, poison_region: (GAddr, usize)) -> StormConfig {
+    StormConfig {
+        steps,
+        min_live_nodes: 2,
+        poison_region: Some(poison_region),
+        ..StormConfig::default()
+    }
+}
+
+/// Run one seeded campaign end to end and check every invariant.
+///
+/// Fully deterministic: the same `(seed, steps)` produces a
+/// byte-identical [`SurvivalReport::log_text`].
+///
+/// # Panics
+///
+/// Panics if the rack cannot boot (global memory exhausted) — a harness
+/// bug, not a campaign outcome.
+#[allow(clippy::too_many_lines)]
+pub fn run_campaign(seed: u64, steps: u32) -> SurvivalReport {
+    let flac = FlacRack::boot(RackConfig::n_node(NODES).with_seed(seed ^ 0xF1AC)).expect("boot");
+    let rack = flac.sim().clone();
+    let n = rack.node_count();
+
+    // --- File system: one mount per node, a shared campaign directory.
+    let mut fs: Vec<MemFs> = (0..n)
+        .map(|i| MemFs::mount(flac.fs_shared().clone(), rack.node(i)))
+        .collect();
+    fs[0].mkdir("/storm").expect("mkdir /storm");
+
+    // --- RPC: a server on SERVER_NODE, one persistent client per node
+    // (persistent so call ids never repeat within a campaign).
+    let mut server = MsgRpcServer::new(rack.node(SERVER_NODE), RPC_PORT);
+    let mut clients: Vec<MsgRpcClient> = (0..n)
+        .map(|i| {
+            MsgRpcClient::new(
+                rack.node(i),
+                NodeId(SERVER_NODE),
+                RPC_PORT,
+                REPLY_PORT_BASE + i as u16,
+            )
+        })
+        .collect();
+    let policy = RetryPolicy::default();
+
+    // --- Fault-boxed applications with checkpoint protection.
+    let mut orch = RecoveryOrchestrator::new();
+    for (app_id, &home) in APP_HOMES.iter().enumerate() {
+        let home_ctx = rack.node(home);
+        let fbox = FaultBoxBuilder::new(app_id as u64)
+            .stack_pages(1)
+            .heap_pages(2)
+            .build(
+                &home_ctx,
+                rack.global(),
+                flac.alloc().clone(),
+                flac.frames(),
+                flac.epochs().clone(),
+            )
+            .expect("fault box");
+        fbox.space()
+            .write(
+                &home_ctx,
+                fbox.heap_va(0),
+                format!("app-{app_id}").as_bytes(),
+            )
+            .expect("seed app state");
+        let protection = Protection::new(
+            RedundancyPolicy::PeriodicCheckpoint { period_ns: 1 },
+            CheckpointManager::new(flac.alloc().clone(), flac.epochs().clone()),
+        );
+        orch.register(&home_ctx, fbox, protection)
+            .expect("register");
+    }
+
+    // --- Scrub region: the storm's poison target, filled with a known
+    // pattern the reaction layer repairs word by word.
+    let scrub_base = rack
+        .global()
+        .alloc(SCRUB_WORDS * 8, 64)
+        .expect("scrub region");
+    let expected_word = |addr: GAddr| SCRUB_PATTERN ^ ((addr.0 - scrub_base.0) / 8);
+    for w in 0..SCRUB_WORDS as u64 {
+        let addr = GAddr(scrub_base.0 + w * 8);
+        rack.node(0)
+            .store_uncached_u64(addr, expected_word(addr))
+            .expect("fill scrub region");
+    }
+
+    // --- Scratch slots for delayed writebacks: one fresh cache line per
+    // dirty write, so a lost (crashed-away) line can never alias a
+    // committed one.
+    let scratch_base = rack
+        .global()
+        .alloc(64 * steps as usize + 64, 64)
+        .expect("scratch region");
+    let mut next_slot = 0u64;
+
+    // --- Campaign state threaded through the reaction closure.
+    let mut live = vec![true; n];
+    let mut committed: Vec<(String, String)> = Vec::new();
+    let mut next_file = 0u64;
+    let mut pending: Vec<(usize, GAddr, u64)> = Vec::new(); // dirty, unflushed
+    let mut flushed: Vec<(GAddr, u64)> = Vec::new(); // written back: must survive
+    let mut fs_commits = 0u64;
+    let mut fs_degraded = 0u64;
+    let mut fs_replays = 0u64;
+    let mut fs_entries_replayed = 0u64;
+    let mut rpc_acked = 0u64;
+    let mut rpc_degraded = 0u64;
+    let mut rpc_issued = 0u64;
+    let mut scratch_lost = 0u64;
+    let mut scrubs = 0u64;
+    let mut reelections = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let campaign = StormCampaign::new(seed, storm_config(steps, (scrub_base, SCRUB_WORDS * 8)));
+    let report = campaign.run(&rack, |step, op, rack| {
+        let lowest_live =
+            |live: &[bool]| live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+        match *op {
+            StormOp::Workload => {
+                // Flush the oldest pending dirty line whose node is live.
+                let mut note = String::new();
+                if let Some(i) = pending.iter().position(|&(node, _, _)| live[node]) {
+                    let (node, addr, value) = pending.remove(i);
+                    rack.node(node).writeback(addr, 8);
+                    flushed.push((addr, value));
+                    note = format!(", flushed {addr}");
+                }
+                // A committed file write from the round-robin writer.
+                let writer = (step as usize..step as usize + n)
+                    .map(|k| k % n)
+                    .find(|&k| live[k])
+                    .expect("min_live_nodes >= 2");
+                let path = format!("/storm/f{next_file:04}");
+                let content = format!("s{seed:016x}-{step:04}");
+                match fs[writer].write_file(&path, content.as_bytes()) {
+                    Ok(_) => {
+                        committed.push((path.clone(), content));
+                        next_file += 1;
+                        fs_commits += 1;
+                    }
+                    Err(e) => {
+                        fs_degraded += 1;
+                        return format!("fs write degraded on n{writer}: {e}{note}");
+                    }
+                }
+                // An RPC from the first live non-server node.
+                let caller = (0..n).find(|&k| live[k] && k != SERVER_NODE);
+                if !live[SERVER_NODE] {
+                    rpc_degraded += 1;
+                    return format!("wrote {path} on n{writer}; rpc skipped (server down){note}");
+                }
+                let Some(caller) = caller else {
+                    rpc_degraded += 1;
+                    return format!("wrote {path} on n{writer}; rpc skipped (no caller){note}");
+                };
+                rpc_issued += 1;
+                let args = format!("step-{step:04}");
+                let server = &mut server;
+                let out = clients[caller].call_with_retry(args.as_bytes(), &policy, &mut |_| {
+                    let mut handler = |req: &[u8]| {
+                        let mut r = b"ack:".to_vec();
+                        r.extend_from_slice(req);
+                        r
+                    };
+                    server.drain(&mut handler).map(|_| ())
+                });
+                match out {
+                    Ok(reply) => {
+                        if reply == format!("ack:{args}").into_bytes() {
+                            rpc_acked += 1;
+                            format!("wrote {path} on n{writer}; rpc acked from n{caller}{note}")
+                        } else {
+                            violations.push(format!(
+                                "step {step}: rpc reply mismatch for {args}"
+                            ));
+                            format!("rpc reply MISMATCH on step {step}")
+                        }
+                    }
+                    Err(e) => {
+                        rpc_degraded += 1;
+                        format!("wrote {path} on n{writer}; rpc degraded from n{caller}: {e}{note}")
+                    }
+                }
+            }
+            StormOp::DelayedWriteback { node } => {
+                let node_idx = node.0;
+                if !live[node_idx] {
+                    return format!("dirty write skipped: n{node_idx} down");
+                }
+                let addr = GAddr(scratch_base.0 + next_slot * 64);
+                next_slot += 1;
+                let value = seed ^ (u64::from(step) << 32) ^ addr.0;
+                match rack.node(node_idx).write_u64(addr, value) {
+                    Ok(()) => {
+                        pending.push((node_idx, addr, value));
+                        format!("dirty write on n{node_idx} @ {addr} (unflushed)")
+                    }
+                    Err(e) => format!("dirty write failed on n{node_idx}: {e}"),
+                }
+            }
+            StormOp::CrashNode { node } => {
+                let node_idx = node.0;
+                live[node_idx] = false;
+                // Dirty, un-written-back lines on the victim die with it.
+                let before = pending.len();
+                pending.retain(|&(owner, _, _)| owner != node_idx);
+                scratch_lost += (before - pending.len()) as u64;
+                // Re-elect every fault box homed there onto a survivor.
+                let rescuer = lowest_live(&live);
+                match orch.handle_node_crash(&rack.node(rescuer), node) {
+                    Ok(rehomed) => {
+                        reelections += rehomed.len() as u64;
+                        format!(
+                            "crash n{node_idx}: {} dirty lines lost, re-homed {rehomed:?} onto n{rescuer}",
+                            before - pending.len()
+                        )
+                    }
+                    Err(e) => {
+                        violations.push(format!("step {step}: re-election failed: {e}"));
+                        format!("crash n{node_idx}: re-election FAILED: {e}")
+                    }
+                }
+            }
+            StormOp::RestartNode { node } => {
+                let node_idx = node.0;
+                live[node_idx] = true;
+                // The restarted node's local replica is gone: rebuild the
+                // mount purely from the journal.
+                match fs[node_idx].recover() {
+                    Ok(replayed) => {
+                        fs_replays += 1;
+                        fs_entries_replayed += replayed;
+                        format!("restart n{node_idx}: journal replayed {replayed} entries")
+                    }
+                    Err(e) => {
+                        violations.push(format!("step {step}: journal replay failed: {e}"));
+                        format!("restart n{node_idx}: journal replay FAILED: {e}")
+                    }
+                }
+            }
+            StormOp::FailLink { from, to } => {
+                format!("link n{}->n{} severed; workload continues", from.0, to.0)
+            }
+            StormOp::RestoreLink { from, to } => {
+                format!("link n{}->n{} restored", from.0, to.0)
+            }
+            StormOp::PoisonWord { addr } => {
+                // Scrub and repair from the known-good pattern.
+                let fixer = lowest_live(&live);
+                let ctx = rack.node(fixer);
+                ctx.global().scrub(addr, 8);
+                match ctx.store_uncached_u64(addr, expected_word(addr)) {
+                    Ok(()) => {
+                        scrubs += 1;
+                        format!("poison @ {addr}: scrubbed and repaired by n{fixer}")
+                    }
+                    Err(e) => {
+                        violations.push(format!("step {step}: scrub failed at {addr}: {e}"));
+                        format!("poison @ {addr}: repair FAILED: {e}")
+                    }
+                }
+            }
+        }
+    });
+
+    // --- Post-heal: flush every remaining dirty line (all nodes live).
+    while let Some((node, addr, value)) = pending.pop() {
+        rack.node(node).writeback(addr, 8);
+        flushed.push((addr, value));
+    }
+
+    // --- Invariant 1: no lost committed writes.
+    for (path, content) in &committed {
+        match fs[0].read_file(path) {
+            Ok(data) if data == content.as_bytes() => {}
+            Ok(data) => violations.push(format!(
+                "committed {path} corrupted: want {:?}, got {:?}",
+                content,
+                String::from_utf8_lossy(&data)
+            )),
+            Err(e) => violations.push(format!("committed {path} unreadable: {e}")),
+        }
+    }
+    for &(addr, value) in &flushed {
+        match rack.node(0).load_uncached_u64(addr) {
+            Ok(got) if got == value => {}
+            Ok(got) => violations.push(format!(
+                "flushed scratch {addr} lost: want {value:#x}, got {got:#x}"
+            )),
+            Err(e) => violations.push(format!("flushed scratch {addr} unreadable: {e}")),
+        }
+    }
+    for w in 0..SCRUB_WORDS as u64 {
+        let addr = GAddr(scrub_base.0 + w * 8);
+        match rack.node(0).load_uncached_u64(addr) {
+            Ok(got) if got == expected_word(addr) => {}
+            Ok(got) => violations.push(format!(
+                "scrub word {addr} wrong: want {:#x}, got {got:#x}",
+                expected_word(addr)
+            )),
+            Err(e) => violations.push(format!("scrub word {addr} unreadable: {e}")),
+        }
+    }
+
+    // --- Invariant 2: no double-delivery.
+    if server.executed() < rpc_acked {
+        violations.push(format!(
+            "rpc executed {} < acked {} — an acked call was never executed",
+            server.executed(),
+            rpc_acked
+        ));
+    }
+    if server.executed() > rpc_issued {
+        violations.push(format!(
+            "rpc executed {} > issued {} — some call id executed twice",
+            server.executed(),
+            rpc_issued
+        ));
+    }
+
+    // --- Invariant 3: liveness after recovery.
+    for (i, mount) in fs.iter_mut().enumerate() {
+        if !rack.is_alive(NodeId(i)) {
+            violations.push(format!("node {i} still down after heal"));
+            continue;
+        }
+        let path = format!("/storm/liveness-n{i}");
+        match mount.write_file(&path, b"alive") {
+            Ok(_) => match mount.read_file(&path) {
+                Ok(data) if data == b"alive" => {}
+                _ => violations.push(format!("post-heal read failed on node {i}")),
+            },
+            Err(e) => violations.push(format!("post-heal write failed on node {i}: {e}")),
+        }
+    }
+    {
+        let caller = if SERVER_NODE == 0 { 1 } else { 0 };
+        let server = &mut server;
+        let out = clients[caller].call_with_retry(b"post-heal", &policy, &mut |_| {
+            let mut handler = |req: &[u8]| {
+                let mut r = b"ack:".to_vec();
+                r.extend_from_slice(req);
+                r
+            };
+            server.drain(&mut handler).map(|_| ())
+        });
+        match out {
+            Ok(reply) if reply == b"ack:post-heal" => rpc_issued += 1,
+            other => violations.push(format!("post-heal rpc failed: {other:?}")),
+        }
+    }
+    for (app_id, _) in APP_HOMES.iter().enumerate() {
+        let fbox = orch.fault_box(app_id as u64).expect("registered");
+        let home = rack.node(fbox.home().0);
+        let want = format!("app-{app_id}");
+        let mut buf = vec![0u8; want.len()];
+        match fbox.space().read(&home, fbox.heap_va(0), &mut buf) {
+            Ok(()) if buf == want.as_bytes() => {}
+            other => violations.push(format!(
+                "app {app_id} state lost on n{} after storm: {other:?}",
+                fbox.home().0
+            )),
+        }
+    }
+
+    SurvivalReport {
+        seed,
+        counts: report.counts,
+        events: report.events.len(),
+        fs_commits,
+        fs_degraded,
+        fs_replays,
+        fs_entries_replayed,
+        rpc_acked,
+        rpc_degraded,
+        rpc_executed: server.executed(),
+        rpc_dup_suppressed: server.dup_suppressed(),
+        rpc_issued,
+        scratch_flushed: flushed.len() as u64,
+        scratch_lost,
+        scrubs,
+        reelections,
+        violations,
+        log_text: report.log_text(),
+        metrics: rack.metrics_report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_survives() {
+        let r = run_campaign(0xF1AC_5708, 60);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.fs_commits > 0, "workload actually committed writes");
+        assert!(r.counts.crashes > 0, "storm actually crashed nodes");
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let a = run_campaign(42, 60);
+        let b = run_campaign(42, 60);
+        assert_eq!(a.log_text, b.log_text, "same seed, same bytes");
+        assert_ne!(
+            a.log_text,
+            run_campaign(43, 60).log_text,
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn acked_rpcs_execute_exactly_once() {
+        let r = run_campaign(0xD15EA5E, 80);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.rpc_executed >= r.rpc_acked);
+        assert!(r.rpc_executed <= r.rpc_issued);
+    }
+}

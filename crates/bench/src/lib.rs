@@ -21,6 +21,7 @@
 pub mod dedup_ab;
 pub mod fabric_ab;
 pub mod faultbox_ab;
+pub mod faultstorm;
 pub mod fig4;
 pub mod harness;
 pub mod ipc_ab;

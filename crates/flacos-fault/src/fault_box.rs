@@ -248,6 +248,29 @@ impl FaultBox {
         Ok(())
     }
 
+    /// Adopt the box onto `to` after its home node *crashed* — the
+    /// fault-box re-election path. Unlike [`FaultBox::migrate`], there is
+    /// no live source to flush: whatever the dead node had dirty in its
+    /// cache is lost (that is the crash), and the adopter invalidates its
+    /// own cached view of every box object so it reads current global
+    /// state instead of stale lines.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeDown`] if the adopting node is itself down.
+    pub fn adopt(&mut self, to: &NodeCtx) -> Result<(), SimError> {
+        if !to.is_alive() {
+            return Err(SimError::NodeDown { node: to.id() });
+        }
+        for (_, addr, len) in self.memory_objects() {
+            to.invalidate(addr, len);
+        }
+        to.charge(to.latency().global_read_ns);
+        to.stats().registry().add("fault_box", "adoptions", 1);
+        self.home = to.id();
+        Ok(())
+    }
+
     /// Heap virtual address of byte `offset`.
     pub fn heap_va(&self, offset: u64) -> VirtAddr {
         HEAP_BASE.offset(offset)
@@ -359,6 +382,37 @@ mod tests {
             Err(SimError::NodeDown { .. })
         ));
         assert_eq!(fbox.home(), NodeId(0), "home unchanged on failure");
+    }
+
+    #[test]
+    fn adoption_after_home_crash_reads_committed_state() {
+        let rack = rack();
+        let mut fbox = build_box(&rack, 1, 0);
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        fbox.space()
+            .write(&n0, fbox.heap_va(0), b"committed!")
+            .unwrap();
+        for (_, addr, len) in fbox.memory_objects() {
+            n0.writeback(addr, len);
+        }
+        rack.faults().crash_node(n0.id(), 0);
+        fbox.adopt(&n1).unwrap();
+        assert_eq!(fbox.home(), n1.id());
+        let mut buf = [0u8; 10];
+        fbox.space().read(&n1, fbox.heap_va(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"committed!");
+    }
+
+    #[test]
+    fn adoption_onto_dead_node_fails() {
+        let rack = rack();
+        let mut fbox = build_box(&rack, 1, 0);
+        rack.faults().crash_node(NodeId(1), 0);
+        assert!(matches!(
+            fbox.adopt(&rack.node(1)),
+            Err(SimError::NodeDown { .. })
+        ));
+        assert_eq!(fbox.home(), NodeId(0));
     }
 
     #[test]

@@ -171,6 +171,46 @@ impl RecoveryOrchestrator {
         })
     }
 
+    /// Graceful degradation after `crash_node`: every registered box
+    /// homed on `crashed` is **re-elected** onto `ctx`'s node
+    /// ([`FaultBox::adopt`]), rolled back to its last consistent capture
+    /// (the dead node's un-written-back lines are lost, so partial state
+    /// must not survive), then re-replicated on the new home and
+    /// re-baselined in the detector. Returns the re-homed app ids in
+    /// ascending order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeDown`] when the adopting node is itself down;
+    /// propagates restore/capture errors.
+    pub fn handle_node_crash(
+        &mut self,
+        ctx: &Arc<NodeCtx>,
+        crashed: rack_sim::NodeId,
+    ) -> Result<Vec<u64>, SimError> {
+        let mut victims: Vec<u64> = self
+            .boxes
+            .iter()
+            .filter(|(_, (fbox, _))| fbox.home() == crashed)
+            .map(|(app_id, _)| *app_id)
+            .collect();
+        victims.sort_unstable();
+        for app_id in &victims {
+            let (fbox, protection) = self.boxes.get_mut(app_id).expect("victim registered");
+            fbox.adopt(ctx)?;
+            protection.restore_all(ctx, fbox)?;
+            protection.force_capture(ctx, fbox)?; // re-replicate on the new home
+            for (obj_id, _, _) in fbox.memory_objects() {
+                self.detector
+                    .refresh(ctx, Self::region_id(*app_id, obj_id))?;
+            }
+        }
+        ctx.stats()
+            .registry()
+            .add("fault_box", "reelections", victims.len() as u64);
+        Ok(victims)
+    }
+
     /// Inject-and-measure helper for experiments: poison `len` bytes of
     /// `app_id`'s heap, then sweep.
     ///
@@ -295,6 +335,35 @@ mod tests {
         victims.sort_unstable();
         assert_eq!(victims, vec![1, 3]);
         assert_eq!(report.boxes_untouched, 3);
+    }
+
+    #[test]
+    fn node_crash_reelects_boxes_onto_survivor() {
+        let (rack, mut orch) = setup(3);
+        let n1 = rack.node(1);
+        rack.faults().crash_node(rack_sim::NodeId(0), 0);
+
+        let rehomed = orch.handle_node_crash(&n1, rack_sim::NodeId(0)).unwrap();
+        assert_eq!(rehomed, vec![0, 1, 2]);
+        for app in 0..3u64 {
+            let fbox = orch.fault_box(app).unwrap();
+            assert_eq!(fbox.home(), n1.id(), "re-elected onto the survivor");
+            let mut buf = [0u8; 5];
+            fbox.space().read(&n1, fbox.heap_va(0), &mut buf).unwrap();
+            assert_eq!(&buf[..], format!("app-{app}").as_bytes());
+        }
+        // The re-replicated population keeps operating on the new home.
+        let report = orch.sweep(&n1).unwrap();
+        assert_eq!(report.faults_detected, 0);
+    }
+
+    #[test]
+    fn crash_of_foreign_node_rehomes_nothing() {
+        let (rack, mut orch) = setup(2);
+        let n0 = rack.node(0);
+        let rehomed = orch.handle_node_crash(&n0, rack_sim::NodeId(1)).unwrap();
+        assert!(rehomed.is_empty(), "no boxes lived on node 1");
+        assert_eq!(orch.fault_box(0).unwrap().home(), n0.id());
     }
 
     #[test]

@@ -27,12 +27,14 @@
 
 pub mod channel;
 pub mod netstack;
+pub mod retry;
 pub mod rpc;
 pub mod shm_buf;
 pub mod socket_meta;
 
 pub use channel::{FlacChannel, FlacEndpoint};
 pub use netstack::{NetConfig, NetEndpoint, NetPair};
+pub use retry::{retry_with_backoff, MsgRpcClient, MsgRpcServer, RetryPolicy};
 pub use rpc::{RpcRegistry, RpcService};
 pub use shm_buf::ShmBufferPool;
 pub use socket_meta::SocketRegistry;

@@ -1,0 +1,445 @@
+//! Retry-with-backoff and timeout handling for cross-node operations.
+//!
+//! The fault-storm campaigns (rack-sim `storm`) sever links and crash
+//! nodes *mid-call*. The migration-based RPC path ([`crate::rpc`]) rides
+//! on shared memory and shrugs those off, but the message-fabric path
+//! does not: a request or reply in flight across a failed link is simply
+//! lost. This module adds the two mechanisms the paper's §3.5 relies on
+//! for graceful degradation:
+//!
+//! * [`RetryPolicy`] / [`retry_with_backoff`] — exponential backoff with
+//!   the wait charged to the caller's simulated clock, retrying only the
+//!   error classes injected faults produce (link down, node down,
+//!   timeout).
+//! * [`MsgRpcClient`] / [`MsgRpcServer`] — a message-based RPC with
+//!   simulated-time timeouts and server-side duplicate suppression: each
+//!   call carries a client-unique id, the server caches the reply per
+//!   id, and a retried request re-sends the cached reply **without
+//!   re-executing the handler**. That is the "no double-delivery"
+//!   invariant the `flac-faultstorm` harness checks.
+//!
+//! Because the simulator is cooperative (no background threads), the
+//! client's call path takes a `pump` closure that gives the caller a
+//! chance to run the server (and to inject/repair faults mid-call in
+//! tests) between the request send and the reply poll.
+
+use rack_sim::{NodeCtx, NodeId, SimError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Exponential-backoff retry policy; waits are simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff_ns: u64,
+    /// Backoff multiplier per further retry.
+    pub multiplier: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ns: 10_000,
+            multiplier: 2,
+            max_backoff_ns: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before attempt number `attempt` (1-based retries;
+    /// attempt 0 is the initial try and waits nothing).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let mut b = self.base_backoff_ns;
+        for _ in 1..attempt {
+            b = b.saturating_mul(self.multiplier);
+            if b >= self.max_backoff_ns {
+                return self.max_backoff_ns;
+            }
+        }
+        b.min(self.max_backoff_ns)
+    }
+
+    /// Whether an error is a transient fabric condition worth retrying,
+    /// as opposed to a programming error that will never succeed.
+    pub fn is_transient(err: &SimError) -> bool {
+        matches!(
+            err,
+            SimError::LinkDown { .. }
+                | SimError::NodeDown { .. }
+                | SimError::Timeout { .. }
+                | SimError::WouldBlock
+        )
+    }
+}
+
+/// Run `op` until it succeeds, a non-transient error occurs, or the
+/// policy's attempts are exhausted. Backoff between attempts is charged
+/// to `node`'s simulated clock and counted in the `ipc` registry.
+///
+/// # Errors
+///
+/// The last transient error when attempts are exhausted, or the first
+/// non-transient error.
+pub fn retry_with_backoff<T>(
+    node: &NodeCtx,
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, SimError>,
+) -> Result<T, SimError> {
+    let mut last = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            node.charge(policy.backoff_ns(attempt));
+            node.stats().registry().add("ipc", "retries", 1);
+        }
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if RetryPolicy::is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or(SimError::Timeout { waited_ns: 0 }))
+}
+
+const CALL_HEADER: usize = 10; // call id (8) + reply port (2)
+const REPLY_HEADER: usize = 8; // call id
+
+/// Server side of the message-fabric RPC: executes each distinct call id
+/// exactly once and re-sends cached replies for retried requests.
+#[derive(Debug)]
+pub struct MsgRpcServer {
+    node: Arc<NodeCtx>,
+    port: u16,
+    replies: HashMap<u64, Vec<u8>>,
+    executed: u64,
+    dup_suppressed: u64,
+    replies_lost: u64,
+}
+
+impl MsgRpcServer {
+    /// A server draining requests addressed to `port` on `node`.
+    pub fn new(node: Arc<NodeCtx>, port: u16) -> Self {
+        MsgRpcServer {
+            node,
+            port,
+            replies: HashMap::new(),
+            executed: 0,
+            dup_suppressed: 0,
+            replies_lost: 0,
+        }
+    }
+
+    /// How many distinct calls the handler actually executed.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// How many retried requests were answered from the reply cache.
+    pub fn dup_suppressed(&self) -> u64 {
+        self.dup_suppressed
+    }
+
+    /// How many replies were lost to a down link/node at send time (the
+    /// client's timeout+retry path recovers these).
+    pub fn replies_lost(&self) -> u64 {
+        self.replies_lost
+    }
+
+    /// Serve at most one pending request; `Ok(false)` when the queue is
+    /// empty. A reply that cannot be sent (link or peer down) is counted
+    /// as lost but the call stays cached, so the client's retry gets it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when this node is down or a request is malformed.
+    pub fn serve_once(
+        &mut self,
+        handler: &mut dyn FnMut(&[u8]) -> Vec<u8>,
+    ) -> Result<bool, SimError> {
+        let msg = match self.node.try_recv(self.port) {
+            Ok(m) => m,
+            Err(SimError::WouldBlock) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        if msg.payload.len() < CALL_HEADER {
+            return Err(SimError::Protocol("rpc request shorter than header".into()));
+        }
+        let call_id = u64::from_le_bytes(msg.payload[..8].try_into().expect("sized"));
+        let reply_port = u16::from_le_bytes(msg.payload[8..10].try_into().expect("sized"));
+        let body = if let Some(cached) = self.replies.get(&call_id) {
+            self.dup_suppressed += 1;
+            self.node.stats().registry().add("ipc", "rpc_dups", 1);
+            cached.clone()
+        } else {
+            let out = handler(&msg.payload[CALL_HEADER..]);
+            self.executed += 1;
+            self.node.stats().registry().add("ipc", "rpc_served", 1);
+            self.replies.insert(call_id, out.clone());
+            out
+        };
+        let mut reply = call_id.to_le_bytes().to_vec();
+        reply.extend_from_slice(&body);
+        match self.node.send(msg.from, reply_port, reply) {
+            Ok(_) => Ok(true),
+            Err(SimError::LinkDown { .. } | SimError::NodeDown { .. }) => {
+                self.replies_lost += 1;
+                self.node.stats().registry().add("ipc", "replies_lost", 1);
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serve every pending request; returns how many were served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MsgRpcServer::serve_once`] errors.
+    pub fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize, SimError> {
+        let mut served = 0;
+        while self.serve_once(handler)? {
+            served += 1;
+        }
+        Ok(served)
+    }
+}
+
+/// Client side of the message-fabric RPC: at-most-once execution with
+/// simulated-time timeouts and policy-driven retry.
+#[derive(Debug)]
+pub struct MsgRpcClient {
+    node: Arc<NodeCtx>,
+    server: NodeId,
+    port: u16,
+    reply_port: u16,
+    next_call_id: u64,
+    /// How long (simulated ns) one attempt waits for a reply.
+    pub timeout_ns: u64,
+    /// Clock charge per empty reply poll.
+    pub poll_ns: u64,
+}
+
+impl MsgRpcClient {
+    /// A client on `node` calling `server`'s RPC port, receiving replies
+    /// on `reply_port`. Call ids embed the client node id so ids from
+    /// different clients never collide at the server.
+    pub fn new(node: Arc<NodeCtx>, server: NodeId, port: u16, reply_port: u16) -> Self {
+        let node_tag = (node.id().0 as u64) << 48;
+        MsgRpcClient {
+            node,
+            server,
+            port,
+            reply_port,
+            next_call_id: node_tag,
+            timeout_ns: 50_000,
+            poll_ns: 1_000,
+        }
+    }
+
+    /// One call with retry: send the request, let `pump` run the server
+    /// (and any mid-call fault choreography), then poll for the reply
+    /// until `timeout_ns`. Transient failures back off per `policy` and
+    /// retry **with the same call id**, so the server's duplicate
+    /// suppression guarantees at-most-once execution.
+    ///
+    /// # Errors
+    ///
+    /// The last transient error when attempts are exhausted (typically
+    /// [`SimError::Timeout`]), or the first non-transient error.
+    pub fn call_with_retry(
+        &mut self,
+        args: &[u8],
+        policy: &RetryPolicy,
+        pump: &mut dyn FnMut(u32) -> Result<(), SimError>,
+    ) -> Result<Vec<u8>, SimError> {
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        self.node.stats().registry().add("ipc", "rpc_calls", 1);
+        let mut last = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.node.charge(policy.backoff_ns(attempt));
+                self.node.stats().registry().add("ipc", "rpc_retries", 1);
+            }
+            match self.attempt(call_id, args, attempt, pump) {
+                Ok(v) => return Ok(v),
+                Err(e) if RetryPolicy::is_transient(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(SimError::Timeout { waited_ns: 0 }))
+    }
+
+    fn attempt(
+        &self,
+        call_id: u64,
+        args: &[u8],
+        attempt: u32,
+        pump: &mut dyn FnMut(u32) -> Result<(), SimError>,
+    ) -> Result<Vec<u8>, SimError> {
+        let mut req = call_id.to_le_bytes().to_vec();
+        req.extend_from_slice(&self.reply_port.to_le_bytes());
+        req.extend_from_slice(args);
+        self.node.send(self.server, self.port, req)?;
+        pump(attempt)?;
+        let mut waited = 0u64;
+        loop {
+            match self.node.try_recv(self.reply_port) {
+                Ok(msg) => {
+                    if msg.payload.len() < REPLY_HEADER {
+                        return Err(SimError::Protocol("rpc reply shorter than header".into()));
+                    }
+                    let id = u64::from_le_bytes(msg.payload[..8].try_into().expect("sized"));
+                    if id != call_id {
+                        // A late reply from an earlier call: drop and keep
+                        // polling for ours.
+                        continue;
+                    }
+                    return Ok(msg.payload[REPLY_HEADER..].to_vec());
+                }
+                Err(SimError::WouldBlock) => {
+                    if waited >= self.timeout_ns {
+                        self.node.stats().registry().add("ipc", "rpc_timeouts", 1);
+                        return Err(SimError::Timeout { waited_ns: waited });
+                    }
+                    self.node.charge(self.poll_ns);
+                    waited += self.poll_ns;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    fn rack() -> Rack {
+        Rack::new(RackConfig::small_test())
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ns(0), 0);
+        assert_eq!(p.backoff_ns(1), 10_000);
+        assert_eq!(p.backoff_ns(2), 20_000);
+        assert_eq!(p.backoff_ns(3), 40_000);
+        assert_eq!(p.backoff_ns(60), p.max_backoff_ns, "capped, no overflow");
+    }
+
+    #[test]
+    fn retry_helper_retries_transient_and_charges_backoff() {
+        let rack = rack();
+        let n0 = rack.node(0);
+        let before = n0.clock().now();
+        let mut failures = 2;
+        let out = retry_with_backoff(&n0, &RetryPolicy::default(), |_| {
+            if failures > 0 {
+                failures -= 1;
+                Err(SimError::LinkDown {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                })
+            } else {
+                Ok(99)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 99);
+        assert_eq!(
+            n0.clock().now() - before,
+            10_000 + 20_000,
+            "backoff charged"
+        );
+    }
+
+    #[test]
+    fn retry_helper_gives_up_on_non_transient() {
+        let rack = rack();
+        let n0 = rack.node(0);
+        let mut calls = 0;
+        let err = retry_with_backoff::<()>(&n0, &RetryPolicy::default(), |_| {
+            calls += 1;
+            Err(SimError::Protocol("bad".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)));
+        assert_eq!(calls, 1, "non-transient errors are not retried");
+    }
+
+    #[test]
+    fn rpc_round_trip_executes_once() {
+        let rack = rack();
+        let mut server = MsgRpcServer::new(rack.node(1), 7);
+        let mut client = MsgRpcClient::new(rack.node(0), NodeId(1), 7, 8);
+        let out = client
+            .call_with_retry(b"ping", &RetryPolicy::default(), &mut |_| {
+                let mut echo = |req: &[u8]| {
+                    let mut r = b"pong:".to_vec();
+                    r.extend_from_slice(req);
+                    r
+                };
+                server.serve_once(&mut echo).map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(out, b"pong:ping");
+        assert_eq!(server.executed(), 1);
+        assert_eq!(server.dup_suppressed(), 0);
+    }
+
+    #[test]
+    fn lost_reply_times_out_then_retry_is_dup_suppressed() {
+        // Forward link fine, reply link severed: the handler runs, the
+        // reply is lost, the client times out and retries with the same
+        // call id; the server answers from cache without re-executing.
+        let rack = rack();
+        let faults = rack.faults().clone();
+        let mut server = MsgRpcServer::new(rack.node(1), 7);
+        let mut client = MsgRpcClient::new(rack.node(0), NodeId(1), 7, 8);
+        faults.fail_link(NodeId(1), NodeId(0), 0);
+        let mut handler = |_req: &[u8]| b"done".to_vec();
+        let out = client
+            .call_with_retry(b"work", &RetryPolicy::default(), &mut |attempt| {
+                if attempt == 1 {
+                    faults.restore_link(NodeId(1), NodeId(0), 0);
+                }
+                server.serve_once(&mut handler).map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(out, b"done");
+        assert_eq!(server.executed(), 1, "handler ran exactly once");
+        assert_eq!(server.dup_suppressed(), 1, "retry answered from cache");
+        assert_eq!(server.replies_lost(), 1);
+    }
+
+    #[test]
+    fn attempts_exhausted_surfaces_timeout() {
+        let rack = rack();
+        let faults = rack.faults().clone();
+        let mut server = MsgRpcServer::new(rack.node(1), 7);
+        let mut client = MsgRpcClient::new(rack.node(0), NodeId(1), 7, 8);
+        faults.fail_link(NodeId(1), NodeId(0), 0); // never restored
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let mut handler = |_req: &[u8]| Vec::new();
+        let err = client
+            .call_with_retry(b"x", &policy, &mut |_| {
+                server.serve_once(&mut handler).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "got {err:?}");
+    }
+}

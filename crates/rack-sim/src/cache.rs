@@ -55,6 +55,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Line accesses that had to fetch from global memory.
     pub misses: u64,
+    /// Full-line write allocations that skipped the fill (neither a hit
+    /// nor a miss; `hits + misses + allocs` equals total line accesses).
+    pub allocs: u64,
     /// Dirty lines written back (explicitly or by eviction).
     pub writebacks: u64,
     /// Lines dropped by invalidation.
@@ -133,8 +136,15 @@ impl NodeCache {
                     None => break None,
                 }
             };
-            // Fallback (queue exhausted): evict an arbitrary resident line.
-            let victim = match victim.or_else(|| self.lines.keys().next().copied()) {
+            // Fallback (queue exhausted): evict the least-recently-used
+            // resident line, ties broken by line id. A `HashMap` iteration
+            // order pick here would break same-seed-same-result replay.
+            let victim = match victim.or_else(|| {
+                self.lines
+                    .iter()
+                    .min_by_key(|(id, l)| (l.lru_tick, **id))
+                    .map(|(id, _)| *id)
+            }) {
                 Some(v) => v,
                 None => break,
             };
@@ -205,6 +215,7 @@ impl NodeCache {
         if buf.is_empty() {
             return Ok(0);
         }
+        Self::check_span(global, addr, buf.len())?;
         let mut cost = 0u64;
         let mut pos = 0usize;
         let mut a = addr.0;
@@ -247,6 +258,7 @@ impl NodeCache {
         if buf.is_empty() {
             return Ok(0);
         }
+        Self::check_span(global, addr, buf.len())?;
         let mut cost = 0u64;
         let mut pos = 0usize;
         let mut a = addr.0;
@@ -261,6 +273,7 @@ impl NodeCache {
                 self.touch(line_id);
             } else if take == LINE_SIZE {
                 // Full-line write: allocate without fetching.
+                self.stats.allocs += 1;
                 self.tick += 1;
                 self.lines.insert(
                     line_id,
@@ -286,9 +299,27 @@ impl NodeCache {
         Ok(cost)
     }
 
+    /// Reject spans whose end overflows `u64` or exceeds the pool, before
+    /// any per-line work touches the cache. Addresses near `u64::MAX`
+    /// previously wrapped silently in release builds.
+    fn check_span(global: &GlobalMemory, addr: GAddr, len: usize) -> Result<(), SimError> {
+        let oob = SimError::OutOfBounds {
+            addr,
+            len,
+            capacity: global.capacity(),
+        };
+        let end = addr.0.checked_add(len as u64).ok_or(oob.clone())?;
+        if end > global.capacity() as u64 {
+            return Err(oob);
+        }
+        Ok(())
+    }
+
     fn line_range(addr: GAddr, len: usize) -> std::ops::RangeInclusive<u64> {
         let first = addr.0 / LINE_SIZE as u64;
-        let last = (addr.0 + len.max(1) as u64 - 1) / LINE_SIZE as u64;
+        // Saturate instead of wrapping for spans ending past `u64::MAX`:
+        // lines that high can never be resident, so clamping is lossless.
+        let last = addr.0.saturating_add(len.max(1) as u64 - 1) / LINE_SIZE as u64;
         first..=last
     }
 
@@ -509,5 +540,88 @@ mod tests {
             before,
             "aligned full-line write allocates without fill"
         );
+        assert_eq!(c0.stats().allocs, 1, "write-allocate counted as alloc");
+    }
+
+    #[test]
+    fn stats_identity_hits_misses_allocs() {
+        // hits + misses + allocs must equal total line accesses across a
+        // mixed workload: partial reads, partial writes, full-line writes.
+        let (g, mut c, _, lat) = setup();
+        let mut accesses = 0u64;
+        let count_lines = |addr: u64, len: usize| {
+            (addr + len as u64 - 1) / LINE_SIZE as u64 - addr / LINE_SIZE as u64 + 1
+        };
+        for (addr, len, write) in [
+            (0u64, 8usize, false),
+            (0, LINE_SIZE, true),
+            (64, 200, true),
+            (32, 96, false),
+            (128, LINE_SIZE, true),
+            (0, 256, false),
+        ] {
+            if write {
+                c.write(&g, &lat, GAddr(addr), &vec![1u8; len]).unwrap();
+            } else {
+                c.read(&g, &lat, GAddr(addr), &mut vec![0u8; len]).unwrap();
+            }
+            accesses += count_lines(addr, len);
+        }
+        let s = c.stats();
+        assert_eq!(
+            s.hits + s.misses + s.allocs,
+            accesses,
+            "line-access accounting identity"
+        );
+    }
+
+    #[test]
+    fn fallback_eviction_is_deterministic() {
+        // Drain the lazy LRU queue, then trigger evictions: the fallback
+        // path must pick the same victim (min lru_tick, ties by id) on
+        // every run regardless of HashMap iteration order.
+        let run = || {
+            let g = GlobalMemory::new(LINE_SIZE * 64);
+            let lat = LatencyModel::hccs();
+            let mut c = NodeCache::new(CacheConfig { max_lines: 8 });
+            for i in 0..8u64 {
+                c.write(&g, &lat, GAddr(i * LINE_SIZE as u64), &[7; LINE_SIZE])
+                    .unwrap();
+            }
+            c.lru_queue.clear(); // exhaust the queue: only the fallback remains
+            c.config.max_lines = 3;
+            c.enforce_capacity(&g, &lat);
+            let mut resident: Vec<u64> = c.lines.keys().copied().collect();
+            resident.sort_unstable();
+            resident
+        };
+        let first = run();
+        assert_eq!(
+            first,
+            vec![5, 6, 7],
+            "oldest lru_ticks evicted first under the fallback"
+        );
+        for _ in 0..8 {
+            assert_eq!(run(), first, "fallback eviction must be order-independent");
+        }
+    }
+
+    #[test]
+    fn near_max_addresses_error_instead_of_wrapping() {
+        let (g, mut c, _, lat) = setup();
+        let mut buf = [0u8; 16];
+        let top = GAddr(u64::MAX - 7);
+        assert!(matches!(
+            c.read(&g, &lat, top, &mut buf),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            c.write(&g, &lat, top, &buf),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        // Maintenance ops on absurd ranges are no-ops, not panics/wraps.
+        assert_eq!(c.writeback(&g, &lat, top, 16), 0);
+        assert_eq!(c.invalidate(&lat, top, 16), 0);
+        assert_eq!(c.stats(), CacheStats::default());
     }
 }

@@ -30,6 +30,9 @@ pub enum SimError {
     LinkDown { from: NodeId, to: NodeId },
     /// No message available (non-blocking receive on empty queue).
     WouldBlock,
+    /// An operation gave up after waiting `waited_ns` of simulated time
+    /// (e.g. an RPC whose reply never arrived across a severed link).
+    Timeout { waited_ns: u64 },
     /// A named invariant of a higher layer was violated.
     Protocol(String),
 }
@@ -67,6 +70,9 @@ impl fmt::Display for SimError {
                 write!(f, "interconnect link {from:?} -> {to:?} is down")
             }
             SimError::WouldBlock => write!(f, "operation would block"),
+            SimError::Timeout { waited_ns } => {
+                write!(f, "operation timed out after {waited_ns} simulated ns")
+            }
             SimError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
@@ -101,6 +107,7 @@ mod tests {
                 to: NodeId(1),
             },
             SimError::WouldBlock,
+            SimError::Timeout { waited_ns: 5_000 },
             SimError::Protocol("x".into()),
         ];
         for e in errs {

@@ -12,18 +12,39 @@ use crate::rng::SplitMix64;
 use crate::sync::{Mutex, RwLock};
 use crate::topology::NodeId;
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// The kind of an injected fault.
+/// The kind of an injected fault (or recovery action).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Uncorrectable memory error over a global address range.
     MemoryPoison { addr: GAddr, len: usize },
     /// A node stopped executing.
     NodeCrash { node: NodeId },
+    /// A crashed node came back (its cache is cold, its clock survives).
+    NodeRestart { node: NodeId },
     /// The link between two nodes went down.
     LinkFailure { from: NodeId, to: NodeId },
+    /// A severed link was repaired.
+    LinkRestore { from: NodeId, to: NodeId },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::MemoryPoison { addr, len } => write!(f, "poison {addr}+{len}"),
+            FaultKind::NodeCrash { node } => write!(f, "crash n{}", node.0),
+            FaultKind::NodeRestart { node } => write!(f, "restart n{}", node.0),
+            FaultKind::LinkFailure { from, to } => {
+                write!(f, "link-fail n{}->n{}", from.0, to.0)
+            }
+            FaultKind::LinkRestore { from, to } => {
+                write!(f, "link-restore n{}->n{}", from.0, to.0)
+            }
+        }
+    }
 }
 
 /// A recorded fault event, timestamped in simulated nanoseconds.
@@ -33,6 +54,12 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// Simulated time at which the fault was injected.
     pub at_ns: u64,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12} ns] {}", self.at_ns, self.kind)
+    }
 }
 
 /// Shared liveness flags consulted by node contexts and the interconnect.
@@ -134,9 +161,13 @@ impl FaultInjector {
         });
     }
 
-    /// Bring a crashed node back.
-    pub fn restart_node(&self, node: NodeId) {
+    /// Bring a crashed node back at simulated time `at_ns`.
+    pub fn restart_node(&self, node: NodeId, at_ns: u64) {
         self.liveness.set(node, true);
+        self.log.lock().push(FaultEvent {
+            kind: FaultKind::NodeRestart { node },
+            at_ns,
+        });
     }
 
     /// Sever the directed link `from -> to`.
@@ -148,9 +179,13 @@ impl FaultInjector {
         });
     }
 
-    /// Restore the directed link `from -> to`.
-    pub fn restore_link(&self, from: NodeId, to: NodeId) {
+    /// Restore the directed link `from -> to` at simulated time `at_ns`.
+    pub fn restore_link(&self, from: NodeId, to: NodeId, at_ns: u64) {
         self.down_links.write().remove(&(from, to));
+        self.log.lock().push(FaultEvent {
+            kind: FaultKind::LinkRestore { from, to },
+            at_ns,
+        });
     }
 
     /// Whether the directed link `from -> to` is currently down.
@@ -161,6 +196,12 @@ impl FaultInjector {
     /// All injected fault events, in injection order.
     pub fn events(&self) -> Vec<FaultEvent> {
         self.log.lock().clone()
+    }
+
+    /// The event log rendered one line per event — a stable text form for
+    /// byte-identical replay comparison (same seed ⇒ same lines).
+    pub fn log_lines(&self) -> Vec<String> {
+        self.log.lock().iter().map(|e| e.to_string()).collect()
     }
 }
 
@@ -175,9 +216,30 @@ mod tests {
         assert!(liveness.is_alive(NodeId(1)));
         inj.crash_node(NodeId(1), 100);
         assert!(!liveness.is_alive(NodeId(1)));
-        inj.restart_node(NodeId(1));
+        inj.restart_node(NodeId(1), 200);
         assert!(liveness.is_alive(NodeId(1)));
-        assert_eq!(inj.events().len(), 1);
+        // Both transitions land in the log, so a replayed schedule can be
+        // compared transition-for-transition.
+        assert_eq!(
+            inj.events(),
+            vec![
+                FaultEvent {
+                    kind: FaultKind::NodeCrash { node: NodeId(1) },
+                    at_ns: 100
+                },
+                FaultEvent {
+                    kind: FaultKind::NodeRestart { node: NodeId(1) },
+                    at_ns: 200
+                },
+            ]
+        );
+        assert_eq!(
+            inj.log_lines(),
+            vec![
+                "[         100 ns] crash n1".to_string(),
+                "[         200 ns] restart n1".to_string(),
+            ]
+        );
     }
 
     #[test]
@@ -193,8 +255,9 @@ mod tests {
         inj.fail_link(NodeId(0), NodeId(1), 5);
         assert!(inj.link_down(NodeId(0), NodeId(1)));
         assert!(!inj.link_down(NodeId(1), NodeId(0)));
-        inj.restore_link(NodeId(0), NodeId(1));
+        inj.restore_link(NodeId(0), NodeId(1), 9);
         assert!(!inj.link_down(NodeId(0), NodeId(1)));
+        assert_eq!(inj.events().len(), 2, "failure and restore both logged");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod node;
 pub mod rack;
 pub mod rng;
 pub mod stats;
+pub mod storm;
 pub mod sync;
 pub mod topology;
 
@@ -68,4 +69,5 @@ pub use node::NodeCtx;
 pub use rack::{Rack, RackConfig, RackReport};
 pub use rng::SplitMix64;
 pub use stats::{NodeStats, StatsSnapshot};
+pub use storm::{StormCampaign, StormConfig, StormCounts, StormEvent, StormOp, StormReport};
 pub use topology::{NodeId, RackTopology};

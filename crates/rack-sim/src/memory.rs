@@ -24,9 +24,37 @@ pub struct GAddr(pub u64);
 
 impl GAddr {
     /// Address `bytes` past this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows the 64-bit address space — in *both*
+    /// build profiles. The previous unchecked add wrapped silently in
+    /// release builds, turning a bad pointer into a valid-looking one.
+    /// Fallible callers should use [`GAddr::checked_offset`].
     #[must_use]
     pub fn offset(self, bytes: u64) -> GAddr {
-        GAddr(self.0 + bytes)
+        GAddr(
+            self.0
+                .checked_add(bytes)
+                .expect("GAddr::offset overflowed the u64 address space"),
+        )
+    }
+
+    /// Address `bytes` past this one, or [`SimError::OutOfBounds`] if the
+    /// result overflows the 64-bit address space.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfBounds`] on overflow.
+    pub fn checked_offset(self, bytes: u64) -> Result<GAddr, SimError> {
+        self.0
+            .checked_add(bytes)
+            .map(GAddr)
+            .ok_or(SimError::OutOfBounds {
+                addr: self,
+                len: usize::try_from(bytes).unwrap_or(usize::MAX),
+                capacity: 0,
+            })
     }
 
     /// Round up to the next multiple of `align` (which must be a power of two).
@@ -137,13 +165,16 @@ impl GlobalMemory {
     }
 
     fn check_range(&self, addr: GAddr, len: usize) -> Result<(), SimError> {
-        let end = addr.0 as usize + len;
-        if end > self.capacity {
-            return Err(SimError::OutOfBounds {
-                addr,
-                len,
-                capacity: self.capacity,
-            });
+        let oob = SimError::OutOfBounds {
+            addr,
+            len,
+            capacity: self.capacity,
+        };
+        // Checked in u64 space: `addr.0 as usize + len` wrapped for
+        // addresses near the top of the address space.
+        let end = addr.0.checked_add(len as u64).ok_or(oob.clone())?;
+        if end > self.capacity as u64 {
+            return Err(oob);
         }
         Ok(())
     }
@@ -572,5 +603,45 @@ mod tests {
         assert_eq!(GAddr(8).align_up(8), GAddr(8));
         assert_eq!(GAddr(10).offset(6), GAddr(16));
         assert_eq!(GAddr(64).to_string(), "g:0x40");
+    }
+
+    #[test]
+    fn checked_offset_surfaces_overflow() {
+        assert_eq!(GAddr(10).checked_offset(6).unwrap(), GAddr(16));
+        assert_eq!(GAddr(u64::MAX).checked_offset(0).unwrap(), GAddr(u64::MAX));
+        assert!(matches!(
+            GAddr(u64::MAX).checked_offset(1),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            GAddr(u64::MAX - 3).checked_offset(8),
+            Err(SimError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn unchecked_offset_panics_on_overflow() {
+        let _ = GAddr(u64::MAX).offset(1);
+    }
+
+    #[test]
+    fn range_checks_near_u64_max_do_not_wrap() {
+        let m = GlobalMemory::new(64);
+        // These ends wrap past u64::MAX; a wrapping add would make them
+        // look in-bounds.
+        assert!(matches!(
+            m.load_u64(GAddr(u64::MAX - 7)),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            m.read_bytes(GAddr(u64::MAX - 8), &mut buf),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.write_bytes(GAddr(u64::MAX - 8), &buf),
+            Err(SimError::OutOfBounds { .. })
+        ));
     }
 }

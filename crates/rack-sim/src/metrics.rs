@@ -262,11 +262,7 @@ impl HistogramSnapshot {
 
     /// Mean cost in simulated nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 
     /// Approximate percentile (`p` in `[0, 100]`): the upper bound of the

@@ -507,7 +507,7 @@ mod tests {
             n0.fetch_add_u64(a, 1),
             Err(SimError::NodeDown { .. })
         ));
-        rack.faults().restart_node(n0.id());
+        rack.faults().restart_node(n0.id(), 0);
         assert!(n0.read_u64(a).is_ok());
     }
 

@@ -273,9 +273,10 @@ impl fmt::Display for RackReport {
         )?;
         writeln!(
             f,
-            "  cache: {} hits, {} misses, {} writebacks, {} invalidations, {} evictions",
+            "  cache: {} hits, {} misses, {} allocs, {} writebacks, {} invalidations, {} evictions",
             m.cache_hits,
             m.cache_misses,
+            m.cache_allocs,
             m.cache_writebacks,
             m.cache_invalidations,
             m.cache_evictions,

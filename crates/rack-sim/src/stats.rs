@@ -50,6 +50,7 @@ struct Counters {
 struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    allocs: AtomicU64,
     writebacks: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
@@ -77,6 +78,8 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Cache line accesses that fetched from global memory.
     pub cache_misses: u64,
+    /// Full-line write allocations that skipped the fill.
+    pub cache_allocs: u64,
     /// Dirty lines written back (explicitly or by eviction).
     pub cache_writebacks: u64,
     /// Lines dropped by invalidation.
@@ -101,6 +104,7 @@ impl Default for StatsSnapshot {
             message_bytes: 0,
             cache_hits: 0,
             cache_misses: 0,
+            cache_allocs: 0,
             cache_writebacks: 0,
             cache_invalidations: 0,
             cache_evictions: 0,
@@ -133,6 +137,7 @@ impl StatsSnapshot {
         self.message_bytes += other.message_bytes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_allocs += other.cache_allocs;
         self.cache_writebacks += other.cache_writebacks;
         self.cache_invalidations += other.cache_invalidations;
         self.cache_evictions += other.cache_evictions;
@@ -233,6 +238,10 @@ impl NodeStats {
             .store(stats.misses, Ordering::Relaxed);
         self.inner
             .cache
+            .allocs
+            .store(stats.allocs, Ordering::Relaxed);
+        self.inner
+            .cache
             .writebacks
             .store(stats.writebacks, Ordering::Relaxed);
         self.inner
@@ -292,6 +301,7 @@ impl NodeStats {
             message_bytes: c.message_bytes.load(Ordering::Relaxed),
             cache_hits: k.hits.load(Ordering::Relaxed),
             cache_misses: k.misses.load(Ordering::Relaxed),
+            cache_allocs: k.allocs.load(Ordering::Relaxed),
             cache_writebacks: k.writebacks.load(Ordering::Relaxed),
             cache_invalidations: k.invalidations.load(Ordering::Relaxed),
             cache_evictions: k.evictions.load(Ordering::Relaxed),

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== fmt =="
 cargo fmt --all -- --check
 
+echo "== clippy (offline, warnings are errors) =="
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -16,5 +19,8 @@ cargo test -q --offline --workspace
 
 echo "== bench targets compile (offline, feature-gated) =="
 cargo build --offline -p bench --benches --features criterion
+
+echo "== fault-storm smoke campaign (fixed seeds, replay-verified) =="
+cargo run --release --offline -p bench --bin flac-faultstorm -- --seeds 2 --steps 60 --verify
 
 echo "verify: OK"

@@ -23,7 +23,7 @@ fn node_crash_fails_operations_until_restart() {
     );
     assert!(os1.heartbeat().is_err());
 
-    rack.sim().faults().restart_node(os1.id());
+    rack.sim().faults().restart_node(os1.id(), 0);
     assert_eq!(
         os1.fs_mut().read_file("/x").unwrap(),
         b"1",
@@ -64,7 +64,7 @@ fn link_failure_breaks_messaging_but_not_shared_memory() {
     // model) still works: the ring-based channel keeps flowing.
     a.send(b"still works").unwrap();
 
-    rack.sim().faults().restore_link(n0.id(), n1.id());
+    rack.sim().faults().restore_link(n0.id(), n1.id(), 0);
     assert!(n0.send(n1.id(), 42, vec![1]).is_ok());
 }
 
@@ -153,6 +153,94 @@ fn netstack_fails_cleanly_when_peer_dies() {
     );
     rack.sim().faults().crash_node(NodeId(1), 0);
     assert!(matches!(a.send(b"hello?"), Err(SimError::NodeDown { .. })));
+}
+
+#[test]
+fn crash_during_writeback_loses_only_uncommitted_lines() {
+    // A node dies between two cached writes: one was written back
+    // (committed to global memory), the other was still dirty in its
+    // private cache. The crash must not be able to commit the dirty
+    // line, and recovery must see exactly the committed prefix.
+    let rack = booted();
+    let n0 = rack.sim().node(0);
+    let n1 = rack.sim().node(1);
+    let committed = rack.sim().global().alloc(64, 64).unwrap();
+    let dirty = rack.sim().global().alloc(64, 64).unwrap();
+    n1.store_uncached_u64(committed, 0xAAAA).unwrap();
+    n1.store_uncached_u64(dirty, 0xBBBB).unwrap();
+
+    // Victim: write both through the cache, but only write back one.
+    n0.write_u64(committed, 0x1111).unwrap();
+    n0.writeback(committed, 8);
+    n0.write_u64(dirty, 0x2222).unwrap();
+    rack.sim().faults().crash_node(n0.id(), 100);
+
+    // The survivor sees the committed value and the dirty line's old
+    // content — the crash cannot have committed what was never flushed.
+    assert_eq!(n1.load_uncached_u64(committed).unwrap(), 0x1111);
+    assert_eq!(n1.load_uncached_u64(dirty).unwrap(), 0xBBBB);
+
+    // Restart = cold boot: the node invalidates its cache before
+    // resuming, so its own dirty line is gone too.
+    rack.sim().faults().restart_node(n0.id(), 200);
+    n0.invalidate(committed, 8);
+    n0.invalidate(dirty, 8);
+    let mut buf = [0u8; 8];
+    n0.read(dirty, &mut buf).unwrap();
+    assert_eq!(
+        u64::from_le_bytes(buf),
+        0xBBBB,
+        "uncommitted write did not survive the crash"
+    );
+    n0.read(committed, &mut buf).unwrap();
+    assert_eq!(u64::from_le_bytes(buf), 0x1111);
+}
+
+#[test]
+fn rpc_times_out_backs_off_and_succeeds_after_link_restore() {
+    // Acceptance: an in-flight RPC across a failed link observably
+    // times out, retries with backoff, and succeeds once the link is
+    // restored — executing the handler exactly once.
+    use flacos_ipc::{MsgRpcClient, MsgRpcServer, RetryPolicy};
+
+    let rack = booted();
+    let faults = rack.sim().faults().clone();
+    let n0 = rack.sim().node(0);
+    let mut server = MsgRpcServer::new(rack.sim().node(1), 7);
+    let mut client = MsgRpcClient::new(n0.clone(), NodeId(1), 7, 8);
+    let policy = RetryPolicy::default();
+
+    // Sever the reply path mid-call: the request arrives, the handler
+    // runs, the reply is lost.
+    faults.fail_link(NodeId(1), NodeId(0), 0);
+    let before_ns = n0.clock().now();
+    let mut handler = |req: &[u8]| {
+        let mut r = b"echo:".to_vec();
+        r.extend_from_slice(req);
+        r
+    };
+    let out = client
+        .call_with_retry(b"payload", &policy, &mut |attempt| {
+            if attempt == 1 {
+                faults.restore_link(NodeId(1), NodeId(0), 0);
+            }
+            server.serve_once(&mut handler).map(|_| ())
+        })
+        .unwrap();
+
+    assert_eq!(out, b"echo:payload");
+    assert_eq!(server.executed(), 1, "handler ran exactly once");
+    assert_eq!(server.dup_suppressed(), 1, "retry answered from cache");
+    assert_eq!(server.replies_lost(), 1, "first reply hit the dead link");
+    let elapsed = n0.clock().now() - before_ns;
+    assert!(
+        elapsed >= client.timeout_ns + policy.backoff_ns(1),
+        "observable timeout + backoff: waited {elapsed} ns"
+    );
+    // Both fault events made the injector's deterministic log.
+    let log = rack.sim().faults().log_lines();
+    assert!(log.iter().any(|l| l.contains("link-fail n1->n0")));
+    assert!(log.iter().any(|l| l.contains("link-restore n1->n0")));
 }
 
 #[test]
