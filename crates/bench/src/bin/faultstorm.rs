@@ -2,7 +2,7 @@
 //! check cross-subsystem invariants.
 //!
 //! ```text
-//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify]
+//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering]
 //! ```
 //!
 //! * `--seeds N`  — campaigns to run, seeds `X, X+1, …, X+N-1` (default 8)
@@ -10,18 +10,23 @@
 //! * `--seed X`   — base seed (default 0xF1AC_5708)
 //! * `--verify`   — re-run every campaign and assert its event log is
 //!   byte-identical (the determinism guarantee)
+//! * `--tiering`  — run the page-tiering campaign instead (staged
+//!   migrations under crashes; old copy stays authoritative)
 //!
 //! Exits nonzero if any invariant is violated or a replay diverges. To
 //! reproduce a failing campaign, re-run with `--seeds 1 --seed <seed>`
 //! using the seed printed in its survival row.
 
-use bench::faultstorm::{run_campaign, SurvivalReport};
+use bench::faultstorm::{
+    run_campaign, run_tiering_campaign, SurvivalReport, TieringSurvivalReport,
+};
 
-fn parse_args() -> Result<(u64, u64, u32, bool), String> {
+fn parse_args() -> Result<(u64, u64, u32, bool, bool), String> {
     let mut seeds = 8u64;
     let mut steps = 120u32;
     let mut base_seed = 0xF1AC_5708u64;
     let mut verify = false;
+    let mut tiering = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -56,24 +61,62 @@ fn parse_args() -> Result<(u64, u64, u32, bool), String> {
                 verify = true;
                 i += 1;
             }
+            "--tiering" => {
+                tiering = true;
+                i += 1;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok((seeds, base_seed, steps, verify))
+    Ok((seeds, base_seed, steps, verify, tiering))
+}
+
+fn run_tiering(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
+    println!("{}", TieringSurvivalReport::header());
+    let mut failures = 0u64;
+    let mut last: Option<TieringSurvivalReport> = None;
+    for k in 0..seeds {
+        let seed = base_seed + k;
+        let report = run_tiering_campaign(seed, steps);
+        println!("{}", report.row());
+        for v in &report.violations {
+            println!("    violation: {v}");
+            failures += 1;
+        }
+        if verify {
+            let replay = run_tiering_campaign(seed, steps);
+            if replay.log_text != report.log_text {
+                println!("    violation: replay of seed {seed:#x} DIVERGED");
+                failures += 1;
+            }
+        }
+        last = Some(report);
+    }
+    if let Some(report) = last {
+        println!(
+            "\nrack metrics of the last campaign (seed {:#018x}):",
+            report.seed
+        );
+        println!("{}", report.metrics);
+    }
+    failures
 }
 
 fn main() {
-    let (seeds, base_seed, steps, verify) = match parse_args() {
+    let (seeds, base_seed, steps, verify, tiering) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("flac-faultstorm: {e}");
-            eprintln!("usage: flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify]");
+            eprintln!(
+                "usage: flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering]"
+            );
             std::process::exit(2);
         }
     };
 
     println!(
-        "flac-faultstorm: {seeds} campaign(s) x {steps} steps, seeds {base_seed:#x}..{:#x}{}",
+        "flac-faultstorm: {seeds} {}campaign(s) x {steps} steps, seeds {base_seed:#x}..{:#x}{}",
+        if tiering { "tiering " } else { "" },
         base_seed + seeds,
         if verify {
             " (+replay verification)"
@@ -81,6 +124,17 @@ fn main() {
             ""
         }
     );
+
+    if tiering {
+        let failures = run_tiering(seeds, base_seed, steps, verify);
+        if failures > 0 {
+            eprintln!("\nflac-faultstorm: {failures} invariant violation(s)");
+            std::process::exit(1);
+        }
+        println!("\nflac-faultstorm: all campaigns survived, all invariants held");
+        return;
+    }
+
     println!("{}", SurvivalReport::header());
 
     let mut failures = 0u64;

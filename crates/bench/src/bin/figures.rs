@@ -1,7 +1,7 @@
 //! Regenerate the paper's figures/tables and the ablations.
 //!
 //! ```text
-//! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|all]
+//! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|all]
 //! ```
 //!
 //! Every figure is followed by the rack-wide metrics decomposition of a
@@ -9,7 +9,9 @@
 //! histograms, and per-subsystem counters — so the headline numbers can
 //! be traced back to the simulated operations that produced them.
 
-use bench::{dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab};
+use bench::{
+    dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab, tiering_ab,
+};
 use rack_sim::RackReport;
 
 fn print_metrics(what: &str, report: &RackReport) {
@@ -82,8 +84,19 @@ fn main() {
         ran = true;
     }
 
+    if matches!(arg.as_str(), "tiering" | "all") {
+        println!("{}\n", tiering_ab::report(&tiering_ab::run()));
+        print_metrics(
+            "A7 representative cell (zipf 0.99, daemon on)",
+            &tiering_ab::metrics(),
+        );
+        ran = true;
+    }
+
     if !ran {
-        eprintln!("usage: figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|all]");
+        eprintln!(
+            "usage: figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|all]"
+        );
         std::process::exit(2);
     }
 }

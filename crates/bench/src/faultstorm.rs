@@ -35,8 +35,13 @@ use flacos_fault::recovery::RecoveryOrchestrator;
 use flacos_fault::redundancy::{Protection, RedundancyPolicy};
 use flacos_fs::memfs::MemFs;
 use flacos_ipc::{MsgRpcClient, MsgRpcServer, RetryPolicy};
+use flacos_mem::addr::VirtAddr;
+use flacos_mem::fault::FrameAllocator;
+use flacos_mem::tlb::Tlb;
+use flacos_mem::{AddressSpace, PhysFrame, Pte};
+use flacos_tier::{LocalFramePool, Migration};
 use rack_sim::storm::{StormCampaign, StormConfig, StormCounts, StormOp};
-use rack_sim::{GAddr, NodeId, RackConfig};
+use rack_sim::{GAddr, NodeId, RackConfig, SimError};
 
 /// Nodes in every campaign rack.
 const NODES: usize = 4;
@@ -527,6 +532,399 @@ pub fn run_campaign(seed: u64, steps: u32) -> SurvivalReport {
     }
 }
 
+/// Pages in the tiering campaign's shared address space.
+const TIER_PAGES: u64 = 48;
+/// Local-DRAM budget of the campaign's migrating node, in pages.
+const TIER_BUDGET_PAGES: usize = 8;
+/// The node running promotions/demotions (and crashing mid-flight).
+const TIER_NODE: usize = 0;
+/// Address-space id of the campaign workload.
+const TIER_ASID: u64 = 1;
+
+/// Outcome of one tiering storm campaign.
+#[derive(Debug, Clone)]
+pub struct TieringSurvivalReport {
+    /// The seed the campaign ran from.
+    pub seed: u64,
+    /// Per-class storm operation counts.
+    pub counts: StormCounts,
+    /// Total executed steps (heal steps included).
+    pub events: usize,
+    /// Page writes acknowledged to the workload.
+    pub writes_committed: u64,
+    /// Page writes skipped (page migrating or its home node down).
+    pub writes_skipped: u64,
+    /// Migrations committed global → local.
+    pub promotions: u64,
+    /// Migrations committed local → global.
+    pub demotions: u64,
+    /// Mid-flight migrations rolled back (survivor abort after a crash,
+    /// plus the end-of-campaign cleanup abort if one was in flight).
+    pub aborts: u64,
+    /// Invariant violations (empty on a surviving campaign).
+    pub violations: Vec<String>,
+    /// The byte-identical replay artifact.
+    pub log_text: String,
+    /// The merged rack metrics after the campaign.
+    pub metrics: rack_sim::RackReport,
+}
+
+impl TieringSurvivalReport {
+    /// Whether every invariant held.
+    pub fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One summary row for the survival table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:#018x} | {:>5} | {:>2}/{:<2} | {:>4}/{:<4} | {:>4} | {:>4} | {:>3} | {}",
+            self.seed,
+            self.events,
+            self.counts.crashes,
+            self.counts.restarts,
+            self.writes_committed,
+            self.writes_skipped,
+            self.promotions,
+            self.demotions,
+            self.aborts,
+            if self.survived() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+
+    /// Header matching [`TieringSurvivalReport::row`].
+    pub fn header() -> &'static str {
+        "seed               | steps | cr/rs | wr ok/skip | prom | demo | abt | verdict"
+    }
+}
+
+/// Rack-wide shootdown that only expects the live nodes to participate
+/// (dead peers have no stale TLB; acks from stragglers are not awaited).
+fn shootdown_live(
+    tlbs: &mut [Tlb],
+    live: &[bool],
+    initiator: usize,
+    asid: u64,
+    vpn: u64,
+) -> Result<(), SimError> {
+    let peers: Vec<NodeId> = tlbs.iter().map(Tlb::node_id).collect();
+    let expected = tlbs[initiator].begin_shootdown(&peers, asid, vpn)?;
+    for (i, tlb) in tlbs.iter_mut().enumerate() {
+        if i != initiator && live[i] {
+            tlb.service_shootdowns()?;
+        }
+    }
+    let _ = tlbs[initiator].collect_acks(expected);
+    Ok(())
+}
+
+/// Run one seeded tiering storm campaign: node 0 continuously promotes
+/// and demotes pages of a shared address space (one migration stage per
+/// workload step) while the storm crashes and restarts nodes underneath
+/// it, and every node keeps writing to non-migrating pages.
+///
+/// Invariants checked after the heal:
+///
+/// 1. **No lost committed writes** — every page holds exactly the last
+///    content a write acknowledged, whether the page was promoted,
+///    demoted, or caught mid-migration by a crash (the old copy stays
+///    authoritative until commit, so a survivor's abort loses nothing).
+/// 2. **No torn mappings** — no PTE is left with the `Migrating` guard.
+/// 3. **Budget accounting** — the migrating node never holds more local
+///    pages than its budget.
+///
+/// Fully deterministic: the same `(seed, steps)` produces a
+/// byte-identical [`TieringSurvivalReport::log_text`].
+///
+/// # Panics
+///
+/// Panics if the rack cannot boot — a harness bug, not an outcome.
+#[allow(clippy::too_many_lines)]
+pub fn run_tiering_campaign(seed: u64, steps: u32) -> TieringSurvivalReport {
+    let flac = FlacRack::boot(RackConfig::n_node(NODES).with_seed(seed ^ 0xF1AC)).expect("boot");
+    let rack = flac.sim().clone();
+    let n = rack.node_count();
+    let n0 = rack.node(TIER_NODE);
+
+    let space = AddressSpace::alloc(
+        TIER_ASID,
+        rack.global(),
+        flac.alloc().clone(),
+        flac.epochs().clone(),
+        flac.retired().clone(),
+    )
+    .expect("address space");
+    let frames = FrameAllocator::new(rack.global().clone());
+    let mut model: Vec<Vec<u8>> = Vec::new();
+    for vpn in 0..TIER_PAGES {
+        let f = frames.alloc(&n0).expect("frame");
+        space
+            .map(&n0, vpn, Pte::new(PhysFrame::Global(f), true))
+            .expect("map");
+        let content = format!("init-{vpn:04}").into_bytes();
+        space
+            .write(&n0, VirtAddr::from_vpn(vpn), &content)
+            .expect("seed page");
+        model.push(content);
+    }
+    let mut tlbs: Vec<Tlb> = (0..n).map(|i| Tlb::new(rack.node(i), 64)).collect();
+    let mut pool = LocalFramePool::new();
+
+    // --- Campaign state threaded through the reaction closure.
+    let mut live = vec![true; n];
+    // vpn → local frame of pages promoted onto TIER_NODE (BTreeMap so the
+    // demotion victim — the smallest vpn — is deterministic).
+    let mut promoted: std::collections::BTreeMap<u64, rack_sim::LAddr> =
+        std::collections::BTreeMap::new();
+    // One in-flight staged migration: (migration, promote?).
+    let mut in_flight: Option<(Migration, bool)> = None;
+    let mut mig_cursor = 0u64;
+    let mut writes_committed = 0u64;
+    let mut writes_skipped = 0u64;
+    let mut promotions = 0u64;
+    let mut demotions = 0u64;
+    let mut aborts = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let config = StormConfig {
+        steps,
+        min_live_nodes: 2,
+        link_fail_weight: 0,
+        link_restore_weight: 0,
+        poison_weight: 0,
+        delayed_writeback_weight: 0,
+        poison_region: None,
+        ..StormConfig::default()
+    };
+    let campaign = StormCampaign::new(seed, config);
+    let report = campaign.run(&rack, |step, op, rack| {
+        match *op {
+            StormOp::Workload => {
+                // --- One migration micro-step on the tiering node.
+                let note;
+                if live[TIER_NODE] {
+                    match in_flight.take() {
+                        None => {
+                            // Choose the next migration: demote the
+                            // smallest promoted vpn when at budget, else
+                            // promote the cursor's next global page.
+                            if promoted.len() >= TIER_BUDGET_PAGES {
+                                let vpn = *promoted.keys().next().expect("non-empty");
+                                let dst = PhysFrame::Global(frames.alloc(&n0).expect("frame"));
+                                match Migration::begin(&n0, &space, vpn, dst) {
+                                    Ok(m) => {
+                                        in_flight = Some((m, false));
+                                        note = format!(", demote of vpn {vpn} began");
+                                    }
+                                    Err(e) => note = format!(", demote begin failed: {e}"),
+                                }
+                            } else {
+                                let vpn = mig_cursor % TIER_PAGES;
+                                mig_cursor += 1;
+                                if promoted.contains_key(&vpn) {
+                                    note = format!(", vpn {vpn} already local");
+                                } else {
+                                    let dst = PhysFrame::Local(
+                                        n0.id(),
+                                        pool.alloc(&n0).expect("local frame"),
+                                    );
+                                    match Migration::begin(&n0, &space, vpn, dst) {
+                                        Ok(m) => {
+                                            in_flight = Some((m, true));
+                                            note = format!(", promote of vpn {vpn} began");
+                                        }
+                                        Err(e) => note = format!(", promote begin failed: {e}"),
+                                    }
+                                }
+                            }
+                        }
+                        Some((mut m, promote)) => {
+                            let vpn = m.vpn();
+                            if m.copy(&n0, &space).is_err() {
+                                m.abort(&n0, &space).expect("abort");
+                                match m.new_frame() {
+                                    PhysFrame::Global(g) => frames.free(&n0, g),
+                                    PhysFrame::Local(_, l) => pool.free(l),
+                                }
+                                aborts += 1;
+                                note = format!(", copy of vpn {vpn} failed; aborted");
+                            } else {
+                                let dst = m.new_frame();
+                                let old = m
+                                    .commit(&n0, &space, &mut |asid, vpn| {
+                                        shootdown_live(&mut tlbs, &live, TIER_NODE, asid, vpn)
+                                    })
+                                    .expect("commit");
+                                match old.frame {
+                                    PhysFrame::Global(g) => frames.free(&n0, g),
+                                    PhysFrame::Local(_, l) => pool.free(l),
+                                }
+                                if promote {
+                                    let PhysFrame::Local(_, l) = dst else {
+                                        unreachable!("promotion targets a local frame")
+                                    };
+                                    promoted.insert(vpn, l);
+                                    promotions += 1;
+                                    note = format!(", promoted vpn {vpn}");
+                                } else {
+                                    promoted.remove(&vpn);
+                                    demotions += 1;
+                                    note = format!(", demoted vpn {vpn}");
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    note = format!(", tier idle (n{TIER_NODE} down)");
+                }
+
+                // --- A committed write to a round-robin page from the
+                // node that can reach its frame.
+                let vpn = u64::from(step) % TIER_PAGES;
+                let lowest_live = live.iter().position(|&a| a).expect("live");
+                let pte = space
+                    .translate(&rack.node(lowest_live), VirtAddr::from_vpn(vpn))
+                    .expect("walk")
+                    .expect("mapped");
+                if pte.migrating {
+                    writes_skipped += 1;
+                    return format!("write vpn {vpn} skipped: migrating{note}");
+                }
+                let writer = match pte.frame {
+                    PhysFrame::Local(home, _) => {
+                        if !live[home.0] {
+                            writes_skipped += 1;
+                            return format!(
+                                "write vpn {vpn} skipped: local home n{} down{note}",
+                                home.0
+                            );
+                        }
+                        home.0
+                    }
+                    PhysFrame::Global(_) => lowest_live,
+                };
+                let content = format!("s{seed:016x}-{step:04}").into_bytes();
+                match space.write(&rack.node(writer), VirtAddr::from_vpn(vpn), &content) {
+                    Ok(()) => {
+                        model[vpn as usize] = content;
+                        writes_committed += 1;
+                        format!("wrote vpn {vpn} from n{writer}{note}")
+                    }
+                    Err(e) => {
+                        writes_skipped += 1;
+                        format!("write vpn {vpn} degraded on n{writer}: {e}{note}")
+                    }
+                }
+            }
+            StormOp::CrashNode { node } => {
+                let node_idx = node.0;
+                live[node_idx] = false;
+                // The crash-consistency story: a survivor rolls back any
+                // migration the dead node left mid-flight — the old copy
+                // is still authoritative, so nothing is lost.
+                if node_idx == TIER_NODE {
+                    if let Some((m, _)) = in_flight.take() {
+                        let rescuer = live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+                        m.abort(&rack.node(rescuer), &space)
+                            .expect("survivor abort");
+                        match m.new_frame() {
+                            PhysFrame::Global(g) => frames.free(&rack.node(rescuer), g),
+                            PhysFrame::Local(_, l) => pool.free(l),
+                        }
+                        aborts += 1;
+                        return format!(
+                            "crash n{node_idx}: survivor n{rescuer} aborted mid-flight \
+                             migration of vpn {} (old copy authoritative)",
+                            m.vpn()
+                        );
+                    }
+                    return format!("crash n{node_idx}: tiering paused, no migration in flight");
+                }
+                format!("crash n{node_idx}: workload continues")
+            }
+            StormOp::RestartNode { node } => {
+                let node_idx = node.0;
+                live[node_idx] = true;
+                // A restarted node boots with a cold TLB.
+                tlbs[node_idx].flush_asid(TIER_ASID);
+                format!("restart n{node_idx}: TLB cold, tiering resumes")
+            }
+            StormOp::DelayedWriteback { .. }
+            | StormOp::FailLink { .. }
+            | StormOp::RestoreLink { .. }
+            | StormOp::PoisonWord { .. } => "unused op class (weight 0)".to_string(),
+        }
+    });
+
+    // --- Post-heal: roll back any still-open migration window.
+    if let Some((m, _)) = in_flight.take() {
+        m.abort(&n0, &space).expect("cleanup abort");
+        match m.new_frame() {
+            PhysFrame::Global(g) => frames.free(&n0, g),
+            PhysFrame::Local(_, l) => pool.free(l),
+        }
+        aborts += 1;
+    }
+
+    // --- Invariant 1: no lost committed writes, readable from any node.
+    for vpn in 0..TIER_PAGES {
+        let want = &model[vpn as usize];
+        let pte = match space.translate(&n0, VirtAddr::from_vpn(vpn)) {
+            Ok(Some(pte)) => pte,
+            other => {
+                violations.push(format!("vpn {vpn} unmapped after storm: {other:?}"));
+                continue;
+            }
+        };
+        // Invariant 2: no torn mappings.
+        if pte.migrating {
+            violations.push(format!("vpn {vpn} left with the Migrating guard set"));
+            continue;
+        }
+        // Read through the frame's home so local pages are reachable.
+        let reader = match pte.frame {
+            PhysFrame::Local(home, _) => rack.node(home.0),
+            PhysFrame::Global(_) => n0.clone(),
+        };
+        let mut buf = vec![0u8; want.len()];
+        match space.read(&reader, VirtAddr::from_vpn(vpn), &mut buf) {
+            Ok(()) if &buf == want => {}
+            Ok(()) => violations.push(format!(
+                "vpn {vpn} corrupted: want {:?}, got {:?}",
+                String::from_utf8_lossy(want),
+                String::from_utf8_lossy(&buf)
+            )),
+            Err(e) => violations.push(format!("vpn {vpn} unreadable: {e}")),
+        }
+    }
+
+    // --- Invariant 3: budget accounting.
+    if promoted.len() > TIER_BUDGET_PAGES {
+        violations.push(format!(
+            "local tier over budget: {} > {TIER_BUDGET_PAGES} pages",
+            promoted.len()
+        ));
+    }
+
+    TieringSurvivalReport {
+        seed,
+        counts: report.counts,
+        events: report.events.len(),
+        writes_committed,
+        writes_skipped,
+        promotions,
+        demotions,
+        aborts,
+        violations,
+        log_text: report.log_text(),
+        metrics: rack.metrics_report(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +955,39 @@ mod tests {
         assert!(r.survived(), "violations: {:?}", r.violations);
         assert!(r.rpc_executed >= r.rpc_acked);
         assert!(r.rpc_executed <= r.rpc_issued);
+    }
+
+    #[test]
+    fn tiering_campaign_survives_and_migrates() {
+        let r = run_tiering_campaign(0xF1AC_71E4, 60);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.promotions > 0, "migrations actually committed");
+        assert!(r.writes_committed > 0, "workload actually wrote pages");
+        assert!(r.counts.crashes > 0, "storm actually crashed nodes");
+    }
+
+    #[test]
+    fn tiering_replay_is_byte_identical() {
+        let a = run_tiering_campaign(7, 60);
+        let b = run_tiering_campaign(7, 60);
+        assert_eq!(a.log_text, b.log_text, "same seed, same bytes");
+        assert_ne!(
+            a.log_text,
+            run_tiering_campaign(8, 60).log_text,
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn some_seed_crashes_the_migrating_node_mid_flight() {
+        // The crash-consistency path (survivor abort, old copy
+        // authoritative) must actually fire across a small seed sweep.
+        let mut aborts = 0u64;
+        for seed in 1..=6 {
+            let r = run_tiering_campaign(seed, 60);
+            assert!(r.survived(), "seed {seed} violations: {:?}", r.violations);
+            aborts += r.aborts;
+        }
+        assert!(aborts > 0, "no campaign crashed n0 mid-migration");
     }
 }

@@ -17,6 +17,7 @@
 //! | [`ipc_ab`] | Ablation A4 — transport latency across message sizes |
 //! | [`dedup_ab`] | Ablation A5 — page dedup effectiveness |
 //! | [`fabric_ab`] | Ablation A6 — sensitivity to the interconnect generation |
+//! | [`tiering_ab`] | Ablation A7 — page tiering daemon off vs on |
 
 pub mod dedup_ab;
 pub mod fabric_ab;
@@ -29,3 +30,4 @@ pub mod pagecache_ab;
 pub mod startup;
 pub mod sync_ab;
 pub mod table;
+pub mod tiering_ab;

@@ -81,14 +81,12 @@ impl HotnessTracker {
     }
 
     /// Objects ordered hottest-first — the packing order for relocation
-    /// or allocation placement.
+    /// or allocation placement. Score ties break by ascending
+    /// [`ObjectId`] (`total_cmp`, so NaN cannot scramble the order),
+    /// making pack/tier decisions byte-identical across runs.
     pub fn pack_order(&self) -> Vec<ObjectId> {
         let mut v: Vec<(ObjectId, f64)> = self.scores.iter().map(|(id, s)| (*id, *s)).collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.into_iter().map(|(id, _)| id).collect()
     }
 
@@ -168,6 +166,21 @@ mod tests {
         t.forget(9);
         assert!(t.is_empty());
         assert_eq!(t.score(9), 0.0);
+    }
+
+    #[test]
+    fn score_ties_break_by_object_id() {
+        // Register-only objects all score exactly 0.0 — a genuine tie.
+        // The order must be ascending id regardless of insertion order,
+        // so tier decisions replay byte-identically across runs.
+        let mut t = HotnessTracker::new(100);
+        for id in [9, 2, 7, 4] {
+            t.register(id, 10);
+        }
+        assert_eq!(t.pack_order(), vec![2, 4, 7, 9]);
+        let (hot, cold) = t.tier_split(20);
+        assert_eq!(hot, vec![2, 4]);
+        assert_eq!(cold, vec![7, 9]);
     }
 
     #[test]

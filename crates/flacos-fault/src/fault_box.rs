@@ -94,10 +94,7 @@ impl FaultBoxBuilder {
             space.map(
                 home,
                 STACK_BASE.vpn() + i as u64,
-                Pte {
-                    frame: PhysFrame::Global(f),
-                    writable: true,
-                },
+                Pte::new(PhysFrame::Global(f), true),
             )?;
             stack_frames.push(f);
         }
@@ -107,10 +104,7 @@ impl FaultBoxBuilder {
             space.map(
                 home,
                 HEAP_BASE.vpn() + i as u64,
-                Pte {
-                    frame: PhysFrame::Global(f),
-                    writable: true,
-                },
+                Pte::new(PhysFrame::Global(f), true),
             )?;
             heap_frames.push(f);
         }

@@ -417,10 +417,7 @@ impl MemFs {
             space.map(
                 &self.node,
                 base_vpn + p,
-                flacos_mem::page_table::Pte {
-                    frame: flacos_mem::PhysFrame::Global(frame),
-                    writable: false,
-                },
+                flacos_mem::page_table::Pte::new(flacos_mem::PhysFrame::Global(frame), false),
             )?;
         }
         Ok(pages)

@@ -11,9 +11,11 @@
 
 use crate::addr::{PhysFrame, VirtAddr, PAGE_SIZE};
 use crate::page_table::{PageTable, Pte};
+use crate::telemetry::AccessRing;
 use flacdk::alloc::GlobalAllocator;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
+use rack_sim::sync::Mutex;
 use rack_sim::{GlobalMemory, NodeCtx, SimError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +26,7 @@ pub struct AddressSpace {
     asid: u64,
     table: PageTable,
     mapped_pages: Arc<AtomicU64>,
+    sampler: Arc<Mutex<Option<Arc<AccessRing>>>>,
 }
 
 impl AddressSpace {
@@ -43,7 +46,15 @@ impl AddressSpace {
             asid,
             table: PageTable::alloc(global, alloc, epochs, retired)?,
             mapped_pages: Arc::new(AtomicU64::new(0)),
+            sampler: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// Attach a telemetry ring: every successful translation through this
+    /// space (from any clone) is offered to the ring's sampler, feeding
+    /// the tiering daemon's hotness view. Pass `None` to detach.
+    pub fn attach_sampler(&self, ring: Option<Arc<AccessRing>>) {
+        *self.sampler.lock() = ring;
     }
 
     /// This space's ASID.
@@ -94,7 +105,13 @@ impl AddressSpace {
     /// Propagates memory errors.
     pub fn translate(&self, ctx: &Arc<NodeCtx>, va: VirtAddr) -> Result<Option<Pte>, SimError> {
         let guard = self.table.epochs().handle(ctx.clone()).read_lock()?;
-        self.table.walk(ctx, &guard, va.vpn())
+        let pte = self.table.walk(ctx, &guard, va.vpn())?;
+        if pte.is_some() {
+            if let Some(ring) = self.sampler.lock().as_ref() {
+                ring.record(ctx.id(), self.asid, va.vpn());
+            }
+        }
+        Ok(pte)
     }
 
     /// Read bytes from a frame at a page offset (coherently: global
@@ -166,6 +183,12 @@ impl AddressSpace {
             let pte = self.translate(ctx, cur)?.ok_or_else(|| {
                 SimError::Protocol(format!("unmapped address {cur} in asid {}", self.asid))
             })?;
+            if pte.migrating {
+                // Mid-migration: the in-flight copy may be torn under the
+                // incoherent-cache model, so never touch either frame —
+                // the caller retries once the daemon commits or aborts.
+                return Err(SimError::WouldBlock);
+            }
             f(ctx, pte.frame, in_page, done, take)?;
             done += take;
         }
@@ -248,10 +271,7 @@ mod tests {
             .map(
                 &rack.node(0),
                 vpn,
-                Pte {
-                    frame: PhysFrame::Global(frame),
-                    writable,
-                },
+                Pte::new(PhysFrame::Global(frame), writable),
             )
             .unwrap();
         frame
@@ -311,14 +331,7 @@ mod tests {
         let (n0, n1) = (rack.node(0), rack.node(1));
         let local = rack_sim::LAddr(0);
         space
-            .map(
-                &n0,
-                3,
-                Pte {
-                    frame: PhysFrame::Local(n0.id(), local),
-                    writable: true,
-                },
-            )
+            .map(&n0, 3, Pte::new(PhysFrame::Local(n0.id(), local), true))
             .unwrap();
         let mut buf = [0u8; 4];
         assert!(space.read(&n1, VirtAddr::from_vpn(3), &mut buf).is_err());
@@ -334,6 +347,47 @@ mod tests {
         assert_eq!(space.mapped_pages(), 0);
         assert!(space.unmap(&n0, 9).unwrap().is_none());
         assert_eq!(space.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn migrating_page_blocks_reads_and_writes() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        map_global_page(&rack, &space, 6, true);
+        let pte = space
+            .translate(&n0, VirtAddr::from_vpn(6))
+            .unwrap()
+            .unwrap();
+        space.map(&n0, 6, pte.begin_migration()).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            space.read(&n0, VirtAddr::from_vpn(6), &mut buf),
+            Err(SimError::WouldBlock)
+        ));
+        assert!(matches!(
+            space.write(&n0, VirtAddr::from_vpn(6), &buf),
+            Err(SimError::WouldBlock)
+        ));
+        space.map(&n0, 6, pte.end_migration()).unwrap();
+        assert!(space.read(&n0, VirtAddr::from_vpn(6), &mut buf).is_ok());
+        assert!(space.write(&n0, VirtAddr::from_vpn(6), &buf).is_ok());
+    }
+
+    #[test]
+    fn attached_sampler_sees_translations() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        map_global_page(&rack, &space, 1, true);
+        let ring = AccessRing::new(16, 1);
+        space.attach_sampler(Some(ring.clone()));
+        let mut buf = [0u8; 4];
+        space.read(&n0, VirtAddr::from_vpn(1), &mut buf).unwrap();
+        let seen = ring.drain();
+        assert!(!seen.is_empty());
+        assert!(seen.iter().all(|a| a.vpn == 1 && a.asid == 7));
+        space.attach_sampler(None);
+        space.read(&n0, VirtAddr::from_vpn(1), &mut buf).unwrap();
+        assert!(ring.drain().is_empty(), "detached ring sees nothing");
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub enum FaultResolution {
     MajorZeroFill,
     /// Write to a read-only mapping resolved by copy-on-write.
     CopyOnWrite,
+    /// The page is mid-migration between tiers: the caller must retry
+    /// after the daemon commits or aborts (the old frame stays
+    /// authoritative, so no torn read is possible either way).
+    Retry,
 }
 
 /// Fault counters.
@@ -85,6 +89,8 @@ pub struct FaultStats {
     pub major: u64,
     /// Copy-on-write resolutions.
     pub cow: u64,
+    /// Faults bounced off an in-flight tier migration.
+    pub retries: u64,
 }
 
 /// The page-fault handler for one node (placement decisions are
@@ -129,6 +135,10 @@ impl PageFaultHandler {
     ) -> Result<FaultResolution, SimError> {
         let existing = space.translate(ctx, crate::addr::VirtAddr::from_vpn(vpn))?;
         match existing {
+            Some(pte) if pte.migrating => {
+                self.stats.lock().retries += 1;
+                Ok(FaultResolution::Retry)
+            }
             Some(pte) if pte.writable || !write => {
                 self.stats.lock().minor += 1;
                 Ok(FaultResolution::Minor)
@@ -140,14 +150,7 @@ impl PageFaultHandler {
                 let mut content = vec![0u8; PAGE_SIZE];
                 space.read_frame(ctx, pte.frame, &mut content)?;
                 space.write_frame(ctx, new_frame, &content)?;
-                space.map(
-                    ctx,
-                    vpn,
-                    Pte {
-                        frame: new_frame,
-                        writable: true,
-                    },
-                )?;
+                space.map(ctx, vpn, Pte::new(new_frame, true))?;
                 self.stats.lock().cow += 1;
                 Ok(FaultResolution::CopyOnWrite)
             }
@@ -155,14 +158,7 @@ impl PageFaultHandler {
                 // Demand-zero fill.
                 let frame = self.place_frame(ctx)?;
                 space.write_frame(ctx, frame, &[0u8; PAGE_SIZE])?;
-                space.map(
-                    ctx,
-                    vpn,
-                    Pte {
-                        frame,
-                        writable: true,
-                    },
-                )?;
+                space.map(ctx, vpn, Pte::new(frame, true))?;
                 self.stats.lock().major += 1;
                 Ok(FaultResolution::MajorZeroFill)
             }
@@ -227,6 +223,32 @@ mod tests {
     }
 
     #[test]
+    fn fault_on_migrating_page_retries() {
+        let (rack, space, handler) = setup(PagePlacement::Global);
+        let n0 = rack.node(0);
+        handler.handle(&n0, &space, 4, true).unwrap();
+        let pte = space
+            .translate(&n0, crate::addr::VirtAddr::from_vpn(4))
+            .unwrap()
+            .unwrap();
+        space.table().map(&n0, 4, pte.begin_migration()).unwrap();
+        assert_eq!(
+            handler.handle(&n0, &space, 4, false).unwrap(),
+            FaultResolution::Retry
+        );
+        assert_eq!(
+            handler.handle(&n0, &space, 4, true).unwrap(),
+            FaultResolution::Retry
+        );
+        space.table().map(&n0, 4, pte.end_migration()).unwrap();
+        assert_eq!(
+            handler.handle(&n0, &space, 4, true).unwrap(),
+            FaultResolution::Minor
+        );
+        assert_eq!(handler.stats().retries, 2);
+    }
+
+    #[test]
     fn zero_filled_page_reads_zero_rack_wide() {
         let (rack, space, handler) = setup(PagePlacement::Global);
         let (n0, n1) = (rack.node(0), rack.node(1));
@@ -245,17 +267,7 @@ mod tests {
         // Map a read-only page with known content.
         let frame = PhysFrame::Global(handler.frames().alloc(&n0).unwrap());
         space.write_frame(&n0, frame, &[9u8; PAGE_SIZE]).unwrap();
-        space
-            .table()
-            .map(
-                &n0,
-                2,
-                Pte {
-                    frame,
-                    writable: false,
-                },
-            )
-            .unwrap();
+        space.table().map(&n0, 2, Pte::new(frame, false)).unwrap();
 
         assert_eq!(
             handler.handle(&n0, &space, 2, true).unwrap(),

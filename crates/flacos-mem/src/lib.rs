@@ -14,15 +14,17 @@
 //!   touched rarely and would be expensive to share.
 //!
 //! Supporting machinery: demand paging ([`fault`]), per-node TLBs with a
-//! rack-wide shootdown protocol ([`tlb`]), and content-based page
+//! rack-wide shootdown protocol ([`tlb`]), content-based page
 //! deduplication ([`dedup`]) that underlies the shared page cache's
-//! single-copy property.
+//! single-copy property, and sampled page-access telemetry
+//! ([`telemetry`]) feeding the `flacos-tier` daemon.
 
 pub mod addr;
 pub mod address_space;
 pub mod dedup;
 pub mod fault;
 pub mod page_table;
+pub mod telemetry;
 pub mod tlb;
 pub mod vma;
 
@@ -31,5 +33,6 @@ pub use address_space::AddressSpace;
 pub use dedup::PageDeduper;
 pub use fault::{PageFaultHandler, PagePlacement};
 pub use page_table::{PageTable, Pte};
+pub use telemetry::{AccessRing, PageAccess};
 pub use tlb::{Tlb, TlbStats};
 pub use vma::{Vma, VmaSet};

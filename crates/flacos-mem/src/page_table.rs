@@ -19,21 +19,53 @@ use flacdk::sync::reclaim::RetireList;
 use rack_sim::{GAddr, GlobalMemory, LAddr, NodeCtx, NodeId, SimError};
 use std::sync::Arc;
 
-/// A decoded page-table entry: frame location plus permissions.
+/// A decoded page-table entry: frame location plus permissions and the
+/// migration guard bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pte {
     /// The mapped physical frame.
     pub frame: PhysFrame,
     /// Whether the mapping permits writes.
     pub writable: bool,
+    /// Set while the tiering daemon copies this page between tiers. The
+    /// old frame stays authoritative; accessors must retry (never read
+    /// the in-flight copy, which may be torn under incoherent caches).
+    pub migrating: bool,
 }
 
 const TIER_LOCAL: u64 = 1 << 0;
 const WRITABLE: u64 = 1 << 1;
 const NODE_SHIFT: u64 = 2;
 const NODE_MASK: u64 = 0x1ff << NODE_SHIFT; // 512 nodes
+const MIGRATING: u64 = 1 << 11;
 
 impl Pte {
+    /// A plain (non-migrating) entry for `frame`.
+    pub fn new(frame: PhysFrame, writable: bool) -> Pte {
+        Pte {
+            frame,
+            writable,
+            migrating: false,
+        }
+    }
+
+    /// This entry with the migration guard bit set (old frame stays
+    /// authoritative while the daemon copies).
+    pub fn begin_migration(self) -> Pte {
+        Pte {
+            migrating: true,
+            ..self
+        }
+    }
+
+    /// This entry with the migration guard bit cleared.
+    pub fn end_migration(self) -> Pte {
+        Pte {
+            migrating: false,
+            ..self
+        }
+    }
+
     /// Encode to the radix tree's u64 value. Frame addresses must be
     /// page-aligned so the low 12 bits are free for flags.
     ///
@@ -55,12 +87,16 @@ impl Pte {
         if self.writable {
             bits |= WRITABLE;
         }
+        if self.migrating {
+            bits |= MIGRATING;
+        }
         bits
     }
 
     /// Decode from the radix tree's u64 value.
     pub fn decode(bits: u64) -> Pte {
         let writable = bits & WRITABLE != 0;
+        let migrating = bits & MIGRATING != 0;
         let addr = bits & !(PAGE_SIZE as u64 - 1);
         let frame = if bits & TIER_LOCAL != 0 {
             let node = NodeId(((bits & NODE_MASK) >> NODE_SHIFT) as usize);
@@ -68,7 +104,11 @@ impl Pte {
         } else {
             PhysFrame::Global(GAddr(addr))
         };
-        Pte { frame, writable }
+        Pte {
+            frame,
+            writable,
+            migrating,
+        }
     }
 }
 
@@ -180,46 +220,33 @@ mod tests {
     #[test]
     fn pte_roundtrip_global_and_local() {
         let cases = [
-            Pte {
-                frame: PhysFrame::Global(GAddr(0x3000)),
-                writable: true,
-            },
-            Pte {
-                frame: PhysFrame::Global(GAddr(0)),
-                writable: false,
-            },
-            Pte {
-                frame: PhysFrame::Local(NodeId(3), LAddr(0x7000)),
-                writable: true,
-            },
-            Pte {
-                frame: PhysFrame::Local(NodeId(511), LAddr(0x1000)),
-                writable: false,
-            },
+            Pte::new(PhysFrame::Global(GAddr(0x3000)), true),
+            Pte::new(PhysFrame::Global(GAddr(0)), false),
+            Pte::new(PhysFrame::Local(NodeId(3), LAddr(0x7000)), true),
+            Pte::new(PhysFrame::Local(NodeId(511), LAddr(0x1000)), false),
         ];
         for pte in cases {
             assert_eq!(Pte::decode(pte.encode()), pte);
+            // The migration guard bit survives the same roundtrip for
+            // every frame/permission combination.
+            let mid_flight = pte.begin_migration();
+            assert!(mid_flight.migrating);
+            assert_eq!(Pte::decode(mid_flight.encode()), mid_flight);
+            assert_eq!(mid_flight.end_migration(), pte);
         }
     }
 
     #[test]
     #[should_panic(expected = "page-aligned")]
     fn misaligned_frame_panics() {
-        Pte {
-            frame: PhysFrame::Global(GAddr(0x3001)),
-            writable: false,
-        }
-        .encode();
+        Pte::new(PhysFrame::Global(GAddr(0x3001)), false).encode();
     }
 
     #[test]
     fn map_walk_unmap_visible_rack_wide() {
         let (rack, pt) = setup();
         let (n0, n1) = (rack.node(0), rack.node(1));
-        let pte = Pte {
-            frame: PhysFrame::Global(GAddr(0x5000)),
-            writable: true,
-        };
+        let pte = Pte::new(PhysFrame::Global(GAddr(0x5000)), true);
         assert_eq!(pt.map(&n0, 7, pte).unwrap(), None);
 
         // Node 1 walks the same table without any explicit flushing.
@@ -238,14 +265,8 @@ mod tests {
     fn remap_returns_previous() {
         let (rack, pt) = setup();
         let n0 = rack.node(0);
-        let a = Pte {
-            frame: PhysFrame::Global(GAddr(0x1000)),
-            writable: false,
-        };
-        let b = Pte {
-            frame: PhysFrame::Local(NodeId(1), LAddr(0x2000)),
-            writable: true,
-        };
+        let a = Pte::new(PhysFrame::Global(GAddr(0x1000)), false);
+        let b = Pte::new(PhysFrame::Local(NodeId(1), LAddr(0x2000)), true);
         pt.map(&n0, 1, a).unwrap();
         assert_eq!(pt.map(&n0, 1, b).unwrap(), Some(a));
         pt.reclaim(&n0).unwrap();
@@ -258,10 +279,10 @@ mod tests {
         let (rack, pt) = setup();
         let n0 = rack.node(0);
         for vpn in 0..300u64 {
-            let pte = Pte {
-                frame: PhysFrame::Global(GAddr(vpn * PAGE_SIZE as u64)),
-                writable: vpn % 2 == 0,
-            };
+            let pte = Pte::new(
+                PhysFrame::Global(GAddr(vpn * PAGE_SIZE as u64)),
+                vpn % 2 == 0,
+            );
             pt.map(&n0, vpn, pte).unwrap();
             pt.reclaim(&n0).unwrap();
         }

@@ -239,10 +239,7 @@ mod tests {
     use rack_sim::{GAddr, Rack, RackConfig};
 
     fn pte(addr: u64) -> Pte {
-        Pte {
-            frame: PhysFrame::Global(GAddr(addr)),
-            writable: true,
-        }
+        Pte::new(PhysFrame::Global(GAddr(addr)), true)
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Per-node local-DRAM tier budgets, shared rack-wide.
+//!
+//! The promotion budget is the contract between the tiering daemon and
+//! the schedulers: each node may hold at most `budget_bytes` of promoted
+//! pages in local DRAM, and the remaining headroom is published in
+//! global memory (one coherent [`GlobalCell`] per node) so *any* node —
+//! in particular `RackScheduler` and the serverless density scheduler —
+//! can read how much fast-tier room a peer still has before placing work
+//! on it.
+
+use flacdk::hw::GlobalCell;
+use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// Rack-shared per-node free-bytes ledger for the local DRAM tier.
+#[derive(Debug, Clone)]
+pub struct TierBudget {
+    free: Vec<GlobalCell>,
+    budget_bytes: u64,
+}
+
+impl TierBudget {
+    /// Allocate the ledger in global memory with every node's free
+    /// balance initialized to `budget_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(
+        global: &GlobalMemory,
+        nodes: usize,
+        budget_bytes: u64,
+    ) -> Result<Arc<Self>, SimError> {
+        let mut free = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            free.push(GlobalCell::alloc(global, budget_bytes)?);
+        }
+        Ok(Arc::new(TierBudget { free, budget_bytes }))
+    }
+
+    /// The per-node budget ceiling in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Number of nodes the ledger tracks.
+    pub fn nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Free local-tier bytes on `node` (coherent read through a fabric
+    /// atomic — any node may ask about any other node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors; unknown nodes report zero headroom.
+    pub fn free_bytes(&self, ctx: &NodeCtx, node: NodeId) -> Result<u64, SimError> {
+        match self.free.get(node.0) {
+            Some(cell) => cell.load(ctx),
+            None => Ok(0),
+        }
+    }
+
+    /// Try to reserve `bytes` of local-tier room on `node`. Returns
+    /// `Ok(false)` (without reserving) when the headroom is insufficient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors.
+    pub fn charge(&self, ctx: &NodeCtx, node: NodeId, bytes: u64) -> Result<bool, SimError> {
+        let Some(cell) = self.free.get(node.0) else {
+            return Ok(false);
+        };
+        let mut cur = cell.load(ctx)?;
+        loop {
+            if cur < bytes {
+                return Ok(false);
+            }
+            let prev = cell.compare_exchange(ctx, cur, cur - bytes)?;
+            if prev == cur {
+                return Ok(true);
+            }
+            cur = prev;
+        }
+    }
+
+    /// Return `bytes` of local-tier room to `node` (after a demotion or
+    /// an aborted promotion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors.
+    pub fn credit(&self, ctx: &NodeCtx, node: NodeId, bytes: u64) -> Result<(), SimError> {
+        if let Some(cell) = self.free.get(node.0) {
+            cell.fetch_add(ctx, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    #[test]
+    fn charge_and_credit_roundtrip() {
+        let rack = Rack::new(RackConfig::small_test());
+        let b = TierBudget::alloc(rack.global(), 2, 8192).unwrap();
+        let n0 = rack.node(0);
+        assert_eq!(b.free_bytes(&n0, NodeId(1)).unwrap(), 8192);
+        assert!(b.charge(&n0, NodeId(1), 4096).unwrap());
+        assert_eq!(b.free_bytes(&n0, NodeId(1)).unwrap(), 4096);
+        assert!(b.charge(&n0, NodeId(1), 4096).unwrap());
+        assert!(!b.charge(&n0, NodeId(1), 1).unwrap(), "exhausted");
+        b.credit(&n0, NodeId(1), 4096).unwrap();
+        assert!(b.charge(&n0, NodeId(1), 4096).unwrap());
+        // Node 0's ledger was never touched.
+        assert_eq!(b.free_bytes(&n0, NodeId(0)).unwrap(), 8192);
+    }
+
+    #[test]
+    fn unknown_node_has_no_headroom() {
+        let rack = Rack::new(RackConfig::small_test());
+        let b = TierBudget::alloc(rack.global(), 2, 4096).unwrap();
+        let n0 = rack.node(0);
+        assert_eq!(b.free_bytes(&n0, NodeId(9)).unwrap(), 0);
+        assert!(!b.charge(&n0, NodeId(9), 1).unwrap());
+        b.credit(&n0, NodeId(9), 64).unwrap(); // silently ignored
+    }
+
+    #[test]
+    fn ledger_is_visible_from_every_node() {
+        let rack = Rack::new(RackConfig::small_test());
+        let b = TierBudget::alloc(rack.global(), 2, 4096).unwrap();
+        assert!(b.charge(&rack.node(0), NodeId(0), 1024).unwrap());
+        assert_eq!(b.free_bytes(&rack.node(1), NodeId(0)).unwrap(), 3072);
+    }
+}

@@ -1,0 +1,658 @@
+//! The tiering daemon: observation → policy → safe mutation.
+//!
+//! On each sim-time tick the daemon (1) drains its sampled access ring
+//! into the exponential-decay hotness tracker (reused from
+//! `flacdk::alloc::hotness`), (2) splits pages into the hottest set that
+//! fits the node's local-DRAM budget versus everything else, and (3)
+//! executes the delta as staged migrations ([`crate::Migration`]): cold
+//! local pages demote back to the global pool first (freeing budget),
+//! then hot global pages promote into local DRAM — each with the
+//! `Migrating` guard, a coherent copy, and a rack-wide TLB shootdown.
+//!
+//! Dedup interaction: a page whose global frame is rack-shared
+//! (refcount ≥ 2) is *vetoed* when at least
+//! [`TierConfig::dedup_hot_node_threshold`] nodes are hot on it (one
+//! node's fast tier must not steal a page everyone reads); otherwise the
+//! promotion breaks sharing copy-on-promote style — the local copy is
+//! private and the shared frame's refcount drops by one.
+
+use crate::budget::TierBudget;
+use crate::migrate::{LocalFramePool, Migration};
+use flacdk::alloc::hotness::HotnessTracker;
+use flacos_mem::addr::VirtAddr;
+use flacos_mem::fault::FrameAllocator;
+use flacos_mem::telemetry::AccessRing;
+use flacos_mem::{AddressSpace, PageDeduper, PhysFrame, PAGE_SIZE};
+use rack_sim::metrics::Counter;
+use rack_sim::{GAddr, NodeCtx, NodeId, SimError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Tiering policy knobs.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Local-DRAM bytes this node may fill with promoted pages.
+    pub local_budget_bytes: u64,
+    /// Hotness half-life (in recorded accesses) for the decay tracker.
+    pub half_life_accesses: u64,
+    /// Migration cap per tick (promotion + demotion combined).
+    pub max_migrations_per_tick: usize,
+    /// Minimum normalized hotness score a page needs to be promoted.
+    pub min_promote_score: f64,
+    /// Veto promotion of a rack-shared deduped page when at least this
+    /// many nodes have touched it.
+    pub dedup_hot_node_threshold: usize,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            local_budget_bytes: 16 * PAGE_SIZE as u64,
+            half_life_accesses: 4096,
+            max_migrations_per_tick: 8,
+            min_promote_score: 0.0,
+            dedup_hot_node_threshold: 2,
+        }
+    }
+}
+
+/// What one tick did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTickReport {
+    /// Pages promoted global → local this tick.
+    pub promoted: u64,
+    /// Pages demoted local → global this tick.
+    pub demoted: u64,
+    /// Promotions vetoed by the dedup multi-node-hot rule.
+    pub vetoed: u64,
+    /// Page bytes copied between tiers this tick.
+    pub bytes_migrated: u64,
+    /// Rack-wide TLB shootdowns issued this tick.
+    pub shootdowns: u64,
+}
+
+struct TierCounters {
+    promotions: Counter,
+    demotions: Counter,
+    vetoed_dedup: Counter,
+    shootdowns: Counter,
+    bytes_migrated: Counter,
+}
+
+impl TierCounters {
+    fn new(ctx: &NodeCtx) -> Self {
+        let stats = ctx.stats();
+        TierCounters {
+            promotions: stats.counter("tier", "promotions"),
+            demotions: stats.counter("tier", "demotions"),
+            vetoed_dedup: stats.counter("tier", "vetoed_dedup"),
+            shootdowns: stats.counter("tier", "shootdowns"),
+            bytes_migrated: stats.counter("tier", "bytes_migrated"),
+        }
+    }
+}
+
+/// Per-node page tiering daemon.
+pub struct TierDaemon {
+    node: Arc<NodeCtx>,
+    config: TierConfig,
+    ring: Arc<AccessRing>,
+    tracker: HotnessTracker,
+    /// vpn → (node → touch count), for dominant-node and veto decisions.
+    node_touches: BTreeMap<u64, BTreeMap<usize, u64>>,
+    pool: LocalFramePool,
+    /// Pages this daemon promoted: vpn → local frame.
+    local_pages: BTreeMap<u64, rack_sim::LAddr>,
+    budget: Option<Arc<TierBudget>>,
+    dedup: Option<Arc<PageDeduper>>,
+    counters: TierCounters,
+}
+
+impl std::fmt::Debug for TierDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierDaemon")
+            .field("node", &self.node.id())
+            .field("config", &self.config)
+            .field("local_pages", &self.local_pages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TierDaemon {
+    /// A daemon for `node` with a fresh unsampled ring (period 1, 4096
+    /// entries). Attach [`TierDaemon::ring`] to an address space via
+    /// `AddressSpace::attach_sampler` or feed it directly with
+    /// [`TierDaemon::note_access`].
+    pub fn new(node: Arc<NodeCtx>, config: TierConfig) -> Self {
+        let counters = TierCounters::new(&node);
+        TierDaemon {
+            tracker: HotnessTracker::new(config.half_life_accesses),
+            ring: AccessRing::new(4096, 1),
+            node,
+            config,
+            node_touches: BTreeMap::new(),
+            pool: LocalFramePool::new(),
+            local_pages: BTreeMap::new(),
+            budget: None,
+            dedup: None,
+            counters,
+        }
+    }
+
+    /// Enforce promotions against the rack-shared per-node budget ledger
+    /// (in addition to the daemon's own `local_budget_bytes`).
+    pub fn with_budget(mut self, budget: Arc<TierBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Consult `dedup` refcounts for the copy-on-promote / veto rule.
+    pub fn with_dedup(mut self, dedup: Arc<PageDeduper>) -> Self {
+        self.dedup = Some(dedup);
+        self
+    }
+
+    /// The daemon's access ring, for wiring into `attach_sampler`.
+    pub fn ring(&self) -> Arc<AccessRing> {
+        self.ring.clone()
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> &TierConfig {
+        &self.config
+    }
+
+    /// Pages currently promoted into this node's local DRAM.
+    pub fn local_page_count(&self) -> usize {
+        self.local_pages.len()
+    }
+
+    /// Whether `vpn` is currently held in the local tier by this daemon.
+    pub fn is_local(&self, vpn: u64) -> bool {
+        self.local_pages.contains_key(&vpn)
+    }
+
+    /// Record one page access directly (bypassing the sampler gate is
+    /// the caller's choice of `sample_period` on its own ring).
+    pub fn note_access(&self, node: NodeId, asid: u64, vpn: u64) {
+        self.ring.record(node, asid, vpn);
+    }
+
+    /// Normalized hotness score of `vpn` as the daemon currently sees it.
+    pub fn score(&self, vpn: u64) -> f64 {
+        self.tracker.score(vpn)
+    }
+
+    fn ingest(&mut self) {
+        for access in self.ring.drain() {
+            self.tracker.register(access.vpn, PAGE_SIZE);
+            self.tracker.touch(access.vpn);
+            *self
+                .node_touches
+                .entry(access.vpn)
+                .or_default()
+                .entry(access.node.0)
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// The node with the most touches on `vpn` (ties → lowest node id).
+    fn dominant_node(&self, vpn: u64) -> Option<NodeId> {
+        let touches = self.node_touches.get(&vpn)?;
+        touches
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&node, _)| NodeId(node))
+    }
+
+    fn hot_node_count(&self, vpn: u64) -> usize {
+        self.node_touches.get(&vpn).map_or(0, BTreeMap::len)
+    }
+
+    /// Dispose of a displaced global frame: rack-shared deduped frames
+    /// drop one reference; private frames return to the allocator.
+    fn dispose_global_frame(&self, frames: &FrameAllocator, g: GAddr) -> Result<(), SimError> {
+        if let Some(dedup) = &self.dedup {
+            if dedup.refcount(g) > 0 {
+                return dedup.release(&self.node, g);
+            }
+        }
+        frames.free(&self.node, g);
+        Ok(())
+    }
+
+    /// One sim-time tick: ingest telemetry, recompute the desired hot
+    /// set, then demote and promote under the migration cap. `shoot` is
+    /// invoked as `shoot(asid, vpn)` after each remap to drive the
+    /// rack-wide TLB shootdown.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors propagate; pages that merely cannot migrate right
+    /// now (unmapped, foreign frame, budget exhausted) are skipped.
+    pub fn tick(
+        &mut self,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+    ) -> Result<TierTickReport, SimError> {
+        self.ingest();
+        let mut report = TierTickReport::default();
+        let (hot, _cold) = self
+            .tracker
+            .tier_split(self.config.local_budget_bytes as usize);
+        let desired: BTreeSet<u64> = hot.iter().copied().collect();
+        let mut migrations_left = self.config.max_migrations_per_tick;
+
+        // --- Demote first: cold local pages free budget for promotions.
+        let to_demote: Vec<u64> = self
+            .local_pages
+            .keys()
+            .copied()
+            .filter(|vpn| !desired.contains(vpn))
+            .collect();
+        for vpn in to_demote {
+            if migrations_left == 0 {
+                break;
+            }
+            if self.demote(space, frames, vpn, shoot)? {
+                migrations_left -= 1;
+                report.demoted += 1;
+                report.shootdowns += 1;
+                report.bytes_migrated += PAGE_SIZE as u64;
+            }
+        }
+
+        // --- Promote hottest-first into the freed/available budget.
+        for vpn in hot {
+            if migrations_left == 0 {
+                break;
+            }
+            if self.local_pages.contains_key(&vpn) {
+                continue;
+            }
+            if self.tracker.score(vpn) < self.config.min_promote_score {
+                continue;
+            }
+            // Promote only pages this node dominates: a page another
+            // node is hotter on belongs in *its* local tier (or in the
+            // shared pool), not ours.
+            if self.dominant_node(vpn) != Some(self.node.id()) {
+                continue;
+            }
+            match self.promote(space, frames, vpn, shoot)? {
+                PromoteOutcome::Promoted => {
+                    migrations_left -= 1;
+                    report.promoted += 1;
+                    report.shootdowns += 1;
+                    report.bytes_migrated += PAGE_SIZE as u64;
+                }
+                PromoteOutcome::Vetoed => report.vetoed += 1,
+                PromoteOutcome::Skipped => {}
+            }
+        }
+
+        self.counters.promotions.add(report.promoted);
+        self.counters.demotions.add(report.demoted);
+        self.counters.vetoed_dedup.add(report.vetoed);
+        self.counters.shootdowns.add(report.shootdowns);
+        self.counters.bytes_migrated.add(report.bytes_migrated);
+        Ok(report)
+    }
+
+    fn promote(
+        &mut self,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        vpn: u64,
+        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+    ) -> Result<PromoteOutcome, SimError> {
+        let Some(pte) = space.translate(&self.node, VirtAddr::from_vpn(vpn))? else {
+            return Ok(PromoteOutcome::Skipped);
+        };
+        if pte.migrating {
+            return Ok(PromoteOutcome::Skipped);
+        }
+        let PhysFrame::Global(old_global) = pte.frame else {
+            // Already in someone's local tier.
+            return Ok(PromoteOutcome::Skipped);
+        };
+        // Dedup rule: rack-shared pages hot on several nodes stay shared.
+        if let Some(dedup) = &self.dedup {
+            if dedup.refcount(old_global) >= 2
+                && self.hot_node_count(vpn) >= self.config.dedup_hot_node_threshold
+            {
+                return Ok(PromoteOutcome::Vetoed);
+            }
+        }
+        // Reserve rack-visible budget before touching anything.
+        if let Some(budget) = &self.budget {
+            if !budget.charge(&self.node, self.node.id(), PAGE_SIZE as u64)? {
+                return Ok(PromoteOutcome::Skipped);
+            }
+        }
+        let release_budget = |daemon: &TierDaemon| -> Result<(), SimError> {
+            if let Some(budget) = &daemon.budget {
+                budget.credit(&daemon.node, daemon.node.id(), PAGE_SIZE as u64)?;
+            }
+            Ok(())
+        };
+
+        let laddr = match self.pool.alloc(&self.node) {
+            Ok(l) => l,
+            Err(_) => {
+                // Local memory exhausted: not an error, just no headroom.
+                release_budget(self)?;
+                return Ok(PromoteOutcome::Skipped);
+            }
+        };
+        let dst = PhysFrame::Local(self.node.id(), laddr);
+        let mut m = match Migration::begin(&self.node, space, vpn, dst) {
+            Ok(m) => m,
+            Err(SimError::Protocol(_)) => {
+                self.pool.free(laddr);
+                release_budget(self)?;
+                return Ok(PromoteOutcome::Skipped);
+            }
+            Err(e) => {
+                self.pool.free(laddr);
+                release_budget(self)?;
+                return Err(e);
+            }
+        };
+        if let Err(e) = m.copy(&self.node, space) {
+            m.abort(&self.node, space)?;
+            self.pool.free(laddr);
+            release_budget(self)?;
+            return Err(e);
+        }
+        m.commit(&self.node, space, shoot)?;
+        self.dispose_global_frame(frames, old_global)?;
+        self.local_pages.insert(vpn, laddr);
+        Ok(PromoteOutcome::Promoted)
+    }
+
+    fn demote(
+        &mut self,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        vpn: u64,
+        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+    ) -> Result<bool, SimError> {
+        let Some(laddr) = self.local_pages.get(&vpn).copied() else {
+            return Ok(false);
+        };
+        let Some(pte) = space.translate(&self.node, VirtAddr::from_vpn(vpn))? else {
+            // Unmapped since promotion: reclaim our bookkeeping.
+            self.local_pages.remove(&vpn);
+            self.pool.free(laddr);
+            if let Some(budget) = &self.budget {
+                budget.credit(&self.node, self.node.id(), PAGE_SIZE as u64)?;
+            }
+            return Ok(false);
+        };
+        if pte.migrating || pte.frame != PhysFrame::Local(self.node.id(), laddr) {
+            return Ok(false);
+        }
+        let dst_global = frames.alloc(&self.node)?;
+        let dst = PhysFrame::Global(dst_global);
+        let mut m = match Migration::begin(&self.node, space, vpn, dst) {
+            Ok(m) => m,
+            Err(SimError::Protocol(_)) => {
+                frames.free(&self.node, dst_global);
+                return Ok(false);
+            }
+            Err(e) => {
+                frames.free(&self.node, dst_global);
+                return Err(e);
+            }
+        };
+        if let Err(e) = m.copy(&self.node, space) {
+            m.abort(&self.node, space)?;
+            frames.free(&self.node, dst_global);
+            return Err(e);
+        }
+        m.commit(&self.node, space, shoot)?;
+        self.local_pages.remove(&vpn);
+        self.pool.free(laddr);
+        if let Some(budget) = &self.budget {
+            budget.credit(&self.node, self.node.id(), PAGE_SIZE as u64)?;
+        }
+        Ok(true)
+    }
+}
+
+enum PromoteOutcome {
+    Promoted,
+    Vetoed,
+    Skipped,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flacdk::alloc::GlobalAllocator;
+    use flacdk::sync::rcu::EpochManager;
+    use flacdk::sync::reclaim::RetireList;
+    use flacos_mem::Pte;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, AddressSpace, FrameAllocator) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(1, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let frames = FrameAllocator::new(rack.global().clone());
+        (rack, space, frames)
+    }
+
+    fn map_pages(
+        rack: &Rack,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        vpns: std::ops::Range<u64>,
+    ) {
+        let n0 = rack.node(0);
+        for vpn in vpns {
+            let f = frames.alloc(&n0).unwrap();
+            space
+                .map(&n0, vpn, Pte::new(PhysFrame::Global(f), true))
+                .unwrap();
+            space
+                .write(&n0, VirtAddr::from_vpn(vpn), &[vpn as u8; 64])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn hot_pages_promote_and_content_survives() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..8);
+        let cfg = TierConfig {
+            local_budget_bytes: 2 * PAGE_SIZE as u64,
+            ..TierConfig::default()
+        };
+        let mut daemon = TierDaemon::new(n0.clone(), cfg);
+        for _ in 0..10 {
+            daemon.note_access(n0.id(), 1, 3);
+            daemon.note_access(n0.id(), 1, 5);
+        }
+        daemon.note_access(n0.id(), 1, 0);
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.promoted, 2);
+        assert!(daemon.is_local(3) && daemon.is_local(5));
+        assert!(!daemon.is_local(0), "budget holds only the two hottest");
+        for vpn in [3u64, 5] {
+            let pte = space
+                .translate(&n0, VirtAddr::from_vpn(vpn))
+                .unwrap()
+                .unwrap();
+            assert_eq!(pte.frame.home_node(), Some(n0.id()));
+            let mut buf = [0u8; 64];
+            space.read(&n0, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
+            assert_eq!(buf, [vpn as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn cooling_pages_demote_to_make_room() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..4);
+        let cfg = TierConfig {
+            local_budget_bytes: PAGE_SIZE as u64,
+            half_life_accesses: 4,
+            ..TierConfig::default()
+        };
+        let mut daemon = TierDaemon::new(n0.clone(), cfg);
+        for _ in 0..8 {
+            daemon.note_access(n0.id(), 1, 1);
+        }
+        daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert!(daemon.is_local(1));
+        // Page 2 becomes the new favourite; the short half-life decays 1.
+        for _ in 0..64 {
+            daemon.note_access(n0.id(), 1, 2);
+        }
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.demoted, 1);
+        assert_eq!(report.promoted, 1);
+        assert!(!daemon.is_local(1) && daemon.is_local(2));
+        let pte = space
+            .translate(&n0, VirtAddr::from_vpn(1))
+            .unwrap()
+            .unwrap();
+        assert!(
+            matches!(pte.frame, PhysFrame::Global(_)),
+            "demoted back to the pool"
+        );
+        let mut buf = [0u8; 64];
+        space.read(&n0, VirtAddr::from_vpn(1), &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64], "content survives the round trip");
+    }
+
+    #[test]
+    fn foreign_dominated_pages_are_not_promoted() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..2);
+        let mut daemon = TierDaemon::new(n0.clone(), TierConfig::default());
+        // Node 1 is the dominant toucher of page 0.
+        for _ in 0..10 {
+            daemon.note_access(NodeId(1), 1, 0);
+        }
+        daemon.note_access(n0.id(), 1, 0);
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.promoted, 0);
+        assert!(!daemon.is_local(0));
+    }
+
+    #[test]
+    fn budget_ledger_gates_promotions() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..4);
+        let ledger = TierBudget::alloc(rack.global(), 2, PAGE_SIZE as u64).unwrap();
+        let mut daemon =
+            TierDaemon::new(n0.clone(), TierConfig::default()).with_budget(ledger.clone());
+        for vpn in 0..4 {
+            for _ in 0..5 {
+                daemon.note_access(n0.id(), 1, vpn);
+            }
+        }
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.promoted, 1, "one page of rack budget");
+        assert_eq!(ledger.free_bytes(&n0, n0.id()).unwrap(), 0);
+    }
+
+    #[test]
+    fn counters_flow_into_node_stats() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..2);
+        let mut daemon = TierDaemon::new(n0.clone(), TierConfig::default());
+        let mut shootdowns = 0u64;
+        for _ in 0..4 {
+            daemon.note_access(n0.id(), 1, 0);
+        }
+        daemon
+            .tick(&space, &frames, &mut |_, _| {
+                shootdowns += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(shootdowns, 1);
+        let snap = n0.stats().snapshot();
+        let get = |name: &str| {
+            snap.subsystems
+                .iter()
+                .find(|c| c.subsystem == "tier" && c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(get("promotions"), Some(1));
+        assert_eq!(get("shootdowns"), Some(1));
+        assert_eq!(get("bytes_migrated"), Some(PAGE_SIZE as u64));
+        assert_eq!(get("demotions"), Some(0));
+        assert_eq!(get("vetoed_dedup"), Some(0));
+    }
+
+    #[test]
+    fn deduped_page_hot_on_two_nodes_is_vetoed() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        let dedup = Arc::new(PageDeduper::new(frames.clone()));
+        // Intern one shared page from two "files" → refcount 2.
+        let content = [0x5Au8; PAGE_SIZE];
+        let shared = dedup.intern(&n0, &content).unwrap();
+        assert_eq!(dedup.intern(&n0, &content).unwrap(), shared);
+        assert_eq!(dedup.refcount(shared), 2);
+        space
+            .map(&n0, 7, Pte::new(PhysFrame::Global(shared), false))
+            .unwrap();
+
+        let mut daemon =
+            TierDaemon::new(n0.clone(), TierConfig::default()).with_dedup(dedup.clone());
+        // Hot on both node 0 (dominant) and node 1 → veto.
+        for _ in 0..10 {
+            daemon.note_access(n0.id(), 1, 7);
+        }
+        for _ in 0..3 {
+            daemon.note_access(NodeId(1), 1, 7);
+        }
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.vetoed, 1);
+        assert_eq!(report.promoted, 0);
+        assert_eq!(dedup.refcount(shared), 2, "sharing intact");
+    }
+
+    #[test]
+    fn deduped_page_hot_on_one_node_breaks_sharing_on_promote() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        let dedup = Arc::new(PageDeduper::new(frames.clone()));
+        let content = [0x5Au8; PAGE_SIZE];
+        let shared = dedup.intern(&n0, &content).unwrap();
+        assert_eq!(dedup.intern(&n0, &content).unwrap(), shared);
+        space
+            .map(&n0, 7, Pte::new(PhysFrame::Global(shared), false))
+            .unwrap();
+
+        let mut daemon =
+            TierDaemon::new(n0.clone(), TierConfig::default()).with_dedup(dedup.clone());
+        for _ in 0..10 {
+            daemon.note_access(n0.id(), 1, 7);
+        }
+        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(report.promoted, 1, "single-node-hot page promotes");
+        assert_eq!(
+            dedup.refcount(shared),
+            1,
+            "copy-on-promote dropped one reference"
+        );
+        let mut buf = [0u8; 64];
+        space.read(&n0, VirtAddr::from_vpn(7), &mut buf).unwrap();
+        assert_eq!(buf, [0x5Au8; 64]);
+    }
+}

@@ -1,0 +1,297 @@
+//! The staged page-migration engine.
+//!
+//! Migration under incoherent caches is a three-step protocol in which
+//! the **old frame stays authoritative until the final remap**:
+//!
+//! 1. [`Migration::begin`] — publish the mapping with the `Migrating`
+//!    guard bit set. Concurrent accessors observe the bit and retry
+//!    ([`SimError::WouldBlock`] from `AddressSpace`,
+//!    `FaultResolution::Retry` from the fault handler); nobody can read
+//!    the half-copied destination.
+//! 2. [`Migration::copy`] — copy the page bytes old → new (coherently:
+//!    invalidate-before-read, writeback-after-write).
+//! 3. [`Migration::commit`] — atomically remap to the new frame with the
+//!    guard cleared, then drive a rack-wide TLB shootdown via the
+//!    caller's closure so no stale translation survives.
+//!
+//! [`Migration::abort`] re-publishes the original mapping from *any*
+//! live node, which is exactly the crash-consistency story: if the
+//! migrating node dies between steps, the old copy is still authoritative
+//! and a survivor aborts the half-done migration without data loss.
+
+use flacos_mem::addr::VirtAddr;
+use flacos_mem::{AddressSpace, PhysFrame, Pte, PAGE_SIZE};
+use rack_sim::{LAddr, NodeCtx, SimError};
+use std::sync::Arc;
+
+/// A page-aligned allocator over one node's local (bump) memory with a
+/// free list, so demoted pages recycle their local frames.
+#[derive(Debug, Default)]
+pub struct LocalFramePool {
+    free: Vec<LAddr>,
+}
+
+impl LocalFramePool {
+    /// An empty pool (frames are carved from `ctx.local_alloc` on
+    /// demand).
+    pub fn new() -> Self {
+        LocalFramePool::default()
+    }
+
+    /// Allocate one page-aligned local frame on `ctx`'s node.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when local memory is exhausted.
+    pub fn alloc(&mut self, ctx: &NodeCtx) -> Result<LAddr, SimError> {
+        if let Some(f) = self.free.pop() {
+            return Ok(f);
+        }
+        // The local bump allocator aligns to 8; over-allocate and round
+        // up to a page boundary.
+        let raw = ctx.local_alloc(PAGE_SIZE * 2)?;
+        Ok(LAddr((raw.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)))
+    }
+
+    /// Return a frame for reuse.
+    pub fn free(&mut self, frame: LAddr) {
+        self.free.push(frame);
+    }
+
+    /// Frames currently recycled and ready.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// One in-flight page migration (either direction between tiers).
+#[derive(Debug, Clone)]
+pub struct Migration {
+    asid: u64,
+    vpn: u64,
+    old: Pte,
+    new_frame: PhysFrame,
+    copied: bool,
+}
+
+impl Migration {
+    /// Stage 1: set the `Migrating` guard on `vpn`'s mapping. The old
+    /// frame remains authoritative.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the page is unmapped or already
+    /// migrating; fabric errors propagate.
+    pub fn begin(
+        ctx: &Arc<NodeCtx>,
+        space: &AddressSpace,
+        vpn: u64,
+        new_frame: PhysFrame,
+    ) -> Result<Self, SimError> {
+        let old = space
+            .translate(ctx, VirtAddr::from_vpn(vpn))?
+            .ok_or_else(|| SimError::Protocol(format!("cannot migrate unmapped vpn {vpn}")))?;
+        if old.migrating {
+            return Err(SimError::Protocol(format!(
+                "vpn {vpn} is already migrating"
+            )));
+        }
+        space.map(ctx, vpn, old.begin_migration())?;
+        Ok(Migration {
+            asid: space.asid(),
+            vpn,
+            old,
+            new_frame,
+            copied: false,
+        })
+    }
+
+    /// Stage 2: copy the page bytes from the old frame into the new one.
+    ///
+    /// # Errors
+    ///
+    /// Fabric/protocol errors propagate (e.g. a foreign local frame).
+    pub fn copy(&mut self, ctx: &NodeCtx, space: &AddressSpace) -> Result<(), SimError> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        space.read_frame(ctx, self.old.frame, &mut page)?;
+        space.write_frame(ctx, self.new_frame, &page)?;
+        self.copied = true;
+        Ok(())
+    }
+
+    /// Stage 3: publish the new mapping (guard cleared) and drive the
+    /// rack-wide TLB shootdown through `shoot(asid, vpn)`. Returns the
+    /// displaced old PTE so the caller can free or release its frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when called before [`Migration::copy`];
+    /// fabric errors propagate.
+    pub fn commit(
+        self,
+        ctx: &Arc<NodeCtx>,
+        space: &AddressSpace,
+        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+    ) -> Result<Pte, SimError> {
+        if !self.copied {
+            return Err(SimError::Protocol(format!(
+                "commit of vpn {} before copy",
+                self.vpn
+            )));
+        }
+        space.map(ctx, self.vpn, Pte::new(self.new_frame, self.old.writable))?;
+        shoot(self.asid, self.vpn)?;
+        Ok(self.old)
+    }
+
+    /// Roll back: re-publish the original mapping with the guard
+    /// cleared. Callable from any live node — the crash-recovery path
+    /// when the migrating node died mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors propagate.
+    pub fn abort(&self, ctx: &Arc<NodeCtx>, space: &AddressSpace) -> Result<(), SimError> {
+        space.map(ctx, self.vpn, self.old)?;
+        Ok(())
+    }
+
+    /// The page being migrated.
+    pub fn vpn(&self) -> u64 {
+        self.vpn
+    }
+
+    /// The authoritative pre-migration mapping.
+    pub fn old(&self) -> Pte {
+        self.old
+    }
+
+    /// The destination frame.
+    pub fn new_frame(&self) -> PhysFrame {
+        self.new_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flacdk::alloc::GlobalAllocator;
+    use flacdk::sync::rcu::EpochManager;
+    use flacdk::sync::reclaim::RetireList;
+    use flacos_mem::fault::FrameAllocator;
+    use rack_sim::{Rack, RackConfig};
+
+    fn setup() -> (Rack, AddressSpace, FrameAllocator) {
+        let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(1, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let frames = FrameAllocator::new(rack.global().clone());
+        (rack, space, frames)
+    }
+
+    #[test]
+    fn full_migration_moves_bytes_and_remaps() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        let old = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, 3, Pte::new(PhysFrame::Global(old), true))
+            .unwrap();
+        space
+            .write(&n0, VirtAddr::from_vpn(3), &[0xAB; 64])
+            .unwrap();
+
+        let mut pool = LocalFramePool::new();
+        let dst = PhysFrame::Local(n0.id(), pool.alloc(&n0).unwrap());
+        let mut m = Migration::begin(&n0, &space, 3, dst).unwrap();
+        // Guarded window: accessors bounce.
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            space.read(&n0, VirtAddr::from_vpn(3), &mut buf),
+            Err(SimError::WouldBlock)
+        ));
+        m.copy(&n0, &space).unwrap();
+        let displaced = m.commit(&n0, &space, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(displaced.frame, PhysFrame::Global(old));
+
+        let pte = space
+            .translate(&n0, VirtAddr::from_vpn(3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(pte.frame, dst);
+        assert!(!pte.migrating);
+        let mut out = [0u8; 64];
+        space.read(&n0, VirtAddr::from_vpn(3), &mut out).unwrap();
+        assert_eq!(out, [0xAB; 64], "content travelled with the page");
+    }
+
+    #[test]
+    fn abort_restores_old_mapping() {
+        let (rack, space, frames) = setup();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let old = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, 5, Pte::new(PhysFrame::Global(old), true))
+            .unwrap();
+        space.write(&n0, VirtAddr::from_vpn(5), &[7u8; 32]).unwrap();
+
+        let dst = PhysFrame::Global(frames.alloc(&n0).unwrap());
+        let m = Migration::begin(&n0, &space, 5, dst).unwrap();
+        // The migrating node "crashes"; a survivor aborts from node 1.
+        m.abort(&n1, &space).unwrap();
+        let pte = space
+            .translate(&n1, VirtAddr::from_vpn(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(pte.frame, PhysFrame::Global(old), "old copy authoritative");
+        assert!(!pte.migrating);
+        let mut out = [0u8; 32];
+        space.read(&n1, VirtAddr::from_vpn(5), &mut out).unwrap();
+        assert_eq!(out, [7u8; 32]);
+    }
+
+    #[test]
+    fn begin_rejects_unmapped_and_double_migration() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        let dst = PhysFrame::Global(frames.alloc(&n0).unwrap());
+        assert!(Migration::begin(&n0, &space, 9, dst).is_err());
+
+        let old = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, 9, Pte::new(PhysFrame::Global(old), false))
+            .unwrap();
+        let _m = Migration::begin(&n0, &space, 9, dst).unwrap();
+        assert!(
+            Migration::begin(&n0, &space, 9, dst).is_err(),
+            "second begin bounces off the guard bit"
+        );
+    }
+
+    #[test]
+    fn commit_requires_copy_first() {
+        let (rack, space, frames) = setup();
+        let n0 = rack.node(0);
+        let old = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, 2, Pte::new(PhysFrame::Global(old), true))
+            .unwrap();
+        let dst = PhysFrame::Global(frames.alloc(&n0).unwrap());
+        let m = Migration::begin(&n0, &space, 2, dst).unwrap();
+        assert!(m.commit(&n0, &space, &mut |_, _| Ok(())).is_err());
+    }
+
+    #[test]
+    fn local_frame_pool_recycles_aligned_frames() {
+        let rack = Rack::new(RackConfig::small_test());
+        let n0 = rack.node(0);
+        let mut pool = LocalFramePool::new();
+        let f = pool.alloc(&n0).unwrap();
+        assert_eq!(f.0 % PAGE_SIZE, 0);
+        pool.free(f);
+        assert_eq!(pool.free_frames(), 1);
+        assert_eq!(pool.alloc(&n0).unwrap(), f);
+    }
+}

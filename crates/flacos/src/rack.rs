@@ -21,6 +21,7 @@ use flacos_ipc::channel::{FlacChannel, FlacEndpoint};
 use flacos_ipc::rpc::RpcRegistry;
 use flacos_ipc::socket_meta::SocketRegistry;
 use flacos_mem::fault::FrameAllocator;
+use flacos_tier::TierBudget;
 use rack_sim::{GAddr, Rack, RackConfig, SimError};
 use std::sync::Arc;
 
@@ -40,6 +41,7 @@ pub struct FlacRack {
     scheduler: Arc<RackScheduler>,
     monitor: Arc<HealthMonitor>,
     socket_log: Arc<ReplicatedLog>,
+    tier_budget: Arc<TierBudget>,
     boot_addr: GAddr,
 }
 
@@ -74,6 +76,10 @@ impl FlacRack {
         let scheduler = RackScheduler::alloc(sim.global(), nodes)?;
         let monitor = HealthMonitor::alloc(sim.global(), nodes, HEARTBEAT_TIMEOUT_NS)?;
         let socket_log = SocketRegistry::alloc_shared(sim.global(), nodes)?;
+        // A quarter of each node's local memory is promotion budget; the
+        // rest stays with the bump allocator for kernel structures.
+        let tier_budget =
+            TierBudget::alloc(sim.global(), nodes, (config.local_mem_bytes / 4) as u64)?;
 
         Ok(FlacRack {
             sim,
@@ -86,6 +92,7 @@ impl FlacRack {
             scheduler,
             monitor,
             socket_log,
+            tier_budget,
             boot_addr,
         })
     }
@@ -147,6 +154,11 @@ impl FlacRack {
     /// The shared log backing socket registries.
     pub fn socket_log(&self) -> &Arc<ReplicatedLog> {
         &self.socket_log
+    }
+
+    /// The rack-shared per-node local-DRAM tier budget ledger.
+    pub fn tier_budget(&self) -> &Arc<TierBudget> {
+        &self.tier_budget
     }
 
     /// Read the published hardware description from any node.

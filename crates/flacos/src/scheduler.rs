@@ -7,6 +7,7 @@
 //! atomic loads — cheap at rack scale).
 
 use flacdk::hw::GlobalCell;
+use flacos_tier::TierBudget;
 use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
 use std::sync::Arc;
 
@@ -92,6 +93,43 @@ impl RackScheduler {
             .ok_or_else(|| SimError::Protocol("no live node to place on".into()))
     }
 
+    /// Tier-aware placement: among live nodes with at least
+    /// `min_free_bytes` of local-DRAM tier headroom (per `budget`), pick
+    /// the least loaded (ties break to the lowest id). When every live
+    /// node is tier-exhausted, fall back to plain load-based
+    /// [`RackScheduler::place`] — a full fast tier is a performance
+    /// concern, not a placement failure.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when every node is down.
+    pub fn place_tiered(
+        &self,
+        ctx: &NodeCtx,
+        alive: impl Fn(NodeId) -> bool,
+        budget: &TierBudget,
+        min_free_bytes: u64,
+    ) -> Result<NodeId, SimError> {
+        let mut best: Option<(u64, NodeId)> = None;
+        for (i, cell) in self.load.iter().enumerate() {
+            let id = NodeId(i);
+            if !alive(id) {
+                continue;
+            }
+            if budget.free_bytes(ctx, id)? < min_free_bytes {
+                continue;
+            }
+            let load = cell.load(ctx)?;
+            if best.map(|(b, _)| load < b).unwrap_or(true) {
+                best = Some((load, id));
+            }
+        }
+        match best {
+            Some((_, id)) => Ok(id),
+            None => self.place(ctx, alive),
+        }
+    }
+
     /// Imbalance = max load − min load across live nodes.
     ///
     /// # Errors
@@ -158,6 +196,37 @@ mod tests {
         // Node 0 is empty but dead; placement must avoid it.
         assert_eq!(sched.place(&n1, |id| id != NodeId(0)).unwrap(), NodeId(1));
         assert!(sched.place(&n1, |_| false).is_err(), "nothing alive");
+    }
+
+    #[test]
+    fn tiered_placement_avoids_exhausted_nodes() {
+        let (rack, sched) = setup(3);
+        let n0 = rack.node(0);
+        let budget = TierBudget::alloc(rack.global(), 3, 8192).unwrap();
+        // Node 0 is idle but its fast tier is full; node 1 has headroom.
+        sched.task_started(&n0, NodeId(1)).unwrap();
+        sched.task_started(&n0, NodeId(2)).unwrap();
+        sched.task_started(&n0, NodeId(2)).unwrap();
+        assert!(budget.charge(&n0, NodeId(0), 8192).unwrap());
+        assert_eq!(
+            sched.place_tiered(&n0, |_| true, &budget, 4096).unwrap(),
+            NodeId(1)
+        );
+        // All tiers exhausted → fall back to pure load (node 0 is idle).
+        assert!(budget.charge(&n0, NodeId(1), 8192).unwrap());
+        assert!(budget.charge(&n0, NodeId(2), 8192).unwrap());
+        assert_eq!(
+            sched.place_tiered(&n0, |_| true, &budget, 4096).unwrap(),
+            NodeId(0)
+        );
+        // Dead nodes stay excluded even with headroom.
+        budget.credit(&n0, NodeId(2), 8192).unwrap();
+        assert_eq!(
+            sched
+                .place_tiered(&n0, |id| id != NodeId(2), &budget, 4096)
+                .unwrap(),
+            NodeId(0)
+        );
     }
 
     #[test]

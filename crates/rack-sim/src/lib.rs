@@ -67,7 +67,7 @@ pub use metrics::{
 };
 pub use node::NodeCtx;
 pub use rack::{Rack, RackConfig, RackReport};
-pub use rng::SplitMix64;
+pub use rng::{SplitMix64, Zipf};
 pub use stats::{NodeStats, StatsSnapshot};
 pub use storm::{StormCampaign, StormConfig, StormCounts, StormEvent, StormOp, StormReport};
 pub use topology::{NodeId, RackTopology};

@@ -273,6 +273,11 @@ impl fmt::Display for RackReport {
         )?;
         writeln!(
             f,
+            "  tier: {} B via local DRAM, {} B via global pool",
+            m.local_bytes, m.global_bytes,
+        )?;
+        writeln!(
+            f,
             "  cache: {} hits, {} misses, {} allocs, {} writebacks, {} invalidations, {} evictions",
             m.cache_hits,
             m.cache_misses,

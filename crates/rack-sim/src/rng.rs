@@ -88,6 +88,64 @@ impl SplitMix64 {
     }
 }
 
+/// A Zipf-distributed sampler over `{0, 1, …, n-1}` with rank `i` drawn
+/// proportionally to `(i + 1)^-skew` — the canonical skewed page/key
+/// popularity model for tiering and caching experiments.
+///
+/// The CDF is precomputed once (`O(n)` memory, `O(log n)` per sample via
+/// binary search), and sampling consumes exactly one [`SplitMix64`] draw,
+/// so zipfian workloads replay deterministically from a seed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `skew` (`skew = 0` is
+    /// uniform; `skew ≈ 1` is the classic heavy-skew web/page workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `skew` is negative/non-finite.
+    pub fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(
+            skew >= 0.0 && skew.is_finite(),
+            "zipf skew must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true: `new` rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank in `[0, n)` using a single uniform draw from `rng`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        // 53-bit uniform in [0, 1) — the standard double conversion.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +209,53 @@ mod tests {
         let mut r = SplitMix64::new(8);
         assert!((0..50).all(|_| !r.gen_ratio(0.0)));
         assert!((0..50).all(|_| r.gen_ratio(1.0)));
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let zipf = Zipf::new(512, 0.99);
+        let mut rng = SplitMix64::new(0x0F1A_C21F);
+        let mut top64 = 0u64;
+        const DRAWS: u64 = 20_000;
+        for _ in 0..DRAWS {
+            let r = zipf.sample(&mut rng);
+            assert!(r < 512);
+            if r < 64 {
+                top64 += 1;
+            }
+        }
+        // Analytically H(64)/H(512) ≈ 0.61 at skew 0.99; allow slack.
+        assert!(
+            top64 > DRAWS / 2,
+            "top-64 ranks got only {top64}/{DRAWS} draws"
+        );
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let zipf = Zipf::new(100, 0.99);
+        let draw = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn zipf_skew_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [0u64; 4];
+        for _ in 0..4000 {
+            seen[zipf.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in seen.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&count),
+                "rank {rank} drew {count}/4000 — not uniform"
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,8 @@ struct Counters {
     global_writes: AtomicU64,
     global_atomics: AtomicU64,
     local_accesses: AtomicU64,
+    local_bytes: AtomicU64,
+    global_bytes: AtomicU64,
     bytes_copied: AtomicU64,
     messages_sent: AtomicU64,
     message_bytes: AtomicU64,
@@ -68,6 +70,10 @@ pub struct StatsSnapshot {
     pub global_atomics: u64,
     /// Local-memory reads + writes.
     pub local_accesses: u64,
+    /// Payload bytes served by the node-local DRAM tier.
+    pub local_bytes: u64,
+    /// Payload bytes served by the global pool tier (reads + writes).
+    pub global_bytes: u64,
     /// Payload bytes memcpy'd by simulator operations.
     pub bytes_copied: u64,
     /// Interconnect messages sent.
@@ -99,6 +105,8 @@ impl Default for StatsSnapshot {
             global_writes: 0,
             global_atomics: 0,
             local_accesses: 0,
+            local_bytes: 0,
+            global_bytes: 0,
             bytes_copied: 0,
             messages_sent: 0,
             message_bytes: 0,
@@ -132,6 +140,8 @@ impl StatsSnapshot {
         self.global_writes += other.global_writes;
         self.global_atomics += other.global_atomics;
         self.local_accesses += other.local_accesses;
+        self.local_bytes += other.local_bytes;
+        self.global_bytes += other.global_bytes;
         self.bytes_copied += other.bytes_copied;
         self.messages_sent += other.messages_sent;
         self.message_bytes += other.message_bytes;
@@ -165,6 +175,10 @@ impl NodeStats {
             .fetch_add(1, Ordering::Relaxed);
         self.inner
             .counters
+            .global_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner
+            .counters
             .bytes_copied
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
@@ -174,6 +188,10 @@ impl NodeStats {
             .counters
             .global_writes
             .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .global_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner
             .counters
             .bytes_copied
@@ -192,6 +210,10 @@ impl NodeStats {
             .counters
             .local_accesses
             .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .local_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.inner
             .counters
             .bytes_copied
@@ -296,6 +318,8 @@ impl NodeStats {
             global_writes: c.global_writes.load(Ordering::Relaxed),
             global_atomics: c.global_atomics.load(Ordering::Relaxed),
             local_accesses: c.local_accesses.load(Ordering::Relaxed),
+            local_bytes: c.local_bytes.load(Ordering::Relaxed),
+            global_bytes: c.global_bytes.load(Ordering::Relaxed),
             bytes_copied: c.bytes_copied.load(Ordering::Relaxed),
             messages_sent: c.messages_sent.load(Ordering::Relaxed),
             message_bytes: c.message_bytes.load(Ordering::Relaxed),
@@ -332,6 +356,8 @@ mod tests {
         assert_eq!(snap.messages_sent, 1);
         assert_eq!(snap.message_bytes, 100);
         assert_eq!(snap.bytes_copied, 8 + 16 + 4);
+        assert_eq!(snap.global_bytes, 8 + 16, "per-tier global byte split");
+        assert_eq!(snap.local_bytes, 4, "per-tier local byte split");
     }
 
     #[test]

@@ -63,6 +63,44 @@ impl DensityScheduler {
         Ok(NodeId(node_idx))
     }
 
+    /// Tier-aware placement: like [`DensityScheduler::place`], but only
+    /// nodes reporting at least `min_free_bytes` of local-DRAM tier
+    /// headroom via `free_local` are eligible (a tier-exhausted node
+    /// would serve the new instance's hot pages from the ~5× slower
+    /// global pool). When every node with spare capacity is
+    /// tier-exhausted, falls back to capacity-only placement. The
+    /// closure decouples this crate from the tier ledger: callers pass
+    /// `|n| budget.free_bytes(ctx, n).unwrap_or(0)` or a model.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the rack is full or the id is taken.
+    pub fn place_with_budget(
+        &mut self,
+        id: u64,
+        free_local: impl Fn(NodeId) -> u64,
+        min_free_bytes: u64,
+    ) -> Result<NodeId, SimError> {
+        if self.placements.contains_key(&id) {
+            return Err(SimError::Protocol(format!("instance {id} already placed")));
+        }
+        let pick = self
+            .load
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, l)| l < self.capacity_per_node && free_local(NodeId(i)) >= min_free_bytes)
+            .min_by_key(|&(i, l)| (l, i));
+        match pick {
+            Some((node_idx, _)) => {
+                self.load[node_idx] += 1;
+                self.placements.insert(id, NodeId(node_idx));
+                Ok(NodeId(node_idx))
+            }
+            None => self.place(id),
+        }
+    }
+
     /// Remove instance `id`.
     pub fn evict(&mut self, id: u64) -> Option<NodeId> {
         let node = self.placements.remove(&id)?;
@@ -131,6 +169,21 @@ mod tests {
         let mut s = DensityScheduler::new(2, 4);
         s.place(7).unwrap();
         assert!(s.place(7).is_err());
+    }
+
+    #[test]
+    fn budgeted_placement_skips_tier_exhausted_nodes() {
+        let mut s = DensityScheduler::new(3, 2);
+        // Node 0 has no fast-tier headroom; 1 and 2 are fine.
+        let free = |n: NodeId| if n.0 == 0 { 0 } else { 1 << 20 };
+        assert_eq!(s.place_with_budget(1, free, 4096).unwrap(), NodeId(1));
+        assert_eq!(s.place_with_budget(2, free, 4096).unwrap(), NodeId(2));
+        assert_eq!(s.place_with_budget(3, free, 4096).unwrap(), NodeId(1));
+        assert_eq!(s.density(NodeId(0)), 0);
+        // Every node exhausted → fall back to capacity-only placement.
+        assert_eq!(s.place_with_budget(4, |_| 0, 4096).unwrap(), NodeId(0));
+        // Duplicate ids still rejected on the budgeted path.
+        assert!(s.place_with_budget(4, free, 4096).is_err());
     }
 
     #[test]

@@ -23,4 +23,10 @@ cargo build --offline -p bench --benches --features criterion
 echo "== fault-storm smoke campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --seeds 2 --steps 60 --verify
 
+echo "== tiering smoke: A7 ablation =="
+cargo run --release --offline -p bench --bin figures -- tiering
+
+echo "== tiering fault-storm campaign (fixed seeds, replay-verified) =="
+cargo run --release --offline -p bench --bin flac-faultstorm -- --tiering --seeds 2 --steps 60 --verify
+
 echo "verify: OK"

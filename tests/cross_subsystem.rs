@@ -159,14 +159,7 @@ fn tlb_shootdown_after_shared_mapping_change() {
 
     let f1 = frames.alloc(&n0).unwrap();
     space
-        .map(
-            &n0,
-            7,
-            Pte {
-                frame: PhysFrame::Global(f1),
-                writable: true,
-            },
-        )
+        .map(&n0, 7, Pte::new(PhysFrame::Global(f1), true))
         .unwrap();
     let pte = space
         .translate(&n0, flacos_mem::VirtAddr::from_vpn(7))
@@ -183,14 +176,7 @@ fn tlb_shootdown_after_shared_mapping_change() {
     // Remap, then shoot down the stale translations everywhere.
     let f2 = frames.alloc(&n0).unwrap();
     space
-        .map(
-            &n0,
-            7,
-            Pte {
-                frame: PhysFrame::Global(f2),
-                writable: true,
-            },
-        )
+        .map(&n0, 7, Pte::new(PhysFrame::Global(f2), true))
         .unwrap();
     shootdown_stepped(&mut tlbs, 0, 1, 7).unwrap();
     for t in tlbs.iter_mut() {

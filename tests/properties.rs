@@ -17,9 +17,12 @@ use flacdk::sync::reclaim::RetireList;
 use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::dedup::PageDeduper;
 use flacos_mem::fault::FrameAllocator;
+use flacos_mem::tlb::{shootdown_stepped, Tlb};
 use flacos_mem::vma::{Vma, VmaSet};
 use flacos_mem::VirtAddr;
 use flacos_mem::PAGE_SIZE;
+use flacos_mem::{AddressSpace, PhysFrame, Pte};
+use flacos_tier::Migration;
 use rack_sim::{GAddr, Rack, RackConfig, SimError, SplitMix64};
 use redis_mini::resp::{Command, Reply};
 use std::collections::{HashMap, VecDeque};
@@ -419,5 +422,82 @@ fn seeded_storm_campaigns_replay_byte_identically() {
         assert_eq!(log_a, log_b, "storm log must be byte-identical");
         assert_eq!(cache_a, cache_b, "cache activity must replay exactly");
         assert_eq!(faults_a, faults_b, "injector log must replay exactly");
+    });
+}
+
+#[test]
+fn mid_migration_readers_see_old_or_new_never_torn() {
+    check("mid_migration_readers_see_old_or_new_never_torn", |rng| {
+        let rack = small_rack();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(3, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let frames = FrameAllocator::new(rack.global().clone());
+        let vpn = rng.gen_index(32) as u64;
+        let old_frame = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, vpn, Pte::new(PhysFrame::Global(old_frame), true))
+            .unwrap();
+        let pattern_a = vec![0xAA; PAGE_SIZE];
+        space
+            .write(&n0, VirtAddr::from_vpn(vpn), &pattern_a)
+            .unwrap();
+
+        // A peer node caches the translation before the move begins.
+        let mut tlbs: Vec<Tlb> = (0..2).map(|i| Tlb::new(rack.node(i), 8)).collect();
+        let cached = space
+            .translate(&n1, VirtAddr::from_vpn(vpn))
+            .unwrap()
+            .unwrap();
+        tlbs[1].fill(3, vpn, cached);
+
+        let dst_frame = frames.alloc(&n0).unwrap();
+        let mut m = Migration::begin(&n0, &space, vpn, PhysFrame::Global(dst_frame)).unwrap();
+        // Guarded window: every accessor bounces; a torn read of the
+        // half-copied destination is impossible.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            space.read(&n1, VirtAddr::from_vpn(vpn), &mut buf),
+            Err(SimError::WouldBlock)
+        ));
+        assert!(matches!(
+            space.write(&n0, VirtAddr::from_vpn(vpn), &[1u8; 8]),
+            Err(SimError::WouldBlock)
+        ));
+        m.copy(&n0, &space).unwrap();
+
+        let expected_frame = if rng.gen_bool() {
+            // Commit: the mapping flips atomically to the complete copy
+            // and the peer's stale translation is shot down.
+            m.commit(&n0, &space, &mut |asid, v| {
+                shootdown_stepped(&mut tlbs, 0, asid, v)
+            })
+            .unwrap();
+            assert_eq!(tlbs[1].lookup(3, vpn), None, "stale translation survives");
+            dst_frame
+        } else {
+            // Abort (the migrating node died): a survivor re-publishes
+            // the still-authoritative old copy.
+            m.abort(&n1, &space).unwrap();
+            old_frame
+        };
+        let pte = space
+            .translate(&n1, VirtAddr::from_vpn(vpn))
+            .unwrap()
+            .unwrap();
+        assert_eq!(pte.frame, PhysFrame::Global(expected_frame));
+        assert!(!pte.migrating);
+        space.read(&n1, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
+        assert_eq!(buf, pattern_a, "whole pattern A on either outcome");
+
+        // The page stays writable and coherent after the protocol ends.
+        let pattern_b = vec![0xBB; PAGE_SIZE];
+        space
+            .write(&n1, VirtAddr::from_vpn(vpn), &pattern_b)
+            .unwrap();
+        space.read(&n0, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
+        assert_eq!(buf, pattern_b);
     });
 }
