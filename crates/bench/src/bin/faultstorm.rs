@@ -2,7 +2,7 @@
 //! check cross-subsystem invariants.
 //!
 //! ```text
-//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering]
+//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering|--sync]
 //! ```
 //!
 //! * `--seeds N`  — campaigns to run, seeds `X, X+1, …, X+N-1` (default 8)
@@ -12,21 +12,25 @@
 //!   byte-identical (the determinism guarantee)
 //! * `--tiering`  — run the page-tiering campaign instead (staged
 //!   migrations under crashes; old copy stays authoritative)
+//! * `--sync`     — run the sync-cell campaign instead (delegated cell
+//!   under owner crashes; no committed update lost, log replay exact)
 //!
 //! Exits nonzero if any invariant is violated or a replay diverges. To
 //! reproduce a failing campaign, re-run with `--seeds 1 --seed <seed>`
 //! using the seed printed in its survival row.
 
 use bench::faultstorm::{
-    run_campaign, run_tiering_campaign, SurvivalReport, TieringSurvivalReport,
+    run_campaign, run_sync_campaign, run_tiering_campaign, SurvivalReport, SyncSurvivalReport,
+    TieringSurvivalReport,
 };
 
-fn parse_args() -> Result<(u64, u64, u32, bool, bool), String> {
+fn parse_args() -> Result<(u64, u64, u32, bool, bool, bool), String> {
     let mut seeds = 8u64;
     let mut steps = 120u32;
     let mut base_seed = 0xF1AC_5708u64;
     let mut verify = false;
     let mut tiering = false;
+    let mut sync = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -65,10 +69,17 @@ fn parse_args() -> Result<(u64, u64, u32, bool, bool), String> {
                 tiering = true;
                 i += 1;
             }
+            "--sync" => {
+                sync = true;
+                i += 1;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok((seeds, base_seed, steps, verify, tiering))
+    if tiering && sync {
+        return Err("--tiering and --sync are mutually exclusive".into());
+    }
+    Ok((seeds, base_seed, steps, verify, tiering, sync))
 }
 
 fn run_tiering(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
@@ -102,13 +113,45 @@ fn run_tiering(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
     failures
 }
 
+fn run_sync(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
+    println!("{}", SyncSurvivalReport::header());
+    let mut failures = 0u64;
+    let mut last: Option<SyncSurvivalReport> = None;
+    for k in 0..seeds {
+        let seed = base_seed + k;
+        let report = run_sync_campaign(seed, steps);
+        println!("{}", report.row());
+        for v in &report.violations {
+            println!("    violation: {v}");
+            failures += 1;
+        }
+        if verify {
+            let replay = run_sync_campaign(seed, steps);
+            if replay.log_text != report.log_text {
+                println!("    violation: replay of seed {seed:#x} DIVERGED");
+                failures += 1;
+            }
+        }
+        last = Some(report);
+    }
+    if let Some(report) = last {
+        println!(
+            "\nrack metrics of the last campaign (seed {:#018x}):",
+            report.seed
+        );
+        println!("{}", report.metrics);
+    }
+    failures
+}
+
 fn main() {
-    let (seeds, base_seed, steps, verify, tiering) = match parse_args() {
+    let (seeds, base_seed, steps, verify, tiering, sync) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("flac-faultstorm: {e}");
             eprintln!(
-                "usage: flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering]"
+                "usage: flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] \
+                 [--tiering|--sync]"
             );
             std::process::exit(2);
         }
@@ -116,7 +159,13 @@ fn main() {
 
     println!(
         "flac-faultstorm: {seeds} {}campaign(s) x {steps} steps, seeds {base_seed:#x}..{:#x}{}",
-        if tiering { "tiering " } else { "" },
+        if tiering {
+            "tiering "
+        } else if sync {
+            "sync "
+        } else {
+            ""
+        },
         base_seed + seeds,
         if verify {
             " (+replay verification)"
@@ -125,8 +174,12 @@ fn main() {
         }
     );
 
-    if tiering {
-        let failures = run_tiering(seeds, base_seed, steps, verify);
+    if tiering || sync {
+        let failures = if tiering {
+            run_tiering(seeds, base_seed, steps, verify)
+        } else {
+            run_sync(seeds, base_seed, steps, verify)
+        };
         if failures > 0 {
             eprintln!("\nflac-faultstorm: {failures} invariant violation(s)");
             std::process::exit(1);

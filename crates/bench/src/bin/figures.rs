@@ -1,7 +1,7 @@
 //! Regenerate the paper's figures/tables and the ablations.
 //!
 //! ```text
-//! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|all]
+//! figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|adaptive|all]
 //! ```
 //!
 //! Every figure is followed by the rack-wide metrics decomposition of a
@@ -10,7 +10,8 @@
 //! be traced back to the simulated operations that produced them.
 
 use bench::{
-    dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab, tiering_ab,
+    adaptive_ab, dedup_ab, fabric_ab, faultbox_ab, fig4, ipc_ab, pagecache_ab, startup, sync_ab,
+    tiering_ab,
 };
 use rack_sim::RackReport;
 
@@ -93,9 +94,18 @@ fn main() {
         ran = true;
     }
 
+    if matches!(arg.as_str(), "adaptive" | "all") {
+        println!("{}\n", adaptive_ab::report(&adaptive_ab::run()));
+        print_metrics(
+            "A8 representative cell (adaptive driver, 25% reads)",
+            &adaptive_ab::metrics(),
+        );
+        ran = true;
+    }
+
     if !ran {
         eprintln!(
-            "usage: figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|all]"
+            "usage: figures [fig4|startup|sync|pagecache|ipc|faultbox|dedup|fabric|tiering|adaptive|all]"
         );
         std::process::exit(2);
     }

@@ -925,6 +925,279 @@ pub fn run_tiering_campaign(seed: u64, steps: u32) -> TieringSurvivalReport {
     }
 }
 
+/// The shared ledger under the sync campaign's cell: committed entries
+/// in commit order (so divergence is directly visible).
+#[derive(Debug, Default)]
+struct SyncLedger {
+    entries: Vec<(u32, u32)>,
+}
+
+impl flacdk::sync::SyncState for SyncLedger {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = flacdk::wire::Decoder::new(op);
+        if let (Ok(node), Ok(step)) = (d.u32(), d.u32()) {
+            self.entries.push((node, step));
+        }
+    }
+}
+
+fn sync_op(node: usize, step: u32) -> Vec<u8> {
+    let mut e = flacdk::wire::Encoder::new();
+    e.put_u32(node as u32).put_u32(step);
+    e.into_vec()
+}
+
+/// Outcome of one sync-cell storm campaign.
+#[derive(Debug, Clone)]
+pub struct SyncSurvivalReport {
+    /// The seed the campaign ran from.
+    pub seed: u64,
+    /// Per-class storm operation counts.
+    pub counts: StormCounts,
+    /// Total executed steps (heal steps included).
+    pub events: usize,
+    /// Updates acknowledged (committed to the cell's op log).
+    pub ops_committed: u64,
+    /// Updates skipped because no live node could issue them.
+    pub ops_skipped: u64,
+    /// Delegation owners re-elected after a crash.
+    pub reelections: u64,
+    /// Entries the post-heal log replay reconstructed.
+    pub replayed: u64,
+    /// Invariant violations (empty on a surviving campaign).
+    pub violations: Vec<String>,
+    /// The byte-identical replay artifact.
+    pub log_text: String,
+    /// The merged rack metrics after the campaign.
+    pub metrics: rack_sim::RackReport,
+}
+
+impl SyncSurvivalReport {
+    /// Whether every invariant held.
+    pub fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One summary row for the survival table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:#018x} | {:>5} | {:>2}/{:<2} | {:>4}/{:<4} | {:>3} | {:>5} | {}",
+            self.seed,
+            self.events,
+            self.counts.crashes,
+            self.counts.restarts,
+            self.ops_committed,
+            self.ops_skipped,
+            self.reelections,
+            self.replayed,
+            if self.survived() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+
+    /// Header matching [`SyncSurvivalReport::row`].
+    pub fn header() -> &'static str {
+        "seed               | steps | cr/rs | op ok/skip | re# | rplay | verdict"
+    }
+}
+
+/// Run one seeded sync-cell storm campaign: every live node commits
+/// updates into one **delegated** [`flacdk::sync::SyncCell`] while the
+/// storm crashes and restarts nodes underneath it — including the
+/// delegation owner mid-stream. Crashes route through
+/// [`RecoveryOrchestrator::handle_node_crash`] with the cell attached
+/// ([`RecoveryOrchestrator::attach_sync`]), the same path `FlacRack`
+/// wires up, so a dead owner is re-elected and the committed op log
+/// drained by a survivor.
+///
+/// Invariants checked after the heal:
+///
+/// 1. **No committed update lost** — the cell's final state holds
+///    exactly the acknowledged ops, in commit (log) order, across every
+///    re-election.
+/// 2. **Replay-verified** — replaying the cell's op log from scratch
+///    ([`flacdk::sync::SyncCell::replay`]) reconstructs the identical
+///    state (the campaign never garbage-collects the log, precisely so
+///    this check can cover its whole history).
+/// 3. **Liveness** — after the heal every node can read the cell and
+///    commit one more update through the re-elected owner.
+///
+/// Fully deterministic: the same `(seed, steps)` produces a
+/// byte-identical [`SyncSurvivalReport::log_text`].
+///
+/// # Panics
+///
+/// Panics if the rack cannot boot — a harness bug, not an outcome.
+#[allow(clippy::too_many_lines)]
+pub fn run_sync_campaign(seed: u64, steps: u32) -> SyncSurvivalReport {
+    use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy};
+
+    let rack = rack_sim::Rack::new(
+        RackConfig::n_node(NODES)
+            .with_global_mem(64 << 20)
+            .with_seed(seed ^ 0xF1AC),
+    );
+    let n = rack.node_count();
+    // A generously sized log and no gc() calls: the whole campaign must
+    // stay replayable for invariant 2.
+    let cell = SyncCell::alloc(
+        rack.global(),
+        "storm_ledger",
+        SyncCellConfig::new(n, SyncPolicy::Delegated).with_log(4096, 32),
+        SyncLedger::default(),
+    )
+    .expect("cell");
+    let mut orch = RecoveryOrchestrator::new();
+    orch.attach_sync(cell.clone());
+
+    let mut live = vec![true; n];
+    // Acknowledged ops keyed by commit index: the model the final state
+    // must match exactly.
+    let mut model: Vec<(u64, (u32, u32))> = Vec::new();
+    let mut ops_committed = 0u64;
+    let mut ops_skipped = 0u64;
+    let mut reelections = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let config = StormConfig {
+        steps,
+        min_live_nodes: 2,
+        link_fail_weight: 0,
+        link_restore_weight: 0,
+        poison_weight: 0,
+        delayed_writeback_weight: 0,
+        poison_region: None,
+        ..StormConfig::default()
+    };
+    let campaign = StormCampaign::new(seed, config);
+    let report = campaign.run(&rack, |step, op, rack| match *op {
+        StormOp::Workload => {
+            // A round-robin live node commits one update; a second live
+            // node reads and must see every previously committed op.
+            let Some(writer) = (step as usize..step as usize + n)
+                .map(|k| k % n)
+                .find(|&k| live[k])
+            else {
+                ops_skipped += 1;
+                return "update skipped: no live writer".to_string();
+            };
+            let ctx = rack.node(writer);
+            match cell.update(&ctx, &sync_op(writer, step)) {
+                Ok(idx) => {
+                    model.push((idx, (writer as u32, step)));
+                    ops_committed += 1;
+                    let reader = (0..n).rev().find(|&k| live[k]).expect("live reader");
+                    let seen = cell
+                        .read(&rack.node(reader), |l| l.entries.len())
+                        .expect("read");
+                    if (seen as u64) < ops_committed {
+                        violations.push(format!(
+                            "step {step}: n{reader} sees {seen} < {ops_committed} committed"
+                        ));
+                    }
+                    format!("op {idx} committed from n{writer}, n{reader} sees {seen}")
+                }
+                Err(e) => {
+                    ops_skipped += 1;
+                    format!("update degraded on n{writer}: {e}")
+                }
+            }
+        }
+        StormOp::CrashNode { node } => {
+            let node_idx = node.0;
+            live[node_idx] = false;
+            let rescuer = live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+            let ctx = rack.node(rescuer);
+            let owner_before = cell.owner_node(&ctx).expect("owner");
+            match orch.handle_node_crash(&ctx, node) {
+                Ok(_) => {
+                    let owner_after = cell.owner_node(&ctx).expect("owner");
+                    if owner_before == Some(node) {
+                        reelections += 1;
+                        format!(
+                            "crash n{node_idx}: delegation owner died; n{rescuer} re-elected \
+                             (owner now {owner_after:?})"
+                        )
+                    } else {
+                        format!("crash n{node_idx}: owner {owner_before:?} unaffected")
+                    }
+                }
+                Err(e) => {
+                    violations.push(format!("step {step}: sync recovery failed: {e}"));
+                    format!("crash n{node_idx}: sync recovery FAILED: {e}")
+                }
+            }
+        }
+        StormOp::RestartNode { node } => {
+            live[node.0] = true;
+            format!("restart n{}: rejoins as a plain client", node.0)
+        }
+        StormOp::DelayedWriteback { .. }
+        | StormOp::FailLink { .. }
+        | StormOp::RestoreLink { .. }
+        | StormOp::PoisonWord { .. } => "unused op class (weight 0)".to_string(),
+    });
+
+    // --- Invariant 1: no committed update lost, in commit order.
+    model.sort_unstable_by_key(|&(idx, _)| idx);
+    let expected: Vec<(u32, u32)> = model.iter().map(|&(_, op)| op).collect();
+    let n0 = rack.node(0);
+    let final_entries = cell.read(&n0, |l| l.entries.clone()).expect("final read");
+    if final_entries != expected {
+        violations.push(format!(
+            "committed ops lost or reordered: cell has {} entries, model {}",
+            final_entries.len(),
+            expected.len()
+        ));
+    }
+
+    // --- Invariant 2: replaying the log from scratch reconstructs the
+    // identical state.
+    let (replayed_state, replayed) = cell.replay(&n0, SyncLedger::default()).expect("log replay");
+    if replayed_state.entries != expected {
+        violations.push(format!(
+            "log replay diverged: {} replayed entries vs {} committed",
+            replayed_state.entries.len(),
+            expected.len()
+        ));
+    }
+
+    // --- Invariant 3: liveness through the re-elected owner.
+    for i in 0..n {
+        if !rack.is_alive(NodeId(i)) {
+            violations.push(format!("node {i} still down after heal"));
+        }
+    }
+    match cell.update(&n0, &sync_op(0, steps)) {
+        Ok(_) => {
+            let len = cell.read(&n0, |l| l.entries.len()).expect("post-heal read");
+            if len as u64 != ops_committed + 1 {
+                violations.push(format!(
+                    "post-heal update invisible: {len} entries vs {} expected",
+                    ops_committed + 1
+                ));
+            }
+        }
+        Err(e) => violations.push(format!("post-heal update failed: {e}")),
+    }
+
+    SyncSurvivalReport {
+        seed,
+        counts: report.counts,
+        events: report.events.len(),
+        ops_committed,
+        ops_skipped,
+        reelections,
+        replayed,
+        violations,
+        log_text: report.log_text(),
+        metrics: rack.metrics_report(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,6 +1249,40 @@ mod tests {
             run_tiering_campaign(8, 60).log_text,
             "different seeds diverge"
         );
+    }
+
+    #[test]
+    fn sync_campaign_survives_and_replays() {
+        let r = run_sync_campaign(0xF1AC_5C11, 60);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.ops_committed > 0, "workload actually committed updates");
+        assert_eq!(r.replayed, r.ops_committed, "log covers every commit");
+        assert!(r.counts.crashes > 0, "storm actually crashed nodes");
+    }
+
+    #[test]
+    fn sync_replay_is_byte_identical() {
+        let a = run_sync_campaign(11, 60);
+        let b = run_sync_campaign(11, 60);
+        assert_eq!(a.log_text, b.log_text, "same seed, same bytes");
+        assert_ne!(
+            a.log_text,
+            run_sync_campaign(12, 60).log_text,
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn some_seed_kills_the_delegation_owner_mid_storm() {
+        // The headline invariant — owner crash mid-delegation loses no
+        // committed op — must actually fire across a small seed sweep.
+        let mut reelections = 0u64;
+        for seed in 1..=6 {
+            let r = run_sync_campaign(seed, 60);
+            assert!(r.survived(), "seed {seed} violations: {:?}", r.violations);
+            reelections += r.reelections;
+        }
+        assert!(reelections > 0, "no campaign crashed the delegation owner");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! | [`dedup_ab`] | Ablation A5 — page dedup effectiveness |
 //! | [`fabric_ab`] | Ablation A6 — sensitivity to the interconnect generation |
 //! | [`tiering_ab`] | Ablation A7 — page tiering daemon off vs on |
+//! | [`adaptive_ab`] | Ablation A8 — fixed sync policies vs adaptive driver |
 
+pub mod adaptive_ab;
 pub mod dedup_ab;
 pub mod fabric_ab;
 pub mod faultbox_ab;

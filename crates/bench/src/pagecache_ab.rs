@@ -63,7 +63,7 @@ fn run_cell_on(rack: &Rack, nodes: usize, files: usize, pages_per_file: u64) -> 
         alloc,
         epochs,
         RetireList::new(),
-        Arc::new(BlockDevice::nvme()),
+        Arc::new(BlockDevice::nvme(rack.global(), nodes).expect("device")),
     )
     .expect("fs");
 

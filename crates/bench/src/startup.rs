@@ -61,7 +61,7 @@ fn run_on_rack(rack: &Rack, image_pages: u64, scale: u64) -> StartupRows {
         alloc,
         epochs,
         RetireList::new(),
-        Arc::new(BlockDevice::nvme()),
+        Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).expect("device")),
     )
     .expect("fs");
 

@@ -1,0 +1,1034 @@
+//! `SyncCell<T>` — one policy-driven facade over the §3.2 families.
+//!
+//! Every rack-shared kernel structure used to pick (or worse, inherit)
+//! its synchronization method ad hoc; after this module they all go
+//! through one audited abstraction. A [`SyncCell`] wraps a deterministic
+//! state machine (a [`SyncState`]) behind a uniform
+//! `read(|&T|)/update(op)` interface whose *backend* — locking,
+//! replication, delegation, or RCU — is chosen per structure at
+//! construction ([`SyncPolicy`]) and can be re-tuned at runtime from the
+//! observed read/write mix ([`AdaptiveConfig`], hysteresis included).
+//!
+//! The design centers on a committed-operation log:
+//!
+//! * Every update is first **committed** to a [`SharedOpLog`] in global
+//!   memory (fabric CAS tail claim + publish + commit flag) and only
+//!   then folded into the state. The log is therefore the source of
+//!   truth: a policy switch drains to the log tail before flipping
+//!   (epoch-quiesced — no committed op is lost or reordered), and crash
+//!   recovery ([`SyncCell::on_node_crash`], [`SyncCell::replay`])
+//!   re-elects the delegation owner and replays the tail.
+//! * Per-policy behavior differs in which fabric operations wrap the
+//!   commit. Locking pays two fabric atomics plus the flush discipline
+//!   per section; replication makes reads node-local after a tail check
+//!   but charges each node the replay of foreign mutations; delegation
+//!   ships remote operations to the owner over the message fabric and
+//!   leaves owner operations local; RCU reads are a constant
+//!   version-cell load and writes pay a publish.
+//!
+//! Observability rides the PR-1 metrics layer: per-policy op counts,
+//! policy-switch events, and delegation queue depth land in the `sync/*`
+//! counter registry and surface in `Rack::metrics_report()`.
+
+use crate::hw::GlobalCell;
+use crate::sync::oplog::SharedOpLog;
+use crate::sync::spinlock::GlobalSpinLock;
+use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use std::sync::Arc;
+
+/// A deterministic state machine managed by a [`SyncCell`].
+///
+/// `apply` must be a pure function of `(state, op)`: replaying the same
+/// committed op sequence from the same initial state must reproduce the
+/// same final state on any node (that is what makes policy switches and
+/// crash recovery lossless). Malformed ops must be ignored, not panic.
+pub trait SyncState: Send + std::fmt::Debug + 'static {
+    /// Fold one committed operation into the state.
+    fn apply(&mut self, op: &[u8]);
+}
+
+/// The synchronization backend a [`SyncCell`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Baseline global spinlock + flush discipline (rarely-contended
+    /// slow paths; kept honest for comparison).
+    Lock,
+    /// NR-style replication: node-local reads after a log tail check;
+    /// every node replays foreign mutations. Best read-mostly.
+    Replicated,
+    /// ffwd-style delegation: one owner node executes all operations;
+    /// remote nodes ship requests over the message fabric. Best
+    /// write-heavy.
+    Delegated,
+    /// Epoch/RCU multi-version: constant-cost reads off a version cell;
+    /// writes pay a publish. Best scan-heavy.
+    Rcu,
+}
+
+impl SyncPolicy {
+    /// Stable numeric encoding (for the policy mirror cell).
+    pub fn encode(self) -> u64 {
+        match self {
+            SyncPolicy::Lock => 0,
+            SyncPolicy::Replicated => 1,
+            SyncPolicy::Delegated => 2,
+            SyncPolicy::Rcu => 3,
+        }
+    }
+
+    /// Inverse of [`SyncPolicy::encode`] (unknown values read as Lock,
+    /// the conservative baseline).
+    pub fn decode(v: u64) -> Self {
+        match v {
+            1 => SyncPolicy::Replicated,
+            2 => SyncPolicy::Delegated,
+            3 => SyncPolicy::Rcu,
+            _ => SyncPolicy::Lock,
+        }
+    }
+
+    /// Human-readable label (also the `sync/ops_*` counter suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncPolicy::Lock => "lock",
+            SyncPolicy::Replicated => "replicated",
+            SyncPolicy::Delegated => "delegated",
+            SyncPolicy::Rcu => "rcu",
+        }
+    }
+
+    fn ops_counter(self) -> &'static str {
+        match self {
+            SyncPolicy::Lock => "ops_lock",
+            SyncPolicy::Replicated => "ops_replicated",
+            SyncPolicy::Delegated => "ops_delegated",
+            SyncPolicy::Rcu => "ops_rcu",
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning knobs for the adaptive policy driver.
+///
+/// The driver observes a window of operations, computes the read
+/// percentage, and proposes a backend: `>= promote_read_pct` →
+/// [`SyncPolicy::Replicated`], `<= demote_read_pct` →
+/// [`SyncPolicy::Delegated`], in between → keep the current one. The gap
+/// between the two thresholds plus the `confirm_windows` requirement
+/// (the proposal must repeat in consecutive windows) is the hysteresis
+/// that keeps a borderline workload from thrashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Operations per observation window.
+    pub window_ops: u64,
+    /// Read percentage at or above which replication is proposed.
+    pub promote_read_pct: u32,
+    /// Read percentage at or below which delegation is proposed.
+    pub demote_read_pct: u32,
+    /// Consecutive agreeing windows required before switching.
+    pub confirm_windows: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window_ops: 64,
+            promote_read_pct: 80,
+            demote_read_pct: 60,
+            confirm_windows: 2,
+        }
+    }
+}
+
+/// The runtime state of the adaptive driver.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    cfg: AdaptiveConfig,
+    window_reads: u64,
+    window_writes: u64,
+    window_remote: u64,
+    candidate: Option<SyncPolicy>,
+    streak: u32,
+}
+
+impl AdaptivePolicy {
+    fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptivePolicy {
+            cfg,
+            window_reads: 0,
+            window_writes: 0,
+            window_remote: 0,
+            candidate: None,
+            streak: 0,
+        }
+    }
+
+    /// Record one op; when the window closes, return the policy the
+    /// driver wants to switch to (hysteresis already applied).
+    fn observe(&mut self, current: SyncPolicy, is_read: bool, remote: bool) -> Option<SyncPolicy> {
+        if is_read {
+            self.window_reads += 1;
+        } else {
+            self.window_writes += 1;
+        }
+        if remote {
+            self.window_remote += 1;
+        }
+        let total = self.window_reads + self.window_writes;
+        if total < self.cfg.window_ops {
+            return None;
+        }
+        let read_pct = (100 * self.window_reads / total) as u32;
+        self.window_reads = 0;
+        self.window_writes = 0;
+        self.window_remote = 0;
+        let proposal = if read_pct >= self.cfg.promote_read_pct {
+            SyncPolicy::Replicated
+        } else if read_pct <= self.cfg.demote_read_pct {
+            SyncPolicy::Delegated
+        } else {
+            current
+        };
+        if proposal == current {
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        }
+        if self.candidate == Some(proposal) {
+            self.streak += 1;
+        } else {
+            self.candidate = Some(proposal);
+            self.streak = 1;
+        }
+        if self.streak >= self.cfg.confirm_windows {
+            self.candidate = None;
+            self.streak = 0;
+            Some(proposal)
+        } else {
+            None
+        }
+    }
+}
+
+/// Construction parameters for a [`SyncCell`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncCellConfig {
+    /// Nodes that may operate on the cell.
+    pub nodes: usize,
+    /// Committed-op log capacity in slots.
+    pub log_capacity: usize,
+    /// Log slot size in bytes (16 of which are metadata).
+    pub entry_size: usize,
+    /// Initial backend.
+    pub policy: SyncPolicy,
+    /// Enable the adaptive driver with these knobs.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Approximate protected-state footprint in bytes, used by the Lock
+    /// and RCU backends to charge the flush discipline.
+    pub footprint_bytes: usize,
+}
+
+impl SyncCellConfig {
+    /// Defaults: 4096-slot log of 64-byte entries, one-line footprint,
+    /// no adaptive driver.
+    pub fn new(nodes: usize, policy: SyncPolicy) -> Self {
+        SyncCellConfig {
+            nodes,
+            log_capacity: 4096,
+            entry_size: 64,
+            policy,
+            adaptive: None,
+            footprint_bytes: rack_sim::LINE_SIZE,
+        }
+    }
+
+    /// Override the committed-op log geometry.
+    pub fn with_log(mut self, capacity: usize, entry_size: usize) -> Self {
+        self.log_capacity = capacity;
+        self.entry_size = entry_size;
+        self
+    }
+
+    /// Enable runtime re-tuning.
+    pub fn with_adaptive(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = Some(cfg);
+        self
+    }
+
+    /// Override the charged state footprint.
+    pub fn with_footprint(mut self, bytes: usize) -> Self {
+        self.footprint_bytes = bytes.max(1);
+        self
+    }
+}
+
+/// Per-cell host-side state: the authoritative state machine plus the
+/// per-node bookkeeping the cost model and the adaptive driver need.
+#[derive(Debug)]
+struct CellInner<T: SyncState> {
+    state: T,
+    /// Next log index to fold into `state`.
+    applied: u64,
+    /// Committed entries skipped because their appender crashed
+    /// mid-publish (claimed-but-uncommitted holes).
+    holes: u64,
+    policy: SyncPolicy,
+    /// Per-node replicated watermark (cost model for catch-up replay).
+    synced: Vec<u64>,
+    /// Cached delegation owner (kept in lock-step with the owner cell).
+    owner_hint: usize,
+    adaptive: Option<AdaptivePolicy>,
+    /// Simulated delegation queue: remote requests since the owner last
+    /// ran an operation (its "poll").
+    queue_depth: u64,
+    /// Largest queue depth observed.
+    queue_peak: u64,
+}
+
+/// A rack-shared structure behind one policy-driven synchronization
+/// facade. Cheap to share: wrap in `Arc` and hand to every node.
+#[derive(Debug)]
+pub struct SyncCell<T: SyncState> {
+    name: &'static str,
+    log: SharedOpLog,
+    /// Per-node applied watermarks in global memory (GC + recovery
+    /// accounting; updated eagerly only by the replicated backend).
+    applied_cells: Vec<GlobalCell>,
+    /// Delegation owner, node id + 1 (0 = none elected yet).
+    owner: GlobalCell,
+    /// Mirror of the current policy for cross-node discovery.
+    policy_cell: GlobalCell,
+    /// Policy-switch epoch: bumped by every completed switch.
+    switch_epoch: GlobalCell,
+    /// RCU version cell (bumped per publish).
+    version: GlobalCell,
+    /// Serializes policy switches and the Lock backend.
+    lock: GlobalSpinLock,
+    footprint_bytes: usize,
+    inner: rack_sim::sync::Mutex<CellInner<T>>,
+}
+
+fn lines(bytes: usize) -> u64 {
+    bytes.div_ceil(rack_sim::LINE_SIZE) as u64
+}
+
+impl<T: SyncState> SyncCell<T> {
+    /// Allocate the cell's fabric state and wrap `init`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes == 0`.
+    pub fn alloc(
+        global: &GlobalMemory,
+        name: &'static str,
+        cfg: SyncCellConfig,
+        init: T,
+    ) -> Result<Arc<Self>, SimError> {
+        assert!(cfg.nodes > 0, "a sync cell needs at least one node");
+        let log = SharedOpLog::alloc(global, cfg.log_capacity, cfg.entry_size)?;
+        let applied_cells = (0..cfg.nodes)
+            .map(|_| GlobalCell::alloc(global, 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Node 0 is the initial delegation owner until told otherwise.
+        let owner = GlobalCell::alloc(global, 1)?;
+        let policy_cell = GlobalCell::alloc(global, cfg.policy.encode())?;
+        let switch_epoch = GlobalCell::alloc(global, 0)?;
+        let version = GlobalCell::alloc(global, 0)?;
+        let lock = GlobalSpinLock::alloc(global)?;
+        Ok(Arc::new(SyncCell {
+            name,
+            log,
+            applied_cells,
+            owner,
+            policy_cell,
+            switch_epoch,
+            version,
+            lock,
+            footprint_bytes: cfg.footprint_bytes,
+            inner: rack_sim::sync::Mutex::new(CellInner {
+                state: init,
+                applied: 0,
+                holes: 0,
+                policy: cfg.policy,
+                synced: vec![0; cfg.nodes],
+                owner_hint: 0,
+                adaptive: cfg.adaptive.map(AdaptivePolicy::new),
+                queue_depth: 0,
+                queue_peak: 0,
+            }),
+        }))
+    }
+
+    /// The cell's name (used in diagnostics and DESIGN.md tables).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current backend (host snapshot; authoritative between switches).
+    pub fn policy(&self) -> SyncPolicy {
+        self.inner.lock().policy
+    }
+
+    /// Completed policy switches (reads the fabric epoch cell).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn switch_epoch(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        self.switch_epoch.load(ctx)
+    }
+
+    /// The delegation owner currently elected, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn owner_node(&self, ctx: &NodeCtx) -> Result<Option<NodeId>, SimError> {
+        let w = self.owner.load(ctx)?;
+        Ok(if w == 0 {
+            None
+        } else {
+            Some(NodeId((w - 1) as usize))
+        })
+    }
+
+    /// Committed operations so far (the log tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn committed(&self, ctx: &NodeCtx) -> Result<u64, SimError> {
+        self.log.tail(ctx)
+    }
+
+    /// Peek at the state without charging simulated costs. Diagnostics
+    /// and invariant checks only — kernel paths must use
+    /// [`SyncCell::read`] so the policy's cost lands on the caller.
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.inner.lock().state)
+    }
+
+    /// Largest simulated delegation queue depth observed so far.
+    pub fn queue_peak(&self) -> u64 {
+        self.inner.lock().queue_peak
+    }
+
+    fn me(&self, ctx: &NodeCtx) -> usize {
+        let id = ctx.id().0;
+        assert!(
+            id < self.applied_cells.len(),
+            "cell {} sized for {} nodes, node id {}",
+            self.name,
+            self.applied_cells.len(),
+            id
+        );
+        id
+    }
+
+    /// Fold committed entries `[inner.applied, target)` into the state.
+    /// Claimed-but-uncommitted holes (appender crashed mid-publish) are
+    /// skipped: their op was never acknowledged to anyone.
+    fn drain_to(
+        &self,
+        ctx: &NodeCtx,
+        inner: &mut CellInner<T>,
+        target: u64,
+    ) -> Result<(), SimError> {
+        while inner.applied < target {
+            match self.log.read(ctx, inner.applied)? {
+                Some(op) => {
+                    inner.state.apply(&op);
+                    ctx.charge(ctx.latency().local_write_ns);
+                }
+                None => inner.holes += 1,
+            }
+            inner.applied += 1;
+        }
+        Ok(())
+    }
+
+    /// Charge node `me`'s replicated catch-up replay from its watermark
+    /// to `target`, touching the real log slots.
+    fn charge_catch_up(
+        &self,
+        ctx: &NodeCtx,
+        inner: &mut CellInner<T>,
+        me: usize,
+        target: u64,
+    ) -> Result<(), SimError> {
+        if inner.synced[me] >= target {
+            return Ok(());
+        }
+        let head = self.log.head(ctx)?;
+        if inner.synced[me] < head {
+            // The entries this replica missed were garbage collected:
+            // model a bulk snapshot fetch (one fabric read of the state
+            // footprint) instead of per-entry replay.
+            let lat = ctx.latency();
+            ctx.charge(
+                lines(self.footprint_bytes) * (lat.invalidate_line_ns + lat.local_write_ns)
+                    + lat.global_read_ns,
+            );
+            inner.synced[me] = head;
+        }
+        let mut idx = inner.synced[me];
+        while idx < target {
+            // The replica replays the committed entry: wire read + local
+            // apply. The state itself was already folded at commit time;
+            // this is the per-node cost of the replication family.
+            let _ = self.log.read(ctx, idx)?;
+            ctx.charge(ctx.latency().local_write_ns);
+            idx += 1;
+        }
+        inner.synced[me] = target;
+        self.applied_cells[me].store(ctx, target)?;
+        Ok(())
+    }
+
+    /// Per-policy cost + fabric work for one operation. Returns whether
+    /// the op ran remotely (shipped to a delegation owner).
+    fn pre_op(
+        &self,
+        ctx: &NodeCtx,
+        inner: &mut CellInner<T>,
+        me: usize,
+        is_read: bool,
+        op_len: usize,
+    ) -> Result<bool, SimError> {
+        let lat = ctx.latency();
+        match inner.policy {
+            SyncPolicy::Lock => {
+                // Whole section under the fabric lock; the flush
+                // discipline (invalidate before read, write back after
+                // write) is what locking costs on a non-coherent fabric.
+                let guard = self.lock.lock(ctx)?;
+                let l = lines(self.footprint_bytes);
+                if is_read {
+                    ctx.charge(l * lat.invalidate_line_ns + lat.global_read_ns);
+                } else {
+                    ctx.charge(
+                        l * lat.invalidate_line_ns + lat.global_read_ns + l * lat.writeback_line_ns,
+                    );
+                }
+                guard.unlock()?;
+                Ok(false)
+            }
+            SyncPolicy::Replicated => {
+                let tail = self.log.tail(ctx)?;
+                self.charge_catch_up(ctx, inner, me, tail)?;
+                Ok(false)
+            }
+            SyncPolicy::Delegated => {
+                if me == inner.owner_hint {
+                    // Owner fast path: operations run in local memory;
+                    // an op also drains the simulated request queue.
+                    inner.queue_depth = 0;
+                    Ok(false)
+                } else {
+                    // Request + reply ride the message fabric.
+                    let req = 24 + op_len;
+                    ctx.charge(lat.message_ns(1, req) + lat.message_ns(1, 16));
+                    ctx.charge(lat.local_read_ns + lat.local_write_ns);
+                    inner.queue_depth += 1;
+                    inner.queue_peak = inner.queue_peak.max(inner.queue_depth);
+                    let reg = ctx.stats().registry();
+                    reg.add("sync", "delegation_queued", 1);
+                    reg.add("sync", "delegation_queue_depth", inner.queue_depth);
+                    Ok(true)
+                }
+            }
+            SyncPolicy::Rcu => {
+                // Readers ride the version cell; writers publish a fresh
+                // version (write-back) and bump it with a fabric atomic.
+                let _ = self.version.load(ctx)?;
+                if is_read {
+                    ctx.charge(lat.invalidate_line_ns);
+                } else {
+                    ctx.charge(lines(op_len.max(1)) * lat.writeback_line_ns);
+                    self.version.fetch_add(ctx, 1)?;
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Adaptive bookkeeping after an op; performs the quiesced switch
+    /// when the driver's hysteresis allows one.
+    fn post_op(
+        &self,
+        ctx: &NodeCtx,
+        inner: &mut CellInner<T>,
+        is_read: bool,
+        remote: bool,
+    ) -> Result<(), SimError> {
+        ctx.stats()
+            .registry()
+            .add("sync", inner.policy.ops_counter(), 1);
+        let current = inner.policy;
+        let target = match inner.adaptive.as_mut() {
+            Some(driver) => driver.observe(current, is_read, remote),
+            None => None,
+        };
+        if let Some(target) = target {
+            self.switch_locked(ctx, inner, target)?;
+        }
+        Ok(())
+    }
+
+    /// Read the state through the current policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn read<R>(&self, ctx: &NodeCtx, f: impl FnOnce(&T) -> R) -> Result<R, SimError> {
+        let me = self.me(ctx);
+        let mut inner = self.inner.lock();
+        let remote = self.pre_op(ctx, &mut inner, me, true, 0)?;
+        ctx.charge(ctx.latency().local_read_ns);
+        let out = f(&inner.state);
+        self.post_op(ctx, &mut inner, true, remote)?;
+        Ok(out)
+    }
+
+    /// Commit `op` to the log and fold it into the state.
+    /// Returns the op's log index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-full and memory errors; on error the state is
+    /// unchanged and the op is not acknowledged.
+    pub fn update(&self, ctx: &NodeCtx, op: &[u8]) -> Result<u64, SimError> {
+        self.update_map(ctx, op, |_| ()).map(|(idx, ())| idx)
+    }
+
+    /// Commit `op`, fold it in, and run `f` on the **post-op** state
+    /// atomically (flat-combining style: the caller derives its answer
+    /// from the state the op produced, while replay needs only the op
+    /// bytes). Returns `(log index, f's result)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyncCell::update`].
+    pub fn update_map<R>(
+        &self,
+        ctx: &NodeCtx,
+        op: &[u8],
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<(u64, R), SimError> {
+        let me = self.me(ctx);
+        let mut inner = self.inner.lock();
+        let remote = self.pre_op(ctx, &mut inner, me, false, op.len())?;
+        let idx = self.log.append(ctx, op)?;
+        // Fold any holes left by crashed appenders, then our own op.
+        self.drain_to(ctx, &mut inner, idx)?;
+        inner.state.apply(op);
+        ctx.charge(ctx.latency().local_write_ns);
+        inner.applied = idx + 1;
+        inner.synced[me] = idx + 1;
+        if inner.policy == SyncPolicy::Replicated {
+            self.applied_cells[me].store(ctx, idx + 1)?;
+        }
+        let out = f(&inner.state);
+        self.post_op(ctx, &mut inner, false, remote)?;
+        Ok((idx, out))
+    }
+
+    /// The epoch-quiesced backend switch. Caller holds the host mutex;
+    /// the fabric lock serializes against other nodes' switches.
+    fn switch_locked(
+        &self,
+        ctx: &NodeCtx,
+        inner: &mut CellInner<T>,
+        target: SyncPolicy,
+    ) -> Result<bool, SimError> {
+        if inner.policy == target {
+            return Ok(false);
+        }
+        let guard = self.lock.lock(ctx)?;
+        // Drain: every committed op folds in before the flip, so the
+        // switch can neither lose nor reorder committed updates.
+        let tail = self.log.tail(ctx)?;
+        self.drain_to(ctx, inner, tail)?;
+        // Quiesce: publish every node's watermark at the drained tail
+        // and bump the switch epoch so late readers re-discover.
+        for (i, cell) in self.applied_cells.iter().enumerate() {
+            cell.store(ctx, inner.applied)?;
+            inner.synced[i] = inner.applied;
+        }
+        if target == SyncPolicy::Delegated {
+            // The switching node becomes the owner.
+            let me = self.me(ctx);
+            self.owner.store(ctx, me as u64 + 1)?;
+            inner.owner_hint = me;
+            inner.queue_depth = 0;
+        }
+        self.policy_cell.store(ctx, target.encode())?;
+        self.switch_epoch.fetch_add(ctx, 1)?;
+        inner.policy = target;
+        guard.unlock()?;
+        ctx.stats().registry().add("sync", "policy_switch", 1);
+        Ok(true)
+    }
+
+    /// Force the backend to `target` (quiesced drain included). Returns
+    /// whether a switch happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn set_policy(&self, ctx: &NodeCtx, target: SyncPolicy) -> Result<bool, SimError> {
+        let mut inner = self.inner.lock();
+        self.switch_locked(ctx, &mut inner, target)
+    }
+
+    /// Crash recovery: if `crashed` owned the delegated partition,
+    /// re-elect the calling node and replay the committed log tail into
+    /// the state. Safe (and cheap) to call for any policy — committed
+    /// ops are always drained. Returns whether a re-election happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn on_node_crash(&self, ctx: &NodeCtx, crashed: NodeId) -> Result<bool, SimError> {
+        let mut inner = self.inner.lock();
+        let tail = self.log.tail(ctx)?;
+        self.drain_to(ctx, &mut inner, tail)?;
+        let mut reelected = false;
+        if inner.policy == SyncPolicy::Delegated && inner.owner_hint == crashed.0 {
+            let me = self.me(ctx);
+            let dead = crashed.0 as u64 + 1;
+            let prev = self.owner.compare_exchange(ctx, dead, me as u64 + 1)?;
+            inner.owner_hint = if prev == dead {
+                me
+            } else {
+                (prev - 1) as usize
+            };
+            inner.queue_depth = 0;
+            ctx.stats().registry().add("sync", "reelections", 1);
+            reelected = true;
+        }
+        Ok(reelected)
+    }
+
+    /// Rebuild a state from scratch by replaying every committed log
+    /// entry (the recovery/verification path). Returns the rebuilt state
+    /// and the number of entries replayed (holes skipped). Only complete
+    /// while the log has not been garbage collected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn replay(&self, ctx: &NodeCtx, mut init: T) -> Result<(T, u64), SimError> {
+        let head = self.log.head(ctx)?;
+        let tail = self.log.tail(ctx)?;
+        let mut replayed = 0;
+        for idx in head..tail {
+            if let Some(op) = self.log.read(ctx, idx)? {
+                init.apply(&op);
+                replayed += 1;
+            }
+        }
+        Ok((init, replayed))
+    }
+
+    /// Release consumed log slots. Because the cell folds ops at commit
+    /// time, everything up to `applied` is reclaimable — but a full
+    /// [`SyncCell::replay`] is no longer possible past the new head, so
+    /// long-running deployments trade replayability for bounded memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn gc(&self, ctx: &NodeCtx) -> Result<(), SimError> {
+        let inner = self.inner.lock();
+        if inner.applied > self.log.head(ctx)? {
+            self.log.advance_head(ctx, inner.applied)?;
+        }
+        Ok(())
+    }
+}
+
+/// Object-safe recovery hook: lets `flacos-fault`'s orchestrator route a
+/// node crash through every registered cell without knowing its state
+/// type.
+pub trait SyncRecover: Send + Sync + std::fmt::Debug {
+    /// The cell's diagnostic name.
+    fn cell_name(&self) -> &'static str;
+
+    /// Handle a node crash (re-election + committed-op drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    fn recover_after_crash(&self, ctx: &NodeCtx, crashed: NodeId) -> Result<bool, SimError>;
+}
+
+impl<T: SyncState> SyncRecover for SyncCell<T> {
+    fn cell_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn recover_after_crash(&self, ctx: &NodeCtx, crashed: NodeId) -> Result<bool, SimError> {
+        self.on_node_crash(ctx, crashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rack_sim::{Rack, RackConfig};
+
+    /// Toy state: an ordered map under `insert(k, v)` / `remove(k)` ops.
+    #[derive(Debug, Default, PartialEq)]
+    struct Kv {
+        map: std::collections::BTreeMap<u64, u64>,
+        ops: u64,
+    }
+
+    impl SyncState for Kv {
+        fn apply(&mut self, op: &[u8]) {
+            let mut d = crate::wire::Decoder::new(op);
+            let (Ok(tag), Ok(k)) = (d.u8(), d.u64()) else {
+                return;
+            };
+            match tag {
+                0 => {
+                    let Ok(v) = d.u64() else { return };
+                    self.map.insert(k, v);
+                }
+                1 => {
+                    self.map.remove(&k);
+                }
+                _ => {}
+            }
+            self.ops += 1;
+        }
+    }
+
+    fn ins(k: u64, v: u64) -> Vec<u8> {
+        let mut e = crate::wire::Encoder::new();
+        e.put_u8(0).put_u64(k).put_u64(v);
+        e.into_vec()
+    }
+
+    fn del(k: u64) -> Vec<u8> {
+        let mut e = crate::wire::Encoder::new();
+        e.put_u8(1).put_u64(k);
+        e.into_vec()
+    }
+
+    fn cell(rack: &Rack, policy: SyncPolicy) -> Arc<SyncCell<Kv>> {
+        SyncCell::alloc(
+            rack.global(),
+            "test_kv",
+            SyncCellConfig::new(rack.node_count(), policy),
+            Kv::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_policy_reads_its_writes_cross_node() {
+        for policy in [
+            SyncPolicy::Lock,
+            SyncPolicy::Replicated,
+            SyncPolicy::Delegated,
+            SyncPolicy::Rcu,
+        ] {
+            let rack = Rack::new(RackConfig::small_test());
+            let c = cell(&rack, policy);
+            c.update(&rack.node(0), &ins(1, 10)).unwrap();
+            c.update(&rack.node(1), &ins(2, 20)).unwrap();
+            c.update(&rack.node(0), &del(1)).unwrap();
+            let snap = c
+                .read(&rack.node(1), |kv| (kv.map.get(&2).copied(), kv.map.len()))
+                .unwrap();
+            assert_eq!(snap, (Some(20), 1), "{policy} lost an update");
+            assert_eq!(c.committed(&rack.node(0)).unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn update_map_sees_post_op_state() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c = cell(&rack, SyncPolicy::Delegated);
+        let (idx, len) = c
+            .update_map(&rack.node(0), &ins(7, 70), |kv| kv.map.len())
+            .unwrap();
+        assert_eq!((idx, len), (0, 1));
+    }
+
+    #[test]
+    fn switch_preserves_state_and_bumps_epoch() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c = cell(&rack, SyncPolicy::Replicated);
+        let n0 = rack.node(0);
+        for i in 0..10 {
+            c.update(&n0, &ins(i, i * 2)).unwrap();
+        }
+        assert!(c.set_policy(&n0, SyncPolicy::Delegated).unwrap());
+        assert_eq!(c.policy(), SyncPolicy::Delegated);
+        assert_eq!(c.switch_epoch(&n0).unwrap(), 1);
+        assert_eq!(c.owner_node(&n0).unwrap(), Some(rack_sim::NodeId(0)));
+        // Nothing lost, nothing reordered.
+        assert_eq!(c.read(&rack.node(1), |kv| kv.map.len()).unwrap(), 10);
+        let (rebuilt, replayed) = c.replay(&n0, Kv::default()).unwrap();
+        assert_eq!(replayed, 10);
+        assert_eq!(c.peek(|kv| kv.map.clone()), rebuilt.map);
+        // No-op switch does nothing.
+        assert!(!c.set_policy(&n0, SyncPolicy::Delegated).unwrap());
+        assert_eq!(c.switch_epoch(&n0).unwrap(), 1);
+    }
+
+    #[test]
+    fn owner_crash_reelects_and_keeps_committed_ops() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c = cell(&rack, SyncPolicy::Delegated);
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        c.update(&n1, &ins(1, 1)).unwrap();
+        c.update(&n0, &ins(2, 2)).unwrap();
+        rack.faults().crash_node(rack_sim::NodeId(0), 0);
+        assert!(c.on_node_crash(&n1, rack_sim::NodeId(0)).unwrap());
+        assert_eq!(c.owner_node(&n1).unwrap(), Some(rack_sim::NodeId(1)));
+        // The new owner serves reads locally with all commits present.
+        assert_eq!(c.read(&n1, |kv| kv.map.len()).unwrap(), 2);
+        let (rebuilt, _) = c.replay(&n1, Kv::default()).unwrap();
+        assert_eq!(rebuilt.map.len(), 2);
+        // A crash of a non-owner is a no-op.
+        assert!(!c.on_node_crash(&n1, rack_sim::NodeId(3)).unwrap());
+    }
+
+    #[test]
+    fn adaptive_switches_to_delegation_under_writes() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c: Arc<SyncCell<Kv>> = SyncCell::alloc(
+            rack.global(),
+            "test_adaptive",
+            SyncCellConfig::new(2, SyncPolicy::Replicated).with_adaptive(AdaptiveConfig {
+                window_ops: 16,
+                confirm_windows: 2,
+                ..AdaptiveConfig::default()
+            }),
+            Kv::default(),
+        )
+        .unwrap();
+        let n0 = rack.node(0);
+        for i in 0..64 {
+            c.update(&rack.node((i % 2) as usize), &ins(i, i)).unwrap();
+        }
+        assert_eq!(c.policy(), SyncPolicy::Delegated, "write-heavy → delegate");
+        assert!(c.switch_epoch(&n0).unwrap() >= 1);
+        // Now read-mostly: the driver promotes back to replication.
+        for i in 0..96 {
+            if i % 10 == 0 {
+                c.update(&n0, &ins(i, i)).unwrap();
+            } else {
+                c.read(&n0, |kv| kv.map.len()).unwrap();
+            }
+        }
+        assert_eq!(
+            c.policy(),
+            SyncPolicy::Replicated,
+            "read-mostly → replicate"
+        );
+        // State stayed intact across both switches.
+        let (rebuilt, _) = c.replay(&n0, Kv::default()).unwrap();
+        assert_eq!(c.peek(|kv| kv.map.clone()), rebuilt.map);
+    }
+
+    #[test]
+    fn borderline_mix_does_not_thrash() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c: Arc<SyncCell<Kv>> = SyncCell::alloc(
+            rack.global(),
+            "test_hysteresis",
+            SyncCellConfig::new(2, SyncPolicy::Replicated).with_adaptive(AdaptiveConfig {
+                window_ops: 16,
+                ..AdaptiveConfig::default()
+            }),
+            Kv::default(),
+        )
+        .unwrap();
+        let n0 = rack.node(0);
+        // 70% reads sits inside the hysteresis band: no switch, ever.
+        for i in 0..200u64 {
+            if i % 10 < 3 {
+                c.update(&n0, &ins(i, i)).unwrap();
+            } else {
+                c.read(&n0, |kv| kv.map.len()).unwrap();
+            }
+        }
+        assert_eq!(c.switch_epoch(&n0).unwrap(), 0);
+        assert_eq!(c.policy(), SyncPolicy::Replicated);
+    }
+
+    #[test]
+    fn per_policy_costs_rank_as_designed() {
+        // Reads: replication/RCU local-ish, delegation pays the fabric
+        // round trip from a non-owner, locking pays atomics + flushes.
+        let cost_of = |policy: SyncPolicy, read: bool| {
+            let rack = Rack::new(RackConfig::small_test());
+            let c = cell(&rack, policy);
+            c.update(&rack.node(0), &ins(1, 1)).unwrap();
+            let n1 = rack.node(1);
+            c.read(&n1, |_| ()).unwrap(); // settle watermarks
+            let t0 = n1.clock().now();
+            if read {
+                c.read(&n1, |_| ()).unwrap();
+            } else {
+                c.update(&n1, &ins(2, 2)).unwrap();
+            }
+            n1.clock().now() - t0
+        };
+        let (r_repl, r_del, r_lock) = (
+            cost_of(SyncPolicy::Replicated, true),
+            cost_of(SyncPolicy::Delegated, true),
+            cost_of(SyncPolicy::Lock, true),
+        );
+        assert!(r_repl < r_del, "synced replicated read beats a round trip");
+        assert!(r_repl < r_lock, "replicated read beats lock + flushes");
+    }
+
+    #[test]
+    fn queue_depth_tracks_remote_delegation() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c = cell(&rack, SyncPolicy::Delegated);
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        c.update(&n1, &ins(1, 1)).unwrap();
+        c.update(&n1, &ins(2, 2)).unwrap();
+        assert_eq!(c.queue_peak(), 2, "two remote requests queued");
+        c.update(&n0, &ins(3, 3)).unwrap(); // owner op drains the queue
+        c.update(&n1, &ins(4, 4)).unwrap();
+        assert_eq!(c.queue_peak(), 2, "drained before the next request");
+    }
+
+    #[test]
+    fn log_full_surfaces_not_corrupts() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c: Arc<SyncCell<Kv>> = SyncCell::alloc(
+            rack.global(),
+            "test_full",
+            SyncCellConfig::new(2, SyncPolicy::Delegated).with_log(4, 64),
+            Kv::default(),
+        )
+        .unwrap();
+        let n0 = rack.node(0);
+        for i in 0..4 {
+            c.update(&n0, &ins(i, i)).unwrap();
+        }
+        assert!(c.update(&n0, &ins(9, 9)).is_err(), "ring full");
+        assert_eq!(c.peek(|kv| kv.map.len()), 4, "state untouched by the error");
+        c.gc(&n0).unwrap();
+        c.update(&n0, &ins(9, 9)).unwrap();
+        assert_eq!(c.peek(|kv| kv.map.len()), 5);
+    }
+}

@@ -12,9 +12,24 @@
 //! [`DelegationClient`]. Operations execute in the owner's local memory
 //! at local speed.
 
-use crate::wire::{Decoder, Encoder};
+use crate::wire::{DecodeError, Decoder, Encoder};
 use rack_sim::{NodeCtx, NodeId, SimError};
 use std::sync::Arc;
+
+/// Decode one delegation request frame: `[client u64][reply_port u64][req bytes]`.
+///
+/// # Errors
+///
+/// Returns the typed [`DecodeError`] (offset + bytes missing) of the
+/// first field that fails to parse, so droppers can log *why* a frame
+/// was malformed instead of silently pattern-matching it away.
+fn decode_request(payload: &[u8]) -> Result<(NodeId, u16, &[u8]), DecodeError> {
+    let mut d = Decoder::new(payload);
+    let client = d.u64()?;
+    let reply_port = d.u64()?;
+    let req = d.bytes()?;
+    Ok((NodeId(client as usize), reply_port as u16, req))
+}
 
 /// A service whose state is owned by exactly one node.
 pub trait Service {
@@ -38,6 +53,7 @@ pub struct DelegationServer<S: Service> {
     port: u16,
     service: S,
     served: u64,
+    malformed: Vec<DecodeError>,
 }
 
 impl<S: Service> DelegationServer<S> {
@@ -48,6 +64,7 @@ impl<S: Service> DelegationServer<S> {
             port,
             service,
             served: 0,
+            malformed: Vec::new(),
         }
     }
 
@@ -66,10 +83,18 @@ impl<S: Service> DelegationServer<S> {
                 Err(SimError::WouldBlock) => break,
                 Err(e) => return Err(e),
             };
-            let mut d = Decoder::new(&msg.payload);
-            let (client, reply_port, req) = match (d.u64(), d.u64(), d.bytes()) {
-                (Ok(c), Ok(p), Ok(r)) => (NodeId(c as usize), p as u16, r),
-                _ => continue, // malformed request: drop
+            let (client, reply_port, req) = match decode_request(&msg.payload) {
+                Ok(frame) => frame,
+                Err(err) => {
+                    // Malformed frame: drop it, but leave an audit trail
+                    // (the typed error says which byte ran short).
+                    self.node
+                        .stats()
+                        .registry()
+                        .add("sync", "delegation_malformed", 1);
+                    self.malformed.push(err);
+                    continue;
+                }
             };
             // The owner executes on local state at local-memory speed.
             self.node.charge(self.node.latency().local_read_ns);
@@ -89,6 +114,12 @@ impl<S: Service> DelegationServer<S> {
     /// Total requests served over the server's lifetime.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Typed decode errors of frames dropped as malformed, in arrival
+    /// order (diagnostics; also counted as `sync/delegation_malformed`).
+    pub fn malformed(&self) -> &[DecodeError] {
+        &self.malformed
     }
 
     /// Execute a request directly against the local state (the owner's
@@ -277,6 +308,9 @@ mod tests {
         let mut server = DelegationServer::new(rack.node(0), 10, KvPartition::default());
         rack.node(1).send(NodeId(0), 10, vec![1, 2, 3]).unwrap();
         assert_eq!(server.poll().unwrap(), 0);
+        // The typed decode error is kept: short read at offset 0.
+        assert_eq!(server.malformed().len(), 1);
+        assert_eq!(server.malformed()[0].at, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   stale-cache-line problem turns into plain RCU version tracking
 //!   (the "bounded incoherence" idea the paper cites).
 
+pub mod cell;
 pub mod delegation;
 pub mod oplog;
 pub mod rcu;
@@ -27,6 +28,7 @@ pub mod reclaim;
 pub mod replicated;
 pub mod spinlock;
 
+pub use cell::{AdaptiveConfig, SyncCell, SyncCellConfig, SyncPolicy, SyncRecover, SyncState};
 pub use delegation::{DelegationClient, DelegationServer, Service};
 pub use oplog::SharedOpLog;
 pub use rcu::{EpochManager, RcuHandle, VersionedCell};

@@ -124,10 +124,15 @@ impl SharedOpLog {
             }
         };
         let slot = self.slot_addr(idx);
-        // Publish payload then length, write back, then commit flag last.
+        // Publish payload then length, flush, then commit flag last. The
+        // flush must *invalidate*, not just write back: slots share cache
+        // lines, and the uncached flag store below never updates our own
+        // cached copy — a stale line left resident here would be
+        // re-dirtied by a later append to the neighboring slot and its
+        // write-back would clobber this entry's commit flag.
         ctx.write_u64(slot.offset(8), payload.len() as u64)?;
         ctx.write(slot.offset(16), payload)?;
-        ctx.writeback(slot, 16 + payload.len());
+        ctx.flush(slot, 16 + payload.len());
         ctx.store_uncached_u64(slot, COMMITTED)?;
         Ok(idx)
     }

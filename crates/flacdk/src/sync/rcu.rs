@@ -55,6 +55,11 @@ impl EpochManager {
         }))
     }
 
+    /// Number of per-node reader slots this manager was sized for.
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Current global epoch.
     ///
     /// # Errors

@@ -47,6 +47,9 @@ pub struct RecoveryOrchestrator {
     detector: FaultDetector,
     /// app id -> (box, protection)
     boxes: HashMap<u64, (FaultBox, Protection)>,
+    /// Policy-driven sync cells to repair after a node crash (delegation
+    /// owner re-election + committed-op replay).
+    sync_cells: Vec<Arc<dyn flacdk::sync::SyncRecover>>,
 }
 
 impl RecoveryOrchestrator {
@@ -55,7 +58,16 @@ impl RecoveryOrchestrator {
         RecoveryOrchestrator {
             detector: FaultDetector::new(),
             boxes: HashMap::new(),
+            sync_cells: Vec::new(),
         }
+    }
+
+    /// Attach a [`flacdk::sync::SyncCell`] so [`Self::handle_node_crash`]
+    /// also repairs its coordination state: if the crashed node owned the
+    /// cell's delegation, a survivor is elected and the committed op log
+    /// drained, so no acknowledged update is lost.
+    pub fn attach_sync(&mut self, cell: Arc<dyn flacdk::sync::SyncRecover>) {
+        self.sync_cells.push(cell);
     }
 
     /// Register an application: guard every object of its box and attach
@@ -204,6 +216,12 @@ impl RecoveryOrchestrator {
                 self.detector
                     .refresh(ctx, Self::region_id(*app_id, obj_id))?;
             }
+        }
+        // Repair attached coordination cells: a crash mid-delegation must
+        // not strand committed ops behind a dead owner. The cell itself
+        // counts re-elections under the `sync` metrics subsystem.
+        for cell in &self.sync_cells {
+            cell.recover_after_crash(ctx, crashed)?;
         }
         ctx.stats()
             .registry()
@@ -355,6 +373,41 @@ mod tests {
         // The re-replicated population keeps operating on the new home.
         let report = orch.sweep(&n1).unwrap();
         assert_eq!(report.faults_detected, 0);
+    }
+
+    #[test]
+    fn node_crash_reelects_attached_sync_cells() {
+        use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+
+        #[derive(Debug, Default)]
+        struct Counter(u64);
+        impl SyncState for Counter {
+            fn apply(&mut self, _op: &[u8]) {
+                self.0 += 1;
+            }
+        }
+
+        let (rack, mut orch) = setup(1);
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let cell = SyncCell::alloc(
+            rack.global(),
+            "test_counter",
+            SyncCellConfig::new(rack.node_count(), SyncPolicy::Delegated),
+            Counter::default(),
+        )
+        .unwrap();
+        // Node 0 owns the delegation and commits ops before dying.
+        cell.update(&n0, &[1]).unwrap();
+        cell.update(&n0, &[1]).unwrap();
+        assert_eq!(cell.owner_node(&n0).unwrap(), Some(rack_sim::NodeId(0)));
+        orch.attach_sync(cell.clone());
+
+        rack.faults().crash_node(rack_sim::NodeId(0), 0);
+        orch.handle_node_crash(&n1, rack_sim::NodeId(0)).unwrap();
+
+        // A survivor owns the cell and every committed op survived.
+        assert_eq!(cell.owner_node(&n1).unwrap(), Some(n1.id()));
+        assert_eq!(cell.read(&n1, |c| c.0).unwrap(), 2);
     }
 
     #[test]

@@ -6,11 +6,23 @@
 //! device stores whole pages keyed by page id and charges NVMe-flash-like
 //! latencies, giving the writeback daemon and cold reads a realistic cost
 //! to amortize.
+//!
+//! The page **content** is device media — only ever touched through the
+//! device's own latency-charging request path, like a real controller's
+//! DRAM, so it legitimately lives behind a host mutex. The **block map**
+//! (which keys are present, how many writes were absorbed) is kernel
+//! metadata that other nodes consult, so it lives in a
+//! [`SyncCell`] — rarely contended, hence the [`SyncPolicy::Lock`]
+//! baseline backend.
 
+use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::PAGE_SIZE;
 use rack_sim::sync::Mutex;
-use rack_sim::NodeCtx;
-use std::collections::HashMap;
+use rack_sim::{GlobalMemory, NodeCtx, SimError};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Device I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,70 +33,115 @@ pub struct BlockStats {
     pub writes: u64,
 }
 
+/// The shared block map: which pages the device holds.
+#[derive(Debug, Default)]
+struct BlockMap {
+    present: BTreeSet<u64>,
+    writes: u64,
+}
+
+impl SyncState for BlockMap {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        if let Ok(key) = d.u64() {
+            self.present.insert(key);
+            self.writes += 1;
+        }
+    }
+}
+
 /// A page-granular simulated storage device.
 #[derive(Debug)]
 pub struct BlockDevice {
+    // coherent-local: device media — only reachable through this
+    // device's latency-charging request path, never via load/store.
     pages: Mutex<HashMap<u64, Vec<u8>>>,
+    map: Arc<SyncCell<BlockMap>>,
     read_ns: u64,
     write_ns: u64,
-    stats: Mutex<BlockStats>,
+    reads: AtomicU64,
 }
 
 impl BlockDevice {
     /// NVMe-flash-like latency defaults (~20 µs read, ~60 µs program).
-    pub fn nvme() -> Self {
-        Self::with_latency(20_000, 60_000)
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn nvme(global: &GlobalMemory, nodes: usize) -> Result<Self, SimError> {
+        Self::with_latency(global, nodes, 20_000, 60_000)
     }
 
     /// A device with explicit per-page latencies.
-    pub fn with_latency(read_ns: u64, write_ns: u64) -> Self {
-        BlockDevice {
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn with_latency(
+        global: &GlobalMemory,
+        nodes: usize,
+        read_ns: u64,
+        write_ns: u64,
+    ) -> Result<Self, SimError> {
+        Ok(BlockDevice {
             pages: Mutex::new(HashMap::new()),
+            map: SyncCell::alloc(
+                global,
+                "block_map",
+                SyncCellConfig::new(nodes, SyncPolicy::Lock).with_log(8192, 32),
+                BlockMap::default(),
+            )?,
             read_ns,
             write_ns,
-            stats: Mutex::new(BlockStats::default()),
-        }
+            reads: AtomicU64::new(0),
+        })
     }
 
     /// Read the page stored under `key`, if present, charging device
     /// latency to `ctx`.
     pub fn read_page(&self, ctx: &NodeCtx, key: u64) -> Option<Vec<u8>> {
         ctx.charge(self.read_ns);
-        self.stats.lock().reads += 1;
+        self.reads.fetch_add(1, Ordering::Relaxed);
         self.pages.lock().get(&key).cloned()
     }
 
     /// Store one page under `key`, charging device latency to `ctx`.
     ///
+    /// # Errors
+    ///
+    /// Propagates block-map commit errors (the media is only updated
+    /// after the map commit succeeds).
+    ///
     /// # Panics
     ///
     /// Panics if `content` is not exactly one page.
-    pub fn write_page(&self, ctx: &NodeCtx, key: u64, content: &[u8]) {
+    pub fn write_page(&self, ctx: &NodeCtx, key: u64, content: &[u8]) -> Result<(), SimError> {
         assert_eq!(content.len(), PAGE_SIZE, "block device stores whole pages");
         ctx.charge(self.write_ns);
-        self.stats.lock().writes += 1;
+        let mut e = Encoder::new();
+        e.put_u64(key);
+        self.map.update(ctx, &e.into_vec())?;
+        self.map.gc(ctx)?;
         self.pages.lock().insert(key, content.to_vec());
+        Ok(())
     }
 
     /// Whether a page exists under `key` (no latency; metadata check).
     pub fn contains(&self, key: u64) -> bool {
-        self.pages.lock().contains_key(&key)
+        self.map.peek(|m| m.present.contains(&key))
     }
 
     /// Pages stored.
     pub fn page_count(&self) -> usize {
-        self.pages.lock().len()
+        self.map.peek(|m| m.present.len())
     }
 
     /// I/O counters.
     pub fn stats(&self) -> BlockStats {
-        *self.stats.lock()
-    }
-}
-
-impl Default for BlockDevice {
-    fn default() -> Self {
-        Self::nvme()
+        BlockStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.map.peek(|m| m.writes),
+        }
     }
 }
 
@@ -97,10 +154,13 @@ mod tests {
     fn rw_roundtrip_and_latency() {
         let rack = Rack::new(RackConfig::small_test());
         let n0 = rack.node(0);
-        let dev = BlockDevice::with_latency(100, 300);
+        let dev = BlockDevice::with_latency(rack.global(), rack.node_count(), 100, 300).unwrap();
         let t0 = n0.clock().now();
-        dev.write_page(&n0, 5, &vec![7u8; PAGE_SIZE]);
-        assert_eq!(n0.clock().now() - t0, 300);
+        dev.write_page(&n0, 5, &vec![7u8; PAGE_SIZE]).unwrap();
+        assert!(
+            n0.clock().now() - t0 >= 300,
+            "device program latency charged"
+        );
         assert!(dev.contains(5));
         let t1 = n0.clock().now();
         assert_eq!(dev.read_page(&n0, 5).unwrap(), vec![7u8; PAGE_SIZE]);
@@ -120,6 +180,7 @@ mod tests {
     #[should_panic(expected = "whole pages")]
     fn partial_page_write_panics() {
         let rack = Rack::new(RackConfig::small_test());
-        BlockDevice::nvme().write_page(&rack.node(0), 0, &[1, 2, 3]);
+        let dev = BlockDevice::nvme(rack.global(), rack.node_count()).unwrap();
+        let _ = dev.write_page(&rack.node(0), 0, &[1, 2, 3]);
     }
 }

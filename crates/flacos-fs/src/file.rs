@@ -109,7 +109,7 @@ mod tests {
             alloc,
             epochs,
             RetireList::new(),
-            Arc::new(BlockDevice::nvme()),
+            Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).unwrap()),
         )
         .unwrap();
         let memfs = MemFs::mount(shared, rack.node(0));

@@ -95,7 +95,7 @@ mod tests {
             alloc,
             epochs,
             RetireList::new(),
-            Arc::new(BlockDevice::nvme()),
+            Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).unwrap()),
         )
         .unwrap();
         (rack, shared)

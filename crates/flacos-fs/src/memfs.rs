@@ -439,7 +439,7 @@ mod tests {
             alloc,
             epochs,
             RetireList::new(),
-            Arc::new(BlockDevice::nvme()),
+            Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).unwrap()),
         )
         .unwrap();
         (rack, shared)
@@ -479,8 +479,13 @@ mod tests {
             .write_file("/cold.bin", &vec![7u8; PAGE_SIZE * 2])
             .unwrap();
         // Persist and drop from cache.
-        let wb =
-            crate::writeback::WritebackDaemon::new(shared.cache().clone(), shared.device().clone());
+        let wb = crate::writeback::WritebackDaemon::new(
+            rack.global(),
+            rack.node_count(),
+            shared.cache().clone(),
+            shared.device().clone(),
+        )
+        .unwrap();
         wb.flush_all(&rack.node(0)).unwrap();
         for i in 0..2 {
             shared

@@ -16,10 +16,12 @@
 use flacdk::alloc::GlobalAllocator;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
+use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::PAGE_SIZE;
-use rack_sim::sync::Mutex;
 use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Pages addressable per file (64 MiB files with 4 KiB pages).
@@ -38,6 +40,67 @@ pub struct PageCacheStats {
     pub evictions: u64,
 }
 
+/// Dirty/resident bookkeeping as a deterministic state machine behind a
+/// [`SyncCell`]: every mutation is a committed op, so the sets stay
+/// consistent across nodes without assuming hardware coherence, and a
+/// node crash mid-writeback can replay them.
+#[derive(Debug, Default)]
+struct PageSets {
+    dirty: BTreeSet<u64>,
+    resident: BTreeSet<u64>,
+    inserts: u64,
+    evictions: u64,
+    /// Result stash for the most recent take-dirty op (flat-combining:
+    /// the op's outcome is a pure function of the pre-op state).
+    last_taken: Vec<u64>,
+}
+
+const PS_INSERT: u8 = 0;
+const PS_EVICT: u8 = 1;
+const PS_TAKE_DIRTY: u8 = 2;
+const PS_MARK_DIRTY: u8 = 3;
+
+impl SyncState for PageSets {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        let (Ok(tag), Ok(key)) = (d.u8(), d.u64()) else {
+            return;
+        };
+        match tag {
+            PS_INSERT => {
+                self.resident.insert(key);
+                let clean = matches!(d.u8(), Ok(1));
+                if !clean {
+                    self.dirty.insert(key);
+                }
+                self.inserts += 1;
+            }
+            PS_EVICT => {
+                self.resident.remove(&key);
+                self.evictions += 1;
+            }
+            PS_TAKE_DIRTY => {
+                // `key` carries the batch limit.
+                let keys: Vec<u64> = self.dirty.iter().take(key as usize).copied().collect();
+                for k in &keys {
+                    self.dirty.remove(k);
+                }
+                self.last_taken = keys;
+            }
+            PS_MARK_DIRTY => {
+                self.dirty.insert(key);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn ps_op(tag: u8, key: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(tag).put_u64(key);
+    e.into_vec()
+}
+
 /// The single, rack-shared page cache.
 #[derive(Debug)]
 pub struct SharedPageCache {
@@ -45,9 +108,15 @@ pub struct SharedPageCache {
     alloc: GlobalAllocator,
     epochs: Arc<EpochManager>,
     retired: RetireList,
-    dirty: Mutex<BTreeSet<u64>>,
-    resident: Mutex<BTreeSet<u64>>,
-    stats: Mutex<PageCacheStats>,
+    /// Dirty/resident sets — write-heavy (every insert/evict/writeback
+    /// touches them), so they default to delegation.
+    sets: Arc<SyncCell<PageSets>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Updates committed since the last op-log GC; insert-heavy bursts
+    /// (container cold starts) must release the ring themselves — the
+    /// writeback daemon's GC alone cannot keep up.
+    since_gc: AtomicU64,
 }
 
 impl SharedPageCache {
@@ -62,15 +131,41 @@ impl SharedPageCache {
         epochs: Arc<EpochManager>,
         retired: RetireList,
     ) -> Result<Arc<Self>, SimError> {
+        let sets = SyncCell::alloc(
+            global,
+            "page_cache_sets",
+            SyncCellConfig::new(epochs.nodes(), SyncPolicy::Delegated).with_log(8192, 32),
+            PageSets::default(),
+        )?;
         Ok(Arc::new(SharedPageCache {
             index: flacdk::ds::radix::RadixTree::alloc(global, 4)?,
             alloc,
             epochs,
             retired,
-            dirty: Mutex::new(BTreeSet::new()),
-            resident: Mutex::new(BTreeSet::new()),
-            stats: Mutex::new(PageCacheStats::default()),
+            sets,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            since_gc: AtomicU64::new(0),
         }))
+    }
+
+    /// The sync cell guarding the dirty/resident sets, as a recovery
+    /// hook for `flacos-fault`'s orchestrator.
+    pub fn sync_cell(&self) -> Arc<dyn flacdk::sync::SyncRecover> {
+        self.sets.clone()
+    }
+
+    /// Note one committed set update; every `GC_EVERY` the consumed log
+    /// prefix is released so update-only workloads (a cold start
+    /// inserting thousands of pages with no writeback cycle) cannot
+    /// fill the op ring.
+    fn note_update(&self, ctx: &Arc<NodeCtx>) -> Result<(), SimError> {
+        const GC_EVERY: u64 = 2048;
+        if self.since_gc.fetch_add(1, Ordering::Relaxed) + 1 >= GC_EVERY {
+            self.since_gc.store(0, Ordering::Relaxed);
+            self.sets.gc(ctx)?;
+        }
+        Ok(())
     }
 
     /// The cache key for page `page_idx` of file `ino`.
@@ -94,12 +189,11 @@ impl SharedPageCache {
     pub fn lookup(&self, ctx: &Arc<NodeCtx>, key: u64) -> Result<Option<GAddr>, SimError> {
         let guard = self.epochs.handle(ctx.clone()).read_lock()?;
         let hit = self.index.get(ctx, &guard, key)?;
-        let mut stats = self.stats.lock();
         if hit.is_some() {
-            stats.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             ctx.stats().registry().add("page_cache", "hit", 1);
         } else {
-            stats.misses += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
             ctx.stats().registry().add("page_cache", "miss", 1);
         }
         Ok(hit.map(GAddr))
@@ -159,11 +253,12 @@ impl SharedPageCache {
             let epoch = self.epochs.current(ctx)?;
             self.retired.retire(GAddr(old_frame), PAGE_SIZE, epoch);
         }
-        self.resident.lock().insert(key);
-        if !clean_fill {
-            self.dirty.lock().insert(key);
-        }
-        self.stats.lock().inserts += 1;
+        let mut e = Encoder::new();
+        e.put_u8(PS_INSERT)
+            .put_u64(key)
+            .put_u8(u8::from(clean_fill));
+        self.sets.update(ctx, &e.into_vec())?;
+        self.note_update(ctx)?;
         ctx.stats().registry().add("page_cache", "insert", 1);
         Ok(frame)
     }
@@ -202,7 +297,7 @@ impl SharedPageCache {
     ///
     /// [`SimError::Protocol`] if the page is dirty or absent.
     pub fn evict(&self, ctx: &Arc<NodeCtx>, key: u64) -> Result<(), SimError> {
-        if self.dirty.lock().contains(&key) {
+        if self.sets.read(ctx, |s| s.dirty.contains(&key))? {
             return Err(SimError::Protocol(format!("cannot evict dirty page {key}")));
         }
         let old = self
@@ -215,36 +310,49 @@ impl SharedPageCache {
         };
         let epoch = self.epochs.current(ctx)?;
         self.retired.retire(GAddr(frame), PAGE_SIZE, epoch);
-        self.resident.lock().remove(&key);
-        self.stats.lock().evictions += 1;
+        self.sets.update(ctx, &ps_op(PS_EVICT, key))?;
+        self.note_update(ctx)?;
         ctx.stats().registry().add("page_cache", "evict", 1);
         Ok(())
     }
 
     /// Take up to `max` dirty keys for writeback (they are marked clean;
     /// the caller must persist them or re-mark them dirty).
-    pub fn take_dirty(&self, max: usize) -> Vec<u64> {
-        let mut dirty = self.dirty.lock();
-        let keys: Vec<u64> = dirty.iter().take(max).copied().collect();
-        for k in &keys {
-            dirty.remove(k);
-        }
-        keys
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn take_dirty(&self, ctx: &Arc<NodeCtx>, max: usize) -> Result<Vec<u64>, SimError> {
+        let (_, keys) = self
+            .sets
+            .update_map(ctx, &ps_op(PS_TAKE_DIRTY, max as u64), |s| {
+                s.last_taken.clone()
+            })?;
+        // The batch is folded in; release the consumed log prefix so
+        // a long-lived daemon cannot exhaust the op ring.
+        self.sets.gc(ctx)?;
+        Ok(keys)
     }
 
     /// Re-mark a page dirty (writeback failed).
-    pub fn mark_dirty(&self, key: u64) {
-        self.dirty.lock().insert(key);
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn mark_dirty(&self, ctx: &Arc<NodeCtx>, key: u64) -> Result<(), SimError> {
+        self.sets.update(ctx, &ps_op(PS_MARK_DIRTY, key))?;
+        self.note_update(ctx)?;
+        Ok(())
     }
 
     /// Number of dirty pages awaiting writeback.
     pub fn dirty_pages(&self) -> usize {
-        self.dirty.lock().len()
+        self.sets.peek(|s| s.dirty.len())
     }
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.resident.lock().len()
+        self.sets.peek(|s| s.resident.len())
     }
 
     /// Bytes of global memory holding page content.
@@ -264,7 +372,13 @@ impl SharedPageCache {
 
     /// Behaviour counters.
     pub fn stats(&self) -> PageCacheStats {
-        *self.stats.lock()
+        let (inserts, evictions) = self.sets.peek(|s| (s.inserts, s.evictions));
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts,
+            evictions,
+        }
     }
 
     /// The epoch manager readers synchronize on.
@@ -378,12 +492,12 @@ mod tests {
                 .insert_page(&n0, SharedPageCache::key(1, i), &page(i as u8), false)
                 .unwrap();
         }
-        let first = cache.take_dirty(3);
+        let first = cache.take_dirty(&n0, 3).unwrap();
         assert_eq!(first.len(), 3);
-        let rest = cache.take_dirty(10);
+        let rest = cache.take_dirty(&n0, 10).unwrap();
         assert_eq!(rest.len(), 2);
         assert_eq!(cache.dirty_pages(), 0);
-        cache.mark_dirty(first[0]);
+        cache.mark_dirty(&n0, first[0]).unwrap();
         assert_eq!(cache.dirty_pages(), 1);
     }
 

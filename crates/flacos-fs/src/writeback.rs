@@ -9,8 +9,10 @@
 
 use crate::block::BlockDevice;
 use crate::page_cache::SharedPageCache;
+use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use flacdk::wire::Decoder;
 use flacos_mem::PAGE_SIZE;
-use rack_sim::{NodeCtx, SimError};
+use rack_sim::{GlobalMemory, NodeCtx, SimError};
 use std::sync::Arc;
 
 /// Writeback counters.
@@ -22,22 +24,50 @@ pub struct WritebackStats {
     pub batches: u64,
 }
 
+impl SyncState for WritebackStats {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        if let Ok(written) = d.u64() {
+            self.pages_written += written;
+            self.batches += 1;
+        }
+    }
+}
+
 /// Flushes dirty shared-cache pages to a block device.
 #[derive(Debug)]
 pub struct WritebackDaemon {
     cache: Arc<SharedPageCache>,
     device: Arc<BlockDevice>,
-    stats: rack_sim::sync::Mutex<WritebackStats>,
+    /// Progress counters other nodes read (e.g. to decide whether to
+    /// throttle writes) — written by whichever node runs the batch, so
+    /// they default to delegation.
+    stats: Arc<SyncCell<WritebackStats>>,
 }
 
 impl WritebackDaemon {
-    /// A daemon flushing `cache` to `device`.
-    pub fn new(cache: Arc<SharedPageCache>, device: Arc<BlockDevice>) -> Self {
-        WritebackDaemon {
+    /// A daemon flushing `cache` to `device`; `nodes` sizes the shared
+    /// stats cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn new(
+        global: &GlobalMemory,
+        nodes: usize,
+        cache: Arc<SharedPageCache>,
+        device: Arc<BlockDevice>,
+    ) -> Result<Self, SimError> {
+        Ok(WritebackDaemon {
             cache,
             device,
-            stats: rack_sim::sync::Mutex::new(WritebackStats::default()),
-        }
+            stats: SyncCell::alloc(
+                global,
+                "writeback_stats",
+                SyncCellConfig::new(nodes, SyncPolicy::Delegated).with_log(4096, 32),
+                WritebackStats::default(),
+            )?,
+        })
     }
 
     /// Flush up to `max_pages` dirty pages. Returns how many were
@@ -49,26 +79,30 @@ impl WritebackDaemon {
     ///
     /// Propagates memory errors; on failure the page is re-marked dirty.
     pub fn run_once(&self, ctx: &Arc<NodeCtx>, max_pages: usize) -> Result<usize, SimError> {
-        let keys = self.cache.take_dirty(max_pages);
-        let mut written = 0;
+        let keys = self.cache.take_dirty(ctx, max_pages)?;
+        let mut written = 0u64;
         for key in keys {
             let mut buf = vec![0u8; PAGE_SIZE];
-            match self.cache.read_page(ctx, key, &mut buf) {
-                Ok(true) => {
-                    self.device.write_page(ctx, key, &buf);
-                    written += 1;
-                }
-                Ok(false) => {} // no longer resident; nothing to persist
+            let persist = match self.cache.read_page(ctx, key, &mut buf) {
+                Ok(found) => found,
                 Err(e) => {
-                    self.cache.mark_dirty(key);
+                    self.cache.mark_dirty(ctx, key)?;
                     return Err(e);
                 }
-            }
+            };
+            if persist {
+                // A device write failure re-dirties the page so the next
+                // batch retries it.
+                if let Err(e) = self.device.write_page(ctx, key, &buf) {
+                    self.cache.mark_dirty(ctx, key)?;
+                    return Err(e);
+                }
+                written += 1;
+            } // else: no longer resident; nothing to persist
         }
-        let mut stats = self.stats.lock();
-        stats.pages_written += written as u64;
-        stats.batches += 1;
-        Ok(written)
+        self.stats.update(ctx, &written.to_le_bytes())?;
+        self.stats.gc(ctx)?;
+        Ok(written as usize)
     }
 
     /// Flush everything dirty.
@@ -92,7 +126,12 @@ impl WritebackDaemon {
 
     /// Counters so far.
     pub fn stats(&self) -> WritebackStats {
-        *self.stats.lock()
+        self.stats.peek(|s| *s)
+    }
+
+    /// The sync cell guarding the shared stats, as a recovery hook.
+    pub fn sync_cell(&self) -> Arc<dyn flacdk::sync::SyncRecover> {
+        self.stats.clone()
     }
 
     /// The device being written to.
@@ -115,7 +154,9 @@ mod tests {
         let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
         let cache =
             SharedPageCache::alloc(rack.global(), alloc, epochs, RetireList::new()).unwrap();
-        let daemon = WritebackDaemon::new(cache.clone(), Arc::new(BlockDevice::nvme()));
+        let device = Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).unwrap());
+        let daemon =
+            WritebackDaemon::new(rack.global(), rack.node_count(), cache.clone(), device).unwrap();
         (rack, cache, daemon)
     }
 

@@ -53,7 +53,8 @@ impl FlacChannel {
     ) -> Result<(FlacEndpoint, FlacEndpoint), SimError> {
         let a_to_b = SpscRing::alloc(global, RING_SLOTS, SLOT_SIZE)?;
         let b_to_a = SpscRing::alloc(global, RING_SLOTS, SLOT_SIZE)?;
-        let pool = ShmBufferPool::new(alloc);
+        // The pool cell must admit ops from both endpoints' node ids.
+        let pool = ShmBufferPool::new(global, a.id().0.max(b.id().0) + 1, alloc)?;
         Ok((
             FlacEndpoint {
                 node: a,
@@ -108,7 +109,7 @@ impl FlacEndpoint {
             slot.extend_from_slice(&desc.encode());
             // If the ring is full, release the segment we just published.
             if let Err(e) = self.tx.push(&self.node, &slot) {
-                self.pool.release(&self.node, desc);
+                self.pool.release(&self.node, desc)?;
                 return Err(e);
             }
             self.stats.zero_copy += 1;
@@ -138,7 +139,7 @@ impl FlacEndpoint {
             TAG_DESC => {
                 let desc = ShmDescriptor::decode(rest)?;
                 let payload = self.pool.consume(&self.node, desc)?;
-                self.pool.release(&self.node, desc);
+                self.pool.release(&self.node, desc)?;
                 payload
             }
             t => return Err(SimError::Protocol(format!("unknown channel tag {t}"))),

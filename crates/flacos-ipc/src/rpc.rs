@@ -14,9 +14,11 @@
 //! what makes the context valid from every node — and what enables fast
 //! scale-out and snapshot-based thread creation ([`RpcRegistry::snapshot`]).
 
-use rack_sim::sync::RwLock;
-use rack_sim::{NodeCtx, SimError};
-use std::collections::HashMap;
+use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use flacdk::wire::{Decoder, Encoder};
+use rack_sim::sync::Mutex;
+use rack_sim::{GlobalMemory, NodeCtx, SimError};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,10 +42,50 @@ where
 /// base swap + TLB tax), charged on each side of a call.
 pub const AS_SWITCH_NS: u64 = 180;
 
-/// The shared code-context table.
+/// The shared membership table: which service ids are published. This is
+/// the rack-visible part of the registry — resolved on every call, so it
+/// is read-mostly and defaults to replication.
 #[derive(Debug, Default)]
+struct RpcTable {
+    ids: BTreeSet<u64>,
+}
+
+const RPC_REGISTER: u8 = 0;
+const RPC_UNREGISTER: u8 = 1;
+
+impl SyncState for RpcTable {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        let (Ok(tag), Ok(id)) = (d.u8(), d.u64()) else {
+            return;
+        };
+        match tag {
+            RPC_REGISTER => {
+                self.ids.insert(id);
+            }
+            RPC_UNREGISTER => {
+                self.ids.remove(&id);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rpc_op(tag: u8, id: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(tag).put_u64(id);
+    e.into_vec()
+}
+
+/// The shared code-context table.
+#[derive(Debug)]
 pub struct RpcRegistry {
-    services: RwLock<HashMap<u64, Arc<dyn RpcService>>>,
+    /// Authoritative membership, resolved through the sync cell so a
+    /// registration on one node is visible from every other.
+    table: Arc<SyncCell<RpcTable>>,
+    // coherent-local: host-side trait objects for the shared code
+    // contexts; membership (the shared state) lives in `table` above.
+    services: Mutex<HashMap<u64, Arc<dyn RpcService>>>,
     calls: AtomicU64,
 }
 
@@ -54,29 +96,64 @@ impl std::fmt::Debug for dyn RpcService {
 }
 
 impl RpcRegistry {
-    /// An empty registry.
-    pub fn new() -> Arc<Self> {
-        Arc::new(Self::default())
+    /// An empty registry shared by `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn alloc(global: &GlobalMemory, nodes: usize) -> Result<Arc<Self>, SimError> {
+        Ok(Arc::new(RpcRegistry {
+            table: SyncCell::alloc(
+                global,
+                "rpc_table",
+                SyncCellConfig::new(nodes, SyncPolicy::Replicated),
+                RpcTable::default(),
+            )?,
+            services: Mutex::new(HashMap::new()),
+            calls: AtomicU64::new(0),
+        }))
     }
 
     /// Publish a service context under `id` (replaces any previous one).
-    pub fn register(&self, id: u64, service: Arc<dyn RpcService>) {
-        self.services.write().insert(id, service);
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn register(
+        &self,
+        ctx: &NodeCtx,
+        id: u64,
+        service: Arc<dyn RpcService>,
+    ) -> Result<(), SimError> {
+        self.table.update(ctx, &rpc_op(RPC_REGISTER, id))?;
+        self.services.lock().insert(id, service);
+        Ok(())
     }
 
     /// Remove a service context.
-    pub fn unregister(&self, id: u64) {
-        self.services.write().remove(&id);
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn unregister(&self, ctx: &NodeCtx, id: u64) -> Result<(), SimError> {
+        self.table.update(ctx, &rpc_op(RPC_UNREGISTER, id))?;
+        self.services.lock().remove(&id);
+        Ok(())
     }
 
     /// Number of registered contexts.
     pub fn len(&self) -> usize {
-        self.services.read().len()
+        self.table.peek(|t| t.ids.len())
     }
 
     /// Whether no services are registered.
     pub fn is_empty(&self) -> bool {
-        self.services.read().is_empty()
+        self.table.peek(|t| t.ids.is_empty())
+    }
+
+    /// The sync cell guarding the membership table, as a recovery hook.
+    pub fn sync_cell(&self) -> Arc<dyn flacdk::sync::SyncRecover> {
+        self.table.clone()
     }
 
     /// Total calls served through this registry.
@@ -93,12 +170,15 @@ impl RpcRegistry {
     /// [`SimError::Protocol`] for unknown service ids; service errors
     /// are propagated.
     pub fn call(&self, ctx: &NodeCtx, id: u64, args: &[u8]) -> Result<Vec<u8>, SimError> {
-        let service = self
-            .services
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| SimError::Protocol(format!("unknown RPC service {id}")))?;
+        // Resolve through the shared table (the charged read); the trait
+        // object itself comes from the host-side context store.
+        let published = self.table.read(ctx, |t| t.ids.contains(&id))?;
+        let service = if published {
+            self.services.lock().get(&id).cloned()
+        } else {
+            None
+        }
+        .ok_or_else(|| SimError::Protocol(format!("unknown RPC service {id}")))?;
         ctx.charge(AS_SWITCH_NS);
         let result = service.invoke(ctx, args);
         ctx.charge(AS_SWITCH_NS);
@@ -115,8 +195,11 @@ impl RpcRegistry {
     ///
     /// [`SimError::Protocol`] for unknown service ids.
     pub fn snapshot(&self, id: u64) -> Result<Arc<dyn RpcService>, SimError> {
+        if !self.table.peek(|t| t.ids.contains(&id)) {
+            return Err(SimError::Protocol(format!("unknown RPC service {id}")));
+        }
         self.services
-            .read()
+            .lock()
             .get(&id)
             .cloned()
             .ok_or_else(|| SimError::Protocol(format!("unknown RPC service {id}")))
@@ -149,9 +232,10 @@ mod tests {
     #[test]
     fn call_from_any_node_shares_state() {
         let rack = Rack::new(RackConfig::small_test());
-        let reg = RpcRegistry::new();
+        let reg = RpcRegistry::alloc(rack.global(), rack.node_count()).unwrap();
         let cell = GlobalCell::alloc(rack.global(), 0).unwrap();
-        reg.register(1, Arc::new(CounterService { cell }));
+        reg.register(&rack.node(0), 1, Arc::new(CounterService { cell }))
+            .unwrap();
 
         let r0 = reg.call(&rack.node(0), 1, &5u64.to_le_bytes()).unwrap();
         assert_eq!(u64::from_le_bytes(r0.try_into().unwrap()), 5);
@@ -164,8 +248,13 @@ mod tests {
     #[test]
     fn call_charges_as_switch_not_network() {
         let rack = Rack::new(RackConfig::small_test());
-        let reg = RpcRegistry::new();
-        reg.register(2, Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![1])));
+        let reg = RpcRegistry::alloc(rack.global(), rack.node_count()).unwrap();
+        reg.register(
+            &rack.node(0),
+            2,
+            Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![1])),
+        )
+        .unwrap();
         let n0 = rack.node(0);
         let msgs_before = n0.stats().snapshot().messages_sent;
         let t0 = n0.clock().now();
@@ -181,7 +270,7 @@ mod tests {
     #[test]
     fn unknown_service_fails() {
         let rack = Rack::new(RackConfig::small_test());
-        let reg = RpcRegistry::new();
+        let reg = RpcRegistry::alloc(rack.global(), rack.node_count()).unwrap();
         assert!(reg.call(&rack.node(0), 99, b"").is_err());
         assert!(reg.snapshot(99).is_err());
         assert!(reg.is_empty());
@@ -190,12 +279,13 @@ mod tests {
     #[test]
     fn snapshot_scaleout_shares_context() {
         let rack = Rack::new(RackConfig::small_test());
-        let reg = RpcRegistry::new();
+        let reg = RpcRegistry::alloc(rack.global(), rack.node_count()).unwrap();
         let cell = GlobalCell::alloc(rack.global(), 0).unwrap();
-        reg.register(1, Arc::new(CounterService { cell }));
+        reg.register(&rack.node(0), 1, Arc::new(CounterService { cell }))
+            .unwrap();
         // Scale out: snapshot and register a second instance id.
         let snap = reg.snapshot(1).unwrap();
-        reg.register(2, snap);
+        reg.register(&rack.node(1), 2, snap).unwrap();
         assert_eq!(reg.len(), 2);
         reg.call(&rack.node(0), 1, &1u64.to_le_bytes()).unwrap();
         let via_clone = reg.call(&rack.node(1), 2, &1u64.to_le_bytes()).unwrap();
@@ -209,10 +299,15 @@ mod tests {
     #[test]
     fn unregister_removes_context() {
         let rack = Rack::new(RackConfig::small_test());
-        let reg = RpcRegistry::new();
-        reg.register(5, Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![])));
+        let reg = RpcRegistry::alloc(rack.global(), rack.node_count()).unwrap();
+        reg.register(
+            &rack.node(0),
+            5,
+            Arc::new(|_: &NodeCtx, _: &[u8]| Ok(vec![])),
+        )
+        .unwrap();
         assert_eq!(reg.len(), 1);
-        reg.unregister(5);
+        reg.unregister(&rack.node(1), 5).unwrap();
         assert!(reg.call(&rack.node(0), 5, b"").is_err());
     }
 }

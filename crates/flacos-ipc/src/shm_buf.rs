@@ -8,8 +8,8 @@
 //! serialization, no intermediate kernel copies.
 
 use flacdk::alloc::GlobalAllocator;
-use rack_sim::sync::Mutex;
-use rack_sim::{GAddr, NodeCtx, SimError};
+use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
 use std::sync::Arc;
 
 /// A descriptor naming a published payload in the pool.
@@ -49,20 +49,90 @@ impl ShmDescriptor {
     }
 }
 
+/// Pool accounting: segments published but not yet released. Both sides
+/// of a channel mutate it (publish on the sender, release on the
+/// receiver), so it is write-heavy and defaults to delegation. Because
+/// this is a gauge on the zero-copy **data path**, per-message commits
+/// would dominate the message cost; instead each node accumulates a
+/// local delta and flushes the net change as one committed op every
+/// [`SHM_FLUSH_BATCH`] events (the per-CPU-counter idiom).
+#[derive(Debug, Default)]
+struct ShmAccounting {
+    outstanding: u64,
+}
+
+/// Publish/release events between accounting flushes.
+const SHM_FLUSH_BATCH: i64 = 64;
+
+impl SyncState for ShmAccounting {
+    fn apply(&mut self, op: &[u8]) {
+        if let Ok(raw) = flacdk::wire::Decoder::new(op).u64() {
+            let delta = raw as i64;
+            self.outstanding = (self.outstanding as i64 + delta).max(0) as u64;
+        }
+    }
+}
+
 /// A pool of reusable payload segments in global memory.
 #[derive(Debug, Clone)]
 pub struct ShmBufferPool {
     alloc: GlobalAllocator,
-    outstanding: Arc<Mutex<u64>>,
+    accounting: Arc<SyncCell<ShmAccounting>>,
+    /// Events not yet folded into the shared cell (publishes minus
+    /// releases since the last flush).
+    pending: Arc<std::sync::atomic::AtomicI64>,
+    events: Arc<std::sync::atomic::AtomicI64>,
 }
 
 impl ShmBufferPool {
-    /// A pool drawing segments from `alloc`.
-    pub fn new(alloc: GlobalAllocator) -> Self {
-        ShmBufferPool {
+    /// A pool drawing segments from `alloc`, shared by `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when global memory is exhausted.
+    pub fn new(
+        global: &GlobalMemory,
+        nodes: usize,
+        alloc: GlobalAllocator,
+    ) -> Result<Self, SimError> {
+        Ok(ShmBufferPool {
             alloc,
-            outstanding: Arc::new(Mutex::new(0)),
+            accounting: SyncCell::alloc(
+                global,
+                "shm_accounting",
+                SyncCellConfig::new(nodes, SyncPolicy::Delegated).with_log(4096, 32),
+                ShmAccounting::default(),
+            )?,
+            pending: Arc::new(std::sync::atomic::AtomicI64::new(0)),
+            events: Arc::new(std::sync::atomic::AtomicI64::new(0)),
+        })
+    }
+
+    /// Record one publish (+1) or release (−1), flushing the net delta
+    /// into the committed cell every [`SHM_FLUSH_BATCH`] events.
+    fn note(&self, ctx: &NodeCtx, delta: i64) -> Result<(), SimError> {
+        use std::sync::atomic::Ordering;
+        self.pending.fetch_add(delta, Ordering::Relaxed);
+        let events = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        if events % SHM_FLUSH_BATCH == 0 {
+            self.flush(ctx)?;
         }
+        Ok(())
+    }
+
+    /// Fold any locally accumulated publish/release delta into the
+    /// shared accounting cell as a single committed op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn flush(&self, ctx: &NodeCtx) -> Result<(), SimError> {
+        let delta = self.pending.swap(0, std::sync::atomic::Ordering::Relaxed);
+        if delta != 0 {
+            self.accounting.update(ctx, &(delta as u64).to_le_bytes())?;
+            self.accounting.gc(ctx)?;
+        }
+        Ok(())
     }
 
     /// Publish `payload` into a fresh segment, returning its descriptor.
@@ -75,7 +145,7 @@ impl ShmBufferPool {
         let addr = self.alloc.alloc(ctx, payload.len().max(1))?;
         ctx.write(addr, payload)?;
         ctx.writeback(addr, payload.len());
-        *self.outstanding.lock() += 1;
+        self.note(ctx, 1)?;
         Ok(ShmDescriptor {
             addr,
             len: payload.len() as u32,
@@ -95,15 +165,25 @@ impl ShmBufferPool {
     }
 
     /// Release a consumed segment back to the pool.
-    pub fn release(&self, ctx: &NodeCtx, desc: ShmDescriptor) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors.
+    pub fn release(&self, ctx: &NodeCtx, desc: ShmDescriptor) -> Result<(), SimError> {
         self.alloc.free(ctx, desc.addr, desc.len.max(1) as usize);
-        let mut n = self.outstanding.lock();
-        *n = n.saturating_sub(1);
+        self.note(ctx, -1)
     }
 
-    /// Segments published but not yet released.
+    /// Segments published but not yet released: the committed value plus
+    /// any delta not yet flushed.
     pub fn outstanding(&self) -> u64 {
-        *self.outstanding.lock()
+        let committed = self.accounting.peek(|a| a.outstanding) as i64;
+        (committed + self.pending.load(std::sync::atomic::Ordering::Relaxed)).max(0) as u64
+    }
+
+    /// The sync cell guarding the pool accounting, as a recovery hook.
+    pub fn sync_cell(&self) -> Arc<dyn flacdk::sync::SyncRecover> {
+        self.accounting.clone()
     }
 }
 
@@ -114,7 +194,12 @@ mod tests {
 
     fn setup() -> (Rack, ShmBufferPool) {
         let rack = Rack::new(RackConfig::small_test().with_global_mem(16 << 20));
-        let pool = ShmBufferPool::new(GlobalAllocator::new(rack.global().clone()));
+        let pool = ShmBufferPool::new(
+            rack.global(),
+            rack.node_count(),
+            GlobalAllocator::new(rack.global().clone()),
+        )
+        .unwrap();
         (rack, pool)
     }
 
@@ -125,7 +210,7 @@ mod tests {
         let payload: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
         let desc = pool.publish(&n0, &payload).unwrap();
         assert_eq!(pool.consume(&n1, desc).unwrap(), payload);
-        pool.release(&n1, desc);
+        pool.release(&n1, desc).unwrap();
         assert_eq!(pool.outstanding(), 0);
     }
 
@@ -144,7 +229,7 @@ mod tests {
         let (rack, pool) = setup();
         let n0 = rack.node(0);
         let d1 = pool.publish(&n0, &[1u8; 256]).unwrap();
-        pool.release(&n0, d1);
+        pool.release(&n0, d1).unwrap();
         let d2 = pool.publish(&n0, &[2u8; 256]).unwrap();
         assert_eq!(d1.addr, d2.addr, "freed segment reused");
         // Fresh content wins despite reuse (consumer invalidates).

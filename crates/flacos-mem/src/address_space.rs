@@ -26,6 +26,8 @@ pub struct AddressSpace {
     asid: u64,
     table: PageTable,
     mapped_pages: Arc<AtomicU64>,
+    // coherent-local: registration slot for the local telemetry ring;
+    // the shared state (the page table) is global-memory resident.
     sampler: Arc<Mutex<Option<Arc<AccessRing>>>>,
 }
 

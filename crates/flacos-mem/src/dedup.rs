@@ -38,6 +38,9 @@ struct Inner {
 #[derive(Debug)]
 pub struct PageDeduper {
     frames: FrameAllocator,
+    // coherent-local: content-hash index over frames that themselves
+    // live in global memory; every intern/release charges the fabric
+    // for the frame bytes, and the index is rebuildable from them.
     inner: Mutex<Inner>,
 }
 

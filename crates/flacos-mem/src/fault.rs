@@ -19,6 +19,9 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
     global: Arc<GlobalMemory>,
+    // coherent-local: recycle list of frame *addresses*; the frames are
+    // global but alloc/free charge the fabric for them, and losing the
+    // list only leaks frames — it cannot corrupt shared state.
     free: Arc<Mutex<Vec<GAddr>>>,
 }
 
@@ -99,6 +102,8 @@ pub struct FaultStats {
 pub struct PageFaultHandler {
     frames: FrameAllocator,
     placement: PagePlacement,
+    // coherent-local: per-node handler counters (the handler is a
+    // node-local object; the page table it faults into is shared).
     stats: Mutex<FaultStats>,
 }
 

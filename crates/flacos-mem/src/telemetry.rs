@@ -42,6 +42,8 @@ pub struct RingStats {
 /// translation path (producer) and the tiering daemon (consumer).
 #[derive(Debug)]
 pub struct AccessRing {
+    // coherent-local: bounded, loss-tolerant sample buffer drained by
+    // the node's own tiering daemon; never consulted cross-node.
     inner: Mutex<Inner>,
 }
 

@@ -70,9 +70,9 @@ impl FlacRack {
             alloc.clone(),
             epochs.clone(),
             retired.clone(),
-            Arc::new(BlockDevice::nvme()),
+            Arc::new(BlockDevice::nvme(sim.global(), nodes)?),
         )?;
-        let rpc = RpcRegistry::new();
+        let rpc = RpcRegistry::alloc(sim.global(), nodes)?;
         let scheduler = RackScheduler::alloc(sim.global(), nodes)?;
         let monitor = HealthMonitor::alloc(sim.global(), nodes, HEARTBEAT_TIMEOUT_NS)?;
         let socket_log = SocketRegistry::alloc_shared(sim.global(), nodes)?;
@@ -159,6 +159,18 @@ impl FlacRack {
     /// The rack-shared per-node local-DRAM tier budget ledger.
     pub fn tier_budget(&self) -> &Arc<TierBudget> {
         &self.tier_budget
+    }
+
+    /// The directory of policy-driven sync cells backing this rack's
+    /// shared kernel structures, as recovery hooks. `flacos-fault`'s
+    /// orchestrator walks this list on a node crash so a delegation
+    /// owner's death re-elects a survivor and replays committed ops.
+    pub fn sync_recovery(&self) -> Vec<Arc<dyn flacdk::sync::SyncRecover>> {
+        vec![
+            self.fs.cache().sync_cell(),
+            self.rpc.sync_cell(),
+            self.scheduler.sync_cell(),
+        ]
     }
 
     /// Read the published hardware description from any node.

@@ -1,20 +1,58 @@
 //! Rack-wide scheduling over shared load state.
 //!
-//! Per-node run-queue lengths live in global memory cells, so any node
-//! can make a placement decision for the whole rack — the scheduling
-//! substrate the serverless control plane (paper §4.1) builds on. Load
-//! changes are fabric atomics; placement reads every cell (N nodes, N
-//! atomic loads — cheap at rack scale).
+//! Per-node run-queue lengths are shared state consulted on every
+//! placement and mutated on every task start/finish — a read/write mix
+//! that shifts with the workload (bursty dispatch is write-heavy; steady
+//! state is placement-read-heavy). They therefore live behind a
+//! [`SyncCell`] with the **adaptive** driver enabled: the backend starts
+//! replicated and re-tunes itself from the observed mix (paper §3.2's
+//! "match the primitive to the structure", plus GCS/Soul's observation
+//! that the best primitive shifts at runtime).
 
-use flacdk::hw::GlobalCell;
+use flacdk::sync::{AdaptiveConfig, SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+use flacdk::wire::{Decoder, Encoder};
 use flacos_tier::TierBudget;
 use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
 use std::sync::Arc;
 
-/// Shared run-queue lengths, one cell per node.
+/// The shared run-queue lengths, one slot per node.
+#[derive(Debug, Default)]
+struct SchedState {
+    load: Vec<u64>,
+}
+
+const SCHED_STARTED: u8 = 0;
+const SCHED_FINISHED: u8 = 1;
+
+impl SyncState for SchedState {
+    fn apply(&mut self, op: &[u8]) {
+        let mut d = Decoder::new(op);
+        let (Ok(tag), Ok(node)) = (d.u8(), d.u64()) else {
+            return;
+        };
+        let Some(slot) = self.load.get_mut(node as usize) else {
+            return;
+        };
+        match tag {
+            SCHED_STARTED => *slot += 1,
+            // Saturating decrement: an extra "finished" is harmless.
+            SCHED_FINISHED => *slot = slot.saturating_sub(1),
+            _ => {}
+        }
+    }
+}
+
+fn sched_op(tag: u8, node: NodeId) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(tag).put_u64(node.0 as u64);
+    e.into_vec()
+}
+
+/// Shared run-queue lengths behind the adaptive sync cell.
 #[derive(Debug)]
 pub struct RackScheduler {
-    load: Vec<GlobalCell>,
+    cell: Arc<SyncCell<SchedState>>,
+    nodes: usize,
 }
 
 impl RackScheduler {
@@ -24,15 +62,32 @@ impl RackScheduler {
     ///
     /// Fails when global memory is exhausted.
     pub fn alloc(global: &GlobalMemory, nodes: usize) -> Result<Arc<Self>, SimError> {
-        let load = (0..nodes)
-            .map(|_| GlobalCell::alloc(global, 0))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Arc::new(RackScheduler { load }))
+        let cell = SyncCell::alloc(
+            global,
+            "sched_load",
+            SyncCellConfig::new(nodes, SyncPolicy::Replicated)
+                .with_log(8192, 32)
+                .with_adaptive(AdaptiveConfig::default()),
+            SchedState {
+                load: vec![0; nodes],
+            },
+        )?;
+        Ok(Arc::new(RackScheduler { cell, nodes }))
     }
 
     /// Number of nodes under management.
     pub fn nodes(&self) -> usize {
-        self.load.len()
+        self.nodes
+    }
+
+    /// The backend the adaptive driver currently runs the load state on.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.cell.policy()
+    }
+
+    /// The sync cell guarding the load state, as a recovery hook.
+    pub fn sync_cell(&self) -> Arc<dyn flacdk::sync::SyncRecover> {
+        self.cell.clone()
     }
 
     /// Record one more runnable task on `node`.
@@ -41,7 +96,8 @@ impl RackScheduler {
     ///
     /// Propagates memory errors.
     pub fn task_started(&self, ctx: &NodeCtx, node: NodeId) -> Result<(), SimError> {
-        self.load[node.0].fetch_add(ctx, 1)?;
+        self.cell.update(ctx, &sched_op(SCHED_STARTED, node))?;
+        self.cell.gc(ctx)?;
         Ok(())
     }
 
@@ -51,16 +107,9 @@ impl RackScheduler {
     ///
     /// Propagates memory errors.
     pub fn task_finished(&self, ctx: &NodeCtx, node: NodeId) -> Result<(), SimError> {
-        // Saturating decrement via CAS (fetch_sub could wrap below zero).
-        loop {
-            let cur = self.load[node.0].load(ctx)?;
-            if cur == 0 {
-                return Ok(());
-            }
-            if self.load[node.0].compare_exchange(ctx, cur, cur - 1)? == cur {
-                return Ok(());
-            }
-        }
+        self.cell.update(ctx, &sched_op(SCHED_FINISHED, node))?;
+        self.cell.gc(ctx)?;
+        Ok(())
     }
 
     /// Current load of `node`.
@@ -69,7 +118,8 @@ impl RackScheduler {
     ///
     /// Propagates memory errors.
     pub fn load_of(&self, ctx: &NodeCtx, node: NodeId) -> Result<u64, SimError> {
-        self.load[node.0].load(ctx)
+        self.cell
+            .read(ctx, |s| s.load.get(node.0).copied().unwrap_or(0))
     }
 
     /// Pick the least-loaded *live* node (ties break to the lowest id).
@@ -78,17 +128,19 @@ impl RackScheduler {
     ///
     /// [`SimError::Protocol`] when every node is down.
     pub fn place(&self, ctx: &NodeCtx, alive: impl Fn(NodeId) -> bool) -> Result<NodeId, SimError> {
-        let mut best: Option<(u64, NodeId)> = None;
-        for (i, cell) in self.load.iter().enumerate() {
-            let id = NodeId(i);
-            if !alive(id) {
-                continue;
+        let best = self.cell.read(ctx, |s| {
+            let mut best: Option<(u64, NodeId)> = None;
+            for (i, &load) in s.load.iter().enumerate() {
+                let id = NodeId(i);
+                if !alive(id) {
+                    continue;
+                }
+                if best.map(|(b, _)| load < b).unwrap_or(true) {
+                    best = Some((load, id));
+                }
             }
-            let load = cell.load(ctx)?;
-            if best.map(|(b, _)| load < b).unwrap_or(true) {
-                best = Some((load, id));
-            }
-        }
+            best
+        })?;
         best.map(|(_, id)| id)
             .ok_or_else(|| SimError::Protocol("no live node to place on".into()))
     }
@@ -110,8 +162,9 @@ impl RackScheduler {
         budget: &TierBudget,
         min_free_bytes: u64,
     ) -> Result<NodeId, SimError> {
+        let loads = self.cell.read(ctx, |s| s.load.clone())?;
         let mut best: Option<(u64, NodeId)> = None;
-        for (i, cell) in self.load.iter().enumerate() {
+        for (i, &load) in loads.iter().enumerate() {
             let id = NodeId(i);
             if !alive(id) {
                 continue;
@@ -119,7 +172,6 @@ impl RackScheduler {
             if budget.free_bytes(ctx, id)? < min_free_bytes {
                 continue;
             }
-            let load = cell.load(ctx)?;
             if best.map(|(b, _)| load < b).unwrap_or(true) {
                 best = Some((load, id));
             }
@@ -140,17 +192,22 @@ impl RackScheduler {
         ctx: &NodeCtx,
         alive: impl Fn(NodeId) -> bool,
     ) -> Result<u64, SimError> {
-        let mut min = u64::MAX;
-        let mut max = 0u64;
-        for (i, cell) in self.load.iter().enumerate() {
-            if !alive(NodeId(i)) {
-                continue;
+        self.cell.read(ctx, |s| {
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            for (i, &l) in s.load.iter().enumerate() {
+                if !alive(NodeId(i)) {
+                    continue;
+                }
+                min = min.min(l);
+                max = max.max(l);
             }
-            let l = cell.load(ctx)?;
-            min = min.min(l);
-            max = max.max(l);
-        }
-        Ok(if min == u64::MAX { 0 } else { max - min })
+            if min == u64::MAX {
+                0
+            } else {
+                max - min
+            }
+        })
     }
 }
 

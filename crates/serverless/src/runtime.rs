@@ -249,7 +249,7 @@ mod tests {
             alloc,
             epochs,
             RetireList::new(),
-            Arc::new(BlockDevice::nvme()),
+            Arc::new(BlockDevice::nvme(rack.global(), rack.node_count()).unwrap()),
         )
         .unwrap();
         let registry = Arc::new(ImageRegistry::new(RegistryConfig::paper_calibrated()));

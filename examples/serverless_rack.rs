@@ -29,7 +29,7 @@ fn main() -> Result<(), SimError> {
         alloc.clone(),
         epochs,
         RetireList::new(),
-        Arc::new(BlockDevice::nvme()),
+        Arc::new(BlockDevice::nvme(rack.global(), rack.node_count())?),
     )?;
 
     // A scaled synthetic "pytorch" image (1024 pages = 4 MiB here, with

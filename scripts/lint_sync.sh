@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Deny-list lint: shared kernel state in the flacos-* crates must go
+# through flacdk::sync::SyncCell (or another charged primitive), never a
+# host mutex that silently assumes rack-wide cache coherence.
+#
+# Any `Mutex<...>` / `RwLock<...>` declaration in crates/flacos-*/src is
+# an error unless the declaration line, or one of the three lines above
+# it, carries a `// coherent-local:` annotation explaining why the state
+# is genuinely host-local (device media, per-node counters, rebuildable
+# indexes, ...). Imports (`use ...::Mutex;`) are fine: only constructed
+# types count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS=: read -r file line text; do
+    # Skip comment-only lines (doc text mentioning the types).
+    stripped="${text#"${text%%[![:space:]]*}"}"
+    case "$stripped" in
+    //*) continue ;;
+    esac
+    # Annotated on the same line?
+    case "$text" in
+    *"coherent-local:"*) continue ;;
+    esac
+    # Annotated within the three preceding lines?
+    start=$((line > 3 ? line - 3 : 1))
+    if sed -n "${start},$((line - 1))p" "$file" | grep -q "coherent-local:"; then
+        continue
+    fi
+    echo "lint_sync: $file:$line: un-annotated shared lock: $stripped" >&2
+    fail=1
+done < <(grep -rn --include='*.rs' -E '(Mutex|RwLock)<' crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint_sync: FAILED — migrate the state onto flacdk::sync::SyncCell" >&2
+    echo "lint_sync: or annotate the declaration with '// coherent-local: <why>'." >&2
+    exit 1
+fi
+echo "lint_sync: OK"

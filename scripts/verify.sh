@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== sync deny-list lint (no raw locks over shared state) =="
+scripts/lint_sync.sh
+
 echo "== fmt =="
 cargo fmt --all -- --check
 
@@ -28,5 +31,8 @@ cargo run --release --offline -p bench --bin figures -- tiering
 
 echo "== tiering fault-storm campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --tiering --seeds 2 --steps 60 --verify
+
+echo "== sync-cell fault-storm campaign (owner crashes, replay-verified) =="
+cargo run --release --offline -p bench --bin flac-faultstorm -- --sync --seeds 2 --steps 60 --verify
 
 echo "verify: OK"

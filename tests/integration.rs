@@ -108,12 +108,15 @@ fn migration_rpc_shares_code_contexts() {
     let os0 = rack.node_os(0);
     let os1 = rack.node_os(1);
     let cell = flacdk::hw::GlobalCell::alloc(rack.sim().global(), 0).unwrap();
-    os0.rpc().register(
-        9,
-        std::sync::Arc::new(move |ctx: &rack_sim::NodeCtx, _: &[u8]| {
-            Ok(cell.fetch_add(ctx, 1)?.to_le_bytes().to_vec())
-        }),
-    );
+    os0.rpc()
+        .register(
+            os0.node(),
+            9,
+            std::sync::Arc::new(move |ctx: &rack_sim::NodeCtx, _: &[u8]| {
+                Ok(cell.fetch_add(ctx, 1)?.to_le_bytes().to_vec())
+            }),
+        )
+        .unwrap();
     // Both nodes invoke the same shared context; state is shared.
     os0.rpc().call(os0.node(), 9, b"").unwrap();
     let second = os1.rpc().call(os1.node(), 9, b"").unwrap();

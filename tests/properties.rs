@@ -501,3 +501,93 @@ fn mid_migration_readers_see_old_or_new_never_torn() {
         assert_eq!(buf, pattern_b);
     });
 }
+
+#[test]
+fn policy_switch_preserves_state_and_read_history() {
+    use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
+    use std::collections::BTreeMap;
+
+    /// A tiny KV under the cell: op = key byte + u64 value (0 deletes).
+    #[derive(Debug, Default)]
+    struct Kv(BTreeMap<u8, u64>);
+    impl SyncState for Kv {
+        fn apply(&mut self, op: &[u8]) {
+            let mut d = Decoder::new(op);
+            let (Ok(k), Ok(v)) = (d.u8(), d.u64()) else {
+                return;
+            };
+            if v == 0 {
+                self.0.remove(&k);
+            } else {
+                self.0.insert(k, v);
+            }
+        }
+    }
+
+    const POLICIES: [SyncPolicy; 4] = [
+        SyncPolicy::Lock,
+        SyncPolicy::Replicated,
+        SyncPolicy::Delegated,
+        SyncPolicy::Rcu,
+    ];
+
+    // Property: the same deterministic interleaving of reads and
+    // updates produces the same final state and the same read history
+    // whether the cell stays on one policy or is forced through a
+    // policy switch mid-sequence — a switch must never lose, reorder,
+    // or double-apply a committed op.
+    check("policy_switch_preserves_state_and_read_history", |rng| {
+        let from = POLICIES[rng.gen_index(POLICIES.len())];
+        let to = POLICIES[rng.gen_index(POLICIES.len())];
+        let ops = 24 + rng.gen_index(40);
+        let switch_at = rng.gen_index(ops);
+        // (node, Some((key, value)) = update, None = read) per step.
+        let script: Vec<(usize, Option<(u8, u64)>)> = (0..ops)
+            .map(|_| {
+                let node = rng.gen_index(2);
+                if rng.gen_bool() {
+                    (node, None)
+                } else {
+                    (
+                        node,
+                        Some((rng.gen_index(8) as u8, 1 + rng.next_u64() % 100)),
+                    )
+                }
+            })
+            .collect();
+
+        let run = |switched: bool| {
+            let rack = small_rack();
+            let cell = SyncCell::alloc(
+                rack.global(),
+                "prop_switch",
+                SyncCellConfig::new(rack.node_count(), from).with_log(1024, 32),
+                Kv::default(),
+            )
+            .unwrap();
+            let mut history: Vec<BTreeMap<u8, u64>> = Vec::new();
+            for (i, (node, action)) in script.iter().enumerate() {
+                let ctx = rack.node(*node);
+                if switched && i == switch_at {
+                    cell.set_policy(&ctx, to).unwrap();
+                }
+                match action {
+                    None => history.push(cell.read(&ctx, |kv| kv.0.clone()).unwrap()),
+                    Some((k, v)) => {
+                        let mut e = Encoder::new();
+                        e.put_u8(*k).put_u64(*v);
+                        cell.update(&ctx, &e.into_vec()).unwrap();
+                    }
+                }
+            }
+            let final_state = cell.read(&rack.node(0), |kv| kv.0.clone()).unwrap();
+            (history, final_state, cell.committed(&rack.node(0)).unwrap())
+        };
+
+        let (hist_single, final_single, committed_single) = run(false);
+        let (hist_switched, final_switched, committed_switched) = run(true);
+        assert_eq!(hist_switched, hist_single, "read history diverged");
+        assert_eq!(final_switched, final_single, "final state diverged");
+        assert_eq!(committed_switched, committed_single, "op count diverged");
+    });
+}
