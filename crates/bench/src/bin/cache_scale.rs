@@ -1,0 +1,197 @@
+//! `cache-scale` — wall-clock scalability gate for the sharded node cache.
+//!
+//! ```text
+//! cache-scale [--quick] [--out PATH] [--gate] [--threads-max N]
+//! ```
+//!
+//! * `--quick`       — short run (~1 s) for the CI smoke in `verify.sh`
+//! * `--out PATH`    — where to write the JSON report (default `BENCH_cache.json`)
+//! * `--gate`        — exit nonzero if the report is malformed, if the two
+//!   implementations disagree on simulated cost, if the sharded cache's
+//!   single-thread throughput regresses more than 20 % vs the baseline,
+//!   or (on hosts with ≥ 8 CPUs, where parallel speedup is physically
+//!   expressible) if the 8-thread speedup falls below 4x
+//! * `--threads-max N` — cap the thread sweep (default 8)
+//!
+//! The full (non-`--quick`) run is the one committed as `BENCH_cache.json`;
+//! its acceptance targets (≥ 4x at the top thread count, single-thread
+//! within 5 %) are recorded in the report's `targets` object, alongside
+//! `host_cpus` so a reader can judge whether the speedup target was armed.
+
+use bench::cache_scale::{
+    host_cpus, run_sweep, summarize, to_json, ScaleConfig, ScaleSummary, SPEEDUP_TARGET_MIN_CPUS,
+    THREAD_SWEEP,
+};
+
+fn parse_args() -> Result<(bool, String, bool, usize), String> {
+    let mut quick = false;
+    let mut out = String::from("BENCH_cache.json");
+    let mut gate = false;
+    let mut threads_max = 8usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--gate" => {
+                gate = true;
+                i += 1;
+            }
+            "--out" => {
+                out = need_value(i)?.clone();
+                i += 2;
+            }
+            "--threads-max" => {
+                threads_max = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--threads-max: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if threads_max == 0 {
+        return Err("--threads-max must be >= 1".into());
+    }
+    Ok((quick, out, gate, threads_max))
+}
+
+fn gate_failures(summaries: &[ScaleSummary], json: &str, cpus: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    for field in [
+        "\"bench\"",
+        "\"targets\"",
+        "\"results\"",
+        "\"summaries\"",
+        "\"ops_per_sec\"",
+        "\"sim_ns\"",
+        "\"single_thread_ratio\"",
+        "\"speedup_top\"",
+        "\"sim_ns_parity\"",
+        "\"host_cpus\"",
+    ] {
+        if !json.contains(field) {
+            failures.push(format!("report is missing the {field} field"));
+        }
+    }
+    for s in summaries {
+        if !s.sim_ns_parity {
+            failures.push(format!(
+                "hit_permille={}: sharded and baseline charged different simulated ns \
+                 for the identical workload",
+                s.hit_permille
+            ));
+        }
+        // The smoke gate tolerates machine noise: fail only on a > 20 %
+        // single-thread regression. The committed full run documents the
+        // tighter 5 % acceptance target.
+        if s.single_thread_ratio < 0.80 {
+            failures.push(format!(
+                "hit_permille={}: single-thread throughput ratio {:.3} < 0.80",
+                s.hit_permille, s.single_thread_ratio
+            ));
+        }
+        // Parallel wall-clock speedup needs CPUs to run on: the 4x target
+        // is only physically expressible when the host grants the sweep's
+        // top thread count real cores (a 1-CPU CI container time-slices
+        // all 8 threads onto one core, capping aggregate throughput at
+        // per-op efficiency). On capable hosts it is enforced.
+        if cpus >= SPEEDUP_TARGET_MIN_CPUS && s.speedup_top < 4.0 {
+            failures.push(format!(
+                "hit_permille={}: speedup {:.2} at {} threads < 4.0 on a {cpus}-CPU host",
+                s.hit_permille, s.speedup_top, s.top_threads
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let (quick, out, gate, threads_max) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cache-scale: {e}");
+            eprintln!("usage: cache-scale [--quick] [--out PATH] [--gate] [--threads-max N]");
+            std::process::exit(2);
+        }
+    };
+
+    let threads: Vec<usize> = THREAD_SWEEP
+        .iter()
+        .copied()
+        .filter(|&t| t <= threads_max)
+        .collect();
+    let hit_ratios: &[u64] = if quick { &[950] } else { &[950, 500] };
+
+    let cpus = host_cpus();
+    println!(
+        "cache-scale: {} mode, threads {threads:?}, hit ratios (permille) {hit_ratios:?}, \
+         host CPUs {cpus}",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut sweeps = Vec::new();
+    for &hit_permille in hit_ratios {
+        let cfg = if quick {
+            ScaleConfig::quick(hit_permille)
+        } else {
+            ScaleConfig::full(hit_permille)
+        };
+        let points = run_sweep(cfg, &threads);
+        for p in &points {
+            println!(
+                "  {:>8} t={} hit={:.1}% {:>12.0} ops/s (sim {} ns)",
+                p.cache_impl,
+                p.threads,
+                p.hit_permille as f64 / 10.0,
+                p.ops_per_sec,
+                p.sim_ns
+            );
+        }
+        let s = summarize(&points);
+        println!(
+            "  summary hit={:.1}%: single_thread_ratio={:.3} speedup@{}t={:.2} parity={}",
+            s.hit_permille as f64 / 10.0,
+            s.single_thread_ratio,
+            s.top_threads,
+            s.speedup_top,
+            s.sim_ns_parity
+        );
+        sweeps.push((points, s));
+    }
+
+    let summaries: Vec<ScaleSummary> = sweeps.iter().map(|(_, s)| *s).collect();
+    let json = to_json(&sweeps, quick, cpus);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cache-scale: writing {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("cache-scale: wrote {out}");
+
+    if gate {
+        // Re-read what actually landed on disk so the gate catches
+        // truncated or clobbered reports, not just in-memory state.
+        let on_disk = match std::fs::read_to_string(&out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cache-scale: re-reading {out}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let failures = gate_failures(&summaries, &on_disk, cpus);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("cache-scale: GATE FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("cache-scale: gate OK");
+    }
+}

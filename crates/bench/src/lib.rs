@@ -19,8 +19,10 @@
 //! | [`fabric_ab`] | Ablation A6 — sensitivity to the interconnect generation |
 //! | [`tiering_ab`] | Ablation A7 — page tiering daemon off vs on |
 //! | [`adaptive_ab`] | Ablation A8 — fixed sync policies vs adaptive driver |
+//! | [`cache_scale`] | §2 cache internals — sharded vs single-mutex, wall-clock |
 
 pub mod adaptive_ab;
+pub mod cache_scale;
 pub mod dedup_ab;
 pub mod fabric_ab;
 pub mod faultbox_ab;

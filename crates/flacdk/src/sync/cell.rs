@@ -675,6 +675,7 @@ impl<T: SyncState> SyncCell<T> {
         self.switch_epoch.fetch_add(ctx, 1)?;
         inner.policy = target;
         guard.unlock()?;
+        // cold-path: policy switches are rare control-plane events.
         ctx.stats().registry().add("sync", "policy_switch", 1);
         Ok(true)
     }
@@ -713,6 +714,7 @@ impl<T: SyncState> SyncCell<T> {
                 (prev - 1) as usize
             };
             inner.queue_depth = 0;
+            // cold-path: re-election only fires after a combiner crash.
             ctx.stats().registry().add("sync", "reelections", 1);
             reelected = true;
         }

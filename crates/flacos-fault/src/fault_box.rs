@@ -109,6 +109,7 @@ impl FaultBoxBuilder {
             heap_frames.push(f);
         }
         let context = global.alloc(CONTEXT_BYTES, 64)?;
+        // cold-path: box construction happens once per workload, not per-op.
         home.stats().registry().add("fault_box", "built", 1);
         home.stats().registry().add(
             "fault_box",
@@ -237,6 +238,7 @@ impl FaultBox {
         from.writeback(self.context, CONTEXT_BYTES);
         from.charge(from.latency().global_atomic_ns);
         to.charge(to.latency().global_read_ns);
+        // cold-path: migration is a rare orchestration event, not per-op.
         to.stats().registry().add("fault_box", "migrations", 1);
         self.home = to.id();
         Ok(())
@@ -260,6 +262,7 @@ impl FaultBox {
             to.invalidate(addr, len);
         }
         to.charge(to.latency().global_read_ns);
+        // cold-path: adoption runs once per crash recovery, not per-op.
         to.stats().registry().add("fault_box", "adoptions", 1);
         self.home = to.id();
         Ok(())

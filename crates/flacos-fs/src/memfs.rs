@@ -111,6 +111,7 @@ impl MemFs {
             replica,
             head + replayed,
         )?;
+        // cold-path: journal replay runs once per crash/restart, not per-op.
         self.node.stats().registry().add("fs", "journal_replays", 1);
         self.node
             .stats()

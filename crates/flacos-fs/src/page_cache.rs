@@ -19,10 +19,10 @@ use flacdk::sync::reclaim::RetireList;
 use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
 use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::PAGE_SIZE;
-use rack_sim::{GAddr, GlobalMemory, NodeCtx, SimError};
+use rack_sim::{Counter, GAddr, GlobalMemory, NodeCtx, SimError};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Pages addressable per file (64 MiB files with 4 KiB pages).
 pub const PAGES_PER_FILE: u64 = 1 << 14;
@@ -101,6 +101,17 @@ fn ps_op(tag: u8, key: u64) -> Vec<u8> {
     e.into_vec()
 }
 
+/// Per-node held counter handles for the per-operation paths. Lazily
+/// initialized so a node that never touches the cache registers nothing
+/// in its snapshot, matching the old one-shot `registry().add` calls.
+#[derive(Debug, Default)]
+struct NodeCounters {
+    hit: OnceLock<Counter>,
+    miss: OnceLock<Counter>,
+    insert: OnceLock<Counter>,
+    evict: OnceLock<Counter>,
+}
+
 /// The single, rack-shared page cache.
 #[derive(Debug)]
 pub struct SharedPageCache {
@@ -113,6 +124,10 @@ pub struct SharedPageCache {
     sets: Arc<SyncCell<PageSets>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// One counter set per node id; the cache is shared, so every node's
+    /// lookups/inserts/evicts bump its *own* registry without re-taking
+    /// the registry lock per operation.
+    ctrs: Box<[NodeCounters]>,
     /// Updates committed since the last op-log GC; insert-heavy bursts
     /// (container cold starts) must release the ring themselves — the
     /// writeback daemon's GC alone cannot keep up.
@@ -137,6 +152,9 @@ impl SharedPageCache {
             SyncCellConfig::new(epochs.nodes(), SyncPolicy::Delegated).with_log(8192, 32),
             PageSets::default(),
         )?;
+        let ctrs = (0..epochs.nodes())
+            .map(|_| NodeCounters::default())
+            .collect();
         Ok(Arc::new(SharedPageCache {
             index: flacdk::ds::radix::RadixTree::alloc(global, 4)?,
             alloc,
@@ -145,6 +163,7 @@ impl SharedPageCache {
             sets,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            ctrs,
             since_gc: AtomicU64::new(0),
         }))
     }
@@ -166,6 +185,23 @@ impl SharedPageCache {
             self.sets.gc(ctx)?;
         }
         Ok(())
+    }
+
+    /// Bump `ctx`'s held handle for the `page_cache/name` counter.
+    fn count(
+        &self,
+        ctx: &Arc<NodeCtx>,
+        name: &'static str,
+        pick: fn(&NodeCounters) -> &OnceLock<Counter>,
+    ) {
+        match self.ctrs.get(ctx.id().0) {
+            Some(nc) => pick(nc)
+                .get_or_init(|| ctx.stats().registry().counter("page_cache", name))
+                .incr(),
+            // A ctx beyond the epoch manager's node range — not expected,
+            // but never silently drop the count.
+            None => ctx.stats().registry().counter("page_cache", name).incr(),
+        }
     }
 
     /// The cache key for page `page_idx` of file `ino`.
@@ -191,10 +227,10 @@ impl SharedPageCache {
         let hit = self.index.get(ctx, &guard, key)?;
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            ctx.stats().registry().add("page_cache", "hit", 1);
+            self.count(ctx, "hit", |nc| &nc.hit);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            ctx.stats().registry().add("page_cache", "miss", 1);
+            self.count(ctx, "miss", |nc| &nc.miss);
         }
         Ok(hit.map(GAddr))
     }
@@ -259,7 +295,7 @@ impl SharedPageCache {
             .put_u8(u8::from(clean_fill));
         self.sets.update(ctx, &e.into_vec())?;
         self.note_update(ctx)?;
-        ctx.stats().registry().add("page_cache", "insert", 1);
+        self.count(ctx, "insert", |nc| &nc.insert);
         Ok(frame)
     }
 
@@ -312,7 +348,7 @@ impl SharedPageCache {
         self.retired.retire(GAddr(frame), PAGE_SIZE, epoch);
         self.sets.update(ctx, &ps_op(PS_EVICT, key))?;
         self.note_update(ctx)?;
-        ctx.stats().registry().add("page_cache", "evict", 1);
+        self.count(ctx, "evict", |nc| &nc.evict);
         Ok(())
     }
 

@@ -11,7 +11,7 @@
 use crate::shm_buf::{ShmBufferPool, ShmDescriptor};
 use flacdk::alloc::GlobalAllocator;
 use flacdk::ds::ringbuf::SpscRing;
-use rack_sim::{GlobalMemory, NodeCtx, SimError};
+use rack_sim::{Counter, GlobalMemory, NodeCtx, SimError};
 use std::sync::Arc;
 
 /// Messages at or below this size are inlined into ring slots.
@@ -62,6 +62,9 @@ impl FlacChannel {
                 rx: b_to_a,
                 pool: pool.clone(),
                 stats: ChannelStats::default(),
+                ctr_msgs_sent: None,
+                ctr_bytes_sent: None,
+                ctr_msgs_recv: None,
             },
             FlacEndpoint {
                 node: b,
@@ -69,6 +72,9 @@ impl FlacChannel {
                 rx: a_to_b,
                 pool,
                 stats: ChannelStats::default(),
+                ctr_msgs_sent: None,
+                ctr_bytes_sent: None,
+                ctr_msgs_recv: None,
             },
         ))
     }
@@ -82,6 +88,12 @@ pub struct FlacEndpoint {
     rx: SpscRing,
     pool: ShmBufferPool,
     stats: ChannelStats,
+    // Held counter handles for the per-message paths; lazily fetched so a
+    // channel that never sends/receives registers nothing, matching the
+    // old one-shot `registry().add` behaviour in snapshots.
+    ctr_msgs_sent: Option<Counter>,
+    ctr_bytes_sent: Option<Counter>,
+    ctr_msgs_recv: Option<Counter>,
 }
 
 impl FlacEndpoint {
@@ -116,11 +128,13 @@ impl FlacEndpoint {
         }
         self.stats.sent += 1;
         self.stats.bytes_sent += payload.len() as u64;
-        self.node.stats().registry().add("ipc", "msgs_sent", 1);
-        self.node
-            .stats()
-            .registry()
-            .add("ipc", "bytes_sent", payload.len() as u64);
+        let node = &self.node;
+        self.ctr_msgs_sent
+            .get_or_insert_with(|| node.stats().registry().counter("ipc", "msgs_sent"))
+            .incr();
+        self.ctr_bytes_sent
+            .get_or_insert_with(|| node.stats().registry().counter("ipc", "bytes_sent"))
+            .add(payload.len() as u64);
         Ok(())
     }
 
@@ -145,7 +159,10 @@ impl FlacEndpoint {
             t => return Err(SimError::Protocol(format!("unknown channel tag {t}"))),
         };
         self.stats.received += 1;
-        self.node.stats().registry().add("ipc", "msgs_recv", 1);
+        let node = &self.node;
+        self.ctr_msgs_recv
+            .get_or_insert_with(|| node.stats().registry().counter("ipc", "msgs_recv"))
+            .incr();
         Ok(payload)
     }
 

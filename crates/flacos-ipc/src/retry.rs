@@ -23,7 +23,7 @@
 //! chance to run the server (and to inject/repair faults mid-call in
 //! tests) between the request send and the reply poll.
 
-use rack_sim::{NodeCtx, NodeId, SimError};
+use rack_sim::{Counter, NodeCtx, NodeId, SimError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -95,10 +95,15 @@ pub fn retry_with_backoff<T>(
     mut op: impl FnMut(u32) -> Result<T, SimError>,
 ) -> Result<T, SimError> {
     let mut last = None;
+    // Fetched once on the first retry and bumped thereafter; the retry
+    // loop must not re-take the registry lock per attempt.
+    let mut ctr_retries: Option<Counter> = None;
     for attempt in 0..policy.max_attempts.max(1) {
         if attempt > 0 {
             node.charge(policy.backoff_ns(attempt));
-            node.stats().registry().add("ipc", "retries", 1);
+            ctr_retries
+                .get_or_insert_with(|| node.stats().registry().counter("ipc", "retries"))
+                .incr();
         }
         match op(attempt) {
             Ok(v) => return Ok(v),
@@ -122,6 +127,12 @@ pub struct MsgRpcServer {
     executed: u64,
     dup_suppressed: u64,
     replies_lost: u64,
+    // Held counter handles for the per-request serve path, lazily fetched
+    // so an idle server registers nothing (matching the old one-shot
+    // `registry().add` behaviour in snapshots).
+    ctr_dups: Option<Counter>,
+    ctr_served: Option<Counter>,
+    ctr_replies_lost: Option<Counter>,
 }
 
 impl MsgRpcServer {
@@ -134,6 +145,9 @@ impl MsgRpcServer {
             executed: 0,
             dup_suppressed: 0,
             replies_lost: 0,
+            ctr_dups: None,
+            ctr_served: None,
+            ctr_replies_lost: None,
         }
     }
 
@@ -174,14 +188,19 @@ impl MsgRpcServer {
         }
         let call_id = u64::from_le_bytes(msg.payload[..8].try_into().expect("sized"));
         let reply_port = u16::from_le_bytes(msg.payload[8..10].try_into().expect("sized"));
+        let node = &self.node;
         let body = if let Some(cached) = self.replies.get(&call_id) {
             self.dup_suppressed += 1;
-            self.node.stats().registry().add("ipc", "rpc_dups", 1);
+            self.ctr_dups
+                .get_or_insert_with(|| node.stats().registry().counter("ipc", "rpc_dups"))
+                .incr();
             cached.clone()
         } else {
             let out = handler(&msg.payload[CALL_HEADER..]);
             self.executed += 1;
-            self.node.stats().registry().add("ipc", "rpc_served", 1);
+            self.ctr_served
+                .get_or_insert_with(|| node.stats().registry().counter("ipc", "rpc_served"))
+                .incr();
             self.replies.insert(call_id, out.clone());
             out
         };
@@ -191,7 +210,9 @@ impl MsgRpcServer {
             Ok(_) => Ok(true),
             Err(SimError::LinkDown { .. } | SimError::NodeDown { .. }) => {
                 self.replies_lost += 1;
-                self.node.stats().registry().add("ipc", "replies_lost", 1);
+                self.ctr_replies_lost
+                    .get_or_insert_with(|| node.stats().registry().counter("ipc", "replies_lost"))
+                    .incr();
                 Ok(true)
             }
             Err(e) => Err(e),
@@ -225,6 +246,11 @@ pub struct MsgRpcClient {
     pub timeout_ns: u64,
     /// Clock charge per empty reply poll.
     pub poll_ns: u64,
+    // Held counter handles for the per-call path (lazily fetched; see
+    // `MsgRpcServer` for why lazily).
+    ctr_calls: Option<Counter>,
+    ctr_retries: Option<Counter>,
+    ctr_timeouts: Option<Counter>,
 }
 
 impl MsgRpcClient {
@@ -241,6 +267,9 @@ impl MsgRpcClient {
             next_call_id: node_tag,
             timeout_ns: 50_000,
             poll_ns: 1_000,
+            ctr_calls: None,
+            ctr_retries: None,
+            ctr_timeouts: None,
         }
     }
 
@@ -262,12 +291,17 @@ impl MsgRpcClient {
     ) -> Result<Vec<u8>, SimError> {
         let call_id = self.next_call_id;
         self.next_call_id += 1;
-        self.node.stats().registry().add("ipc", "rpc_calls", 1);
+        let node = self.node.clone();
+        self.ctr_calls
+            .get_or_insert_with(|| node.stats().registry().counter("ipc", "rpc_calls"))
+            .incr();
         let mut last = None;
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
-                self.node.charge(policy.backoff_ns(attempt));
-                self.node.stats().registry().add("ipc", "rpc_retries", 1);
+                node.charge(policy.backoff_ns(attempt));
+                self.ctr_retries
+                    .get_or_insert_with(|| node.stats().registry().counter("ipc", "rpc_retries"))
+                    .incr();
             }
             match self.attempt(call_id, args, attempt, pump) {
                 Ok(v) => return Ok(v),
@@ -279,7 +313,7 @@ impl MsgRpcClient {
     }
 
     fn attempt(
-        &self,
+        &mut self,
         call_id: u64,
         args: &[u8],
         attempt: u32,
@@ -307,7 +341,12 @@ impl MsgRpcClient {
                 }
                 Err(SimError::WouldBlock) => {
                     if waited >= self.timeout_ns {
-                        self.node.stats().registry().add("ipc", "rpc_timeouts", 1);
+                        let node = &self.node;
+                        self.ctr_timeouts
+                            .get_or_insert_with(|| {
+                                node.stats().registry().counter("ipc", "rpc_timeouts")
+                            })
+                            .incr();
                         return Err(SimError::Timeout { waited_ns: waited });
                     }
                     self.node.charge(self.poll_ns);

@@ -16,11 +16,34 @@
 //!
 //! Cost accounting: every method returns the simulated nanoseconds the
 //! operation cost; the owning [`crate::NodeCtx`] charges its clock.
+//!
+//! # Internals: banks, intrusive LRU, atomic stats
+//!
+//! The cache is **sharded**: a line id maps to one of
+//! [`CacheConfig::banks`] banks (`line_id & (banks - 1)`), each bank
+//! owning its share of the lines behind its own lock. Application threads
+//! touching lines in different banks proceed fully in parallel — the
+//! pre-shard design funnelled every cached access on a node through one
+//! mutex, serializing exactly the workloads the paper claims scale.
+//!
+//! Within a bank, lines live in a slab (`Vec<Slot>`) threaded onto an
+//! **intrusive doubly-linked LRU list** by slab index: a hit is one hash
+//! lookup plus four pointer swaps, and the eviction victim is always the
+//! list tail — exact LRU in O(1), with ties impossible by construction, so
+//! replay determinism needs no tick counters or lazy-queue compaction.
+//!
+//! Behaviour counters are **per-bank relaxed atomics** shared with
+//! [`crate::NodeStats`] through an [`Arc`], so readers snapshot them
+//! without taking any bank lock and the hot path never copies a stats
+//! struct.
 
 use crate::error::SimError;
 use crate::latency::LatencyModel;
 use crate::memory::{GAddr, GlobalMemory};
-use std::collections::{HashMap, VecDeque};
+use crate::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cache line size in bytes, matching common ARM/x86 line sizes.
 pub const LINE_SIZE: usize = 64;
@@ -28,8 +51,13 @@ pub const LINE_SIZE: usize = 64;
 /// Configuration of a node's cache over global memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
-    /// Maximum number of resident lines before LRU eviction.
+    /// Maximum number of resident lines before LRU eviction. Capacity is
+    /// enforced per bank (`max(1, max_lines / banks)` lines each), so the
+    /// total never exceeds `max_lines` when it divides evenly.
     pub max_lines: usize,
+    /// Number of banks the cache is sharded into. Must be a power of two;
+    /// line `id` lives in bank `id & (banks - 1)`.
+    pub banks: usize,
 }
 
 impl Default for CacheConfig {
@@ -37,15 +65,9 @@ impl Default for CacheConfig {
         // 8 MiB of cached global memory per node by default.
         CacheConfig {
             max_lines: 8 * 1024 * 1024 / LINE_SIZE,
+            banks: 16,
         }
     }
-}
-
-#[derive(Debug, Clone)]
-struct Line {
-    data: [u8; LINE_SIZE],
-    dirty: bool,
-    lru_tick: u64,
 }
 
 /// Counters describing cache behaviour, used by experiments and tests.
@@ -66,135 +88,266 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// One bank's behaviour counters: relaxed atomics so the hot path updates
+/// them under the bank lock without any cross-bank contention, and
+/// snapshot readers sum them without taking locks at all.
+#[derive(Debug, Default)]
+struct BankStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    allocs: AtomicU64,
+    writebacks: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The shared handle to a cache's per-bank counters. The owning
+/// [`crate::NodeCtx`] hands a clone of the [`Arc`] to its
+/// [`crate::NodeStats`] so snapshots read cache behaviour directly,
+/// with no publish/copy step on the access path.
+#[derive(Debug, Default)]
+pub(crate) struct CacheStatsCells {
+    banks: Box<[BankStats]>,
+}
+
+impl CacheStatsCells {
+    fn new(banks: usize) -> Self {
+        CacheStatsCells {
+            banks: (0..banks).map(|_| BankStats::default()).collect(),
+        }
+    }
+
+    /// Sum every bank's counters into one [`CacheStats`].
+    pub(crate) fn total(&self) -> CacheStats {
+        let mut t = CacheStats::default();
+        for b in &self.banks {
+            t.hits += b.hits.load(Ordering::Relaxed);
+            t.misses += b.misses.load(Ordering::Relaxed);
+            t.allocs += b.allocs.load(Ordering::Relaxed);
+            t.writebacks += b.writebacks.load(Ordering::Relaxed);
+            t.invalidations += b.invalidations.load(Ordering::Relaxed);
+            t.evictions += b.evictions.load(Ordering::Relaxed);
+        }
+        t
+    }
+}
+
+/// Slab-index sentinel terminating the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One resident line: payload plus the intrusive LRU links (slab indices).
+#[derive(Debug, Clone)]
+struct Slot {
+    line_id: u64,
+    prev: u32,
+    next: u32,
+    dirty: bool,
+    data: [u8; LINE_SIZE],
+}
+
+/// One bank: a slab of slots, a line-id → slot index, and the intrusive
+/// LRU list threaded through the slots (head = MRU, tail = LRU victim).
+#[derive(Debug)]
+struct Bank {
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    cap: usize,
+}
+
+impl Bank {
+    fn new(cap: usize) -> Self {
+        Bank {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = i,
+            h => self.slots[h as usize].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Move slot `i` to the MRU position.
+    fn touch(&mut self, i: u32) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Install `line_id` as the MRU line. The caller ensures it is absent.
+    fn insert_line(&mut self, line_id: u64, data: [u8; LINE_SIZE], dirty: bool) -> u32 {
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot {
+                    line_id,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                    data,
+                };
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("bank slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    line_id,
+                    prev: NIL,
+                    next: NIL,
+                    dirty,
+                    data,
+                });
+                i
+            }
+        };
+        self.push_front(i);
+        self.map.insert(line_id, i);
+        i
+    }
+
+    /// Remove `line_id`, returning its dirty flag and payload.
+    fn pop_line(&mut self, line_id: u64) -> Option<(bool, [u8; LINE_SIZE])> {
+        let i = self.map.remove(&line_id)?;
+        self.unlink(i);
+        let s = &self.slots[i as usize];
+        let out = (s.dirty, s.data);
+        self.free.push(i);
+        Some(out)
+    }
+
+    /// Evict the exact LRU line (list tail), returning (id, dirty, data).
+    fn pop_lru(&mut self) -> Option<(u64, bool, [u8; LINE_SIZE])> {
+        let i = self.tail;
+        if i == NIL {
+            return None;
+        }
+        let line_id = self.slots[i as usize].line_id;
+        self.map.remove(&line_id);
+        self.unlink(i);
+        let s = &self.slots[i as usize];
+        let out = (line_id, s.dirty, s.data);
+        self.free.push(i);
+        Some(out)
+    }
+}
+
 /// A single node's software-managed, non-coherent cache of global memory.
+///
+/// All methods take `&self`: locking is internal and per-bank, so threads
+/// whose accesses land in different banks never contend.
 #[derive(Debug)]
 pub struct NodeCache {
-    lines: HashMap<u64, Line>,
-    config: CacheConfig,
-    tick: u64,
-    stats: CacheStats,
-    /// Approximate-LRU eviction queue: (line id, tick at enqueue).
-    /// Entries are lazily revalidated at pop time, giving amortized
-    /// O(1) eviction.
-    lru_queue: VecDeque<(u64, u64)>,
+    banks: Box<[Mutex<Bank>]>,
+    cells: Arc<CacheStatsCells>,
+    bank_mask: u64,
 }
 
 impl NodeCache {
     /// An empty cache with the given capacity configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.banks` is zero or not a power of two.
     pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.banks.is_power_of_two(),
+            "cache banks must be a power of two, got {}",
+            config.banks
+        );
+        let per_bank = (config.max_lines / config.banks).max(1);
         NodeCache {
-            lines: HashMap::new(),
-            config,
-            tick: 0,
-            stats: CacheStats::default(),
-            lru_queue: VecDeque::new(),
+            banks: (0..config.banks)
+                .map(|_| Mutex::new(Bank::new(per_bank)))
+                .collect(),
+            cells: Arc::new(CacheStatsCells::new(config.banks)),
+            bank_mask: config.banks as u64 - 1,
         }
+    }
+
+    /// The shared per-bank counter cells (for [`crate::NodeStats`]).
+    pub(crate) fn stats_cells(&self) -> Arc<CacheStatsCells> {
+        self.cells.clone()
     }
 
     /// Snapshot of the cache's behaviour counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.cells.total()
+    }
+
+    /// Number of banks the cache is sharded into.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
     }
 
     /// Number of currently resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.lines.len()
+        self.banks.iter().map(|b| b.lock().map.len()).sum()
     }
 
-    fn touch(&mut self, line_id: u64) {
-        self.tick += 1;
-        if let Some(l) = self.lines.get_mut(&line_id) {
-            l.lru_tick = self.tick;
-            self.lru_queue.push_back((line_id, self.tick));
-        }
-        // Bound the lazy queue: compact when it far outgrows the cache.
-        if self.lru_queue.len() > self.lines.len() * 4 + 64 {
-            let lines = &self.lines;
-            self.lru_queue
-                .retain(|(id, t)| lines.get(id).map(|l| l.lru_tick == *t).unwrap_or(false));
-        }
+    #[inline]
+    fn bank_of(&self, line_id: u64) -> usize {
+        (line_id & self.bank_mask) as usize
     }
 
-    /// Evict approximately-LRU lines until under capacity; dirty victims
-    /// are written back. Amortized O(1) per eviction via the lazy queue.
-    fn enforce_capacity(&mut self, global: &GlobalMemory, lat: &LatencyModel) -> u64 {
+    /// Evict exact-LRU lines until the bank is back under its capacity;
+    /// dirty victims are written back.
+    fn enforce_capacity(
+        bank: &mut Bank,
+        stats: &BankStats,
+        global: &GlobalMemory,
+        lat: &LatencyModel,
+    ) -> u64 {
         let mut cost = 0;
-        while self.lines.len() > self.config.max_lines {
-            let victim = loop {
-                match self.lru_queue.pop_front() {
-                    Some((id, t)) => {
-                        // Skip stale queue entries (line touched since, or gone).
-                        if self
-                            .lines
-                            .get(&id)
-                            .map(|l| l.lru_tick == t)
-                            .unwrap_or(false)
-                        {
-                            break Some(id);
-                        }
-                    }
-                    None => break None,
-                }
-            };
-            // Fallback (queue exhausted): evict the least-recently-used
-            // resident line, ties broken by line id. A `HashMap` iteration
-            // order pick here would break same-seed-same-result replay.
-            let victim = match victim.or_else(|| {
-                self.lines
-                    .iter()
-                    .min_by_key(|(id, l)| (l.lru_tick, **id))
-                    .map(|(id, _)| *id)
-            }) {
+        while bank.map.len() > bank.cap {
+            let (victim, dirty, data) = match bank.pop_lru() {
                 Some(v) => v,
                 None => break,
             };
-            let line = self.lines.remove(&victim).expect("present");
-            self.stats.evictions += 1;
-            if line.dirty {
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if dirty {
                 // Best-effort eviction writeback; poisoned lines are dropped,
                 // mirroring hardware discarding a line it cannot store.
                 if global
-                    .write_bytes(GAddr(victim * LINE_SIZE as u64), &line.data)
+                    .write_bytes(GAddr(victim * LINE_SIZE as u64), &data)
                     .is_ok()
                 {
-                    self.stats.writebacks += 1;
+                    stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 }
                 cost += lat.writeback_line_ns;
             }
         }
         cost
-    }
-
-    /// Fetch one line. `first_miss` distinguishes the initial fabric
-    /// round-trip of a burst (full latency) from pipelined continuation
-    /// lines (bandwidth-limited only), modelling sequential-burst reads.
-    fn fetch_line(
-        &mut self,
-        global: &GlobalMemory,
-        lat: &LatencyModel,
-        line_id: u64,
-        first_miss: bool,
-    ) -> Result<u64, SimError> {
-        let mut data = [0u8; LINE_SIZE];
-        global.read_bytes(GAddr(line_id * LINE_SIZE as u64), &mut data)?;
-        self.tick += 1;
-        self.lines.insert(
-            line_id,
-            Line {
-                data,
-                dirty: false,
-                lru_tick: self.tick,
-            },
-        );
-        self.lru_queue.push_back((line_id, self.tick));
-        self.stats.misses += 1;
-        let mut cost = if first_miss {
-            lat.global_read_ns
-        } else {
-            lat.transfer_ns(LINE_SIZE).max(1)
-        };
-        cost += self.enforce_capacity(global, lat);
-        Ok(cost)
     }
 
     /// Read `buf.len()` bytes at `addr` through the cache.
@@ -206,7 +359,7 @@ impl NodeCache {
     ///
     /// Propagates out-of-bounds/poison errors from line fills.
     pub fn read(
-        &mut self,
+        &self,
         global: &GlobalMemory,
         lat: &LatencyModel,
         addr: GAddr,
@@ -224,16 +377,32 @@ impl NodeCache {
             let line_id = a / LINE_SIZE as u64;
             let in_line = (a % LINE_SIZE as u64) as usize;
             let take = (LINE_SIZE - in_line).min(buf.len() - pos);
-            if self.lines.contains_key(&line_id) {
-                self.stats.hits += 1;
+            let b = self.bank_of(line_id);
+            let stats = &self.cells.banks[b];
+            let mut bank = self.banks[b].lock();
+            if let Some(&i) = bank.map.get(&line_id) {
+                stats.hits.fetch_add(1, Ordering::Relaxed);
                 cost += lat.cache_hit_ns;
-                self.touch(line_id);
+                bank.touch(i);
+                let line = &bank.slots[i as usize];
+                buf[pos..pos + take].copy_from_slice(&line.data[in_line..in_line + take]);
             } else {
-                cost += self.fetch_line(global, lat, line_id, !missed)?;
+                let mut data = [0u8; LINE_SIZE];
+                global.read_bytes(GAddr(line_id * LINE_SIZE as u64), &mut data)?;
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+                // Burst model: full fabric latency for the first missed
+                // line of the span, bandwidth-limited continuation after.
+                cost += if missed {
+                    lat.transfer_ns(LINE_SIZE).max(1)
+                } else {
+                    lat.global_read_ns
+                };
                 missed = true;
+                buf[pos..pos + take].copy_from_slice(&data[in_line..in_line + take]);
+                bank.insert_line(line_id, data, false);
+                cost += Self::enforce_capacity(&mut bank, stats, global, lat);
             }
-            let line = self.lines.get(&line_id).expect("just ensured");
-            buf[pos..pos + take].copy_from_slice(&line.data[in_line..in_line + take]);
+            drop(bank);
             pos += take;
             a += take as u64;
         }
@@ -249,7 +418,7 @@ impl NodeCache {
     ///
     /// Propagates out-of-bounds/poison errors from line fills.
     pub fn write(
-        &mut self,
+        &self,
         global: &GlobalMemory,
         lat: &LatencyModel,
         addr: GAddr,
@@ -267,32 +436,39 @@ impl NodeCache {
             let line_id = a / LINE_SIZE as u64;
             let in_line = (a % LINE_SIZE as u64) as usize;
             let take = (LINE_SIZE - in_line).min(buf.len() - pos);
-            if self.lines.contains_key(&line_id) {
-                self.stats.hits += 1;
+            let b = self.bank_of(line_id);
+            let stats = &self.cells.banks[b];
+            let mut bank = self.banks[b].lock();
+            if let Some(&i) = bank.map.get(&line_id) {
+                stats.hits.fetch_add(1, Ordering::Relaxed);
                 cost += lat.cache_hit_ns;
-                self.touch(line_id);
+                bank.touch(i);
+                let line = &mut bank.slots[i as usize];
+                line.data[in_line..in_line + take].copy_from_slice(&buf[pos..pos + take]);
+                line.dirty = true;
             } else if take == LINE_SIZE {
                 // Full-line write: allocate without fetching.
-                self.stats.allocs += 1;
-                self.tick += 1;
-                self.lines.insert(
-                    line_id,
-                    Line {
-                        data: [0u8; LINE_SIZE],
-                        dirty: false,
-                        lru_tick: self.tick,
-                    },
-                );
-                self.lru_queue.push_back((line_id, self.tick));
+                stats.allocs.fetch_add(1, Ordering::Relaxed);
                 cost += lat.cache_hit_ns;
-                cost += self.enforce_capacity(global, lat);
+                let mut data = [0u8; LINE_SIZE];
+                data.copy_from_slice(&buf[pos..pos + take]);
+                bank.insert_line(line_id, data, true);
+                cost += Self::enforce_capacity(&mut bank, stats, global, lat);
             } else {
-                cost += self.fetch_line(global, lat, line_id, !missed)?;
+                let mut data = [0u8; LINE_SIZE];
+                global.read_bytes(GAddr(line_id * LINE_SIZE as u64), &mut data)?;
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+                cost += if missed {
+                    lat.transfer_ns(LINE_SIZE).max(1)
+                } else {
+                    lat.global_read_ns
+                };
                 missed = true;
+                data[in_line..in_line + take].copy_from_slice(&buf[pos..pos + take]);
+                bank.insert_line(line_id, data, true);
+                cost += Self::enforce_capacity(&mut bank, stats, global, lat);
             }
-            let line = self.lines.get_mut(&line_id).expect("just ensured");
-            line.data[in_line..in_line + take].copy_from_slice(&buf[pos..pos + take]);
-            line.dirty = true;
+            drop(bank);
             pos += take;
             a += take as u64;
         }
@@ -326,7 +502,7 @@ impl NodeCache {
     /// Write back (but keep cached) any dirty lines covering `[addr, addr+len)`.
     /// Returns the simulated cost.
     pub fn writeback(
-        &mut self,
+        &self,
         global: &GlobalMemory,
         lat: &LatencyModel,
         addr: GAddr,
@@ -338,14 +514,18 @@ impl NodeCache {
         let mut cost = 0;
         let mut first = true;
         for line_id in Self::line_range(addr, len) {
-            if let Some(line) = self.lines.get_mut(&line_id) {
+            let b = self.bank_of(line_id);
+            let stats = &self.cells.banks[b];
+            let mut bank = self.banks[b].lock();
+            if let Some(&i) = bank.map.get(&line_id) {
+                let line = &mut bank.slots[i as usize];
                 if line.dirty {
                     if global
                         .write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data)
                         .is_ok()
                     {
                         line.dirty = false;
-                        self.stats.writebacks += 1;
+                        stats.writebacks.fetch_add(1, Ordering::Relaxed);
                     }
                     // Burst model: full latency for the first line of the
                     // range, bandwidth-limited for the rest.
@@ -364,18 +544,26 @@ impl NodeCache {
     /// Drop cached lines covering `[addr, addr+len)`. Dirty data that was
     /// not written back first is **discarded**, as with a hardware
     /// invalidate instruction. Returns the simulated cost.
-    pub fn invalidate(&mut self, lat: &LatencyModel, addr: GAddr, len: usize) -> u64 {
+    pub fn invalidate(&self, lat: &LatencyModel, addr: GAddr, len: usize) -> u64 {
         if len == 0 {
             return 0;
         }
         let mut cost = 0;
         let mut first = true;
         for line_id in Self::line_range(addr, len) {
-            if self.lines.remove(&line_id).is_some() {
-                self.stats.invalidations += 1;
+            let b = self.bank_of(line_id);
+            let mut bank = self.banks[b].lock();
+            if bank.pop_line(line_id).is_some() {
+                self.cells.banks[b]
+                    .invalidations
+                    .fetch_add(1, Ordering::Relaxed);
                 // Invalidation is local bookkeeping: one instruction's
-                // latency up front, then ~2 ns per additional line.
-                cost += if first { lat.invalidate_line_ns } else { 2 };
+                // latency up front, then a small per-line tail cost.
+                cost += if first {
+                    lat.invalidate_line_ns
+                } else {
+                    lat.invalidate_extra_line_ns
+                };
                 first = false;
             }
         }
@@ -383,33 +571,29 @@ impl NodeCache {
     }
 
     /// Write back then invalidate `[addr, addr+len)` (clean+invalidate).
-    pub fn flush(
-        &mut self,
-        global: &GlobalMemory,
-        lat: &LatencyModel,
-        addr: GAddr,
-        len: usize,
-    ) -> u64 {
+    pub fn flush(&self, global: &GlobalMemory, lat: &LatencyModel, addr: GAddr, len: usize) -> u64 {
         self.writeback(global, lat, addr, len) + self.invalidate(lat, addr, len)
     }
 
     /// Write back every dirty line and drop the whole cache.
-    pub fn flush_all(&mut self, global: &GlobalMemory, lat: &LatencyModel) -> u64 {
+    pub fn flush_all(&self, global: &GlobalMemory, lat: &LatencyModel) -> u64 {
         let mut cost = 0;
-        let ids: Vec<u64> = self.lines.keys().copied().collect();
-        for line_id in ids {
-            let line = self.lines.remove(&line_id).expect("present");
-            if line.dirty {
-                if global
-                    .write_bytes(GAddr(line_id * LINE_SIZE as u64), &line.data)
-                    .is_ok()
-                {
-                    self.stats.writebacks += 1;
+        for (b, bank) in self.banks.iter().enumerate() {
+            let stats = &self.cells.banks[b];
+            let mut bank = bank.lock();
+            while let Some((line_id, dirty, data)) = bank.pop_lru() {
+                if dirty {
+                    if global
+                        .write_bytes(GAddr(line_id * LINE_SIZE as u64), &data)
+                        .is_ok()
+                    {
+                        stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    cost += lat.writeback_line_ns;
                 }
-                cost += lat.writeback_line_ns;
+                stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                cost += lat.invalidate_line_ns;
             }
-            self.stats.invalidations += 1;
-            cost += lat.invalidate_line_ns;
         }
         cost
     }
@@ -432,7 +616,7 @@ mod tests {
 
     #[test]
     fn cached_write_invisible_until_writeback() {
-        let (g, mut c0, mut c1, lat) = setup();
+        let (g, c0, c1, lat) = setup();
         let a = g.alloc(8, 8).unwrap();
         c0.write(&g, &lat, a, &[1; 8]).unwrap();
         // Node 1 reads directly: still zero.
@@ -448,7 +632,7 @@ mod tests {
 
     #[test]
     fn stale_reads_until_invalidate() {
-        let (g, mut c0, mut c1, lat) = setup();
+        let (g, c0, c1, lat) = setup();
         let a = g.alloc(8, 8).unwrap();
         let mut buf = [0u8; 8];
         c1.read(&g, &lat, a, &mut buf).unwrap(); // c1 caches the zero line
@@ -463,7 +647,7 @@ mod tests {
 
     #[test]
     fn own_writes_read_back() {
-        let (g, mut c0, _, lat) = setup();
+        let (g, c0, _, lat) = setup();
         let a = g.alloc(128, 64).unwrap();
         let data: Vec<u8> = (0..100).collect();
         c0.write(&g, &lat, a, &data).unwrap();
@@ -474,7 +658,7 @@ mod tests {
 
     #[test]
     fn invalidate_discards_dirty_data() {
-        let (g, mut c0, _, lat) = setup();
+        let (g, c0, _, lat) = setup();
         let a = g.alloc(8, 8).unwrap();
         c0.write(&g, &lat, a, &[5; 8]).unwrap();
         c0.invalidate(&lat, a, 8);
@@ -485,7 +669,7 @@ mod tests {
 
     #[test]
     fn costs_distinguish_hit_and_miss() {
-        let (g, mut c0, _, lat) = setup();
+        let (g, c0, _, lat) = setup();
         let a = g.alloc(8, 8).unwrap();
         let mut buf = [0u8; 8];
         let miss = c0.read(&g, &lat, a, &mut buf).unwrap();
@@ -500,7 +684,10 @@ mod tests {
     fn capacity_eviction_writes_back_dirty_victims() {
         let g = GlobalMemory::new(LINE_SIZE * 16);
         let lat = LatencyModel::hccs();
-        let mut c = NodeCache::new(CacheConfig { max_lines: 2 });
+        let c = NodeCache::new(CacheConfig {
+            max_lines: 2,
+            banks: 1,
+        });
         // Dirty three distinct lines; first should be evicted + written back.
         for i in 0..3u64 {
             c.write(
@@ -520,7 +707,7 @@ mod tests {
 
     #[test]
     fn flush_all_empties_cache() {
-        let (g, mut c0, _, lat) = setup();
+        let (g, c0, _, lat) = setup();
         c0.write(&g, &lat, GAddr(0), &[1; 256]).unwrap();
         assert!(c0.resident_lines() > 0);
         c0.flush_all(&g, &lat);
@@ -532,7 +719,7 @@ mod tests {
 
     #[test]
     fn full_line_write_skips_fetch() {
-        let (g, mut c0, _, lat) = setup();
+        let (g, c0, _, lat) = setup();
         let before = c0.stats().misses;
         c0.write(&g, &lat, GAddr(0), &[2; LINE_SIZE]).unwrap();
         assert_eq!(
@@ -547,7 +734,7 @@ mod tests {
     fn stats_identity_hits_misses_allocs() {
         // hits + misses + allocs must equal total line accesses across a
         // mixed workload: partial reads, partial writes, full-line writes.
-        let (g, mut c, _, lat) = setup();
+        let (g, c, _, lat) = setup();
         let mut accesses = 0u64;
         let count_lines = |addr: u64, len: usize| {
             (addr + len as u64 - 1) / LINE_SIZE as u64 - addr / LINE_SIZE as u64 + 1
@@ -576,39 +763,88 @@ mod tests {
     }
 
     #[test]
-    fn fallback_eviction_is_deterministic() {
-        // Drain the lazy LRU queue, then trigger evictions: the fallback
-        // path must pick the same victim (min lru_tick, ties by id) on
-        // every run regardless of HashMap iteration order.
-        let run = || {
-            let g = GlobalMemory::new(LINE_SIZE * 64);
-            let lat = LatencyModel::hccs();
-            let mut c = NodeCache::new(CacheConfig { max_lines: 8 });
-            for i in 0..8u64 {
-                c.write(&g, &lat, GAddr(i * LINE_SIZE as u64), &[7; LINE_SIZE])
-                    .unwrap();
-            }
-            c.lru_queue.clear(); // exhaust the queue: only the fallback remains
-            c.config.max_lines = 3;
-            c.enforce_capacity(&g, &lat);
-            let mut resident: Vec<u64> = c.lines.keys().copied().collect();
-            resident.sort_unstable();
-            resident
-        };
-        let first = run();
-        assert_eq!(
-            first,
-            vec![5, 6, 7],
-            "oldest lru_ticks evicted first under the fallback"
-        );
-        for _ in 0..8 {
-            assert_eq!(run(), first, "fallback eviction must be order-independent");
+    fn lines_distribute_across_banks() {
+        let (g, c, _, lat) = setup();
+        // Lines 0..16 with the default 16 banks: one line per bank.
+        let mut buf = [0u8; LINE_SIZE];
+        for i in 0..16u64 {
+            c.read(&g, &lat, GAddr(i * LINE_SIZE as u64), &mut buf)
+                .unwrap();
+        }
+        assert_eq!(c.banks(), 16);
+        assert_eq!(c.resident_lines(), 16);
+        for (b, bank) in c.banks.iter().enumerate() {
+            assert_eq!(
+                bank.lock().map.len(),
+                1,
+                "line {b} should land alone in bank {b}"
+            );
         }
     }
 
     #[test]
+    fn eviction_is_exact_lru_deterministically() {
+        // With one bank of capacity 3, the victim is always the exact LRU
+        // line — the intrusive list tail — on every run.
+        let run = || {
+            let g = GlobalMemory::new(LINE_SIZE * 64);
+            let lat = LatencyModel::hccs();
+            let c = NodeCache::new(CacheConfig {
+                max_lines: 3,
+                banks: 1,
+            });
+            let mut buf = [0u8; LINE_SIZE];
+            for i in [0u64, 1, 2] {
+                c.read(&g, &lat, GAddr(i * LINE_SIZE as u64), &mut buf)
+                    .unwrap();
+            }
+            // Touch 0 so 1 becomes the LRU, then insert 3: must evict 1.
+            c.read(&g, &lat, GAddr(0), &mut buf).unwrap();
+            c.read(&g, &lat, GAddr(3 * LINE_SIZE as u64), &mut buf)
+                .unwrap();
+            let mut resident: Vec<u64> = {
+                let bank = c.banks[0].lock();
+                bank.map.keys().copied().collect()
+            };
+            resident.sort_unstable();
+            (resident, c.stats().evictions)
+        };
+        let (resident, evictions) = run();
+        assert_eq!(resident, vec![0, 2, 3], "LRU line 1 evicted");
+        assert_eq!(evictions, 1);
+        for _ in 0..8 {
+            assert_eq!(run(), (resident.clone(), evictions), "exact LRU replays");
+        }
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_invalidate() {
+        let g = GlobalMemory::new(LINE_SIZE * 64);
+        let lat = LatencyModel::hccs();
+        let c = NodeCache::new(CacheConfig {
+            max_lines: 8,
+            banks: 1,
+        });
+        let mut buf = [0u8; 8];
+        for round in 0..10 {
+            for i in 0..4u64 {
+                c.read(&g, &lat, GAddr(i * LINE_SIZE as u64), &mut buf)
+                    .unwrap();
+            }
+            c.invalidate(&lat, GAddr(0), LINE_SIZE * 4);
+            let bank = c.banks[0].lock();
+            assert!(
+                bank.slots.len() <= 4,
+                "round {round}: slab grew past the working set ({} slots)",
+                bank.slots.len()
+            );
+        }
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
     fn near_max_addresses_error_instead_of_wrapping() {
-        let (g, mut c, _, lat) = setup();
+        let (g, c, _, lat) = setup();
         let mut buf = [0u8; 16];
         let top = GAddr(u64::MAX - 7);
         assert!(matches!(

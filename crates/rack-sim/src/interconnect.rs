@@ -17,6 +17,7 @@ use crate::latency::LatencyModel;
 use crate::sync::Mutex;
 use crate::topology::{NodeId, RackTopology};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A message in flight or delivered between nodes.
@@ -36,6 +37,19 @@ pub struct Message {
     pub payload: Vec<u8>,
 }
 
+/// One node's inbox: the ported FIFO queues plus a lock-free count of
+/// queued messages across all ports. The count lets the common poll loop
+/// (`pending` then `try_recv`, spinning while empty) return without
+/// taking the queue mutex at all — previously every empty poll paid a
+/// lock + hash lookup, and peek-then-pop paid the lock twice.
+#[derive(Debug, Default)]
+struct NodeInbox {
+    ports: Mutex<HashMap<u16, VecDeque<Message>>>,
+    /// Messages queued across every port. Incremented/decremented while
+    /// the `ports` lock is held; read without it by the empty fast path.
+    queued: AtomicU64,
+}
+
 /// The rack's message fabric.
 #[derive(Debug)]
 pub struct Interconnect {
@@ -44,7 +58,7 @@ pub struct Interconnect {
     liveness: Arc<NodeLiveness>,
     faults: Arc<FaultInjector>,
     /// Per-node, per-port FIFO queues.
-    queues: Vec<Mutex<HashMap<u16, VecDeque<Message>>>>,
+    queues: Vec<NodeInbox>,
 }
 
 impl Interconnect {
@@ -55,7 +69,7 @@ impl Interconnect {
         faults: Arc<FaultInjector>,
     ) -> Self {
         let queues = (0..topology.nodes())
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| NodeInbox::default())
             .collect();
         Interconnect {
             topology,
@@ -89,7 +103,7 @@ impl Interconnect {
         if self.faults.link_down(from, to) {
             return Err(SimError::LinkDown { from, to });
         }
-        let queue = self
+        let inbox = self
             .queues
             .get(to.0)
             .ok_or(SimError::NodeDown { node: to })?;
@@ -103,11 +117,20 @@ impl Interconnect {
             arrive_ns,
             payload,
         };
-        queue.lock().entry(port).or_default().push_back(msg);
+        let mut ports = inbox.ports.lock();
+        ports.entry(port).or_default().push_back(msg);
+        // Release pairs with the fast path's Acquire: a receiver that
+        // observed this send's effects sees a non-zero count.
+        inbox.queued.fetch_add(1, Ordering::Release);
+        drop(ports);
         Ok(arrive_ns)
     }
 
     /// Non-blocking receive of the oldest message on `node`'s `port`.
+    ///
+    /// When the node's inbox is empty — the common case in the RPC and
+    /// netstack poll loops — this returns without taking the queue lock
+    /// or allocating.
     ///
     /// # Errors
     ///
@@ -117,26 +140,39 @@ impl Interconnect {
         if !self.liveness.is_alive(node) {
             return Err(SimError::NodeDown { node });
         }
-        let queue = self.queues.get(node.0).ok_or(SimError::NodeDown { node })?;
-        queue
-            .lock()
+        let inbox = self.queues.get(node.0).ok_or(SimError::NodeDown { node })?;
+        if inbox.queued.load(Ordering::Acquire) == 0 {
+            return Err(SimError::WouldBlock);
+        }
+        let mut ports = inbox.ports.lock();
+        let msg = ports
             .get_mut(&port)
             .and_then(|q| q.pop_front())
-            .ok_or(SimError::WouldBlock)
+            .ok_or(SimError::WouldBlock)?;
+        inbox.queued.fetch_sub(1, Ordering::Release);
+        Ok(msg)
     }
 
-    /// Number of queued messages on `node`'s `port`.
+    /// Number of queued messages on `node`'s `port`. Lock-free when the
+    /// node's inbox is empty.
     pub fn pending(&self, node: NodeId, port: u16) -> usize {
         self.queues
             .get(node.0)
-            .map(|q| q.lock().get(&port).map(|d| d.len()).unwrap_or(0))
+            .map(|inbox| {
+                if inbox.queued.load(Ordering::Acquire) == 0 {
+                    return 0;
+                }
+                inbox.ports.lock().get(&port).map(|d| d.len()).unwrap_or(0)
+            })
             .unwrap_or(0)
     }
 
     /// Drop all queued messages for a node (used when it crashes).
     pub fn purge_node(&self, node: NodeId) {
-        if let Some(q) = self.queues.get(node.0) {
-            q.lock().clear();
+        if let Some(inbox) = self.queues.get(node.0) {
+            let mut ports = inbox.ports.lock();
+            ports.clear();
+            inbox.queued.store(0, Ordering::Release);
         }
     }
 
@@ -216,6 +252,35 @@ mod tests {
         ));
         // Reverse direction still up.
         assert!(ic.send(NodeId(1), NodeId(0), 0, vec![], 0).is_ok());
+    }
+
+    #[test]
+    fn empty_fast_path_keeps_queued_count_consistent() {
+        let (ic, _) = fabric(2);
+        // Empty inbox: the lock-free fast path answers both calls.
+        assert!(matches!(
+            ic.try_recv(NodeId(1), 0),
+            Err(SimError::WouldBlock)
+        ));
+        assert_eq!(ic.pending(NodeId(1), 0), 0);
+        ic.send(NodeId(0), NodeId(1), 1, vec![1], 0).unwrap();
+        ic.send(NodeId(0), NodeId(1), 2, vec![2], 0).unwrap();
+        // Wrong port while the inbox is non-empty: slow path, still
+        // WouldBlock, and the count must not be decremented by the miss.
+        assert!(matches!(
+            ic.try_recv(NodeId(1), 9),
+            Err(SimError::WouldBlock)
+        ));
+        assert_eq!(ic.pending(NodeId(1), 1), 1);
+        ic.try_recv(NodeId(1), 1).unwrap();
+        ic.try_recv(NodeId(1), 2).unwrap();
+        // Fully drained: back on the fast path for every port.
+        assert_eq!(ic.pending(NodeId(1), 1), 0);
+        assert_eq!(ic.pending(NodeId(1), 2), 0);
+        assert!(matches!(
+            ic.try_recv(NodeId(1), 2),
+            Err(SimError::WouldBlock)
+        ));
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub use interconnect::{Interconnect, Message};
 pub use latency::LatencyModel;
 pub use memory::{GAddr, GlobalMemory, LAddr, LocalMemory};
 pub use metrics::{
-    AddrClass, CostClass, CounterRegistry, HistogramSnapshot, LatencyHistogram, OpKind, TraceEvent,
-    TraceRing,
+    AddrClass, CostClass, Counter, CounterRegistry, HistogramSnapshot, LatencyHistogram, OpKind,
+    TraceEvent, TraceRing,
 };
 pub use node::NodeCtx;
 pub use rack::{Rack, RackConfig, RackReport};

@@ -452,6 +452,12 @@ impl Counter {
 #[derive(Debug, Default)]
 pub struct CounterRegistry {
     cells: Mutex<BTreeMap<(&'static str, &'static str), Counter>>,
+    /// Debug-build budget enforcement for [`CounterRegistry::add`]: the
+    /// number of one-shot calls per counter, so hot loops that should
+    /// hold a [`Counter`] fail loudly in tests instead of silently
+    /// serializing on the registry lock.
+    #[cfg(debug_assertions)]
+    one_shot_calls: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
 }
 
 impl CounterRegistry {
@@ -470,7 +476,25 @@ impl CounterRegistry {
     }
 
     /// One-shot add to `subsystem/name` (registers on first use).
+    ///
+    /// Every call re-takes the registry mutex and a tree lookup, so this
+    /// is for *cold* paths only (recovery, migrations, policy switches).
+    /// **Do not call `add` in a loop or on a per-operation path** — hold
+    /// the [`Counter`] from [`CounterRegistry::counter`] once and bump
+    /// that instead; it is a single relaxed atomic. Debug builds enforce
+    /// a generous per-counter call budget to catch violations in tests.
     pub fn add(&self, subsystem: &'static str, name: &'static str, delta: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let mut calls = self.one_shot_calls.lock();
+            let n = calls.entry((subsystem, name)).or_insert(0);
+            *n += 1;
+            debug_assert!(
+                *n < (1 << 20),
+                "CounterRegistry::add(\"{subsystem}\", \"{name}\") called {n} times — \
+                 this is a hot path; hold a Counter from CounterRegistry::counter() instead"
+            );
+        }
         self.counter(subsystem, name).add(delta);
     }
 

@@ -16,7 +16,6 @@ use crate::latency::LatencyModel;
 use crate::memory::{GAddr, GlobalMemory, LAddr, LocalMemory};
 use crate::metrics::{AddrClass, CostClass, OpKind};
 use crate::stats::NodeStats;
-use crate::sync::Mutex;
 use crate::topology::NodeId;
 use std::sync::Arc;
 
@@ -29,7 +28,9 @@ pub struct NodeCtx {
     id: NodeId,
     global: Arc<GlobalMemory>,
     local: LocalMemory,
-    cache: Mutex<NodeCache>,
+    /// Sharded internally (per-bank locks): threads touching different
+    /// banks proceed concurrently, so no node-wide mutex is needed here.
+    cache: NodeCache,
     clock: SimClock,
     latency: Arc<LatencyModel>,
     stats: NodeStats,
@@ -48,14 +49,19 @@ impl NodeCtx {
         interconnect: Arc<Interconnect>,
         liveness: Arc<NodeLiveness>,
     ) -> Self {
+        let cache = NodeCache::new(cache_config);
+        let stats = NodeStats::new();
+        // The stats handle reads the cache's per-bank counters directly;
+        // no publish/copy step runs on the access path.
+        stats.attach_cache(cache.stats_cells());
         NodeCtx {
             id,
             global,
             local: LocalMemory::new(local_capacity),
-            cache: Mutex::new(NodeCache::new(cache_config)),
+            cache,
             clock: SimClock::new(),
             latency,
-            stats: NodeStats::new(),
+            stats,
             interconnect,
             liveness,
         }
@@ -125,14 +131,7 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn read(&self, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (
-                cache.read(&self.global, &self.latency, addr, buf)?,
-                cache.stats(),
-            )
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.read(&self.global, &self.latency, addr, buf)?;
         self.charge_op(CostClass::GlobalRead, OpKind::Read, AddrClass::Global, cost);
         self.stats.count_global_read(buf.len());
         Ok(())
@@ -148,14 +147,7 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn write(&self, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (
-                cache.write(&self.global, &self.latency, addr, buf)?,
-                cache.stats(),
-            )
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.write(&self.global, &self.latency, addr, buf)?;
         self.charge_op(
             CostClass::GlobalWrite,
             OpKind::Write,
@@ -191,14 +183,7 @@ impl NodeCtx {
     /// Write dirty cached lines covering `[addr, addr+len)` back to global
     /// memory, keeping them cached.
     pub fn writeback(&self, addr: GAddr, len: usize) {
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (
-                cache.writeback(&self.global, &self.latency, addr, len),
-                cache.stats(),
-            )
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.writeback(&self.global, &self.latency, addr, len);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Writeback,
@@ -210,11 +195,7 @@ impl NodeCtx {
     /// Drop cached lines covering `[addr, addr+len)` (un-written dirty data
     /// is discarded, as on hardware).
     pub fn invalidate(&self, addr: GAddr, len: usize) {
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (cache.invalidate(&self.latency, addr, len), cache.stats())
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.invalidate(&self.latency, addr, len);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Invalidate,
@@ -225,14 +206,7 @@ impl NodeCtx {
 
     /// Write back then invalidate `[addr, addr+len)`.
     pub fn flush(&self, addr: GAddr, len: usize) {
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (
-                cache.flush(&self.global, &self.latency, addr, len),
-                cache.stats(),
-            )
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.flush(&self.global, &self.latency, addr, len);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Flush,
@@ -243,11 +217,7 @@ impl NodeCtx {
 
     /// Flush this node's entire cache.
     pub fn flush_all(&self) {
-        let (cost, cache_stats) = {
-            let mut cache = self.cache.lock();
-            (cache.flush_all(&self.global, &self.latency), cache.stats())
-        };
-        self.stats.publish_cache(cache_stats);
+        let cost = self.cache.flush_all(&self.global, &self.latency);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Flush,
@@ -256,9 +226,10 @@ impl NodeCtx {
         );
     }
 
-    /// Cache behaviour counters for this node.
+    /// Cache behaviour counters for this node (lock-free snapshot of the
+    /// per-bank atomics).
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
-        self.cache.lock().stats()
+        self.cache.stats()
     }
 
     // ----- uncached + atomic global access ---------------------------------

@@ -15,7 +15,7 @@ use crate::metrics::{
     SubsystemCounter, TraceEvent, TraceRing,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shared, thread-safe metrics for one node. Cloning shares the state.
 #[derive(Debug, Clone, Default)]
@@ -26,7 +26,10 @@ pub struct NodeStats {
 #[derive(Debug, Default)]
 struct Inner {
     counters: Counters,
-    cache: CacheCounters,
+    /// Shared handle to the node cache's per-bank atomic counters,
+    /// attached once by the owning `NodeCtx`. Snapshots read the cache's
+    /// own cells; nothing is copied or published on the access path.
+    cache: OnceLock<Arc<crate::cache::CacheStatsCells>>,
     histograms: [LatencyHistogram; CostClass::ALL.len()],
     trace: TraceRing,
     registry: CounterRegistry,
@@ -43,19 +46,6 @@ struct Counters {
     bytes_copied: AtomicU64,
     messages_sent: AtomicU64,
     message_bytes: AtomicU64,
-}
-
-/// Mirror of the node cache's behaviour counters, published here so a
-/// single [`NodeStats::snapshot`] carries the whole decomposition. The
-/// owning `NodeCtx` refreshes these after each cache operation.
-#[derive(Debug, Default)]
-struct CacheCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    allocs: AtomicU64,
-    writebacks: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
 }
 
 /// A point-in-time copy of a node's counters, cache behaviour,
@@ -250,30 +240,10 @@ impl NodeStats {
         });
     }
 
-    /// Publish the cache's absolute behaviour counters (called by the
-    /// owning `NodeCtx` after cache operations).
-    pub(crate) fn publish_cache(&self, stats: crate::cache::CacheStats) {
-        self.inner.cache.hits.store(stats.hits, Ordering::Relaxed);
-        self.inner
-            .cache
-            .misses
-            .store(stats.misses, Ordering::Relaxed);
-        self.inner
-            .cache
-            .allocs
-            .store(stats.allocs, Ordering::Relaxed);
-        self.inner
-            .cache
-            .writebacks
-            .store(stats.writebacks, Ordering::Relaxed);
-        self.inner
-            .cache
-            .invalidations
-            .store(stats.invalidations, Ordering::Relaxed);
-        self.inner
-            .cache
-            .evictions
-            .store(stats.evictions, Ordering::Relaxed);
+    /// Attach the node cache's shared counter cells (called once by the
+    /// owning `NodeCtx` at construction). Later calls are ignored.
+    pub(crate) fn attach_cache(&self, cells: Arc<crate::cache::CacheStatsCells>) {
+        let _ = self.inner.cache.set(cells);
     }
 
     /// This node's event-trace ring (disabled by default).
@@ -308,7 +278,12 @@ impl NodeStats {
     /// histograms, and subsystem counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let c = &self.inner.counters;
-        let k = &self.inner.cache;
+        let k = self
+            .inner
+            .cache
+            .get()
+            .map(|cells| cells.total())
+            .unwrap_or_default();
         let mut histograms = [HistogramSnapshot::default(); CostClass::ALL.len()];
         for (out, h) in histograms.iter_mut().zip(&self.inner.histograms) {
             *out = h.snapshot();
@@ -323,12 +298,12 @@ impl NodeStats {
             bytes_copied: c.bytes_copied.load(Ordering::Relaxed),
             messages_sent: c.messages_sent.load(Ordering::Relaxed),
             message_bytes: c.message_bytes.load(Ordering::Relaxed),
-            cache_hits: k.hits.load(Ordering::Relaxed),
-            cache_misses: k.misses.load(Ordering::Relaxed),
-            cache_allocs: k.allocs.load(Ordering::Relaxed),
-            cache_writebacks: k.writebacks.load(Ordering::Relaxed),
-            cache_invalidations: k.invalidations.load(Ordering::Relaxed),
-            cache_evictions: k.evictions.load(Ordering::Relaxed),
+            cache_hits: k.hits,
+            cache_misses: k.misses,
+            cache_allocs: k.allocs,
+            cache_writebacks: k.writebacks,
+            cache_invalidations: k.invalidations,
+            cache_evictions: k.evictions,
             histograms,
             subsystems: self.inner.registry.snapshot(),
         }

@@ -9,6 +9,12 @@
 # is genuinely host-local (device media, per-node counters, rebuildable
 # indexes, ...). Imports (`use ...::Mutex;`) are fine: only constructed
 # types count.
+#
+# Second check: one-shot `registry().add(...)` calls re-take the registry
+# mutex every time, so they are banned from the flacos-*/flacdk crates
+# unless annotated `// cold-path: <why>` (same 3-line lookback). Hot
+# paths must hold the `Counter` from `CounterRegistry::counter` instead;
+# debug builds additionally enforce a per-counter call budget at runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,9 +38,27 @@ while IFS=: read -r file line text; do
     fail=1
 done < <(grep -rn --include='*.rs' -E '(Mutex|RwLock)<' crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
 
+while IFS=: read -r file line text; do
+    stripped="${text#"${text%%[![:space:]]*}"}"
+    case "$stripped" in
+    //*) continue ;;
+    esac
+    case "$text" in
+    *"cold-path:"*) continue ;;
+    esac
+    start=$((line > 3 ? line - 3 : 1))
+    if sed -n "${start},$((line - 1))p" "$file" | grep -q "cold-path:"; then
+        continue
+    fi
+    echo "lint_sync: $file:$line: one-shot registry().add in a kernel crate: $stripped" >&2
+    fail=1
+done < <(grep -rn --include='*.rs' -F 'registry().add(' crates/flacdk/src crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
+
 if [ "$fail" -ne 0 ]; then
     echo "lint_sync: FAILED — migrate the state onto flacdk::sync::SyncCell" >&2
     echo "lint_sync: or annotate the declaration with '// coherent-local: <why>'." >&2
+    echo "lint_sync: for registry().add, hold a Counter handle on hot paths" >&2
+    echo "lint_sync: or annotate the call with '// cold-path: <why>'." >&2
     exit 1
 fi
 echo "lint_sync: OK"

@@ -23,6 +23,10 @@ cargo test -q --offline --workspace
 echo "== bench targets compile (offline, feature-gated) =="
 cargo build --offline -p bench --benches --features criterion
 
+echo "== cache-scale smoke (~1 s wall-clock gate, JSON shape + regressions) =="
+cargo run --release --offline -p bench --bin cache-scale -- \
+    --quick --out target/BENCH_cache.quick.json --gate
+
 echo "== fault-storm smoke campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --seeds 2 --steps 60 --verify
 

@@ -14,7 +14,7 @@ use flacdk::hw::GlobalCell;
 use flacdk::sync::oplog::SharedOpLog;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
-use rack_sim::{Rack, RackConfig, SimError};
+use rack_sim::{GAddr, Rack, RackConfig, SimError};
 use std::collections::HashSet;
 use std::thread;
 
@@ -183,6 +183,71 @@ fn radix_concurrent_inserts_of_disjoint_keys_all_land() {
     drop(guard);
     // And the retire machinery stayed consistent.
     retired.reclaim(&node, &epochs, &alloc).unwrap();
+}
+
+#[test]
+fn sharded_cache_cost_totals_are_interleaving_independent() {
+    // Four threads hammer ONE node's cache, each owning a disjoint set of
+    // line-id classes (ids congruent to t mod 4), which also means
+    // disjoint banks of the 16-bank cache (bank = id & 15). Because each
+    // line's hit/miss/dirty history then depends only on its own thread's
+    // program order, the node's total simulated charge and cache counters
+    // must be identical on every run — and identical to running the same
+    // four programs serially. This is the determinism contract sharding
+    // must preserve: parallelism may reorder wall-clock execution, never
+    // simulated cost.
+    const THREADS: u64 = 4;
+    const LINES_PER_THREAD: u64 = 64;
+    const ROUNDS: u64 = 20;
+
+    fn thread_program(node: &rack_sim::NodeCtx, base_line: u64, t: u64) {
+        for round in 0..ROUNDS {
+            for i in 0..LINES_PER_THREAD {
+                let line = base_line + i * THREADS + t;
+                let addr = GAddr(line * rack_sim::LINE_SIZE as u64);
+                node.write_u64(addr, line ^ round).unwrap();
+                assert_eq!(node.read_u64(addr).unwrap(), line ^ round);
+                if (i + round) % 3 == 0 {
+                    node.writeback(addr, 8);
+                }
+                if (i + round) % 5 == 0 {
+                    node.invalidate(addr, 8);
+                }
+            }
+        }
+    }
+
+    let run = |parallel: bool| {
+        let rack = rack();
+        let n0 = rack.node(0);
+        let span = (THREADS * LINES_PER_THREAD) as usize * rack_sim::LINE_SIZE;
+        let base = rack.global().alloc(span, rack_sim::LINE_SIZE).unwrap();
+        let base_line = base.0 / rack_sim::LINE_SIZE as u64;
+        if parallel {
+            thread::scope(|s| {
+                for t in 0..THREADS {
+                    let n0 = n0.clone();
+                    s.spawn(move || thread_program(&n0, base_line, t));
+                }
+            });
+        } else {
+            for t in 0..THREADS {
+                thread_program(&n0, base_line, t);
+            }
+        }
+        let snap = n0.stats().snapshot();
+        assert_eq!(snap.total_charged_ns(), n0.clock().now());
+        (n0.clock().now(), n0.cache_stats())
+    };
+
+    let serial = run(false);
+    for attempt in 0..4 {
+        assert_eq!(
+            run(true),
+            serial,
+            "parallel run {attempt} diverged from the serial baseline"
+        );
+    }
 }
 
 #[test]

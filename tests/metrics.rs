@@ -114,6 +114,105 @@ fn tracing_captures_op_kinds_in_order() {
 }
 
 #[test]
+fn cross_bank_spans_charge_burst_costs_exactly() {
+    // A 256-byte line-aligned span covers four lines, which land in four
+    // *different banks* of the default 16-bank sharded cache. Sharding
+    // must not change the burst cost model: full fabric latency for the
+    // first missed/dirty line of a span, bandwidth-limited tails after.
+    let rack = small_rack();
+    let n0 = rack.node(0);
+    let lat = n0.latency().clone();
+    let a = rack.global().alloc(256, 64).unwrap();
+    let tail = lat.transfer_ns(rack_sim::LINE_SIZE).max(1);
+
+    // Full-line writes allocate all four lines without fetching.
+    let t = n0.clock().now();
+    n0.write(a, &[7u8; 256]).unwrap();
+    assert_eq!(n0.clock().now() - t, 4 * lat.cache_hit_ns);
+
+    // Writeback: full latency for the first dirty line, tail for the rest.
+    let t = n0.clock().now();
+    n0.writeback(a, 256);
+    assert_eq!(n0.clock().now() - t, lat.writeback_line_ns + 3 * tail);
+
+    // The lines stay resident: a spanning read now hits every bank.
+    let t = n0.clock().now();
+    let mut buf = [0u8; 256];
+    n0.read(a, &mut buf).unwrap();
+    assert_eq!(buf, [7u8; 256]);
+    assert_eq!(n0.clock().now() - t, 4 * lat.cache_hit_ns);
+
+    // Invalidate: one instruction up front, per-line tail cost after.
+    let t = n0.clock().now();
+    n0.invalidate(a, 256);
+    assert_eq!(
+        n0.clock().now() - t,
+        lat.invalidate_line_ns + 3 * lat.invalidate_extra_line_ns
+    );
+
+    // Cold read refetches the whole span as one burst.
+    let t = n0.clock().now();
+    n0.read(a, &mut buf).unwrap();
+    assert_eq!(buf, [7u8; 256]);
+    assert_eq!(n0.clock().now() - t, lat.global_read_ns + 3 * tail);
+
+    // Flush = writeback burst + invalidate burst, in one charge.
+    n0.write(a, &[9u8; 256]).unwrap(); // 4 hits, all dirty again
+    let t = n0.clock().now();
+    n0.flush(a, 256);
+    assert_eq!(
+        n0.clock().now() - t,
+        (lat.writeback_line_ns + 3 * tail)
+            + (lat.invalidate_line_ns + 3 * lat.invalidate_extra_line_ns)
+    );
+
+    // Per-line behaviour counters match the walk above, and the snapshot
+    // view (read lock-free from the per-bank atomics) agrees.
+    let cs = n0.cache_stats();
+    assert_eq!(cs.allocs, 4);
+    assert_eq!(cs.hits, 8);
+    assert_eq!(cs.misses, 4);
+    assert_eq!(cs.writebacks, 8);
+    assert_eq!(cs.invalidations, 8);
+    let snap = n0.stats().snapshot();
+    assert_eq!(snap.cache_hits, cs.hits);
+    assert_eq!(snap.cache_misses, cs.misses);
+
+    // Every charged nanosecond is accounted for in the histograms.
+    assert_eq!(snap.total_charged_ns(), n0.clock().now());
+}
+
+#[test]
+fn unaligned_cross_bank_write_mixes_miss_alloc_and_tail() {
+    // 100 bytes at line offset 32: a partial first line (RMW fill at full
+    // fabric latency), a full middle line (write-allocate, no fill), and
+    // a partial tail line (RMW fill at bandwidth cost).
+    let rack = small_rack();
+    let n0 = rack.node(0);
+    let lat = n0.latency().clone();
+    let base = rack.global().alloc(256, 64).unwrap();
+    let addr = rack_sim::GAddr(base.0 + 32);
+    let tail = lat.transfer_ns(rack_sim::LINE_SIZE).max(1);
+
+    let t = n0.clock().now();
+    n0.write(addr, &[3u8; 100]).unwrap();
+    assert_eq!(
+        n0.clock().now() - t,
+        lat.global_read_ns + lat.cache_hit_ns + tail
+    );
+    let cs = n0.cache_stats();
+    assert_eq!((cs.misses, cs.allocs, cs.hits), (2, 1, 0));
+
+    // Write back, then verify global memory got exactly the RMW result.
+    n0.flush(addr, 100);
+    let mut out = [0u8; 256];
+    rack.global().read_bytes(base, &mut out).unwrap();
+    assert!(out[..32].iter().all(|&b| b == 0));
+    assert!(out[32..132].iter().all(|&b| b == 3));
+    assert!(out[132..].iter().all(|&b| b == 0));
+}
+
+#[test]
 fn page_cache_publishes_subsystem_counters() {
     let rack = small_rack();
     let n0 = rack.node(0);
