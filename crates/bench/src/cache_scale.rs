@@ -384,6 +384,13 @@ impl ScaleConfig {
             ..Self::full(hit_permille)
         }
     }
+
+    /// Hit ratios swept by a run (permille). The miss-heavy 500 sweep is
+    /// part of *both* modes: it is the one that exposed the serialized
+    /// miss path, so the smoke run must keep exercising it.
+    pub fn hit_ratios(_quick: bool) -> &'static [u64] {
+        &[950, 500]
+    }
 }
 
 /// Result of one (implementation, thread count) measurement.
@@ -538,6 +545,11 @@ pub struct ScaleSummary {
     pub speedup_top: f64,
     /// Thread count the speedup was taken at.
     pub top_threads: usize,
+    /// Minimum sharded / baseline throughput ratio over every measured
+    /// thread count. The miss-heavy gate requires this ≥ 1 at
+    /// `hit_permille = 500` in the committed report: the sharded cache
+    /// must never lose to the single-mutex baseline.
+    pub min_thread_ratio: f64,
     /// Whether both impls charged identical simulated ns at every point.
     pub sim_ns_parity: bool,
 }
@@ -560,11 +572,17 @@ pub fn summarize(points: &[ScalePoint]) -> ScaleSummary {
         .iter()
         .filter(|p| p.cache_impl == "sharded")
         .all(|p| p.sim_ns == get("baseline", p.threads).sim_ns);
+    let min_ratio = points
+        .iter()
+        .filter(|p| p.cache_impl == "sharded")
+        .map(|p| p.ops_per_sec / get("baseline", p.threads).ops_per_sec)
+        .fold(f64::INFINITY, f64::min);
     ScaleSummary {
         hit_permille: points.first().map(|p| p.hit_permille).unwrap_or(0),
         single_thread_ratio: get("sharded", 1).ops_per_sec / get("baseline", 1).ops_per_sec,
         speedup_top: get("sharded", top).ops_per_sec / get("baseline", top).ops_per_sec,
         top_threads: top,
+        min_thread_ratio: min_ratio,
         sim_ns_parity: parity,
     }
 }
@@ -595,7 +613,7 @@ pub fn to_json(sweeps: &[(Vec<ScalePoint>, ScaleSummary)], quick: bool, cpus: us
     ));
     out.push_str(
         "  \"targets\": { \"speedup_top_min\": 4.0, \"single_thread_ratio_min\": 0.95, \
-         \"speedup_min_requires_cpus\": 8 },\n",
+         \"speedup_min_requires_cpus\": 8, \"miss_heavy_min_thread_ratio_min\": 1.0 },\n",
     );
     out.push_str("  \"results\": [\n");
     let mut first = true;
@@ -625,12 +643,143 @@ pub fn to_json(sweeps: &[(Vec<ScalePoint>, ScaleSummary)], quick: bool, cpus: us
         }
         out.push_str(&format!(
             "    {{ \"hit_permille\": {}, \"single_thread_ratio\": {:.3}, \
-             \"speedup_top\": {:.2}, \"top_threads\": {}, \"sim_ns_parity\": {} }}",
-            s.hit_permille, s.single_thread_ratio, s.speedup_top, s.top_threads, s.sim_ns_parity
+             \"speedup_top\": {:.2}, \"top_threads\": {}, \"min_thread_ratio\": {:.3}, \
+             \"sim_ns_parity\": {} }}",
+            s.hit_permille,
+            s.single_thread_ratio,
+            s.speedup_top,
+            s.top_threads,
+            s.min_thread_ratio,
+            s.sim_ns_parity
         ));
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// One `results[]` entry re-read from a report on disk.
+#[derive(Debug, Clone)]
+pub struct ParsedPoint {
+    /// Implementation name (`"sharded"` / `"baseline"`).
+    pub cache_impl: String,
+    /// Worker threads driving the cache.
+    pub threads: usize,
+    /// Hit-ratio target in permille.
+    pub hit_permille: u64,
+    /// Aggregate throughput, operations per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Total simulated nanoseconds charged.
+    pub sim_ns: u64,
+}
+
+/// A `BENCH_cache.json` report re-read from disk (see [`parse_report`]).
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    /// Whether the report came from a `--quick` smoke run.
+    pub quick: bool,
+    /// Every measurement point, in report order.
+    pub points: Vec<ParsedPoint>,
+}
+
+/// Extract the raw value token of `"key": value` from a one-line JSON
+/// object fragment (the shape [`to_json`] emits — one object per line).
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Re-read a report produced by [`to_json`]. Hand-rolled like the writer
+/// (hermetic workspace, no serde): each `results[]` object occupies one
+/// line, so line-wise key extraction is exact for this format.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or missing field.
+pub fn parse_report(json: &str) -> Result<ParsedReport, String> {
+    let quick = json
+        .lines()
+        .find_map(|l| field(l, "quick").filter(|_| l.trim_start().starts_with("\"quick\"")))
+        .ok_or("missing \"quick\" field")?
+        == "true";
+    let mut points = Vec::new();
+    for line in json.lines().filter(|l| l.contains("\"impl\":")) {
+        let get = |k: &str| field(line, k).ok_or_else(|| format!("missing \"{k}\" in {line}"));
+        points.push(ParsedPoint {
+            cache_impl: get("impl")?.to_string(),
+            threads: get("threads")?
+                .parse()
+                .map_err(|e| format!("threads: {e}"))?,
+            hit_permille: get("hit_permille")?
+                .parse()
+                .map_err(|e| format!("hit_permille: {e}"))?,
+            ops_per_sec: get("ops_per_sec")?
+                .parse()
+                .map_err(|e| format!("ops_per_sec: {e}"))?,
+            sim_ns: get("sim_ns")?.parse().map_err(|e| format!("sim_ns: {e}"))?,
+        });
+    }
+    if points.is_empty() {
+        return Err("no results[] entries found".into());
+    }
+    Ok(ParsedReport { quick, points })
+}
+
+/// The strict acceptance check applied to the *committed*
+/// `BENCH_cache.json` (the `--check` mode of the `cache-scale` binary).
+/// Recomputes every ratio from the raw points rather than trusting the
+/// report's own summary block. Requirements:
+///
+/// * full (non-quick) run with a (sharded, baseline) pair at every
+///   (threads, hit ratio) point;
+/// * `sim_ns` parity between the implementations at every point;
+/// * miss-heavy sweep present (`hit_permille = 500`) and the sharded
+///   cache at least as fast as the baseline at **every** thread count
+///   there — including single-threaded (`single_thread_ratio ≥ 1.0`).
+///
+/// Returns the list of failures (empty = pass).
+pub fn check_report(report: &ParsedReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report.quick {
+        failures.push("committed report must come from a full run, not --quick".into());
+    }
+    let mut saw_miss_heavy = false;
+    for p in report.points.iter().filter(|p| p.cache_impl == "sharded") {
+        let Some(base) = report.points.iter().find(|q| {
+            q.cache_impl == "baseline" && q.threads == p.threads && q.hit_permille == p.hit_permille
+        }) else {
+            failures.push(format!(
+                "no baseline point pairs (threads={}, hit_permille={})",
+                p.threads, p.hit_permille
+            ));
+            continue;
+        };
+        if p.sim_ns != base.sim_ns {
+            failures.push(format!(
+                "sim_ns parity broken at threads={}, hit_permille={}: {} vs {}",
+                p.threads, p.hit_permille, p.sim_ns, base.sim_ns
+            ));
+        }
+        if p.hit_permille == 500 {
+            saw_miss_heavy = true;
+            if p.ops_per_sec < base.ops_per_sec {
+                failures.push(format!(
+                    "miss-heavy sweep: sharded loses to baseline at {} thread(s) \
+                     ({:.0} vs {:.0} ops/s, ratio {:.3} < 1.0)",
+                    p.threads,
+                    p.ops_per_sec,
+                    base.ops_per_sec,
+                    p.ops_per_sec / base.ops_per_sec
+                ));
+            }
+        }
+    }
+    if !saw_miss_heavy {
+        failures.push("report lacks the miss-heavy (hit_permille=500) sweep".into());
+    }
+    failures
 }
 
 #[cfg(test)]
@@ -681,11 +830,75 @@ mod tests {
             "\"ops_per_sec\"",
             "\"single_thread_ratio\"",
             "\"speedup_top\"",
+            "\"min_thread_ratio\"",
             "\"sim_ns_parity\"",
             "\"host_cpus\"",
             "\"speedup_target_armed\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    /// Build a minimal synthetic report through the real writer so the
+    /// parser/checker tests cover the actual on-disk shape.
+    fn synthetic_report(quick: bool, miss_heavy_sharded_ops: f64) -> String {
+        let mk = |cache_impl: &'static str, threads, hit_permille, ops| ScalePoint {
+            cache_impl,
+            threads,
+            hit_permille,
+            total_ops: 1000,
+            elapsed_ns: 1_000_000,
+            ops_per_sec: ops,
+            sim_ns: 5_000,
+        };
+        let sweep500 = vec![
+            mk("sharded", 1, 500, miss_heavy_sharded_ops),
+            mk("baseline", 1, 500, 1_000.0),
+        ];
+        let sweep950 = vec![
+            mk("sharded", 1, 950, 2_000.0),
+            mk("baseline", 1, 950, 1_500.0),
+        ];
+        let s950 = summarize(&sweep950);
+        let s500 = summarize(&sweep500);
+        to_json(&[(sweep950, s950), (sweep500, s500)], quick, 1)
+    }
+
+    #[test]
+    fn parse_report_roundtrips_the_writer() {
+        let json = synthetic_report(false, 1_100.0);
+        let parsed = parse_report(&json).expect("writer output parses");
+        assert!(!parsed.quick);
+        assert_eq!(parsed.points.len(), 4);
+        let p = &parsed.points[2];
+        assert_eq!(p.cache_impl, "sharded");
+        assert_eq!(p.hit_permille, 500);
+        assert_eq!(p.sim_ns, 5_000);
+        assert!((p.ops_per_sec - 1_100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn check_report_accepts_winning_full_run() {
+        let parsed = parse_report(&synthetic_report(false, 1_100.0)).unwrap();
+        assert_eq!(check_report(&parsed), Vec::<String>::new());
+    }
+
+    #[test]
+    fn check_report_rejects_miss_heavy_loss_and_quick_runs() {
+        let losing = parse_report(&synthetic_report(false, 900.0)).unwrap();
+        let failures = check_report(&losing);
+        assert!(
+            failures.iter().any(|f| f.contains("loses to baseline")),
+            "expected a miss-heavy loss failure, got {failures:?}"
+        );
+
+        let quick = parse_report(&synthetic_report(true, 1_100.0)).unwrap();
+        assert!(check_report(&quick).iter().any(|f| f.contains("full run")));
+
+        let mut no_miss_heavy = parse_report(&synthetic_report(false, 1_100.0)).unwrap();
+        no_miss_heavy.points.retain(|p| p.hit_permille != 500);
+        assert!(check_report(&no_miss_heavy)
+            .iter()
+            .any(|f| f.contains("miss-heavy")));
     }
 }

@@ -13,7 +13,10 @@ pub struct LatencyModel {
     pub local_read_ns: u64,
     /// Store to node-local DRAM.
     pub local_write_ns: u64,
-    /// Load/store served by the node's cache over global memory.
+    /// Load/store served by the node's cache over global memory. Also
+    /// charged to accesses that coalesce onto another thread's in-flight
+    /// fill of the same line: the fill's fabric latency is paid once, by
+    /// the thread that issued it, and waiters complete as hits.
     pub cache_hit_ns: u64,
     /// Load from global memory across the interconnect (cache miss fill).
     pub global_read_ns: u64,

@@ -16,7 +16,7 @@ use crate::error::SimError;
 use crate::sync::RwLock;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Byte address in the rack's global memory pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -89,8 +89,26 @@ pub struct GlobalMemory {
     words: Vec<AtomicU64>,
     capacity: usize,
     next: AtomicUsize,
-    any_poison: AtomicBool,
+    /// Exact number of currently poisoned words, maintained alongside the
+    /// locked set. Every access path checks this relaxed atomic first, so
+    /// the common no-poison case never touches the `poisoned_words` lock —
+    /// line fills from every node's cache funnel through here, and taking
+    /// a shared `RwLock` per fill serialized exactly the path the sharded
+    /// caches parallelize. (A poison racing an access may land either
+    /// before or after it, as on real hardware.)
+    poison_count: AtomicUsize,
     poisoned_words: RwLock<HashSet<usize>>,
+    /// Debug-only proof that the fast path works: every acquisition of
+    /// `poisoned_words` (reader or writer) is counted, so tests can
+    /// assert the clean case takes the lock exactly zero times.
+    #[cfg(debug_assertions)]
+    poison_lock_acquires: AtomicU64,
+    /// Debug-only test seam: when non-zero, `read_bytes`/`write_bytes`
+    /// sleep this many wall-clock nanoseconds, making in-flight fabric
+    /// operations observable to deterministic concurrency tests
+    /// (single-flight fill coalescing, eviction-writeback overlap).
+    #[cfg(debug_assertions)]
+    fabric_delay_ns: AtomicU64,
 }
 
 impl fmt::Debug for GlobalMemory {
@@ -98,7 +116,9 @@ impl fmt::Debug for GlobalMemory {
         f.debug_struct("GlobalMemory")
             .field("capacity", &self.capacity)
             .field("allocated", &self.allocated())
-            .field("poisoned", &self.poisoned_words.read().len())
+            // Read the atomic count, not the set: Debug-printing a pool
+            // must not take the poison lock the fast path avoids.
+            .field("poisoned", &self.poison_count.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -112,8 +132,47 @@ impl GlobalMemory {
             words: (0..words).map(|_| AtomicU64::new(0)).collect(),
             capacity: words * 8,
             next: AtomicUsize::new(0),
-            any_poison: AtomicBool::new(false),
+            poison_count: AtomicUsize::new(0),
             poisoned_words: RwLock::new(HashSet::new()),
+            #[cfg(debug_assertions)]
+            poison_lock_acquires: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            fabric_delay_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one acquisition of the poison-set lock (debug builds only;
+    /// compiles to nothing in release).
+    #[inline]
+    fn note_poison_lock(&self) {
+        #[cfg(debug_assertions)]
+        self.poison_lock_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Debug-only: how many times the poison set's `RwLock` has been
+    /// acquired. Lets tests assert the clean case is lock-free.
+    #[cfg(debug_assertions)]
+    pub fn poison_lock_acquisitions(&self) -> u64 {
+        self.poison_lock_acquires.load(Ordering::Relaxed)
+    }
+
+    /// Debug-only test seam: make every subsequent `read_bytes`/
+    /// `write_bytes` sleep `ns` wall-clock nanoseconds, so concurrency
+    /// tests can observe an in-flight fabric operation deterministically.
+    #[cfg(debug_assertions)]
+    pub fn set_fabric_delay_for_tests(&self, ns: u64) {
+        self.fabric_delay_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Apply the debug-only fabric delay (no-op in release builds).
+    #[inline]
+    fn fabric_delay(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let ns = self.fabric_delay_ns.load(Ordering::Relaxed);
+            if ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            }
         }
     }
 
@@ -180,9 +239,12 @@ impl GlobalMemory {
     }
 
     fn check_poison(&self, first_word: usize, last_word: usize) -> Result<(), SimError> {
-        if !self.any_poison.load(Ordering::Relaxed) {
+        // Lock-free emptiness fast path: with zero poisoned words (the
+        // overwhelmingly common case) no access ever takes the set lock.
+        if self.poison_count.load(Ordering::Relaxed) == 0 {
             return Ok(());
         }
+        self.note_poison_lock();
         let set = self.poisoned_words.read();
         for w in first_word..=last_word {
             if set.contains(&w) {
@@ -278,6 +340,7 @@ impl GlobalMemory {
         if buf.is_empty() {
             return Ok(());
         }
+        self.fabric_delay();
         let first = addr.word_index();
         let last = GAddr(addr.0 + buf.len() as u64 - 1).word_index();
         self.check_poison(first, last)?;
@@ -305,6 +368,7 @@ impl GlobalMemory {
         if buf.is_empty() {
             return Ok(());
         }
+        self.fabric_delay();
         let first = addr.word_index();
         let last = GAddr(addr.0 + buf.len() as u64 - 1).word_index();
         self.check_poison(first, last)?;
@@ -339,11 +403,19 @@ impl GlobalMemory {
         }
         let first = addr.word_index();
         let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        self.note_poison_lock();
         let mut set = self.poisoned_words.write();
+        let mut added = 0usize;
         for w in first..=last {
-            set.insert(w);
+            if set.insert(w) {
+                added += 1;
+            }
         }
-        self.any_poison.store(true, Ordering::Relaxed);
+        if added > 0 {
+            // Published while the write lock is held, so the count can
+            // never exceed the set and the zero fast path stays sound.
+            self.poison_count.fetch_add(added, Ordering::Relaxed);
+        }
     }
 
     /// Repair poisoned words in `[addr, addr+len)` (e.g. after a scrubber
@@ -354,24 +426,28 @@ impl GlobalMemory {
         }
         let first = addr.word_index();
         let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        self.note_poison_lock();
         let mut set = self.poisoned_words.write();
+        let mut removed = 0usize;
         for w in first..=last {
             if set.remove(&w) {
                 self.words[w].store(0, Ordering::SeqCst);
+                removed += 1;
             }
         }
-        if set.is_empty() {
-            self.any_poison.store(false, Ordering::Relaxed);
+        if removed > 0 {
+            self.poison_count.fetch_sub(removed, Ordering::Relaxed);
         }
     }
 
     /// Whether any word in `[addr, addr+len)` is currently poisoned.
     pub fn is_poisoned(&self, addr: GAddr, len: usize) -> bool {
-        if len == 0 || !self.any_poison.load(Ordering::Relaxed) {
+        if len == 0 || self.poison_count.load(Ordering::Relaxed) == 0 {
             return false;
         }
         let first = addr.word_index();
         let last = GAddr(addr.0 + len as u64 - 1).word_index();
+        self.note_poison_lock();
         let set = self.poisoned_words.read();
         (first..=last).any(|w| set.contains(&w))
     }
@@ -577,6 +653,60 @@ mod tests {
         m.scrub(a, 16);
         assert!(!m.is_poisoned(a, 16));
         assert_eq!(m.load_u64(a).unwrap(), 0, "scrub zeroes repaired words");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn clean_case_never_takes_poison_lock() {
+        let m = GlobalMemory::new(256);
+        let a = m.alloc(64, 8).unwrap();
+        m.store_u64(a, 1).unwrap();
+        m.load_u64(a).unwrap();
+        m.fetch_add_u64(a, 1).unwrap();
+        m.compare_exchange_u64(a, 2, 3).unwrap();
+        let mut buf = [0u8; 64];
+        m.read_bytes(a, &mut buf).unwrap();
+        m.write_bytes(a, &buf).unwrap();
+        assert!(!m.is_poisoned(a, 64));
+        assert_eq!(
+            m.poison_lock_acquisitions(),
+            0,
+            "no poison ever injected: every access must stay lock-free"
+        );
+
+        // Injecting poison arms the slow path...
+        m.poison(a, 8);
+        assert!(m.load_u64(a).is_err());
+        let armed = m.poison_lock_acquisitions();
+        assert!(armed > 0, "poisoned accesses take the set lock");
+
+        // ...and scrubbing the last word restores the lock-free fast
+        // path (the count is exact, not a sticky flag).
+        m.scrub(a, 8);
+        let after_scrub = m.poison_lock_acquisitions();
+        m.load_u64(a).unwrap();
+        m.read_bytes(a, &mut buf).unwrap();
+        assert_eq!(
+            m.poison_lock_acquisitions(),
+            after_scrub,
+            "fully scrubbed pool is lock-free again"
+        );
+    }
+
+    #[test]
+    fn overlapping_poison_and_scrub_keep_exact_count() {
+        let m = GlobalMemory::new(256);
+        let a = m.alloc(64, 8).unwrap();
+        // Poison the same words twice: the count must not double.
+        m.poison(a, 16);
+        m.poison(a, 16);
+        m.scrub(a, 16);
+        assert!(!m.is_poisoned(a, 64));
+        assert_eq!(m.load_u64(a).unwrap(), 0, "scrubbed and readable");
+        // A disjoint poison still blocks after the overlapping scrub.
+        m.poison(a.offset(32), 8);
+        assert!(m.load_u64(a.offset(32)).is_err());
+        assert_eq!(m.load_u64(a).unwrap(), 0);
     }
 
     #[test]

@@ -278,8 +278,9 @@ impl fmt::Display for RackReport {
         )?;
         writeln!(
             f,
-            "  cache: {} hits, {} misses, {} allocs, {} writebacks, {} invalidations, {} evictions",
+            "  cache: {} hits ({} coalesced), {} misses, {} allocs, {} writebacks, {} invalidations, {} evictions",
             m.cache_hits,
+            m.cache_coalesced_fills,
             m.cache_misses,
             m.cache_allocs,
             m.cache_writebacks,

@@ -82,6 +82,10 @@ pub struct StatsSnapshot {
     pub cache_invalidations: u64,
     /// Lines evicted for capacity.
     pub cache_evictions: u64,
+    /// Hits that cost-shared another thread's in-flight line fill
+    /// instead of issuing a duplicate fabric read (subset of
+    /// `cache_hits`).
+    pub cache_coalesced_fills: u64,
     /// Per-cost-class latency histograms, indexed by [`CostClass::index`].
     pub histograms: [HistogramSnapshot; CostClass::ALL.len()],
     /// Subsystem counters registered by layers above the simulator.
@@ -106,6 +110,7 @@ impl Default for StatsSnapshot {
             cache_writebacks: 0,
             cache_invalidations: 0,
             cache_evictions: 0,
+            cache_coalesced_fills: 0,
             histograms: [HistogramSnapshot::default(); CostClass::ALL.len()],
             subsystems: Vec::new(),
         }
@@ -141,6 +146,7 @@ impl StatsSnapshot {
         self.cache_writebacks += other.cache_writebacks;
         self.cache_invalidations += other.cache_invalidations;
         self.cache_evictions += other.cache_evictions;
+        self.cache_coalesced_fills += other.cache_coalesced_fills;
         for (a, b) in self.histograms.iter_mut().zip(&other.histograms) {
             a.merge(b);
         }
@@ -304,6 +310,7 @@ impl NodeStats {
             cache_writebacks: k.writebacks,
             cache_invalidations: k.invalidations,
             cache_evictions: k.evictions,
+            cache_coalesced_fills: k.coalesced_fills,
             histograms,
             subsystems: self.inner.registry.snapshot(),
         }

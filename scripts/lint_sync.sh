@@ -15,6 +15,14 @@
 # unless annotated `// cold-path: <why>` (same 3-line lookback). Hot
 # paths must hold the `Counter` from `CounterRegistry::counter` instead;
 # debug builds additionally enforce a per-counter call budget at runtime.
+#
+# Third check: the node cache must never perform a fabric access
+# (`read_bytes`/`write_bytes`) while lexically inside a `.lock()` scope
+# in crates/rack-sim/src/cache.rs — holding a bank lock across a
+# fabric-latency operation is exactly the serialization this module was
+# rebuilt to remove (debug builds also enforce it dynamically via the
+# lockdep counter). Escape hatch: annotate the call, or one of the three
+# preceding lines, with `// fill-publish: <why>`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,11 +62,53 @@ while IFS=: read -r file line text; do
     fail=1
 done < <(grep -rn --include='*.rs' -F 'registry().add(' crates/flacdk/src crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
 
+# Lexical scope scan for check 3: tracks brace depth, treats a
+# `.lock()`/`.try_lock()` call as acquiring a guard that lives until its
+# enclosing block closes or an explicit `drop(...)` releases it, and
+# flags `read_bytes`/`write_bytes` calls while any guard is live. A
+# lexical approximation, deliberately conservative: the dynamic lockdep
+# assertion in debug builds is the precise backstop.
+check_fabric_under_lock() {
+    awk '
+    function stripped(s) {
+        gsub(/"[^"]*"/, "\"\"", s)
+        sub(/\/\/.*$/, "", s)
+        return s
+    }
+    {
+        raw[NR] = $0
+        line = stripped($0)
+        if (nguards > 0 && line ~ /(read_bytes|write_bytes)[ \t]*\(/) {
+            ok = 0
+            for (j = NR - 3; j <= NR; j++)
+                if (j >= 1 && raw[j] ~ /fill-publish:/) ok = 1
+            if (!ok) {
+                printf "lint_sync: %s:%d: fabric access lexically inside a .lock() scope: %s\n", \
+                    FILENAME, NR, $0 > "/dev/stderr"
+                bad = 1
+            }
+        }
+        if (line ~ /drop\(/ && nguards > 0) nguards--
+        if (line ~ /\.(try_)?lock\(\)/) { nguards++; gdepth[nguards] = depth }
+        depth += gsub(/{/, "{", line)
+        depth -= gsub(/}/, "}", line)
+        while (nguards > 0 && gdepth[nguards] > depth) nguards--
+    }
+    END { exit bad }
+    ' "$1"
+}
+
+if ! check_fabric_under_lock crates/rack-sim/src/cache.rs; then
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "lint_sync: FAILED — migrate the state onto flacdk::sync::SyncCell" >&2
     echo "lint_sync: or annotate the declaration with '// coherent-local: <why>'." >&2
     echo "lint_sync: for registry().add, hold a Counter handle on hot paths" >&2
     echo "lint_sync: or annotate the call with '// cold-path: <why>'." >&2
+    echo "lint_sync: for fabric-under-lock, stage the bytes and drop the" >&2
+    echo "lint_sync: bank guard first, or annotate '// fill-publish: <why>'." >&2
     exit 1
 fi
 echo "lint_sync: OK"

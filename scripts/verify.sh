@@ -27,6 +27,9 @@ echo "== cache-scale smoke (~1 s wall-clock gate, JSON shape + regressions) =="
 cargo run --release --offline -p bench --bin cache-scale -- \
     --quick --out target/BENCH_cache.quick.json --gate
 
+echo "== committed BENCH_cache.json honors the miss-heavy acceptance targets =="
+cargo run --release --offline -p bench --bin cache-scale -- --check BENCH_cache.json
+
 echo "== fault-storm smoke campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --seeds 2 --steps 60 --verify
 

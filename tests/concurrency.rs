@@ -279,3 +279,180 @@ fn cache_incoherence_is_thread_safe_even_if_stale() {
         });
     });
 }
+
+#[test]
+fn cold_miss_storm_is_single_flight_per_line() {
+    // N threads race through the same 64 cold lines. Single-flight fills
+    // guarantee exactly one fabric read — one `misses` increment — per
+    // line no matter how the threads interleave: every other access
+    // completes as a hit (coalesced onto the in-flight fill or served
+    // after it publishes), so the counters and the summed simulated cost
+    // are interleaving-independent constants.
+    use rack_sim::cache::{CacheConfig, NodeCache};
+    use rack_sim::{GlobalMemory, LatencyModel, LINE_SIZE};
+    use std::sync::Barrier;
+
+    const THREADS: u64 = 4;
+    const LINES: u64 = 64;
+    let global = GlobalMemory::new((LINES as usize) * LINE_SIZE);
+    let lat = LatencyModel::hccs();
+    let cache = NodeCache::new(CacheConfig::default());
+    let barrier = Barrier::new(THREADS as usize);
+
+    let total_cost: u64 = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (cache, global, lat, barrier) = (&cache, &global, &lat, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut cost = 0;
+                    let mut buf = [0u8; 8];
+                    for line in 0..LINES {
+                        cost += cache
+                            .read(global, lat, GAddr(line * LINE_SIZE as u64), &mut buf)
+                            .unwrap();
+                    }
+                    cost
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, LINES, "exactly one fill per cold line");
+    assert_eq!(stats.hits, (THREADS - 1) * LINES);
+    assert!(stats.coalesced_fills <= stats.hits);
+    assert_eq!(stats.allocs, 0);
+    assert_eq!(
+        total_cost,
+        LINES * lat.global_read_ns + (THREADS - 1) * LINES * lat.cache_hit_ns,
+        "summed simulated cost is an interleaving-independent constant"
+    );
+}
+
+// The two tests below watch an in-flight fabric operation from another
+// thread, which needs the debug-only `set_fabric_delay_for_tests` seam.
+#[cfg(debug_assertions)]
+#[test]
+fn concurrent_cold_misses_coalesce_onto_one_delayed_fill() {
+    // One line, four threads, and a fabric read slowed to 20 ms: the
+    // barrier releases all threads while the winner's fill is in flight,
+    // so the other three must coalesce (wait on the bank condvar) rather
+    // than issue duplicate fabric reads — one miss, three coalesced hits,
+    // each charged `cache_hit_ns`.
+    use rack_sim::cache::{CacheConfig, NodeCache};
+    use rack_sim::{GlobalMemory, LatencyModel};
+    use std::sync::Barrier;
+
+    const THREADS: usize = 4;
+    let global = GlobalMemory::new(4096);
+    let lat = LatencyModel::hccs();
+    let cache = NodeCache::new(CacheConfig::default());
+    global.set_fabric_delay_for_tests(20_000_000);
+    let barrier = Barrier::new(THREADS);
+
+    let costs: Vec<u64> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (cache, global, lat, barrier) = (&cache, &global, &lat, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut buf = [0u8; 8];
+                    cache.read(global, lat, GAddr(0), &mut buf).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "single-flight: one fabric read total");
+    assert_eq!(stats.hits, THREADS as u64 - 1);
+    assert_eq!(
+        stats.coalesced_fills,
+        THREADS as u64 - 1,
+        "every other thread waited on the in-flight fill"
+    );
+    assert_eq!(
+        costs.iter().filter(|&&c| c == lat.global_read_ns).count(),
+        1,
+        "exactly one thread paid the fabric latency"
+    );
+    assert_eq!(
+        costs.iter().filter(|&&c| c == lat.cache_hit_ns).count(),
+        THREADS - 1,
+        "coalesced waiters cost-share as hits"
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn dirty_eviction_writeback_does_not_block_hits_in_same_bank() {
+    // Per-bank capacity 1 and a 50 ms fabric delay: thread 1's full-line
+    // write of line B evicts dirty line A (same bank) and spends 50 ms in
+    // the victim's fabric writeback. That writeback happens with the bank
+    // lock RELEASED, so thread 2's read and write hits on B — the same
+    // bank — must complete while thread 1 is still inside its call.
+    use rack_sim::cache::{CacheConfig, NodeCache};
+    use rack_sim::{GlobalMemory, LatencyModel, LINE_SIZE};
+    use std::sync::Barrier;
+    use std::time::{Duration, Instant};
+
+    let global = GlobalMemory::new(64 * LINE_SIZE);
+    let lat = LatencyModel::hccs();
+    let cache = NodeCache::new(CacheConfig {
+        max_lines: 16,
+        banks: 16,
+    });
+    let line_a = GAddr(0); // bank 0
+    let line_b = GAddr(16 * LINE_SIZE as u64); // also bank 0
+
+    // Make line A resident and dirty (the fill runs before the delay).
+    cache.write(&global, &lat, line_a, &[7u8; 8]).unwrap();
+    global.set_fabric_delay_for_tests(50_000_000);
+
+    let barrier = Barrier::new(2);
+    let (t1_done_at, t2_hits_at) = thread::scope(|s| {
+        let writer = {
+            let (cache, global, lat, barrier) = (&cache, &global, &lat, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                // Full-line alloc of B: no fill read, publishes B, evicts
+                // dirty A, then writes A back with no bank lock held.
+                cache.write(global, lat, line_b, &[9u8; LINE_SIZE]).unwrap();
+                Instant::now()
+            })
+        };
+        let reader = {
+            let (cache, global, lat, barrier) = (&cache, &global, &lat, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                // Give thread 1 time to publish B and enter the delayed
+                // victim writeback (50 ms window, 5 ms offset).
+                thread::sleep(Duration::from_millis(5));
+                let mut buf = [0u8; 8];
+                let read_cost = cache.read(global, lat, line_b, &mut buf).unwrap();
+                assert_eq!(buf, [9u8; 8], "hit serves the freshly written line");
+                assert_eq!(read_cost, lat.cache_hit_ns, "read must hit");
+                // A write hit takes the locked path: the bank lock itself
+                // must be free while the victim writeback is in flight.
+                let write_cost = cache.write(global, lat, line_b, &[3u8; 8]).unwrap();
+                assert_eq!(write_cost, lat.cache_hit_ns, "write must hit");
+                Instant::now()
+            })
+        };
+        (writer.join().unwrap(), reader.join().unwrap())
+    });
+
+    assert!(
+        t2_hits_at < t1_done_at,
+        "same-bank hits completed {:?} AFTER the evicting write returned \
+         — the victim writeback held the bank lock",
+        t2_hits_at - t1_done_at
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.writebacks, 1);
+    assert_eq!(stats.allocs, 1);
+}

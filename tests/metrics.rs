@@ -177,6 +177,8 @@ fn cross_bank_spans_charge_burst_costs_exactly() {
     let snap = n0.stats().snapshot();
     assert_eq!(snap.cache_hits, cs.hits);
     assert_eq!(snap.cache_misses, cs.misses);
+    assert_eq!(snap.cache_coalesced_fills, cs.coalesced_fills);
+    assert_eq!(cs.coalesced_fills, 0, "single-threaded run never coalesces");
 
     // Every charged nanosecond is accounted for in the histograms.
     assert_eq!(snap.total_charged_ns(), n0.clock().now());
