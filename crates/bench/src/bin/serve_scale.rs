@@ -1,0 +1,204 @@
+//! `flac-loadgen` — the open-loop heavy-traffic serving benchmark.
+//!
+//! ```text
+//! flac-loadgen [--quick] [--out PATH] [--gate] [--seed N]
+//! flac-loadgen --check PATH
+//! ```
+//!
+//! * `--quick`    — small client scales (~1 s) for the CI smoke in
+//!   `verify.sh`
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_serve.json`)
+//! * `--gate`     — exit nonzero if the freshly written report is
+//!   malformed or violates the smoke invariants (zero RESP errors,
+//!   seeded-rerun parity, ordered percentiles, FlacOS IPC p50 beating
+//!   TCP/IP at every scale)
+//! * `--seed N`   — xor this into every point's seed (determinism
+//!   experiments; the committed report uses the default)
+//! * `--check PATH` — run no benchmark; re-read a *committed* report
+//!   and enforce the strict acceptance targets (full run, ≥ 3 client
+//!   scales, both transports, plus everything `--gate` checks). Because
+//!   every number is simulated-time-derived, the committed artifact is
+//!   exactly reproducible and the check carries no noise tolerance.
+//!
+//! The full (non-`--quick`) run is the one committed as
+//! `BENCH_serve.json`: 100 k / 300 k / 1 M simulated clients over both
+//! transports, with p50/p99/p999 latency and saturation throughput per
+//! point.
+
+use bench::serve_scale::{check_report, parse_report, run_scale, to_json, ServeConfig};
+
+struct Args {
+    quick: bool,
+    out: String,
+    gate: bool,
+    seed: u64,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        out: String::from("BENCH_serve.json"),
+        gate: false,
+        seed: 0,
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                parsed.quick = true;
+                i += 1;
+            }
+            "--gate" => {
+                parsed.gate = true;
+                i += 1;
+            }
+            "--out" => {
+                parsed.out = need_value(i)?.clone();
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(need_value(i)?.clone());
+                i += 2;
+            }
+            "--seed" => {
+                parsed.seed = need_value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// `--check PATH`: validate a committed report without benchmarking.
+fn run_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flac-loadgen: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match parse_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flac-loadgen: CHECK FAILURE: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let failures = check_report(&report);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("flac-loadgen: CHECK FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "flac-loadgen: check OK — {path}: {} points, parity holds, \
+         FlacOS IPC beats TCP/IP at every scale",
+        report.points.len()
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("flac-loadgen: {e}");
+            eprintln!(
+                "usage: flac-loadgen [--quick] [--out PATH] [--gate] [--seed N] | --check PATH"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        run_check(path);
+    }
+
+    let scales = ServeConfig::scales(args.quick);
+    println!(
+        "flac-loadgen: {} mode, client scales {scales:?}, both transports, open loop + saturation",
+        if args.quick { "quick" } else { "full" }
+    );
+
+    let mut points = Vec::new();
+    for &clients in scales {
+        let mut cfg = if args.quick {
+            ServeConfig::quick(clients)
+        } else {
+            ServeConfig::full(clients)
+        };
+        cfg.seed ^= args.seed;
+        let scale_points = match run_scale(&cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("flac-loadgen: {clients} clients: simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        for p in &scale_points {
+            println!(
+                "  {:>10} clients={:>7} offered={:>9.0} rps achieved={:>9.0} rps \
+                 p50={:>7} p99={:>8} p999={:>8} ns sat={:>10.0} rps parity={}",
+                p.transport,
+                p.clients,
+                p.offered_rps,
+                p.achieved_rps,
+                p.p50_ns,
+                p.p99_ns,
+                p.p999_ns,
+                p.saturation_rps,
+                p.parity
+            );
+        }
+        points.extend(scale_points);
+    }
+
+    let json = to_json(&points, args.quick);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("flac-loadgen: writing {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    println!("flac-loadgen: wrote {}", args.out);
+
+    if args.gate {
+        // Re-read what actually landed on disk so the gate catches
+        // truncated or clobbered reports, not just in-memory state.
+        let on_disk = match std::fs::read_to_string(&args.out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("flac-loadgen: re-reading {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        };
+        let report = match parse_report(&on_disk) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("flac-loadgen: GATE FAILURE: {e}");
+                std::process::exit(1);
+            }
+        };
+        // The smoke gate applies the same per-point invariants as
+        // `--check` but accepts quick runs and fewer scales.
+        let failures: Vec<String> = check_report(&report)
+            .into_iter()
+            .filter(|f| !f.contains("--quick") && !f.contains(">= 3 client scales"))
+            .collect();
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("flac-loadgen: GATE FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("flac-loadgen: gate OK");
+    }
+}

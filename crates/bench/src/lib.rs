@@ -20,6 +20,7 @@
 //! | [`tiering_ab`] | Ablation A7 — page tiering daemon off vs on |
 //! | [`adaptive_ab`] | Ablation A8 — fixed sync policies vs adaptive driver |
 //! | [`cache_scale`] | §2 cache internals — sharded vs single-mutex, wall-clock |
+//! | [`serve_scale`] | §4 serving at scale — `flac-loadgen` open-loop sweep |
 
 pub mod adaptive_ab;
 pub mod cache_scale;
@@ -31,6 +32,7 @@ pub mod fig4;
 pub mod harness;
 pub mod ipc_ab;
 pub mod pagecache_ab;
+pub mod serve_scale;
 pub mod startup;
 pub mod sync_ab;
 pub mod table;

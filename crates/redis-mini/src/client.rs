@@ -1,22 +1,37 @@
 //! The redis-mini client, with latency measurement hooks.
 
-use crate::resp::{Command, Reply, RespError};
+use crate::resp::{Command, Reply};
 use crate::server::RedisServer;
 use crate::transport::Transport;
 use rack_sim::{NodeCtx, SimError};
 use std::sync::Arc;
 
 /// A blocking-style client over any [`Transport`].
+///
+/// Replies are consumed from a receive buffer by frame offset, so a
+/// server that batches many replies into one transport message (the
+/// event loop's normal behaviour), or splits one reply across messages,
+/// parses correctly: each [`RedisClient::recv_reply`] call yields
+/// exactly the next reply frame.
 #[derive(Debug)]
 pub struct RedisClient<T: Transport> {
     node: Arc<NodeCtx>,
     transport: T,
+    /// Reply bytes received but not yet consumed.
+    rx_buf: Vec<u8>,
+    /// Consumed-frame offset into `rx_buf`.
+    rx_pos: usize,
 }
 
 impl<T: Transport> RedisClient<T> {
     /// A client on `node` over `transport`.
     pub fn new(node: Arc<NodeCtx>, transport: T) -> Self {
-        RedisClient { node, transport }
+        RedisClient {
+            node,
+            transport,
+            rx_buf: Vec::new(),
+            rx_pos: 0,
+        }
     }
 
     /// The node running the client.
@@ -38,17 +53,63 @@ impl<T: Transport> RedisClient<T> {
         self.transport.send(&cmd.encode())
     }
 
-    /// Receive and parse one reply (non-blocking).
+    /// Encode `cmds` back-to-back into one transport message — RESP
+    /// pipelining. The server answers every frame; collect the replies
+    /// with one [`RedisClient::recv_reply`] call per command, in order.
     ///
     /// # Errors
     ///
-    /// [`SimError::WouldBlock`] if nothing arrived; parse failures are
-    /// protocol errors.
+    /// Propagates transport errors; sends nothing for an empty slice.
+    pub fn send_pipelined(&mut self, cmds: &[Command]) -> Result<(), SimError> {
+        if cmds.is_empty() {
+            return Ok(());
+        }
+        let mut msg = Vec::new();
+        for cmd in cmds {
+            msg.extend_from_slice(&cmd.encode());
+        }
+        self.transport.send(&msg)
+    }
+
+    /// Receive and parse the next reply (non-blocking): consume a
+    /// buffered frame if one is complete, otherwise pull more transport
+    /// messages until a frame completes or the transport would block.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WouldBlock`] if no complete reply is available (any
+    /// partial frame stays buffered); parse failures are protocol errors.
     pub fn recv_reply(&mut self) -> Result<Reply, SimError> {
-        let bytes = self.transport.try_recv()?;
-        let (reply, _) = Reply::parse(&bytes)
-            .map_err(|e: RespError| SimError::Protocol(format!("bad reply from server: {e}")))?;
-        Ok(reply)
+        loop {
+            match Reply::parse_frame(&self.rx_buf[self.rx_pos..]) {
+                Ok(Some((reply, consumed))) => {
+                    self.rx_pos += consumed;
+                    if self.rx_pos == self.rx_buf.len() {
+                        self.rx_buf.clear();
+                        self.rx_pos = 0;
+                    }
+                    return Ok(reply);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // A desynced reply stream cannot be re-framed.
+                    self.rx_buf.clear();
+                    self.rx_pos = 0;
+                    return Err(SimError::Protocol(format!("bad reply from server: {e}")));
+                }
+            }
+            if self.rx_pos > 0 {
+                self.rx_buf.drain(..self.rx_pos);
+                self.rx_pos = 0;
+            }
+            let bytes = self.transport.try_recv()?;
+            self.rx_buf.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Reply bytes buffered but not yet consumed (tests/diagnostics).
+    pub fn buffered_reply_bytes(&self) -> usize {
+        self.rx_buf.len() - self.rx_pos
     }
 }
 
@@ -96,6 +157,38 @@ mod tests {
 
     fn rack() -> Rack {
         Rack::new(RackConfig::small_test().with_global_mem(32 << 20))
+    }
+
+    #[test]
+    fn batched_and_split_replies_consumed_by_offset() {
+        // Regression: recv_reply used to parse one reply per transport
+        // message and silently drop the rest of a batch.
+        let rack = rack();
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let (mut sep, cep) =
+            FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).unwrap();
+        let mut client = RedisClient::new(rack.node(1), cep);
+
+        // One message carrying three replies...
+        let mut batch = Vec::new();
+        batch.extend_from_slice(&Reply::Simple("OK".into()).encode());
+        batch.extend_from_slice(&Reply::Integer(42).encode());
+        batch.extend_from_slice(&Reply::Bulk(b"abc".to_vec()).encode());
+        sep.send(&batch).unwrap();
+        assert_eq!(client.recv_reply().unwrap(), Reply::Simple("OK".into()));
+        assert_eq!(client.recv_reply().unwrap(), Reply::Integer(42));
+        assert_eq!(client.recv_reply().unwrap(), Reply::Bulk(b"abc".to_vec()));
+        assert!(matches!(client.recv_reply(), Err(SimError::WouldBlock)));
+
+        // ...and one reply split across two messages.
+        let wire = Reply::Bulk(vec![9u8; 200]).encode();
+        let (head, tail) = wire.split_at(50);
+        sep.send(head).unwrap();
+        assert!(matches!(client.recv_reply(), Err(SimError::WouldBlock)));
+        assert_eq!(client.buffered_reply_bytes(), 50);
+        sep.send(tail).unwrap();
+        assert_eq!(client.recv_reply().unwrap(), Reply::Bulk(vec![9u8; 200]));
+        assert_eq!(client.buffered_reply_bytes(), 0);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!
 //! The evaluation drives SET and GET at two request sizes and measures
 //! client-observed latency; see `bench/benches/fig4_redis.rs` and
-//! `figures -- fig4`.
+//! `figures -- fig4`. The heavy-traffic serving benchmark
+//! (`flac-loadgen`, `BENCH_serve.json`) drives the same server with an
+//! open-loop multi-connection load via the [`server`] event loop's RESP
+//! pipelining and batched replies.
 
 pub mod client;
 pub mod resp;
@@ -17,7 +20,7 @@ pub mod store;
 pub mod transport;
 
 pub use client::RedisClient;
-pub use resp::{Command, Reply};
-pub use server::RedisServer;
+pub use resp::{Command, Reply, RespError};
+pub use server::{RedisServer, ServerStats};
 pub use store::KeyspaceStore;
 pub use transport::Transport;

@@ -74,6 +74,37 @@ impl std::fmt::Display for RespError {
 
 impl std::error::Error for RespError {}
 
+/// Largest bulk-string payload the parser accepts (16 MiB, mirroring
+/// real Redis's default `proto-max-bulk-len`). Anything larger — in
+/// particular hostile lengths like `i64::MAX` that used to overflow the
+/// `data_start + len + 2` bounds check — is a hard protocol error, not a
+/// "wait for more bytes" condition.
+pub const MAX_BULK_LEN: usize = 16 << 20;
+
+/// Largest command arity accepted (the widest supported command is 3).
+pub const MAX_ARGC: i64 = 16;
+
+/// Outcome of scanning a length prefix: either a value or a request for
+/// more bytes. Malformed prefixes are `RespError`s, never `Incomplete`.
+enum Scan {
+    Num(i64, usize),
+    Incomplete,
+}
+
+/// Could `bytes` still grow into a valid `<number>\r\n` run? Used to
+/// distinguish a frame truncated mid-prefix (wait for more data) from
+/// garbage that will never parse (fail now). A trailing lone `\r` is
+/// allowed — the `\n` may still be in flight.
+fn plausible_number_prefix(bytes: &[u8]) -> bool {
+    let bytes = bytes.strip_suffix(b"\r").unwrap_or(bytes);
+    // An i64 is at most 19 digits plus a sign.
+    bytes.len() <= 20
+        && bytes
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c.is_ascii_digit() || (i == 0 && c == b'-'))
+}
+
 impl Command {
     /// Encode as a RESP array of bulk strings.
     pub fn encode(&self) -> Vec<u8> {
@@ -97,27 +128,68 @@ impl Command {
 
     /// Parse one command from `buf`, returning it and the bytes consumed.
     ///
+    /// Incomplete frames are reported as errors; callers that accumulate
+    /// bytes and need to wait for the rest of a frame (the server's
+    /// pipelined event loop) should use [`Command::parse_frame`] instead.
+    ///
     /// # Errors
     ///
-    /// [`RespError`] on malformed or unsupported input.
+    /// [`RespError`] on malformed, truncated, or unsupported input.
+    /// Never panics, for any input.
     pub fn parse(buf: &[u8]) -> Result<(Command, usize), RespError> {
-        let (argc, mut pos) = read_prefixed(buf, 0, b'*')?;
-        let argc = argc as usize;
-        if argc == 0 || argc > 16 {
+        match Self::parse_frame(buf)? {
+            Some(parsed) => Ok(parsed),
+            None => Err(RespError("incomplete frame".into())),
+        }
+    }
+
+    /// Scan one command frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((cmd, consumed)))` for a complete frame,
+    /// `Ok(None)` when `buf` holds a valid but incomplete prefix (more
+    /// bytes are needed), and `Err` for input that can never become a
+    /// valid frame. This is the pipelining contract: a receive buffer is
+    /// drained by calling this in a loop, advancing by `consumed`, until
+    /// `Ok(None)` leaves the partial tail for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`RespError`] on malformed or unsupported input (negative or
+    /// oversized lengths, bad terminators, unknown commands).
+    pub fn parse_frame(buf: &[u8]) -> Result<Option<(Command, usize)>, RespError> {
+        let (argc, mut pos) = match read_prefixed(buf, 0, b'*')? {
+            Scan::Num(n, p) => (n, p),
+            Scan::Incomplete => return Ok(None),
+        };
+        if argc <= 0 || argc > MAX_ARGC {
             return Err(RespError(format!("implausible argc {argc}")));
         }
+        let argc = argc as usize;
         let mut args: Vec<Vec<u8>> = Vec::with_capacity(argc);
         for _ in 0..argc {
-            let (len, data_start) = read_prefixed(buf, pos, b'$')?;
-            let len = len as usize;
-            if buf.len() < data_start + len + 2 {
-                return Err(RespError("truncated bulk string".into()));
+            let (len, data_start) = match read_prefixed(buf, pos, b'$')? {
+                Scan::Num(n, p) => (n, p),
+                Scan::Incomplete => return Ok(None),
+            };
+            if len < 0 {
+                return Err(RespError(format!("negative bulk length {len}")));
             }
-            args.push(buf[data_start..data_start + len].to_vec());
-            if &buf[data_start + len..data_start + len + 2] != b"\r\n" {
+            if len > MAX_BULK_LEN as i64 {
+                return Err(RespError(format!(
+                    "bulk length {len} exceeds {MAX_BULK_LEN}"
+                )));
+            }
+            let len = len as usize;
+            // Cannot overflow: data_start <= buf.len() and len <= 16 MiB.
+            let data_end = data_start + len;
+            if buf.len() < data_end + 2 {
+                return Ok(None);
+            }
+            if &buf[data_end..data_end + 2] != b"\r\n" {
                 return Err(RespError("bulk string missing terminator".into()));
             }
-            pos = data_start + len + 2;
+            args.push(buf[data_start..data_end].to_vec());
+            pos = data_end + 2;
         }
         let name = args[0].to_ascii_uppercase();
         let cmd = match (name.as_slice(), args.len()) {
@@ -150,7 +222,7 @@ impl Command {
                 )))
             }
         };
-        Ok((cmd, pos))
+        Ok(Some((cmd, pos)))
     }
 }
 
@@ -173,76 +245,138 @@ impl Reply {
 
     /// Parse one reply, returning it and the bytes consumed.
     ///
+    /// Incomplete frames are reported as errors; callers that buffer
+    /// batched replies should use [`Reply::parse_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`RespError`] on malformed or truncated input. Never panics, for
+    /// any input.
+    pub fn parse(buf: &[u8]) -> Result<(Reply, usize), RespError> {
+        match Self::parse_frame(buf)? {
+            Some(parsed) => Ok(parsed),
+            None => Err(RespError("incomplete frame".into())),
+        }
+    }
+
+    /// Scan one reply frame from the front of `buf`: `Ok(Some)` for a
+    /// complete frame, `Ok(None)` for a valid-but-incomplete prefix,
+    /// `Err` for bytes that can never become a valid reply. The client
+    /// consumes batched reply messages by looping on this and advancing
+    /// its buffer offset by the consumed count.
+    ///
     /// # Errors
     ///
     /// [`RespError`] on malformed input.
-    pub fn parse(buf: &[u8]) -> Result<(Reply, usize), RespError> {
-        let first = *buf.first().ok_or_else(|| RespError("empty reply".into()))?;
+    pub fn parse_frame(buf: &[u8]) -> Result<Option<(Reply, usize)>, RespError> {
+        let Some(&first) = buf.first() else {
+            return Ok(None);
+        };
         match first {
             b'+' | b'-' => {
-                let end = find_crlf(buf, 1)?;
+                let Some(end) = find_crlf(buf, 1) else {
+                    return Ok(None);
+                };
                 let s = String::from_utf8_lossy(&buf[1..end]).into_owned();
                 let reply = if first == b'+' {
                     Reply::Simple(s)
                 } else {
                     Reply::Error(s)
                 };
-                Ok((reply, end + 2))
+                Ok(Some((reply, end + 2)))
             }
             b':' => {
-                let end = find_crlf(buf, 1)?;
+                let Some(end) = find_crlf(buf, 1) else {
+                    return if plausible_number_prefix(&buf[1..]) {
+                        Ok(None)
+                    } else {
+                        Err(RespError("bad integer".into()))
+                    };
+                };
                 let n: i64 = std::str::from_utf8(&buf[1..end])
                     .ok()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| RespError("bad integer".into()))?;
-                Ok((Reply::Integer(n), end + 2))
+                Ok(Some((Reply::Integer(n), end + 2)))
             }
             b'$' => {
-                let end = find_crlf(buf, 1)?;
+                let Some(end) = find_crlf(buf, 1) else {
+                    return if plausible_number_prefix(&buf[1..]) {
+                        Ok(None)
+                    } else {
+                        Err(RespError("bad bulk length".into()))
+                    };
+                };
                 let n: i64 = std::str::from_utf8(&buf[1..end])
                     .ok()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| RespError("bad bulk length".into()))?;
+                if n == -1 {
+                    return Ok(Some((Reply::Null, end + 2)));
+                }
                 if n < 0 {
-                    return Ok((Reply::Null, end + 2));
+                    return Err(RespError(format!("negative bulk length {n}")));
+                }
+                if n > MAX_BULK_LEN as i64 {
+                    return Err(RespError(format!("bulk length {n} exceeds {MAX_BULK_LEN}")));
                 }
                 let len = n as usize;
                 let data_start = end + 2;
-                if buf.len() < data_start + len + 2 {
-                    return Err(RespError("truncated bulk reply".into()));
+                // Cannot overflow: data_start <= buf.len(), len <= 16 MiB.
+                let data_end = data_start + len;
+                if buf.len() < data_end + 2 {
+                    return Ok(None);
                 }
-                Ok((
-                    Reply::Bulk(buf[data_start..data_start + len].to_vec()),
-                    data_start + len + 2,
-                ))
+                if &buf[data_end..data_end + 2] != b"\r\n" {
+                    return Err(RespError("bulk reply missing terminator".into()));
+                }
+                Ok(Some((
+                    Reply::Bulk(buf[data_start..data_end].to_vec()),
+                    data_end + 2,
+                )))
             }
             c => Err(RespError(format!("unknown reply type byte {c:#x}"))),
         }
     }
 }
 
-/// Read `<marker><number>\r\n` at `pos`; returns (number, index past \r\n).
-fn read_prefixed(buf: &[u8], pos: usize, marker: u8) -> Result<(i64, usize), RespError> {
-    if buf.get(pos) != Some(&marker) {
-        return Err(RespError(format!(
-            "expected {:?} at offset {pos}",
-            marker as char
-        )));
+/// Read `<marker><number>\r\n` at `pos`. Distinguishes three cases: a
+/// complete prefix (`Scan::Num`), a prefix that may still be completed
+/// by more bytes (`Scan::Incomplete` — buffer ends before the marker or
+/// mid-number), and garbage that can never parse (`Err`).
+fn read_prefixed(buf: &[u8], pos: usize, marker: u8) -> Result<Scan, RespError> {
+    match buf.get(pos) {
+        None => return Ok(Scan::Incomplete),
+        Some(&b) if b != marker => {
+            return Err(RespError(format!(
+                "expected {:?} at offset {pos}",
+                marker as char
+            )))
+        }
+        Some(_) => {}
     }
-    let end = find_crlf(buf, pos + 1)?;
+    let Some(end) = find_crlf(buf, pos + 1) else {
+        return if plausible_number_prefix(&buf[pos + 1..]) {
+            Ok(Scan::Incomplete)
+        } else {
+            Err(RespError("bad length prefix".into()))
+        };
+    };
     let n: i64 = std::str::from_utf8(&buf[pos + 1..end])
         .ok()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| RespError("bad length prefix".into()))?;
-    Ok((n, end + 2))
+    Ok(Scan::Num(n, end + 2))
 }
 
-fn find_crlf(buf: &[u8], from: usize) -> Result<usize, RespError> {
+fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
+    if from >= buf.len() {
+        return None;
+    }
     buf[from..]
         .windows(2)
         .position(|w| w == b"\r\n")
         .map(|i| from + i)
-        .ok_or_else(|| RespError("missing CRLF".into()))
 }
 
 #[cfg(test)]

@@ -6,6 +6,14 @@
 //!   shared memory.
 //! * [`flacos_ipc::netstack::NetEndpoint`] — the TCP/IP-over-Ethernet
 //!   baseline with its buffer allocations, copies, and stack processing.
+//!
+//! Messages are *byte containers*, not frame boundaries: RESP frames may
+//! be packed many-per-message (pipelining, batched replies) or split
+//! across messages. Both server and client therefore accumulate message
+//! bytes in per-connection buffers and re-frame with the RESP parsers'
+//! `parse_frame` offset contract. Backpressure is uniform: a full
+//! transport returns [`SimError::WouldBlock`] from `send`, and callers
+//! are expected to retry the same bytes later.
 
 use rack_sim::SimError;
 
@@ -15,7 +23,10 @@ pub trait Transport {
     ///
     /// # Errors
     ///
-    /// Transport-specific failures (backpressure, dead peer).
+    /// [`SimError::WouldBlock`] when the transport is temporarily full
+    /// (backpressure — the caller retries the same payload later);
+    /// other transport-specific failures (dead peer, severed link) are
+    /// permanent.
     fn send(&mut self, payload: &[u8]) -> Result<(), SimError>;
 
     /// Receive one message if available.

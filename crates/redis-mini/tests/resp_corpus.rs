@@ -1,0 +1,287 @@
+//! Adversarial RESP corpus + end-to-end pipelining round trips.
+//!
+//! The parser contract under attack: for ANY byte string, `parse_frame`
+//! returns `Ok(Some(_))` (a complete frame), `Ok(None)` (genuinely needs
+//! more bytes), or `Err(RespError)` (malformed) — it never panics, never
+//! overflows on hostile length prefixes, and `Ok(None)` is reserved for
+//! prefixes of well-formed frames so a desynced stream cannot stall a
+//! connection forever.
+
+use flacdk::alloc::GlobalAllocator;
+use flacos_ipc::channel::FlacChannel;
+use flacos_ipc::netstack::{NetConfig, NetPair};
+use rack_sim::{Rack, RackConfig, SimError};
+use redis_mini::client::RedisClient;
+use redis_mini::resp::{MAX_ARGC, MAX_BULK_LEN};
+use redis_mini::server::RedisServer;
+use redis_mini::transport::Transport;
+use redis_mini::{Command, Reply};
+
+/// Hostile and malformed inputs: none may panic, all must be rejected
+/// (`Err`) rather than silently accepted or classified as incomplete.
+#[test]
+fn malformed_inputs_are_rejected_without_panicking() {
+    let corpus: Vec<Vec<u8>> = vec![
+        // Negative lengths — the original overflow-to-usize bug.
+        b"*-1\r\n".to_vec(),
+        b"*1\r\n$-1\r\n".to_vec(),
+        b"*1\r\n$-9223372036854775808\r\n".to_vec(),
+        b"*-9223372036854775808\r\n".to_vec(),
+        // Huge lengths — must be rejected, not allocated.
+        format!("*1\r\n${}\r\nx", i64::MAX).into_bytes(),
+        format!("*{}\r\n", i64::MAX).into_bytes(),
+        format!("*1\r\n${}\r\n", (MAX_BULK_LEN as i64) + 1).into_bytes(),
+        format!("*{}\r\n", MAX_ARGC + 1).into_bytes(),
+        // Zero-arg array, wrong markers, digit garbage.
+        b"*0\r\n".to_vec(),
+        b"$3\r\nfoo\r\n".to_vec(),
+        b"*1\r\n:42\r\n".to_vec(),
+        b"*x\r\n".to_vec(),
+        b"*1\r\n$x\r\n".to_vec(),
+        b"*1\r\n$4x\r\n".to_vec(),
+        b"*12345678901234567890123\r\n".to_vec(),
+        // Bad frame terminators.
+        b"*1\r\n$4\r\nPINGxx".to_vec(),
+        b"*1\r\n$4\r\nPING\r*".to_vec(),
+        // Unknown command / wrong arity (parse succeeds syntactically,
+        // must error semantically — still no panic).
+        b"*1\r\n$5\r\nFLUSH\r\n".to_vec(),
+        b"*3\r\n$3\r\nGET\r\n$1\r\na\r\n$1\r\nb\r\n".to_vec(),
+        // Raw garbage.
+        b"garbage request".to_vec(),
+        vec![0xFF; 64],
+        vec![b'*'; 64],
+    ];
+    for input in &corpus {
+        assert!(
+            Command::parse(input).is_err(),
+            "hostile input must be rejected: {input:?}"
+        );
+        // The frame-offset API must agree: anything the strict parser
+        // rejects is Err or Incomplete, never a silently parsed frame.
+        if let Ok(Some((cmd, consumed))) = Command::parse_frame(input) {
+            panic!("hostile input parsed as {cmd:?} ({consumed} bytes): {input:?}");
+        }
+    }
+}
+
+/// Hostile reply streams: same contract on the client-side parser.
+#[test]
+fn malformed_replies_are_rejected_without_panicking() {
+    let corpus: Vec<Vec<u8>> = vec![
+        b"$-2\r\n".to_vec(),
+        format!("${}\r\n", i64::MAX).into_bytes(),
+        format!("${}\r\n", (MAX_BULK_LEN as i64) + 1).into_bytes(),
+        b"$x\r\n".to_vec(),
+        b"$5\r\nabcdexx".to_vec(),
+        b"?what\r\n".to_vec(),
+        b":12x\r\n".to_vec(),
+        b":\r\n".to_vec(),
+        vec![0u8; 16],
+    ];
+    for input in &corpus {
+        assert!(
+            Reply::parse(input).is_err(),
+            "hostile reply must be rejected: {input:?}"
+        );
+        if let Ok(Some((reply, consumed))) = Reply::parse_frame(input) {
+            panic!("hostile reply parsed as {reply:?} ({consumed} bytes): {input:?}");
+        }
+    }
+    // `$-1` alone is the RESP null bulk — valid, not hostile.
+    assert_eq!(Reply::parse(b"$-1\r\n").unwrap(), (Reply::Null, 5));
+}
+
+/// Every proper prefix of a valid frame is `Incomplete` (`Ok(None)`),
+/// never `Err` and never a short parse — truncation at *every* byte
+/// boundary, for commands and replies.
+#[test]
+fn truncations_at_every_byte_boundary_are_incomplete() {
+    let frames: Vec<Vec<u8>> = vec![
+        Command::Set {
+            key: b"key".to_vec(),
+            value: vec![7u8; 100],
+        }
+        .encode(),
+        Command::Get {
+            key: b"counter".to_vec(),
+        }
+        .encode(),
+        Command::Ping.encode(),
+    ];
+    for wire in &frames {
+        for cut in 0..wire.len() {
+            match Command::parse_frame(&wire[..cut]) {
+                Ok(None) => {}
+                other => panic!("prefix {cut}/{} of {wire:?}: got {other:?}", wire.len()),
+            }
+            assert!(Command::parse(&wire[..cut]).is_err(), "strict API at {cut}");
+        }
+        let (_, consumed) = Command::parse(wire).expect("full frame parses");
+        assert_eq!(consumed, wire.len());
+    }
+
+    let replies: Vec<Vec<u8>> = vec![
+        Reply::Simple("OK".into()).encode(),
+        Reply::Error("ERR boom".into()).encode(),
+        Reply::Integer(-12345).encode(),
+        Reply::Bulk(vec![9u8; 200]).encode(),
+        Reply::Null.encode(),
+    ];
+    for wire in &replies {
+        for cut in 0..wire.len() {
+            match Reply::parse_frame(&wire[..cut]) {
+                Ok(None) => {}
+                other => panic!("reply prefix {cut}/{}: got {other:?}", wire.len()),
+            }
+        }
+        let (_, consumed) = Reply::parse(wire).expect("full reply parses");
+        assert_eq!(consumed, wire.len());
+    }
+}
+
+/// Back-to-back frames parse one at a time by consumed offset, and a
+/// malformed tail is flagged exactly at the desync point.
+#[test]
+fn pipelined_buffers_parse_frame_by_frame() {
+    let cmds = [
+        Command::Set {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        },
+        Command::Incr { key: b"n".to_vec() },
+        Command::Get { key: b"a".to_vec() },
+    ];
+    let mut wire = Vec::new();
+    for c in &cmds {
+        wire.extend_from_slice(&c.encode());
+    }
+    wire.extend_from_slice(b"trailing garbage");
+
+    let mut pos = 0;
+    for expected in &cmds {
+        let (cmd, consumed) = Command::parse(&wire[pos..]).expect("frame");
+        assert_eq!(&cmd, expected);
+        pos += consumed;
+    }
+    assert!(
+        Command::parse_frame(&wire[pos..]).is_err(),
+        "trailing garbage after the last frame must be an error, not silence"
+    );
+}
+
+/// Drive a pipelined batch through the full client/server/event-loop
+/// stack over one transport and check every reply.
+fn pipeline_roundtrip<T: Transport>(mut server: RedisServer<T>, mut client: RedisClient<T>) {
+    let cmds = vec![
+        Command::Set {
+            key: b"user:1".to_vec(),
+            value: b"ada".to_vec(),
+        },
+        Command::Incr {
+            key: b"visits".to_vec(),
+        },
+        Command::Incr {
+            key: b"visits".to_vec(),
+        },
+        Command::Append {
+            key: b"log".to_vec(),
+            value: b"hello ".to_vec(),
+        },
+        Command::Get {
+            key: b"user:1".to_vec(),
+        },
+        Command::Get {
+            key: b"missing".to_vec(),
+        },
+    ];
+    client.send_pipelined(&cmds).expect("pipelined send");
+    server
+        .node()
+        .clock()
+        .advance_to(client.node().clock().now());
+    let served = server.poll().expect("poll");
+    assert_eq!(served, cmds.len(), "all frames served in one poll");
+
+    let mut replies = Vec::new();
+    loop {
+        match client.recv_reply() {
+            Ok(r) => replies.push(r),
+            Err(SimError::WouldBlock) => break,
+            Err(e) => panic!("recv: {e}"),
+        }
+    }
+    assert_eq!(
+        replies,
+        vec![
+            Reply::Simple("OK".into()),
+            Reply::Integer(1),
+            Reply::Integer(2),
+            Reply::Integer(6),
+            Reply::Bulk(b"ada".to_vec()),
+            Reply::Null,
+        ]
+    );
+    let stats = server.stats();
+    assert_eq!(stats.frames, cmds.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(
+        stats.reply_batches, 1,
+        "pipelined replies go out as one batched message"
+    );
+}
+
+#[test]
+fn pipelining_roundtrip_over_flacos_ipc() {
+    let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let (sep, cep) =
+        FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).expect("channel");
+    pipeline_roundtrip(
+        RedisServer::new(rack.node(0), sep),
+        RedisClient::new(rack.node(1), cep),
+    );
+}
+
+#[test]
+fn pipelining_roundtrip_over_tcp() {
+    let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+    let (sep, cep) = NetPair::connect(rack.node(0), rack.node(1), NetConfig::ten_gbe(), 0);
+    pipeline_roundtrip(
+        RedisServer::new(rack.node(0), sep),
+        RedisClient::new(rack.node(1), cep),
+    );
+}
+
+/// Regression for the one-command-per-message loss: a server fed three
+/// frames in one message must not serve only the first.
+#[test]
+fn server_does_not_drop_pipelined_frames() {
+    let rack = Rack::new(RackConfig::small_test().with_global_mem(32 << 20));
+    let alloc = GlobalAllocator::new(rack.global().clone());
+    let (sep, cep) =
+        FlacChannel::create(rack.global(), alloc, rack.node(0), rack.node(1)).expect("channel");
+    let mut server = RedisServer::new(rack.node(0), sep);
+    let mut client = RedisClient::new(rack.node(1), cep);
+
+    let mut wire = Vec::new();
+    for i in 0..3u8 {
+        wire.extend_from_slice(
+            &Command::Set {
+                key: vec![b'k', b'0' + i],
+                value: vec![i; 4],
+            }
+            .encode(),
+        );
+    }
+    client.transport_mut().send(&wire).expect("send");
+    server
+        .node()
+        .clock()
+        .advance_to(client.node().clock().now());
+    let served = server.poll().expect("poll");
+    assert_eq!(served, 3, "all three pipelined SETs must execute");
+    for _ in 0..3 {
+        assert!(matches!(client.recv_reply(), Ok(Reply::Simple(_))));
+    }
+}

@@ -30,6 +30,13 @@ cargo run --release --offline -p bench --bin cache-scale -- \
 echo "== committed BENCH_cache.json honors the miss-heavy acceptance targets =="
 cargo run --release --offline -p bench --bin cache-scale -- --check BENCH_cache.json
 
+echo "== serve-scale smoke (open-loop loadgen gate, JSON shape + invariants) =="
+cargo run --release --offline -p bench --bin flac-loadgen -- \
+    --quick --out target/BENCH_serve.quick.json --gate
+
+echo "== committed BENCH_serve.json honors the serving acceptance targets =="
+cargo run --release --offline -p bench --bin flac-loadgen -- --check BENCH_serve.json
+
 echo "== fault-storm smoke campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --seeds 2 --steps 60 --verify
 
