@@ -2,7 +2,7 @@
 //! check cross-subsystem invariants.
 //!
 //! ```text
-//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering|--sync]
+//! flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] [--tiering|--sync|--store]
 //! ```
 //!
 //! * `--seeds N`  — campaigns to run, seeds `X, X+1, …, X+N-1` (default 8)
@@ -14,23 +14,28 @@
 //!   migrations under crashes; old copy stays authoritative)
 //! * `--sync`     — run the sync-cell campaign instead (delegated cell
 //!   under owner crashes; no committed update lost, log replay exact)
+//! * `--store`    — run the chunk-store campaign instead (cold starts
+//!   under fetcher crashes; no chunk ever downloaded twice, index
+//!   consistent and replay-exact after the heal)
 //!
 //! Exits nonzero if any invariant is violated or a replay diverges. To
 //! reproduce a failing campaign, re-run with `--seeds 1 --seed <seed>`
 //! using the seed printed in its survival row.
 
 use bench::faultstorm::{
-    run_campaign, run_sync_campaign, run_tiering_campaign, SurvivalReport, SyncSurvivalReport,
-    TieringSurvivalReport,
+    run_campaign, run_store_campaign, run_sync_campaign, run_tiering_campaign, StoreSurvivalReport,
+    SurvivalReport, SyncSurvivalReport, TieringSurvivalReport,
 };
 
-fn parse_args() -> Result<(u64, u64, u32, bool, bool, bool), String> {
+#[allow(clippy::type_complexity)]
+fn parse_args() -> Result<(u64, u64, u32, bool, bool, bool, bool), String> {
     let mut seeds = 8u64;
     let mut steps = 120u32;
     let mut base_seed = 0xF1AC_5708u64;
     let mut verify = false;
     let mut tiering = false;
     let mut sync = false;
+    let mut store = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -73,13 +78,17 @@ fn parse_args() -> Result<(u64, u64, u32, bool, bool, bool), String> {
                 sync = true;
                 i += 1;
             }
+            "--store" => {
+                store = true;
+                i += 1;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if tiering && sync {
-        return Err("--tiering and --sync are mutually exclusive".into());
+    if [tiering, sync, store].iter().filter(|&&m| m).count() > 1 {
+        return Err("--tiering, --sync and --store are mutually exclusive".into());
     }
-    Ok((seeds, base_seed, steps, verify, tiering, sync))
+    Ok((seeds, base_seed, steps, verify, tiering, sync, store))
 }
 
 fn run_tiering(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
@@ -144,14 +153,45 @@ fn run_sync(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
     failures
 }
 
+fn run_store(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
+    println!("{}", StoreSurvivalReport::header());
+    let mut failures = 0u64;
+    let mut last: Option<StoreSurvivalReport> = None;
+    for k in 0..seeds {
+        let seed = base_seed + k;
+        let report = run_store_campaign(seed, steps);
+        println!("{}", report.row());
+        for v in &report.violations {
+            println!("    violation: {v}");
+            failures += 1;
+        }
+        if verify {
+            let replay = run_store_campaign(seed, steps);
+            if replay.log_text != report.log_text {
+                println!("    violation: replay of seed {seed:#x} DIVERGED");
+                failures += 1;
+            }
+        }
+        last = Some(report);
+    }
+    if let Some(report) = last {
+        println!(
+            "\nrack metrics of the last campaign (seed {:#018x}):",
+            report.seed
+        );
+        println!("{}", report.metrics);
+    }
+    failures
+}
+
 fn main() {
-    let (seeds, base_seed, steps, verify, tiering, sync) = match parse_args() {
+    let (seeds, base_seed, steps, verify, tiering, sync, store) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("flac-faultstorm: {e}");
             eprintln!(
                 "usage: flac-faultstorm [--seeds N] [--steps M] [--seed X] [--verify] \
-                 [--tiering|--sync]"
+                 [--tiering|--sync|--store]"
             );
             std::process::exit(2);
         }
@@ -163,6 +203,8 @@ fn main() {
             "tiering "
         } else if sync {
             "sync "
+        } else if store {
+            "store "
         } else {
             ""
         },
@@ -174,11 +216,13 @@ fn main() {
         }
     );
 
-    if tiering || sync {
+    if tiering || sync || store {
         let failures = if tiering {
             run_tiering(seeds, base_seed, steps, verify)
-        } else {
+        } else if sync {
             run_sync(seeds, base_seed, steps, verify)
+        } else {
+            run_store(seeds, base_seed, steps, verify)
         };
         if failures > 0 {
             eprintln!("\nflac-faultstorm: {failures} invariant violation(s)");

@@ -1,0 +1,180 @@
+//! `flac-store-scale` — shard-scaling and dedup gate for `flac-store`.
+//!
+//! ```text
+//! flac-store-scale [--quick] [--out PATH] [--gate]
+//! flac-store-scale --check PATH
+//! ```
+//!
+//! * `--quick`    — small image (~1 s) for the CI smoke in `verify.sh`
+//! * `--out PATH` — where to write the JSON report (default `BENCH_store.json`)
+//! * `--gate`     — exit nonzero unless every deterministic invariant
+//!   holds: shard sweep covers 1/4/8 with cold fetch time strictly
+//!   improving, rerun parity at every point, warm starts beating cold,
+//!   and the overlap phase downloading exactly the rack-absent bytes
+//! * `--check PATH` — run no benchmark; re-read a *committed* report
+//!   and enforce the strict acceptance targets: full run, all gate
+//!   invariants, and top-shard parallel speedup ≥ 2x over 1-shard serial
+//!
+//! The full (non-`--quick`) run is the one committed as
+//! `BENCH_store.json`. Everything here is simulated time, so the gate
+//! and the check carry no noise tolerance at all.
+
+use bench::store_scale::{
+    check_report, gate_failures, parse_report, run_overlap, run_shard_sweep, to_json,
+    StoreScaleConfig,
+};
+
+struct Args {
+    quick: bool,
+    out: String,
+    gate: bool,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        out: String::from("BENCH_store.json"),
+        gate: false,
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                parsed.quick = true;
+                i += 1;
+            }
+            "--gate" => {
+                parsed.gate = true;
+                i += 1;
+            }
+            "--out" => {
+                parsed.out = need_value(i)?.clone();
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(need_value(i)?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// `--check PATH`: validate a committed report without benchmarking.
+fn run_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("flac-store-scale: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match parse_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flac-store-scale: CHECK FAILURE: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let failures = check_report(&report);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("flac-store-scale: CHECK FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "flac-store-scale: check OK — {path}: cold fetch improves across {} shard points, \
+         overlap downloads exactly the rack-absent bytes",
+        report.points.len()
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("flac-store-scale: {e}");
+            eprintln!("usage: flac-store-scale [--quick] [--out PATH] [--gate] | --check PATH");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        run_check(path);
+    }
+
+    let cfg = if args.quick {
+        StoreScaleConfig::quick()
+    } else {
+        StoreScaleConfig::full()
+    };
+    println!(
+        "flac-store-scale: {} mode, image {} pages x {} layers",
+        if args.quick { "quick" } else { "full" },
+        cfg.pages,
+        cfg.layers
+    );
+
+    let points = run_shard_sweep(cfg);
+    for p in &points {
+        println!(
+            "  shards={} cold={:>12} ns (rerun {:>12} ns) warm={:>9} ns fetched={} rack_hits={}",
+            p.shards,
+            p.cold_fetch_ns,
+            p.cold_fetch_ns_rerun,
+            p.warm_fetch_ns,
+            p.fetched,
+            p.warm_rack_hits
+        );
+    }
+    let serial = points.iter().find(|p| p.shards == 1);
+    let top = points.iter().max_by_key(|p| p.shards);
+    if let (Some(s), Some(t)) = (serial, top) {
+        println!(
+            "  parallel fetch speedup at {} shards: {:.2}x over 1-shard serial",
+            t.shards,
+            s.cold_fetch_ns as f64 / t.cold_fetch_ns.max(1) as f64
+        );
+    }
+    let overlap = run_overlap(cfg);
+    println!(
+        "  overlap: second node fetched {} bytes, rack-absent {} bytes, shared {} chunks",
+        overlap.second_bytes_fetched, overlap.unique_missing_bytes, overlap.shared_chunks
+    );
+
+    let json = to_json(&points, &overlap, args.quick);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("flac-store-scale: writing {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    println!("flac-store-scale: wrote {}", args.out);
+
+    if args.gate {
+        // Re-read what actually landed on disk so the gate catches
+        // truncated or clobbered reports, not just in-memory state.
+        let on_disk = match std::fs::read_to_string(&args.out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("flac-store-scale: re-reading {}: {e}", args.out);
+                std::process::exit(1);
+            }
+        };
+        let failures = gate_failures(&points, &overlap, &on_disk);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("flac-store-scale: GATE FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("flac-store-scale: gate OK");
+    }
+}

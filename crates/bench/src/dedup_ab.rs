@@ -49,17 +49,18 @@ fn run_cell_on(rack: &Rack, images: usize, pages_each: u64, shared_layers: usize
     let n0 = rack.node(0);
 
     for img_idx in 0..images {
-        // Shared base layers use the common id space; unique layers get
-        // per-image ids.
+        // Shared base layers use the common seed space; unique layers
+        // are regenerated from per-image seeds (their content-derived
+        // ids differ automatically).
         let image = ContainerImage::synthetic(&format!("img{img_idx}"), pages_each, 4, 0);
         for (layer_idx, layer) in image.layers.iter().enumerate() {
             let effective = if layer_idx < shared_layers {
-                layer.clone() // shared id space: identical content
+                layer.clone() // shared seed space: identical content
             } else {
-                serverless::image::Layer {
-                    id: 10_000 + (img_idx * 10 + layer_idx) as u64,
-                    ..layer.clone()
-                }
+                serverless::image::Layer::generate(
+                    10_000 + (img_idx * 10 + layer_idx) as u64,
+                    layer.pages,
+                )
             };
             for p in 0..effective.pages {
                 dedup

@@ -1198,6 +1198,348 @@ pub fn run_sync_campaign(seed: u64, steps: u32) -> SyncSurvivalReport {
     }
 }
 
+/// Images in the chunk-store campaign's catalogue.
+const STORE_IMAGES: usize = 3;
+/// Pages per campaign image.
+const STORE_IMAGE_PAGES: u64 = 64;
+/// Layers per campaign image (adjacent images share half by content).
+const STORE_IMAGE_LAYERS: usize = 4;
+/// Max missing hashes one claim step grabs.
+const STORE_CLAIM_LIMIT: usize = 24;
+
+/// Outcome of one chunk-store storm campaign.
+#[derive(Debug, Clone)]
+pub struct StoreSurvivalReport {
+    /// The seed the campaign ran from.
+    pub seed: u64,
+    /// Per-class storm operation counts.
+    pub counts: StormCounts,
+    /// Total executed steps (heal steps included).
+    pub events: usize,
+    /// Fetch claims won across the campaign.
+    pub claims_won: u64,
+    /// Chunks downloaded and committed present.
+    pub committed: u64,
+    /// In-flight claims aborted by crash recovery.
+    pub aborted: u64,
+    /// Chunks found already resident by claim steps.
+    pub rack_hits: u64,
+    /// Workload steps skipped (writer down, nothing to do).
+    pub skipped: u64,
+    /// Invariant violations (empty on a surviving campaign).
+    pub violations: Vec<String>,
+    /// The byte-identical replay artifact.
+    pub log_text: String,
+    /// The merged rack metrics after the campaign.
+    pub metrics: rack_sim::RackReport,
+}
+
+impl StoreSurvivalReport {
+    /// Whether every invariant held.
+    pub fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One summary row for the survival table.
+    pub fn row(&self) -> String {
+        format!(
+            "{:#018x} | {:>5} | {:>2}/{:<2} | {:>4}/{:<4} | {:>3} | {:>4} | {:>4} | {}",
+            self.seed,
+            self.events,
+            self.counts.crashes,
+            self.counts.restarts,
+            self.claims_won,
+            self.committed,
+            self.aborted,
+            self.rack_hits,
+            self.skipped,
+            if self.survived() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+
+    /// Header matching [`StoreSurvivalReport::row`].
+    pub fn header() -> &'static str {
+        "seed               | steps | cr/rs | clm/cmt | abt | hits | skip | verdict"
+    }
+}
+
+/// Run one seeded chunk-store storm campaign: live nodes cold-start
+/// overlapping container images through the content-addressed store's
+/// two-phase `claim`/`complete` protocol while the storm crashes and
+/// restarts nodes underneath them — including fetchers *between* claim
+/// and commit, the mid-fetch window. Crashes route through
+/// [`RecoveryOrchestrator::handle_node_crash`] with the store attached
+/// as a [`flacdk::sync::SyncRecover`], so a dead fetcher's in-flight
+/// claims are aborted by an `ABORT` op in the shared log and survivors
+/// re-claim the work.
+///
+/// Invariants checked after the heal:
+///
+/// 1. **No duplicate downloads** — every chunk that ended up resident
+///    was shipped by its backend shard exactly once, rack-wide, no
+///    matter how many claims were aborted and re-taken.
+/// 2. **Index consistent** — no `Fetching` entry survives the heal,
+///    every catalogue chunk is present, and the deduper holds exactly
+///    one frame per unique chunk.
+/// 3. **Replay-verified** — replaying the index's committed op log from
+///    scratch reproduces the identical present map (the campaign never
+///    calls `gc()` so the whole history stays replayable).
+///
+/// Fully deterministic: the same `(seed, steps)` produces a
+/// byte-identical [`StoreSurvivalReport::log_text`].
+///
+/// # Panics
+///
+/// Panics if the rack cannot boot — a harness bug, not an outcome.
+#[allow(clippy::too_many_lines)]
+pub fn run_store_campaign(seed: u64, steps: u32) -> StoreSurvivalReport {
+    use flac_store::{BackendConfig, ChunkStore, ShardedBackends, StoreConfig};
+    use flacos_mem::dedup::PageDeduper;
+    use serverless::image::ContainerImage;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    let rack = rack_sim::Rack::new(
+        RackConfig::n_node(NODES)
+            .with_global_mem(64 << 20)
+            .with_seed(seed ^ 0xF1AC),
+    );
+    let n = rack.node_count();
+
+    // Overlapping catalogue: image k's layer seeds are 100+2k .. 100+2k+4,
+    // so adjacent images share two of four layers by content.
+    let images: Vec<ContainerImage> = (0..STORE_IMAGES)
+        .map(|k| {
+            ContainerImage::synthetic(
+                &format!("img-{k}"),
+                STORE_IMAGE_PAGES,
+                STORE_IMAGE_LAYERS,
+                100 + 2 * k as u64,
+            )
+        })
+        .collect();
+    let backends = Arc::new(ShardedBackends::uniform(
+        4,
+        BackendConfig {
+            bandwidth_bytes_per_sec: 500_000_000,
+            per_request_ns: 100_000,
+            per_chunk_ns: 100,
+        },
+    ));
+    let mut catalogue: HashSet<u64> = HashSet::new();
+    for img in &images {
+        img.publish(&backends);
+        catalogue.extend(img.chunk_hashes());
+    }
+    let dedup = Arc::new(PageDeduper::new(FrameAllocator::new(rack.global().clone())));
+    // A generously sized log and no gc() calls: the whole campaign must
+    // stay replayable for invariant 3.
+    let store = ChunkStore::alloc(
+        rack.global(),
+        backends,
+        dedup,
+        StoreConfig::new(n)
+            .with_log(2048, 1024)
+            .with_claim_batch(STORE_CLAIM_LIMIT),
+    )
+    .expect("store");
+    let mut orch = RecoveryOrchestrator::new();
+    orch.attach_sync(store.clone());
+
+    let mut live = vec![true; n];
+    // Claims won but not yet completed: (node, won hashes). The window
+    // between the two phases is exactly where a crash hurts.
+    let mut pending: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut claims_won = 0u64;
+    let mut committed = 0u64;
+    let mut rack_hits = 0u64;
+    let mut skipped = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let config = StormConfig {
+        steps,
+        min_live_nodes: 2,
+        link_fail_weight: 0,
+        link_restore_weight: 0,
+        poison_weight: 0,
+        delayed_writeback_weight: 0,
+        poison_region: None,
+        ..StormConfig::default()
+    };
+    let campaign = StormCampaign::new(seed, config);
+    let report = campaign.run(&rack, |step, op, rack| match *op {
+        StormOp::Workload => {
+            let Some(worker) = (step as usize..step as usize + n)
+                .map(|k| k % n)
+                .find(|&k| live[k])
+            else {
+                skipped += 1;
+                return "store step skipped: no live worker".to_string();
+            };
+            let ctx = rack.node(worker);
+            // Finish this node's oldest pending fetch first (the
+            // single-flight discipline: one node never claims more
+            // while sitting on won-but-unfetched work).
+            if let Some(i) = pending.iter().position(|&(node, _)| node == worker) {
+                let (_, won) = pending.remove(i);
+                return match store.complete(&ctx, &won) {
+                    Ok(done) => {
+                        committed += done.committed;
+                        if done.lost.is_empty() {
+                            format!("n{worker} completed {} chunk(s)", done.committed)
+                        } else {
+                            format!(
+                                "n{worker} completed {} chunk(s), lost {} to recovery",
+                                done.committed,
+                                done.lost.len()
+                            )
+                        }
+                    }
+                    Err(e) => {
+                        violations.push(format!("step {step}: complete failed on n{worker}: {e}"));
+                        format!("n{worker} complete FAILED: {e}")
+                    }
+                };
+            }
+            // Otherwise claim a slice of the step's image. Hashes other
+            // nodes hold in `Fetching` stay theirs (single-flight);
+            // this node only takes what is absent.
+            let img = &images[step as usize % STORE_IMAGES];
+            let all = img.chunk_hashes();
+            let off = (step as usize * STORE_CLAIM_LIMIT) % all.len().max(1);
+            let hashes: Vec<u64> = all
+                .iter()
+                .cycle()
+                .skip(off)
+                .take(STORE_CLAIM_LIMIT)
+                .copied()
+                .collect();
+            match store.claim(&ctx, &hashes) {
+                Ok(outcome) => {
+                    claims_won += outcome.won.len() as u64;
+                    rack_hits += outcome.present.len() as u64;
+                    let msg = format!(
+                        "n{worker} claim on img-{}: won {}, present {}, in-flight {}",
+                        step as usize % STORE_IMAGES,
+                        outcome.won.len(),
+                        outcome.present.len(),
+                        outcome.in_flight.len()
+                    );
+                    if !outcome.won.is_empty() {
+                        pending.push((worker, outcome.won));
+                    }
+                    msg
+                }
+                Err(e) => {
+                    violations.push(format!("step {step}: claim failed on n{worker}: {e}"));
+                    format!("n{worker} claim FAILED: {e}")
+                }
+            }
+        }
+        StormOp::CrashNode { node } => {
+            let node_idx = node.0;
+            live[node_idx] = false;
+            // The dead fetcher's won-but-unfetched work dies with it;
+            // recovery aborts its index claims so survivors re-claim.
+            let before = pending.len();
+            pending.retain(|&(owner, _)| owner != node_idx);
+            let dropped = before - pending.len();
+            let rescuer = live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+            match orch.handle_node_crash(&rack.node(rescuer), node) {
+                Ok(_) => format!(
+                    "crash n{node_idx} mid-fetch: {dropped} pending batch(es) dropped, \
+                     claims aborted by n{rescuer}"
+                ),
+                Err(e) => {
+                    violations.push(format!("step {step}: store recovery failed: {e}"));
+                    format!("crash n{node_idx}: store recovery FAILED: {e}")
+                }
+            }
+        }
+        StormOp::RestartNode { node } => {
+            live[node.0] = true;
+            format!("restart n{}: rejoins with no claims", node.0)
+        }
+        StormOp::DelayedWriteback { .. }
+        | StormOp::FailLink { .. }
+        | StormOp::RestoreLink { .. }
+        | StormOp::PoisonWord { .. } => "unused op class (weight 0)".to_string(),
+    });
+
+    // --- Post-heal: resolve every still-pending claim, then a survivor
+    // finishes all the starts (every claim is now either completed or
+    // owned by a live node that just completed it, so ensure cannot
+    // block on a dead fetcher).
+    let n0 = rack.node(0);
+    while let Some((node, won)) = pending.pop() {
+        match store.complete(&rack.node(node), &won) {
+            Ok(done) => committed += done.committed,
+            Err(e) => violations.push(format!("post-heal complete on n{node} failed: {e}")),
+        }
+    }
+    for img in &images {
+        match store.ensure(&n0, &img.chunk_hashes()) {
+            Ok(rep) => committed += rep.fetched,
+            Err(e) => violations.push(format!("post-heal ensure failed: {e}")),
+        }
+    }
+
+    // --- Invariant 1: no duplicate downloads, rack-wide.
+    for &h in &catalogue {
+        let fetches = store.backends().fetch_count(h);
+        if fetches != 1 {
+            violations.push(format!(
+                "chunk {h:#018x} shipped {fetches} times — single-flight broken"
+            ));
+        }
+    }
+
+    // --- Invariant 2: index consistent after the heal.
+    let (fetching, present) = store.peek_index(|s| (s.fetching_count(), s.present_count()));
+    if fetching != 0 {
+        violations.push(format!("{fetching} Fetching entries survived the heal"));
+    }
+    if present != catalogue.len() {
+        violations.push(format!(
+            "index holds {present} present chunks, catalogue has {}",
+            catalogue.len()
+        ));
+    }
+    let unique_frames = store.dedup().stats().unique_frames;
+    if unique_frames != catalogue.len() as u64 {
+        violations.push(format!(
+            "deduper holds {unique_frames} frames for {} unique chunks",
+            catalogue.len()
+        ));
+    }
+
+    // --- Invariant 3: log replay reproduces the identical present map.
+    match store.replay_matches(&n0) {
+        Ok(true) => {}
+        Ok(false) => violations.push("log replay diverged from the live index".into()),
+        Err(e) => violations.push(format!("log replay failed: {e}")),
+    }
+
+    let stats = store.stats();
+    StoreSurvivalReport {
+        seed,
+        counts: report.counts,
+        events: report.events.len(),
+        claims_won,
+        committed,
+        aborted: stats.claims_aborted,
+        rack_hits,
+        skipped,
+        violations,
+        log_text: report.log_text(),
+        metrics: rack.metrics_report(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1296,5 +1638,40 @@ mod tests {
             aborts += r.aborts;
         }
         assert!(aborts > 0, "no campaign crashed n0 mid-migration");
+    }
+
+    #[test]
+    fn store_campaign_survives_without_duplicate_downloads() {
+        let r = run_store_campaign(0xF1AC_5704, 60);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.claims_won > 0, "workload actually claimed chunks");
+        assert!(r.committed > 0, "workload actually committed chunks");
+        assert!(r.counts.crashes > 0, "storm actually crashed nodes");
+    }
+
+    #[test]
+    fn store_replay_is_byte_identical() {
+        let a = run_store_campaign(21, 60);
+        let b = run_store_campaign(21, 60);
+        assert_eq!(a.log_text, b.log_text, "same seed, same bytes");
+        assert_ne!(
+            a.log_text,
+            run_store_campaign(22, 60).log_text,
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn some_seed_crashes_a_claim_holder_mid_fetch() {
+        // The headline invariant — a fetcher crash between claim and
+        // commit triggers recovery aborts, yet no chunk is ever shipped
+        // twice — must actually fire across a small seed sweep.
+        let mut aborted = 0u64;
+        for seed in 1..=6 {
+            let r = run_store_campaign(seed, 60);
+            assert!(r.survived(), "seed {seed} violations: {:?}", r.violations);
+            aborted += r.aborted;
+        }
+        assert!(aborted > 0, "no campaign crashed a claim holder mid-fetch");
     }
 }

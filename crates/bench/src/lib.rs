@@ -34,6 +34,7 @@ pub mod ipc_ab;
 pub mod pagecache_ab;
 pub mod serve_scale;
 pub mod startup;
+pub mod store_scale;
 pub mod sync_ab;
 pub mod table;
 pub mod tiering_ab;

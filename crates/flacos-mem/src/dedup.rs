@@ -64,8 +64,29 @@ impl PageDeduper {
     ///
     /// Panics if `content` is not exactly one page.
     pub fn intern(&self, ctx: &NodeCtx, content: &[u8]) -> Result<GAddr, SimError> {
+        self.intern_with_hash(ctx, fnv1a(content), content)
+    }
+
+    /// [`PageDeduper::intern`] for callers that already know the
+    /// content hash (e.g. a content-addressed chunk store, where the
+    /// hash *is* the chunk's name) — skips re-hashing the page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is not exactly one page, or (debug builds)
+    /// if `hash` is not the content's fnv1a hash.
+    pub fn intern_with_hash(
+        &self,
+        ctx: &NodeCtx,
+        hash: u64,
+        content: &[u8],
+    ) -> Result<GAddr, SimError> {
         assert_eq!(content.len(), PAGE_SIZE, "dedup operates on whole pages");
-        let hash = fnv1a(content);
+        debug_assert_eq!(hash, fnv1a(content), "hash must name the content");
 
         // Candidate frames under this hash: verify content to be
         // collision-safe before sharing.
@@ -194,6 +215,19 @@ mod tests {
         let b = dedup.intern(&n0, &page(4)).unwrap();
         assert_eq!(b, a, "freed frame reused");
         assert!(dedup.release(&n0, GAddr(0xdead000)).is_err());
+    }
+
+    #[test]
+    fn intern_with_hash_shares_frames_with_intern() {
+        let (rack, dedup) = setup();
+        let n0 = rack.node(0);
+        let content = page(7);
+        let a = dedup.intern(&n0, &content).unwrap();
+        let b = dedup
+            .intern_with_hash(&n0, flacdk::wire::fnv1a(&content), &content)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(dedup.refcount(a), 2);
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! communication cost. This crate builds the §4.1 architecture on the
 //! FlacOS substrate:
 //!
-//! * [`image`] / [`registry`] — synthetic layered container images and a
-//!   remote registry with realistic manifest + bandwidth costs.
+//! * [`image`] / [`registry`] — synthetic layered container images
+//!   whose layers are chunk manifests (content-hash-addressed pages),
+//!   and a remote registry serving manifests with realistic metadata
+//!   costs; the bytes live on sharded `flac-store` backends.
 //! * [`runtime`] — the container runtime with the three startup paths
-//!   of §4.2: **cold** (download from the registry), **FlacOS**
-//!   (image pages already in the rack's shared page cache, placed there
-//!   by whichever node started the image first), and **hot** (runtime
+//!   of §4.2: **cold** (fetch only the chunks the rack doesn't already
+//!   hold, in parallel across backend shards), **FlacOS** (every chunk
+//!   already resident in the rack-wide content-addressed store, placed
+//!   there by whichever node fetched it first), and **hot** (runtime
 //!   state already resident on this node).
 //! * [`chain`] — function chains whose hops run over FlacOS IPC instead
 //!   of the network.

@@ -1,38 +1,34 @@
-//! The remote container registry, with realistic transfer costs.
+//! The remote image registry: manifests only.
 //!
-//! A cold start must fetch the image manifest (metadata round-trips to a
-//! remote service — seconds, per the paper's hot-vs-FlacOS gap) and then
-//! download every layer at WAN/registry bandwidth. The registry is
-//! *outside* the rack: its costs are charged as simulated time but its
-//! bytes are generated deterministically ([`crate::image::Layer`]), so
-//! downloads still produce real page content.
+//! A cold start must fetch the image manifest (auth + metadata round
+//! trips to a remote service — seconds, per the paper's hot-vs-FlacOS
+//! gap). The image *bytes* no longer flow through the registry at all:
+//! a manifest is a list of content hashes, and the bytes come from the
+//! sharded chunk backends ([`flac_store::ShardedBackends`]), fetched
+//! only for the chunks the rack does not already hold.
+//!
+//! Stats are relaxed atomics — manifest pulls never serialize on a
+//! stats lock (the same discipline the node cache's `CacheStats` use).
 
 use crate::image::ContainerImage;
 use rack_sim::sync::Mutex;
 use rack_sim::{NodeCtx, SimError};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Registry cost parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegistryConfig {
     /// Manifest resolution cost (auth + metadata round trips), ns.
     pub manifest_ns: u64,
-    /// Download bandwidth in bytes per second.
-    pub bandwidth_bytes_per_sec: u64,
-    /// Fixed per-layer request overhead, ns.
-    pub per_layer_ns: u64,
 }
 
 impl RegistryConfig {
-    /// Calibrated so a 4 GB image downloads in ≈16 s and manifest
-    /// resolution costs ≈2.5 s, matching the decomposition of the
-    /// paper's 21.067 s cold start. Scaled-down images keep the same
-    /// *rates*, so experiment reports scale times accordingly.
+    /// Calibrated to the ≈2.5 s manifest-resolution share of the
+    /// paper's 21.067 s cold start.
     pub fn paper_calibrated() -> Self {
         RegistryConfig {
             manifest_ns: 2_470_000_000,
-            bandwidth_bytes_per_sec: 285_000_000, // ~272 MiB/s
-            per_layer_ns: 30_000_000,             // 30 ms per blob request
         }
     }
 }
@@ -43,15 +39,19 @@ impl Default for RegistryConfig {
     }
 }
 
-/// Registry traffic counters.
+/// Registry traffic counters (a snapshot).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStats {
     /// Manifest fetches served.
     pub manifests: u64,
-    /// Layer downloads served.
-    pub layer_downloads: u64,
-    /// Bytes shipped.
-    pub bytes_shipped: u64,
+    /// Chunk hashes listed in served manifests.
+    pub manifest_chunks: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    manifests: AtomicU64,
+    manifest_chunks: AtomicU64,
 }
 
 /// The remote image registry.
@@ -59,7 +59,7 @@ pub struct RegistryStats {
 pub struct ImageRegistry {
     config: RegistryConfig,
     images: Mutex<HashMap<String, ContainerImage>>,
-    stats: Mutex<RegistryStats>,
+    stats: StatCells,
 }
 
 impl ImageRegistry {
@@ -68,50 +68,34 @@ impl ImageRegistry {
         ImageRegistry {
             config,
             images: Mutex::new(HashMap::new()),
-            stats: Mutex::new(RegistryStats::default()),
+            stats: StatCells::default(),
         }
     }
 
-    /// Publish an image.
+    /// Publish an image's manifest.
     pub fn push(&self, image: ContainerImage) {
         self.images.lock().insert(image.name.clone(), image);
     }
 
-    /// Fetch an image's manifest (layer list), charging metadata cost.
+    /// Fetch an image's manifest (chunked layer list), charging
+    /// metadata cost.
     ///
     /// # Errors
     ///
     /// [`SimError::Protocol`] for unknown images.
     pub fn pull_manifest(&self, ctx: &NodeCtx, name: &str) -> Result<ContainerImage, SimError> {
         ctx.charge(self.config.manifest_ns);
-        self.stats.lock().manifests += 1;
-        self.images
+        let image = self
+            .images
             .lock()
             .get(name)
             .cloned()
-            .ok_or_else(|| SimError::Protocol(format!("image {name:?} not in registry")))
-    }
-
-    /// Download one page of one layer, charging bandwidth + (amortized)
-    /// request overhead on the first page of each layer.
-    pub fn download_page(
-        &self,
-        ctx: &NodeCtx,
-        image: &ContainerImage,
-        layer_idx: usize,
-        page_idx: u64,
-    ) -> Vec<u8> {
-        let layer = &image.layers[layer_idx];
-        if page_idx == 0 {
-            ctx.charge(self.config.per_layer_ns);
-            self.stats.lock().layer_downloads += 1;
-        }
-        let page = layer.page_content(page_idx);
-        let ns = (page.len() as u64).saturating_mul(1_000_000_000)
-            / self.config.bandwidth_bytes_per_sec.max(1);
-        ctx.charge(ns);
-        self.stats.lock().bytes_shipped += page.len() as u64;
-        page
+            .ok_or_else(|| SimError::Protocol(format!("image {name:?} not in registry")))?;
+        self.stats.manifests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .manifest_chunks
+            .fetch_add(image.total_pages(), Ordering::Relaxed);
+        Ok(image)
     }
 
     /// Whether the registry hosts `name`.
@@ -121,7 +105,10 @@ impl ImageRegistry {
 
     /// Traffic counters.
     pub fn stats(&self) -> RegistryStats {
-        *self.stats.lock()
+        RegistryStats {
+            manifests: self.stats.manifests.load(Ordering::Relaxed),
+            manifest_chunks: self.stats.manifest_chunks.load(Ordering::Relaxed),
+        }
     }
 
     /// The cost configuration.
@@ -133,11 +120,10 @@ impl ImageRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flacos_mem::PAGE_SIZE;
     use rack_sim::{Rack, RackConfig};
 
     #[test]
-    fn manifest_and_download_charge_time() {
+    fn manifest_charges_time_and_counts_chunks() {
         let rack = Rack::new(RackConfig::small_test());
         let n0 = rack.node(0);
         let reg = ImageRegistry::new(RegistryConfig::paper_calibrated());
@@ -147,44 +133,44 @@ mod tests {
         let t0 = n0.clock().now();
         let img = reg.pull_manifest(&n0, "app").unwrap();
         assert_eq!(n0.clock().now() - t0, reg.config().manifest_ns);
-
-        let t1 = n0.clock().now();
-        let page = reg.download_page(&n0, &img, 0, 0);
-        assert_eq!(page.len(), PAGE_SIZE);
-        let dl = n0.clock().now() - t1;
-        assert!(
-            dl >= reg.config().per_layer_ns,
-            "first page pays the request overhead"
-        );
+        assert_eq!(img.total_pages(), 16);
         assert_eq!(
-            page,
-            img.layers[0].page_content(0),
-            "registry ships the real bytes"
+            img.chunk_hashes().len(),
+            16,
+            "the manifest is a chunk list, not a byte stream"
         );
+        let s = reg.stats();
+        assert_eq!(s.manifests, 1);
+        assert_eq!(s.manifest_chunks, 16);
     }
 
     #[test]
-    fn unknown_image_fails() {
+    fn unknown_image_fails_and_counts_nothing() {
         let rack = Rack::new(RackConfig::small_test());
         let reg = ImageRegistry::new(RegistryConfig::default());
         assert!(reg.pull_manifest(&rack.node(0), "ghost").is_err());
+        assert_eq!(reg.stats().manifests, 0);
     }
 
     #[test]
-    fn bandwidth_scales_download_time() {
+    fn stats_count_across_nodes_without_a_lock() {
         let rack = Rack::new(RackConfig::small_test());
-        let n0 = rack.node(0);
-        let slow = ImageRegistry::new(RegistryConfig {
-            manifest_ns: 0,
-            bandwidth_bytes_per_sec: 1_000_000,
-            per_layer_ns: 0,
-        });
-        slow.push(ContainerImage::synthetic("s", 4, 1, 9));
-        let img = slow.pull_manifest(&n0, "s").unwrap();
-        let t0 = n0.clock().now();
-        slow.download_page(&n0, &img, 0, 1);
-        // 4096 bytes at 1 MB/s = ~4.1 ms.
-        assert_eq!(n0.clock().now() - t0, 4096 * 1_000_000_000 / 1_000_000);
-        assert_eq!(slow.stats().bytes_shipped, 4096);
+        let reg = std::sync::Arc::new(ImageRegistry::new(RegistryConfig { manifest_ns: 1_000 }));
+        reg.push(ContainerImage::synthetic("app", 8, 2, 1));
+        let mut handles = Vec::new();
+        for n in 0..2 {
+            let reg = reg.clone();
+            let node = rack.node(n);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    reg.pull_manifest(&node, "app").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.stats().manifests, 100);
+        assert_eq!(reg.stats().manifest_chunks, 800);
     }
 }

@@ -1,15 +1,21 @@
-//! The container runtime and the three startup paths of §4.2.
+//! The container runtime and the three startup paths of §4.2, on the
+//! content-addressed chunk store.
 //!
-//! Image layers are stored as files in the FlacOS file system, so their
-//! pages land in the **shared page cache** — one copy rack-wide. The
-//! first node to start an image takes the **cold** path (manifest +
-//! registry download, populating the cache); any other node then takes
-//! the **FlacOS** path (manifest + read from the shared cache); a node
+//! An image manifest names its pages by content hash; starting a
+//! container means making those chunks resident rack-wide
+//! ([`ChunkStore::ensure`]) and mapping them. The first node to start
+//! an image takes the **cold** path — but "cold" now means "fetch only
+//! the chunks the rack does not already hold, in parallel slices across
+//! the backend shards": overlapping images, shared base layers, even
+//! identical pages in unrelated images are all served from the shared
+//! deduped frames instead of the wire. Any other node then takes the
+//! **FlacOS** path (manifest + chunk reads from global memory); a node
 //! that has already started the image takes the **hot** path (runtime
 //! state resident, no fetches at all).
 
 use crate::image::ContainerImage;
 use crate::registry::ImageRegistry;
+use flac_store::ChunkStore;
 use flacos_fs::memfs::MemFs;
 use flacos_mem::PAGE_SIZE;
 use rack_sim::{NodeCtx, NodeId, SimError};
@@ -24,9 +30,9 @@ pub const CONTAINER_INIT_NS: u64 = 3_020_000_000;
 /// Which startup path a container took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StartupPath {
-    /// Image downloaded from the registry (populates the shared cache).
+    /// At least one chunk was downloaded from the backend shards.
     Cold,
-    /// Image served from the rack's shared page cache.
+    /// Every chunk was already resident in the rack's shared store.
     SharedPageCache,
     /// Runtime state already resident on this node.
     Hot,
@@ -39,16 +45,19 @@ pub struct StartupReport {
     pub path: StartupPath,
     /// Manifest resolution time (0 on the hot path).
     pub manifest_ns: u64,
-    /// Image data acquisition time (download or cache reads).
+    /// Image data acquisition time (chunk fetch + mapping reads).
     pub fetch_ns: u64,
     /// Container initialization time.
     pub init_ns: u64,
     /// End-to-end startup latency.
     pub total_ns: u64,
-    /// Pages downloaded from the registry.
+    /// Chunks this start downloaded from the backend shards.
     pub pages_downloaded: u64,
-    /// Pages served by the shared page cache / file system.
+    /// Chunks served from the rack-wide store (present, coalesced onto
+    /// another node's fetch, or duplicated within the image).
     pub pages_from_cache: u64,
+    /// Bytes this start downloaded from the backend shards.
+    pub bytes_fetched: u64,
 }
 
 /// A started container.
@@ -70,17 +79,25 @@ pub struct ContainerRuntime {
     node: Arc<NodeCtx>,
     fs: MemFs,
     registry: Arc<ImageRegistry>,
+    store: Arc<ChunkStore>,
     local_started: HashSet<String>,
     next_id: u64,
 }
 
 impl ContainerRuntime {
-    /// A runtime on `node`, mounting `fs` and pulling from `registry`.
-    pub fn new(node: Arc<NodeCtx>, fs: MemFs, registry: Arc<ImageRegistry>) -> Self {
+    /// A runtime on `node`, mounting `fs`, resolving manifests from
+    /// `registry` and chunks from `store`.
+    pub fn new(
+        node: Arc<NodeCtx>,
+        fs: MemFs,
+        registry: Arc<ImageRegistry>,
+        store: Arc<ChunkStore>,
+    ) -> Self {
         ContainerRuntime {
             node,
             fs,
             registry,
+            store,
             local_started: HashSet::new(),
             next_id: 1,
         }
@@ -91,50 +108,44 @@ impl ContainerRuntime {
         &self.node
     }
 
+    /// The chunk store this runtime resolves image data from.
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
     /// Mutable file-system access (inspection in tests).
     pub fn fs_mut(&mut self) -> &mut MemFs {
         &mut self.fs
     }
 
-    fn layer_path(image: &str, layer_idx: usize) -> String {
-        format!("/images/{image}/layer{layer_idx}")
-    }
-
-    /// Ensure one layer's bytes are resident in the shared cache,
-    /// downloading from the registry if no node has fetched them yet.
-    /// Returns (pages downloaded, pages served from cache).
+    /// Make one layer's chunks resident rack-wide and map them (read
+    /// each resident chunk once into the container's address space).
+    /// Returns (chunks downloaded, chunks from the store, bytes
+    /// downloaded).
     fn fetch_layer(
         &mut self,
         manifest: &ContainerImage,
         layer_idx: usize,
-    ) -> Result<(u64, u64), SimError> {
-        let path = Self::layer_path(&manifest.name, layer_idx);
+    ) -> Result<(u64, u64, u64), SimError> {
         let layer = &manifest.layers[layer_idx];
-        if self.fs.stat(&path)?.is_some() {
-            // Shared-cache path: stream the file (hits the shared page
-            // cache populated by the first starter; falls back to the
-            // block device if pages were written back + evicted).
-            let mut buf = vec![0u8; PAGE_SIZE];
-            for p in 0..layer.pages {
-                let ino = self.fs.resolve(&path)?.expect("stat said it exists");
-                self.fs.read_at(ino, p * PAGE_SIZE as u64, &mut buf)?;
+        let rep = self.store.ensure(&self.node, &layer.chunk_hashes)?;
+        // Map: one charged read per chunk (the container touches every
+        // image page once; re-touches hit the node cache).
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for batch in layer.chunk_hashes.chunks(512) {
+            for (&hash, frame) in batch.iter().zip(self.store.lookup(&self.node, batch)?) {
+                let (frame, len) = frame.ok_or_else(|| {
+                    SimError::Protocol(format!("chunk {hash:#018x} vanished after ensure"))
+                })?;
+                self.node.invalidate(frame, len as usize);
+                self.node.read(frame, &mut buf[..len as usize])?;
             }
-            return Ok((0, layer.pages));
         }
-        // Cold path: download the blob, then store it as one file write
-        // (one metadata/journal entry per layer, like storing a fetched
-        // blob, rather than one per page).
-        let ino = self.fs.create(&path)?;
-        let mut blob = Vec::with_capacity((layer.pages as usize) * PAGE_SIZE);
-        for p in 0..layer.pages {
-            blob.extend_from_slice(
-                &self
-                    .registry
-                    .download_page(&self.node, manifest, layer_idx, p),
-            );
-        }
-        self.fs.write_at(ino, 0, &blob)?;
-        Ok((layer.pages, 0))
+        Ok((
+            rep.fetched,
+            rep.rack_hits + rep.coalesced + rep.duplicates,
+            rep.bytes_fetched,
+        ))
     }
 
     /// Start a container from `image_name`, reporting the path taken and
@@ -142,7 +153,7 @@ impl ContainerRuntime {
     ///
     /// # Errors
     ///
-    /// Propagates registry and file-system errors.
+    /// Propagates registry, store and file-system errors.
     pub fn start_container(
         &mut self,
         image_name: &str,
@@ -164,24 +175,25 @@ impl ContainerRuntime {
                     total_ns: total,
                     pages_downloaded: 0,
                     pages_from_cache: 0,
+                    bytes_fetched: 0,
                 },
             ));
         }
 
-        // Manifest resolution (both cold and shared-cache paths pay it).
+        // Manifest resolution (both cold and shared-store paths pay it).
         let manifest = self.registry.pull_manifest(&self.node, image_name)?;
         let manifest_ns = self.node.clock().now() - start;
 
-        // Image data.
+        // Image data: only the chunks the rack does not already hold.
         let fetch_start = self.node.clock().now();
-        self.fs.mkdir("/images").ok();
-        self.fs.mkdir(&format!("/images/{image_name}")).ok();
         let mut downloaded = 0;
         let mut cached = 0;
+        let mut bytes = 0;
         for layer_idx in 0..manifest.layers.len() {
-            let (d, c) = self.fetch_layer(&manifest, layer_idx)?;
+            let (d, c, b) = self.fetch_layer(&manifest, layer_idx)?;
             downloaded += d;
             cached += c;
+            bytes += b;
         }
         let fetch_ns = self.node.clock().now() - fetch_start;
 
@@ -207,6 +219,7 @@ impl ContainerRuntime {
                 total_ns,
                 pages_downloaded: downloaded,
                 pages_from_cache: cached,
+                bytes_fetched: bytes,
             },
         ))
     }
@@ -232,14 +245,17 @@ impl ContainerRuntime {
 mod tests {
     use super::*;
     use crate::registry::RegistryConfig;
+    use flac_store::{BackendConfig, ShardedBackends, StoreConfig};
     use flacdk::alloc::GlobalAllocator;
     use flacdk::sync::rcu::EpochManager;
     use flacdk::sync::reclaim::RetireList;
     use flacos_fs::block::BlockDevice;
     use flacos_fs::memfs::FsShared;
+    use flacos_mem::dedup::PageDeduper;
+    use flacos_mem::fault::FrameAllocator;
     use rack_sim::{Rack, RackConfig};
 
-    fn setup(image_pages: u64) -> (Rack, Arc<FsShared>, Arc<ImageRegistry>) {
+    fn setup(image_pages: u64) -> (Rack, Arc<FsShared>, Arc<ImageRegistry>, Arc<ChunkStore>) {
         let rack = Rack::new(RackConfig::small_test().with_global_mem(128 << 20));
         let alloc = GlobalAllocator::new(rack.global().clone());
         let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
@@ -253,34 +269,57 @@ mod tests {
         )
         .unwrap();
         let registry = Arc::new(ImageRegistry::new(RegistryConfig::paper_calibrated()));
-        registry.push(ContainerImage::synthetic("pytorch", image_pages, 4, 42));
-        (rack, fs, registry)
+        let image = ContainerImage::synthetic("pytorch", image_pages, 4, 42);
+        let backends = Arc::new(ShardedBackends::uniform(
+            4,
+            BackendConfig::paper_calibrated(4, 64),
+        ));
+        image.publish(&backends);
+        registry.push(image);
+        let dedup = Arc::new(PageDeduper::new(FrameAllocator::new(rack.global().clone())));
+        let store = ChunkStore::alloc(
+            rack.global(),
+            backends,
+            dedup,
+            StoreConfig::new(rack.node_count()),
+        )
+        .unwrap();
+        (rack, fs, registry, store)
+    }
+
+    fn runtime(
+        rack: &Rack,
+        node: usize,
+        fs: &Arc<FsShared>,
+        registry: &Arc<ImageRegistry>,
+        store: &Arc<ChunkStore>,
+    ) -> ContainerRuntime {
+        ContainerRuntime::new(
+            rack.node(node),
+            MemFs::mount(fs.clone(), rack.node(node)),
+            registry.clone(),
+            store.clone(),
+        )
     }
 
     #[test]
     fn three_startup_paths_in_order() {
-        let (rack, fs, registry) = setup(64);
-        let mut rt0 = ContainerRuntime::new(
-            rack.node(0),
-            MemFs::mount(fs.clone(), rack.node(0)),
-            registry.clone(),
-        );
-        let mut rt1 = ContainerRuntime::new(
-            rack.node(1),
-            MemFs::mount(fs.clone(), rack.node(1)),
-            registry,
-        );
+        let (rack, fs, registry, store) = setup(64);
+        let mut rt0 = runtime(&rack, 0, &fs, &registry, &store);
+        let mut rt1 = runtime(&rack, 1, &fs, &registry, &store);
 
-        // Node 0 cold-starts.
+        // Node 0 cold-starts: every chunk is missing rack-wide.
         let (_c0, cold) = rt0.start_container("pytorch").unwrap();
         assert_eq!(cold.path, StartupPath::Cold);
         assert_eq!(cold.pages_downloaded, 64);
+        assert_eq!(cold.bytes_fetched, 64 * PAGE_SIZE as u64);
 
-        // Node 1 starts the same image: shared page cache path.
+        // Node 1 starts the same image: all chunks resident, none fetched.
         let (_c1, shared) = rt1.start_container("pytorch").unwrap();
         assert_eq!(shared.path, StartupPath::SharedPageCache);
         assert_eq!(shared.pages_downloaded, 0);
         assert_eq!(shared.pages_from_cache, 64);
+        assert_eq!(shared.bytes_fetched, 0);
 
         // Node 1 starts it again: hot.
         let (_c2, hot) = rt1.start_container("pytorch").unwrap();
@@ -289,39 +328,59 @@ mod tests {
         // The paper's ordering: hot < shared < cold.
         assert!(hot.total_ns < shared.total_ns, "hot beats shared");
         assert!(shared.total_ns < cold.total_ns, "shared beats cold");
-        // And the shape: cold pays the download, shared only the manifest.
+        // And the shape: cold pays the download, shared only chunk reads.
         assert!(cold.fetch_ns > shared.fetch_ns * 5);
         assert_eq!(hot.manifest_ns, 0);
     }
 
     #[test]
-    fn shared_cache_stores_one_copy_for_both_nodes() {
-        let (rack, fs, registry) = setup(32);
-        let mut rt0 = ContainerRuntime::new(
-            rack.node(0),
-            MemFs::mount(fs.clone(), rack.node(0)),
-            registry.clone(),
-        );
-        let mut rt1 = ContainerRuntime::new(
-            rack.node(1),
-            MemFs::mount(fs.clone(), rack.node(1)),
-            registry,
-        );
+    fn chunks_are_stored_once_and_never_refetched() {
+        let (rack, fs, registry, store) = setup(32);
+        let mut rt0 = runtime(&rack, 0, &fs, &registry, &store);
+        let mut rt1 = runtime(&rack, 1, &fs, &registry, &store);
         rt0.start_container("pytorch").unwrap();
-        let resident_after_first = fs.cache().resident_pages();
+        let frames_after_first = store.dedup().stats().unique_frames;
         rt1.start_container("pytorch").unwrap();
-        // Second start added no image pages (only its tiny config file).
-        assert!(fs.cache().resident_pages() <= resident_after_first + 2);
+        // Second start added no frames and shipped no backend bytes.
+        assert_eq!(store.dedup().stats().unique_frames, frames_after_first);
+        assert_eq!(store.backends().total_stats().chunks_shipped, 32);
+        for h in registry
+            .pull_manifest(&rack.node(0), "pytorch")
+            .unwrap()
+            .chunk_hashes()
+        {
+            assert_eq!(store.backends().fetch_count(h), 1);
+        }
+    }
+
+    #[test]
+    fn overlapping_image_downloads_only_missing_chunks() {
+        let (rack, fs, registry, store) = setup(64); // "pytorch": seeds 42..46
+                                                     // "jupyter" shares 2 of pytorch's 4 layers (seeds 44..48).
+        let overlap = ContainerImage::synthetic("jupyter", 64, 4, 44);
+        overlap.publish(store.backends());
+        registry.push(overlap);
+
+        let mut rt0 = runtime(&rack, 0, &fs, &registry, &store);
+        let mut rt1 = runtime(&rack, 1, &fs, &registry, &store);
+        rt0.start_container("pytorch").unwrap();
+
+        let bytes_before = store.backends().total_stats().bytes_shipped;
+        let (_c, rep) = rt1.start_container("jupyter").unwrap();
+        assert_eq!(rep.path, StartupPath::Cold);
+        assert_eq!(rep.pages_downloaded, 32, "only the 2 unshared layers");
+        assert_eq!(rep.pages_from_cache, 32, "shared layers come from the rack");
+        // Byte accounting: exactly the unique missing chunk bytes.
+        assert_eq!(
+            store.backends().total_stats().bytes_shipped - bytes_before,
+            32 * PAGE_SIZE as u64
+        );
     }
 
     #[test]
     fn containers_get_distinct_rootfs() {
-        let (rack, fs, registry) = setup(8);
-        let mut rt = ContainerRuntime::new(
-            rack.node(0),
-            MemFs::mount(fs.clone(), rack.node(0)),
-            registry,
-        );
+        let (rack, fs, registry, store) = setup(8);
+        let mut rt = runtime(&rack, 0, &fs, &registry, &store);
         let (c1, _) = rt.start_container("pytorch").unwrap();
         let (c2, _) = rt.start_container("pytorch").unwrap();
         assert_ne!(c1.rootfs, c2.rootfs);
@@ -335,8 +394,8 @@ mod tests {
 
     #[test]
     fn unknown_image_fails_cleanly() {
-        let (rack, fs, registry) = setup(8);
-        let mut rt = ContainerRuntime::new(rack.node(0), MemFs::mount(fs, rack.node(0)), registry);
+        let (rack, fs, registry, store) = setup(8);
+        let mut rt = runtime(&rack, 0, &fs, &registry, &store);
         assert!(rt.start_container("ghost").is_err());
     }
 }

@@ -101,6 +101,39 @@ impl DensityScheduler {
         }
     }
 
+    /// Warm-start-aware placement: like [`DensityScheduler::place`],
+    /// but nodes in `warm` (e.g. nodes whose runtime already started
+    /// this instance's image — they'd take the hot path, skipping even
+    /// the manifest pull) win ties and are preferred as long as they
+    /// have spare capacity, even over less-loaded cold nodes. Falls
+    /// back to capacity-only placement when no warm node has room.
+    /// Image *data* needs no such affinity — the chunk store makes it
+    /// resident rack-wide — so this only chases per-node runtime state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the rack is full or the id is taken.
+    pub fn place_preferring(&mut self, id: u64, warm: &[NodeId]) -> Result<NodeId, SimError> {
+        if self.placements.contains_key(&id) {
+            return Err(SimError::Protocol(format!("instance {id} already placed")));
+        }
+        let pick = self
+            .load
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, l)| l < self.capacity_per_node && warm.contains(&NodeId(i)))
+            .min_by_key(|&(i, l)| (l, i));
+        match pick {
+            Some((node_idx, _)) => {
+                self.load[node_idx] += 1;
+                self.placements.insert(id, NodeId(node_idx));
+                Ok(NodeId(node_idx))
+            }
+            None => self.place(id),
+        }
+    }
+
     /// Remove instance `id`.
     pub fn evict(&mut self, id: u64) -> Option<NodeId> {
         let node = self.placements.remove(&id)?;
@@ -184,6 +217,20 @@ mod tests {
         assert_eq!(s.place_with_budget(4, |_| 0, 4096).unwrap(), NodeId(0));
         // Duplicate ids still rejected on the budgeted path.
         assert!(s.place_with_budget(4, free, 4096).is_err());
+    }
+
+    #[test]
+    fn warm_placement_prefers_warm_nodes_until_full() {
+        let mut s = DensityScheduler::new(3, 2);
+        let warm = [NodeId(2)];
+        // Warm node wins even while colder nodes are emptier.
+        assert_eq!(s.place_preferring(1, &warm).unwrap(), NodeId(2));
+        assert_eq!(s.place_preferring(2, &warm).unwrap(), NodeId(2));
+        // Warm node full → fall back to least-loaded placement.
+        assert_eq!(s.place_preferring(3, &warm).unwrap(), NodeId(0));
+        // No warm nodes at all behaves exactly like place().
+        assert_eq!(s.place_preferring(4, &[]).unwrap(), NodeId(1));
+        assert!(s.place_preferring(4, &warm).is_err(), "duplicate id");
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! cargo run -p flacos --example serverless_rack
 //! ```
 
+use flac_store::{BackendConfig, ChunkStore, ShardedBackends, StoreConfig};
 use flacdk::alloc::GlobalAllocator;
 use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
 use flacos_fs::block::BlockDevice;
 use flacos_fs::memfs::{FsShared, MemFs};
+use flacos_mem::dedup::PageDeduper;
+use flacos_mem::fault::FrameAllocator;
 use rack_sim::{Rack, RackConfig, SimError};
 use serverless::chain::{ChainTransport, FunctionChain};
 use serverless::image::ContainerImage;
@@ -32,24 +35,36 @@ fn main() -> Result<(), SimError> {
         Arc::new(BlockDevice::nvme(rack.global(), rack.node_count())?),
     )?;
 
-    // A scaled synthetic "pytorch" image (1024 pages = 4 MiB here, with
-    // registry bandwidth scaled to keep the paper's time decomposition).
-    let base = RegistryConfig::paper_calibrated();
-    let registry = Arc::new(ImageRegistry::new(RegistryConfig {
-        bandwidth_bytes_per_sec: base.bandwidth_bytes_per_sec / 1024,
-        ..base
-    }));
-    registry.push(ContainerImage::synthetic("pytorch", 1024, 8, 7));
+    // A scaled synthetic "pytorch" image (1024 pages = 4 MiB here),
+    // chunked by content hash and served from 4 backend shards whose
+    // aggregate bandwidth keeps the paper's time decomposition.
+    let registry = Arc::new(ImageRegistry::new(RegistryConfig::paper_calibrated()));
+    let image = ContainerImage::synthetic("pytorch", 1024, 8, 7);
+    let backends = Arc::new(ShardedBackends::uniform(
+        4,
+        BackendConfig::paper_calibrated(4, 1024),
+    ));
+    image.publish(&backends);
+    registry.push(image);
+    let dedup = Arc::new(PageDeduper::new(FrameAllocator::new(rack.global().clone())));
+    let store = ChunkStore::alloc(
+        rack.global(),
+        backends,
+        dedup,
+        StoreConfig::new(rack.node_count()),
+    )?;
 
     let mut rt0 = ContainerRuntime::new(
         rack.node(0),
         MemFs::mount(fs.clone(), rack.node(0)),
         registry.clone(),
+        store.clone(),
     );
     let mut rt1 = ContainerRuntime::new(
         rack.node(1),
         MemFs::mount(fs.clone(), rack.node(1)),
         registry,
+        store.clone(),
     );
 
     println!("container startup (paper §4.2):");
@@ -67,9 +82,11 @@ fn main() -> Result<(), SimError> {
             report.init_ns as f64 / 1e9,
         );
     }
+    let dedup_stats = store.dedup().stats();
     println!(
-        "  shared page cache holds {} pages once, for both nodes\n",
-        fs.cache().resident_pages()
+        "  chunk store holds {} deduped frames once, for both nodes ({} chunks shipped)\n",
+        dedup_stats.unique_frames,
+        store.backends().total_stats().chunks_shipped,
     );
 
     // Function chain over shared memory vs the network.

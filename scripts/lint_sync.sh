@@ -44,7 +44,7 @@ while IFS=: read -r file line text; do
     fi
     echo "lint_sync: $file:$line: un-annotated shared lock: $stripped" >&2
     fail=1
-done < <(grep -rn --include='*.rs' -E '(Mutex|RwLock)<' crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
+done < <(grep -rn --include='*.rs' -E '(Mutex|RwLock)<' crates/flacos-fs/src crates/flacos-ipc/src crates/flacos-mem/src crates/flacos-fault/src crates/flacos-tier/src crates/flacos/src crates/flac-store/src 2>/dev/null || true)
 
 while IFS=: read -r file line text; do
     stripped="${text#"${text%%[![:space:]]*}"}"

@@ -49,4 +49,14 @@ cargo run --release --offline -p bench --bin flac-faultstorm -- --tiering --seed
 echo "== sync-cell fault-storm campaign (owner crashes, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --sync --seeds 2 --steps 60 --verify
 
+echo "== store-scale smoke (~1 s shard sweep + overlap gate, JSON shape + invariants) =="
+cargo run --release --offline -p bench --bin flac-store-scale -- \
+    --quick --out target/BENCH_store.quick.json --gate
+
+echo "== committed BENCH_store.json honors the shard-scaling acceptance targets =="
+cargo run --release --offline -p bench --bin flac-store-scale -- --check BENCH_store.json
+
+echo "== chunk-store fault-storm campaign (fetcher crashes mid-fetch, replay-verified) =="
+cargo run --release --offline -p bench --bin flac-faultstorm -- --store --seeds 2 --steps 60 --verify
+
 echo "verify: OK"

@@ -317,31 +317,50 @@ fn checkpoint_manager_composes_with_process_heaps() {
 
 #[test]
 fn serverless_runtime_runs_on_the_booted_fs() {
+    use flac_store::{BackendConfig, ChunkStore, ShardedBackends, StoreConfig};
+    use flacos_mem::dedup::PageDeduper;
+    use flacos_mem::fault::FrameAllocator;
     use serverless::image::ContainerImage;
     use serverless::registry::{ImageRegistry, RegistryConfig};
     use serverless::runtime::{ContainerRuntime, StartupPath};
 
     let rack = booted();
-    let registry = Arc::new(ImageRegistry::new(RegistryConfig {
-        manifest_ns: 1000,
-        bandwidth_bytes_per_sec: 1 << 30,
-        per_layer_ns: 100,
-    }));
-    registry.push(ContainerImage::synthetic("app", 32, 2, 5));
+    let registry = Arc::new(ImageRegistry::new(RegistryConfig { manifest_ns: 1000 }));
+    let image = ContainerImage::synthetic("app", 32, 2, 5);
+    let backends = Arc::new(ShardedBackends::uniform(
+        2,
+        BackendConfig::paper_calibrated(2, 4096),
+    ));
+    image.publish(&backends);
+    registry.push(image);
+    let dedup = Arc::new(PageDeduper::new(FrameAllocator::new(
+        rack.sim().global().clone(),
+    )));
+    let store = ChunkStore::alloc(
+        rack.sim().global(),
+        backends,
+        dedup,
+        StoreConfig::new(rack.sim().node_count()),
+    )
+    .unwrap();
 
     let mut rt0 = ContainerRuntime::new(
         rack.sim().node(0),
         flacos_fs::memfs::MemFs::mount(rack.fs_shared().clone(), rack.sim().node(0)),
         registry.clone(),
+        store.clone(),
     );
     let mut rt1 = ContainerRuntime::new(
         rack.sim().node(1),
         flacos_fs::memfs::MemFs::mount(rack.fs_shared().clone(), rack.sim().node(1)),
         registry,
+        store,
     );
     let (_, cold) = rt0.start_container("app").unwrap();
     let (_, shared) = rt1.start_container("app").unwrap();
     assert_eq!(cold.path, StartupPath::Cold);
     assert_eq!(shared.path, StartupPath::SharedPageCache);
     assert!(shared.total_ns < cold.total_ns);
+    assert_eq!(cold.pages_downloaded, 32);
+    assert_eq!(shared.pages_from_cache, 32);
 }
