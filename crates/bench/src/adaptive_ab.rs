@@ -26,7 +26,7 @@ pub const READ_PCTS: [u32; 7] = [0, 10, 25, 50, 75, 90, 100];
 
 /// The shared state under test: per-node op tallies (16-byte footprint
 /// per node, applied from 12-byte committed ops).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Tally {
     counts: Vec<u64>,
     total: u64,
@@ -124,7 +124,7 @@ fn run_arm(
     policy: Option<SyncPolicy>,
 ) -> AdaptiveArm {
     let mut cfg =
-        SyncCellConfig::new(NODES, policy.unwrap_or(SyncPolicy::Replicated)).with_log(8192, 32);
+        SyncCellConfig::new(NODES, policy.unwrap_or(SyncPolicy::Replicated)).with_log(8192, 48);
     if policy.is_none() {
         cfg = cfg.with_adaptive(AdaptiveConfig::default());
     }
@@ -185,6 +185,12 @@ pub fn run_cell(read_pct: u32) -> AdaptiveRow {
             Some(SyncPolicy::Delegated),
         ),
         run_arm(&fresh_rack(), "rcu", read_pct, Some(SyncPolicy::Rcu)),
+        run_arm(
+            &fresh_rack(),
+            "node_replicated",
+            read_pct,
+            Some(SyncPolicy::NodeReplicated),
+        ),
         run_arm(&fresh_rack(), "adaptive", read_pct, None),
     ];
     AdaptiveRow {
@@ -210,7 +216,14 @@ pub fn run() -> Vec<AdaptiveRow> {
 
 /// Render the sweep as a p50 table, one column per backend.
 pub fn report(rows: &[AdaptiveRow]) -> String {
-    let labels = ["lock", "replicated", "delegated", "rcu", "adaptive"];
+    let labels = [
+        "lock",
+        "replicated",
+        "delegated",
+        "rcu",
+        "node_replicated",
+        "adaptive",
+    ];
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -235,6 +248,7 @@ pub fn report(rows: &[AdaptiveRow]) -> String {
                 "replicated p50",
                 "delegated p50",
                 "rcu p50",
+                "node_repl p50",
                 "adaptive p50",
                 "switches (final)"
             ],
@@ -271,7 +285,12 @@ mod tests {
     #[test]
     fn adaptive_lands_on_the_right_backend() {
         let writes = run_cell(0);
-        assert_eq!(writes.arm("adaptive").final_policy, SyncPolicy::Delegated);
+        // Round-robin writers from every node: the write tier for a
+        // multi-writer window is the flat-combined node-replicated log.
+        assert_eq!(
+            writes.arm("adaptive").final_policy,
+            SyncPolicy::NodeReplicated
+        );
         assert!(writes.arm("adaptive").switches >= 1);
         let reads = run_cell(100);
         assert_eq!(reads.arm("adaptive").final_policy, SyncPolicy::Replicated);

@@ -12,8 +12,10 @@
 //!   byte-identical (the determinism guarantee)
 //! * `--tiering`  — run the page-tiering campaign instead (staged
 //!   migrations under crashes; old copy stays authoritative)
-//! * `--sync`     — run the sync-cell campaign instead (delegated cell
-//!   under owner crashes; no committed update lost, log replay exact)
+//! * `--sync`     — run the sync-cell campaigns instead: the delegated
+//!   cell under owner crashes, then the node-replicated cell with
+//!   combiners killed mid-batch (both fatal windows); no committed or
+//!   published update lost or double-applied, log replay exact
 //! * `--store`    — run the chunk-store campaign instead (cold starts
 //!   under fetcher crashes; no chunk ever downloaded twice, index
 //!   consistent and replay-exact after the heal)
@@ -23,8 +25,9 @@
 //! using the seed printed in its survival row.
 
 use bench::faultstorm::{
-    run_campaign, run_store_campaign, run_sync_campaign, run_tiering_campaign, StoreSurvivalReport,
-    SurvivalReport, SyncSurvivalReport, TieringSurvivalReport,
+    run_campaign, run_nr_sync_campaign, run_store_campaign, run_sync_campaign,
+    run_tiering_campaign, StoreSurvivalReport, SurvivalReport, SyncSurvivalReport,
+    TieringSurvivalReport,
 };
 
 #[allow(clippy::type_complexity)]
@@ -123,29 +126,42 @@ fn run_tiering(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
 }
 
 fn run_sync(seeds: u64, base_seed: u64, steps: u32, verify: bool) -> u64 {
-    println!("{}", SyncSurvivalReport::header());
     let mut failures = 0u64;
     let mut last: Option<SyncSurvivalReport> = None;
-    for k in 0..seeds {
-        let seed = base_seed + k;
-        let report = run_sync_campaign(seed, steps);
-        println!("{}", report.row());
-        for v in &report.violations {
-            println!("    violation: {v}");
-            failures += 1;
-        }
-        if verify {
-            let replay = run_sync_campaign(seed, steps);
-            if replay.log_text != report.log_text {
-                println!("    violation: replay of seed {seed:#x} DIVERGED");
+    for (name, campaign) in [
+        (
+            "delegated cell (owner crashes)",
+            run_sync_campaign as fn(u64, u32) -> SyncSurvivalReport,
+        ),
+        (
+            "node-replicated cell (combiners killed mid-batch)",
+            run_nr_sync_campaign as fn(u64, u32) -> SyncSurvivalReport,
+        ),
+    ] {
+        println!("{name}:");
+        println!("{}", SyncSurvivalReport::header());
+        for k in 0..seeds {
+            let seed = base_seed + k;
+            let report = campaign(seed, steps);
+            println!("{}", report.row());
+            for v in &report.violations {
+                println!("    violation: {v}");
                 failures += 1;
             }
+            if verify {
+                let replay = campaign(seed, steps);
+                if replay.log_text != report.log_text {
+                    println!("    violation: replay of seed {seed:#x} DIVERGED");
+                    failures += 1;
+                }
+            }
+            last = Some(report);
         }
-        last = Some(report);
+        println!();
     }
     if let Some(report) = last {
         println!(
-            "\nrack metrics of the last campaign (seed {:#018x}):",
+            "rack metrics of the last campaign (seed {:#018x}):",
             report.seed
         );
         println!("{}", report.metrics);

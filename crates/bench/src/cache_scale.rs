@@ -681,44 +681,23 @@ pub struct ParsedReport {
     pub points: Vec<ParsedPoint>,
 }
 
-/// Extract the raw value token of `"key": value` from a one-line JSON
-/// object fragment (the shape [`to_json`] emits — one object per line).
-fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let start = obj.find(&pat)? + pat.len();
-    let rest = obj[start..].trim_start();
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
-}
-
 /// Re-read a report produced by [`to_json`]. Hand-rolled like the writer
 /// (hermetic workspace, no serde): each `results[]` object occupies one
-/// line, so line-wise key extraction is exact for this format.
+/// line, so the shared [`crate::report`] line-wise extraction is exact.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed line or missing field.
 pub fn parse_report(json: &str) -> Result<ParsedReport, String> {
-    let quick = json
-        .lines()
-        .find_map(|l| field(l, "quick").filter(|_| l.trim_start().starts_with("\"quick\"")))
-        .ok_or("missing \"quick\" field")?
-        == "true";
+    let quick = crate::report::parse_quick(json)?;
     let mut points = Vec::new();
-    for line in json.lines().filter(|l| l.contains("\"impl\":")) {
-        let get = |k: &str| field(line, k).ok_or_else(|| format!("missing \"{k}\" in {line}"));
+    for obj in crate::report::objects_with(json, "impl") {
         points.push(ParsedPoint {
-            cache_impl: get("impl")?.to_string(),
-            threads: get("threads")?
-                .parse()
-                .map_err(|e| format!("threads: {e}"))?,
-            hit_permille: get("hit_permille")?
-                .parse()
-                .map_err(|e| format!("hit_permille: {e}"))?,
-            ops_per_sec: get("ops_per_sec")?
-                .parse()
-                .map_err(|e| format!("ops_per_sec: {e}"))?,
-            sim_ns: get("sim_ns")?.parse().map_err(|e| format!("sim_ns: {e}"))?,
+            cache_impl: obj.str_field("impl")?,
+            threads: obj.usize_field("threads")?,
+            hit_permille: obj.u64_field("hit_permille")?,
+            ops_per_sec: obj.f64_field("ops_per_sec")?,
+            sim_ns: obj.u64_field("sim_ns")?,
         });
     }
     if points.is_empty() {

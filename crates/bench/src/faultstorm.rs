@@ -927,7 +927,7 @@ pub fn run_tiering_campaign(seed: u64, steps: u32) -> TieringSurvivalReport {
 
 /// The shared ledger under the sync campaign's cell: committed entries
 /// in commit order (so divergence is directly visible).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct SyncLedger {
     entries: Vec<(u32, u32)>,
 }
@@ -1046,7 +1046,7 @@ pub fn run_sync_campaign(seed: u64, steps: u32) -> SyncSurvivalReport {
     let cell = SyncCell::alloc(
         rack.global(),
         "storm_ledger",
-        SyncCellConfig::new(n, SyncPolicy::Delegated).with_log(4096, 32),
+        SyncCellConfig::new(n, SyncPolicy::Delegated).with_log(4096, 48),
         SyncLedger::default(),
     )
     .expect("cell");
@@ -1166,6 +1166,261 @@ pub fn run_sync_campaign(seed: u64, steps: u32) -> SyncSurvivalReport {
     }
 
     // --- Invariant 3: liveness through the re-elected owner.
+    for i in 0..n {
+        if !rack.is_alive(NodeId(i)) {
+            violations.push(format!("node {i} still down after heal"));
+        }
+    }
+    match cell.update(&n0, &sync_op(0, steps)) {
+        Ok(_) => {
+            let len = cell.read(&n0, |l| l.entries.len()).expect("post-heal read");
+            if len as u64 != ops_committed + 1 {
+                violations.push(format!(
+                    "post-heal update invisible: {len} entries vs {} expected",
+                    ops_committed + 1
+                ));
+            }
+        }
+        Err(e) => violations.push(format!("post-heal update failed: {e}")),
+    }
+
+    SyncSurvivalReport {
+        seed,
+        counts: report.counts,
+        events: report.events.len(),
+        ops_committed,
+        ops_skipped,
+        reelections,
+        replayed,
+        violations,
+        log_text: report.log_text(),
+        metrics: rack.metrics_report(),
+    }
+}
+
+/// Run one seeded **node-replicated** sync-cell storm campaign: the
+/// flat-combining counterpart of [`run_sync_campaign`]. Live nodes
+/// drive the split publication protocol
+/// ([`flacdk::sync::SyncCell::nr_publish`] →
+/// [`flacdk::sync::SyncCell::nr_combine`] →
+/// [`flacdk::sync::SyncCell::nr_poll`]), and on a seeded schedule the
+/// campaign kills a combiner **mid-batch** — in both fatal windows:
+///
+/// * *before the tail CAS* — the role is claimed and the slots are
+///   drained, but nothing committed; re-election must commit every
+///   stranded publication exactly once;
+/// * *after the append* — the batch is committed but no slot was
+///   consumed and the role never released; re-election must dedup
+///   against the committed window and **not** double-apply.
+///
+/// After every recovery the stranded publishers' polls must return a
+/// log index (no published op lost), and the cell must hold exactly
+/// the model's ops (no double-apply). The storm's own node crashes and
+/// restarts run underneath throughout. Invariants 1–3 match
+/// [`run_sync_campaign`]; `reelections` counts combiner re-elections.
+///
+/// # Panics
+///
+/// Panics if the rack cannot boot — a harness bug, not an outcome.
+#[allow(clippy::too_many_lines)]
+pub fn run_nr_sync_campaign(seed: u64, steps: u32) -> SyncSurvivalReport {
+    use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy};
+
+    let rack = rack_sim::Rack::new(
+        RackConfig::n_node(NODES)
+            .with_global_mem(64 << 20)
+            .with_seed(seed ^ 0xF1AC),
+    );
+    let n = rack.node_count();
+    let cell = SyncCell::alloc(
+        rack.global(),
+        "storm_nr_ledger",
+        SyncCellConfig::new(n, SyncPolicy::NodeReplicated).with_log(4096, 48),
+        SyncLedger::default(),
+    )
+    .expect("cell");
+    let mut orch = RecoveryOrchestrator::new();
+    orch.attach_sync(cell.clone());
+
+    let mut live = vec![true; n];
+    let mut model: Vec<(u64, (u32, u32))> = Vec::new();
+    let mut ops_committed = 0u64;
+    let mut ops_skipped = 0u64;
+    let mut reelections = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    let config = StormConfig {
+        steps,
+        min_live_nodes: 2,
+        link_fail_weight: 0,
+        link_restore_weight: 0,
+        poison_weight: 0,
+        delayed_writeback_weight: 0,
+        poison_region: None,
+        ..StormConfig::default()
+    };
+    let campaign = StormCampaign::new(seed, config);
+    let report = campaign.run(&rack, |step, op, rack| match *op {
+        StormOp::Workload => {
+            let live_nodes: Vec<usize> = (0..n).filter(|&k| live[k]).collect();
+            // Every third workload step with enough live actors stages a
+            // mid-batch combiner crash instead of a clean round.
+            if step % 3 == 2 && live_nodes.len() >= 4 {
+                // Two publishers strand ops, a victim claims the role
+                // and dies in one of the two fatal windows.
+                let publishers = [live_nodes[0], live_nodes[1]];
+                let victim = *live_nodes.last().expect("nonempty");
+                for &p in &publishers {
+                    match cell.nr_publish(&rack.node(p), &sync_op(p, step)) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            violations.push(format!("step {step}: publish failed on n{p}: {e}"));
+                            return format!("mid-batch stage failed: publish on n{p}: {e}");
+                        }
+                    }
+                }
+                let before_cas = step % 2 == 0;
+                let armed = if before_cas {
+                    cell.nr_combine_crash_before_append(&rack.node(victim))
+                } else {
+                    cell.nr_combine_crash_after_append(&rack.node(victim))
+                };
+                if let Err(e) = armed {
+                    violations.push(format!("step {step}: combiner claim failed: {e}"));
+                    return format!("mid-batch stage failed: claim on n{victim}: {e}");
+                }
+                rack.faults().crash_node(NodeId(victim), u64::from(step));
+                live[victim] = false;
+                let rescuer = live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+                if let Err(e) = orch.handle_node_crash(&rack.node(rescuer), NodeId(victim)) {
+                    violations.push(format!("step {step}: mid-batch recovery failed: {e}"));
+                    return format!("mid-batch recovery FAILED: {e}");
+                }
+                reelections += 1;
+                // Every stranded publication must have landed exactly
+                // once; the poll hands back its committed index.
+                for &p in &publishers {
+                    match cell.nr_poll(&rack.node(p)) {
+                        Ok(Some(idx)) => {
+                            model.push((idx, (p as u32, step)));
+                            ops_committed += 1;
+                        }
+                        other => violations.push(format!(
+                            "step {step}: op from n{p} lost across combiner crash: {other:?}"
+                        )),
+                    }
+                }
+                let seen = cell
+                    .read(&rack.node(rescuer), |l| l.entries.len())
+                    .expect("read");
+                if seen != model.len() {
+                    violations.push(format!(
+                        "step {step}: {seen} entries vs {} committed (lost or double-applied)",
+                        model.len()
+                    ));
+                }
+                rack.faults().restart_node(NodeId(victim), u64::from(step));
+                live[victim] = true;
+                format!(
+                    "combiner n{victim} died mid-batch ({}); n{rescuer} re-elected, \
+                     {} stranded ops recovered, {seen} total",
+                    if before_cas {
+                        "before tail CAS"
+                    } else {
+                        "after append"
+                    },
+                    publishers.len()
+                )
+            } else {
+                // Clean round: round-robin publisher, a different live
+                // combiner drains, the publisher polls its index.
+                let Some(writer) = (step as usize..step as usize + n)
+                    .map(|k| k % n)
+                    .find(|&k| live[k])
+                else {
+                    ops_skipped += 1;
+                    return "publish skipped: no live writer".to_string();
+                };
+                if let Err(e) = cell.nr_publish(&rack.node(writer), &sync_op(writer, step)) {
+                    ops_skipped += 1;
+                    return format!("publish degraded on n{writer}: {e}");
+                }
+                let combiner = (0..n)
+                    .rev()
+                    .find(|&k| live[k] && k != writer)
+                    .unwrap_or(writer);
+                match cell.nr_combine(&rack.node(combiner)) {
+                    Ok(combined) => match cell.nr_poll(&rack.node(writer)) {
+                        Ok(Some(idx)) => {
+                            model.push((idx, (writer as u32, step)));
+                            ops_committed += 1;
+                            format!(
+                                "op {idx} published from n{writer}, combined ({combined}) by \
+                                 n{combiner}"
+                            )
+                        }
+                        other => {
+                            violations.push(format!(
+                                "step {step}: publication from n{writer} unacknowledged: {other:?}"
+                            ));
+                            format!("publication from n{writer} UNACKNOWLEDGED")
+                        }
+                    },
+                    Err(e) => {
+                        violations.push(format!("step {step}: combine failed on n{combiner}: {e}"));
+                        format!("combine FAILED on n{combiner}: {e}")
+                    }
+                }
+            }
+        }
+        StormOp::CrashNode { node } => {
+            let node_idx = node.0;
+            live[node_idx] = false;
+            let rescuer = live.iter().position(|&a| a).expect("min_live_nodes >= 2");
+            match orch.handle_node_crash(&rack.node(rescuer), node) {
+                Ok(_) => format!("crash n{node_idx}: slots drained by n{rescuer}"),
+                Err(e) => {
+                    violations.push(format!("step {step}: sync recovery failed: {e}"));
+                    format!("crash n{node_idx}: sync recovery FAILED: {e}")
+                }
+            }
+        }
+        StormOp::RestartNode { node } => {
+            live[node.0] = true;
+            format!("restart n{}: rejoins with a cold replica", node.0)
+        }
+        StormOp::DelayedWriteback { .. }
+        | StormOp::FailLink { .. }
+        | StormOp::RestoreLink { .. }
+        | StormOp::PoisonWord { .. } => "unused op class (weight 0)".to_string(),
+    });
+
+    // --- Invariant 1: no committed update lost or double-applied, in
+    // commit order.
+    model.sort_unstable_by_key(|&(idx, _)| idx);
+    let expected: Vec<(u32, u32)> = model.iter().map(|&(_, op)| op).collect();
+    let n0 = rack.node(0);
+    let final_entries = cell.read(&n0, |l| l.entries.clone()).expect("final read");
+    if final_entries != expected {
+        violations.push(format!(
+            "committed ops lost, duplicated, or reordered: cell has {} entries, model {}",
+            final_entries.len(),
+            expected.len()
+        ));
+    }
+
+    // --- Invariant 2: replaying the log from scratch reconstructs the
+    // identical state.
+    let (replayed_state, replayed) = cell.replay(&n0, SyncLedger::default()).expect("log replay");
+    if replayed_state.entries != expected {
+        violations.push(format!(
+            "log replay diverged: {} replayed entries vs {} committed",
+            replayed_state.entries.len(),
+            expected.len()
+        ));
+    }
+
+    // --- Invariant 3: liveness through the healed combiner path.
     for i in 0..n {
         if !rack.is_alive(NodeId(i)) {
             violations.push(format!("node {i} still down after heal"));
@@ -1625,6 +1880,44 @@ mod tests {
             reelections += r.reelections;
         }
         assert!(reelections > 0, "no campaign crashed the delegation owner");
+    }
+
+    #[test]
+    fn nr_sync_campaign_survives_combiner_deaths_mid_batch() {
+        let r = run_nr_sync_campaign(0xF1AC_5C11, 60);
+        assert!(r.survived(), "violations: {:?}", r.violations);
+        assert!(r.ops_committed > 0, "workload actually committed updates");
+        assert_eq!(r.replayed, r.ops_committed, "log covers every commit");
+        assert!(
+            r.reelections > 0,
+            "no combiner was killed mid-batch; the campaign must exercise both fatal windows"
+        );
+    }
+
+    #[test]
+    fn nr_sync_replay_is_byte_identical() {
+        let a = run_nr_sync_campaign(31, 60);
+        let b = run_nr_sync_campaign(31, 60);
+        assert_eq!(a.log_text, b.log_text, "same seed, same bytes");
+        assert_ne!(
+            a.log_text,
+            run_nr_sync_campaign(32, 60).log_text,
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn nr_seed_sweep_kills_combiners_in_both_windows() {
+        // Both fatal windows — before the tail CAS and after the append
+        // — must fire across a small seed sweep, and no published op
+        // may be lost or double-applied in either.
+        let mut mid_batch = 0u64;
+        for seed in 1..=6 {
+            let r = run_nr_sync_campaign(seed, 60);
+            assert!(r.survived(), "seed {seed} violations: {:?}", r.violations);
+            mid_batch += r.reelections;
+        }
+        assert!(mid_batch >= 2, "mid-batch combiner deaths barely fired");
     }
 
     #[test]

@@ -32,9 +32,11 @@ pub mod fig4;
 pub mod harness;
 pub mod ipc_ab;
 pub mod pagecache_ab;
+pub mod report;
 pub mod serve_scale;
 pub mod startup;
 pub mod store_scale;
 pub mod sync_ab;
+pub mod sync_scale;
 pub mod table;
 pub mod tiering_ab;

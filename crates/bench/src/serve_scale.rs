@@ -679,45 +679,27 @@ pub struct ParsedServeReport {
     pub points: Vec<ParsedServePoint>,
 }
 
-/// Extract the raw value token of `"key": value` from a one-line JSON
-/// object fragment.
-fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let start = obj.find(&pat)? + pat.len();
-    let rest = obj[start..].trim_start();
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
-}
-
-/// Re-read a report produced by [`to_json`].
+/// Re-read a report produced by [`to_json`], via the shared
+/// [`crate::report`] one-object-per-line extraction.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed line or missing field.
 pub fn parse_report(json: &str) -> Result<ParsedServeReport, String> {
-    let quick = json
-        .lines()
-        .find_map(|l| field(l, "quick").filter(|_| l.trim_start().starts_with("\"quick\"")))
-        .ok_or("missing \"quick\" field")?
-        == "true";
+    let quick = crate::report::parse_quick(json)?;
     let mut points = Vec::new();
-    for line in json.lines().filter(|l| l.contains("\"transport\":")) {
-        let get = |k: &str| field(line, k).ok_or_else(|| format!("missing \"{k}\" in {line}"));
-        let num =
-            |k: &str| -> Result<u64, String> { get(k)?.parse().map_err(|e| format!("{k}: {e}")) };
+    for obj in crate::report::objects_with(json, "transport") {
         points.push(ParsedServePoint {
-            transport: get("transport")?.to_string(),
-            clients: num("clients")?,
-            requests: num("requests")?,
-            errors: num("errors")?,
-            p50_ns: num("p50_ns")?,
-            p99_ns: num("p99_ns")?,
-            p999_ns: num("p999_ns")?,
-            max_ns: num("max_ns")?,
-            saturation_rps: get("saturation_rps")?
-                .parse()
-                .map_err(|e| format!("saturation_rps: {e}"))?,
-            parity: get("parity")? == "true",
+            transport: obj.str_field("transport")?,
+            clients: obj.u64_field("clients")?,
+            requests: obj.u64_field("requests")?,
+            errors: obj.u64_field("errors")?,
+            p50_ns: obj.u64_field("p50_ns")?,
+            p99_ns: obj.u64_field("p99_ns")?,
+            p999_ns: obj.u64_field("p999_ns")?,
+            max_ns: obj.u64_field("max_ns")?,
+            saturation_rps: obj.f64_field("saturation_rps")?,
+            parity: obj.bool_field("parity")?,
         });
     }
     if points.is_empty() {

@@ -272,66 +272,38 @@ pub struct ParsedStoreReport {
     pub overlap: OverlapPoint,
 }
 
-/// Extract the raw value token of `"key": value` from a one-line JSON
-/// object fragment (the shape [`to_json`] emits — one object per line).
-fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let start = obj.find(&pat)? + pat.len();
-    let rest = obj[start..].trim_start();
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
-}
-
 /// Re-read a report produced by [`to_json`]. Hand-rolled like the
-/// writer: each array/object entry occupies one line, so line-wise key
-/// extraction is exact for this format.
+/// writer: each array/object entry occupies one line, so the shared
+/// [`crate::report`] line-wise extraction is exact.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed line or missing field.
 pub fn parse_report(json: &str) -> Result<ParsedStoreReport, String> {
-    let quick = json
-        .lines()
-        .find_map(|l| field(l, "quick").filter(|_| l.trim_start().starts_with("\"quick\"")))
-        .ok_or("missing \"quick\" field")?
-        == "true";
+    let quick = crate::report::parse_quick(json)?;
     let mut points = Vec::new();
-    for line in json.lines().filter(|l| l.contains("\"shards\":")) {
-        let get = |k: &str| -> Result<u64, String> {
-            field(line, k)
-                .ok_or_else(|| format!("missing \"{k}\" in {line}"))?
-                .parse()
-                .map_err(|e| format!("{k}: {e}"))
-        };
+    for obj in crate::report::objects_with(json, "shards") {
         points.push(ShardPoint {
-            shards: get("shards")? as usize,
-            chunks: get("chunks")?,
-            bytes: get("bytes")?,
-            cold_fetch_ns: get("cold_fetch_ns")?,
-            cold_fetch_ns_rerun: get("cold_fetch_ns_rerun")?,
-            warm_fetch_ns: get("warm_fetch_ns")?,
-            fetched: get("fetched")?,
-            warm_rack_hits: get("warm_rack_hits")?,
+            shards: obj.usize_field("shards")?,
+            chunks: obj.u64_field("chunks")?,
+            bytes: obj.u64_field("bytes")?,
+            cold_fetch_ns: obj.u64_field("cold_fetch_ns")?,
+            cold_fetch_ns_rerun: obj.u64_field("cold_fetch_ns_rerun")?,
+            warm_fetch_ns: obj.u64_field("warm_fetch_ns")?,
+            fetched: obj.u64_field("fetched")?,
+            warm_rack_hits: obj.u64_field("warm_rack_hits")?,
         });
     }
     if points.is_empty() {
         return Err("no shard_sweep[] entries found".into());
     }
-    let overlap_line = json
-        .lines()
-        .find(|l| l.contains("\"first_bytes_fetched\":"))
-        .ok_or("missing \"overlap\" object")?;
-    let get = |k: &str| -> Result<u64, String> {
-        field(overlap_line, k)
-            .ok_or_else(|| format!("missing \"{k}\" in overlap"))?
-            .parse()
-            .map_err(|e| format!("{k}: {e}"))
-    };
+    let obj = crate::report::object_with(json, "first_bytes_fetched")
+        .map_err(|_| "missing \"overlap\" object".to_string())?;
     let overlap = OverlapPoint {
-        first_bytes_fetched: get("first_bytes_fetched")?,
-        second_bytes_fetched: get("second_bytes_fetched")?,
-        unique_missing_bytes: get("unique_missing_bytes")?,
-        shared_chunks: get("shared_chunks")?,
+        first_bytes_fetched: obj.u64_field("first_bytes_fetched")?,
+        second_bytes_fetched: obj.u64_field("second_bytes_fetched")?,
+        unique_missing_bytes: obj.u64_field("unique_missing_bytes")?,
+        shared_chunks: obj.u64_field("shared_chunks")?,
     };
     Ok(ParsedStoreReport {
         quick,

@@ -60,7 +60,7 @@ pub enum ChunkState {
 }
 
 /// The chunk index state machine (see module docs for the op set).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ChunkIndexState {
     chunks: HashMap<u64, ChunkState>,
     /// Chunks ever committed present.

@@ -50,14 +50,16 @@ pub struct StoreConfig {
 
 impl StoreConfig {
     /// Defaults: 1024-slot log of 8 KiB entries (8 MiB of global
-    /// memory), 256-hash batches, replicated index.
+    /// memory), 256-hash batches, node-replicated index (every serving
+    /// node both claims and commits, so the multi-writer batch tier
+    /// wins over per-op delegation or replicated tail checks).
     pub fn new(nodes: usize) -> Self {
         StoreConfig {
             nodes,
             log_capacity: 1024,
             log_entry_size: 8192,
             claim_batch: 256,
-            policy: SyncPolicy::Replicated,
+            policy: SyncPolicy::NodeReplicated,
         }
     }
 
@@ -183,14 +185,16 @@ impl ChunkStore {
             ChunkIndexState::default(),
         )?;
         // A claim op is 9 + 8·batch bytes, a commit op 9 + 20·batch:
-        // both must fit one log slot.
+        // both must fit one log slot after the slot header (16 B) and
+        // the SyncCell op frame.
         let max_op = 9 + 20 * cfg.claim_batch;
+        let overhead = 16 + flacdk::sync::FRAME_BYTES;
         assert!(
-            max_op + 16 <= cfg.log_entry_size,
+            max_op + overhead <= cfg.log_entry_size,
             "claim_batch {} needs {} B ops but log slots hold {} B",
             cfg.claim_batch,
             max_op,
-            cfg.log_entry_size - 16,
+            cfg.log_entry_size - overhead,
         );
         Ok(Arc::new(ChunkStore {
             cell,

@@ -1,0 +1,129 @@
+//! The adaptive policy driver: observe the op mix, propose a backend.
+
+use super::SyncPolicy;
+
+/// Tuning knobs for the adaptive policy driver.
+///
+/// The driver observes a window of operations, computes the read
+/// percentage, and proposes a backend: `>= promote_read_pct` →
+/// [`SyncPolicy::Replicated`]; `<= demote_read_pct` →
+/// [`SyncPolicy::NodeReplicated`] when the window saw two or more
+/// distinct writer nodes (batched appends amortize the fabric atomic),
+/// [`SyncPolicy::Delegated`] when one node produced every write (a
+/// single owner beats paying the combiner protocol); in between → keep
+/// the current one. The gap between the two thresholds plus the
+/// `confirm_windows` requirement (the proposal must repeat in
+/// consecutive windows) is the hysteresis that keeps a borderline
+/// workload from thrashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Operations per observation window.
+    pub window_ops: u64,
+    /// Read percentage at or above which replication is proposed.
+    pub promote_read_pct: u32,
+    /// Read percentage at or below which a write-oriented backend
+    /// (delegation or node replication) is proposed.
+    pub demote_read_pct: u32,
+    /// Consecutive agreeing windows required before switching.
+    pub confirm_windows: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window_ops: 64,
+            promote_read_pct: 80,
+            demote_read_pct: 60,
+            confirm_windows: 2,
+        }
+    }
+}
+
+/// The runtime state of the adaptive driver.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    cfg: AdaptiveConfig,
+    window_reads: u64,
+    window_writes: u64,
+    window_remote: u64,
+    /// Bitmask of nodes that wrote in this window (node 63 collects
+    /// every higher id; distinctness is all the driver needs).
+    window_writers: u64,
+    candidate: Option<SyncPolicy>,
+    streak: u32,
+}
+
+impl AdaptivePolicy {
+    pub(super) fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptivePolicy {
+            cfg,
+            window_reads: 0,
+            window_writes: 0,
+            window_remote: 0,
+            window_writers: 0,
+            candidate: None,
+            streak: 0,
+        }
+    }
+
+    /// Record one op; when the window closes, return the policy the
+    /// driver wants to switch to (hysteresis already applied).
+    pub(super) fn observe(
+        &mut self,
+        current: SyncPolicy,
+        is_read: bool,
+        remote: bool,
+        writer: Option<usize>,
+    ) -> Option<SyncPolicy> {
+        if is_read {
+            self.window_reads += 1;
+        } else {
+            self.window_writes += 1;
+        }
+        if remote {
+            self.window_remote += 1;
+        }
+        if let Some(node) = writer {
+            self.window_writers |= 1 << node.min(63);
+        }
+        let total = self.window_reads + self.window_writes;
+        if total < self.cfg.window_ops {
+            return None;
+        }
+        let read_pct = (100 * self.window_reads / total) as u32;
+        let multi_writer = self.window_writers.count_ones() >= 2;
+        self.window_reads = 0;
+        self.window_writes = 0;
+        self.window_remote = 0;
+        self.window_writers = 0;
+        let proposal = if read_pct >= self.cfg.promote_read_pct {
+            SyncPolicy::Replicated
+        } else if read_pct <= self.cfg.demote_read_pct {
+            if multi_writer {
+                SyncPolicy::NodeReplicated
+            } else {
+                SyncPolicy::Delegated
+            }
+        } else {
+            current
+        };
+        if proposal == current {
+            self.candidate = None;
+            self.streak = 0;
+            return None;
+        }
+        if self.candidate == Some(proposal) {
+            self.streak += 1;
+        } else {
+            self.candidate = Some(proposal);
+            self.streak = 1;
+        }
+        if self.streak >= self.cfg.confirm_windows {
+            self.candidate = None;
+            self.streak = 0;
+            Some(proposal)
+        } else {
+            None
+        }
+    }
+}

@@ -5,35 +5,45 @@
 //! through one audited abstraction. A [`SyncCell`] wraps a deterministic
 //! state machine (a [`SyncState`]) behind a uniform
 //! `read(|&T|)/update(op)` interface whose *backend* — locking,
-//! replication, delegation, or RCU — is chosen per structure at
-//! construction ([`SyncPolicy`]) and can be re-tuned at runtime from the
-//! observed read/write mix ([`AdaptiveConfig`], hysteresis included).
+//! replication, delegation, node replication, or RCU — is chosen per
+//! structure at construction ([`SyncPolicy`]) and can be re-tuned at
+//! runtime from the observed read/write mix ([`AdaptiveConfig`],
+//! hysteresis included).
 //!
 //! The design centers on a committed-operation log:
 //!
 //! * Every update is first **committed** to a [`SharedOpLog`] in global
-//!   memory (fabric CAS tail claim + publish + commit flag) and only
-//!   then folded into the state. The log is therefore the source of
-//!   truth: a policy switch drains to the log tail before flipping
-//!   (epoch-quiesced — no committed op is lost or reordered), and crash
-//!   recovery ([`SyncCell::on_node_crash`], [`SyncCell::replay`])
-//!   re-elects the delegation owner and replays the tail.
+//!   memory and only then folded into the state. Entries carry a uniform
+//!   `[node u32][seq u32]` frame so recovery can deduplicate re-appended
+//!   publications. The log is therefore the source of truth: a policy
+//!   switch drains to the log tail before flipping (epoch-quiesced — no
+//!   committed op is lost or reordered), and crash recovery
+//!   ([`SyncCell::on_node_crash`], [`SyncCell::replay`]) re-elects the
+//!   delegation owner or flat-combining combiner and replays the tail.
 //! * Per-policy behavior differs in which fabric operations wrap the
-//!   commit. Locking pays two fabric atomics plus the flush discipline
-//!   per section; replication makes reads node-local after a tail check
-//!   but charges each node the replay of foreign mutations; delegation
-//!   ships remote operations to the owner over the message fabric and
-//!   leaves owner operations local; RCU reads are a constant
-//!   version-cell load and writes pay a publish.
+//!   commit, and lives in one module per backend: [`lock`],
+//!   [`replicated`], [`delegated`], [`rcu`], and [`node_replicated`]
+//!   (flat-combined batched appends + per-node lazy replicas).
 //!
 //! Observability rides the PR-1 metrics layer: per-policy op counts,
 //! policy-switch events, and delegation queue depth land in the `sync/*`
 //! counter registry and surface in `Rack::metrics_report()`.
 
+mod adaptive;
+mod delegated;
+mod lock;
+mod node_replicated;
+mod rcu;
+mod replicated;
+
+pub use adaptive::{AdaptiveConfig, AdaptivePolicy};
+
 use crate::hw::GlobalCell;
 use crate::sync::oplog::SharedOpLog;
 use crate::sync::spinlock::GlobalSpinLock;
-use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
+use node_replicated::Replica;
+use rack_sim::{GAddr, GlobalMemory, NodeCtx, NodeId, SimError, LINE_SIZE};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A deterministic state machine managed by a [`SyncCell`].
@@ -42,7 +52,9 @@ use std::sync::Arc;
 /// committed op sequence from the same initial state must reproduce the
 /// same final state on any node (that is what makes policy switches and
 /// crash recovery lossless). Malformed ops must be ignored, not panic.
-pub trait SyncState: Send + std::fmt::Debug + 'static {
+/// `Clone` materializes per-node replicas for the node-replicated
+/// backend (a clone is a consistent snapshot at a log position).
+pub trait SyncState: Send + Clone + std::fmt::Debug + 'static {
     /// Fold one committed operation into the state.
     fn apply(&mut self, op: &[u8]);
 }
@@ -58,11 +70,16 @@ pub enum SyncPolicy {
     Replicated,
     /// ffwd-style delegation: one owner node executes all operations;
     /// remote nodes ship requests over the message fabric. Best
-    /// write-heavy.
+    /// write-heavy with a single hot writer.
     Delegated,
     /// Epoch/RCU multi-version: constant-cost reads off a version cell;
     /// writes pay a publish. Best scan-heavy.
     Rcu,
+    /// Flat-combined node replication: writers publish into per-node
+    /// slots, one crash-re-electable combiner appends the whole batch
+    /// with a single fabric CAS, and reads come off per-node lazy
+    /// replicas. Best write-heavy with writers spread across nodes.
+    NodeReplicated,
 }
 
 impl SyncPolicy {
@@ -73,6 +90,7 @@ impl SyncPolicy {
             SyncPolicy::Replicated => 1,
             SyncPolicy::Delegated => 2,
             SyncPolicy::Rcu => 3,
+            SyncPolicy::NodeReplicated => 4,
         }
     }
 
@@ -83,6 +101,7 @@ impl SyncPolicy {
             1 => SyncPolicy::Replicated,
             2 => SyncPolicy::Delegated,
             3 => SyncPolicy::Rcu,
+            4 => SyncPolicy::NodeReplicated,
             _ => SyncPolicy::Lock,
         }
     }
@@ -94,6 +113,7 @@ impl SyncPolicy {
             SyncPolicy::Replicated => "replicated",
             SyncPolicy::Delegated => "delegated",
             SyncPolicy::Rcu => "rcu",
+            SyncPolicy::NodeReplicated => "node_replicated",
         }
     }
 
@@ -103,6 +123,7 @@ impl SyncPolicy {
             SyncPolicy::Replicated => "ops_replicated",
             SyncPolicy::Delegated => "ops_delegated",
             SyncPolicy::Rcu => "ops_rcu",
+            SyncPolicy::NodeReplicated => "ops_node_replicated",
         }
     }
 }
@@ -113,106 +134,29 @@ impl std::fmt::Display for SyncPolicy {
     }
 }
 
-/// Tuning knobs for the adaptive policy driver.
-///
-/// The driver observes a window of operations, computes the read
-/// percentage, and proposes a backend: `>= promote_read_pct` →
-/// [`SyncPolicy::Replicated`], `<= demote_read_pct` →
-/// [`SyncPolicy::Delegated`], in between → keep the current one. The gap
-/// between the two thresholds plus the `confirm_windows` requirement
-/// (the proposal must repeat in consecutive windows) is the hysteresis
-/// that keeps a borderline workload from thrashing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AdaptiveConfig {
-    /// Operations per observation window.
-    pub window_ops: u64,
-    /// Read percentage at or above which replication is proposed.
-    pub promote_read_pct: u32,
-    /// Read percentage at or below which delegation is proposed.
-    pub demote_read_pct: u32,
-    /// Consecutive agreeing windows required before switching.
-    pub confirm_windows: u32,
+/// Bytes of entry framing the cell prepends to every op: `[node u32]`
+/// `[seq u32]`, little-endian. Recovery uses the pair as a dedup key so
+/// a re-appended publication is never applied twice.
+pub const FRAME_BYTES: usize = 8;
+
+/// Prepend the `[node][seq]` frame to `op`.
+fn frame_op(node: u32, seq: u32, op: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(FRAME_BYTES + op.len());
+    v.extend_from_slice(&node.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(op);
+    v
 }
 
-impl Default for AdaptiveConfig {
-    fn default() -> Self {
-        AdaptiveConfig {
-            window_ops: 64,
-            promote_read_pct: 80,
-            demote_read_pct: 60,
-            confirm_windows: 2,
-        }
+/// Split a framed payload into its dedup key and the raw op bytes.
+/// `None` for malformed (too-short) payloads, which drains skip.
+fn unframe(payload: &[u8]) -> Option<(u64, &[u8])> {
+    if payload.len() < FRAME_BYTES {
+        return None;
     }
-}
-
-/// The runtime state of the adaptive driver.
-#[derive(Debug, Clone)]
-pub struct AdaptivePolicy {
-    cfg: AdaptiveConfig,
-    window_reads: u64,
-    window_writes: u64,
-    window_remote: u64,
-    candidate: Option<SyncPolicy>,
-    streak: u32,
-}
-
-impl AdaptivePolicy {
-    fn new(cfg: AdaptiveConfig) -> Self {
-        AdaptivePolicy {
-            cfg,
-            window_reads: 0,
-            window_writes: 0,
-            window_remote: 0,
-            candidate: None,
-            streak: 0,
-        }
-    }
-
-    /// Record one op; when the window closes, return the policy the
-    /// driver wants to switch to (hysteresis already applied).
-    fn observe(&mut self, current: SyncPolicy, is_read: bool, remote: bool) -> Option<SyncPolicy> {
-        if is_read {
-            self.window_reads += 1;
-        } else {
-            self.window_writes += 1;
-        }
-        if remote {
-            self.window_remote += 1;
-        }
-        let total = self.window_reads + self.window_writes;
-        if total < self.cfg.window_ops {
-            return None;
-        }
-        let read_pct = (100 * self.window_reads / total) as u32;
-        self.window_reads = 0;
-        self.window_writes = 0;
-        self.window_remote = 0;
-        let proposal = if read_pct >= self.cfg.promote_read_pct {
-            SyncPolicy::Replicated
-        } else if read_pct <= self.cfg.demote_read_pct {
-            SyncPolicy::Delegated
-        } else {
-            current
-        };
-        if proposal == current {
-            self.candidate = None;
-            self.streak = 0;
-            return None;
-        }
-        if self.candidate == Some(proposal) {
-            self.streak += 1;
-        } else {
-            self.candidate = Some(proposal);
-            self.streak = 1;
-        }
-        if self.streak >= self.cfg.confirm_windows {
-            self.candidate = None;
-            self.streak = 0;
-            Some(proposal)
-        } else {
-            None
-        }
-    }
+    let node = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let seq = u32::from_le_bytes(payload[4..8].try_into().ok()?);
+    Some(((u64::from(node) << 32) | u64::from(seq), &payload[8..]))
 }
 
 /// Construction parameters for a [`SyncCell`].
@@ -222,14 +166,16 @@ pub struct SyncCellConfig {
     pub nodes: usize,
     /// Committed-op log capacity in slots.
     pub log_capacity: usize,
-    /// Log slot size in bytes (16 of which are metadata).
+    /// Log slot size in bytes (16 of which are slot metadata; another
+    /// [`FRAME_BYTES`] of the payload are the cell's entry frame).
     pub entry_size: usize,
     /// Initial backend.
     pub policy: SyncPolicy,
     /// Enable the adaptive driver with these knobs.
     pub adaptive: Option<AdaptiveConfig>,
     /// Approximate protected-state footprint in bytes, used by the Lock
-    /// and RCU backends to charge the flush discipline.
+    /// and RCU backends to charge the flush discipline and by replica
+    /// materialization to charge the snapshot fetch.
     pub footprint_bytes: usize,
 }
 
@@ -309,6 +255,23 @@ pub struct SyncCell<T: SyncState> {
     version: GlobalCell,
     /// Serializes policy switches and the Lock backend.
     lock: GlobalSpinLock,
+    /// Per-node publication slots in global memory (flat combining).
+    slots: GAddr,
+    slot_stride: usize,
+    /// Largest framed payload a publication slot (and log entry) holds.
+    slot_payload_cap: usize,
+    /// Flat-combining claim word: node id + 1, 0 = free.
+    combiner: GlobalCell,
+    /// Summary bitmask of nodes with a pending publication: one fabric
+    /// read tells the combiner which slots to scan (bit n = node n).
+    pending_mask: GlobalCell,
+    /// Serializes same-node publishers (one in-flight publication per
+    /// node's slot).
+    slot_locks: Vec<rack_sim::sync::Mutex<()>>,
+    /// Lazily materialized per-node replicas (node-replicated reads).
+    replicas: Vec<rack_sim::sync::Mutex<Option<Replica<T>>>>,
+    /// Per-node publication sequence numbers (entry framing).
+    seqs: Vec<AtomicU64>,
     footprint_bytes: usize,
     inner: rack_sim::sync::Mutex<CellInner<T>>,
 }
@@ -334,6 +297,10 @@ impl<T: SyncState> SyncCell<T> {
         init: T,
     ) -> Result<Arc<Self>, SimError> {
         assert!(cfg.nodes > 0, "a sync cell needs at least one node");
+        assert!(
+            cfg.nodes <= 64,
+            "the publication summary mask addresses at most 64 nodes"
+        );
         let log = SharedOpLog::alloc(global, cfg.log_capacity, cfg.entry_size)?;
         let applied_cells = (0..cfg.nodes)
             .map(|_| GlobalCell::alloc(global, 0))
@@ -344,6 +311,17 @@ impl<T: SyncState> SyncCell<T> {
         let switch_epoch = GlobalCell::alloc(global, 0)?;
         let version = GlobalCell::alloc(global, 0)?;
         let lock = GlobalSpinLock::alloc(global)?;
+        let slot_payload_cap = SharedOpLog::payload_capacity(cfg.entry_size);
+        // Slot layout: [state u64][len u64][packed framed ops]; one slot
+        // per node, line-aligned so combiner flushes never alias. Sized
+        // so at least one maximum-size framed op plus its pack header
+        // fits; the slack lets publishers batch several smaller ops into
+        // one publication.
+        let slot_stride =
+            (16 + node_replicated::PACK_BYTES + slot_payload_cap).div_ceil(LINE_SIZE) * LINE_SIZE;
+        let slots = global.alloc(cfg.nodes * slot_stride, LINE_SIZE)?;
+        let combiner = GlobalCell::alloc(global, 0)?;
+        let pending_mask = GlobalCell::alloc(global, 0)?;
         Ok(Arc::new(SyncCell {
             name,
             log,
@@ -353,6 +331,18 @@ impl<T: SyncState> SyncCell<T> {
             switch_epoch,
             version,
             lock,
+            slots,
+            slot_stride,
+            slot_payload_cap,
+            combiner,
+            pending_mask,
+            slot_locks: (0..cfg.nodes)
+                .map(|_| rack_sim::sync::Mutex::new(()))
+                .collect(),
+            replicas: (0..cfg.nodes)
+                .map(|_| rack_sim::sync::Mutex::new(None))
+                .collect(),
+            seqs: (0..cfg.nodes).map(|_| AtomicU64::new(0)).collect(),
             footprint_bytes: cfg.footprint_bytes,
             inner: rack_sim::sync::Mutex::new(CellInner {
                 state: init,
@@ -434,9 +424,15 @@ impl<T: SyncState> SyncCell<T> {
         id
     }
 
+    /// Next publication sequence number for `node`'s entry frames.
+    fn next_seq(&self, node: usize) -> u32 {
+        self.seqs[node].fetch_add(1, Ordering::Relaxed) as u32
+    }
+
     /// Fold committed entries `[inner.applied, target)` into the state.
     /// Claimed-but-uncommitted holes (appender crashed mid-publish) are
-    /// skipped: their op was never acknowledged to anyone.
+    /// skipped: their op was never acknowledged to anyone. Uses the
+    /// bounds-checked log read (recovery-safe).
     fn drain_to(
         &self,
         ctx: &NodeCtx,
@@ -445,10 +441,13 @@ impl<T: SyncState> SyncCell<T> {
     ) -> Result<(), SimError> {
         while inner.applied < target {
             match self.log.read(ctx, inner.applied)? {
-                Some(op) => {
-                    inner.state.apply(&op);
-                    ctx.charge(ctx.latency().local_write_ns);
-                }
+                Some(payload) => match unframe(&payload) {
+                    Some((_, op)) => {
+                        inner.state.apply(op);
+                        ctx.charge(ctx.latency().local_write_ns);
+                    }
+                    None => inner.holes += 1,
+                },
                 None => inner.holes += 1,
             }
             inner.applied += 1;
@@ -456,41 +455,27 @@ impl<T: SyncState> SyncCell<T> {
         Ok(())
     }
 
-    /// Charge node `me`'s replicated catch-up replay from its watermark
-    /// to `target`, touching the real log slots.
-    fn charge_catch_up(
+    /// [`SyncCell::drain_to`] over the cheap unchecked entry read — the
+    /// caller must have loaded a `target` at or below the current tail.
+    fn drain_to_cheap(
         &self,
         ctx: &NodeCtx,
         inner: &mut CellInner<T>,
-        me: usize,
         target: u64,
     ) -> Result<(), SimError> {
-        if inner.synced[me] >= target {
-            return Ok(());
+        while inner.applied < target {
+            match self.log.read_entry(ctx, inner.applied)? {
+                Some(payload) => match unframe(&payload) {
+                    Some((_, op)) => {
+                        inner.state.apply(op);
+                        ctx.charge(ctx.latency().local_write_ns);
+                    }
+                    None => inner.holes += 1,
+                },
+                None => inner.holes += 1,
+            }
+            inner.applied += 1;
         }
-        let head = self.log.head(ctx)?;
-        if inner.synced[me] < head {
-            // The entries this replica missed were garbage collected:
-            // model a bulk snapshot fetch (one fabric read of the state
-            // footprint) instead of per-entry replay.
-            let lat = ctx.latency();
-            ctx.charge(
-                lines(self.footprint_bytes) * (lat.invalidate_line_ns + lat.local_write_ns)
-                    + lat.global_read_ns,
-            );
-            inner.synced[me] = head;
-        }
-        let mut idx = inner.synced[me];
-        while idx < target {
-            // The replica replays the committed entry: wire read + local
-            // apply. The state itself was already folded at commit time;
-            // this is the per-node cost of the replication family.
-            let _ = self.log.read(ctx, idx)?;
-            ctx.charge(ctx.latency().local_write_ns);
-            idx += 1;
-        }
-        inner.synced[me] = target;
-        self.applied_cells[me].store(ctx, target)?;
         Ok(())
     }
 
@@ -504,58 +489,25 @@ impl<T: SyncState> SyncCell<T> {
         is_read: bool,
         op_len: usize,
     ) -> Result<bool, SimError> {
-        let lat = ctx.latency();
         match inner.policy {
             SyncPolicy::Lock => {
-                // Whole section under the fabric lock; the flush
-                // discipline (invalidate before read, write back after
-                // write) is what locking costs on a non-coherent fabric.
-                let guard = self.lock.lock(ctx)?;
-                let l = lines(self.footprint_bytes);
-                if is_read {
-                    ctx.charge(l * lat.invalidate_line_ns + lat.global_read_ns);
-                } else {
-                    ctx.charge(
-                        l * lat.invalidate_line_ns + lat.global_read_ns + l * lat.writeback_line_ns,
-                    );
-                }
-                guard.unlock()?;
+                self.lock_pre_op(ctx, is_read)?;
                 Ok(false)
             }
             SyncPolicy::Replicated => {
-                let tail = self.log.tail(ctx)?;
-                self.charge_catch_up(ctx, inner, me, tail)?;
+                self.replicated_pre_op(ctx, inner, me)?;
                 Ok(false)
             }
-            SyncPolicy::Delegated => {
-                if me == inner.owner_hint {
-                    // Owner fast path: operations run in local memory;
-                    // an op also drains the simulated request queue.
-                    inner.queue_depth = 0;
-                    Ok(false)
-                } else {
-                    // Request + reply ride the message fabric.
-                    let req = 24 + op_len;
-                    ctx.charge(lat.message_ns(1, req) + lat.message_ns(1, 16));
-                    ctx.charge(lat.local_read_ns + lat.local_write_ns);
-                    inner.queue_depth += 1;
-                    inner.queue_peak = inner.queue_peak.max(inner.queue_depth);
-                    let reg = ctx.stats().registry();
-                    reg.add("sync", "delegation_queued", 1);
-                    reg.add("sync", "delegation_queue_depth", inner.queue_depth);
-                    Ok(true)
-                }
-            }
+            SyncPolicy::Delegated => self.delegated_pre_op(ctx, inner, me, op_len),
             SyncPolicy::Rcu => {
-                // Readers ride the version cell; writers publish a fresh
-                // version (write-back) and bump it with a fabric atomic.
-                let _ = self.version.load(ctx)?;
-                if is_read {
-                    ctx.charge(lat.invalidate_line_ns);
-                } else {
-                    ctx.charge(lines(op_len.max(1)) * lat.writeback_line_ns);
-                    self.version.fetch_add(ctx, 1)?;
-                }
+                self.rcu_pre_op(ctx, is_read, op_len)?;
+                Ok(false)
+            }
+            SyncPolicy::NodeReplicated => {
+                // Writes take the flat-combining path before pre_op; only
+                // linearization-sensitive reads land here.
+                debug_assert!(is_read, "node-replicated writes use the combiner path");
+                self.nr_read_pre_op(ctx, inner)?;
                 Ok(false)
             }
         }
@@ -567,6 +519,7 @@ impl<T: SyncState> SyncCell<T> {
         &self,
         ctx: &NodeCtx,
         inner: &mut CellInner<T>,
+        me: usize,
         is_read: bool,
         remote: bool,
     ) -> Result<(), SimError> {
@@ -574,8 +527,9 @@ impl<T: SyncState> SyncCell<T> {
             .registry()
             .add("sync", inner.policy.ops_counter(), 1);
         let current = inner.policy;
+        let writer = if is_read { None } else { Some(me) };
         let target = match inner.adaptive.as_mut() {
-            Some(driver) => driver.observe(current, is_read, remote),
+            Some(driver) => driver.observe(current, is_read, remote, writer),
             None => None,
         };
         if let Some(target) = target {
@@ -584,7 +538,9 @@ impl<T: SyncState> SyncCell<T> {
         Ok(())
     }
 
-    /// Read the state through the current policy.
+    /// Read the state through the current policy (linearizable: the
+    /// node-replicated backend catches up to the log tail first; see
+    /// [`SyncCell::read_local`] for the zero-fabric replica path).
     ///
     /// # Errors
     ///
@@ -595,7 +551,7 @@ impl<T: SyncState> SyncCell<T> {
         let remote = self.pre_op(ctx, &mut inner, me, true, 0)?;
         ctx.charge(ctx.latency().local_read_ns);
         let out = f(&inner.state);
-        self.post_op(ctx, &mut inner, true, remote)?;
+        self.post_op(ctx, &mut inner, me, true, remote)?;
         Ok(out)
     }
 
@@ -625,9 +581,22 @@ impl<T: SyncState> SyncCell<T> {
         f: impl FnOnce(&T) -> R,
     ) -> Result<(u64, R), SimError> {
         let me = self.me(ctx);
+        {
+            let inner = self.inner.lock();
+            if inner.policy == SyncPolicy::NodeReplicated {
+                drop(inner);
+                return self.nr_update_map(ctx, op, f);
+            }
+        }
+        let framed = frame_op(me as u32, self.next_seq(me), op);
         let mut inner = self.inner.lock();
+        if inner.policy == SyncPolicy::NodeReplicated {
+            // Lost a race with an adaptive switch; take the new path.
+            drop(inner);
+            return self.nr_update_map(ctx, op, f);
+        }
         let remote = self.pre_op(ctx, &mut inner, me, false, op.len())?;
-        let idx = self.log.append(ctx, op)?;
+        let idx = self.log.append(ctx, &framed)?;
         // Fold any holes left by crashed appenders, then our own op.
         self.drain_to(ctx, &mut inner, idx)?;
         inner.state.apply(op);
@@ -638,7 +607,7 @@ impl<T: SyncState> SyncCell<T> {
             self.applied_cells[me].store(ctx, idx + 1)?;
         }
         let out = f(&inner.state);
-        self.post_op(ctx, &mut inner, false, remote)?;
+        self.post_op(ctx, &mut inner, me, false, remote)?;
         Ok((idx, out))
     }
 
@@ -691,10 +660,12 @@ impl<T: SyncState> SyncCell<T> {
         self.switch_locked(ctx, &mut inner, target)
     }
 
-    /// Crash recovery: if `crashed` owned the delegated partition,
-    /// re-elect the calling node and replay the committed log tail into
-    /// the state. Safe (and cheap) to call for any policy — committed
-    /// ops are always drained. Returns whether a re-election happened.
+    /// Crash recovery: drain the committed tail, re-elect the delegation
+    /// owner if `crashed` held it, and — on the node-replicated backend —
+    /// take over a dead combiner: its publication slots are drained with
+    /// dedup against the committed log so no published op is lost or
+    /// applied twice. Safe (and cheap) to call for any policy. Returns
+    /// whether a re-election happened.
     ///
     /// # Errors
     ///
@@ -705,18 +676,10 @@ impl<T: SyncState> SyncCell<T> {
         self.drain_to(ctx, &mut inner, tail)?;
         let mut reelected = false;
         if inner.policy == SyncPolicy::Delegated && inner.owner_hint == crashed.0 {
-            let me = self.me(ctx);
-            let dead = crashed.0 as u64 + 1;
-            let prev = self.owner.compare_exchange(ctx, dead, me as u64 + 1)?;
-            inner.owner_hint = if prev == dead {
-                me
-            } else {
-                (prev - 1) as usize
-            };
-            inner.queue_depth = 0;
-            // cold-path: re-election only fires after a combiner crash.
-            ctx.stats().registry().add("sync", "reelections", 1);
-            reelected = true;
+            reelected = self.delegated_recover(ctx, &mut inner, crashed)?;
+        }
+        if inner.policy == SyncPolicy::NodeReplicated {
+            reelected = self.nr_recover(ctx, &mut inner, crashed)?;
         }
         Ok(reelected)
     }
@@ -734,9 +697,11 @@ impl<T: SyncState> SyncCell<T> {
         let tail = self.log.tail(ctx)?;
         let mut replayed = 0;
         for idx in head..tail {
-            if let Some(op) = self.log.read(ctx, idx)? {
-                init.apply(&op);
-                replayed += 1;
+            if let Some(payload) = self.log.read(ctx, idx)? {
+                if let Some((_, op)) = unframe(&payload) {
+                    init.apply(op);
+                    replayed += 1;
+                }
             }
         }
         Ok((init, replayed))
@@ -790,7 +755,7 @@ mod tests {
     use rack_sim::{Rack, RackConfig};
 
     /// Toy state: an ordered map under `insert(k, v)` / `remove(k)` ops.
-    #[derive(Debug, Default, PartialEq)]
+    #[derive(Debug, Default, Clone, PartialEq)]
     struct Kv {
         map: std::collections::BTreeMap<u64, u64>,
         ops: u64,
@@ -845,6 +810,7 @@ mod tests {
             SyncPolicy::Replicated,
             SyncPolicy::Delegated,
             SyncPolicy::Rcu,
+            SyncPolicy::NodeReplicated,
         ] {
             let rack = Rack::new(RackConfig::small_test());
             let c = cell(&rack, policy);
@@ -861,12 +827,14 @@ mod tests {
 
     #[test]
     fn update_map_sees_post_op_state() {
-        let rack = Rack::new(RackConfig::small_test());
-        let c = cell(&rack, SyncPolicy::Delegated);
-        let (idx, len) = c
-            .update_map(&rack.node(0), &ins(7, 70), |kv| kv.map.len())
-            .unwrap();
-        assert_eq!((idx, len), (0, 1));
+        for policy in [SyncPolicy::Delegated, SyncPolicy::NodeReplicated] {
+            let rack = Rack::new(RackConfig::small_test());
+            let c = cell(&rack, policy);
+            let (idx, len) = c
+                .update_map(&rack.node(0), &ins(7, 70), |kv| kv.map.len())
+                .unwrap();
+            assert_eq!((idx, len), (0, 1), "{policy}");
+        }
     }
 
     #[test]
@@ -892,6 +860,25 @@ mod tests {
     }
 
     #[test]
+    fn switch_through_node_replicated_preserves_state() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c = cell(&rack, SyncPolicy::Delegated);
+        let n0 = rack.node(0);
+        for i in 0..8 {
+            c.update(&n0, &ins(i, i)).unwrap();
+        }
+        assert!(c.set_policy(&n0, SyncPolicy::NodeReplicated).unwrap());
+        for i in 8..16 {
+            c.update(&rack.node((i % 2) as usize), &ins(i, i)).unwrap();
+        }
+        assert!(c.set_policy(&n0, SyncPolicy::Replicated).unwrap());
+        assert_eq!(c.read(&n0, |kv| kv.map.len()).unwrap(), 16);
+        let (rebuilt, replayed) = c.replay(&n0, Kv::default()).unwrap();
+        assert_eq!(replayed, 16);
+        assert_eq!(c.peek(|kv| kv.clone()), rebuilt);
+    }
+
+    #[test]
     fn owner_crash_reelects_and_keeps_committed_ops() {
         let rack = Rack::new(RackConfig::small_test());
         let c = cell(&rack, SyncPolicy::Delegated);
@@ -910,7 +897,9 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_switches_to_delegation_under_writes() {
+    fn adaptive_targets_write_tier_by_writer_spread() {
+        // Multi-writer write-heavy → node replication (batched appends);
+        // read-mostly → replication.
         let rack = Rack::new(RackConfig::small_test());
         let c: Arc<SyncCell<Kv>> = SyncCell::alloc(
             rack.global(),
@@ -927,7 +916,11 @@ mod tests {
         for i in 0..64 {
             c.update(&rack.node((i % 2) as usize), &ins(i, i)).unwrap();
         }
-        assert_eq!(c.policy(), SyncPolicy::Delegated, "write-heavy → delegate");
+        assert_eq!(
+            c.policy(),
+            SyncPolicy::NodeReplicated,
+            "write-heavy from two nodes → flat-combined node replication"
+        );
         assert!(c.switch_epoch(&n0).unwrap() >= 1);
         // Now read-mostly: the driver promotes back to replication.
         for i in 0..96 {
@@ -945,6 +938,31 @@ mod tests {
         // State stayed intact across both switches.
         let (rebuilt, _) = c.replay(&n0, Kv::default()).unwrap();
         assert_eq!(c.peek(|kv| kv.map.clone()), rebuilt.map);
+    }
+
+    #[test]
+    fn adaptive_single_writer_still_delegates() {
+        let rack = Rack::new(RackConfig::small_test());
+        let c: Arc<SyncCell<Kv>> = SyncCell::alloc(
+            rack.global(),
+            "test_adaptive_single",
+            SyncCellConfig::new(2, SyncPolicy::Replicated).with_adaptive(AdaptiveConfig {
+                window_ops: 16,
+                confirm_windows: 2,
+                ..AdaptiveConfig::default()
+            }),
+            Kv::default(),
+        )
+        .unwrap();
+        let n0 = rack.node(0);
+        for i in 0..64 {
+            c.update(&n0, &ins(i, i)).unwrap();
+        }
+        assert_eq!(
+            c.policy(),
+            SyncPolicy::Delegated,
+            "one hot writer → delegation, not batching"
+        );
     }
 
     #[test]

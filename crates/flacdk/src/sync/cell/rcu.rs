@@ -1,0 +1,24 @@
+//! The `Rcu` backend: constant-cost reads off a version cell; writers
+//! publish a fresh version and bump it with a fabric atomic.
+
+use super::{lines, SyncCell, SyncState};
+use rack_sim::{NodeCtx, SimError};
+
+impl<T: SyncState> SyncCell<T> {
+    pub(super) fn rcu_pre_op(
+        &self,
+        ctx: &NodeCtx,
+        is_read: bool,
+        op_len: usize,
+    ) -> Result<(), SimError> {
+        let lat = ctx.latency();
+        let _ = self.version.load(ctx)?;
+        if is_read {
+            ctx.charge(lat.invalidate_line_ns);
+        } else {
+            ctx.charge(lines(op_len.max(1)) * lat.writeback_line_ns);
+            self.version.fetch_add(ctx, 1)?;
+        }
+        Ok(())
+    }
+}

@@ -28,7 +28,9 @@ pub mod reclaim;
 pub mod replicated;
 pub mod spinlock;
 
-pub use cell::{AdaptiveConfig, SyncCell, SyncCellConfig, SyncPolicy, SyncRecover, SyncState};
+pub use cell::{
+    AdaptiveConfig, SyncCell, SyncCellConfig, SyncPolicy, SyncRecover, SyncState, FRAME_BYTES,
+};
 pub use delegation::{DelegationClient, DelegationServer, Service};
 pub use oplog::SharedOpLog;
 pub use rcu::{EpochManager, RcuHandle, VersionedCell};

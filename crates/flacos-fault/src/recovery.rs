@@ -379,7 +379,7 @@ mod tests {
     fn node_crash_reelects_attached_sync_cells() {
         use flacdk::sync::{SyncCell, SyncCellConfig, SyncPolicy, SyncState};
 
-        #[derive(Debug, Default)]
+        #[derive(Debug, Default, Clone)]
         struct Counter(u64);
         impl SyncState for Counter {
             fn apply(&mut self, _op: &[u8]) {

@@ -34,7 +34,7 @@ pub struct BlockStats {
 }
 
 /// The shared block map: which pages the device holds.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct BlockMap {
     present: BTreeSet<u64>,
     writes: u64,
@@ -88,7 +88,7 @@ impl BlockDevice {
             map: SyncCell::alloc(
                 global,
                 "block_map",
-                SyncCellConfig::new(nodes, SyncPolicy::Lock).with_log(8192, 32),
+                SyncCellConfig::new(nodes, SyncPolicy::Lock).with_log(8192, 48),
                 BlockMap::default(),
             )?,
             read_ns,

@@ -44,7 +44,7 @@ pub struct PageCacheStats {
 /// [`SyncCell`]: every mutation is a committed op, so the sets stay
 /// consistent across nodes without assuming hardware coherence, and a
 /// node crash mid-writeback can replay them.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PageSets {
     dirty: BTreeSet<u64>,
     resident: BTreeSet<u64>,
@@ -149,7 +149,7 @@ impl SharedPageCache {
         let sets = SyncCell::alloc(
             global,
             "page_cache_sets",
-            SyncCellConfig::new(epochs.nodes(), SyncPolicy::Delegated).with_log(8192, 32),
+            SyncCellConfig::new(epochs.nodes(), SyncPolicy::Delegated).with_log(8192, 48),
             PageSets::default(),
         )?;
         let ctrs = (0..epochs.nodes())

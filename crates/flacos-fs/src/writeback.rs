@@ -64,7 +64,7 @@ impl WritebackDaemon {
             stats: SyncCell::alloc(
                 global,
                 "writeback_stats",
-                SyncCellConfig::new(nodes, SyncPolicy::Delegated).with_log(4096, 32),
+                SyncCellConfig::new(nodes, SyncPolicy::Delegated).with_log(4096, 48),
                 WritebackStats::default(),
             )?,
         })

@@ -45,7 +45,7 @@ pub const AS_SWITCH_NS: u64 = 180;
 /// The shared membership table: which service ids are published. This is
 /// the rack-visible part of the registry — resolved on every call, so it
 /// is read-mostly and defaults to replication.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct RpcTable {
     ids: BTreeSet<u64>,
 }

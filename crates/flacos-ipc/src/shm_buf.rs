@@ -56,7 +56,7 @@ impl ShmDescriptor {
 /// would dominate the message cost; instead each node accumulates a
 /// local delta and flushes the net change as one committed op every
 /// [`SHM_FLUSH_BATCH`] events (the per-CPU-counter idiom).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ShmAccounting {
     outstanding: u64,
 }
@@ -100,7 +100,7 @@ impl ShmBufferPool {
             accounting: SyncCell::alloc(
                 global,
                 "shm_accounting",
-                SyncCellConfig::new(nodes, SyncPolicy::Delegated).with_log(4096, 32),
+                SyncCellConfig::new(nodes, SyncPolicy::NodeReplicated).with_log(4096, 48),
                 ShmAccounting::default(),
             )?,
             pending: Arc::new(std::sync::atomic::AtomicI64::new(0)),

@@ -16,7 +16,7 @@ use rack_sim::{GlobalMemory, NodeCtx, NodeId, SimError};
 use std::sync::Arc;
 
 /// The shared run-queue lengths, one slot per node.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct SchedState {
     load: Vec<u64>,
 }
@@ -65,8 +65,8 @@ impl RackScheduler {
         let cell = SyncCell::alloc(
             global,
             "sched_load",
-            SyncCellConfig::new(nodes, SyncPolicy::Replicated)
-                .with_log(8192, 32)
+            SyncCellConfig::new(nodes, SyncPolicy::NodeReplicated)
+                .with_log(8192, 48)
                 .with_adaptive(AdaptiveConfig::default()),
             SchedState {
                 load: vec![0; nodes],

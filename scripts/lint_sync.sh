@@ -23,6 +23,13 @@
 # rebuilt to remove (debug builds also enforce it dynamically via the
 # lockdep counter). Escape hatch: annotate the call, or one of the three
 # preceding lines, with `// fill-publish: <why>`.
+#
+# Fourth check: outside crates/flacdk, a direct `SharedOpLog::append`
+# bypasses the flat-combining batcher and pays one interconnect CAS per
+# op — the exact serialization the node-replicated tier amortizes away.
+# Any `.append(` call in a non-flacdk file that names `SharedOpLog` must
+# carry a `// single-op: <why>` annotation (same 3-line lookback);
+# `append_batch` is the blessed path and never flagged.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,6 +109,25 @@ if ! check_fabric_under_lock crates/rack-sim/src/cache.rs; then
     fail=1
 fi
 
+while IFS=: read -r file line text; do
+    stripped="${text#"${text%%[![:space:]]*}"}"
+    case "$stripped" in
+    //*) continue ;;
+    esac
+    # `.append_batch(` is the amortized path; only bare `.append(` counts.
+    case "$text" in
+    *"append_batch("*) continue ;;
+    *"single-op:"*) continue ;;
+    esac
+    start=$((line > 3 ? line - 3 : 1))
+    if sed -n "${start},$((line - 1))p" "$file" | grep -q "single-op:"; then
+        continue
+    fi
+    echo "lint_sync: $file:$line: direct SharedOpLog::append outside flacdk: $stripped" >&2
+    fail=1
+done < <(grep -rl --include='*.rs' 'SharedOpLog' crates tests --exclude-dir=flacdk 2>/dev/null |
+    xargs -r grep -n '\.append(' /dev/null 2>/dev/null || true)
+
 if [ "$fail" -ne 0 ]; then
     echo "lint_sync: FAILED — migrate the state onto flacdk::sync::SyncCell" >&2
     echo "lint_sync: or annotate the declaration with '// coherent-local: <why>'." >&2
@@ -109,6 +135,8 @@ if [ "$fail" -ne 0 ]; then
     echo "lint_sync: or annotate the call with '// cold-path: <why>'." >&2
     echo "lint_sync: for fabric-under-lock, stage the bytes and drop the" >&2
     echo "lint_sync: bank guard first, or annotate '// fill-publish: <why>'." >&2
+    echo "lint_sync: for SharedOpLog::append outside flacdk, batch through" >&2
+    echo "lint_sync: append_batch/nr_publish_batch or annotate '// single-op: <why>'." >&2
     exit 1
 fi
 echo "lint_sync: OK"

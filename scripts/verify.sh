@@ -46,8 +46,15 @@ cargo run --release --offline -p bench --bin figures -- tiering
 echo "== tiering fault-storm campaign (fixed seeds, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --tiering --seeds 2 --steps 60 --verify
 
-echo "== sync-cell fault-storm campaign (owner crashes, replay-verified) =="
+echo "== sync-cell fault-storm campaigns (owner + combiner crashes, replay-verified) =="
 cargo run --release --offline -p bench --bin flac-faultstorm -- --sync --seeds 2 --steps 60 --verify
+
+echo "== sync-scale smoke (flat-combining gate, JSON shape + invariants) =="
+cargo run --release --offline -p bench --bin flac-sync-scale -- \
+    --quick --out target/BENCH_sync.quick.json --gate
+
+echo "== committed BENCH_sync.json honors the node-replication acceptance targets =="
+cargo run --release --offline -p bench --bin flac-sync-scale -- --check BENCH_sync.json
 
 echo "== store-scale smoke (~1 s shard sweep + overlap gate, JSON shape + invariants) =="
 cargo run --release --offline -p bench --bin flac-store-scale -- \

@@ -94,6 +94,7 @@ fn oplog_appends_from_threads_claim_distinct_committed_slots() {
             s.spawn(move || {
                 for i in 0..PER_THREAD {
                     let payload = ((t * PER_THREAD + i) as u64).to_le_bytes();
+                    // single-op: stress races the bare CAS path on purpose.
                     log.append(&node, &payload).unwrap();
                 }
             });
