@@ -1,29 +1,28 @@
-//! `flac-sync-scale` — writer-scaling gate for node-replicated sync.
+//! `flac-topo-scale` — topology depth × page size tiering gate.
 //!
 //! ```text
-//! flac-sync-scale [--quick] [--out PATH] [--gate]
-//! flac-sync-scale --check PATH
+//! flac-topo-scale [--quick] [--out PATH] [--gate]
+//! flac-topo-scale --check PATH
 //! ```
 //!
 //! * `--quick`    — small sweep (~seconds) for the CI smoke in `verify.sh`
-//! * `--out PATH` — where to write the JSON report (default `BENCH_sync.json`)
+//! * `--out PATH` — where to write the JSON report (default `BENCH_topo.json`)
 //! * `--gate`     — exit nonzero unless every deterministic invariant
-//!   holds: rerun parity at every point, node-replicated at least as
-//!   fast as delegated at every multi-writer point (strictly faster at
-//!   ≥ 2 of the pure-write {2,4,8}-writer points), and zero fabric
-//!   operations on the replica-hit read path
+//!   holds: the region probe pins exactly 512 page-wise vs 1
+//!   region-wise shootdown rounds, the huge arm beats the base arm's
+//!   p50 and round count at the same local-DRAM budget on every
+//!   topology, and every fixed-seed rerun reproduces byte-identically
 //! * `--check PATH` — run no benchmark; re-read a *committed* report
 //!   and enforce the strict acceptance targets: full run, full sweep
 //!   coverage, and every gate invariant
 //!
 //! The full (non-`--quick`) run is the one committed as
-//! `BENCH_sync.json`. Everything here is simulated time on a
+//! `BENCH_topo.json`. Everything here is simulated time on a
 //! deterministic driver, so the gate and the check carry no noise
 //! tolerance at all.
 
-use bench::sync_scale::{
-    check_report, gate_failures, parse_report, run_numa_probe, run_replica_probe, run_sweep,
-    to_json, SyncScaleConfig,
+use bench::topo_scale::{
+    check_report, gate_failures, parse_report, region_probe, run_sweep, to_json, TopoScaleConfig,
 };
 
 struct Args {
@@ -36,7 +35,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         quick: false,
-        out: String::from("BENCH_sync.json"),
+        out: String::from("BENCH_topo.json"),
         gate: false,
         check: None,
     };
@@ -75,28 +74,28 @@ fn run_check(path: &str) -> ! {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("flac-sync-scale: reading {path}: {e}");
+            eprintln!("flac-topo-scale: reading {path}: {e}");
             std::process::exit(2);
         }
     };
     let report = match parse_report(&text) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("flac-sync-scale: CHECK FAILURE: {path}: {e}");
+            eprintln!("flac-topo-scale: CHECK FAILURE: {path}: {e}");
             std::process::exit(1);
         }
     };
     let failures = check_report(&report);
     if !failures.is_empty() {
         for f in &failures {
-            eprintln!("flac-sync-scale: CHECK FAILURE: {f}");
+            eprintln!("flac-topo-scale: CHECK FAILURE: {f}");
         }
         std::process::exit(1);
     }
     println!(
-        "flac-sync-scale: check OK — {path}: node-replicated holds at every \
-         multi-writer point across {} measurements, replica-hit reads = 0 fabric ops",
-        report.points.len()
+        "flac-topo-scale: check OK — {path}: region probe ({}, {}) shootdown \
+         rounds, huge arm beats base on every topology, reruns byte-identical",
+        report.probe.0, report.probe.1
     );
     std::process::exit(0);
 }
@@ -105,8 +104,8 @@ fn main() {
     let args = match parse_args() {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("flac-sync-scale: {e}");
-            eprintln!("usage: flac-sync-scale [--quick] [--out PATH] [--gate] | --check PATH");
+            eprintln!("flac-topo-scale: {e}");
+            eprintln!("usage: flac-topo-scale [--quick] [--out PATH] [--gate] | --check PATH");
             std::process::exit(2);
         }
     };
@@ -115,52 +114,52 @@ fn main() {
     }
 
     let cfg = if args.quick {
-        SyncScaleConfig::quick()
+        TopoScaleConfig::quick()
     } else {
-        SyncScaleConfig::full()
+        TopoScaleConfig::full()
     };
     println!(
-        "flac-sync-scale: {} mode, {} write rounds per point",
+        "flac-topo-scale: {} mode, {} measured accesses per arm",
         if args.quick { "quick" } else { "full" },
-        cfg.rounds
+        cfg.measured
     );
 
-    let points = run_sweep(cfg);
-    for p in &points {
+    let probe = region_probe();
+    println!(
+        "  region promotion: {} page-wise shootdown rounds vs {} ranged round",
+        probe.0, probe.1
+    );
+    let rows = run_sweep(cfg);
+    for r in &rows {
         println!(
-            "  {:>16} writers={} reads={:>2}% ops={:>6} avg={:>6} ns/op parity={}",
-            p.policy,
-            p.writers,
-            p.read_pct,
-            p.ops,
-            p.avg_ns_per_op,
-            p.parity()
+            "  {:>4}/{:<4} p50={:>6} ns p99={:>6} ns promoted={:>4} regions={} \
+             rounds={:>4} parity={}",
+            r.topo,
+            r.mode,
+            r.p50_ns,
+            r.p99_ns,
+            r.promoted,
+            r.region_promotions,
+            r.shootdown_rounds,
+            r.parity()
         );
     }
-    let probe = run_replica_probe();
-    println!("  replica-hit read path: {probe} fabric ops across 64 reads");
-    let (flat_claims, pod_claims) = run_numa_probe(if args.quick { 8 } else { 64 });
-    println!(
-        "  NUMA combiner placement: remote combiner claims flat={flat_claims} \
-         pod={pod_claims} (delta {})",
-        pod_claims - flat_claims
-    );
 
-    let json = to_json(cfg, &points, probe);
+    let json = to_json(cfg, &rows, probe);
     if let Err(e) = std::fs::write(&args.out, &json) {
-        eprintln!("flac-sync-scale: writing {}: {e}", args.out);
+        eprintln!("flac-topo-scale: writing {}: {e}", args.out);
         std::process::exit(2);
     }
-    println!("flac-sync-scale: report written to {}", args.out);
+    println!("flac-topo-scale: report written to {}", args.out);
 
     if args.gate {
-        let failures = gate_failures(&points, probe);
+        let failures = gate_failures(&rows, probe);
         if !failures.is_empty() {
             for f in &failures {
-                eprintln!("flac-sync-scale: GATE FAILURE: {f}");
+                eprintln!("flac-topo-scale: GATE FAILURE: {f}");
             }
             std::process::exit(1);
         }
-        println!("flac-sync-scale: gate OK");
+        println!("flac-topo-scale: gate OK");
     }
 }

@@ -21,6 +21,7 @@
 //! | [`adaptive_ab`] | Ablation A8 — fixed sync policies vs adaptive driver |
 //! | [`cache_scale`] | §2 cache internals — sharded vs single-mutex, wall-clock |
 //! | [`serve_scale`] | §4 serving at scale — `flac-loadgen` open-loop sweep |
+//! | [`topo_scale`] | §2.1/§3.3 — topology depth × page size, 1 shootdown per 2 MiB |
 
 pub mod adaptive_ab;
 pub mod cache_scale;
@@ -40,3 +41,4 @@ pub mod sync_ab;
 pub mod sync_scale;
 pub mod table;
 pub mod tiering_ab;
+pub mod topo_scale;

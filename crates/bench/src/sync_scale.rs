@@ -287,6 +287,43 @@ pub fn run_replica_probe() -> u64 {
         + (after.messages_sent - before.messages_sent)
 }
 
+/// NUMA combiner-placement probe: the same round-robin write workload
+/// on a flat rack versus a two-rack pod with an interleaved memory
+/// home. Returns `(flat, pod)` totals of the
+/// `sync/nr_combiner_remote_claims` counter — the flat rack has no
+/// distance classes (every claim is "near", so always 0), while the
+/// pod counts each combine won by a node away from the op log's home
+/// leaf, the traffic the claim tie-break steers toward the home.
+pub fn run_numa_probe(rounds: usize) -> (u64, u64) {
+    let mut out = [0u64; 2];
+    for (slot, rack) in [
+        Rack::new(RackConfig::n_node(NODES)),
+        Rack::new(RackConfig::pod(NODES / 2, 2)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cell = alloc_cell(&rack, SyncPolicy::NodeReplicated);
+        for _ in 0..rounds {
+            for w in 0..NODES {
+                cell.update(&rack.node(w), &tally_op(w, 1)).expect("update");
+            }
+        }
+        out[slot] = (0..NODES)
+            .map(|n| {
+                rack.node(n)
+                    .stats()
+                    .snapshot()
+                    .subsystems
+                    .iter()
+                    .find(|c| c.subsystem == "sync" && c.name == "nr_combiner_remote_claims")
+                    .map_or(0, |c| c.value)
+            })
+            .sum::<u64>();
+    }
+    (out[0], out[1])
+}
+
 /// Deterministic invariants enforced by `--gate` and re-enforced by
 /// `--check` on the committed report:
 ///
@@ -485,6 +522,13 @@ mod tests {
     #[test]
     fn replica_probe_counts_zero_fabric_ops() {
         assert_eq!(run_replica_probe(), 0);
+    }
+
+    #[test]
+    fn numa_probe_counts_remote_claims_only_on_the_pod() {
+        let (flat, pod) = run_numa_probe(4);
+        assert_eq!(flat, 0, "uniform home: no node is remote from the log");
+        assert!(pod > 0, "interleaved pod: off-home combines are counted");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use flacdk::sync::rcu::EpochManager;
 use flacdk::sync::reclaim::RetireList;
 use flacos_mem::addr::VirtAddr;
 use flacos_mem::fault::FrameAllocator;
-use flacos_mem::tlb::{shootdown_stepped, Tlb};
+use flacos_mem::tlb::{shootdown_stepped_range, Tlb};
 use flacos_mem::{AddressSpace, PhysFrame, Pte, PAGE_SIZE};
 use flacos_tier::{TierConfig, TierDaemon};
 use rack_sim::{Rack, RackConfig, SplitMix64, Zipf};
@@ -142,8 +142,8 @@ fn run_arm(rack: &Rack, skew: f64, pages: usize, daemon_on: bool) -> ArmResult {
             d.note_access(n0.id(), ASID, vpn);
             if (i + 1) % TICK_EVERY == 0 {
                 let report = d
-                    .tick(&space, &frames, &mut |asid, vpn| {
-                        shootdown_stepped(&mut tlbs, 0, asid, vpn)
+                    .tick(&space, &frames, &mut |asid, vpn, span| {
+                        shootdown_stepped_range(&mut tlbs, 0, asid, vpn, span)
                     })
                     .expect("tier tick");
                 promotions += report.promoted;

@@ -123,6 +123,29 @@ impl<T: SyncState> SyncCell<T> {
         self.slots.offset((node * self.slot_stride) as u64)
     }
 
+    /// Distance class (LCA level) from this node to the op log's home
+    /// leaf. `0` under the uniform home policy — the log then has no
+    /// home and every node is equidistant, so the claim path below is
+    /// byte-identical to the distance-oblivious protocol.
+    fn log_home_distance(&self, ctx: &NodeCtx) -> u32 {
+        let topo = ctx.interconnect().topology();
+        topo.home_of(self.log.base().0)
+            .map_or(0, |home| topo.lca_level(ctx.id(), home))
+    }
+
+    /// Count a combiner claim won by a node remote from the log's home:
+    /// every append and entry write of that combine crosses the topology
+    /// toward the home leaf, so this is the traffic the NUMA tie-break
+    /// exists to minimize.
+    fn note_combiner_claim(&self, ctx: &NodeCtx) {
+        if self.log_home_distance(ctx) > 0 {
+            // cold-path: one bump per won combiner claim, not per op.
+            ctx.stats()
+                .registry()
+                .add("sync", "nr_combiner_remote_claims", 1);
+        }
+    }
+
     /// Publish packed framed ops into `node`'s slot: state + length +
     /// payload go through the cache and one flush makes them visible
     /// together, then a single fabric atomic raises the node's bit in
@@ -311,6 +334,7 @@ impl<T: SyncState> SyncCell<T> {
         // Combiner-first: the winner's own op rides the batch straight
         // from memory — no publication fabric traffic at all.
         if self.combiner.compare_exchange(ctx, 0, me as u64 + 1)? == 0 {
+            self.note_combiner_claim(ctx);
             let res = self.combine_locked(ctx, Some((me, &framed)), f);
             let released = self.combiner.store(ctx, 0);
             let (own_idx, out, _) = res?;
@@ -324,6 +348,12 @@ impl<T: SyncState> SyncCell<T> {
         // Waiter: publish, then alternate between polling the slot and
         // re-trying the claim (the active combiner may miss us).
         self.publish_slot(ctx, me, &pack_ops(std::slice::from_ref(&framed)))?;
+        // NUMA tie-break: a waiter defers its first `distance` re-claims,
+        // so among contenders the node closest to the log's home wins the
+        // open combiner word and keeps the batch's tail CAS and entry
+        // writes near-home. Distance is 0 under the uniform home policy —
+        // no deference, byte-identical claims.
+        let defer = u64::from(self.log_home_distance(ctx));
         let mut spins = 0u64;
         let idx = loop {
             let st = ctx.load_uncached_u64(self.slot_addr(me))?;
@@ -335,7 +365,8 @@ impl<T: SyncState> SyncCell<T> {
                     "publication aborted by combiner (log full)".into(),
                 ));
             }
-            if self.combiner.compare_exchange(ctx, 0, me as u64 + 1)? == 0 {
+            if spins >= defer && self.combiner.compare_exchange(ctx, 0, me as u64 + 1)? == 0 {
+                self.note_combiner_claim(ctx);
                 let res = self.combine_locked(ctx, None, |_| ());
                 let released = self.combiner.store(ctx, 0);
                 res?;
@@ -349,6 +380,10 @@ impl<T: SyncState> SyncCell<T> {
                 ));
             }
             ctx.charge(ctx.latency().local_read_ns);
+            // The stall bound above assumes a dead combiner; a live one
+            // merely descheduled by the host OS must get CPU before we
+            // burn through it. No simulated cost — host scheduling only.
+            std::thread::yield_now();
         };
         let out = self.nr_post_state(ctx, me, idx, f)?;
         let mut inner = self.inner.lock();
@@ -524,6 +559,7 @@ impl<T: SyncState> SyncCell<T> {
         if !claimed {
             return Ok(reelected);
         }
+        self.note_combiner_claim(ctx);
         let res = self.nr_recover_drain(ctx, inner);
         let released = self.combiner.store(ctx, 0);
         res?;
@@ -659,6 +695,7 @@ impl<T: SyncState> SyncCell<T> {
         if self.combiner.compare_exchange(ctx, 0, me as u64 + 1)? != 0 {
             return Err(SimError::Protocol("combiner role already claimed".into()));
         }
+        self.note_combiner_claim(ctx);
         let res = self.combine_locked(ctx, None, |_| ());
         let released = self.combiner.store(ctx, 0);
         let (_, _, combined) = res?;
@@ -927,6 +964,80 @@ mod tests {
         c.on_node_crash(&rack.node(0), rack_sim::NodeId(2)).unwrap();
         assert_eq!(c.committed(&rack.node(0)).unwrap(), 1);
         assert_eq!(c.peek(|t| t.per_node.clone()), vec![(2, 7)]);
+    }
+
+    /// Total `sync/nr_combiner_remote_claims` recorded on `node`.
+    fn remote_claims(rack: &Rack, node: usize) -> u64 {
+        rack.node(node)
+            .stats()
+            .snapshot()
+            .subsystems
+            .iter()
+            .find(|c| c.subsystem == "sync" && c.name == "nr_combiner_remote_claims")
+            .map_or(0, |c| c.value)
+    }
+
+    #[test]
+    fn remote_combiner_claims_counted_under_interleaved_home() {
+        // A two-rack pod with an interleaved home: the log's entry
+        // region lives on one leaf, so some nodes are remote from it.
+        let rack = Rack::new(RackConfig::pod(2, 2));
+        let c = nr_cell(&rack);
+        let n0 = rack.node(0);
+        let topo = n0.interconnect().topology();
+        let home = topo.home_of(c.log.base().0).expect("interleaved home");
+        let far = (0..rack.node_count())
+            .max_by_key(|&n| topo.lca_level(rack_sim::NodeId(n), home))
+            .unwrap();
+        assert!(topo.lca_level(rack_sim::NodeId(far), home) > 0);
+
+        c.update(&rack.node(far), &op(far as u32, 1)).unwrap();
+        assert_eq!(remote_claims(&rack, far), 1, "off-home combine counted");
+        c.update(&rack.node(home.0), &op(home.0 as u32, 2)).unwrap();
+        assert_eq!(remote_claims(&rack, home.0), 0, "home-leaf combine is not");
+    }
+
+    #[test]
+    fn flat_rack_never_counts_remote_claims() {
+        let rack = Rack::new(RackConfig::n_node(4));
+        let c = nr_cell(&rack);
+        for n in 0..4 {
+            c.update(&rack.node(n), &op(n as u32, 1)).unwrap();
+        }
+        for n in 0..4 {
+            assert_eq!(remote_claims(&rack, n), 0, "uniform home: no distance");
+        }
+    }
+
+    #[test]
+    fn remote_waiters_defer_reclaims_toward_the_log_home() {
+        let rack = Rack::new(RackConfig::pod(2, 2));
+        let c = nr_cell(&rack);
+        let n0 = rack.node(0);
+        let topo = n0.interconnect().topology();
+        let home = topo.home_of(c.log.base().0).expect("interleaved home");
+        let far = (0..rack.node_count())
+            .max_by_key(|&n| topo.lca_level(rack_sim::NodeId(n), home))
+            .unwrap();
+        let dist = u64::from(topo.lca_level(rack_sim::NodeId(far), home));
+        assert!(dist > 0 && far != home.0);
+        let other = (0..rack.node_count())
+            .find(|&n| n != far && n != home.0)
+            .unwrap();
+
+        // Hold the combiner word hostage, then drive a near and a far
+        // waiter to the stall error: the far one must have skipped its
+        // first `dist` re-claim CASes in deference to closer peers.
+        c.nr_combine_crash_before_append(&rack.node(other)).unwrap();
+        let atomics_spent = |n: usize| {
+            let node = rack.node(n);
+            let before = node.stats().snapshot().global_atomics;
+            assert!(c.update(&node, &op(n as u32, 9)).is_err(), "stalled");
+            node.stats().snapshot().global_atomics - before
+        };
+        let near_spent = atomics_spent(home.0);
+        let far_spent = atomics_spent(far);
+        assert_eq!(near_spent - far_spent, dist, "deferred claims = distance");
     }
 
     #[test]

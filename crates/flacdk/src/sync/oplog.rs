@@ -75,6 +75,12 @@ impl SharedOpLog {
         self.capacity
     }
 
+    /// Global address of the entry region — the log's *home* under an
+    /// interleaved home policy, for NUMA-aware placement decisions.
+    pub fn base(&self) -> GAddr {
+        self.entries
+    }
+
     fn slot_addr(&self, idx: u64) -> GAddr {
         self.entries.offset((idx % self.capacity) * self.entry_size)
     }

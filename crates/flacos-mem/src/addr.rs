@@ -6,6 +6,48 @@ use std::fmt;
 /// Page size in bytes (4 KiB, matching the paper's platforms).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Huge page size in bytes (2 MiB, the x86/ARM second-level size).
+pub const HUGE_PAGE_SIZE: usize = 2 << 20;
+
+/// Number of base pages covered by one huge page.
+pub const PAGES_PER_HUGE: u64 = (HUGE_PAGE_SIZE / PAGE_SIZE) as u64;
+
+/// Translation granularity of a mapping. Huge mappings cover
+/// [`PAGES_PER_HUGE`] consecutive base pages with one PTE, so remaps
+/// and TLB shootdowns touch the whole region in one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    #[default]
+    Base,
+    /// 2 MiB huge page.
+    Huge,
+}
+
+impl PageSize {
+    /// Bytes covered by one page of this size.
+    pub fn bytes(self) -> usize {
+        match self {
+            PageSize::Base => PAGE_SIZE,
+            PageSize::Huge => HUGE_PAGE_SIZE,
+        }
+    }
+
+    /// Base pages covered by one page of this size.
+    pub fn pages(self) -> u64 {
+        match self {
+            PageSize::Base => 1,
+            PageSize::Huge => PAGES_PER_HUGE,
+        }
+    }
+}
+
+/// The region-head vpn of the 2 MiB-aligned region containing `vpn` —
+/// where a huge mapping's single PTE lives.
+pub fn huge_base(vpn: u64) -> u64 {
+    vpn & !(PAGES_PER_HUGE - 1)
+}
+
 /// A virtual address inside a FlacOS address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(pub u64);
@@ -93,6 +135,25 @@ mod tests {
         assert_eq!(va.page_base(), VirtAddr(3 * PAGE_SIZE as u64));
         assert_eq!(VirtAddr::from_vpn(3).vpn(), 3);
         assert_eq!(va.offset(PAGE_SIZE as u64).vpn(), 4);
+    }
+
+    #[test]
+    fn page_size_dimensions() {
+        assert_eq!(PageSize::Base.bytes(), 4096);
+        assert_eq!(PageSize::Huge.bytes(), 2 << 20);
+        assert_eq!(PageSize::Base.pages(), 1);
+        assert_eq!(PageSize::Huge.pages(), 512);
+        assert_eq!(PAGES_PER_HUGE, 512);
+        assert_eq!(PageSize::default(), PageSize::Base);
+    }
+
+    #[test]
+    fn huge_base_aligns_down() {
+        assert_eq!(huge_base(0), 0);
+        assert_eq!(huge_base(511), 0);
+        assert_eq!(huge_base(512), 512);
+        assert_eq!(huge_base(1000), 512);
+        assert_eq!(huge_base(1024), 1024);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the caller, which is exactly the property fault boxes exploit to keep
 //! an application's state vertically consolidated).
 
-use crate::addr::{PhysFrame, VirtAddr, PAGE_SIZE};
+use crate::addr::{huge_base, PageSize, PhysFrame, VirtAddr, PAGE_SIZE};
 use crate::page_table::{PageTable, Pte};
 use crate::telemetry::AccessRing;
 use flacdk::alloc::GlobalAllocator;
@@ -74,46 +74,89 @@ impl AddressSpace {
         self.mapped_pages.load(Ordering::Relaxed)
     }
 
-    /// Map `vpn` to `pte`, maintaining the mapped-page count.
+    /// Map `vpn` to `pte`, maintaining the mapped-page count. Huge
+    /// entries must sit at a 512-aligned region-head vpn and account for
+    /// all 512 base pages they cover.
     ///
     /// # Errors
     ///
     /// Propagates page-table errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a huge `pte` is mapped at a non-region-head vpn.
     pub fn map(&self, ctx: &Arc<NodeCtx>, vpn: u64, pte: Pte) -> Result<Option<Pte>, SimError> {
+        if pte.page_size == PageSize::Huge {
+            assert_eq!(vpn, huge_base(vpn), "huge PTE must map a region head");
+        }
         let prev = self.table.map(ctx, vpn, pte)?;
-        if prev.is_none() {
-            self.mapped_pages.fetch_add(1, Ordering::Relaxed);
+        let before = prev.map_or(0, |p| p.page_size.pages());
+        let after = pte.page_size.pages();
+        if after > before {
+            self.mapped_pages
+                .fetch_add(after - before, Ordering::Relaxed);
+        } else if before > after {
+            self.mapped_pages
+                .fetch_sub(before - after, Ordering::Relaxed);
         }
         Ok(prev)
     }
 
-    /// Unmap `vpn`, maintaining the mapped-page count.
+    /// Unmap `vpn`, maintaining the mapped-page count (a huge entry
+    /// releases all 512 base pages it covered).
     ///
     /// # Errors
     ///
     /// Propagates page-table errors.
     pub fn unmap(&self, ctx: &Arc<NodeCtx>, vpn: u64) -> Result<Option<Pte>, SimError> {
         let prev = self.table.unmap(ctx, vpn)?;
-        if prev.is_some() {
-            self.mapped_pages.fetch_sub(1, Ordering::Relaxed);
+        if let Some(p) = prev {
+            self.mapped_pages
+                .fetch_sub(p.page_size.pages(), Ordering::Relaxed);
         }
         Ok(prev)
     }
 
     /// Translate a virtual address to its frame and mapping, if mapped.
     ///
+    /// Base pages resolve directly. If the vpn itself is unmapped, the
+    /// walk retries at the 2 MiB region head: a huge PTE there covers
+    /// this vpn, and the returned entry is a synthesized per-vpn 4 KiB
+    /// view of it (frame advanced by the vpn's offset into the region,
+    /// permissions and the migration guard inherited) so byte-granular
+    /// readers and the TLB stay page-granular.
+    ///
     /// # Errors
     ///
     /// Propagates memory errors.
     pub fn translate(&self, ctx: &Arc<NodeCtx>, va: VirtAddr) -> Result<Option<Pte>, SimError> {
         let guard = self.table.epochs().handle(ctx.clone()).read_lock()?;
-        let pte = self.table.walk(ctx, &guard, va.vpn())?;
+        let vpn = va.vpn();
+        let mut pte = self.table.walk(ctx, &guard, vpn)?;
+        if pte.is_none() && huge_base(vpn) != vpn {
+            pte = self
+                .table
+                .walk(ctx, &guard, huge_base(vpn))?
+                .filter(|head| head.page_size == PageSize::Huge)
+                .map(|head| Self::huge_view(head, vpn - huge_base(vpn)));
+        }
         if pte.is_some() {
             if let Some(ring) = self.sampler.lock().as_ref() {
-                ring.record(ctx.id(), self.asid, va.vpn());
+                ring.record(ctx.id(), self.asid, vpn);
             }
         }
         Ok(pte)
+    }
+
+    /// The per-vpn 4 KiB view of huge PTE `head`, `offset` base pages
+    /// into its region.
+    fn huge_view(head: Pte, offset: u64) -> Pte {
+        let byte_off = offset * PAGE_SIZE as u64;
+        let frame = match head.frame {
+            PhysFrame::Global(a) => PhysFrame::Global(a.offset(byte_off)),
+            PhysFrame::Local(n, a) => PhysFrame::Local(n, rack_sim::LAddr(a.0 + byte_off as usize)),
+        };
+        Pte { frame, ..head }
     }
 
     /// Read bytes from a frame at a page offset (coherently: global
@@ -390,6 +433,97 @@ mod tests {
         space.attach_sampler(None);
         space.read(&n0, VirtAddr::from_vpn(1), &mut buf).unwrap();
         assert!(ring.drain().is_empty(), "detached ring sees nothing");
+    }
+
+    #[test]
+    fn huge_mapping_covers_whole_region() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        let region = rack
+            .global()
+            .alloc(crate::addr::HUGE_PAGE_SIZE, PAGE_SIZE)
+            .unwrap();
+        space
+            .map(&n0, 512, Pte::new(PhysFrame::Global(region), true).huge())
+            .unwrap();
+        assert_eq!(space.mapped_pages(), 512);
+
+        // Head vpn translates to the region base.
+        let head = space
+            .translate(&n0, VirtAddr::from_vpn(512))
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.frame, PhysFrame::Global(region));
+        assert_eq!(head.page_size, PageSize::Huge);
+
+        // Interior vpns synthesize offset 4 KiB views.
+        let mid = space
+            .translate(&n0, VirtAddr::from_vpn(700))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            mid.frame,
+            PhysFrame::Global(region.offset((700 - 512) * PAGE_SIZE as u64))
+        );
+        assert!(mid.writable);
+        assert_eq!(mid.page_size, PageSize::Huge);
+
+        // Outside the region stays unmapped.
+        assert!(space
+            .translate(&n0, VirtAddr::from_vpn(1024))
+            .unwrap()
+            .is_none());
+        assert!(space
+            .translate(&n0, VirtAddr::from_vpn(511))
+            .unwrap()
+            .is_none());
+
+        // Byte-granular access works across interior page boundaries.
+        let va = VirtAddr::from_vpn(600).offset(PAGE_SIZE as u64 - 5);
+        space.write(&n0, va, b"huge-page-span").unwrap();
+        let mut out = [0u8; 14];
+        space.read(&n0, va, &mut out).unwrap();
+        assert_eq!(&out, b"huge-page-span");
+
+        assert!(space.unmap(&n0, 512).unwrap().is_some());
+        assert_eq!(space.mapped_pages(), 0);
+        assert!(space
+            .translate(&n0, VirtAddr::from_vpn(700))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn migrating_huge_region_blocks_interior_access() {
+        let (rack, space) = setup();
+        let n0 = rack.node(0);
+        let region = rack
+            .global()
+            .alloc(crate::addr::HUGE_PAGE_SIZE, PAGE_SIZE)
+            .unwrap();
+        let pte = Pte::new(PhysFrame::Global(region), true).huge();
+        space.map(&n0, 0, pte).unwrap();
+        space.map(&n0, 0, pte.begin_migration()).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            space.read(&n0, VirtAddr::from_vpn(300), &mut buf),
+            Err(SimError::WouldBlock)
+        ));
+        space.map(&n0, 0, pte).unwrap();
+        assert!(space.read(&n0, VirtAddr::from_vpn(300), &mut buf).is_ok());
+        assert_eq!(space.mapped_pages(), 512, "remap keeps the count");
+    }
+
+    #[test]
+    #[should_panic(expected = "region head")]
+    fn unaligned_huge_map_panics() {
+        let (rack, space) = setup();
+        let region = rack.global().alloc(PAGE_SIZE, PAGE_SIZE).unwrap();
+        let _ = space.map(
+            &rack.node(0),
+            7,
+            Pte::new(PhysFrame::Global(region), true).huge(),
+        );
     }
 
     #[test]

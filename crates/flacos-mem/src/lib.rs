@@ -28,7 +28,9 @@ pub mod telemetry;
 pub mod tlb;
 pub mod vma;
 
-pub use addr::{PhysFrame, VirtAddr, PAGE_SIZE};
+pub use addr::{
+    huge_base, PageSize, PhysFrame, VirtAddr, HUGE_PAGE_SIZE, PAGES_PER_HUGE, PAGE_SIZE,
+};
 pub use address_space::AddressSpace;
 pub use dedup::PageDeduper;
 pub use fault::{PageFaultHandler, PagePlacement};

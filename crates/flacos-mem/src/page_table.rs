@@ -11,7 +11,7 @@
 //! can walk it; updates are lock-free and incoherence-safe by
 //! construction (readers only ever see immutable published nodes).
 
-use crate::addr::{PhysFrame, PAGE_SIZE};
+use crate::addr::{PageSize, PhysFrame, PAGE_SIZE};
 use flacdk::alloc::GlobalAllocator;
 use flacdk::ds::radix::RadixTree;
 use flacdk::sync::rcu::{EpochManager, RcuReadGuard};
@@ -31,6 +31,11 @@ pub struct Pte {
     /// old frame stays authoritative; accessors must retry (never read
     /// the in-flight copy, which may be torn under incoherent caches).
     pub migrating: bool,
+    /// Translation granularity. A [`PageSize::Huge`] entry lives at a
+    /// 512-aligned region-head vpn and maps the whole 2 MiB region with
+    /// one PTE; [`crate::AddressSpace::translate`] synthesizes per-vpn
+    /// 4 KiB views from it.
+    pub page_size: PageSize,
 }
 
 const TIER_LOCAL: u64 = 1 << 0;
@@ -38,14 +43,28 @@ const WRITABLE: u64 = 1 << 1;
 const NODE_SHIFT: u64 = 2;
 const NODE_MASK: u64 = 0x1ff << NODE_SHIFT; // 512 nodes
 const MIGRATING: u64 = 1 << 11;
+// Bits 12.. hold the frame address, so the huge flag takes the top bit
+// (frame addresses in the simulator never approach 2^63).
+const HUGE: u64 = 1 << 63;
 
 impl Pte {
-    /// A plain (non-migrating) entry for `frame`.
+    /// A plain (non-migrating) 4 KiB entry for `frame`.
     pub fn new(frame: PhysFrame, writable: bool) -> Pte {
         Pte {
             frame,
             writable,
             migrating: false,
+            page_size: PageSize::Base,
+        }
+    }
+
+    /// This entry as a 2 MiB huge mapping (store it at the 512-aligned
+    /// region-head vpn; `frame` is the base of a contiguous 2 MiB span).
+    #[must_use]
+    pub fn huge(self) -> Pte {
+        Pte {
+            page_size: PageSize::Huge,
+            ..self
         }
     }
 
@@ -90,6 +109,9 @@ impl Pte {
         if self.migrating {
             bits |= MIGRATING;
         }
+        if self.page_size == PageSize::Huge {
+            bits |= HUGE;
+        }
         bits
     }
 
@@ -97,7 +119,12 @@ impl Pte {
     pub fn decode(bits: u64) -> Pte {
         let writable = bits & WRITABLE != 0;
         let migrating = bits & MIGRATING != 0;
-        let addr = bits & !(PAGE_SIZE as u64 - 1);
+        let page_size = if bits & HUGE != 0 {
+            PageSize::Huge
+        } else {
+            PageSize::Base
+        };
+        let addr = bits & !(PAGE_SIZE as u64 - 1) & !HUGE;
         let frame = if bits & TIER_LOCAL != 0 {
             let node = NodeId(((bits & NODE_MASK) >> NODE_SHIFT) as usize);
             PhysFrame::Local(node, LAddr(addr as usize))
@@ -108,6 +135,7 @@ impl Pte {
             frame,
             writable,
             migrating,
+            page_size,
         }
     }
 }
@@ -234,6 +262,27 @@ mod tests {
             assert_eq!(Pte::decode(mid_flight.encode()), mid_flight);
             assert_eq!(mid_flight.end_migration(), pte);
         }
+    }
+
+    #[test]
+    fn huge_pte_roundtrip_preserves_size_and_flags() {
+        let cases = [
+            Pte::new(PhysFrame::Global(GAddr(0x20_0000)), true).huge(),
+            Pte::new(PhysFrame::Global(GAddr(0x3000)), false).huge(),
+            Pte::new(PhysFrame::Local(NodeId(5), LAddr(0x40_0000)), true).huge(),
+        ];
+        for pte in cases {
+            assert_eq!(pte.page_size, PageSize::Huge);
+            assert_eq!(Pte::decode(pte.encode()), pte);
+            let mid_flight = pte.begin_migration();
+            let back = Pte::decode(mid_flight.encode());
+            assert_eq!(back, mid_flight);
+            assert_eq!(back.page_size, PageSize::Huge);
+            assert_eq!(back.end_migration(), pte);
+        }
+        // The huge flag never leaks into the decoded frame address.
+        let base = Pte::new(PhysFrame::Global(GAddr(0x5000)), true);
+        assert_eq!(base.encode() | (1 << 63), base.huge().encode());
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct TlbStats {
     pub invalidations: u64,
     /// Shootdown requests serviced for peers.
     pub shootdowns_serviced: u64,
+    /// Shootdown request/ack rounds this node initiated. A ranged
+    /// shootdown over a 2 MiB region is one round, exactly like a
+    /// single-page shootdown — the counter the huge-page benches use to
+    /// show 512 rounds collapsing to 1.
+    pub shootdown_rounds: u64,
 }
 
 /// One node's software TLB.
@@ -99,6 +104,13 @@ impl Tlb {
         }
     }
 
+    /// Drop every translation in `[vpn, vpn + span)` from this node.
+    pub fn invalidate_range(&mut self, asid: u64, vpn: u64, span: u64) {
+        for v in vpn..vpn.saturating_add(span) {
+            self.invalidate_local(asid, v);
+        }
+    }
+
     /// Drop all translations of an address space from this node.
     pub fn flush_asid(&mut self, asid: u64) {
         let before = self.entries.len();
@@ -135,7 +147,26 @@ impl Tlb {
         asid: u64,
         vpn: u64,
     ) -> Result<usize, SimError> {
-        self.invalidate_local(asid, vpn);
+        self.begin_shootdown_range(peers, asid, vpn, 1)
+    }
+
+    /// Ranged variant of [`Tlb::begin_shootdown`]: one request per peer
+    /// (and later one ack) covers every vpn in `[vpn, vpn + span)`. A
+    /// 2 MiB region costs the same number of fabric rounds as one page.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors to *live* peers are propagated; dead peers are
+    /// skipped (they have no stale TLB to shoot down).
+    pub fn begin_shootdown_range(
+        &mut self,
+        peers: &[NodeId],
+        asid: u64,
+        vpn: u64,
+        span: u64,
+    ) -> Result<usize, SimError> {
+        self.invalidate_range(asid, vpn, span);
+        self.stats.shootdown_rounds += 1;
         let mut expected = 0;
         for &peer in peers {
             if peer == self.node.id() {
@@ -144,7 +175,8 @@ impl Tlb {
             let mut e = Encoder::new();
             e.put_u64(self.node.id().0 as u64)
                 .put_u64(asid)
-                .put_u64(vpn);
+                .put_u64(vpn)
+                .put_u64(span);
             match self.node.send(peer, TLB_SHOOTDOWN_PORT, e.into_vec()) {
                 Ok(_) => expected += 1,
                 Err(SimError::NodeDown { .. }) => {}
@@ -173,7 +205,9 @@ impl Tlb {
             let (Ok(initiator), Ok(asid), Ok(vpn)) = (d.u64(), d.u64(), d.u64()) else {
                 continue;
             };
-            self.invalidate_local(asid, vpn);
+            // Pre-ranged initiators omit the span word; treat as 1 page.
+            let span = d.u64().unwrap_or(1);
+            self.invalidate_range(asid, vpn, span);
             self.stats.shootdowns_serviced += 1;
             serviced += 1;
             match self
@@ -216,8 +250,28 @@ pub fn shootdown_stepped(
     asid: u64,
     vpn: u64,
 ) -> Result<(), SimError> {
+    shootdown_stepped_range(tlbs, initiator, asid, vpn, 1)
+}
+
+/// Ranged [`shootdown_stepped`]: one broadcast/service/ack cycle covers
+/// `[vpn, vpn + span)` on every node.
+///
+/// # Errors
+///
+/// Propagates fabric errors.
+///
+/// # Panics
+///
+/// Panics if `initiator` is out of range.
+pub fn shootdown_stepped_range(
+    tlbs: &mut [Tlb],
+    initiator: usize,
+    asid: u64,
+    vpn: u64,
+    span: u64,
+) -> Result<(), SimError> {
     let peers: Vec<NodeId> = tlbs.iter().map(|t| t.node_id()).collect();
-    let expected = tlbs[initiator].begin_shootdown(&peers, asid, vpn)?;
+    let expected = tlbs[initiator].begin_shootdown_range(&peers, asid, vpn, span)?;
     for (i, tlb) in tlbs.iter_mut().enumerate() {
         if i != initiator {
             tlb.service_shootdowns()?;
@@ -290,6 +344,58 @@ mod tests {
             assert_eq!(t.lookup(1, 7), None);
         }
         assert_eq!(tlbs[1].stats().shootdowns_serviced, 1);
+    }
+
+    #[test]
+    fn ranged_shootdown_is_one_round_per_peer_regardless_of_span() {
+        let rack = Rack::new(RackConfig::n_node(4));
+        for span in [1u64, 7, 512] {
+            let mut tlbs: Vec<Tlb> = (0..4).map(|i| Tlb::new(rack.node(i), 1024)).collect();
+            for t in &mut tlbs {
+                for v in 0..span {
+                    t.fill(1, 100 + v, pte(0x1000 + v * 0x1000));
+                }
+            }
+            let peers: Vec<NodeId> = tlbs.iter().map(|t| t.node_id()).collect();
+            let expected = tlbs[0].begin_shootdown_range(&peers, 1, 100, span).unwrap();
+            // Exactly one request landed on each peer, whatever the span.
+            assert_eq!(expected, 3);
+            for (i, t) in tlbs.iter_mut().enumerate().skip(1) {
+                assert_eq!(
+                    t.service_shootdowns().unwrap(),
+                    1,
+                    "peer {i} serviced one request for span {span}"
+                );
+                assert!(t.is_empty(), "whole span invalidated on peer {i}");
+            }
+            // Exactly one ack came back from each peer.
+            assert_eq!(tlbs[0].collect_acks(expected), 3);
+            assert!(
+                tlbs[0].node.try_recv(TLB_ACK_PORT).is_err(),
+                "no extra acks"
+            );
+            assert_eq!(tlbs[0].stats().shootdown_rounds, 1);
+            assert_eq!(tlbs[1].stats().shootdowns_serviced, 1);
+        }
+    }
+
+    #[test]
+    fn ranged_stepped_shootdown_clears_span_everywhere() {
+        let rack = Rack::new(RackConfig::n_node(3));
+        let mut tlbs: Vec<Tlb> = (0..3).map(|i| Tlb::new(rack.node(i), 1024)).collect();
+        for t in &mut tlbs {
+            t.fill(1, 511, pte(0x1000)); // just below the span
+            for v in 512..1024 {
+                t.fill(1, v, pte(v * 0x1000));
+            }
+        }
+        shootdown_stepped_range(&mut tlbs, 0, 1, 512, 512).unwrap();
+        for t in &mut tlbs {
+            assert!(t.lookup(1, 511).is_some(), "below-span entry survives");
+            for v in (512..1024).step_by(97) {
+                assert_eq!(t.lookup(1, v), None);
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! ([`VmaSet::import_bulk`]) — one publish + one consume instead of per-
 //! mutation coherence.
 
-use crate::addr::VirtAddr;
+use crate::addr::{PageSize, VirtAddr};
 use flacdk::hw;
 use flacdk::wire::{Decoder, Encoder};
 use rack_sim::{GAddr, NodeCtx, SimError};
@@ -28,6 +28,10 @@ pub struct Vma {
     pub writable: bool,
     /// Caller tag (e.g. heap/stack/file id).
     pub tag: u64,
+    /// Preferred translation granularity for this area. The tiering
+    /// daemon only coalesces 4 KiB pages into 2 MiB mappings inside
+    /// areas that allow it.
+    pub page_size: PageSize,
 }
 
 impl Vma {
@@ -115,7 +119,7 @@ impl VmaSet {
 
     /// Serialized size of this set in a bulk blob.
     pub fn bulk_size(&self) -> usize {
-        8 + self.areas.len() * 26
+        8 + self.areas.len() * 27
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -125,6 +129,7 @@ impl VmaSet {
             e.put_u64(v.start.0)
                 .put_u64(v.end.0)
                 .put_u8(u8::from(v.writable))
+                .put_u8(u8::from(v.page_size == PageSize::Huge))
                 .put_u64(v.tag);
         }
         e.into_vec()
@@ -138,12 +143,14 @@ impl VmaSet {
             let start = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
             let end = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
             let writable = d.u8().map_err(|e| SimError::Protocol(e.to_string()))? != 0;
+            let huge = d.u8().map_err(|e| SimError::Protocol(e.to_string()))? != 0;
             let tag = d.u64().map_err(|e| SimError::Protocol(e.to_string()))?;
             set.insert(Vma {
                 start: VirtAddr(start),
                 end: VirtAddr(end),
                 writable,
                 tag,
+                page_size: if huge { PageSize::Huge } else { PageSize::Base },
             })?;
         }
         Ok(set)
@@ -242,6 +249,7 @@ mod tests {
             end: VirtAddr(end),
             writable: true,
             tag,
+            page_size: PageSize::Base,
         }
     }
 
@@ -276,6 +284,11 @@ mod tests {
         let mut set = VmaSet::new();
         set.insert(vma(0x1000, 0x2000, 10)).unwrap();
         set.insert(vma(0x8000, 0xa000, 20)).unwrap();
+        set.insert(Vma {
+            page_size: PageSize::Huge,
+            ..vma(0x20_0000, 0x60_0000, 30)
+        })
+        .unwrap();
 
         let blob = rack.global().alloc(set.bulk_size() + 64, 64).unwrap();
         // Warm n1's stale cache of the blob region first.

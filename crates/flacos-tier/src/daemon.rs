@@ -17,12 +17,15 @@
 //! private and the shared frame's refcount drops by one.
 
 use crate::budget::TierBudget;
-use crate::migrate::{LocalFramePool, Migration};
+use crate::migrate::{split_region, LocalFramePool, Migration, RegionMigration};
 use flacdk::alloc::hotness::HotnessTracker;
 use flacos_mem::addr::VirtAddr;
 use flacos_mem::fault::FrameAllocator;
 use flacos_mem::telemetry::AccessRing;
-use flacos_mem::{AddressSpace, PageDeduper, PhysFrame, PAGE_SIZE};
+use flacos_mem::{
+    huge_base, AddressSpace, PageDeduper, PageSize, PhysFrame, HUGE_PAGE_SIZE, PAGES_PER_HUGE,
+    PAGE_SIZE,
+};
 use rack_sim::metrics::Counter;
 use rack_sim::{GAddr, NodeCtx, NodeId, SimError};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,6 +45,12 @@ pub struct TierConfig {
     /// Veto promotion of a rack-shared deduped page when at least this
     /// many nodes have touched it.
     pub dedup_hot_node_threshold: usize,
+    /// Coalesce a 2 MiB region into one huge local mapping when at
+    /// least this many of its 512 base pages are in the desired hot set
+    /// (one region migration, one ranged shootdown — instead of 512
+    /// page migrations with 512 shootdowns). `0` disables region
+    /// coalescing, which is the default.
+    pub huge_region_min_hot_pages: usize,
 }
 
 impl Default for TierConfig {
@@ -52,6 +61,7 @@ impl Default for TierConfig {
             max_migrations_per_tick: 8,
             min_promote_score: 0.0,
             dedup_hot_node_threshold: 2,
+            huge_region_min_hot_pages: 0,
         }
     }
 }
@@ -67,8 +77,13 @@ pub struct TierTickReport {
     pub vetoed: u64,
     /// Page bytes copied between tiers this tick.
     pub bytes_migrated: u64,
-    /// Rack-wide TLB shootdowns issued this tick.
+    /// Rack-wide TLB shootdowns issued this tick. A region promotion or
+    /// split counts once: its 512 pages share one ranged round.
     pub shootdowns: u64,
+    /// 2 MiB regions coalesced into huge local mappings this tick.
+    pub region_promotions: u64,
+    /// Huge local mappings split back into 512 base pages this tick.
+    pub region_splits: u64,
 }
 
 struct TierCounters {
@@ -77,6 +92,8 @@ struct TierCounters {
     vetoed_dedup: Counter,
     shootdowns: Counter,
     bytes_migrated: Counter,
+    region_promotions: Counter,
+    region_splits: Counter,
 }
 
 impl TierCounters {
@@ -88,6 +105,8 @@ impl TierCounters {
             vetoed_dedup: stats.counter("tier", "vetoed_dedup"),
             shootdowns: stats.counter("tier", "shootdowns"),
             bytes_migrated: stats.counter("tier", "bytes_migrated"),
+            region_promotions: stats.counter("tier", "region_promotions"),
+            region_splits: stats.counter("tier", "region_splits"),
         }
     }
 }
@@ -103,6 +122,8 @@ pub struct TierDaemon {
     pool: LocalFramePool,
     /// Pages this daemon promoted: vpn → local frame.
     local_pages: BTreeMap<u64, rack_sim::LAddr>,
+    /// 2 MiB regions this daemon coalesced: head vpn → local span base.
+    huge_regions: BTreeMap<u64, rack_sim::LAddr>,
     budget: Option<Arc<TierBudget>>,
     dedup: Option<Arc<PageDeduper>>,
     counters: TierCounters,
@@ -133,6 +154,7 @@ impl TierDaemon {
             node_touches: BTreeMap::new(),
             pool: LocalFramePool::new(),
             local_pages: BTreeMap::new(),
+            huge_regions: BTreeMap::new(),
             budget: None,
             dedup: None,
             counters,
@@ -167,9 +189,15 @@ impl TierDaemon {
         self.local_pages.len()
     }
 
-    /// Whether `vpn` is currently held in the local tier by this daemon.
+    /// Whether `vpn` is currently held in the local tier by this daemon
+    /// (as a 4 KiB page or inside a coalesced 2 MiB region).
     pub fn is_local(&self, vpn: u64) -> bool {
-        self.local_pages.contains_key(&vpn)
+        self.local_pages.contains_key(&vpn) || self.huge_regions.contains_key(&huge_base(vpn))
+    }
+
+    /// Regions currently coalesced into huge local mappings.
+    pub fn huge_region_count(&self) -> usize {
+        self.huge_regions.len()
     }
 
     /// Record one page access directly (bypassing the sampler gate is
@@ -223,8 +251,10 @@ impl TierDaemon {
 
     /// One sim-time tick: ingest telemetry, recompute the desired hot
     /// set, then demote and promote under the migration cap. `shoot` is
-    /// invoked as `shoot(asid, vpn)` after each remap to drive the
-    /// rack-wide TLB shootdown.
+    /// invoked as `shoot(asid, vpn, span)` after each remap to drive the
+    /// rack-wide TLB shootdown — span is 1 for page migrations and
+    /// [`PAGES_PER_HUGE`] for the single ranged round of a region
+    /// promotion or split.
     ///
     /// # Errors
     ///
@@ -234,7 +264,7 @@ impl TierDaemon {
         &mut self,
         space: &AddressSpace,
         frames: &FrameAllocator,
-        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+        shoot: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
     ) -> Result<TierTickReport, SimError> {
         self.ingest();
         let mut report = TierTickReport::default();
@@ -244,7 +274,39 @@ impl TierDaemon {
         let desired: BTreeSet<u64> = hot.iter().copied().collect();
         let mut migrations_left = self.config.max_migrations_per_tick;
 
-        // --- Demote first: cold local pages free budget for promotions.
+        // Hot-page population of each 2 MiB region, for coalesce and
+        // split decisions.
+        let mut region_hot: BTreeMap<u64, usize> = BTreeMap::new();
+        if self.config.huge_region_min_hot_pages > 0 {
+            for &vpn in &desired {
+                *region_hot.entry(huge_base(vpn)).or_insert(0) += 1;
+            }
+        }
+
+        // --- Split cooled regions first: a huge mapping whose hot
+        // population fell below the threshold returns to 512 base pages
+        // (one ranged shootdown, no copy); the regular demote path then
+        // drains the cold ones page by page.
+        let to_split: Vec<u64> = self
+            .huge_regions
+            .keys()
+            .copied()
+            .filter(|head| {
+                region_hot.get(head).copied().unwrap_or(0) < self.config.huge_region_min_hot_pages
+            })
+            .collect();
+        for head in to_split {
+            if migrations_left == 0 {
+                break;
+            }
+            if self.split_huge(space, head, shoot)? {
+                migrations_left -= 1;
+                report.region_splits += 1;
+                report.shootdowns += 1;
+            }
+        }
+
+        // --- Demote: cold local pages free budget for promotions.
         let to_demote: Vec<u64> = self
             .local_pages
             .keys()
@@ -263,12 +325,35 @@ impl TierDaemon {
             }
         }
 
+        // --- Coalesce hot regions: 512 pages, one migration, one
+        // ranged shootdown.
+        for (&head, &hot_pages) in &region_hot {
+            if migrations_left == 0 {
+                break;
+            }
+            if hot_pages < self.config.huge_region_min_hot_pages
+                || self.huge_regions.contains_key(&head)
+            {
+                continue;
+            }
+            match self.promote_region(space, frames, head, shoot)? {
+                PromoteOutcome::Promoted => {
+                    migrations_left -= 1;
+                    report.region_promotions += 1;
+                    report.shootdowns += 1;
+                    report.bytes_migrated += HUGE_PAGE_SIZE as u64;
+                }
+                PromoteOutcome::Vetoed => report.vetoed += 1,
+                PromoteOutcome::Skipped => {}
+            }
+        }
+
         // --- Promote hottest-first into the freed/available budget.
         for vpn in hot {
             if migrations_left == 0 {
                 break;
             }
-            if self.local_pages.contains_key(&vpn) {
+            if self.is_local(vpn) {
                 continue;
             }
             if self.tracker.score(vpn) < self.config.min_promote_score {
@@ -297,7 +382,120 @@ impl TierDaemon {
         self.counters.vetoed_dedup.add(report.vetoed);
         self.counters.shootdowns.add(report.shootdowns);
         self.counters.bytes_migrated.add(report.bytes_migrated);
+        self.counters
+            .region_promotions
+            .add(report.region_promotions);
+        self.counters.region_splits.add(report.region_splits);
         Ok(report)
+    }
+
+    /// Coalesce the 2 MiB region at `head` into one huge local mapping:
+    /// every base page must be global-framed, non-migrating, uniformly
+    /// writable and not individually promoted here already.
+    fn promote_region(
+        &mut self,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        head: u64,
+        shoot: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
+    ) -> Result<PromoteOutcome, SimError> {
+        let mut old_globals = Vec::with_capacity(PAGES_PER_HUGE as usize);
+        for vpn in head..head + PAGES_PER_HUGE {
+            if self.local_pages.contains_key(&vpn) {
+                // A page of this region already sits in our 4 KiB local
+                // tier; let it cool and demote before coalescing.
+                return Ok(PromoteOutcome::Skipped);
+            }
+            let Some(pte) = space.translate(&self.node, VirtAddr::from_vpn(vpn))? else {
+                return Ok(PromoteOutcome::Skipped);
+            };
+            if pte.migrating || pte.page_size != PageSize::Base {
+                return Ok(PromoteOutcome::Skipped);
+            }
+            let PhysFrame::Global(g) = pte.frame else {
+                return Ok(PromoteOutcome::Skipped);
+            };
+            // Dedup rule applies region-wide: one rack-shared
+            // multi-node-hot page keeps the whole region in the pool.
+            if let Some(dedup) = &self.dedup {
+                if dedup.refcount(g) >= 2
+                    && self.hot_node_count(vpn) >= self.config.dedup_hot_node_threshold
+                {
+                    return Ok(PromoteOutcome::Vetoed);
+                }
+            }
+            old_globals.push(g);
+        }
+        if let Some(budget) = &self.budget {
+            if !budget.charge(&self.node, self.node.id(), HUGE_PAGE_SIZE as u64)? {
+                return Ok(PromoteOutcome::Skipped);
+            }
+        }
+        let release_budget = |daemon: &TierDaemon| -> Result<(), SimError> {
+            if let Some(budget) = &daemon.budget {
+                budget.credit(&daemon.node, daemon.node.id(), HUGE_PAGE_SIZE as u64)?;
+            }
+            Ok(())
+        };
+
+        let base = match self.pool.alloc_region(&self.node) {
+            Ok(b) => b,
+            Err(_) => {
+                release_budget(self)?;
+                return Ok(PromoteOutcome::Skipped);
+            }
+        };
+        let dst = PhysFrame::Local(self.node.id(), base);
+        let mut m = match RegionMigration::begin(&self.node, space, head, dst) {
+            Ok(m) => m,
+            Err(SimError::Protocol(_)) => {
+                self.pool.free_region(base);
+                release_budget(self)?;
+                return Ok(PromoteOutcome::Skipped);
+            }
+            Err(e) => {
+                self.pool.free_region(base);
+                release_budget(self)?;
+                return Err(e);
+            }
+        };
+        if let Err(e) = m.copy(&self.node, space) {
+            m.abort(&self.node, space)?;
+            self.pool.free_region(base);
+            release_budget(self)?;
+            return Err(e);
+        }
+        m.commit(&self.node, space, shoot)?;
+        for g in old_globals {
+            self.dispose_global_frame(frames, g)?;
+        }
+        self.huge_regions.insert(head, base);
+        Ok(PromoteOutcome::Promoted)
+    }
+
+    /// Split the coalesced region at `head` back into 512 individually
+    /// tracked 4 KiB local pages (same bytes, one ranged shootdown); the
+    /// regular demote path then returns the cold ones to the pool.
+    fn split_huge(
+        &mut self,
+        space: &AddressSpace,
+        head: u64,
+        shoot: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
+    ) -> Result<bool, SimError> {
+        let Some(base) = self.huge_regions.get(&head).copied() else {
+            return Ok(false);
+        };
+        match split_region(&self.node, space, head, shoot) {
+            Ok(_) => {}
+            Err(SimError::Protocol(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        }
+        self.huge_regions.remove(&head);
+        for i in 0..PAGES_PER_HUGE {
+            self.local_pages
+                .insert(head + i, rack_sim::LAddr(base.0 + i as usize * PAGE_SIZE));
+        }
+        Ok(true)
     }
 
     fn promote(
@@ -305,7 +503,7 @@ impl TierDaemon {
         space: &AddressSpace,
         frames: &FrameAllocator,
         vpn: u64,
-        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+        shoot: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
     ) -> Result<PromoteOutcome, SimError> {
         let Some(pte) = space.translate(&self.node, VirtAddr::from_vpn(vpn))? else {
             return Ok(PromoteOutcome::Skipped);
@@ -366,7 +564,7 @@ impl TierDaemon {
             release_budget(self)?;
             return Err(e);
         }
-        m.commit(&self.node, space, shoot)?;
+        m.commit(&self.node, space, &mut |asid, vpn| shoot(asid, vpn, 1))?;
         self.dispose_global_frame(frames, old_global)?;
         self.local_pages.insert(vpn, laddr);
         Ok(PromoteOutcome::Promoted)
@@ -377,7 +575,7 @@ impl TierDaemon {
         space: &AddressSpace,
         frames: &FrameAllocator,
         vpn: u64,
-        shoot: &mut dyn FnMut(u64, u64) -> Result<(), SimError>,
+        shoot: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
     ) -> Result<bool, SimError> {
         let Some(laddr) = self.local_pages.get(&vpn).copied() else {
             return Ok(false);
@@ -412,7 +610,7 @@ impl TierDaemon {
             frames.free(&self.node, dst_global);
             return Err(e);
         }
-        m.commit(&self.node, space, shoot)?;
+        m.commit(&self.node, space, &mut |asid, vpn| shoot(asid, vpn, 1))?;
         self.local_pages.remove(&vpn);
         self.pool.free(laddr);
         if let Some(budget) = &self.budget {
@@ -480,7 +678,7 @@ mod tests {
             daemon.note_access(n0.id(), 1, 5);
         }
         daemon.note_access(n0.id(), 1, 0);
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.promoted, 2);
         assert!(daemon.is_local(3) && daemon.is_local(5));
         assert!(!daemon.is_local(0), "budget holds only the two hottest");
@@ -510,13 +708,13 @@ mod tests {
         for _ in 0..8 {
             daemon.note_access(n0.id(), 1, 1);
         }
-        daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert!(daemon.is_local(1));
         // Page 2 becomes the new favourite; the short half-life decays 1.
         for _ in 0..64 {
             daemon.note_access(n0.id(), 1, 2);
         }
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.demoted, 1);
         assert_eq!(report.promoted, 1);
         assert!(!daemon.is_local(1) && daemon.is_local(2));
@@ -544,7 +742,7 @@ mod tests {
             daemon.note_access(NodeId(1), 1, 0);
         }
         daemon.note_access(n0.id(), 1, 0);
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.promoted, 0);
         assert!(!daemon.is_local(0));
     }
@@ -562,7 +760,7 @@ mod tests {
                 daemon.note_access(n0.id(), 1, vpn);
             }
         }
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.promoted, 1, "one page of rack budget");
         assert_eq!(ledger.free_bytes(&n0, n0.id()).unwrap(), 0);
     }
@@ -578,7 +776,7 @@ mod tests {
             daemon.note_access(n0.id(), 1, 0);
         }
         daemon
-            .tick(&space, &frames, &mut |_, _| {
+            .tick(&space, &frames, &mut |_, _, _| {
                 shootdowns += 1;
                 Ok(())
             })
@@ -596,6 +794,120 @@ mod tests {
         assert_eq!(get("bytes_migrated"), Some(PAGE_SIZE as u64));
         assert_eq!(get("demotions"), Some(0));
         assert_eq!(get("vetoed_dedup"), Some(0));
+    }
+
+    /// A rack whose nodes have enough local DRAM to hold a 2 MiB region.
+    fn setup_region() -> (Rack, AddressSpace, FrameAllocator) {
+        let mut cfg = RackConfig::small_test().with_global_mem(32 << 20);
+        cfg.local_mem_bytes = 8 << 20;
+        let rack = Rack::new(cfg);
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(1, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let frames = FrameAllocator::new(rack.global().clone());
+        (rack, space, frames)
+    }
+
+    #[test]
+    fn hot_region_coalesces_with_one_ranged_shootdown() {
+        let (rack, space, frames) = setup_region();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..PAGES_PER_HUGE);
+        let cfg = TierConfig {
+            local_budget_bytes: HUGE_PAGE_SIZE as u64,
+            huge_region_min_hot_pages: 4,
+            ..TierConfig::default()
+        };
+        let mut daemon = TierDaemon::new(n0.clone(), cfg);
+        for vpn in 0..8 {
+            for _ in 0..4 {
+                daemon.note_access(n0.id(), 1, vpn);
+            }
+        }
+        let mut rounds = Vec::new();
+        let report = daemon
+            .tick(&space, &frames, &mut |asid, vpn, span| {
+                rounds.push((asid, vpn, span));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.region_promotions, 1);
+        assert_eq!(report.shootdowns, 1, "512 pages moved, one ranged round");
+        assert_eq!(report.bytes_migrated, HUGE_PAGE_SIZE as u64);
+        assert_eq!(rounds, vec![(1, 0, PAGES_PER_HUGE)]);
+        assert_eq!(daemon.huge_region_count(), 1);
+        assert!(daemon.is_local(0) && daemon.is_local(PAGES_PER_HUGE - 1));
+        let head = space
+            .translate(&n0, VirtAddr::from_vpn(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.page_size, PageSize::Huge);
+        assert_eq!(head.frame.home_node(), Some(n0.id()));
+        // Interior pages resolve through the huge mapping, bytes intact.
+        let mut buf = [0u8; 64];
+        space.read(&n0, VirtAddr::from_vpn(300), &mut buf).unwrap();
+        assert_eq!(buf, [300u64 as u8; 64]);
+    }
+
+    #[test]
+    fn cooled_region_splits_back_to_base_pages() {
+        let (rack, space, frames) = setup_region();
+        let n0 = rack.node(0);
+        map_pages(&rack, &space, &frames, 0..PAGES_PER_HUGE);
+        let cfg = TierConfig {
+            local_budget_bytes: HUGE_PAGE_SIZE as u64,
+            half_life_accesses: 4,
+            huge_region_min_hot_pages: 4,
+            ..TierConfig::default()
+        };
+        let mut daemon = TierDaemon::new(n0.clone(), cfg);
+        for vpn in 0..8 {
+            for _ in 0..4 {
+                daemon.note_access(n0.id(), 1, vpn);
+            }
+        }
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
+        assert_eq!(report.region_promotions, 1);
+
+        // A fresh working set in another region decays the old one below
+        // the coalesce threshold; the next tick splits it back.
+        map_pages(
+            &rack,
+            &space,
+            &frames,
+            2 * PAGES_PER_HUGE..2 * PAGES_PER_HUGE + 512,
+        );
+        for vpn in 2 * PAGES_PER_HUGE..2 * PAGES_PER_HUGE + 512 {
+            for _ in 0..4 {
+                daemon.note_access(n0.id(), 1, vpn);
+            }
+        }
+        let mut rounds = Vec::new();
+        let report = daemon
+            .tick(&space, &frames, &mut |asid, vpn, span| {
+                rounds.push((asid, vpn, span));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.region_splits, 1);
+        assert_eq!(daemon.huge_region_count(), 0);
+        assert_eq!(
+            rounds[0],
+            (1, 0, PAGES_PER_HUGE),
+            "split is one ranged round"
+        );
+        // The head is a base PTE again and every byte survived in place.
+        let head = space
+            .translate(&n0, VirtAddr::from_vpn(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.page_size, PageSize::Base);
+        let mut buf = [0u8; 64];
+        space.read(&n0, VirtAddr::from_vpn(5), &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 64]);
+        // The split pages now sit in the 4 KiB ledger, demotable later.
+        assert!(daemon.local_page_count() >= PAGES_PER_HUGE as usize - 8);
     }
 
     #[test]
@@ -621,7 +933,7 @@ mod tests {
         for _ in 0..3 {
             daemon.note_access(NodeId(1), 1, 7);
         }
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.vetoed, 1);
         assert_eq!(report.promoted, 0);
         assert_eq!(dedup.refcount(shared), 2, "sharing intact");
@@ -644,7 +956,7 @@ mod tests {
         for _ in 0..10 {
             daemon.note_access(n0.id(), 1, 7);
         }
-        let report = daemon.tick(&space, &frames, &mut |_, _| Ok(())).unwrap();
+        let report = daemon.tick(&space, &frames, &mut |_, _, _| Ok(())).unwrap();
         assert_eq!(report.promoted, 1, "single-node-hot page promotes");
         assert_eq!(
             dedup.refcount(shared),

@@ -20,7 +20,9 @@
 //! and a survivor aborts the half-done migration without data loss.
 
 use flacos_mem::addr::VirtAddr;
-use flacos_mem::{AddressSpace, PhysFrame, Pte, PAGE_SIZE};
+use flacos_mem::{
+    huge_base, AddressSpace, PageSize, PhysFrame, Pte, HUGE_PAGE_SIZE, PAGES_PER_HUGE, PAGE_SIZE,
+};
 use rack_sim::{LAddr, NodeCtx, SimError};
 use std::sync::Arc;
 
@@ -29,6 +31,7 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct LocalFramePool {
     free: Vec<LAddr>,
+    region_free: Vec<LAddr>,
 }
 
 impl LocalFramePool {
@@ -61,6 +64,38 @@ impl LocalFramePool {
     /// Frames currently recycled and ready.
     pub fn free_frames(&self) -> usize {
         self.free.len()
+    }
+
+    /// Allocate one contiguous, page-aligned 2 MiB local span — the
+    /// destination of a region promotion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when local memory is exhausted.
+    pub fn alloc_region(&mut self, ctx: &NodeCtx) -> Result<LAddr, SimError> {
+        if let Some(f) = self.region_free.pop() {
+            return Ok(f);
+        }
+        let raw = ctx.local_alloc(HUGE_PAGE_SIZE + PAGE_SIZE)?;
+        Ok(LAddr((raw.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)))
+    }
+
+    /// Return a 2 MiB span for reuse as a region.
+    pub fn free_region(&mut self, frame: LAddr) {
+        self.region_free.push(frame);
+    }
+
+    /// Regions currently recycled and ready.
+    pub fn free_regions(&self) -> usize {
+        self.region_free.len()
+    }
+}
+
+/// `frame` advanced by `bytes` (staying in the same memory kind).
+fn frame_at(frame: PhysFrame, bytes: u64) -> PhysFrame {
+    match frame {
+        PhysFrame::Global(a) => PhysFrame::Global(a.offset(bytes)),
+        PhysFrame::Local(n, a) => PhysFrame::Local(n, LAddr(a.0 + bytes as usize)),
     }
 }
 
@@ -172,6 +207,236 @@ impl Migration {
     }
 }
 
+/// One in-flight 2 MiB region migration: 512 contiguous base pages move
+/// into one contiguous destination span and commit as a single huge PTE
+/// with **one** ranged TLB shootdown — where the per-page protocol would
+/// pay [`PAGES_PER_HUGE`] request/ack rounds.
+///
+/// The same staged safety story as [`Migration`] applies region-wide:
+/// every base page is guarded with `Migrating` before any byte is
+/// copied, the old frames stay authoritative until the final remap, and
+/// [`RegionMigration::abort`] re-publishes all 512 original mappings
+/// from any live node.
+#[derive(Debug, Clone)]
+pub struct RegionMigration {
+    asid: u64,
+    head_vpn: u64,
+    /// Pre-migration PTEs, one per base page, in vpn order.
+    old: Vec<Pte>,
+    /// Base of the contiguous 2 MiB destination span.
+    new_frame: PhysFrame,
+    writable: bool,
+    copied: bool,
+}
+
+impl RegionMigration {
+    /// Stage 1: guard all 512 base pages of the region at `head_vpn`
+    /// with the `Migrating` bit. Requires every page mapped as a base
+    /// page, none already migrating, and uniform writability (the single
+    /// huge PTE has one permission bit for the whole region).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when the region is not eligible (guards
+    /// set so far are rolled back); fabric errors propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `head_vpn` is not 512-aligned.
+    pub fn begin(
+        ctx: &Arc<NodeCtx>,
+        space: &AddressSpace,
+        head_vpn: u64,
+        new_frame: PhysFrame,
+    ) -> Result<Self, SimError> {
+        assert_eq!(
+            head_vpn,
+            huge_base(head_vpn),
+            "region must start at a 2 MiB boundary"
+        );
+        let mut old = Vec::with_capacity(PAGES_PER_HUGE as usize);
+        for vpn in head_vpn..head_vpn + PAGES_PER_HUGE {
+            let pte = space
+                .translate(ctx, VirtAddr::from_vpn(vpn))?
+                .ok_or_else(|| {
+                    SimError::Protocol(format!("region at {head_vpn}: vpn {vpn} unmapped"))
+                })?;
+            if pte.migrating {
+                return Err(SimError::Protocol(format!(
+                    "region at {head_vpn}: vpn {vpn} already migrating"
+                )));
+            }
+            if pte.page_size != PageSize::Base {
+                return Err(SimError::Protocol(format!(
+                    "region at {head_vpn} is already huge-mapped"
+                )));
+            }
+            if pte.writable != old.first().map_or(pte.writable, |p: &Pte| p.writable) {
+                return Err(SimError::Protocol(format!(
+                    "region at {head_vpn}: mixed page permissions"
+                )));
+            }
+            old.push(pte);
+        }
+        let writable = old[0].writable;
+        // All eligible: guard every page. A failure mid-way rolls the
+        // already-guarded prefix back so no page is left stuck.
+        for (i, pte) in old.iter().enumerate() {
+            let vpn = head_vpn + i as u64;
+            if let Err(e) = space.map(ctx, vpn, pte.begin_migration()) {
+                for (j, prev) in old.iter().enumerate().take(i) {
+                    let _ = space.map(ctx, head_vpn + j as u64, *prev);
+                }
+                return Err(e);
+            }
+        }
+        Ok(RegionMigration {
+            asid: space.asid(),
+            head_vpn,
+            old,
+            new_frame,
+            writable,
+            copied: false,
+        })
+    }
+
+    /// Stage 2: copy all 2 MiB from the old (possibly scattered) frames
+    /// into the contiguous destination span.
+    ///
+    /// # Errors
+    ///
+    /// Fabric/protocol errors propagate.
+    pub fn copy(&mut self, ctx: &NodeCtx, space: &AddressSpace) -> Result<(), SimError> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        for (i, pte) in self.old.iter().enumerate() {
+            space.read_frame(ctx, pte.frame, &mut page)?;
+            space.write_frame(ctx, frame_at(self.new_frame, (i * PAGE_SIZE) as u64), &page)?;
+        }
+        self.copied = true;
+        Ok(())
+    }
+
+    /// Stage 3: publish one huge PTE at the region head, retire the 512
+    /// base mappings, and drive **one** ranged shootdown via
+    /// `shoot_range(asid, head_vpn, 512)`. Returns the displaced base
+    /// PTEs so the caller can free their frames.
+    ///
+    /// The head is remapped to the huge entry *before* the interior base
+    /// entries are unmapped: an interior vpn either still resolves
+    /// through its guarded base entry (and retries) or falls back to the
+    /// committed huge mapping — there is no window where it is unmapped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] before [`RegionMigration::copy`]; fabric
+    /// errors propagate.
+    pub fn commit(
+        self,
+        ctx: &Arc<NodeCtx>,
+        space: &AddressSpace,
+        shoot_range: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
+    ) -> Result<Vec<Pte>, SimError> {
+        if !self.copied {
+            return Err(SimError::Protocol(format!(
+                "commit of region {} before copy",
+                self.head_vpn
+            )));
+        }
+        space.map(
+            ctx,
+            self.head_vpn,
+            Pte::new(self.new_frame, self.writable).huge(),
+        )?;
+        for vpn in self.head_vpn + 1..self.head_vpn + PAGES_PER_HUGE {
+            space.unmap(ctx, vpn)?;
+        }
+        shoot_range(self.asid, self.head_vpn, PAGES_PER_HUGE)?;
+        Ok(self.old)
+    }
+
+    /// Roll back: re-publish all 512 original base mappings with their
+    /// guards cleared. Callable from any live node.
+    ///
+    /// # Errors
+    ///
+    /// Fabric errors propagate.
+    pub fn abort(&self, ctx: &Arc<NodeCtx>, space: &AddressSpace) -> Result<(), SimError> {
+        for (i, pte) in self.old.iter().enumerate() {
+            space.map(ctx, self.head_vpn + i as u64, *pte)?;
+        }
+        Ok(())
+    }
+
+    /// The region-head vpn.
+    pub fn head_vpn(&self) -> u64 {
+        self.head_vpn
+    }
+
+    /// The authoritative pre-migration mappings, in vpn order.
+    pub fn old(&self) -> &[Pte] {
+        &self.old
+    }
+
+    /// The destination span base.
+    pub fn new_frame(&self) -> PhysFrame {
+        self.new_frame
+    }
+}
+
+/// Split the huge mapping at `head_vpn` back into 512 base PTEs over the
+/// same physical bytes (no copy): interior pages are mapped to their
+/// offsets within the huge frame with the same permission bit, then the
+/// head is downgraded, then **one** ranged shootdown retires stale huge
+/// translations. Returns the displaced huge PTE.
+///
+/// Interior vpns never go unmapped: until each base entry is published,
+/// translation falls back to the (still-correct) huge entry over the
+/// identical frame bytes.
+///
+/// # Errors
+///
+/// [`SimError::Protocol`] when `head_vpn` holds no huge, non-migrating
+/// mapping; fabric errors propagate.
+///
+/// # Panics
+///
+/// Panics when `head_vpn` is not 512-aligned.
+pub fn split_region(
+    ctx: &Arc<NodeCtx>,
+    space: &AddressSpace,
+    head_vpn: u64,
+    shoot_range: &mut dyn FnMut(u64, u64, u64) -> Result<(), SimError>,
+) -> Result<Pte, SimError> {
+    assert_eq!(
+        head_vpn,
+        huge_base(head_vpn),
+        "region must start at a 2 MiB boundary"
+    );
+    let head = space
+        .translate(ctx, VirtAddr::from_vpn(head_vpn))?
+        .ok_or_else(|| SimError::Protocol(format!("no mapping at region head {head_vpn}")))?;
+    if head.page_size != PageSize::Huge {
+        return Err(SimError::Protocol(format!(
+            "vpn {head_vpn} is not a huge mapping"
+        )));
+    }
+    if head.migrating {
+        return Err(SimError::Protocol(format!(
+            "region {head_vpn} is mid-migration"
+        )));
+    }
+    for i in 1..PAGES_PER_HUGE {
+        space.map(
+            ctx,
+            head_vpn + i,
+            Pte::new(frame_at(head.frame, i * PAGE_SIZE as u64), head.writable),
+        )?;
+    }
+    space.map(ctx, head_vpn, Pte::new(head.frame, head.writable))?;
+    shoot_range(space.asid(), head_vpn, PAGES_PER_HUGE)?;
+    Ok(head)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +546,181 @@ mod tests {
         let dst = PhysFrame::Global(frames.alloc(&n0).unwrap());
         let m = Migration::begin(&n0, &space, 2, dst).unwrap();
         assert!(m.commit(&n0, &space, &mut |_, _| Ok(())).is_err());
+    }
+
+    fn setup_region() -> (Rack, AddressSpace, FrameAllocator) {
+        let mut cfg = RackConfig::small_test().with_global_mem(64 << 20);
+        cfg.local_mem_bytes = 8 << 20;
+        let rack = Rack::new(cfg);
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(1, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let frames = FrameAllocator::new(rack.global().clone());
+        (rack, space, frames)
+    }
+
+    fn map_region(
+        rack: &Rack,
+        space: &AddressSpace,
+        frames: &FrameAllocator,
+        head: u64,
+        writable: bool,
+    ) {
+        let n0 = rack.node(0);
+        for vpn in head..head + PAGES_PER_HUGE {
+            let f = frames.alloc(&n0).unwrap();
+            space
+                .map(&n0, vpn, Pte::new(PhysFrame::Global(f), writable))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn region_migration_commits_one_huge_pte_and_one_ranged_shootdown() {
+        let (rack, space, frames) = setup_region();
+        let n0 = rack.node(0);
+        map_region(&rack, &space, &frames, 512, true);
+        for vpn in (512..1024).step_by(61) {
+            space
+                .write(&n0, VirtAddr::from_vpn(vpn), &[vpn as u8; 64])
+                .unwrap();
+        }
+
+        let mut pool = LocalFramePool::new();
+        let base = pool.alloc_region(&n0).unwrap();
+        assert_eq!(base.0 % PAGE_SIZE, 0);
+        let dst = PhysFrame::Local(n0.id(), base);
+        let mut m = RegionMigration::begin(&n0, &space, 512, dst).unwrap();
+        // Guarded window covers the whole region.
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            space.read(&n0, VirtAddr::from_vpn(800), &mut buf),
+            Err(SimError::WouldBlock)
+        ));
+        m.copy(&n0, &space).unwrap();
+        let mut shots = Vec::new();
+        let displaced = m
+            .commit(&n0, &space, &mut |asid, vpn, span| {
+                shots.push((asid, vpn, span));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(shots, vec![(1, 512, 512)], "exactly one ranged shootdown");
+        assert_eq!(displaced.len(), 512);
+        assert_eq!(space.mapped_pages(), 512, "one huge PTE covers the region");
+
+        let head = space
+            .translate(&n0, VirtAddr::from_vpn(512))
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.frame, dst);
+        assert_eq!(head.page_size, flacos_mem::PageSize::Huge);
+        for vpn in (512..1024).step_by(61) {
+            let mut out = [0u8; 64];
+            space.read(&n0, VirtAddr::from_vpn(vpn), &mut out).unwrap();
+            assert_eq!(out, [vpn as u8; 64], "bytes travelled with the region");
+        }
+    }
+
+    #[test]
+    fn region_migration_abort_restores_all_base_pages() {
+        let (rack, space, frames) = setup_region();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        map_region(&rack, &space, &frames, 0, true);
+        space
+            .write(&n0, VirtAddr::from_vpn(77), &[9u8; 32])
+            .unwrap();
+
+        let mut pool = LocalFramePool::new();
+        let dst = PhysFrame::Local(n0.id(), pool.alloc_region(&n0).unwrap());
+        let m = RegionMigration::begin(&n0, &space, 0, dst).unwrap();
+        // The migrating node "crashes"; a survivor aborts from node 1.
+        m.abort(&n1, &space).unwrap();
+        for vpn in (0..512).step_by(101) {
+            let pte = space
+                .translate(&n1, VirtAddr::from_vpn(vpn))
+                .unwrap()
+                .unwrap();
+            assert!(!pte.migrating);
+            assert_eq!(pte.page_size, flacos_mem::PageSize::Base);
+        }
+        let mut out = [0u8; 32];
+        space.read(&n1, VirtAddr::from_vpn(77), &mut out).unwrap();
+        assert_eq!(out, [9u8; 32]);
+    }
+
+    #[test]
+    fn region_begin_rejects_partial_or_mixed_regions() {
+        let (rack, space, frames) = setup_region();
+        let n0 = rack.node(0);
+        let dst = PhysFrame::Global(frames.alloc(&n0).unwrap());
+        // Unmapped region.
+        assert!(RegionMigration::begin(&n0, &space, 0, dst).is_err());
+        // Hole at vpn 100.
+        map_region(&rack, &space, &frames, 0, true);
+        space.unmap(&n0, 100).unwrap();
+        assert!(RegionMigration::begin(&n0, &space, 0, dst).is_err());
+        // Mixed permissions.
+        let f = frames.alloc(&n0).unwrap();
+        space
+            .map(&n0, 100, Pte::new(PhysFrame::Global(f), false))
+            .unwrap();
+        assert!(RegionMigration::begin(&n0, &space, 0, dst).is_err());
+        // The failed begins left no page guarded.
+        for vpn in (0..512).step_by(37) {
+            let pte = space
+                .translate(&n0, VirtAddr::from_vpn(vpn))
+                .unwrap()
+                .unwrap();
+            assert!(!pte.migrating, "vpn {vpn} must not be stuck migrating");
+        }
+    }
+
+    #[test]
+    fn split_region_restores_bytes_and_permissions_without_copy() {
+        let (rack, space, frames) = setup_region();
+        let n0 = rack.node(0);
+        // Build a huge local mapping via a region migration.
+        map_region(&rack, &space, &frames, 512, true);
+        for vpn in (512..1024).step_by(53) {
+            space
+                .write(&n0, VirtAddr::from_vpn(vpn), &[vpn as u8; 48])
+                .unwrap();
+        }
+        let mut pool = LocalFramePool::new();
+        let base = pool.alloc_region(&n0).unwrap();
+        let dst = PhysFrame::Local(n0.id(), base);
+        let mut m = RegionMigration::begin(&n0, &space, 512, dst).unwrap();
+        m.copy(&n0, &space).unwrap();
+        m.commit(&n0, &space, &mut |_, _, _| Ok(())).unwrap();
+
+        let mut shots = Vec::new();
+        let head = split_region(&n0, &space, 512, &mut |asid, vpn, span| {
+            shots.push((asid, vpn, span));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(shots, vec![(1, 512, 512)], "split is one ranged shootdown");
+        assert_eq!(head.frame, dst);
+        assert_eq!(space.mapped_pages(), 512, "512 base PTEs again");
+        for vpn in (512..1024).step_by(53) {
+            let pte = space
+                .translate(&n0, VirtAddr::from_vpn(vpn))
+                .unwrap()
+                .unwrap();
+            assert_eq!(pte.page_size, flacos_mem::PageSize::Base);
+            assert!(pte.writable, "permission bit preserved");
+            assert_eq!(
+                pte.frame,
+                PhysFrame::Local(n0.id(), LAddr(base.0 + (vpn - 512) as usize * PAGE_SIZE))
+            );
+            let mut out = [0u8; 48];
+            space.read(&n0, VirtAddr::from_vpn(vpn), &mut out).unwrap();
+            assert_eq!(out, [vpn as u8; 48], "no copy, same bytes");
+        }
+        // Split of a non-huge mapping is rejected.
+        assert!(split_region(&n0, &space, 512, &mut |_, _, _| Ok(())).is_err());
     }
 
     #[test]

@@ -146,8 +146,8 @@ impl NodeOs {
         let peers: Vec<NodeId> = (0..self.rack.sim().node_count()).map(NodeId).collect();
         let frames = self.rack.frames().clone();
         let tlb = &mut self.tlb;
-        let mut shoot = |asid: u64, vpn: u64| -> Result<(), SimError> {
-            let expected = tlb.begin_shootdown(&peers, asid, vpn)?;
+        let mut shoot = |asid: u64, vpn: u64, span: u64| -> Result<(), SimError> {
+            let expected = tlb.begin_shootdown_range(&peers, asid, vpn, span)?;
             // Peers ack when they next run `tick()`; drain any that
             // already arrived but do not block on stragglers.
             let _ = tlb.collect_acks(expected);

@@ -108,7 +108,8 @@ impl Interconnect {
             .get(to.0)
             .ok_or(SimError::NodeDown { node: to })?;
         let hops = self.topology.hops(from, to);
-        let arrive_ns = now_ns + self.latency.message_ns(hops, payload.len());
+        let bw = self.topology.link_bw_divisor(from, to);
+        let arrive_ns = now_ns + self.latency.message_ns_over(hops, payload.len(), bw);
         let msg = Message {
             from,
             to,

@@ -108,7 +108,47 @@ impl LatencyModel {
 
     /// Fixed + per-byte cost of moving `bytes` over `hops` hops.
     pub fn message_ns(&self, hops: u32, bytes: usize) -> u64 {
-        u64::from(hops) * self.hop_ns + self.transfer_ns(bytes)
+        self.message_ns_over(hops, bytes, 1)
+    }
+
+    /// [`LatencyModel::message_ns`] over a path whose narrowest link runs
+    /// at `1/bw_divisor` of leaf bandwidth (divisor 1 is byte-identical
+    /// to the flat model).
+    pub fn message_ns_over(&self, hops: u32, bytes: usize, bw_divisor: u32) -> u64 {
+        u64::from(hops) * self.hop_ns + self.transfer_ns(bytes) * u64::from(bw_divisor.max(1))
+    }
+
+    /// This model specialized to a memory path whose home is `levels`
+    /// switch levels away ([`crate::RackTopology::mem_path`]) across a
+    /// narrowest link of `1/bw_divisor` leaf bandwidth.
+    ///
+    /// The base `global_*` figures describe the historical flat model —
+    /// one interconnect crossing (`levels == 1`), for which this is an
+    /// exact identity. Each additional level adds one switch round-trip
+    /// (`2 * hop_ns`) to every fabric-bound cost; a home on the
+    /// requester's own leaf (`levels == 0`) saves that round-trip,
+    /// floored at the local-DRAM cost. Per-byte transfer pays the
+    /// narrowest link on the path.
+    #[must_use]
+    pub fn for_path(&self, levels: u32, bw_divisor: u32) -> LatencyModel {
+        let round_trip = 2 * self.hop_ns;
+        let adjust = |base: u64, floor: u64| match levels {
+            0 => base.saturating_sub(round_trip).max(floor.min(base)),
+            1 => base,
+            k => base + u64::from(k - 1) * round_trip,
+        };
+        LatencyModel {
+            global_read_ns: adjust(self.global_read_ns, self.local_read_ns),
+            global_write_ns: adjust(self.global_write_ns, self.local_write_ns),
+            global_atomic_ns: adjust(self.global_atomic_ns, self.local_write_ns),
+            writeback_line_ns: adjust(self.writeback_line_ns, self.local_write_ns),
+            transfer_ps_per_byte: if levels >= 1 {
+                self.transfer_ps_per_byte * u64::from(bw_divisor.max(1))
+            } else {
+                self.transfer_ps_per_byte
+            },
+            ..self.clone()
+        }
     }
 }
 
@@ -156,5 +196,45 @@ mod tests {
     #[test]
     fn default_is_hccs() {
         assert_eq!(LatencyModel::default(), LatencyModel::hccs());
+    }
+
+    #[test]
+    fn one_level_path_is_exact_identity() {
+        // The depth-1 guarantee every committed bench gate rests on:
+        // specializing to one switch level at full bandwidth reproduces
+        // the flat model byte-for-byte.
+        for m in [
+            LatencyModel::hccs(),
+            LatencyModel::cxl_switched(),
+            LatencyModel::uniform_coherent(),
+        ] {
+            assert_eq!(m.for_path(1, 1), m);
+        }
+    }
+
+    #[test]
+    fn path_costs_order_by_distance() {
+        let m = LatencyModel::hccs();
+        let near = m.for_path(0, 1);
+        let mid = m.for_path(2, 2);
+        let far = m.for_path(3, 4);
+        assert!(near.global_read_ns < m.global_read_ns);
+        assert!(near.global_read_ns >= m.local_read_ns);
+        assert_eq!(mid.global_read_ns, m.global_read_ns + 2 * m.hop_ns);
+        assert_eq!(far.global_read_ns, m.global_read_ns + 4 * m.hop_ns);
+        assert_eq!(mid.transfer_ps_per_byte, 2 * m.transfer_ps_per_byte);
+        // Non-fabric costs are untouched by distance.
+        assert_eq!(far.cache_hit_ns, m.cache_hit_ns);
+        assert_eq!(far.local_read_ns, m.local_read_ns);
+    }
+
+    #[test]
+    fn scaled_message_matches_narrow_link() {
+        let m = LatencyModel::hccs();
+        assert_eq!(m.message_ns_over(2, 1000, 1), m.message_ns(2, 1000));
+        assert_eq!(
+            m.message_ns_over(6, 1000, 4),
+            6 * m.hop_ns + 4 * m.transfer_ns(1000)
+        );
     }
 }

@@ -70,4 +70,4 @@ pub use rack::{Rack, RackConfig, RackReport};
 pub use rng::{SplitMix64, Zipf};
 pub use stats::{NodeStats, StatsSnapshot};
 pub use storm::{StormCampaign, StormConfig, StormCounts, StormEvent, StormOp, StormReport};
-pub use topology::{NodeId, RackTopology};
+pub use topology::{HomePolicy, NodeId, RackTopology, TopoLevel};

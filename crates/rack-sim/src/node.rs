@@ -119,6 +119,18 @@ impl NodeCtx {
         self.stats.record_op(class, kind, addr_class, at, cost);
     }
 
+    /// The latency model to charge for an access to global address
+    /// `addr`: under the default uniform home policy this is the node's
+    /// flat model, borrowed (zero overhead, byte-identical); under an
+    /// interleaved policy it is the model specialized to the
+    /// requester→home distance class through the topology tree.
+    fn lat_for(&self, addr: GAddr) -> std::borrow::Cow<'_, LatencyModel> {
+        match self.interconnect.topology().mem_path(self.id, addr.0) {
+            None => std::borrow::Cow::Borrowed(&*self.latency),
+            Some((levels, bw)) => std::borrow::Cow::Owned(self.latency.for_path(levels, bw)),
+        }
+    }
+
     // ----- cached global memory access ------------------------------------
 
     /// Read `buf.len()` bytes at `addr` through this node's cache.
@@ -131,7 +143,13 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn read(&self, addr: GAddr, buf: &mut [u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let cost = self.cache.read(&self.global, &self.latency, addr, buf)?;
+        // Spans are charged at the distance class of their first line's
+        // home (interleave stripes are page-sized or larger; cached
+        // spans are line bursts, so mixed-home spans are rare and the
+        // approximation is one line's tail cost at most).
+        let cost = self
+            .cache
+            .read(&self.global, &self.lat_for(addr), addr, buf)?;
         self.charge_op(CostClass::GlobalRead, OpKind::Read, AddrClass::Global, cost);
         self.stats.count_global_read(buf.len());
         Ok(())
@@ -147,7 +165,9 @@ impl NodeCtx {
     /// Fails on node crash, out-of-bounds, or poisoned memory.
     pub fn write(&self, addr: GAddr, buf: &[u8]) -> Result<(), SimError> {
         self.ensure_alive()?;
-        let cost = self.cache.write(&self.global, &self.latency, addr, buf)?;
+        let cost = self
+            .cache
+            .write(&self.global, &self.lat_for(addr), addr, buf)?;
         self.charge_op(
             CostClass::GlobalWrite,
             OpKind::Write,
@@ -183,7 +203,9 @@ impl NodeCtx {
     /// Write dirty cached lines covering `[addr, addr+len)` back to global
     /// memory, keeping them cached.
     pub fn writeback(&self, addr: GAddr, len: usize) {
-        let cost = self.cache.writeback(&self.global, &self.latency, addr, len);
+        let cost = self
+            .cache
+            .writeback(&self.global, &self.lat_for(addr), addr, len);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Writeback,
@@ -206,7 +228,9 @@ impl NodeCtx {
 
     /// Write back then invalidate `[addr, addr+len)`.
     pub fn flush(&self, addr: GAddr, len: usize) {
-        let cost = self.cache.flush(&self.global, &self.latency, addr, len);
+        let cost = self
+            .cache
+            .flush(&self.global, &self.lat_for(addr), addr, len);
         self.charge_op(
             CostClass::CacheMaint,
             OpKind::Flush,
@@ -246,7 +270,7 @@ impl NodeCtx {
             CostClass::Uncached,
             OpKind::Read,
             AddrClass::GlobalUncached,
-            self.latency.global_read_ns,
+            self.lat_for(addr).global_read_ns,
         );
         self.stats.count_global_read(8);
         Ok(v)
@@ -264,7 +288,7 @@ impl NodeCtx {
             CostClass::Uncached,
             OpKind::Write,
             AddrClass::GlobalUncached,
-            self.latency.global_write_ns,
+            self.lat_for(addr).global_write_ns,
         );
         self.stats.count_global_write(8);
         Ok(())
@@ -288,7 +312,7 @@ impl NodeCtx {
             CostClass::Atomic,
             OpKind::Atomic,
             AddrClass::GlobalUncached,
-            self.latency.global_atomic_ns,
+            self.lat_for(addr).global_atomic_ns,
         );
         self.stats.count_atomic();
         Ok(prev)
@@ -307,7 +331,7 @@ impl NodeCtx {
             CostClass::Atomic,
             OpKind::Atomic,
             AddrClass::GlobalUncached,
-            self.latency.global_atomic_ns,
+            self.lat_for(addr).global_atomic_ns,
         );
         self.stats.count_atomic();
         Ok(prev)

@@ -67,6 +67,29 @@ impl RackConfig {
         }
     }
 
+    /// A multi-rack pod: `racks` racks of `nodes_per_rack` nodes (one
+    /// socket each) under a pod spine, with global memory interleaved
+    /// page-wise across the leaves so memory costs charge by
+    /// requester→home distance class. For hierarchical-topology
+    /// ablations against the depth-1 [`RackConfig::n_node`] shape.
+    pub fn pod(nodes_per_rack: usize, racks: usize) -> Self {
+        RackConfig {
+            topology: RackTopology::pod(1, nodes_per_rack, racks, 16).with_home_interleaved(4096),
+            latency: LatencyModel::hccs(),
+            global_mem_bytes: 64 << 20,
+            local_mem_bytes: 16 << 20,
+            cache: CacheConfig::default(),
+            seed: 7,
+        }
+    }
+
+    /// Replace the topology (builder-style).
+    #[must_use]
+    pub fn with_topology(mut self, topology: RackTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Replace the latency model (builder-style).
     #[must_use]
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {

@@ -30,6 +30,14 @@
 # Any `.append(` call in a non-flacdk file that names `SharedOpLog` must
 # carry a `// single-op: <why>` annotation (same 3-line lookback);
 # `append_batch` is the blessed path and never flagged.
+#
+# Fifth check: outside flacos-mem (where the primitive lives), the
+# tiering/OS crates must not issue page-at-a-time TLB shootdowns — a
+# loop of `begin_shootdown`/`shootdown_stepped` over the 512 contiguous
+# vpns of a 2 MiB region pays 512 broadcast/ack rounds where one
+# `*_range` call pays one. Any non-ranged call in crates/flacos-tier or
+# crates/flacos needs a `// single-page: <why>` annotation (same 3-line
+# lookback) arguing the vpns are genuinely non-contiguous.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,6 +136,24 @@ while IFS=: read -r file line text; do
 done < <(grep -rl --include='*.rs' 'SharedOpLog' crates tests --exclude-dir=flacdk 2>/dev/null |
     xargs -r grep -n '\.append(' /dev/null 2>/dev/null || true)
 
+while IFS=: read -r file line text; do
+    stripped="${text#"${text%%[![:space:]]*}"}"
+    case "$stripped" in
+    //*) continue ;;
+    esac
+    # The `_range` variants are the amortized path; only bare calls count.
+    case "$text" in
+    *"begin_shootdown_range("* | *"shootdown_stepped_range("*) continue ;;
+    *"single-page:"*) continue ;;
+    esac
+    start=$((line > 3 ? line - 3 : 1))
+    if sed -n "${start},$((line - 1))p" "$file" | grep -q "single-page:"; then
+        continue
+    fi
+    echo "lint_sync: $file:$line: page-at-a-time TLB shootdown in a tiering crate: $stripped" >&2
+    fail=1
+done < <(grep -rn --include='*.rs' -E '(begin_shootdown|shootdown_stepped)\(' crates/flacos-tier/src crates/flacos/src 2>/dev/null || true)
+
 if [ "$fail" -ne 0 ]; then
     echo "lint_sync: FAILED — migrate the state onto flacdk::sync::SyncCell" >&2
     echo "lint_sync: or annotate the declaration with '// coherent-local: <why>'." >&2
@@ -137,6 +163,8 @@ if [ "$fail" -ne 0 ]; then
     echo "lint_sync: bank guard first, or annotate '// fill-publish: <why>'." >&2
     echo "lint_sync: for SharedOpLog::append outside flacdk, batch through" >&2
     echo "lint_sync: append_batch/nr_publish_batch or annotate '// single-op: <why>'." >&2
+    echo "lint_sync: for page-at-a-time shootdowns, use the *_range variant" >&2
+    echo "lint_sync: over contiguous vpns or annotate '// single-page: <why>'." >&2
     exit 1
 fi
 echo "lint_sync: OK"

@@ -56,6 +56,13 @@ cargo run --release --offline -p bench --bin flac-sync-scale -- \
 echo "== committed BENCH_sync.json honors the node-replication acceptance targets =="
 cargo run --release --offline -p bench --bin flac-sync-scale -- --check BENCH_sync.json
 
+echo "== topo-scale smoke (region probe + huge-page tiering gate, JSON shape + invariants) =="
+cargo run --release --offline -p bench --bin flac-topo-scale -- \
+    --quick --out target/BENCH_topo.quick.json --gate
+
+echo "== committed BENCH_topo.json honors the ranged-shootdown acceptance targets =="
+cargo run --release --offline -p bench --bin flac-topo-scale -- --check BENCH_topo.json
+
 echo "== store-scale smoke (~1 s shard sweep + overlap gate, JSON shape + invariants) =="
 cargo run --release --offline -p bench --bin flac-store-scale -- \
     --quick --out target/BENCH_store.quick.json --gate

@@ -17,11 +17,12 @@ use flacdk::sync::reclaim::RetireList;
 use flacdk::wire::{Decoder, Encoder};
 use flacos_mem::dedup::PageDeduper;
 use flacos_mem::fault::FrameAllocator;
-use flacos_mem::tlb::{shootdown_stepped, Tlb};
+use flacos_mem::tlb::{shootdown_stepped, shootdown_stepped_range, Tlb};
 use flacos_mem::vma::{Vma, VmaSet};
 use flacos_mem::VirtAddr;
 use flacos_mem::PAGE_SIZE;
-use flacos_mem::{AddressSpace, PhysFrame, Pte};
+use flacos_mem::{AddressSpace, PageSize, PhysFrame, Pte, HUGE_PAGE_SIZE, PAGES_PER_HUGE};
+use flacos_tier::migrate::{split_region, RegionMigration};
 use flacos_tier::Migration;
 use rack_sim::{GAddr, Rack, RackConfig, SimError, SplitMix64};
 use redis_mini::resp::{Command, Reply};
@@ -247,6 +248,7 @@ fn vma_set_never_holds_overlaps() {
                 end: VirtAddr((start + len) * 0x1000),
                 writable: true,
                 tag: start,
+                page_size: flacos_mem::PageSize::Base,
             };
             let _ = set.insert(vma); // overlaps are rejected, that's fine
         }
@@ -500,6 +502,179 @@ fn mid_migration_readers_see_old_or_new_never_torn() {
             .unwrap();
         space.read(&n0, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
         assert_eq!(buf, pattern_b);
+    });
+}
+
+#[test]
+fn mid_region_migration_readers_see_old_or_new_never_torn() {
+    check(
+        "mid_region_migration_readers_see_old_or_new_never_torn",
+        |rng| {
+            let rack = small_rack();
+            let (n0, n1) = (rack.node(0), rack.node(1));
+            let alloc = GlobalAllocator::new(rack.global().clone());
+            let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+            let space =
+                AddressSpace::alloc(3, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+            let frames = FrameAllocator::new(rack.global().clone());
+            let head = PAGES_PER_HUGE * rng.gen_index(2) as u64;
+            let mut page = vec![0u8; PAGE_SIZE];
+            for i in 0..PAGES_PER_HUGE {
+                let f = frames.alloc(&n0).unwrap();
+                space
+                    .map(&n0, head + i, Pte::new(PhysFrame::Global(f), true))
+                    .unwrap();
+                page.fill(i as u8 ^ 0xA5);
+                space.write_frame(&n0, PhysFrame::Global(f), &page).unwrap();
+            }
+
+            // A peer caches a random interior translation pre-move.
+            let mut tlbs: Vec<Tlb> = (0..2).map(|i| Tlb::new(rack.node(i), 8)).collect();
+            let probe = head + rng.gen_index(PAGES_PER_HUGE as usize) as u64;
+            let cached = space
+                .translate(&n1, VirtAddr::from_vpn(probe))
+                .unwrap()
+                .unwrap();
+            tlbs[1].fill(3, probe, cached);
+
+            let dst = rack.global().alloc(HUGE_PAGE_SIZE, PAGE_SIZE).unwrap();
+            let mut m = RegionMigration::begin(&n0, &space, head, PhysFrame::Global(dst)).unwrap();
+            // Guarded window: every page of the region bounces; a torn
+            // read of the half-copied destination span is impossible.
+            let mut buf = vec![0u8; PAGE_SIZE];
+            assert!(matches!(
+                space.read(&n1, VirtAddr::from_vpn(probe), &mut buf),
+                Err(SimError::WouldBlock)
+            ));
+            assert!(matches!(
+                space.write(&n0, VirtAddr::from_vpn(head), &[1u8; 8]),
+                Err(SimError::WouldBlock)
+            ));
+            m.copy(&n0, &space).unwrap();
+
+            if rng.gen_bool() {
+                // Commit: the head flips atomically to one huge mapping
+                // over the complete copy, and ONE ranged round retires
+                // all 512 stale translations rack-wide.
+                m.commit(&n0, &space, &mut |asid, v, span| {
+                    shootdown_stepped_range(&mut tlbs, 0, asid, v, span)
+                })
+                .unwrap();
+                assert_eq!(tlbs[0].stats().shootdown_rounds, 1, "one round per region");
+                assert_eq!(tlbs[1].lookup(3, probe), None, "stale translation survives");
+                let head_pte = space
+                    .translate(&n1, VirtAddr::from_vpn(head))
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(head_pte.page_size, PageSize::Huge);
+                assert_eq!(head_pte.frame, PhysFrame::Global(dst));
+            } else {
+                // Abort (the migrating node died): a survivor re-publishes
+                // all 512 still-authoritative base mappings.
+                m.abort(&n1, &space).unwrap();
+                let head_pte = space
+                    .translate(&n1, VirtAddr::from_vpn(head))
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(head_pte.page_size, PageSize::Base);
+            }
+            // Either outcome: whole pre-move patterns, never torn.
+            for _ in 0..4 {
+                let vpn = head + rng.gen_index(PAGES_PER_HUGE as usize) as u64;
+                space.read(&n1, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
+                assert_eq!(buf, vec![(vpn - head) as u8 ^ 0xA5; PAGE_SIZE]);
+            }
+            // The region stays writable and coherent across nodes.
+            space
+                .write(&n1, VirtAddr::from_vpn(probe), &[0xBB; 16])
+                .unwrap();
+            space
+                .read(&n0, VirtAddr::from_vpn(probe), &mut buf)
+                .unwrap();
+            assert_eq!(&buf[..16], &[0xBB; 16]);
+        },
+    );
+}
+
+#[test]
+fn region_split_preserves_bytes_and_perms() {
+    check("region_split_preserves_bytes_and_perms", |rng| {
+        let rack = small_rack();
+        let (n0, n1) = (rack.node(0), rack.node(1));
+        let alloc = GlobalAllocator::new(rack.global().clone());
+        let epochs = EpochManager::alloc(rack.global(), rack.node_count()).unwrap();
+        let space =
+            AddressSpace::alloc(4, rack.global(), alloc, epochs, RetireList::new()).unwrap();
+        let head = PAGES_PER_HUGE * rng.gen_index(2) as u64;
+        let region = rack.global().alloc(HUGE_PAGE_SIZE, PAGE_SIZE).unwrap();
+        let writable = rng.gen_bool();
+        // Fill the span through the frames (permissions gate virtual
+        // writes, not physical fills).
+        let mut page = vec![0u8; PAGE_SIZE];
+        for i in 0..PAGES_PER_HUGE {
+            page.fill(i as u8 ^ 0x5A);
+            space
+                .write_frame(
+                    &n0,
+                    PhysFrame::Global(region.offset(i * PAGE_SIZE as u64)),
+                    &page,
+                )
+                .unwrap();
+        }
+        space
+            .map(
+                &n0,
+                head,
+                Pte::new(PhysFrame::Global(region), writable).huge(),
+            )
+            .unwrap();
+
+        // A peer caches the head entry and a synthesized interior view.
+        let mut tlbs: Vec<Tlb> = (0..2).map(|i| Tlb::new(rack.node(i), 8)).collect();
+        let probe = head + 1 + rng.gen_index(PAGES_PER_HUGE as usize - 1) as u64;
+        let head_pte = space
+            .translate(&n1, VirtAddr::from_vpn(head))
+            .unwrap()
+            .unwrap();
+        let view = space
+            .translate(&n1, VirtAddr::from_vpn(probe))
+            .unwrap()
+            .unwrap();
+        tlbs[1].fill(4, head, head_pte);
+        tlbs[1].fill(4, probe, view);
+
+        let displaced = split_region(&n0, &space, head, &mut |asid, v, span| {
+            shootdown_stepped_range(&mut tlbs, 0, asid, v, span)
+        })
+        .unwrap();
+        assert_eq!(displaced.frame, PhysFrame::Global(region));
+        assert_eq!(
+            tlbs[0].stats().shootdown_rounds,
+            1,
+            "one ranged round per split"
+        );
+        assert_eq!(tlbs[1].lookup(4, head), None);
+        assert_eq!(tlbs[1].lookup(4, probe), None);
+
+        // Every sampled page: base-sized, the same permission bit, the
+        // identical bytes at the identical physical offset (a split
+        // copies nothing).
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for _ in 0..6 {
+            let vpn = head + rng.gen_index(PAGES_PER_HUGE as usize) as u64;
+            let pte = space
+                .translate(&n1, VirtAddr::from_vpn(vpn))
+                .unwrap()
+                .unwrap();
+            assert_eq!(pte.page_size, PageSize::Base);
+            assert_eq!(pte.writable, writable);
+            assert_eq!(
+                pte.frame,
+                PhysFrame::Global(region.offset((vpn - head) * PAGE_SIZE as u64))
+            );
+            space.read(&n1, VirtAddr::from_vpn(vpn), &mut buf).unwrap();
+            assert_eq!(buf, vec![(vpn - head) as u8 ^ 0x5A; PAGE_SIZE]);
+        }
     });
 }
 
